@@ -1,0 +1,275 @@
+//! The labeled dataset: annotations plus split, with class statistics.
+
+use std::collections::HashMap;
+
+use nbhd_types::{Error, ImageId, ImageLabels, Indicator, IndicatorMap, IndicatorSet, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::{stratified_split, DatasetSplit, SplitRatios};
+
+/// A fully labeled dataset: every image's annotations plus a
+/// train/validation/test split.
+///
+/// ```
+/// use nbhd_annotate::{LabeledDataset, SplitRatios};
+/// use nbhd_types::{BBox, Heading, ImageId, ImageLabels, Indicator, LocationId, ObjectLabel};
+///
+/// let mut labels = Vec::new();
+/// for loc in 0..10u64 {
+///     let id = ImageId::new(LocationId(loc), Heading::North);
+///     let mut l = ImageLabels::new(id);
+///     if loc % 2 == 0 {
+///         l.push(ObjectLabel::new(Indicator::Powerline, BBox::new(0.0, 0.0, 100.0, 50.0)));
+///     }
+///     labels.push(l);
+/// }
+/// let ds = LabeledDataset::build(labels, 640, SplitRatios::STUDY, 42)?;
+/// assert_eq!(ds.images().len(), 10);
+/// assert_eq!(ds.object_counts()[Indicator::Powerline], 5);
+/// # Ok::<(), nbhd_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledDataset {
+    image_size: u32,
+    entries: HashMap<ImageId, ImageLabels>,
+    order: Vec<ImageId>,
+    split: DatasetSplit,
+}
+
+impl LabeledDataset {
+    /// Builds a dataset from per-image labels, splitting stratified by
+    /// presence set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for empty input, duplicate image ids, or
+    /// invalid split ratios.
+    pub fn build(
+        labels: Vec<ImageLabels>,
+        image_size: u32,
+        ratios: SplitRatios,
+        seed: u64,
+    ) -> Result<LabeledDataset> {
+        if labels.is_empty() {
+            return Err(Error::config("dataset needs at least one labeled image"));
+        }
+        let mut entries = HashMap::with_capacity(labels.len());
+        let mut order = Vec::with_capacity(labels.len());
+        let mut keyed: Vec<(ImageId, IndicatorSet)> = Vec::with_capacity(labels.len());
+        for l in labels {
+            if entries.contains_key(&l.image) {
+                return Err(Error::config(format!("duplicate image id {}", l.image)));
+            }
+            keyed.push((l.image, l.presence()));
+            order.push(l.image);
+            entries.insert(l.image, l);
+        }
+        let split = stratified_split(&keyed, ratios, seed)?;
+        Ok(LabeledDataset {
+            image_size,
+            entries,
+            order,
+            split,
+        })
+    }
+
+    /// Builds a dataset with an explicit, caller-provided split — used when
+    /// derived (augmented) images must stay on the training side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the split does not cover exactly the
+    /// provided images, or on duplicates.
+    pub fn with_split(
+        labels: Vec<ImageLabels>,
+        image_size: u32,
+        split: DatasetSplit,
+    ) -> Result<LabeledDataset> {
+        if labels.is_empty() {
+            return Err(Error::config("dataset needs at least one labeled image"));
+        }
+        let mut entries = HashMap::with_capacity(labels.len());
+        let mut order = Vec::with_capacity(labels.len());
+        for l in labels {
+            if entries.contains_key(&l.image) {
+                return Err(Error::config(format!("duplicate image id {}", l.image)));
+            }
+            order.push(l.image);
+            entries.insert(l.image, l);
+        }
+        let mut covered: Vec<ImageId> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        covered.sort();
+        covered.dedup();
+        if covered.len() != split.len() || covered.len() != order.len() {
+            return Err(Error::config(
+                "split must cover every image exactly once",
+            ));
+        }
+        for id in &covered {
+            if !entries.contains_key(id) {
+                return Err(Error::config(format!("split references unknown image {id}")));
+            }
+        }
+        Ok(LabeledDataset {
+            image_size,
+            entries,
+            order,
+            split,
+        })
+    }
+
+    /// The square image size annotations refer to.
+    pub fn image_size(&self) -> u32 {
+        self.image_size
+    }
+
+    /// All image ids in insertion order.
+    pub fn images(&self) -> &[ImageId] {
+        &self.order
+    }
+
+    /// The split.
+    pub fn split(&self) -> &DatasetSplit {
+        &self.split
+    }
+
+    /// Labels for one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for unknown ids.
+    pub fn labels(&self, id: ImageId) -> Result<&ImageLabels> {
+        self.entries
+            .get(&id)
+            .ok_or_else(|| Error::not_found(format!("image {id}")))
+    }
+
+    /// Number of labeled objects per class, like the paper's
+    /// SL 206 / SW 444 / SR 346 / MR 505 / PL 301 / AP 125 table.
+    pub fn object_counts(&self) -> IndicatorMap<usize> {
+        let mut counts = IndicatorMap::fill(0usize);
+        for l in self.entries.values() {
+            for o in &l.objects {
+                counts[o.indicator] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of images where each class is present.
+    pub fn presence_counts(&self) -> IndicatorMap<usize> {
+        let mut counts = IndicatorMap::fill(0usize);
+        for l in self.entries.values() {
+            for ind in l.presence() {
+                counts[ind] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total labeled objects.
+    pub fn total_objects(&self) -> usize {
+        self.entries.values().map(ImageLabels::len).sum()
+    }
+
+    /// Per-image presence prevalence for each class.
+    pub fn prevalence(&self) -> IndicatorMap<f64> {
+        let n = self.order.len().max(1) as f64;
+        self.presence_counts().map(|_, &c| c as f64 / n)
+    }
+
+    /// A one-line textual summary of the class balance.
+    pub fn summary(&self) -> String {
+        let counts = self.object_counts();
+        let parts: Vec<String> = Indicator::ALL
+            .iter()
+            .map(|&i| format!("{} {}", i.abbrev(), counts[i]))
+            .collect();
+        format!(
+            "{} images, {} objects ({})",
+            self.order.len(),
+            self.total_objects(),
+            parts.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::{BBox, Heading, LocationId, ObjectLabel};
+
+    fn dataset(n: u64) -> LabeledDataset {
+        let labels: Vec<ImageLabels> = (0..n)
+            .map(|loc| {
+                let id = ImageId::new(LocationId(loc), Heading::East);
+                let mut l = ImageLabels::new(id);
+                if loc % 2 == 0 {
+                    l.push(ObjectLabel::new(
+                        Indicator::Sidewalk,
+                        BBox::new(0.0, 500.0, 600.0, 40.0),
+                    ));
+                }
+                if loc % 4 == 0 {
+                    l.push(ObjectLabel::new(
+                        Indicator::Sidewalk,
+                        BBox::new(0.0, 100.0, 600.0, 40.0),
+                    ));
+                    l.push(ObjectLabel::new(
+                        Indicator::Apartment,
+                        BBox::new(10.0, 10.0, 200.0, 300.0),
+                    ));
+                }
+                l
+            })
+            .collect();
+        LabeledDataset::build(labels, 640, SplitRatios::STUDY, 1).unwrap()
+    }
+
+    #[test]
+    fn counts_distinguish_objects_from_presence() {
+        let ds = dataset(100);
+        // sidewalk objects: 50 (every even) + 25 (every 4th) = 75
+        assert_eq!(ds.object_counts()[Indicator::Sidewalk], 75);
+        // but sidewalk presence: 50 images
+        assert_eq!(ds.presence_counts()[Indicator::Sidewalk], 50);
+        assert_eq!(ds.presence_counts()[Indicator::Apartment], 25);
+        assert!((ds.prevalence()[Indicator::Sidewalk] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let id = ImageId::new(LocationId(1), Heading::North);
+        let labels = vec![ImageLabels::new(id), ImageLabels::new(id)];
+        assert!(LabeledDataset::build(labels, 640, SplitRatios::STUDY, 1).is_err());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let ds = dataset(10);
+        let id = ImageId::new(LocationId(0), Heading::East);
+        assert_eq!(ds.labels(id).unwrap().len(), 3);
+        let missing = ImageId::new(LocationId(999), Heading::East);
+        assert!(ds.labels(missing).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_all_classes() {
+        let s = dataset(20).summary();
+        for ind in Indicator::ALL {
+            assert!(s.contains(ind.abbrev()), "summary missing {ind}: {s}");
+        }
+    }
+
+    #[test]
+    fn split_covers_every_image_exactly_once() {
+        let ds = dataset(60);
+        assert_eq!(ds.split().len(), 60);
+    }
+}

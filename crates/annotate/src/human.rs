@@ -1,0 +1,267 @@
+//! The simulated human labeler.
+//!
+//! The study's annotations came from "an undergraduate research student
+//! [who] manually labeled images" with the researcher "check[ing] the labels
+//! multiple times". Human annotation has characteristic error modes — missed
+//! objects, spurious boxes, imprecise corners, and class confusions between
+//! look-alikes — and the paper's own limitations section flags labeling
+//! error as a threat to validity. This module models those errors so the
+//! detector trains on realistically imperfect labels, and models
+//! verification passes shrinking them.
+
+use nbhd_types::rng::{child_seed_n, rng_from, sample_normal};
+use nbhd_types::{BBox, ImageId, ImageLabels, Indicator, ObjectLabel};
+use rand::Rng;
+
+/// Error-rate profile of an annotator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelerProfile {
+    /// Probability of missing a true object entirely.
+    pub miss_rate: f64,
+    /// Expected number of spurious (hallucinated) boxes per image.
+    pub spurious_rate: f64,
+    /// Standard deviation of corner jitter, in pixels at 640px scale.
+    pub jitter_px: f64,
+    /// Probability of confusing look-alike classes (streetlight vs.
+    /// powerline pole; apartment vs. large shop).
+    pub confusion_rate: f64,
+}
+
+impl LabelerProfile {
+    /// A careful but fallible student annotator (pre-verification).
+    pub const STUDENT: LabelerProfile = LabelerProfile {
+        miss_rate: 0.06,
+        spurious_rate: 0.03,
+        jitter_px: 6.0,
+        confusion_rate: 0.03,
+    };
+
+    /// A perfect oracle (zero error), useful for ablations.
+    pub const ORACLE: LabelerProfile = LabelerProfile {
+        miss_rate: 0.0,
+        spurious_rate: 0.0,
+        jitter_px: 0.0,
+        confusion_rate: 0.0,
+    };
+
+    /// The profile after `passes` verification passes; each pass removes
+    /// about 60% of residual misses/spurious boxes and halves jitter.
+    #[must_use]
+    pub fn verified(self, passes: u32) -> LabelerProfile {
+        let keep = 0.4f64.powi(passes as i32);
+        LabelerProfile {
+            miss_rate: self.miss_rate * keep,
+            spurious_rate: self.spurious_rate * keep,
+            jitter_px: self.jitter_px * 0.5f64.powi(passes as i32),
+            confusion_rate: self.confusion_rate * keep,
+        }
+    }
+}
+
+/// A seeded human labeler applying a [`LabelerProfile`] to ground truth.
+///
+/// ```
+/// use nbhd_annotate::{HumanLabeler, LabelerProfile};
+/// use nbhd_types::{BBox, Heading, ImageId, ImageLabels, Indicator, LocationId, ObjectLabel};
+///
+/// let mut truth = ImageLabels::new(ImageId::new(LocationId(1), Heading::North));
+/// truth.push(ObjectLabel::new(Indicator::Sidewalk, BBox::new(0.0, 500.0, 640.0, 60.0)));
+/// let labeler = HumanLabeler::new(LabelerProfile::ORACLE, 1);
+/// assert_eq!(labeler.annotate(&truth, 640).objects, truth.objects);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HumanLabeler {
+    profile: LabelerProfile,
+    seed: u64,
+}
+
+impl HumanLabeler {
+    /// Creates a labeler with the given profile and seed.
+    pub const fn new(profile: LabelerProfile, seed: u64) -> Self {
+        HumanLabeler { profile, seed }
+    }
+
+    /// The labeler's error profile.
+    pub fn profile(&self) -> LabelerProfile {
+        self.profile
+    }
+
+    /// Produces human annotations for one image given its ground truth.
+    ///
+    /// Deterministic per `(seed, image)`.
+    pub fn annotate(&self, truth: &ImageLabels, image_size: u32) -> ImageLabels {
+        let mut rng = rng_from(child_seed_n(self.seed, "labeler", truth.image.key()));
+        let scale = image_size as f64 / 640.0;
+        let jitter = self.profile.jitter_px * scale;
+        let mut out = ImageLabels::new(truth.image);
+        for obj in &truth.objects {
+            if rng.random_bool(self.profile.miss_rate) {
+                continue;
+            }
+            let indicator = if rng.random_bool(self.profile.confusion_rate) {
+                confuse(obj.indicator)
+            } else {
+                obj.indicator
+            };
+            let bbox = jitter_box(&mut rng, obj.bbox, jitter, image_size);
+            out.push(ObjectLabel::new(indicator, bbox));
+        }
+        // spurious boxes
+        let extra = poissonish(&mut rng, self.profile.spurious_rate);
+        for _ in 0..extra {
+            out.push(spurious_box(&mut rng, image_size));
+        }
+        out
+    }
+}
+
+/// The class an annotator most plausibly confuses a given class with.
+fn confuse(ind: Indicator) -> Indicator {
+    match ind {
+        Indicator::Streetlight => Indicator::Powerline,
+        Indicator::Powerline => Indicator::Streetlight,
+        Indicator::Apartment => Indicator::Apartment, // no plausible swap; kept
+        Indicator::SingleLaneRoad => Indicator::MultilaneRoad,
+        Indicator::MultilaneRoad => Indicator::SingleLaneRoad,
+        Indicator::Sidewalk => Indicator::Sidewalk,
+    }
+}
+
+fn jitter_box<R: Rng + ?Sized>(rng: &mut R, b: BBox, sigma: f64, size: u32) -> BBox {
+    if sigma <= 0.0 {
+        return b;
+    }
+    let j = |rng: &mut R| sample_normal(rng, 0.0, sigma) as f32;
+    let out = BBox::new(
+        b.x + j(rng),
+        b.y + j(rng),
+        (b.w + j(rng)).max(2.0),
+        (b.h + j(rng)).max(2.0),
+    );
+    out.clamp_to(size, size).unwrap_or(b)
+}
+
+fn spurious_box<R: Rng + ?Sized>(rng: &mut R, size: u32) -> ObjectLabel {
+    let ind = Indicator::ALL[rng.random_range(0..Indicator::COUNT)];
+    let s = size as f32;
+    let w = rng.random_range(0.05..0.3) * s;
+    let h = rng.random_range(0.05..0.3) * s;
+    let x = rng.random_range(0.0..(s - w));
+    let y = rng.random_range(0.0..(s - h));
+    ObjectLabel::new(ind, BBox::new(x, y, w, h))
+}
+
+/// Samples a small count with the given mean (Bernoulli split over two slots;
+/// adequate for rates well below 1).
+fn poissonish<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
+    let half = (mean / 2.0).clamp(0.0, 1.0);
+    u32::from(rng.random_bool(half)) + u32::from(rng.random_bool(half))
+}
+
+/// Convenience: annotates a whole set of ground-truth label sets.
+pub fn annotate_all(
+    labeler: &HumanLabeler,
+    truths: &[(ImageId, ImageLabels)],
+    image_size: u32,
+) -> Vec<(ImageId, ImageLabels)> {
+    truths
+        .iter()
+        .map(|(id, t)| (*id, labeler.annotate(t, image_size)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::{Heading, LocationId};
+
+    fn truth(loc: u64) -> ImageLabels {
+        let mut t = ImageLabels::new(ImageId::new(LocationId(loc), Heading::North));
+        t.push(ObjectLabel::new(
+            Indicator::Streetlight,
+            BBox::new(100.0, 100.0, 30.0, 200.0),
+        ));
+        t.push(ObjectLabel::new(
+            Indicator::Sidewalk,
+            BBox::new(0.0, 500.0, 640.0, 60.0),
+        ));
+        t
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let labeler = HumanLabeler::new(LabelerProfile::ORACLE, 5);
+        for loc in 0..20 {
+            let t = truth(loc);
+            assert_eq!(labeler.annotate(&t, 640), t);
+        }
+    }
+
+    #[test]
+    fn annotation_is_deterministic() {
+        let labeler = HumanLabeler::new(LabelerProfile::STUDENT, 5);
+        let t = truth(3);
+        assert_eq!(labeler.annotate(&t, 640), labeler.annotate(&t, 640));
+    }
+
+    #[test]
+    fn student_misses_at_the_configured_rate() {
+        let labeler = HumanLabeler::new(LabelerProfile::STUDENT, 6);
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for loc in 0..500 {
+            let t = truth(loc);
+            let a = labeler.annotate(&t, 640);
+            // count objects that survived (ignoring class confusion)
+            total += t.len();
+            kept += a.objects.iter().filter(|o| o.bbox.area() > 100.0).count().min(t.len());
+        }
+        let miss = 1.0 - kept as f64 / total as f64;
+        assert!(
+            (0.015..=0.12).contains(&miss),
+            "observed miss rate {miss:.3} vs configured {:.3}",
+            LabelerProfile::STUDENT.miss_rate
+        );
+    }
+
+    #[test]
+    fn jitter_moves_boxes_but_not_far() {
+        let labeler = HumanLabeler::new(LabelerProfile::STUDENT, 7);
+        let t = truth(11);
+        let a = labeler.annotate(&t, 640);
+        for obj in &a.objects {
+            let best_iou = t
+                .objects
+                .iter()
+                .map(|g| g.bbox.iou(obj.bbox))
+                .fold(0.0f32, f32::max);
+            // either it is a (rare) spurious box or a jittered true one
+            if best_iou > 0.0 {
+                assert!(best_iou > 0.6, "jitter too strong, IoU {best_iou}");
+            }
+        }
+    }
+
+    #[test]
+    fn verification_reduces_error() {
+        let raw = LabelerProfile::STUDENT;
+        let checked = raw.verified(2);
+        assert!(checked.miss_rate < raw.miss_rate / 4.0);
+        assert!(checked.jitter_px < raw.jitter_px / 2.0);
+        // and downstream: fewer misses in practice
+        let raw_labeler = HumanLabeler::new(raw, 8);
+        let ver_labeler = HumanLabeler::new(checked, 8);
+        let mut raw_objects = 0usize;
+        let mut ver_objects = 0usize;
+        for loc in 0..300 {
+            let t = truth(loc);
+            raw_objects += raw_labeler.annotate(&t, 640).len();
+            ver_objects += ver_labeler.annotate(&t, 640).len();
+        }
+        let total = 300 * 2;
+        assert!(
+            (ver_objects as i64 - total as i64).abs() < (raw_objects as i64 - total as i64).abs() + 10,
+            "verified labels should be closer to truth: raw {raw_objects}, verified {ver_objects}, truth {total}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Annotation substrate: LabelMe-compatible documents, a simulated human
+//! labeler with verification passes, stratified dataset splits, and the
+//! [`LabeledDataset`] container the detector trains from.
+//!
+//! The study hand-labeled 1,927 objects across 1,200 GSV images with the
+//! LabelMe tool, verified "multiple times", and split 70/20/10. This crate
+//! reproduces each of those steps over synthetic ground truth (see
+//! DESIGN.md §2 for the substitution argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_annotate::{HumanLabeler, LabeledDataset, LabelerProfile, SplitRatios};
+//! use nbhd_types::{BBox, Heading, ImageId, ImageLabels, Indicator, LocationId, ObjectLabel};
+//!
+//! // ground truth for two images
+//! let mut truth = Vec::new();
+//! for loc in 0..2u64 {
+//!     let mut l = ImageLabels::new(ImageId::new(LocationId(loc), Heading::North));
+//!     l.push(ObjectLabel::new(Indicator::Sidewalk, BBox::new(0.0, 500.0, 640.0, 50.0)));
+//!     truth.push(l);
+//! }
+//! // a student labels them, then the labels are verified twice
+//! let labeler = HumanLabeler::new(LabelerProfile::STUDENT.verified(2), 7);
+//! let annotations: Vec<_> = truth.iter().map(|t| labeler.annotate(t, 640)).collect();
+//! let dataset = LabeledDataset::build(annotations, 640, SplitRatios::STUDY, 7)?;
+//! assert_eq!(dataset.images().len(), 2);
+//! # Ok::<(), nbhd_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod human;
+mod labelme;
+mod split;
+mod store;
+
+pub use dataset::LabeledDataset;
+pub use human::{annotate_all, HumanLabeler, LabelerProfile};
+pub use labelme::{LabelMeDoc, LabelMeShape};
+pub use split::{stratified_split, DatasetSplit, SplitRatios};
+pub use store::AnnotationStore;

@@ -1,0 +1,196 @@
+//! Stratified train/validation/test splitting.
+
+use nbhd_types::rng::{child_seed, rng_from};
+use nbhd_types::{Error, ImageId, IndicatorSet, Result};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Fractions for a three-way split; the study used 70/20/10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub val: f64,
+    /// Test fraction.
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// The study's 70/20/10 split.
+    pub const STUDY: SplitRatios = SplitRatios {
+        train: 0.7,
+        val: 0.2,
+        test: 0.1,
+    };
+
+    /// Validates the ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when fractions are negative or do not sum
+    /// to approximately 1.
+    pub fn validate(&self) -> Result<()> {
+        let sum = self.train + self.val + self.test;
+        if self.train < 0.0 || self.val < 0.0 || self.test < 0.0 || (sum - 1.0).abs() > 1e-6 {
+            return Err(Error::config(format!(
+                "split ratios must be non-negative and sum to 1, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios::STUDY
+    }
+}
+
+/// A concrete split of image ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSplit {
+    /// Training images.
+    pub train: Vec<ImageId>,
+    /// Validation images.
+    pub val: Vec<ImageId>,
+    /// Test images.
+    pub test: Vec<ImageId>,
+}
+
+impl DatasetSplit {
+    /// Total images across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Returns `true` when the split holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits images into train/val/test, stratified by their presence set so
+/// every indicator is proportionally represented in each part ("the samples
+/// for each indicator are evenly distributed").
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] on invalid ratios or an empty input.
+pub fn stratified_split(
+    images: &[(ImageId, IndicatorSet)],
+    ratios: SplitRatios,
+    seed: u64,
+) -> Result<DatasetSplit> {
+    ratios.validate()?;
+    if images.is_empty() {
+        return Err(Error::config("cannot split an empty image set"));
+    }
+    // group by presence-set signature
+    let mut strata: std::collections::BTreeMap<u8, Vec<ImageId>> = std::collections::BTreeMap::new();
+    for (id, set) in images {
+        strata.entry(set.bits()).or_default().push(*id);
+    }
+    let mut split = DatasetSplit {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
+    let mut rng = rng_from(child_seed(seed, "split"));
+    for (_, mut ids) in strata {
+        ids.shuffle(&mut rng);
+        let n = ids.len();
+        let n_train = (n as f64 * ratios.train).round() as usize;
+        let n_val = (n as f64 * ratios.val).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        split.train.extend(&ids[..n_train]);
+        split.val.extend(&ids[n_train..n_train + n_val]);
+        split.test.extend(&ids[n_train + n_val..]);
+    }
+    Ok(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::{Heading, Indicator, LocationId};
+
+    fn images(n: u64) -> Vec<(ImageId, IndicatorSet)> {
+        (0..n)
+            .map(|i| {
+                let mut set = IndicatorSet::new();
+                if i % 3 == 0 {
+                    set.insert(Indicator::Sidewalk);
+                }
+                if i % 5 == 0 {
+                    set.insert(Indicator::Powerline);
+                }
+                (ImageId::new(LocationId(i), Heading::North), set)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let imgs = images(200);
+        let s = stratified_split(&imgs, SplitRatios::STUDY, 3).unwrap();
+        assert_eq!(s.len(), 200);
+        let mut all: Vec<ImageId> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 200, "no image may appear twice");
+    }
+
+    #[test]
+    fn split_fractions_are_respected() {
+        let imgs = images(1000);
+        let s = stratified_split(&imgs, SplitRatios::STUDY, 4).unwrap();
+        assert!((s.train.len() as f64 - 700.0).abs() < 30.0, "train {}", s.train.len());
+        assert!((s.val.len() as f64 - 200.0).abs() < 30.0, "val {}", s.val.len());
+        assert!((s.test.len() as f64 - 100.0).abs() < 30.0, "test {}", s.test.len());
+    }
+
+    #[test]
+    fn stratification_balances_classes() {
+        let imgs = images(900);
+        let s = stratified_split(&imgs, SplitRatios::STUDY, 5).unwrap();
+        let frac_with = |ids: &[ImageId]| {
+            let with = ids.iter().filter(|id| id.location.0 % 3 == 0).count();
+            with as f64 / ids.len() as f64
+        };
+        let train_frac = frac_with(&s.train);
+        let test_frac = frac_with(&s.test);
+        assert!(
+            (train_frac - test_frac).abs() < 0.08,
+            "sidewalk fraction drifted: train {train_frac:.3} test {test_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let imgs = images(120);
+        let a = stratified_split(&imgs, SplitRatios::STUDY, 6).unwrap();
+        let b = stratified_split(&imgs, SplitRatios::STUDY, 6).unwrap();
+        assert_eq!(a, b);
+        let c = stratified_split(&imgs, SplitRatios::STUDY, 7).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(stratified_split(&[], SplitRatios::STUDY, 1).is_err());
+        let bad = SplitRatios {
+            train: 0.9,
+            val: 0.2,
+            test: 0.1,
+        };
+        assert!(stratified_split(&images(10), bad, 1).is_err());
+    }
+}

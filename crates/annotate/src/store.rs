@@ -1,0 +1,119 @@
+//! On-disk annotation storage in LabelMe format.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nbhd_types::{Error, ImageLabels, Result};
+
+use crate::LabelMeDoc;
+
+/// A directory of LabelMe JSON files, one per image.
+///
+/// ```no_run
+/// use nbhd_annotate::AnnotationStore;
+/// use nbhd_types::{Heading, ImageId, ImageLabels, LocationId};
+///
+/// let store = AnnotationStore::open("annotations")?;
+/// let labels = ImageLabels::new(ImageId::new(LocationId(1), Heading::North));
+/// store.save(&labels, 640)?;
+/// let loaded = store.load_all()?;
+/// assert_eq!(loaded.len(), 1);
+/// # Ok::<(), nbhd_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnnotationStore {
+    dir: PathBuf,
+}
+
+impl AnnotationStore {
+    /// Opens (creating if needed) an annotation directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<AnnotationStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(AnnotationStore { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Saves one image's labels as `<image-id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn save(&self, labels: &ImageLabels, image_size: u32) -> Result<()> {
+        let doc = LabelMeDoc::from_labels(labels, image_size);
+        let path = self.dir.join(format!("{}.json", labels.image));
+        fs::write(path, doc.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads every `.json` document in the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on read failure or [`Error::Parse`] on a
+    /// malformed document.
+    pub fn load_all(&self) -> Result<Vec<ImageLabels>> {
+        let mut out = Vec::new();
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let json = fs::read_to_string(&path)?;
+            let doc = LabelMeDoc::from_json(&json)
+                .map_err(|e| Error::parse(format!("{}: {e}", path.display())))?;
+            out.push(doc.to_labels()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::{BBox, Heading, ImageId, Indicator, LocationId, ObjectLabel};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nbhd-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = tmp_dir("rt");
+        let store = AnnotationStore::open(&dir).unwrap();
+        let mut a = ImageLabels::new(ImageId::new(LocationId(1), Heading::North));
+        a.push(ObjectLabel::new(
+            Indicator::Apartment,
+            BBox::new(10.0, 20.0, 100.0, 200.0),
+        ));
+        let b = ImageLabels::new(ImageId::new(LocationId(2), Heading::West));
+        store.save(&a, 640).unwrap();
+        store.save(&b, 640).unwrap();
+        let loaded = store.load_all().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(&a));
+        assert!(loaded.contains(&b));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_documents_error_with_path() {
+        let dir = tmp_dir("bad");
+        let store = AnnotationStore::open(&dir).unwrap();
+        fs::write(dir.join("broken.json"), "{ not json").unwrap();
+        let err = store.load_all().unwrap_err();
+        assert!(err.to_string().contains("broken.json"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper-table regeneration harness: re-runs every experiment (tables
+//! and figures) and prints paper-vs-measured comparisons.
+//!
+//! Run everything at the default benchmark scale:
+//!
+//! ```text
+//! cargo bench -p nbhd-bench --bench paper_tables
+//! ```
+//!
+//! Select experiments or change scale:
+//!
+//! ```text
+//! cargo bench -p nbhd-bench --bench paper_tables -- t1 f5
+//! NBHD_SCALE=smoke cargo bench -p nbhd-bench --bench paper_tables
+//! NBHD_SCALE=full  cargo bench -p nbhd-bench --bench paper_tables
+//! ```
+
+use std::time::Instant;
+
+use nbhd_core::{ExperimentReport, PaperExperiments, SurveyConfig, SurveyPipeline};
+
+fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let scale = std::env::var("NBHD_SCALE").unwrap_or_else(|_| "bench".to_owned());
+    let seed = std::env::var("NBHD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2025u64);
+    let config = match scale.as_str() {
+        "smoke" => SurveyConfig::smoke(seed),
+        "full" => SurveyConfig::paper_full(seed),
+        _ => SurveyConfig::bench(seed),
+    };
+    println!(
+        "# nbhd paper-table harness | scale={scale} seed={seed} locations={} size={}px",
+        config.locations, config.image_size
+    );
+
+    let t0 = Instant::now();
+    let survey = SurveyPipeline::new(config).run().expect("survey pipeline");
+    println!(
+        "# survey built in {:.1}s: {}",
+        t0.elapsed().as_secs_f64(),
+        survey.dataset().summary()
+    );
+    let harness = PaperExperiments::new(survey);
+
+    let selected = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+
+    let run = |name: &str, f: &dyn Fn() -> nbhd_core::types::Result<ExperimentReport>,
+                   reports: &mut Vec<ExperimentReport>| {
+        if !selected(name) {
+            return;
+        }
+        let t = Instant::now();
+        match f() {
+            Ok(report) => {
+                println!("\n{}", report.render());
+                println!("# {name} took {:.1}s", t.elapsed().as_secs_f64());
+                reports.push(report);
+            }
+            Err(err) => println!("\n== {name}: FAILED: {err}"),
+        }
+    };
+
+    // LLM experiments first (no rendering required), detector experiments
+    // after (they render + train).
+    run("t2", &|| harness.t2_example(), &mut reports);
+    run("f5", &|| harness.f5_voting(), &mut reports);
+    if ["t3", "t4", "t5", "t6"].iter().any(|id| selected(id)) {
+        match harness.t3_to_t6_model_tables() {
+            Ok(model_tables) => {
+                for report in model_tables {
+                    if selected(report.id) {
+                        println!("\n{}", report.render());
+                        reports.push(report);
+                    }
+                }
+            }
+            Err(err) => println!("\n== t3-t6: FAILED: {err}"),
+        }
+    }
+    run("f4", &|| harness.f4_prompt_modes(), &mut reports);
+    run("f6", &|| harness.f6_languages(), &mut reports);
+    run("p1", &|| harness.p1_temperature(), &mut reports);
+    run("p2", &|| harness.p2_top_p(), &mut reports);
+    run("t1", &|| harness.t1_baseline(), &mut reports);
+    run("f2", &|| harness.f2_augmentation(), &mut reports);
+    run("f3", &|| harness.f3_noise(), &mut reports);
+    run("c1", &|| harness.c1_scene_baseline(), &mut reports);
+    run("a1", &|| harness.a1_correlation(), &mut reports);
+    run("e1", &|| harness.e1_panorama(), &mut reports);
+
+    // summary
+    println!("\n# ============ summary ============");
+    let mut rows = 0usize;
+    let mut within_05 = 0usize;
+    let mut within_10 = 0usize;
+    for report in &reports {
+        for c in &report.comparisons {
+            rows += 1;
+            if c.delta() <= 0.05 {
+                within_05 += 1;
+            }
+            if c.delta() <= 0.10 {
+                within_10 += 1;
+            }
+        }
+    }
+    println!(
+        "# {} experiments, {rows} paper-vs-measured rows: {within_05} within 0.05, {within_10} within 0.10",
+        reports.len()
+    );
+    println!("# total wall-clock {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,141 @@
+//! Criterion performance benchmarks for the workspace's hot paths:
+//! rendering, feature extraction, detection, prompting, parsing, voting,
+//! and the concurrent executor.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nbhd_core::prelude::*;
+use nbhd_core::detect::{FeatureMap, IntegralChannels};
+use nbhd_core::geo::{RoadClass, Zoning};
+use nbhd_core::scene::ViewKind;
+use nbhd_core::vlm::gemini_15_pro;
+use std::hint::black_box;
+
+fn scene_spec(loc: u64) -> nbhd_core::scene::SceneSpec {
+    SceneGenerator::new(9).compose_raw(
+        ImageId::new(LocationId(loc), Heading::North),
+        Zoning::Urban,
+        RoadClass::Multilane,
+        ViewKind::AlongRoad,
+    )
+}
+
+fn bench_render(c: &mut Criterion) {
+    let spec = scene_spec(1);
+    c.bench_function("render_320px", |b| {
+        b.iter(|| render(black_box(&spec), 320));
+    });
+    c.bench_function("render_640px", |b| {
+        b.iter(|| render(black_box(&spec), 640));
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let (img, _) = render(&scene_spec(2), 320);
+    c.bench_function("channel_features_320px", |b| {
+        b.iter(|| FeatureMap::compute(black_box(&img), 4));
+    });
+    let map = FeatureMap::compute(&img, 4);
+    c.bench_function("integral_tables_320px", |b| {
+        b.iter(|| IntegralChannels::new(black_box(&map)));
+    });
+    let integral = IntegralChannels::new(&map);
+    let window = nbhd_core::types::BBox::new(20.0, 40.0, 120.0, 160.0);
+    c.bench_function("window_feature", |b| {
+        let mut buf = vec![0f32; nbhd_core::detect::FEATURE_DIM];
+        b.iter(|| integral.window_feature_into(black_box(window), &mut buf));
+    });
+}
+
+fn bench_detector_scan(c: &mut Criterion) {
+    let detector = Detector::untrained(DetectorConfig {
+        shrink: 4,
+        ..DetectorConfig::default()
+    });
+    let (img, _) = render(&scene_spec(3), 320);
+    let integral = detector.integral(&img);
+    c.bench_function("detector_full_scan_320px", |b| {
+        b.iter(|| detector.class_scores(black_box(&integral), 320));
+    });
+}
+
+fn bench_prompting(c: &mut Criterion) {
+    c.bench_function("prompt_build_parallel", |b| {
+        b.iter(|| Prompt::build(Language::English, PromptMode::Parallel));
+    });
+    let response = "Yes, there is a road — No, No sidewalk, Yes! a streetlight, No, and yes.";
+    c.bench_function("parse_verbose_response", |b| {
+        b.iter(|| nbhd_core::prompt::parse_response(black_box(response), Language::English, 6));
+    });
+}
+
+fn bench_vlm_respond(c: &mut Criterion) {
+    let model = VisionModel::new(gemini_15_pro(), 9);
+    let ctx = ImageContext::from_scene(&scene_spec(4), 9);
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let params = SamplerParams::default();
+    c.bench_function("vlm_respond_parallel", |b| {
+        b.iter(|| model.respond(black_box(&ctx), &prompt, &params));
+    });
+}
+
+fn bench_voting(c: &mut Criterion) {
+    let votes: Vec<IndicatorSet> = (0..3)
+        .map(|i| {
+            let mut s = IndicatorSet::new();
+            if i != 1 {
+                s.insert(Indicator::Sidewalk);
+                s.insert(Indicator::Powerline);
+            }
+            s
+        })
+        .collect();
+    c.bench_function("majority_vote_3", |b| {
+        b.iter(|| majority_vote(black_box(&votes), TiePolicy::No));
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let contexts: Vec<ImageContext> = (0..32)
+        .map(|loc| ImageContext::from_scene(&scene_spec(loc), 9))
+        .collect();
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    c.bench_function("executor_batch_32_requests", |b| {
+        b.iter_batched(
+            || {
+                let transport = Arc::new(nbhd_core::client::SimulatedTransport::new(
+                    VisionModel::new(gemini_15_pro(), 9),
+                    9,
+                ));
+                let requests: Vec<nbhd_core::client::ModelRequest> = contexts
+                    .iter()
+                    .map(|ctx| nbhd_core::client::ModelRequest {
+                        context: ctx.clone(),
+                        prompt: prompt.clone(),
+                        params: SamplerParams::default(),
+                    })
+                    .collect();
+                (
+                    nbhd_core::client::BatchExecutor::new(transport, ExecutorConfig::default()),
+                    requests,
+                )
+            },
+            |(executor, requests)| executor.run(requests),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = perf;
+    config = Criterion::default().sample_size(20);
+    targets = bench_render,
+        bench_features,
+        bench_detector_scan,
+        bench_prompting,
+        bench_vlm_respond,
+        bench_voting,
+        bench_executor
+);
+criterion_main!(perf);

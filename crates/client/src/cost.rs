@@ -1,0 +1,170 @@
+//! Cost and usage metering across models.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Usage counters for one model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelUsage {
+    /// Successful requests.
+    pub requests: u64,
+    /// Attempts beyond the first (retries).
+    pub retries: u64,
+    /// Requests that exhausted retries.
+    pub failures: u64,
+    /// Input tokens billed.
+    pub input_tokens: u64,
+    /// Output tokens billed.
+    pub output_tokens: u64,
+    /// Dollars spent.
+    pub usd: f64,
+    /// Summed request latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+impl ModelUsage {
+    /// Mean latency per successful request; 0 when none.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_ms / self.requests as f64
+        }
+    }
+}
+
+/// Thread-safe usage ledger keyed by model name.
+///
+/// ```
+/// use nbhd_client::CostMeter;
+/// let meter = CostMeter::new();
+/// meter.record_success("gemini-1.5-pro", 1000, 50, 0.00125, 0.005, 900.0, 1);
+/// let usage = meter.usage("gemini-1.5-pro").unwrap();
+/// assert_eq!(usage.requests, 1);
+/// assert!(usage.usd > 0.0);
+/// assert!(meter.total_usd() > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    ledger: Mutex<BTreeMap<String, ModelUsage>>,
+}
+
+impl CostMeter {
+    /// An empty meter.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Records a successful request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_success(
+        &self,
+        model: &str,
+        input_tokens: u64,
+        output_tokens: u64,
+        usd_per_1k_input: f64,
+        usd_per_1k_output: f64,
+        latency_ms: f64,
+        attempts: u32,
+    ) {
+        let mut ledger = self.ledger.lock();
+        let u = ledger.entry(model.to_owned()).or_default();
+        u.requests += 1;
+        u.retries += u64::from(attempts.saturating_sub(1));
+        u.input_tokens += input_tokens;
+        u.output_tokens += output_tokens;
+        u.usd += input_tokens as f64 / 1000.0 * usd_per_1k_input
+            + output_tokens as f64 / 1000.0 * usd_per_1k_output;
+        u.latency_ms += latency_ms;
+    }
+
+    /// Records a request that exhausted its retries.
+    pub fn record_failure(&self, model: &str, attempts: u32) {
+        let mut ledger = self.ledger.lock();
+        let u = ledger.entry(model.to_owned()).or_default();
+        u.failures += 1;
+        u.retries += u64::from(attempts.saturating_sub(1));
+    }
+
+    /// Usage snapshot for one model.
+    pub fn usage(&self, model: &str) -> Option<ModelUsage> {
+        self.ledger.lock().get(model).copied()
+    }
+
+    /// Snapshot of all models' usage.
+    pub fn snapshot(&self) -> BTreeMap<String, ModelUsage> {
+        self.ledger.lock().clone()
+    }
+
+    /// Total dollars across models.
+    pub fn total_usd(&self) -> f64 {
+        self.ledger.lock().values().map(|u| u.usd).sum()
+    }
+
+    /// A one-line-per-model text report.
+    pub fn report(&self) -> String {
+        let ledger = self.ledger.lock();
+        let mut out = String::from("model                 requests retries failures   tokens(in/out)      usd   mean-latency\n");
+        for (name, u) in ledger.iter() {
+            out.push_str(&format!(
+                "{:<22} {:>7} {:>7} {:>8} {:>9}/{:<9} {:>8.4} {:>9.0} ms\n",
+                name,
+                u.requests,
+                u.retries,
+                u.failures,
+                u.input_tokens,
+                u.output_tokens,
+                u.usd,
+                u.mean_latency_ms()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_model() {
+        let m = CostMeter::new();
+        m.record_success("a", 1000, 100, 0.001, 0.002, 500.0, 1);
+        m.record_success("a", 1000, 100, 0.001, 0.002, 700.0, 3);
+        m.record_success("b", 2000, 0, 0.01, 0.02, 100.0, 1);
+        let a = m.usage("a").unwrap();
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.retries, 2);
+        assert!((a.usd - 2.0 * (0.001 + 0.0002)).abs() < 1e-12);
+        assert!((a.mean_latency_ms() - 600.0).abs() < 1e-9);
+        assert!((m.total_usd() - (a.usd + 0.02)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_do_not_bill() {
+        let m = CostMeter::new();
+        m.record_failure("a", 4);
+        let a = m.usage("a").unwrap();
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.usd, 0.0);
+        assert_eq!(a.requests, 0);
+        assert_eq!(a.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn report_lists_models() {
+        let m = CostMeter::new();
+        m.record_success("gemini", 10, 5, 0.1, 0.1, 1.0, 1);
+        m.record_success("claude", 10, 5, 0.1, 0.1, 1.0, 1);
+        let r = m.report();
+        assert!(r.contains("gemini"));
+        assert!(r.contains("claude"));
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        assert!(CostMeter::new().usage("nope").is_none());
+    }
+}

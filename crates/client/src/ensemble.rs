@@ -1,0 +1,318 @@
+//! The multi-model ensemble runner: queries every model about every image
+//! and majority-votes the designated voters (the paper's Sec. IV-C2 setup).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nbhd_eval::{majority_vote, TiePolicy};
+use nbhd_prompt::{parse_response, Prompt};
+use nbhd_types::IndicatorSet;
+use nbhd_vlm::{ImageContext, ModelProfile, SamplerParams, VisionModel};
+
+use crate::{
+    BatchExecutor, CostMeter, ExecutorConfig, FaultProfile, ModelRequest, SimulatedTransport,
+    VirtualClock,
+};
+
+/// One model's answers across a batch of images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAnswers {
+    /// Presence predictions per image (order matches the input batch).
+    pub presence: Vec<IndicatorSet>,
+    /// Images whose response failed to parse completely.
+    pub parse_failures: usize,
+    /// Images whose request failed at the transport level.
+    pub transport_failures: usize,
+}
+
+/// The ensemble's batch outcome.
+#[derive(Debug, Clone)]
+pub struct EnsembleOutcome {
+    /// Per-model answers keyed by model name.
+    pub per_model: BTreeMap<String, ModelAnswers>,
+    /// Majority-voted presence per image (voters only).
+    pub voted: Vec<IndicatorSet>,
+}
+
+/// Queries a set of simulated models and votes the designated subset.
+pub struct Ensemble {
+    members: Vec<Member>,
+    config: ExecutorConfig,
+    clock: Arc<VirtualClock>,
+    meter: Arc<CostMeter>,
+}
+
+struct Member {
+    profile: ModelProfile,
+    transport: Arc<SimulatedTransport>,
+    voting: bool,
+}
+
+impl Ensemble {
+    /// Builds an ensemble over model profiles; `voting` selects which
+    /// members participate in the majority vote (the paper votes Gemini,
+    /// Claude, and Grok).
+    pub fn new(
+        profiles: Vec<(ModelProfile, bool)>,
+        survey_seed: u64,
+        faults: FaultProfile,
+        config: ExecutorConfig,
+    ) -> Ensemble {
+        let members = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, (profile, voting))| Member {
+                transport: Arc::new(
+                    SimulatedTransport::new(
+                        VisionModel::new(profile.clone(), survey_seed),
+                        survey_seed ^ (i as u64 + 1),
+                    )
+                    .with_faults(faults),
+                ),
+                profile,
+                voting,
+            })
+            .collect();
+        Ensemble {
+            members,
+            config,
+            clock: Arc::new(VirtualClock::new()),
+            meter: Arc::new(CostMeter::new()),
+        }
+    }
+
+    /// The paper's four models with its top-three voting set.
+    pub fn paper_setup(survey_seed: u64) -> Ensemble {
+        let profiles = vec![
+            (nbhd_vlm::chatgpt_4o_mini(), false),
+            (nbhd_vlm::gemini_15_pro(), true),
+            (nbhd_vlm::claude_37(), true),
+            (nbhd_vlm::grok_2(), true),
+        ];
+        Ensemble::new(
+            profiles,
+            survey_seed,
+            FaultProfile::NONE,
+            ExecutorConfig::default(),
+        )
+    }
+
+    /// The shared cost meter.
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Runs the full survey: every member answers every image; voters'
+    /// answers are majority-voted per image. Transport or parse failures
+    /// contribute an empty presence set (the harness convention: an
+    /// unanswered question counts as "absent").
+    pub fn survey(
+        &self,
+        contexts: &[ImageContext],
+        prompt: &Prompt,
+        params: &SamplerParams,
+    ) -> EnsembleOutcome {
+        let mut per_model = BTreeMap::new();
+        let mut voter_answers: Vec<(String, Vec<IndicatorSet>)> = Vec::new();
+        for member in &self.members {
+            let executor = BatchExecutor::new(
+                Arc::clone(&member.transport) as Arc<dyn crate::Transport>,
+                self.config.clone(),
+            )
+            .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
+            .with_pricing(
+                member.profile.usd_per_1k_input,
+                member.profile.usd_per_1k_output,
+            );
+            let requests: Vec<ModelRequest> = contexts
+                .iter()
+                .map(|ctx| ModelRequest {
+                    context: ctx.clone(),
+                    prompt: prompt.clone(),
+                    params: *params,
+                })
+                .collect();
+            let results = executor.run(requests);
+
+            let mut presence = Vec::with_capacity(contexts.len());
+            let mut parse_failures = 0usize;
+            let mut transport_failures = 0usize;
+            for result in &results {
+                match result {
+                    Ok(response) => {
+                        let mut answers = Vec::with_capacity(6);
+                        let mut complete = true;
+                        for (text, message) in response.texts.iter().zip(&prompt.messages) {
+                            let parsed =
+                                parse_response(text, prompt.language, message.questions.len());
+                            complete &= parsed.is_complete();
+                            answers.extend(parsed.answers);
+                        }
+                        if !complete {
+                            parse_failures += 1;
+                        }
+                        let mut set = IndicatorSet::new();
+                        for (ind, ans) in prompt.question_order().iter().zip(answers) {
+                            if ans == Some(true) {
+                                set.insert(*ind);
+                            }
+                        }
+                        presence.push(set);
+                    }
+                    Err(_) => {
+                        transport_failures += 1;
+                        presence.push(IndicatorSet::new());
+                    }
+                }
+            }
+            if member.voting {
+                voter_answers.push((member.profile.name.clone(), presence.clone()));
+            }
+            per_model.insert(
+                member.profile.name.clone(),
+                ModelAnswers {
+                    presence,
+                    parse_failures,
+                    transport_failures,
+                },
+            );
+        }
+
+        let voted = (0..contexts.len())
+            .map(|i| {
+                let votes: Vec<IndicatorSet> =
+                    voter_answers.iter().map(|(_, v)| v[i]).collect();
+                if votes.is_empty() {
+                    IndicatorSet::new()
+                } else {
+                    majority_vote(&votes, TiePolicy::No)
+                }
+            })
+            .collect();
+
+        EnsembleOutcome { per_model, voted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_geo::{RoadClass, Zoning};
+    use nbhd_prompt::{Language, PromptMode};
+    use nbhd_scene::{SceneGenerator, ViewKind};
+    use nbhd_types::{Heading, ImageId, Indicator, LocationId};
+
+    fn contexts(n: u64) -> Vec<ImageContext> {
+        let generator = SceneGenerator::new(5);
+        (0..n)
+            .map(|loc| {
+                let zone = [Zoning::Urban, Zoning::Suburban, Zoning::Rural][(loc % 3) as usize];
+                let class = if loc % 2 == 0 { RoadClass::Multilane } else { RoadClass::SingleLane };
+                let view = if loc % 4 == 0 { ViewKind::AcrossRoad } else { ViewKind::AlongRoad };
+                let spec = generator.compose_raw(
+                    ImageId::new(LocationId(loc), Heading::North),
+                    zone,
+                    class,
+                    view,
+                );
+                ImageContext::from_scene(&spec, 5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_setup_surveys_all_models() {
+        let ensemble = Ensemble::paper_setup(5);
+        let ctxs = contexts(20);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        assert_eq!(outcome.per_model.len(), 4);
+        assert_eq!(outcome.voted.len(), 20);
+        for answers in outcome.per_model.values() {
+            assert_eq!(answers.presence.len(), 20);
+            assert_eq!(answers.transport_failures, 0);
+        }
+        // cost accrued for every model
+        assert!(ensemble.meter().total_usd() > 0.0);
+        assert_eq!(ensemble.meter().snapshot().len(), 4);
+    }
+
+    #[test]
+    fn voting_uses_only_voters() {
+        // two voters that always agree beat one non-voter
+        let always_yes = {
+            let mut p = nbhd_vlm::gemini_15_pro();
+            p.name = "always".into();
+            for ind in Indicator::ALL {
+                p.reliability[ind] = nbhd_vlm::Reliability {
+                    sensitivity: 0.995,
+                    specificity: 0.005,
+                };
+            }
+            p
+        };
+        let never_yes = {
+            let mut p = nbhd_vlm::gemini_15_pro();
+            p.name = "never".into();
+            for ind in Indicator::ALL {
+                p.reliability[ind] = nbhd_vlm::Reliability {
+                    sensitivity: 0.005,
+                    specificity: 0.995,
+                };
+            }
+            p
+        };
+        let ensemble = Ensemble::new(
+            vec![(always_yes.clone(), true), (always_yes, true), (never_yes, false)],
+            5,
+            FaultProfile::NONE,
+            ExecutorConfig::default(),
+        );
+        let ctxs = contexts(10);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        // voted answers follow the two always-yes voters
+        let yes_fraction: f64 = outcome
+            .voted
+            .iter()
+            .map(|s| s.len() as f64 / 6.0)
+            .sum::<f64>()
+            / 10.0;
+        assert!(yes_fraction > 0.9, "voted yes fraction {yes_fraction}");
+    }
+
+    #[test]
+    fn majority_vote_beats_voters_average_on_accuracy() {
+        let ensemble = Ensemble::paper_setup(5);
+        let ctxs = contexts(150);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        let accuracy = |pred: &[IndicatorSet]| {
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (p, c) in pred.iter().zip(&ctxs) {
+                for ind in Indicator::ALL {
+                    total += 1;
+                    correct += usize::from(p.contains(ind) == c.presence.contains(ind));
+                }
+            }
+            correct as f64 / total as f64
+        };
+        let voted_acc = accuracy(&outcome.voted);
+        let voters = ["gemini-1.5-pro", "claude-3.7", "grok-2"];
+        let mean_single: f64 = voters
+            .iter()
+            .map(|name| accuracy(&outcome.per_model[*name].presence))
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            voted_acc >= mean_single - 0.01,
+            "voted {voted_acc:.3} vs mean single {mean_single:.3}"
+        );
+    }
+}

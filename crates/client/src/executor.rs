@@ -1,0 +1,280 @@
+//! The concurrent batch executor: worker threads, rate limiting, retries,
+//! and cost metering over a shared virtual clock.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+
+use crate::{
+    send_with_retry, CostMeter, ModelRequest, ModelResponse, RetryPolicy, TokenBucket, Transport,
+    TransportError, VirtualClock,
+};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Concurrent worker threads.
+    pub workers: usize,
+    /// Optional rate limit as `(burst_capacity, requests_per_second)`.
+    pub rate_limit: Option<(u32, f64)>,
+    /// Retry policy per request.
+    pub retry: RetryPolicy,
+    /// Seed for retry jitter.
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            rate_limit: Some((8, 10.0)),
+            retry: RetryPolicy::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Runs batches of requests against one transport.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use nbhd_client::{BatchExecutor, ExecutorConfig, SimulatedTransport};
+/// use nbhd_vlm::{gemini_15_pro, VisionModel};
+///
+/// let transport = Arc::new(SimulatedTransport::new(VisionModel::new(gemini_15_pro(), 1), 1));
+/// let executor = BatchExecutor::new(transport, ExecutorConfig::default());
+/// let responses = executor.run(Vec::new());
+/// assert!(responses.is_empty());
+/// ```
+pub struct BatchExecutor {
+    transport: Arc<dyn Transport>,
+    config: ExecutorConfig,
+    clock: Arc<VirtualClock>,
+    meter: Arc<CostMeter>,
+    pricing: (f64, f64),
+}
+
+impl BatchExecutor {
+    /// Creates an executor with its own clock and meter.
+    pub fn new(transport: Arc<dyn Transport>, config: ExecutorConfig) -> BatchExecutor {
+        BatchExecutor {
+            transport,
+            config,
+            clock: Arc::new(VirtualClock::new()),
+            meter: Arc::new(CostMeter::new()),
+            pricing: (0.0, 0.0),
+        }
+    }
+
+    /// Shares an existing clock and meter (e.g. across ensemble members).
+    #[must_use]
+    pub fn with_accounting(mut self, clock: Arc<VirtualClock>, meter: Arc<CostMeter>) -> Self {
+        self.clock = clock;
+        self.meter = meter;
+        self
+    }
+
+    /// Sets billing rates as `(usd_per_1k_input, usd_per_1k_output)`.
+    #[must_use]
+    pub fn with_pricing(mut self, usd_per_1k_input: f64, usd_per_1k_output: f64) -> Self {
+        self.pricing = (usd_per_1k_input, usd_per_1k_output);
+        self
+    }
+
+    /// The executor's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The executor's cost meter.
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+
+    /// Runs all requests, preserving order in the output.
+    pub fn run(&self, requests: Vec<ModelRequest>) -> Vec<Result<ModelResponse, TransportError>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let bucket = self
+            .config
+            .rate_limit
+            .map(|(cap, rate)| Arc::new(TokenBucket::new(cap, rate, self.clock.clone())));
+
+        let (work_tx, work_rx) = channel::unbounded::<(usize, ModelRequest)>();
+        let (out_tx, out_rx) = channel::unbounded::<(usize, Result<ModelResponse, TransportError>)>();
+        for item in requests.into_iter().enumerate() {
+            work_tx.send(item).expect("unbounded send");
+        }
+        drop(work_tx);
+
+        let workers = self.config.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let out_tx = out_tx.clone();
+                let bucket = bucket.clone();
+                let transport = Arc::clone(&self.transport);
+                let clock = Arc::clone(&self.clock);
+                let meter = Arc::clone(&self.meter);
+                let retry = self.config.retry;
+                let seed = self.config.seed;
+                let pricing = self.pricing;
+                scope.spawn(move || {
+                    while let Ok((idx, request)) = work_rx.recv() {
+                        if let Some(bucket) = &bucket {
+                            bucket.acquire_blocking();
+                        }
+                        let outcome =
+                            send_with_retry(transport.as_ref(), &request, &retry, &clock, seed);
+                        let result = match outcome {
+                            Ok(retried) => {
+                                meter.record_success(
+                                    transport.model_name(),
+                                    retried.response.input_tokens,
+                                    retried.response.output_tokens,
+                                    pricing.0,
+                                    pricing.1,
+                                    retried.response.latency_ms,
+                                    retried.attempts,
+                                );
+                                Ok(retried.response)
+                            }
+                            Err(err) => {
+                                meter.record_failure(transport.model_name(), retry.max_attempts);
+                                Err(err)
+                            }
+                        };
+                        out_tx.send((idx, result)).expect("unbounded send");
+                    }
+                });
+            }
+            drop(out_tx);
+            let mut results: Vec<Option<Result<ModelResponse, TransportError>>> =
+                (0..n).map(|_| None).collect();
+            while let Ok((idx, result)) = out_rx.recv() {
+                results[idx] = Some(result);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every request produces a result"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultProfile, SimulatedTransport};
+    use nbhd_geo::{RoadClass, Zoning};
+    use nbhd_prompt::{Language, Prompt, PromptMode};
+    use nbhd_scene::{SceneGenerator, ViewKind};
+    use nbhd_types::{Heading, ImageId, LocationId};
+    use nbhd_vlm::{gemini_15_pro, ImageContext, SamplerParams, VisionModel};
+
+    fn requests(n: u64) -> Vec<ModelRequest> {
+        let generator = SceneGenerator::new(5);
+        (0..n)
+            .map(|loc| {
+                let spec = generator.compose_raw(
+                    ImageId::new(LocationId(loc), Heading::North),
+                    Zoning::Urban,
+                    RoadClass::Multilane,
+                    ViewKind::AlongRoad,
+                );
+                ModelRequest {
+                    context: ImageContext::from_scene(&spec, 5),
+                    prompt: Prompt::build(Language::English, PromptMode::Parallel),
+                    params: SamplerParams::default(),
+                }
+            })
+            .collect()
+    }
+
+    fn executor(faults: FaultProfile, config: ExecutorConfig) -> BatchExecutor {
+        let transport = Arc::new(
+            SimulatedTransport::new(VisionModel::new(gemini_15_pro(), 5), 9).with_faults(faults),
+        );
+        BatchExecutor::new(transport, config).with_pricing(0.001, 0.005)
+    }
+
+    #[test]
+    fn results_preserve_request_order() {
+        let e = executor(FaultProfile::NONE, ExecutorConfig::default());
+        let reqs = requests(30);
+        let expected: Vec<String> = reqs
+            .iter()
+            .map(|r| {
+                VisionModel::new(gemini_15_pro(), 5)
+                    .respond(&r.context, &r.prompt, &r.params)[0]
+                    .clone()
+            })
+            .collect();
+        let results = e.run(reqs);
+        assert_eq!(results.len(), 30);
+        for (res, exp) in results.iter().zip(expected) {
+            assert_eq!(res.as_ref().unwrap().texts[0], exp);
+        }
+    }
+
+    #[test]
+    fn meter_records_all_successes() {
+        let e = executor(FaultProfile::NONE, ExecutorConfig::default());
+        let _ = e.run(requests(25));
+        let usage = e.meter().usage("gemini-1.5-pro").unwrap();
+        assert_eq!(usage.requests, 25);
+        assert!(usage.usd > 0.0);
+        assert!(usage.input_tokens > 25 * 768);
+    }
+
+    #[test]
+    fn flaky_transport_mostly_recovers_via_retries() {
+        let e = executor(
+            FaultProfile {
+                rate_limit: 0.15,
+                timeout: 0.10,
+                server_error: 0.05,
+            },
+            ExecutorConfig::default(),
+        );
+        let results = e.run(requests(60));
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert!(ok >= 55, "only {ok}/60 succeeded despite retries");
+        let usage = e.meter().usage("gemini-1.5-pro").unwrap();
+        assert!(usage.retries > 0, "retries should have occurred");
+    }
+
+    #[test]
+    fn rate_limit_stretches_virtual_time() {
+        let slow = executor(
+            FaultProfile::NONE,
+            ExecutorConfig {
+                rate_limit: Some((1, 2.0)),
+                ..ExecutorConfig::default()
+            },
+        );
+        let _ = slow.run(requests(40));
+        // 40 requests at 2/sec is at least ~19.5 virtual seconds of throttle
+        assert!(
+            slow.clock().now_ms() > 19_000,
+            "virtual time {} ms",
+            slow.clock().now_ms()
+        );
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let e = executor(
+            FaultProfile::NONE,
+            ExecutorConfig {
+                workers: 1,
+                rate_limit: None,
+                ..ExecutorConfig::default()
+            },
+        );
+        let results = e.run(requests(10));
+        assert!(results.iter().all(Result::is_ok));
+    }
+}

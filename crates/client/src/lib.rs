@@ -1,0 +1,59 @@
+//! Concurrent model-query orchestration: the layer between the survey
+//! pipeline and the (simulated) vision-model APIs.
+//!
+//! The study's discussion section flags "computational costs and API
+//! latency" as the practical barrier to majority-voting LLM ensembles; this
+//! crate makes those costs first-class. It provides:
+//!
+//! * [`Transport`] — the API boundary, with [`SimulatedTransport`] wrapping
+//!   a [`nbhd_vlm::VisionModel`] plus latency modeling and fault injection;
+//! * [`TokenBucket`] rate limiting over a [`VirtualClock`] (no real
+//!   sleeping: deterministic, instantaneous tests);
+//! * [`send_with_retry`] — exponential backoff with jitter and
+//!   server-hint honoring;
+//! * [`CostMeter`] — per-model token/dollar/latency accounting;
+//! * [`BatchExecutor`] — a crossbeam-channel worker pool;
+//! * [`Ensemble`] — the multi-model survey runner with majority voting.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_client::Ensemble;
+//! use nbhd_geo::{RoadClass, Zoning};
+//! use nbhd_prompt::{Language, Prompt, PromptMode};
+//! use nbhd_scene::{SceneGenerator, ViewKind};
+//! use nbhd_types::{Heading, ImageId, LocationId};
+//! use nbhd_vlm::{ImageContext, SamplerParams};
+//!
+//! let spec = SceneGenerator::new(1).compose_raw(
+//!     ImageId::new(LocationId(0), Heading::North),
+//!     Zoning::Urban,
+//!     RoadClass::Multilane,
+//!     ViewKind::AlongRoad,
+//! );
+//! let contexts = vec![ImageContext::from_scene(&spec, 1)];
+//! let ensemble = Ensemble::paper_setup(1);
+//! let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+//! let outcome = ensemble.survey(&contexts, &prompt, &SamplerParams::default());
+//! println!("voted: {}", outcome.voted[0]);
+//! println!("{}", ensemble.meter().report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod ensemble;
+mod executor;
+mod ratelimit;
+mod retry;
+mod transport;
+
+pub use cost::{CostMeter, ModelUsage};
+pub use ensemble::{Ensemble, EnsembleOutcome, ModelAnswers};
+pub use executor::{BatchExecutor, ExecutorConfig};
+pub use ratelimit::{TokenBucket, VirtualClock};
+pub use retry::{send_with_retry, RetriedResponse, RetryPolicy};
+pub use transport::{
+    FaultProfile, ModelRequest, ModelResponse, SimulatedTransport, Transport, TransportError,
+};

@@ -1,0 +1,216 @@
+//! Retry with exponential backoff and jitter.
+
+use std::sync::Arc;
+
+use nbhd_types::rng::{child_seed_n, rng_from};
+use rand::Rng;
+
+use crate::{ModelRequest, ModelResponse, Transport, TransportError, VirtualClock};
+
+/// Retry policy: exponential backoff with full jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay, milliseconds.
+    pub base_ms: u64,
+    /// Backoff multiplier per attempt.
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: the delay is scaled by a uniform draw
+    /// from `[1 - jitter, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ms: 250,
+            multiplier: 2.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based), honoring any
+    /// server-provided `retry_after_ms`.
+    pub fn backoff_ms<R: Rng + ?Sized>(
+        &self,
+        attempt: u32,
+        server_hint_ms: Option<u64>,
+        rng: &mut R,
+    ) -> u64 {
+        let exp = self.base_ms as f64 * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let jittered = exp * (1.0 - self.jitter * rng.random::<f64>());
+        (jittered as u64).max(server_hint_ms.unwrap_or(0)).max(1)
+    }
+}
+
+/// Outcome of a retried request, with attempt accounting.
+#[derive(Debug, Clone)]
+pub struct RetriedResponse {
+    /// The final response.
+    pub response: ModelResponse,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total virtual milliseconds spent in backoff waits.
+    pub backoff_ms: u64,
+}
+
+/// Sends a request through a transport with retries, advancing the virtual
+/// clock through latency and backoff.
+///
+/// # Errors
+///
+/// Returns the last [`TransportError`] once attempts are exhausted, or
+/// immediately for non-retryable errors.
+pub fn send_with_retry(
+    transport: &dyn Transport,
+    request: &ModelRequest,
+    policy: &RetryPolicy,
+    clock: &Arc<VirtualClock>,
+    seed: u64,
+) -> Result<RetriedResponse, TransportError> {
+    let mut rng = rng_from(child_seed_n(seed, "retry", request.context.image.key()));
+    let mut backoff_total = 0u64;
+    let mut attempt = 1u32;
+    loop {
+        match transport.send(request) {
+            Ok(response) => {
+                clock.advance_ms(response.latency_ms as u64);
+                return Ok(RetriedResponse {
+                    response,
+                    attempts: attempt,
+                    backoff_ms: backoff_total,
+                });
+            }
+            Err(err) => {
+                if !err.is_retryable() || attempt >= policy.max_attempts {
+                    return Err(err);
+                }
+                let hint = match &err {
+                    TransportError::RateLimited { retry_after_ms } => Some(*retry_after_ms),
+                    _ => None,
+                };
+                let wait = policy.backoff_ms(attempt, hint, &mut rng);
+                clock.advance_ms(wait);
+                backoff_total += wait;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::rng::rng_from;
+
+    /// A scripted transport failing a fixed number of times.
+    struct Flaky {
+        fail_first: u32,
+        err: TransportError,
+        calls: std::sync::atomic::AtomicU32,
+    }
+
+    impl Transport for Flaky {
+        fn model_name(&self) -> &str {
+            "flaky"
+        }
+        fn send(&self, _request: &ModelRequest) -> Result<ModelResponse, TransportError> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.fail_first {
+                Err(self.err.clone())
+            } else {
+                Ok(ModelResponse {
+                    texts: vec!["Yes".into()],
+                    latency_ms: 100.0,
+                    input_tokens: 10,
+                    output_tokens: 1,
+                })
+            }
+        }
+    }
+
+    fn request() -> ModelRequest {
+        use nbhd_geo::{RoadClass, Zoning};
+        use nbhd_prompt::{Language, Prompt, PromptMode};
+        use nbhd_scene::{SceneGenerator, ViewKind};
+        use nbhd_types::{Heading, ImageId, LocationId};
+        let spec = SceneGenerator::new(5).compose_raw(
+            ImageId::new(LocationId(0), Heading::North),
+            Zoning::Urban,
+            RoadClass::Multilane,
+            ViewKind::AlongRoad,
+        );
+        ModelRequest {
+            context: nbhd_vlm::ImageContext::from_scene(&spec, 5),
+            prompt: Prompt::build(Language::English, PromptMode::Parallel),
+            params: nbhd_vlm::SamplerParams::default(),
+        }
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let t = Flaky {
+            fail_first: 2,
+            err: TransportError::ServerError,
+            calls: Default::default(),
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let out = send_with_retry(&t, &request(), &RetryPolicy::default(), &clock, 1).unwrap();
+        assert_eq!(out.attempts, 3);
+        assert!(out.backoff_ms > 0);
+        assert!(clock.now_ms() >= out.backoff_ms + 100);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let t = Flaky {
+            fail_first: 100,
+            err: TransportError::Timeout,
+            calls: Default::default(),
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let err = send_with_retry(&t, &request(), &RetryPolicy::default(), &clock, 1).unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        assert_eq!(t.calls.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn bad_requests_are_not_retried() {
+        let t = Flaky {
+            fail_first: 100,
+            err: TransportError::BadRequest("bad".into()),
+            calls: Default::default(),
+        };
+        let clock = Arc::new(VirtualClock::new());
+        let _ = send_with_retry(&t, &request(), &RetryPolicy::default(), &clock, 1).unwrap_err();
+        assert_eq!(t.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_server_hint() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = rng_from(1);
+        assert_eq!(p.backoff_ms(1, None, &mut rng), 250);
+        assert_eq!(p.backoff_ms(2, None, &mut rng), 500);
+        assert_eq!(p.backoff_ms(3, None, &mut rng), 1000);
+        assert_eq!(p.backoff_ms(1, Some(5000), &mut rng), 5000);
+    }
+
+    #[test]
+    fn jitter_spreads_delays() {
+        let p = RetryPolicy::default();
+        let mut rng = rng_from(2);
+        let delays: Vec<u64> = (0..50).map(|_| p.backoff_ms(2, None, &mut rng)).collect();
+        let min = *delays.iter().min().unwrap();
+        let max = *delays.iter().max().unwrap();
+        assert!(max > min, "jitter must vary delays");
+        assert!(min >= 250 && max <= 500, "range [{min}, {max}]");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for rate limiting, retry policy, and cost metering.
+
+use std::sync::Arc;
+
+use nbhd_client::{CostMeter, RetryPolicy, TokenBucket, VirtualClock};
+use nbhd_types::rng::rng_from;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bucket_throughput_never_exceeds_rate(
+        capacity in 1u32..10,
+        rate in 0.5f64..50.0,
+        draws in 10usize..120,
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let bucket = TokenBucket::new(capacity, rate, clock.clone());
+        for _ in 0..draws {
+            bucket.acquire_blocking();
+        }
+        let elapsed_s = clock.now_ms() as f64 / 1000.0;
+        // tokens delivered <= burst + rate * elapsed (+1 rounding slack)
+        let max_allowed = capacity as f64 + rate * elapsed_s + 1.0;
+        prop_assert!(
+            draws as f64 <= max_allowed,
+            "delivered {draws} in {elapsed_s:.2}s at rate {rate}/s cap {capacity}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_monotone_in_attempt_without_jitter(base in 1u64..1000, mult in 1.0f64..3.0) {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_ms: base,
+            multiplier: mult,
+            jitter: 0.0,
+        };
+        let mut rng = rng_from(1);
+        let mut prev = 0u64;
+        for attempt in 1..=6 {
+            let d = p.backoff_ms(attempt, None, &mut rng);
+            prop_assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn backoff_respects_server_hint(base in 1u64..100, hint in 0u64..10_000, seed in 0u64..50) {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_ms: base,
+            multiplier: 2.0,
+            jitter: 0.5,
+        };
+        let mut rng = rng_from(seed);
+        let d = p.backoff_ms(1, Some(hint), &mut rng);
+        prop_assert!(d >= hint.max(1));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_envelope(attempt in 1u32..6, jitter in 0.0f64..=1.0, seed in 0u64..100) {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_ms: 100,
+            multiplier: 2.0,
+            jitter,
+        };
+        let mut rng = rng_from(seed);
+        let nominal = 100.0 * 2.0f64.powi(attempt as i32 - 1);
+        let d = p.backoff_ms(attempt, None, &mut rng) as f64;
+        prop_assert!(d <= nominal + 1.0);
+        prop_assert!(d >= nominal * (1.0 - jitter) - 1.0);
+    }
+
+    #[test]
+    fn cost_meter_total_equals_sum_of_models(
+        records in proptest::collection::vec((0u8..4, 1u64..5000, 0u64..2000), 0..40),
+    ) {
+        let meter = CostMeter::new();
+        for (model_idx, input, output) in &records {
+            let name = ["a", "b", "c", "d"][*model_idx as usize];
+            meter.record_success(name, *input, *output, 0.001, 0.002, 10.0, 1);
+        }
+        let total = meter.total_usd();
+        let by_model: f64 = meter.snapshot().values().map(|u| u.usd).sum();
+        prop_assert!((total - by_model).abs() < 1e-9);
+        let request_count: u64 = meter.snapshot().values().map(|u| u.requests).sum();
+        prop_assert_eq!(request_count as usize, records.len());
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone(deltas in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let clock = VirtualClock::new();
+        let mut prev = 0;
+        for d in deltas {
+            let now = clock.advance_ms(d);
+            prop_assert!(now >= prev);
+            prop_assert_eq!(now, prev + d);
+            prev = now;
+        }
+    }
+}

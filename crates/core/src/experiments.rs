@@ -1,0 +1,877 @@
+//! The per-experiment harness: one function per table/figure of the paper.
+//!
+//! Each experiment returns an [`ExperimentReport`]: a rendered text body
+//! plus structured paper-vs-measured [`ComparisonRow`]s that EXPERIMENTS.md
+//! and the bench harness consume. Expensive shared state (the trained
+//! detector, the default English parallel LLM survey) is computed once and
+//! cached.
+
+use std::sync::OnceLock;
+
+use nbhd_detect::{DetectorConfig, SceneClassifier, TrainConfig};
+use nbhd_eval::{render_comparison, render_metrics_table, ComparisonRow, PresenceEvaluator};
+use nbhd_prompt::{Language, Prompt, PromptMode, PROMPT_ORDER};
+use nbhd_types::{Indicator, Result};
+use nbhd_vlm::{SamplerParams, VisionModel};
+
+use crate::{
+    evaluate_with_noise, paper_lineup, run_llm_survey, train_baseline, AugmentationPolicy,
+    BaselineOutcome, LlmSurveyConfig, LlmSurveyOutcome, SurveyDataset,
+};
+
+/// One experiment's output.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (`t1`, `f2`, ... matching DESIGN.md §4).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered text body (tables, series).
+    pub body: String,
+    /// Structured paper-vs-measured rows.
+    pub comparisons: Vec<ComparisonRow>,
+}
+
+impl ExperimentReport {
+    /// Renders the full report (body + comparison table).
+    pub fn render(&self) -> String {
+        let mut out = format!("== {}: {}\n{}\n", self.id, self.title, self.body);
+        if !self.comparisons.is_empty() {
+            out.push_str(&render_comparison("paper vs measured", &self.comparisons));
+        }
+        out
+    }
+}
+
+/// Runs the paper's experiments over one survey, caching shared state.
+pub struct PaperExperiments {
+    survey: SurveyDataset,
+    baseline: OnceLock<BaselineOutcome>,
+    default_llm: OnceLock<LlmSurveyOutcome>,
+}
+
+impl PaperExperiments {
+    /// Creates the harness.
+    pub fn new(survey: SurveyDataset) -> PaperExperiments {
+        PaperExperiments {
+            survey,
+            baseline: OnceLock::new(),
+            default_llm: OnceLock::new(),
+        }
+    }
+
+    /// The survey under test.
+    pub fn survey(&self) -> &SurveyDataset {
+        &self.survey
+    }
+
+    /// Detector/training configuration scaled to the survey preset.
+    pub fn train_configs(&self) -> (TrainConfig, DetectorConfig) {
+        let size = self.survey.config().image_size;
+        let seed = self.survey.config().seed;
+        let detector = DetectorConfig {
+            shrink: if size >= 512 { 8 } else { 4 },
+            ..DetectorConfig::default()
+        };
+        let train = TrainConfig {
+            epochs: if size <= 160 { 8 } else { 20 },
+            hard_negative_rounds: if size <= 160 { 1 } else { 3 },
+            seed,
+            ..TrainConfig::default()
+        };
+        (train, detector)
+    }
+
+    /// The trained baseline (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn baseline(&self) -> Result<&BaselineOutcome> {
+        if self.baseline.get().is_none() {
+            let (train, det) = self.train_configs();
+            let outcome = train_baseline(&self.survey, train, det, AugmentationPolicy::None)?;
+            let _ = self.baseline.set(outcome);
+        }
+        Ok(self.baseline.get().expect("just set"))
+    }
+
+    /// The default English/parallel LLM survey over all images (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn default_llm(&self) -> Result<&LlmSurveyOutcome> {
+        if self.default_llm.get().is_none() {
+            let ids = self.survey.images().to_vec();
+            let outcome = run_llm_survey(
+                &self.survey,
+                paper_lineup(),
+                &ids,
+                &LlmSurveyConfig::default(),
+            )?;
+            let _ = self.default_llm.set(outcome);
+        }
+        Ok(self.default_llm.get().expect("just set"))
+    }
+
+    // ---- T1: baseline detector table ---------------------------------
+
+    /// Table I: the supervised baseline's per-class detection metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn t1_baseline(&self) -> Result<ExperimentReport> {
+        let outcome = self.baseline()?;
+        let mut body = render_metrics_table(
+            "Detector test-split metrics (accuracy column = AP50)",
+            &outcome.report.table,
+        );
+        body.push_str(&format!("mAP50 = {:.3}\n", outcome.report.map50));
+        body.push_str(&format!("dataset: {}\n", self.survey.dataset().summary()));
+        let avg_f1 = outcome.report.table.average.f1;
+        Ok(ExperimentReport {
+            id: "t1",
+            title: "Baseline detector accuracy (paper Table I)".into(),
+            body,
+            comparisons: vec![
+                ComparisonRow::new("average mAP50", 0.991, outcome.report.map50),
+                ComparisonRow::new("average F1", 0.963, avg_f1),
+            ],
+        })
+    }
+
+    // ---- F2: augmentation ablation ------------------------------------
+
+    /// Fig. 2: data augmentation does not help (and hurts directional
+    /// classes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn f2_augmentation(&self) -> Result<ExperimentReport> {
+        let (mut train, det) = self.train_configs();
+        // augmented training sets are 4-5x larger; one mining round keeps
+        // the ablation affordable. The un-augmented arm is retrained under
+        // the same budget so the three columns differ only in augmentation.
+        train.hard_negative_rounds = train.hard_negative_rounds.min(1);
+        let base = train_baseline(
+            &self.survey,
+            train.clone(),
+            det.clone(),
+            AugmentationPolicy::None,
+        )?;
+        let base = &base;
+        let rot = train_baseline(
+            &self.survey,
+            train.clone(),
+            det.clone(),
+            AugmentationPolicy::Rotations,
+        )?;
+        let crop = train_baseline(
+            &self.survey,
+            train,
+            det,
+            AugmentationPolicy::RotationsAndCrops,
+        )?;
+        let mut body = String::new();
+        body.push_str(&format!(
+            "{:<18} {:>10} {:>10} {:>10}\n",
+            "Class", "none", "rotations", "rot+crop"
+        ));
+        for ind in Indicator::ALL {
+            body.push_str(&format!(
+                "{:<18} {:>10.3} {:>10.3} {:>10.3}\n",
+                ind.name(),
+                base.report.ap50[ind],
+                rot.report.ap50[ind],
+                crop.report.ap50[ind],
+            ));
+        }
+        body.push_str(&format!(
+            "{:<18} {:>10.3} {:>10.3} {:>10.3}\n",
+            "mAP50", base.report.map50, rot.report.map50, crop.report.map50
+        ));
+        let comparisons = vec![
+            // the paper's claim: augmentation gives no overall improvement
+            ComparisonRow::new(
+                "rotation mAP gain (paper ~0)",
+                0.0,
+                rot.report.map50 - base.report.map50,
+            ),
+            ComparisonRow::new(
+                "rot+crop mAP gain (paper ~-0.003)",
+                -0.003,
+                crop.report.map50 - base.report.map50,
+            ),
+            // ... and that streetlights get worse under rotation
+            ComparisonRow::new(
+                "streetlight AP change under rotation (paper < 0)",
+                -0.02,
+                rot.report.ap50[Indicator::Streetlight] - base.report.ap50[Indicator::Streetlight],
+            ),
+        ];
+        Ok(ExperimentReport {
+            id: "f2",
+            title: "Augmentation ablation (paper Fig. 2)".into(),
+            body,
+            comparisons,
+        })
+    }
+
+    // ---- F3: Gaussian-noise robustness --------------------------------
+
+    /// Fig. 3: detector accuracy vs. SNR, 5..30 dB.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn f3_noise(&self) -> Result<ExperimentReport> {
+        let base = self.baseline()?;
+        let clean = base.report.map50.max(1e-6);
+        let mut body = format!("{:>6} {:>8} {:>10}\n", "SNR", "mAP50", "retention");
+        let mut retention_30 = 0.0;
+        let mut retention_5 = 0.0;
+        let mut series = Vec::new();
+        for snr in [30.0f32, 25.0, 20.0, 15.0, 10.0, 5.0] {
+            let report = evaluate_with_noise(&base.detector, &self.survey, snr)?;
+            let retention = report.map50 / clean;
+            if snr == 30.0 {
+                retention_30 = retention;
+            }
+            if snr == 5.0 {
+                retention_5 = retention;
+            }
+            series.push((f64::from(snr), report.map50));
+            body.push_str(&format!("{snr:>4} dB {:>8.3} {:>10.3}\n", report.map50, retention));
+        }
+        series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite SNR"));
+        body.push('\n');
+        body.push_str(&nbhd_eval::line_chart(&series, 6, 36));
+        Ok(ExperimentReport {
+            id: "f3",
+            title: "Gaussian-noise robustness (paper Fig. 3)".into(),
+            body,
+            comparisons: vec![
+                // the paper holds >90% of clean accuracy at 30 dB ...
+                ComparisonRow::new("retention at 30 dB", 0.95, retention_30),
+                // ... and drops to ~60% of it at 5 dB
+                ComparisonRow::new("retention at 5 dB", 0.62, retention_5),
+            ],
+        })
+    }
+
+    // ---- T2: qualitative example --------------------------------------
+
+    /// Table II: one image, six questions, four models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn t2_example(&self) -> Result<ExperimentReport> {
+        // pick a test image with at least three indicators present
+        let id = self
+            .survey
+            .images()
+            .iter()
+            .find(|&&id| {
+                self.survey
+                    .ground_truth(id)
+                    .map(|s| s.presence().len() >= 3)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .unwrap_or(self.survey.images()[0]);
+        let ctx = self.survey.context(id)?;
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let mut body = format!("image {id} | ground truth: {}\n", ctx.presence);
+        body.push_str(&format!("{:<22}", "question"));
+        let models: Vec<VisionModel> = paper_lineup()
+            .into_iter()
+            .map(|(p, _)| VisionModel::new(p, self.survey.config().seed))
+            .collect();
+        for m in &models {
+            body.push_str(&format!(" {:>16}", m.name()));
+        }
+        body.push('\n');
+        let answers: Vec<Vec<Option<bool>>> = models
+            .iter()
+            .map(|m| {
+                let texts = m.respond(&ctx, &prompt, &SamplerParams::default());
+                nbhd_prompt::parse_response(&texts[0], Language::English, 6).answers
+            })
+            .collect();
+        for (qi, ind) in PROMPT_ORDER.iter().enumerate() {
+            body.push_str(&format!("{:<22}", ind.name()));
+            for ans in &answers {
+                let word = match ans[qi] {
+                    Some(true) => "Yes",
+                    Some(false) => "No",
+                    None => "-",
+                };
+                body.push_str(&format!(" {word:>16}"));
+            }
+            body.push('\n');
+        }
+        Ok(ExperimentReport {
+            id: "t2",
+            title: "Example prompt answers (paper Table II)".into(),
+            body,
+            comparisons: Vec::new(),
+        })
+    }
+
+    // ---- F4: parallel vs sequential prompting --------------------------
+
+    /// Fig. 4: parallel prompting beats sequential for Gemini and ChatGPT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn f4_prompt_modes(&self) -> Result<ExperimentReport> {
+        let ids = self.survey.images().to_vec();
+        let models = vec![
+            (nbhd_vlm::gemini_15_pro(), false),
+            (nbhd_vlm::chatgpt_4o_mini(), false),
+        ];
+        let mut recalls = Vec::new();
+        for mode in [PromptMode::Parallel, PromptMode::Sequential] {
+            let outcome = run_llm_survey(
+                &self.survey,
+                models.clone(),
+                &ids,
+                &LlmSurveyConfig {
+                    mode,
+                    ..LlmSurveyConfig::default()
+                },
+            )?;
+            for name in ["gemini-1.5-pro", "chatgpt-4o-mini"] {
+                recalls.push((mode, name, outcome.tables[name].average.recall));
+            }
+        }
+        let mut body = format!("{:<18} {:>10} {:>10}\n", "model", "parallel", "sequential");
+        for name in ["gemini-1.5-pro", "chatgpt-4o-mini"] {
+            let par = recalls
+                .iter()
+                .find(|(m, n, _)| *m == PromptMode::Parallel && *n == name)
+                .expect("computed")
+                .2;
+            let seq = recalls
+                .iter()
+                .find(|(m, n, _)| *m == PromptMode::Sequential && *n == name)
+                .expect("computed")
+                .2;
+            body.push_str(&format!("{name:<18} {par:>10.3} {seq:>10.3}\n"));
+        }
+        let get = |mode, name| {
+            recalls
+                .iter()
+                .find(|(m, n, _)| *m == mode && *n == name)
+                .expect("computed")
+                .2
+        };
+        Ok(ExperimentReport {
+            id: "f4",
+            title: "Parallel vs sequential prompting recall (paper Fig. 4)".into(),
+            body,
+            comparisons: vec![
+                ComparisonRow::new(
+                    "gemini parallel recall",
+                    0.90,
+                    get(PromptMode::Parallel, "gemini-1.5-pro"),
+                ),
+                ComparisonRow::new(
+                    "gemini sequential recall",
+                    0.80,
+                    get(PromptMode::Sequential, "gemini-1.5-pro"),
+                ),
+                ComparisonRow::new(
+                    "chatgpt parallel recall",
+                    0.91,
+                    get(PromptMode::Parallel, "chatgpt-4o-mini"),
+                ),
+                ComparisonRow::new(
+                    "chatgpt sequential recall",
+                    0.79,
+                    get(PromptMode::Sequential, "chatgpt-4o-mini"),
+                ),
+            ],
+        })
+    }
+
+    // ---- F5: per-model accuracy + majority voting ----------------------
+
+    /// Fig. 5: per-LLM average accuracy and the top-three majority vote.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn f5_voting(&self) -> Result<ExperimentReport> {
+        let outcome = self.default_llm()?;
+        let mut body = format!("{:<18} {:>10}\n", "model", "accuracy");
+        let mut bars: Vec<(&str, f64)> = Vec::new();
+        for (name, table) in &outcome.tables {
+            body.push_str(&format!("{name:<18} {:>10.3}\n", table.average.accuracy));
+            bars.push((name.as_str(), table.average.accuracy));
+        }
+        bars.push(("majority-vote", outcome.voted_table.average.accuracy));
+        body.push('\n');
+        body.push_str(&nbhd_eval::bar_chart(&bars, 40));
+        body.push_str("\nmajority vote (gemini + claude + grok):\n");
+        body.push_str(&render_metrics_table("", &outcome.voted_table));
+        body.push_str(&format!("\nsimulated spend: ${:.2}\n", outcome.total_usd));
+        body.push_str(&outcome.cost_report);
+
+        let paper_acc = [
+            ("chatgpt-4o-mini", 0.84),
+            ("gemini-1.5-pro", 0.88),
+            ("claude-3.7", 0.86),
+            ("grok-2", 0.84),
+        ];
+        let mut comparisons: Vec<ComparisonRow> = paper_acc
+            .iter()
+            .map(|(name, paper)| {
+                ComparisonRow::new(
+                    format!("{name} avg accuracy"),
+                    *paper,
+                    outcome.tables[*name].average.accuracy,
+                )
+            })
+            .collect();
+        let paper_vote = [
+            (Indicator::Streetlight, 0.9286),
+            (Indicator::Sidewalk, 0.8491),
+            (Indicator::SingleLaneRoad, 0.6819),
+            (Indicator::MultilaneRoad, 0.9707),
+            (Indicator::Powerline, 0.9515),
+            (Indicator::Apartment, 0.9515),
+        ];
+        for (ind, paper) in paper_vote {
+            comparisons.push(ComparisonRow::new(
+                format!("vote accuracy {}", ind.abbrev()),
+                paper,
+                outcome.voted_table.per_class[ind].accuracy,
+            ));
+        }
+        comparisons.push(ComparisonRow::new(
+            "vote avg accuracy",
+            0.885,
+            outcome.voted_table.average.accuracy,
+        ));
+        Ok(ExperimentReport {
+            id: "f5",
+            title: "LLM accuracy and majority voting (paper Fig. 5)".into(),
+            body,
+            comparisons,
+        })
+    }
+
+    // ---- T3-T6: per-model confusion tables ------------------------------
+
+    /// Tables III–VI: each model's per-class metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn t3_to_t6_model_tables(&self) -> Result<Vec<ExperimentReport>> {
+        let outcome = self.default_llm()?;
+        // paper averages: (name, id, precision, recall, f1, accuracy)
+        let rows: [(&str, &'static str, f64, f64, f64, f64); 4] = [
+            ("chatgpt-4o-mini", "t3", 0.66, 0.91, 0.73, 0.84),
+            ("gemini-1.5-pro", "t4", 0.77, 0.90, 0.81, 0.88),
+            ("grok-2", "t5", 0.75, 0.90, 0.79, 0.84),
+            ("claude-3.7", "t6", 0.72, 0.90, 0.78, 0.86),
+        ];
+        let mut reports = Vec::new();
+        for (name, id, p, r, f1, acc) in rows {
+            let table = &outcome.tables[name];
+            reports.push(ExperimentReport {
+                id,
+                title: format!("{name} per-class metrics (paper Tables III-VI)"),
+                body: render_metrics_table(name, table),
+                comparisons: vec![
+                    ComparisonRow::new("avg precision", p, table.average.precision),
+                    ComparisonRow::new("avg recall", r, table.average.recall),
+                    ComparisonRow::new("avg F1", f1, table.average.f1),
+                    ComparisonRow::new("avg accuracy", acc, table.average.accuracy),
+                ],
+            });
+        }
+        Ok(reports)
+    }
+
+    // ---- F6: prompt languages ------------------------------------------
+
+    /// Fig. 6: Gemini recall by prompt language.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn f6_languages(&self) -> Result<ExperimentReport> {
+        let ids = self.survey.images().to_vec();
+        let mut body = format!(
+            "{:<10} {:>10} {:>12} {:>12}\n",
+            "language", "avg recall", "SW recall", "SR recall"
+        );
+        let mut bars: Vec<(&'static str, f64)> = Vec::new();
+        let mut comparisons = Vec::new();
+        let paper = [
+            (Language::English, 0.897),
+            (Language::Bengali, 0.86),
+            (Language::Spanish, 0.76),
+            (Language::Chinese, 0.69),
+        ];
+        for (language, paper_recall) in paper {
+            let outcome = run_llm_survey(
+                &self.survey,
+                vec![(nbhd_vlm::gemini_15_pro(), true)],
+                &ids,
+                &LlmSurveyConfig {
+                    language,
+                    ..LlmSurveyConfig::default()
+                },
+            )?;
+            let t = &outcome.tables["gemini-1.5-pro"];
+            body.push_str(&format!(
+                "{:<10} {:>10.3} {:>12.3} {:>12.3}\n",
+                language.to_string(),
+                t.average.recall,
+                t.per_class[Indicator::Sidewalk].recall,
+                t.per_class[Indicator::SingleLaneRoad].recall,
+            ));
+            bars.push((
+                match language {
+                    Language::English => "English",
+                    Language::Bengali => "Bengali",
+                    Language::Spanish => "Spanish",
+                    Language::Chinese => "Chinese",
+                },
+                t.average.recall,
+            ));
+            comparisons.push(ComparisonRow::new(
+                format!("{language} avg recall"),
+                paper_recall,
+                t.average.recall,
+            ));
+            if language == Language::Chinese {
+                comparisons.push(ComparisonRow::new(
+                    "chinese sidewalk recall",
+                    0.01,
+                    t.per_class[Indicator::Sidewalk].recall,
+                ));
+            }
+            if language == Language::Spanish {
+                comparisons.push(ComparisonRow::new(
+                    "spanish single-lane recall",
+                    0.18,
+                    t.per_class[Indicator::SingleLaneRoad].recall,
+                ));
+            }
+        }
+        body.push('\n');
+        body.push_str(&nbhd_eval::bar_chart(&bars, 40));
+        Ok(ExperimentReport {
+            id: "f6",
+            title: "Prompt-language sensitivity, Gemini (paper Fig. 6)".into(),
+            body,
+            comparisons,
+        })
+    }
+
+    // ---- P1/P2: parameter tuning ----------------------------------------
+
+    /// Sec. IV-C4: temperature sweep on Gemini.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn p1_temperature(&self) -> Result<ExperimentReport> {
+        self.param_sweep(
+            "p1",
+            "Temperature sweep, Gemini (paper Sec. IV-C4)",
+            &[
+                (SamplerParams { temperature: 0.1, top_p: 0.95 }, "T=0.1", 0.78),
+                (SamplerParams { temperature: 1.0, top_p: 0.95 }, "T=1.0", 0.81),
+                (SamplerParams { temperature: 1.5, top_p: 0.95 }, "T=1.5", 0.79),
+            ],
+        )
+    }
+
+    /// Sec. IV-C4: top-p sweep on Gemini.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn p2_top_p(&self) -> Result<ExperimentReport> {
+        self.param_sweep(
+            "p2",
+            "Top-p sweep, Gemini (paper Sec. IV-C4)",
+            &[
+                (SamplerParams { temperature: 1.0, top_p: 0.5 }, "p=0.50", 0.79),
+                (SamplerParams { temperature: 1.0, top_p: 0.75 }, "p=0.75", 0.79),
+                (SamplerParams { temperature: 1.0, top_p: 0.95 }, "p=0.95", 0.81),
+            ],
+        )
+    }
+
+    fn param_sweep(
+        &self,
+        id: &'static str,
+        title: &str,
+        settings: &[(SamplerParams, &str, f64)],
+    ) -> Result<ExperimentReport> {
+        let ids = self.survey.images().to_vec();
+        let mut body = format!("{:<8} {:>8}\n", "setting", "avg F1");
+        let mut comparisons = Vec::new();
+        for (params, label, paper_f1) in settings {
+            let outcome = run_llm_survey(
+                &self.survey,
+                vec![(nbhd_vlm::gemini_15_pro(), true)],
+                &ids,
+                &LlmSurveyConfig {
+                    params: *params,
+                    ..LlmSurveyConfig::default()
+                },
+            )?;
+            let f1 = outcome.tables["gemini-1.5-pro"].average.f1;
+            body.push_str(&format!("{label:<8} {f1:>8.3}\n"));
+            comparisons.push(ComparisonRow::new(format!("{label} avg F1"), *paper_f1, f1));
+        }
+        Ok(ExperimentReport {
+            id,
+            title: title.to_owned(),
+            body,
+            comparisons,
+        })
+    }
+
+    // ---- A1: error-correlation ablation ---------------------------------
+
+    /// Ablation (DESIGN.md §5, knob 2): how the cross-model error
+    /// correlation bounds the majority-voting gain. At `alpha = 0` model
+    /// errors are independent and voting helps a lot; at `alpha = 1` the
+    /// voters are clones and voting does nothing. The paper's modest gain
+    /// (88.5% vs 88%) pins the calibrated default in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn a1_correlation(&self) -> Result<ExperimentReport> {
+        use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
+        use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
+        let ids: Vec<nbhd_types::ImageId> = self.survey.images().to_vec();
+        let contexts = self.survey.contexts(&ids)?;
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let params = SamplerParams::default();
+        let mut body = format!("{:>6} {:>12} {:>12} {:>8}
+", "alpha", "mean single", "voted", "gain");
+        let mut gains = Vec::new();
+        for alpha in [0.0f64, 0.3, 0.55, 0.8, 1.0] {
+            // run the three voters directly at this correlation level
+            let models: Vec<VisionModel> = nbhd_vlm::voting_models()
+                .into_iter()
+                .map(|p| {
+                    VisionModel::new(p, self.survey.config().seed).with_shared_fraction(alpha)
+                })
+                .collect();
+            let answers: Vec<Vec<nbhd_types::IndicatorSet>> = models
+                .iter()
+                .map(|m| {
+                    contexts
+                        .iter()
+                        .map(|ctx| {
+                            let texts = m.respond(ctx, &prompt, &params);
+                            nbhd_prompt::parse_response(&texts[0], prompt.language, 6)
+                                .to_presence(&prompt.question_order())
+                        })
+                        .collect()
+                })
+                .collect();
+            let accuracy = |preds: &[nbhd_types::IndicatorSet]| {
+                let mut e = PresenceEvaluator::new();
+                for (p, ctx) in preds.iter().zip(&contexts) {
+                    e.observe(ctx.presence, *p);
+                }
+                e.table().average.accuracy
+            };
+            let singles: Vec<f64> = answers.iter().map(|a| accuracy(a)).collect();
+            let mean_single = singles.iter().sum::<f64>() / singles.len() as f64;
+            let voted: Vec<nbhd_types::IndicatorSet> = (0..contexts.len())
+                .map(|i| {
+                    let votes: Vec<nbhd_types::IndicatorSet> =
+                        answers.iter().map(|a| a[i]).collect();
+                    majority_vote(&votes, TiePolicy::No)
+                })
+                .collect();
+            let voted_acc = accuracy(&voted);
+            let gain = voted_acc - mean_single;
+            gains.push((alpha, gain));
+            body.push_str(&format!(
+                "{alpha:>6.2} {mean_single:>12.3} {voted_acc:>12.3} {gain:>+8.3}
+"
+            ));
+        }
+        let gain_at_zero = gains[0].1;
+        let gain_at_one = gains[gains.len() - 1].1;
+        // suppress the unused import warning for Ensemble/ExecutorConfig
+        let _ = (
+            std::any::type_name::<Ensemble>(),
+            std::any::type_name::<ExecutorConfig>(),
+            std::any::type_name::<FaultProfile>(),
+        );
+        Ok(ExperimentReport {
+            id: "a1",
+            title: "Voting gain vs cross-model error correlation (ablation)".into(),
+            body,
+            comparisons: vec![
+                // independent errors: voting must help substantially
+                ComparisonRow::new("voting gain at alpha=0 (> 0.02)", 0.04, gain_at_zero),
+                // cloned errors: voting gains nothing
+                ComparisonRow::new("voting gain at alpha=1 (~0)", 0.0, gain_at_one),
+            ],
+        })
+    }
+
+    // ---- E1: panorama fusion (the paper's named future work) ------------
+
+    /// Extension: multi-heading fusion, the improvement the paper's
+    /// discussion section proposes for occlusion-driven misses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imagery failures.
+    pub fn e1_panorama(&self) -> Result<ExperimentReport> {
+        let models = vec![(nbhd_vlm::gemini_15_pro(), true)];
+        let any = crate::run_panorama_survey(
+            &self.survey,
+            models.clone(),
+            crate::FusionRule::Any,
+            &LlmSurveyConfig::default(),
+        )?;
+        let two = crate::run_panorama_survey(
+            &self.survey,
+            models,
+            crate::FusionRule::AtLeastTwo,
+            &LlmSurveyConfig::default(),
+        )?;
+        let frame = any.frame_tables["gemini-1.5-pro"].average;
+        let fused_any = any.fused_tables["gemini-1.5-pro"].average;
+        let fused_two = two.fused_tables["gemini-1.5-pro"].average;
+        let mut body = format!(
+            "{:<26} {:>9} {:>9} {:>9}\n",
+            "setup", "precision", "recall", "F1"
+        );
+        for (label, m) in [
+            ("single frame", frame),
+            ("fused: any heading", fused_any),
+            ("fused: >= 2 headings", fused_two),
+        ] {
+            body.push_str(&format!(
+                "{label:<26} {:>9.3} {:>9.3} {:>9.3}\n",
+                m.precision, m.recall, m.f1
+            ));
+        }
+        body.push_str(&format!("locations: {}\n", any.locations));
+        Ok(ExperimentReport {
+            id: "e1",
+            title: "Panorama fusion across headings (paper future work)".into(),
+            body,
+            comparisons: vec![
+                // the paper's hypothesis: fusion recovers occluded misses
+                ComparisonRow::new(
+                    "recall gain from any-heading fusion (> 0)",
+                    0.03,
+                    fused_any.recall - frame.recall,
+                ),
+            ],
+        })
+    }
+
+    // ---- C1: detection vs scene classification --------------------------
+
+    /// Sec. IV-B3 analog: object detection vs whole-image classification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn c1_scene_baseline(&self) -> Result<ExperimentReport> {
+        let base = self.baseline()?;
+        let provider = self.survey.provider();
+        let (train, _) = self.train_configs();
+        let classifier =
+            SceneClassifier::fit(self.survey.dataset(), &provider, train.epochs, self.survey.config().seed)?;
+        // presence-level comparison on the test split
+        let mut det_eval = PresenceEvaluator::new();
+        let mut clf_eval = PresenceEvaluator::new();
+        for &id in &self.survey.dataset().split().test {
+            let truth = self.survey.dataset().labels(id)?.presence();
+            let img = self.survey.image(id)?;
+            det_eval.observe(truth, base.detector.presence(&img));
+            clf_eval.observe(truth, classifier.presence(&img));
+        }
+        let det_table = det_eval.table();
+        let clf_table = clf_eval.table();
+        let mut body = render_metrics_table("object detector (presence level)", &det_table);
+        body.push('\n');
+        body.push_str(&render_metrics_table("whole-image scene classifier", &clf_table));
+        Ok(ExperimentReport {
+            id: "c1",
+            title: "Detection vs scene classification (paper Sec. IV-B3)".into(),
+            body,
+            comparisons: vec![
+                // the paper's detector beats prior scene classifiers by ~8 F1
+                ComparisonRow::new(
+                    "detector F1 advantage over classifier",
+                    0.08,
+                    det_table.average.f1 - clf_table.average.f1,
+                ),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SurveyConfig, SurveyPipeline};
+
+    fn harness() -> PaperExperiments {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(41)).run().unwrap();
+        PaperExperiments::new(survey)
+    }
+
+    #[test]
+    fn llm_experiments_render() {
+        let h = harness();
+        for report in [
+            h.t2_example().unwrap(),
+            h.f5_voting().unwrap(),
+        ] {
+            let text = report.render();
+            assert!(text.contains(report.id), "{text}");
+            assert!(!text.is_empty());
+        }
+        let tables = h.t3_to_t6_model_tables().unwrap();
+        assert_eq!(tables.len(), 4);
+        for t in tables {
+            assert_eq!(t.comparisons.len(), 4);
+        }
+    }
+
+    #[test]
+    fn baseline_is_cached_across_experiments() {
+        let h = harness();
+        let a = h.baseline().unwrap().report.map50;
+        let b = h.baseline().unwrap().report.map50;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f5_has_eleven_comparisons() {
+        let h = harness();
+        let f5 = h.f5_voting().unwrap();
+        assert_eq!(f5.comparisons.len(), 11);
+        assert!(f5.body.contains("majority vote"));
+    }
+}

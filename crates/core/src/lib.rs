@@ -1,0 +1,77 @@
+//! End-to-end reproduction of *"Decoding Neighborhood Environments with
+//! Large Language Models"* (DSN 2025) over fully synthetic substrates.
+//!
+//! The crate wires the workspace together:
+//!
+//! * [`SurveyPipeline`] runs the paper's data collection — county sampling,
+//!   (simulated) street-view imagery, (simulated) human annotation, and the
+//!   70/20/10 split — producing a [`SurveyDataset`].
+//! * [`train_baseline`] / [`evaluate_with_noise`] train and ablate the
+//!   supervised detector baseline (paper Sec. IV-B).
+//! * [`run_llm_survey`] queries the simulated model ensemble with real
+//!   prompt construction, transport, retries, and cost metering, scoring
+//!   against ground truth (paper Sec. IV-C).
+//! * [`PaperExperiments`] regenerates every table and figure with
+//!   paper-vs-measured comparison rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_core::prelude::*;
+//!
+//! let survey = SurveyPipeline::new(SurveyConfig::smoke(7)).run()?;
+//! let ids: Vec<_> = survey.images().iter().take(10).copied().collect();
+//! let outcome = run_llm_survey(&survey, paper_lineup(), &ids, &LlmSurveyConfig::default())?;
+//! println!("voted accuracy: {:.3}", outcome.voted_table.average.accuracy);
+//! # Ok::<(), nbhd_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod config;
+mod experiments;
+mod llm_survey;
+mod panorama;
+mod pipeline;
+
+pub use baseline::{
+    evaluate_on, evaluate_with_noise, survey_split, train_baseline, AugmentationPolicy,
+    AugmentedProvider, BaselineOutcome,
+};
+pub use config::SurveyConfig;
+pub use experiments::{ExperimentReport, PaperExperiments};
+pub use llm_survey::{paper_lineup, run_llm_survey, LlmSurveyConfig, LlmSurveyOutcome};
+pub use panorama::{run_panorama_survey, FusionRule, PanoramaOutcome};
+pub use pipeline::{SurveyDataset, SurveyImageProvider, SurveyPipeline};
+
+/// Convenient re-exports of the most used items across the workspace.
+pub mod prelude {
+    pub use crate::{
+        paper_lineup, run_llm_survey, train_baseline, AugmentationPolicy, LlmSurveyConfig,
+        PaperExperiments, SurveyConfig, SurveyDataset, SurveyPipeline,
+    };
+    pub use nbhd_annotate::{LabeledDataset, SplitRatios};
+    pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
+    pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
+    pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
+    pub use nbhd_geo::{County, SurveySample};
+    pub use nbhd_prompt::{Language, Prompt, PromptMode};
+    pub use nbhd_scene::{render, SceneGenerator};
+    pub use nbhd_types::{Heading, ImageId, Indicator, IndicatorSet, LocationId};
+    pub use nbhd_vlm::{paper_models, ImageContext, SamplerParams, VisionModel};
+}
+
+// re-export the component crates for downstream users of the façade
+pub use nbhd_annotate as annotate;
+pub use nbhd_client as client;
+pub use nbhd_detect as detect;
+pub use nbhd_eval as eval;
+pub use nbhd_geo as geo;
+pub use nbhd_gsv as gsv;
+pub use nbhd_prompt as prompt;
+pub use nbhd_raster as raster;
+pub use nbhd_scene as scene;
+pub use nbhd_types as types;
+pub use nbhd_vlm as vlm;

@@ -1,0 +1,195 @@
+//! Panorama fusion — the paper's named future work.
+//!
+//! The study captures four headings per location but scores each frame
+//! independently, and its discussion section proposes "incorporat[ing]
+//! multiple consecutive images in different directions to improve
+//! performance, especially for indicators that may be partially occluded
+//! in single frames". This module implements that extension: per-location
+//! presence is decided by fusing the four per-heading answers, and
+//! evaluation moves to the location level (an indicator is present at a
+//! location when any of its four views contains it).
+
+use std::collections::BTreeMap;
+
+use nbhd_eval::{MetricsTable, PresenceEvaluator};
+use nbhd_types::{Heading, ImageId, IndicatorSet, LocationId, Result};
+use nbhd_vlm::ModelProfile;
+
+use crate::{run_llm_survey, LlmSurveyConfig, SurveyDataset};
+
+/// How per-heading answers combine into a location-level answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionRule {
+    /// Present at the location if *any* heading reports it. Maximizes
+    /// recall — the right default for occlusion-driven misses.
+    Any,
+    /// Present if at least two headings report it. Trades recall for
+    /// precision on hallucination-prone classes.
+    AtLeastTwo,
+}
+
+impl FusionRule {
+    /// Fuses the per-heading presence sets.
+    pub fn fuse(self, views: &[IndicatorSet]) -> IndicatorSet {
+        match self {
+            FusionRule::Any => views
+                .iter()
+                .fold(IndicatorSet::new(), |acc, v| acc | *v),
+            FusionRule::AtLeastTwo => {
+                let mut out = IndicatorSet::new();
+                for ind in nbhd_types::Indicator::ALL {
+                    let count = views.iter().filter(|v| v.contains(ind)).count();
+                    out.set(ind, count >= 2);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Location-level outcome of a fused survey.
+#[derive(Debug, Clone)]
+pub struct PanoramaOutcome {
+    /// Per-model location-level tables under single-frame scoring
+    /// (a frame is correct against its own frame's ground truth).
+    pub frame_tables: BTreeMap<String, MetricsTable>,
+    /// Per-model location-level tables after fusion.
+    pub fused_tables: BTreeMap<String, MetricsTable>,
+    /// Locations evaluated.
+    pub locations: usize,
+}
+
+/// Runs the panorama-fusion extension over a survey.
+///
+/// For every fully covered location (all four headings present) the models
+/// answer each heading independently; the per-heading answers are fused
+/// with `rule` and scored against the location-level ground truth.
+///
+/// # Errors
+///
+/// Propagates imagery failures.
+pub fn run_panorama_survey(
+    survey: &SurveyDataset,
+    models: Vec<(ModelProfile, bool)>,
+    rule: FusionRule,
+    config: &LlmSurveyConfig,
+) -> Result<PanoramaOutcome> {
+    // group images by location, keeping only complete panoramas
+    let mut by_location: BTreeMap<LocationId, Vec<ImageId>> = BTreeMap::new();
+    for &id in survey.images() {
+        by_location.entry(id.location).or_default().push(id);
+    }
+    by_location.retain(|_, v| v.len() == Heading::ALL.len());
+    let ordered_ids: Vec<ImageId> = by_location.values().flatten().copied().collect();
+
+    let outcome = run_llm_survey(survey, models, &ordered_ids, config)?;
+
+    // location ground truth: union of the four frames' truths
+    let mut frame_truth: Vec<IndicatorSet> = Vec::with_capacity(ordered_ids.len());
+    for &id in &ordered_ids {
+        frame_truth.push(survey.ground_truth(id)?.presence());
+    }
+
+    let mut frame_tables = BTreeMap::new();
+    let mut fused_tables = BTreeMap::new();
+    for (name, answers) in &outcome.ensemble.per_model {
+        let mut frame_eval = PresenceEvaluator::new();
+        let mut fused_eval = PresenceEvaluator::new();
+        for (loc_idx, _) in by_location.iter().enumerate() {
+            let base = loc_idx * Heading::ALL.len();
+            let views = &answers.presence[base..base + Heading::ALL.len()];
+            let truths = &frame_truth[base..base + Heading::ALL.len()];
+            for (view, truth) in views.iter().zip(truths) {
+                frame_eval.observe(*truth, *view);
+            }
+            let location_truth = truths
+                .iter()
+                .fold(IndicatorSet::new(), |acc, t| acc | *t);
+            fused_eval.observe(location_truth, rule.fuse(views));
+        }
+        frame_tables.insert(name.clone(), frame_eval.table());
+        fused_tables.insert(name.clone(), fused_eval.table());
+    }
+    Ok(PanoramaOutcome {
+        frame_tables,
+        fused_tables,
+        locations: by_location.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SurveyConfig, SurveyPipeline};
+    use nbhd_types::Indicator;
+
+    #[test]
+    fn fusion_rules_behave() {
+        let a = IndicatorSet::new().with(Indicator::Sidewalk);
+        let b = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+        let empty = IndicatorSet::new();
+        let views = [a, b, empty, empty];
+        let any = FusionRule::Any.fuse(&views);
+        assert!(any.contains(Indicator::Sidewalk));
+        assert!(any.contains(Indicator::Powerline));
+        let two = FusionRule::AtLeastTwo.fuse(&views);
+        assert!(two.contains(Indicator::Sidewalk));
+        assert!(!two.contains(Indicator::Powerline));
+    }
+
+    #[test]
+    fn panorama_fusion_recovers_occluded_indicators() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(71)).run().unwrap();
+        let models = vec![(nbhd_vlm::gemini_15_pro(), true)];
+        let outcome = run_panorama_survey(
+            &survey,
+            models,
+            FusionRule::Any,
+            &LlmSurveyConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.locations >= 20, "locations {}", outcome.locations);
+        let frame = outcome.frame_tables["gemini-1.5-pro"].average;
+        let fused = outcome.fused_tables["gemini-1.5-pro"].average;
+        // fusing four views must recover misses: location-level recall
+        // meets or beats single-frame recall
+        assert!(
+            fused.recall >= frame.recall - 0.02,
+            "fused recall {:.3} vs frame {:.3}",
+            fused.recall,
+            frame.recall
+        );
+    }
+
+    #[test]
+    fn at_least_two_is_more_precise_than_any() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(72)).run().unwrap();
+        let models = vec![(nbhd_vlm::grok_2(), true)];
+        let any = run_panorama_survey(
+            &survey,
+            models.clone(),
+            FusionRule::Any,
+            &LlmSurveyConfig::default(),
+        )
+        .unwrap();
+        let two = run_panorama_survey(
+            &survey,
+            models,
+            FusionRule::AtLeastTwo,
+            &LlmSurveyConfig::default(),
+        )
+        .unwrap();
+        let p_any = any.fused_tables["grok-2"].average.precision;
+        let p_two = two.fused_tables["grok-2"].average.precision;
+        assert!(
+            p_two >= p_any - 0.02,
+            "AtLeastTwo precision {p_two:.3} should not trail Any {p_any:.3}"
+        );
+        let r_any = any.fused_tables["grok-2"].average.recall;
+        let r_two = two.fused_tables["grok-2"].average.recall;
+        assert!(
+            r_any >= r_two - 0.02,
+            "Any recall {r_any:.3} should not trail AtLeastTwo {r_two:.3}"
+        );
+    }
+}

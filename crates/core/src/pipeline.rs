@@ -1,0 +1,235 @@
+//! The end-to-end survey pipeline: geography → imagery → annotation.
+//!
+//! Mirrors the paper's data-collection methodology: sample locations across
+//! the two study counties, fetch four headings per location from the
+//! (simulated) street-view service, have the (simulated) student annotator
+//! label every image, verify, and split 70/20/10.
+
+use std::sync::Arc;
+
+use nbhd_annotate::{HumanLabeler, LabeledDataset};
+use nbhd_geo::{County, SurveySample};
+use nbhd_gsv::{ImageRequest, StreetViewService, UsageMeter};
+use nbhd_raster::RasterImage;
+use nbhd_scene::SceneSpec;
+use nbhd_types::rng::child_seed;
+use nbhd_types::{Heading, ImageId, ImageLabels, Result};
+use nbhd_vlm::ImageContext;
+
+use crate::SurveyConfig;
+
+/// Builds a [`SurveyDataset`] from a [`SurveyConfig`].
+#[derive(Debug, Clone)]
+pub struct SurveyPipeline {
+    config: SurveyConfig,
+}
+
+impl SurveyPipeline {
+    /// Creates the pipeline.
+    pub fn new(config: SurveyConfig) -> SurveyPipeline {
+        SurveyPipeline { config }
+    }
+
+    /// Runs the full data-collection pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors, geography-sampling failures, or
+    /// imagery-service failures.
+    pub fn run(&self) -> Result<SurveyDataset> {
+        self.config.validate()?;
+        let counties = County::study_pair();
+        let sample = SurveySample::draw(
+            &counties,
+            self.config.locations,
+            self.config.network_scale,
+            self.config.seed,
+        )?;
+        let service = Arc::new(StreetViewService::new(
+            self.config.seed,
+            sample.points().to_vec(),
+        ));
+        let labeler = HumanLabeler::new(
+            self.config.labeler_profile(),
+            child_seed(self.config.seed, "labeler"),
+        );
+
+        let mut annotations: Vec<ImageLabels> = Vec::new();
+        for location in service.covered_locations() {
+            for heading in Heading::ALL {
+                let id = ImageId::new(location, heading);
+                let spec = service.ground_truth(id)?;
+                let (_, truth_objects) = nbhd_scene::render(&spec, self.config.image_size);
+                let truth = ImageLabels::with_objects(id, truth_objects);
+                annotations.push(labeler.annotate(&truth, self.config.image_size));
+            }
+        }
+        let dataset = LabeledDataset::build(
+            annotations,
+            self.config.image_size,
+            self.config.split,
+            child_seed(self.config.seed, "split"),
+        )?;
+        Ok(SurveyDataset {
+            config: self.config.clone(),
+            service,
+            dataset,
+        })
+    }
+}
+
+/// A completed survey: the imagery service, the human-labeled dataset, and
+/// accessors for images, ground truth, and VLM contexts.
+#[derive(Debug, Clone)]
+pub struct SurveyDataset {
+    config: SurveyConfig,
+    service: Arc<StreetViewService>,
+    dataset: LabeledDataset,
+}
+
+impl SurveyDataset {
+    /// The survey configuration.
+    pub fn config(&self) -> &SurveyConfig {
+        &self.config
+    }
+
+    /// The human-labeled dataset (annotations + split).
+    pub fn dataset(&self) -> &LabeledDataset {
+        &self.dataset
+    }
+
+    /// All captured image ids.
+    pub fn images(&self) -> &[ImageId] {
+        self.dataset.images()
+    }
+
+    /// Fetches one image's pixels through the service (cached, billed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates service failures.
+    pub fn image(&self, id: ImageId) -> Result<RasterImage> {
+        let request = ImageRequest::builder(id.location, id.heading)
+            .size(self.config.image_size)
+            .build()?;
+        Ok(self.service.fetch(&request)?.image)
+    }
+
+    /// The scene ground truth for an image (harness-only oracle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates service failures.
+    pub fn ground_truth(&self, id: ImageId) -> Result<SceneSpec> {
+        self.service.ground_truth(id)
+    }
+
+    /// The VLM context for an image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service failures.
+    pub fn context(&self, id: ImageId) -> Result<ImageContext> {
+        Ok(ImageContext::from_scene(
+            &self.ground_truth(id)?,
+            self.config.seed,
+        ))
+    }
+
+    /// VLM contexts for a set of images.
+    ///
+    /// # Errors
+    ///
+    /// Propagates service failures.
+    pub fn contexts(&self, ids: &[ImageId]) -> Result<Vec<ImageContext>> {
+        ids.iter().map(|&id| self.context(id)).collect()
+    }
+
+    /// Imagery-service usage so far (requests, fees, cache hits).
+    pub fn imagery_usage(&self) -> UsageMeter {
+        self.service.usage()
+    }
+
+    /// An [`nbhd_detect::ImageProvider`] view over this survey.
+    pub fn provider(&self) -> SurveyImageProvider {
+        SurveyImageProvider {
+            service: Arc::clone(&self.service),
+            image_size: self.config.image_size,
+        }
+    }
+}
+
+/// Image provider backed by the survey's street-view service.
+#[derive(Debug, Clone)]
+pub struct SurveyImageProvider {
+    service: Arc<StreetViewService>,
+    image_size: u32,
+}
+
+impl nbhd_detect::ImageProvider for SurveyImageProvider {
+    fn image(&self, id: ImageId) -> Result<RasterImage> {
+        let request = ImageRequest::builder(id.location, id.heading)
+            .size(self.image_size)
+            .build()?;
+        Ok(self.service.fetch(&request)?.image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_detect::ImageProvider;
+
+    #[test]
+    fn smoke_pipeline_builds_a_dataset() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(11)).run().unwrap();
+        // 24 locations x 4 headings, minus ~1% coverage gaps
+        let n = survey.images().len();
+        assert!(n >= 88 && n <= 96, "images {n}");
+        assert!(survey.dataset().total_objects() > 30);
+        // labels derive from scene ground truth (modulo labeler noise)
+        let id = survey.images()[0];
+        let truth = survey.ground_truth(id).unwrap().presence();
+        let labeled = survey.dataset().labels(id).unwrap().presence();
+        assert!(truth.hamming(labeled) <= 2, "truth {truth} labeled {labeled}");
+    }
+
+    #[test]
+    fn provider_and_image_agree() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(12)).run().unwrap();
+        let id = survey.images()[3];
+        let a = survey.image(id).unwrap();
+        let b = survey.provider().image(id).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.size(), (128, 128));
+    }
+
+    #[test]
+    fn imagery_usage_accumulates_fees() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(13)).run().unwrap();
+        assert_eq!(survey.imagery_usage().billed_images, 0, "labels need no pixels");
+        let _ = survey.image(survey.images()[0]).unwrap();
+        let _ = survey.image(survey.images()[0]).unwrap();
+        let usage = survey.imagery_usage();
+        assert_eq!(usage.billed_images, 1);
+        assert_eq!(usage.cache_hits, 1);
+        assert!(usage.fees_usd > 0.0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = SurveyPipeline::new(SurveyConfig::smoke(14)).run().unwrap();
+        let b = SurveyPipeline::new(SurveyConfig::smoke(14)).run().unwrap();
+        assert_eq!(a.dataset(), b.dataset());
+    }
+
+    #[test]
+    fn contexts_carry_ground_truth_presence() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(15)).run().unwrap();
+        let ids: Vec<_> = survey.images().iter().take(5).copied().collect();
+        let ctxs = survey.contexts(&ids).unwrap();
+        for (ctx, id) in ctxs.iter().zip(&ids) {
+            assert_eq!(ctx.presence, survey.ground_truth(*id).unwrap().presence());
+        }
+    }
+}

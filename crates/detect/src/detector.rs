@@ -1,0 +1,311 @@
+//! The trained detector: per-class linear scorers over channel features.
+
+use nbhd_raster::RasterImage;
+use nbhd_types::rng::sigmoid;
+use nbhd_types::{BBox, Error, Indicator, IndicatorMap, IndicatorSet, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::{nms, AnchorSet, Detection, FeatureMap, IntegralChannels, FEATURE_DIM};
+
+/// A per-class mixture of linear scorers, one per anchor template, so that
+/// visually distinct appearance modes (e.g. an along-road sidewalk wedge vs.
+/// an across-road sidewalk band) each get their own component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassModel {
+    /// One scorer per anchor template.
+    pub components: Vec<ClassScorer>,
+}
+
+impl ClassModel {
+    /// A zeroed model with one component per template.
+    pub fn zeros(n_templates: usize) -> ClassModel {
+        ClassModel {
+            components: (0..n_templates.max(1)).map(|_| ClassScorer::zeros()).collect(),
+        }
+    }
+
+    /// Scores features through the given component (clamped to range).
+    pub fn score(&self, template: usize, features: &[f32]) -> f32 {
+        self.components[template.min(self.components.len() - 1)].score(features)
+    }
+}
+
+/// Detector hyperparameters shared between training and inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Feature-map cell size in pixels.
+    pub shrink: u32,
+    /// Score threshold for emitting a detection.
+    pub score_threshold: f32,
+    /// IoU threshold for NMS.
+    pub nms_iou: f32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            shrink: 8,
+            score_threshold: 0.5,
+            nms_iou: 0.45,
+        }
+    }
+}
+
+/// A linear logistic scorer for one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassScorer {
+    /// Feature weights (`FEATURE_DIM` long).
+    pub weights: Vec<f32>,
+    /// Bias term.
+    pub bias: f32,
+}
+
+impl ClassScorer {
+    /// A zero-initialized scorer.
+    pub fn zeros() -> Self {
+        ClassScorer {
+            weights: vec![0.0; FEATURE_DIM],
+            bias: 0.0,
+        }
+    }
+
+    /// Raw margin for a feature vector.
+    pub fn margin(&self, features: &[f32]) -> f32 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        let mut m = self.bias;
+        for (w, f) in self.weights.iter().zip(features) {
+            m += w * f;
+        }
+        m
+    }
+
+    /// Probability (sigmoid of the margin).
+    pub fn score(&self, features: &[f32]) -> f32 {
+        sigmoid(self.margin(features) as f64) as f32
+    }
+
+    /// One SGD step on a logistic-loss example.
+    pub fn sgd_step(&mut self, features: &[f32], label: f32, lr: f32, l2: f32) {
+        let p = self.score(features);
+        let g = p - label;
+        for (w, f) in self.weights.iter_mut().zip(features) {
+            *w -= lr * (g * f + l2 * *w);
+        }
+        self.bias -= lr * g;
+    }
+}
+
+/// The full object detector: one scorer and one anchor set per class.
+///
+/// Constructed by [`crate::Trainer`]; see the crate docs for the end-to-end
+/// flow. Serializable so trained models can be saved and reloaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detector {
+    /// Shared configuration.
+    pub config: DetectorConfig,
+    /// Per-class mixture models (one component per anchor template).
+    pub scorers: IndicatorMap<ClassModel>,
+    /// Per-class anchor sets.
+    pub anchors: IndicatorMap<AnchorSet>,
+    /// Per-class operating thresholds (initialized from
+    /// [`DetectorConfig::score_threshold`], recalibrated on the validation
+    /// split by the trainer).
+    pub thresholds: IndicatorMap<f32>,
+}
+
+impl Detector {
+    /// A fresh untrained detector (all scores 0.5).
+    pub fn untrained(config: DetectorConfig) -> Detector {
+        let t = config.score_threshold;
+        let anchors = IndicatorMap::from_fn(AnchorSet::for_class);
+        Detector {
+            config,
+            scorers: IndicatorMap::from_fn(|i| ClassModel::zeros(anchors[i].templates.len())),
+            anchors,
+            thresholds: IndicatorMap::fill(t),
+        }
+    }
+
+    /// Runs detection on an image: sliding-window scoring + per-class NMS.
+    pub fn detect(&self, img: &RasterImage) -> Vec<Detection> {
+        let integral = self.integral(img);
+        self.detect_on(&integral, img.width())
+    }
+
+    /// Precomputes the integral channels for an image (exposed so callers
+    /// evaluating many thresholds can reuse the expensive part).
+    pub fn integral(&self, img: &RasterImage) -> IntegralChannels {
+        IntegralChannels::new(&FeatureMap::compute(img, self.config.shrink))
+    }
+
+    /// Raw sliding-window scan: every window of every class scoring at
+    /// least `min_score`, after per-class NMS. Evaluation uses a low
+    /// `min_score` to trace the full precision-recall curve.
+    pub fn scan(
+        &self,
+        integral: &IntegralChannels,
+        image_size: u32,
+        min_score: f32,
+    ) -> Vec<Detection> {
+        let mut raw = Vec::new();
+        let mut buf = vec![0f32; FEATURE_DIM];
+        for ind in Indicator::ALL {
+            let model = &self.scorers[ind];
+            for window in self.anchors[ind].windows(image_size, self.config.shrink) {
+                integral.window_feature_into(window.bbox, &mut buf);
+                let score = model.score(window.template, &buf);
+                if score >= min_score {
+                    raw.push(Detection {
+                        indicator: ind,
+                        bbox: window.bbox,
+                        score,
+                    });
+                }
+            }
+        }
+        nms(raw, self.config.nms_iou)
+    }
+
+    /// Detection over precomputed integral channels at the per-class
+    /// operating thresholds.
+    pub fn detect_on(&self, integral: &IntegralChannels, image_size: u32) -> Vec<Detection> {
+        let min = self
+            .thresholds
+            .values()
+            .fold(f32::INFINITY, |a, &b| a.min(b));
+        self.scan(integral, image_size, min)
+            .into_iter()
+            .filter(|d| d.score >= self.thresholds[d.indicator])
+            .collect()
+    }
+
+    /// Best score per class over the whole scan (useful for presence
+    /// classification and threshold calibration), regardless of threshold.
+    pub fn class_scores(&self, integral: &IntegralChannels, image_size: u32) -> IndicatorMap<f32> {
+        let mut best = IndicatorMap::fill(0f32);
+        let mut buf = vec![0f32; FEATURE_DIM];
+        for ind in Indicator::ALL {
+            let model = &self.scorers[ind];
+            for window in self.anchors[ind].windows(image_size, self.config.shrink) {
+                integral.window_feature_into(window.bbox, &mut buf);
+                best[ind] = best[ind].max(model.score(window.template, &buf));
+            }
+        }
+        best
+    }
+
+    /// Image-level presence: classes whose best score clears their
+    /// operating threshold.
+    pub fn presence(&self, img: &RasterImage) -> IndicatorSet {
+        let integral = self.integral(img);
+        let scores = self.class_scores(&integral, img.width());
+        Indicator::ALL
+            .into_iter()
+            .filter(|&i| scores[i] >= self.thresholds[i])
+            .collect()
+    }
+
+    /// Scores one specific window for one class, routed to the component
+    /// whose template shape best matches the window.
+    pub fn score_window(&self, integral: &IntegralChannels, ind: Indicator, window: BBox) -> f32 {
+        let mut buf = vec![0f32; FEATURE_DIM];
+        integral.window_feature_into(window, &mut buf);
+        let template = self.anchors[ind].nearest_template(window, (integral.width() as u32) * integral.shrink());
+        self.scorers[ind].score(template, &buf)
+    }
+
+    /// Serializes the detector to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::parse(e.to_string()))
+    }
+
+    /// Loads a detector from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Detector> {
+        serde_json::from_str(json).map_err(|e| Error::parse(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_raster::Rgb;
+
+    #[test]
+    fn scorer_sgd_learns_a_separable_problem() {
+        let mut scorer = ClassScorer::zeros();
+        // feature 0 high => positive
+        let pos = {
+            let mut f = vec![0.0; FEATURE_DIM];
+            f[0] = 1.0;
+            f
+        };
+        let neg = {
+            let mut f = vec![0.0; FEATURE_DIM];
+            f[1] = 1.0;
+            f
+        };
+        for _ in 0..200 {
+            scorer.sgd_step(&pos, 1.0, 0.5, 1e-4);
+            scorer.sgd_step(&neg, 0.0, 0.5, 1e-4);
+        }
+        assert!(scorer.score(&pos) > 0.9);
+        assert!(scorer.score(&neg) < 0.1);
+    }
+
+    #[test]
+    fn untrained_detector_scores_half_everywhere() {
+        let det = Detector::untrained(DetectorConfig::default());
+        let img = RasterImage::filled(64, 64, Rgb::gray(100));
+        let integral = det.integral(&img);
+        let scores = det.class_scores(&integral, 64);
+        for (_, s) in scores.iter() {
+            assert!((s - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detector_json_round_trip() {
+        let mut det = Detector::untrained(DetectorConfig::default());
+        det.scorers[Indicator::Sidewalk].components[0].bias = 1.5;
+        det.scorers[Indicator::Sidewalk].components[0].weights[3] = -0.25;
+        let json = det.to_json().unwrap();
+        let back = Detector::from_json(&json).unwrap();
+        assert_eq!(det, back);
+        assert!(Detector::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn threshold_gates_detections() {
+        let mut det = Detector::untrained(DetectorConfig {
+            score_threshold: 0.6,
+            ..DetectorConfig::default()
+        });
+        let img = RasterImage::filled(64, 64, Rgb::gray(100));
+        assert!(det.detect(&img).is_empty(), "0.5 scores below 0.6 threshold");
+        det.thresholds = nbhd_types::IndicatorMap::fill(0.4);
+        assert!(!det.detect(&img).is_empty(), "0.5 scores above 0.4 threshold");
+    }
+
+    #[test]
+    fn presence_follows_biases() {
+        let mut det = Detector::untrained(DetectorConfig::default());
+        for c in &mut det.scorers[Indicator::Powerline].components {
+            c.bias = 3.0;
+        }
+        for c in &mut det.scorers[Indicator::Sidewalk].components {
+            c.bias = -3.0;
+        }
+        let img = RasterImage::filled(64, 64, Rgb::gray(100));
+        let p = det.presence(&img);
+        assert!(p.contains(Indicator::Powerline));
+        assert!(!p.contains(Indicator::Sidewalk));
+    }
+}

@@ -1,0 +1,314 @@
+//! Gradient-orientation channel features over integral images.
+//!
+//! The detector's feature representation follows the aggregated-channel-
+//! features family: a grayscale channel, gradient magnitude, and four
+//! orientation-binned gradient channels, mean-pooled into square cells.
+//! Integral images over the cell grid make arbitrary-window pooling O(1),
+//! which is what lets a sliding-window scan over thousands of anchors per
+//! image stay fast without a GPU.
+
+use nbhd_raster::RasterImage;
+
+/// Number of feature channels (gray, |grad|, 4 orientation bins, R, G, B).
+pub const NUM_CHANNELS: usize = 9;
+
+/// Pooling grid per window side: each window is divided into a
+/// `GRID x GRID` array of pooled subcells.
+pub const GRID: usize = 6;
+
+/// Dimensionality of one window's feature vector.
+pub const FEATURE_DIM: usize = NUM_CHANNELS * GRID * GRID;
+
+/// Cell-aggregated feature channels for one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    /// Cells per row.
+    pub width: usize,
+    /// Cells per column.
+    pub height: usize,
+    /// Pixels per cell side.
+    pub shrink: u32,
+    /// Channel-major data: `data[c][y * width + x]`.
+    channels: Vec<Vec<f32>>,
+}
+
+impl FeatureMap {
+    /// Computes the channel features of an image with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shrink` is zero or larger than the image.
+    pub fn compute(img: &RasterImage, shrink: u32) -> FeatureMap {
+        assert!(shrink > 0, "shrink must be positive");
+        let (w, h) = img.size();
+        assert!(shrink <= w && shrink <= h, "shrink larger than image");
+        let gray = img.to_gray();
+        let pixels = img.pixels();
+        let wi = w as usize;
+        let hi = h as usize;
+
+        // per-pixel gradients (central differences, clamped borders)
+        let at = |x: usize, y: usize| gray[y * wi + x];
+        let cw = (w / shrink) as usize;
+        let ch = (h / shrink) as usize;
+        let mut channels = vec![vec![0f32; cw * ch]; NUM_CHANNELS];
+        let mut counts = vec![0f32; cw * ch];
+
+        for y in 0..hi {
+            let cy = (y / shrink as usize).min(ch - 1);
+            for x in 0..wi {
+                let cx = (x / shrink as usize).min(cw - 1);
+                let idx = cy * cw + cx;
+                let gx = at((x + 1).min(wi - 1), y) - at(x.saturating_sub(1), y);
+                let gy = at(x, (y + 1).min(hi - 1)) - at(x, y.saturating_sub(1));
+                let mag = (gx * gx + gy * gy).sqrt();
+                // orientation folded into [0, pi)
+                let theta = gy.atan2(gx).rem_euclid(std::f32::consts::PI);
+                let bin = ((theta / std::f32::consts::PI * 4.0) as usize).min(3);
+                channels[0][idx] += at(x, y) / 255.0;
+                channels[1][idx] += mag / 255.0;
+                channels[2 + bin][idx] += mag / 255.0;
+                let p = pixels[y * wi + x];
+                channels[6][idx] += p.r as f32 / 255.0;
+                channels[7][idx] += p.g as f32 / 255.0;
+                channels[8][idx] += p.b as f32 / 255.0;
+                counts[idx] += 1.0;
+            }
+        }
+        for c in &mut channels {
+            for (v, n) in c.iter_mut().zip(&counts) {
+                if *n > 0.0 {
+                    *v /= *n;
+                }
+            }
+        }
+        FeatureMap {
+            width: cw,
+            height: ch,
+            shrink,
+            channels,
+        }
+    }
+
+    /// One channel's cell plane.
+    pub fn channel(&self, c: usize) -> &[f32] {
+        &self.channels[c]
+    }
+}
+
+/// Integral images over a [`FeatureMap`], enabling O(1) box sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralChannels {
+    width: usize,
+    height: usize,
+    shrink: u32,
+    /// `(width+1) x (height+1)` summed-area tables, channel-major.
+    tables: Vec<Vec<f64>>,
+}
+
+impl IntegralChannels {
+    /// Builds summed-area tables from a feature map.
+    pub fn new(map: &FeatureMap) -> IntegralChannels {
+        let (w, h) = (map.width, map.height);
+        let mut tables = Vec::with_capacity(NUM_CHANNELS);
+        for c in 0..NUM_CHANNELS {
+            let plane = map.channel(c);
+            let mut t = vec![0f64; (w + 1) * (h + 1)];
+            for y in 0..h {
+                let mut row = 0f64;
+                for x in 0..w {
+                    row += plane[y * w + x] as f64;
+                    t[(y + 1) * (w + 1) + (x + 1)] = t[y * (w + 1) + (x + 1)] + row;
+                }
+            }
+            tables.push(t);
+        }
+        IntegralChannels {
+            width: w,
+            height: h,
+            shrink: map.shrink,
+            tables,
+        }
+    }
+
+    /// Cells per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Cells per column.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixels per cell side.
+    pub fn shrink(&self) -> u32 {
+        self.shrink
+    }
+
+    /// Mean of channel `c` over the half-open cell rectangle
+    /// `[x0, x1) x [y0, y1)` (cell coordinates, clamped to the grid).
+    pub fn mean(&self, c: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> f32 {
+        let x0 = x0.min(self.width);
+        let x1 = x1.clamp(x0, self.width);
+        let y0 = y0.min(self.height);
+        let y1 = y1.clamp(y0, self.height);
+        let area = ((x1 - x0) * (y1 - y0)) as f64;
+        if area == 0.0 {
+            return 0.0;
+        }
+        let t = &self.tables[c];
+        let w1 = self.width + 1;
+        let sum = t[y1 * w1 + x1] - t[y0 * w1 + x1] - t[y1 * w1 + x0] + t[y0 * w1 + x0];
+        (sum / area) as f32
+    }
+
+    /// Extracts the pooled `GRID x GRID x NUM_CHANNELS` feature vector for a
+    /// pixel-space window, writing into `out` (must be `FEATURE_DIM` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != FEATURE_DIM`.
+    pub fn window_feature_into(&self, window: nbhd_types::BBox, out: &mut [f32]) {
+        assert_eq!(out.len(), FEATURE_DIM, "output buffer must be FEATURE_DIM");
+        let s = self.shrink as f32;
+        let cx0 = (window.x / s).max(0.0);
+        let cy0 = (window.y / s).max(0.0);
+        let cw = (window.w / s).max(1.0);
+        let chh = (window.h / s).max(1.0);
+        // lighting normalization: the window's mean luminance cancels the
+        // scene's global brightness factor, so features describe *pattern*
+        let norm = self
+            .mean(
+                0,
+                cx0 as usize,
+                cy0 as usize,
+                ((cx0 + cw).ceil() as usize).max(cx0 as usize + 1),
+                ((cy0 + chh).ceil() as usize).max(cy0 as usize + 1),
+            )
+            .max(0.05);
+        let mut k = 0usize;
+        for c in 0..NUM_CHANNELS {
+            for gy in 0..GRID {
+                for gx in 0..GRID {
+                    let x0 = cx0 + cw * gx as f32 / GRID as f32;
+                    let x1 = cx0 + cw * (gx + 1) as f32 / GRID as f32;
+                    let y0 = cy0 + chh * gy as f32 / GRID as f32;
+                    let y1 = cy0 + chh * (gy + 1) as f32 / GRID as f32;
+                    out[k] = self.mean(
+                        c,
+                        x0 as usize,
+                        y0 as usize,
+                        (x1.ceil() as usize).max(x0 as usize + 1),
+                        (y1.ceil() as usize).max(y0 as usize + 1),
+                    ) / norm;
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Allocating variant of [`IntegralChannels::window_feature_into`].
+    pub fn window_feature(&self, window: nbhd_types::BBox) -> Vec<f32> {
+        let mut out = vec![0f32; FEATURE_DIM];
+        self.window_feature_into(window, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_raster::{draw, Rgb};
+    use nbhd_types::BBox;
+
+    fn test_image() -> RasterImage {
+        let mut img = RasterImage::filled(64, 64, Rgb::gray(100));
+        // a bright vertical bar: strong horizontal gradient (bin for
+        // vertical edges), bright gray channel on the left half
+        draw::fill_rect(&mut img, 10, 5, 6, 50, Rgb::WHITE);
+        img
+    }
+
+    #[test]
+    fn feature_map_dimensions() {
+        let map = FeatureMap::compute(&test_image(), 4);
+        assert_eq!(map.width, 16);
+        assert_eq!(map.height, 16);
+        assert_eq!(map.channel(0).len(), 256);
+    }
+
+    #[test]
+    fn gray_channel_tracks_luminance() {
+        let map = FeatureMap::compute(&test_image(), 4);
+        // cell containing the white bar is brighter than a background cell
+        let bar_cell = map.channel(0)[4 * 16 + 3]; // around (12, 16)
+        let bg_cell = map.channel(0)[4 * 16 + 12];
+        assert!(bar_cell > bg_cell, "bar {bar_cell} bg {bg_cell}");
+    }
+
+    #[test]
+    fn integral_mean_matches_direct_mean() {
+        let map = FeatureMap::compute(&test_image(), 4);
+        let integral = IntegralChannels::new(&map);
+        for c in 0..NUM_CHANNELS {
+            let direct: f32 = {
+                let plane = map.channel(c);
+                let mut sum = 0.0;
+                for y in 2..10 {
+                    for x in 1..7 {
+                        sum += plane[y * 16 + x];
+                    }
+                }
+                sum / (8.0 * 6.0)
+            };
+            let fast = integral.mean(c, 1, 2, 7, 10);
+            assert!((direct - fast).abs() < 1e-4, "channel {c}: {direct} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn window_features_distinguish_content() {
+        let map = FeatureMap::compute(&test_image(), 4);
+        let integral = IntegralChannels::new(&map);
+        let on_bar = integral.window_feature(BBox::new(6.0, 4.0, 16.0, 52.0));
+        let off_bar = integral.window_feature(BBox::new(40.0, 4.0, 16.0, 52.0));
+        let dist: f32 = on_bar
+            .iter()
+            .zip(&off_bar)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 0.1, "features should differ, distance {dist}");
+    }
+
+    #[test]
+    fn empty_or_outside_windows_are_zero() {
+        let map = FeatureMap::compute(&test_image(), 4);
+        let integral = IntegralChannels::new(&map);
+        assert_eq!(integral.mean(0, 20, 20, 20, 25), 0.0);
+        let f = integral.window_feature(BBox::new(1000.0, 1000.0, 10.0, 10.0));
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vertical_bar_excites_vertical_edge_bin() {
+        // vertical edges have horizontal gradients: theta ~ 0 -> bin 0
+        let map = FeatureMap::compute(&test_image(), 4);
+        let integral = IntegralChannels::new(&map);
+        let around_bar = |c: usize| integral.mean(c, 1, 1, 6, 14);
+        assert!(
+            around_bar(2) > around_bar(4),
+            "bin0 {} should beat bin2 {}",
+            around_bar(2),
+            around_bar(4)
+        );
+    }
+
+    #[test]
+    fn flat_image_has_zero_gradients() {
+        let img = RasterImage::filled(32, 32, Rgb::gray(77));
+        let map = FeatureMap::compute(&img, 4);
+        assert!(map.channel(1).iter().all(|&v| v.abs() < 1e-6));
+    }
+}

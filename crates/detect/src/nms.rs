@@ -1,0 +1,116 @@
+//! Greedy non-maximum suppression.
+
+use nbhd_types::{BBox, Indicator};
+use serde::{Deserialize, Serialize};
+
+/// One detection: a class, a box, and a confidence score in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted class.
+    pub indicator: Indicator,
+    /// Predicted box in pixels.
+    pub bbox: BBox,
+    /// Confidence (sigmoid of the scorer margin).
+    pub score: f32,
+}
+
+/// Greedy per-class NMS: keeps the highest-scoring detection, drops others
+/// overlapping it above `iou_threshold`, repeats.
+///
+/// Input order does not matter; the output is sorted by descending score.
+///
+/// ```
+/// use nbhd_detect::{nms, Detection};
+/// use nbhd_types::{BBox, Indicator};
+///
+/// let dets = vec![
+///     Detection { indicator: Indicator::Apartment, bbox: BBox::new(0.0, 0.0, 10.0, 10.0), score: 0.9 },
+///     Detection { indicator: Indicator::Apartment, bbox: BBox::new(1.0, 1.0, 10.0, 10.0), score: 0.8 },
+///     Detection { indicator: Indicator::Apartment, bbox: BBox::new(50.0, 50.0, 10.0, 10.0), score: 0.7 },
+/// ];
+/// let kept = nms(dets, 0.5);
+/// assert_eq!(kept.len(), 2);
+/// assert_eq!(kept[0].score, 0.9);
+/// ```
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let mut kept: Vec<Detection> = Vec::with_capacity(detections.len());
+    'outer: for det in detections {
+        for k in &kept {
+            if k.indicator == det.indicator && k.bbox.iou(det.bbox) > iou_threshold {
+                continue 'outer;
+            }
+        }
+        kept.push(det);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(ind: Indicator, x: f32, score: f32) -> Detection {
+        Detection {
+            indicator: ind,
+            bbox: BBox::new(x, 0.0, 10.0, 10.0),
+            score,
+        }
+    }
+
+    #[test]
+    fn suppresses_overlapping_same_class() {
+        let kept = nms(
+            vec![
+                det(Indicator::Sidewalk, 0.0, 0.5),
+                det(Indicator::Sidewalk, 2.0, 0.9),
+            ],
+            0.4,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.9, "keeps the higher score");
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress() {
+        let kept = nms(
+            vec![
+                det(Indicator::Sidewalk, 0.0, 0.5),
+                det(Indicator::Powerline, 0.0, 0.9),
+            ],
+            0.4,
+        );
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn distant_boxes_survive() {
+        let kept = nms(
+            vec![
+                det(Indicator::Sidewalk, 0.0, 0.5),
+                det(Indicator::Sidewalk, 100.0, 0.4),
+            ],
+            0.4,
+        );
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn output_is_score_sorted() {
+        let kept = nms(
+            vec![
+                det(Indicator::Sidewalk, 0.0, 0.3),
+                det(Indicator::Powerline, 50.0, 0.9),
+                det(Indicator::Apartment, 100.0, 0.6),
+            ],
+            0.5,
+        );
+        let scores: Vec<f32> = kept.iter().map(|d| d.score).collect();
+        assert_eq!(scores, vec![0.9, 0.6, 0.3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+}

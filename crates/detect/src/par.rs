@@ -1,0 +1,80 @@
+//! A minimal deterministic parallel map over a slice.
+//!
+//! Training and evaluation are embarrassingly parallel per image; this
+//! helper fans work across threads while keeping outputs in input order,
+//! so results are identical to the sequential computation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `items` on up to `available_parallelism` threads,
+/// preserving order. Falls back to sequential for tiny inputs.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, value)) = rx.recv() {
+            slots[i] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index written"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 3 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, items[i] * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_and_empty_inputs() {
+        assert!(par_map::<u32, u32, _>(&[], |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x: &u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_for_stateful_work() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabc).collect();
+        let par = par_map(&items, |&x| x.wrapping_mul(x) ^ 0xabc);
+        assert_eq!(seq, par);
+    }
+}

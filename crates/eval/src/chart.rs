@@ -1,0 +1,142 @@
+//! Minimal ASCII charts for rendering the paper's figures in terminal
+//! reports: horizontal bars for categorical comparisons (Figs. 2, 4, 5, 6)
+//! and a line for the SNR sweep (Fig. 3).
+
+/// Renders labeled values as a horizontal bar chart.
+///
+/// Values are scaled so the largest bar spans `width` cells; every bar gets
+/// at least one cell when its value is positive.
+///
+/// ```
+/// use nbhd_eval::bar_chart;
+/// let chart = bar_chart(&[("English", 0.897), ("Chinese", 0.69)], 20);
+/// assert!(chart.contains("English"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let width = width.max(1);
+    let max = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let cells = ((value.abs() / max) * width as f64).round() as usize;
+        let cells = if *value > 0.0 { cells.max(1) } else { cells };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.3}\n",
+            "#".repeat(cells)
+        ));
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as a fixed-height ASCII line chart with the
+/// y-range annotated, x ascending left to right.
+///
+/// ```
+/// use nbhd_eval::line_chart;
+/// let chart = line_chart(&[(5.0, 0.2), (15.0, 0.5), (30.0, 0.9)], 4, 24);
+/// assert!(chart.contains("0.900"));
+/// assert!(chart.contains("0.200"));
+/// ```
+pub fn line_chart(points: &[(f64, f64)], height: usize, width: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let height = height.max(2);
+    let width = width.max(points.len());
+    let (x_min, x_max) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (x, _)| {
+            (lo.min(*x), hi.max(*x))
+        });
+    let (y_min, y_max) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, y)| {
+            (lo.min(*y), hi.max(*y))
+        });
+    let x_span = (x_max - x_min).max(1e-9);
+    let y_span = (y_max - y_min).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, y) in points {
+        let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:.3}")
+        } else if i == height - 1 {
+            format!("{y_min:.3}")
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>8} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>8}  {:<w$.1}{:>r$.1}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_min,
+        x_max,
+        w = width / 2,
+        r = width - width / 2,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let chart = bar_chart(&[("a", 1.0), ("b", 0.5)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[0]), 10);
+        assert_eq!(count(lines[1]), 5);
+    }
+
+    #[test]
+    fn tiny_positive_values_still_show() {
+        let chart = bar_chart(&[("big", 1.0), ("small", 0.001)], 20);
+        assert!(chart.lines().nth(1).unwrap().contains('#'));
+    }
+
+    #[test]
+    fn zero_values_show_no_bar() {
+        let chart = bar_chart(&[("a", 1.0), ("z", 0.0)], 10);
+        assert_eq!(chart.lines().nth(1).unwrap().matches('#').count(), 0);
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let chart = bar_chart(&[("ab", 1.0), ("abcdef", 0.7)], 8);
+        let pipes: Vec<usize> = chart.lines().map(|l| l.find('|').unwrap()).collect();
+        assert_eq!(pipes[0], pipes[1]);
+    }
+
+    #[test]
+    fn line_chart_places_extremes() {
+        let chart = line_chart(&[(0.0, 0.0), (1.0, 1.0)], 5, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains('*'), "max row has a point: {chart}");
+        assert!(lines[4].contains('*'), "min row has a point: {chart}");
+    }
+
+    #[test]
+    fn line_chart_handles_flat_series() {
+        let chart = line_chart(&[(1.0, 0.5), (2.0, 0.5), (3.0, 0.5)], 4, 12);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(line_chart(&[], 4, 10), "(no data)\n");
+    }
+}

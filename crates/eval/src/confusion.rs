@@ -1,0 +1,154 @@
+//! Binary confusion counts and the derived rates.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for one binary decision task.
+///
+/// ```
+/// use nbhd_eval::BinaryConfusion;
+/// let mut c = BinaryConfusion::default();
+/// c.observe(true, true);   // hit
+/// c.observe(true, false);  // miss
+/// c.observe(false, false); // correct rejection
+/// c.observe(false, true);  // false alarm
+/// assert_eq!(c.total(), 4);
+/// assert!((c.accuracy() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl BinaryConfusion {
+    /// Creates zeroed counts.
+    pub const fn new() -> Self {
+        BinaryConfusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        }
+    }
+
+    /// Records one `(actual, predicted)` observation.
+    pub fn observe(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub const fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Positive-class precision; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall (sensitivity, true-positive rate); 0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Specificity (true-negative rate); 0 when no negatives exist.
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Merges another confusion's counts into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryConfusion {
+        BinaryConfusion {
+            tp: 80,
+            fp: 20,
+            tn: 70,
+            fn_: 30,
+        }
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let c = sample();
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 80.0 / 110.0).abs() < 1e-12);
+        assert!((c.specificity() - 70.0 / 90.0).abs() < 1e-12);
+        assert!((c.accuracy() - 150.0 / 200.0).abs() < 1e-12);
+        let p = 0.8;
+        let r = 80.0 / 110.0;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_has_zero_rates() {
+        let c = BinaryConfusion::new();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.tp, 160);
+        assert_eq!(a.total(), 400);
+    }
+
+    #[test]
+    fn observe_routes_to_the_right_cell() {
+        let mut c = BinaryConfusion::new();
+        for _ in 0..3 {
+            c.observe(true, true);
+        }
+        c.observe(false, true);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (3, 1, 0, 0));
+    }
+}

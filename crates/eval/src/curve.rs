@@ -1,0 +1,138 @@
+//! Precision-recall curves and average precision.
+
+/// A scored binary prediction: `(score, is_true_positive)`.
+pub type ScoredPrediction = (f32, bool);
+
+/// Computes VOC-style average precision from scored predictions and the
+/// number of ground-truth positives.
+///
+/// Predictions are sorted by descending score; precision is interpolated to
+/// be monotonically non-increasing (the "all-points" AP used by mAP50).
+/// Returns 0 when there are no positives.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_eval::average_precision;
+/// // three detections, two of them correct, two ground-truth objects
+/// let preds = vec![(0.9, true), (0.8, false), (0.7, true)];
+/// let ap = average_precision(&preds, 2);
+/// // recall points: 0.5 @ p=1.0, 1.0 @ p=2/3
+/// assert!((ap - (0.5 * 1.0 + 0.5 * (2.0 / 3.0))).abs() < 1e-6);
+/// ```
+pub fn average_precision(predictions: &[ScoredPrediction], num_positives: usize) -> f64 {
+    if num_positives == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<ScoredPrediction> = predictions.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    for (_, correct) in sorted {
+        if correct {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        let recall = tp as f64 / num_positives as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        points.push((recall, precision));
+    }
+    // make precision monotonically non-increasing from the right
+    let mut max_p = 0.0f64;
+    for p in points.iter_mut().rev() {
+        max_p = max_p.max(p.1);
+        p.1 = max_p;
+    }
+    // integrate over recall
+    let mut ap = 0.0f64;
+    let mut prev_recall = 0.0f64;
+    for (r, p) in points {
+        if r > prev_recall {
+            ap += (r - prev_recall) * p;
+            prev_recall = r;
+        }
+    }
+    ap
+}
+
+/// Precision and recall at a fixed score threshold.
+pub fn precision_recall_at(
+    predictions: &[ScoredPrediction],
+    num_positives: usize,
+    threshold: f32,
+) -> (f64, f64) {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for &(score, correct) in predictions {
+        if score >= threshold {
+            if correct {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if num_positives == 0 {
+        0.0
+    } else {
+        tp as f64 / num_positives as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_ap_one() {
+        let preds = vec![(0.9, true), (0.8, true), (0.2, false)];
+        assert!((average_precision(&preds, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_wrong_is_ap_zero() {
+        let preds = vec![(0.9, false), (0.8, false)];
+        assert_eq!(average_precision(&preds, 3), 0.0);
+    }
+
+    #[test]
+    fn missed_positives_cap_recall() {
+        // one correct detection but two positives exist -> AP <= 0.5
+        let preds = vec![(0.9, true)];
+        let ap = average_precision(&preds, 2);
+        assert!((ap - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_positives_gives_zero() {
+        assert_eq!(average_precision(&[(0.5, false)], 0), 0.0);
+        assert_eq!(average_precision(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn order_of_input_does_not_matter() {
+        let a = vec![(0.9, true), (0.5, false), (0.7, true)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(average_precision(&a, 2), average_precision(&b, 2));
+    }
+
+    #[test]
+    fn threshold_sweep_trades_precision_for_recall() {
+        let preds = vec![(0.9, true), (0.7, true), (0.5, false), (0.3, true)];
+        let (p_hi, r_hi) = precision_recall_at(&preds, 3, 0.8);
+        let (p_lo, r_lo) = precision_recall_at(&preds, 3, 0.1);
+        assert!(p_hi >= p_lo);
+        assert!(r_lo >= r_hi);
+        assert!((p_hi - 1.0).abs() < 1e-9);
+        assert!((r_lo - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-class metric tables over the six indicators.
+
+use nbhd_types::{Indicator, IndicatorMap, IndicatorSet};
+use serde::{Deserialize, Serialize};
+
+use crate::BinaryConfusion;
+
+/// One class's metric row, as the paper's tables report it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+}
+
+impl From<&BinaryConfusion> for ClassMetrics {
+    fn from(c: &BinaryConfusion) -> Self {
+        ClassMetrics {
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            accuracy: c.accuracy(),
+        }
+    }
+}
+
+/// Accumulates per-class presence predictions against ground truth, the
+/// evaluation the paper applies to every LLM (Tables III–VI).
+///
+/// ```
+/// use nbhd_eval::PresenceEvaluator;
+/// use nbhd_types::{Indicator, IndicatorSet};
+///
+/// let mut eval = PresenceEvaluator::new();
+/// let truth = IndicatorSet::new().with(Indicator::Sidewalk);
+/// let pred = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+/// eval.observe(truth, pred);
+/// let table = eval.table();
+/// assert_eq!(table.per_class[Indicator::Sidewalk].recall, 1.0);
+/// assert_eq!(table.per_class[Indicator::Powerline].precision, 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PresenceEvaluator {
+    confusions: IndicatorMap<BinaryConfusion>,
+    images: u64,
+}
+
+impl PresenceEvaluator {
+    /// Creates an empty evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one image's ground truth vs. predicted presence sets.
+    pub fn observe(&mut self, truth: IndicatorSet, predicted: IndicatorSet) {
+        for ind in Indicator::ALL {
+            self.confusions[ind].observe(truth.contains(ind), predicted.contains(ind));
+        }
+        self.images += 1;
+    }
+
+    /// Number of images observed.
+    pub fn images(&self) -> u64 {
+        self.images
+    }
+
+    /// The raw per-class confusions.
+    pub fn confusions(&self) -> &IndicatorMap<BinaryConfusion> {
+        &self.confusions
+    }
+
+    /// Produces the per-class metric table plus macro averages.
+    pub fn table(&self) -> MetricsTable {
+        let per_class = self.confusions.map(|_, c| ClassMetrics::from(c));
+        MetricsTable::from_per_class(per_class)
+    }
+
+    /// Merges another evaluator's counts.
+    pub fn merge(&mut self, other: &PresenceEvaluator) {
+        for ind in Indicator::ALL {
+            self.confusions[ind].merge(&other.confusions[ind]);
+        }
+        self.images += other.images;
+    }
+}
+
+/// A per-class metric table plus its macro average row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsTable {
+    /// Per-class rows.
+    pub per_class: IndicatorMap<ClassMetrics>,
+    /// Unweighted average across the six classes.
+    pub average: ClassMetrics,
+}
+
+impl MetricsTable {
+    /// Builds the table, deriving the macro-average row.
+    pub fn from_per_class(per_class: IndicatorMap<ClassMetrics>) -> MetricsTable {
+        let n = Indicator::COUNT as f64;
+        let sum = |f: fn(&ClassMetrics) -> f64| per_class.values().map(f).sum::<f64>() / n;
+        MetricsTable {
+            per_class,
+            average: ClassMetrics {
+                precision: sum(|m| m.precision),
+                recall: sum(|m| m.recall),
+                f1: sum(|m| m.f1),
+                accuracy: sum(|m| m.accuracy),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_perfect_metrics() {
+        let mut e = PresenceEvaluator::new();
+        let sets = [
+            IndicatorSet::new().with(Indicator::Sidewalk),
+            IndicatorSet::new().with(Indicator::Powerline).with(Indicator::Apartment),
+            IndicatorSet::new(),
+        ];
+        for s in sets {
+            e.observe(s, s);
+        }
+        let t = table_with_positives(&e);
+        assert!((t.average.accuracy - 1.0).abs() < 1e-12);
+        assert_eq!(e.images(), 3);
+    }
+
+    /// Classes with zero positives have undefined precision/recall (0 here),
+    /// so restrict perfect-score assertions to observed classes.
+    fn table_with_positives(e: &PresenceEvaluator) -> MetricsTable {
+        let t = e.table();
+        for (ind, c) in e.confusions().iter() {
+            if c.tp + c.fn_ > 0 {
+                assert!((t.per_class[ind].recall - 1.0).abs() < 1e-12, "{ind}");
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn always_yes_has_high_recall_low_precision_for_rare_classes() {
+        let mut e = PresenceEvaluator::new();
+        // apartment present in 1 of 10 images; model always says yes
+        for i in 0..10 {
+            let truth = if i == 0 {
+                IndicatorSet::new().with(Indicator::Apartment)
+            } else {
+                IndicatorSet::new()
+            };
+            e.observe(truth, IndicatorSet::new().with(Indicator::Apartment));
+        }
+        let m = e.table().per_class[Indicator::Apartment];
+        assert_eq!(m.recall, 1.0);
+        assert!((m.precision - 0.1).abs() < 1e-12);
+        assert!((m.accuracy - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_average_is_unweighted_mean() {
+        let mut per_class = IndicatorMap::fill(ClassMetrics::default());
+        per_class[Indicator::Streetlight].f1 = 0.6;
+        per_class[Indicator::Sidewalk].f1 = 1.2; // synthetic
+        let t = MetricsTable::from_per_class(per_class);
+        assert!((t.average.f1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PresenceEvaluator::new();
+        let mut b = PresenceEvaluator::new();
+        let s = IndicatorSet::new().with(Indicator::Sidewalk);
+        a.observe(s, s);
+        b.observe(s, IndicatorSet::new());
+        a.merge(&b);
+        assert_eq!(a.images(), 2);
+        let m = a.table().per_class[Indicator::Sidewalk];
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+}

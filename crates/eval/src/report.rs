@@ -1,0 +1,133 @@
+//! Text rendering of metric tables and paper-vs-measured comparisons.
+
+use nbhd_types::Indicator;
+
+use crate::MetricsTable;
+
+/// Renders a per-class metrics table in the paper's row order, with a final
+/// `Average` row — the same layout as Tables I and III–VI.
+///
+/// ```
+/// use nbhd_eval::{render_metrics_table, PresenceEvaluator};
+/// use nbhd_types::{Indicator, IndicatorSet};
+///
+/// let mut e = PresenceEvaluator::new();
+/// let s = IndicatorSet::new().with(Indicator::Sidewalk);
+/// e.observe(s, s);
+/// let text = render_metrics_table("Demo", &e.table());
+/// assert!(text.contains("Sidewalk"));
+/// assert!(text.contains("Average"));
+/// ```
+pub fn render_metrics_table(title: &str, table: &MetricsTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}\n",
+        "Label", "Precision", "Recall", "F1", "Accuracy"
+    ));
+    for ind in Indicator::ALL {
+        let m = table.per_class[ind];
+        out.push_str(&format!(
+            "{:<18} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+            ind.name(),
+            m.precision,
+            m.recall,
+            m.f1,
+            m.accuracy
+        ));
+    }
+    let a = table.average;
+    out.push_str(&format!(
+        "{:<18} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+        "Average", a.precision, a.recall, a.f1, a.accuracy
+    ));
+    out
+}
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// What the row measures (e.g. `"Gemini avg recall"`).
+    pub name: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measured.
+    pub measured: f64,
+}
+
+impl ComparisonRow {
+    /// Creates a row.
+    pub fn new(name: impl Into<String>, paper: f64, measured: f64) -> Self {
+        ComparisonRow {
+            name: name.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Absolute deviation from the paper's value.
+    pub fn delta(&self) -> f64 {
+        (self.measured - self.paper).abs()
+    }
+}
+
+/// Renders a paper-vs-measured table used by the experiment harness and
+/// EXPERIMENTS.md.
+pub fn render_comparison(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<34} {:>8} {:>9} {:>7}\n",
+        "Quantity", "Paper", "Measured", "Delta"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>8.3} {:>9.3} {:>7.3}\n",
+            r.name,
+            r.paper,
+            r.measured,
+            r.delta()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClassMetrics;
+    use nbhd_types::IndicatorMap;
+
+    #[test]
+    fn table_lists_classes_in_paper_order() {
+        let t = MetricsTable::from_per_class(IndicatorMap::fill(ClassMetrics::default()));
+        let text = render_metrics_table("T", &t);
+        let sl = text.find("Streetlight").unwrap();
+        let sw = text.find("Sidewalk").unwrap();
+        let ap = text.find("Apartment").unwrap();
+        assert!(sl < sw && sw < ap);
+    }
+
+    #[test]
+    fn comparison_rows_show_delta() {
+        let rows = vec![ComparisonRow::new("avg accuracy", 0.885, 0.87)];
+        let text = render_comparison("F5", &rows);
+        assert!(text.contains("0.885"));
+        assert!(text.contains("0.015"));
+        assert!((rows[0].delta() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_align_in_columns() {
+        let t = MetricsTable::from_per_class(IndicatorMap::fill(ClassMetrics {
+            precision: 0.5,
+            recall: 0.5,
+            f1: 0.5,
+            accuracy: 0.5,
+        }));
+        let text = render_metrics_table("T", &t);
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{text}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Majority voting across models (the paper's Sec. IV-C2 ensemble).
+
+use nbhd_types::{Indicator, IndicatorSet};
+
+/// Tie-break policy when exactly half the voters say yes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TiePolicy {
+    /// Ties resolve to "absent" (conservative; the default).
+    #[default]
+    No,
+    /// Ties resolve to "present".
+    Yes,
+}
+
+/// Majority-votes per-indicator presence across model answers.
+///
+/// The paper votes the top three LLMs and accepts a prediction "when at
+/// least two models agree"; with an odd voter count ties cannot occur.
+///
+/// # Panics
+///
+/// Panics when `votes` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_eval::{majority_vote, TiePolicy};
+/// use nbhd_types::{Indicator, IndicatorSet};
+///
+/// let gemini = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+/// let claude = IndicatorSet::new().with(Indicator::Sidewalk);
+/// let grok   = IndicatorSet::new().with(Indicator::Powerline);
+/// let voted = majority_vote(&[gemini, claude, grok], TiePolicy::No);
+/// assert!(voted.contains(Indicator::Sidewalk));   // 2 of 3
+/// assert!(voted.contains(Indicator::Powerline));  // 2 of 3
+/// assert_eq!(voted.len(), 2);
+/// ```
+pub fn majority_vote(votes: &[IndicatorSet], ties: TiePolicy) -> IndicatorSet {
+    assert!(!votes.is_empty(), "majority vote requires at least one voter");
+    let mut out = IndicatorSet::new();
+    let n = votes.len();
+    for ind in Indicator::ALL {
+        let yes = votes.iter().filter(|v| v.contains(ind)).count();
+        let present = match (2 * yes).cmp(&n) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => ties == TiePolicy::Yes,
+        };
+        out.set(ind, present);
+    }
+    out
+}
+
+/// Per-indicator agreement level: the fraction of voters agreeing with the
+/// majority answer, in `[0.5, 1.0]`.
+pub fn agreement(votes: &[IndicatorSet]) -> nbhd_types::IndicatorMap<f64> {
+    assert!(!votes.is_empty(), "agreement requires at least one voter");
+    let n = votes.len() as f64;
+    nbhd_types::IndicatorMap::from_fn(|ind| {
+        let yes = votes.iter().filter(|v| v.contains(ind)).count() as f64;
+        (yes / n).max(1.0 - yes / n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(inds: &[Indicator]) -> IndicatorSet {
+        inds.iter().copied().collect()
+    }
+
+    #[test]
+    fn unanimous_vote_passes_through() {
+        let s = set(&[Indicator::Apartment, Indicator::Sidewalk]);
+        assert_eq!(majority_vote(&[s, s, s], TiePolicy::No), s);
+    }
+
+    #[test]
+    fn two_of_three_wins() {
+        let votes = [
+            set(&[Indicator::Powerline]),
+            set(&[Indicator::Powerline, Indicator::Streetlight]),
+            set(&[]),
+        ];
+        let v = majority_vote(&votes, TiePolicy::No);
+        assert!(v.contains(Indicator::Powerline));
+        assert!(!v.contains(Indicator::Streetlight));
+    }
+
+    #[test]
+    fn tie_policy_decides_even_splits() {
+        let votes = [set(&[Indicator::Sidewalk]), set(&[])];
+        assert!(!majority_vote(&votes, TiePolicy::No).contains(Indicator::Sidewalk));
+        assert!(majority_vote(&votes, TiePolicy::Yes).contains(Indicator::Sidewalk));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one voter")]
+    fn empty_votes_panic() {
+        let _ = majority_vote(&[], TiePolicy::No);
+    }
+
+    #[test]
+    fn agreement_is_majority_fraction() {
+        let votes = [
+            set(&[Indicator::Sidewalk]),
+            set(&[Indicator::Sidewalk]),
+            set(&[]),
+        ];
+        let a = agreement(&votes);
+        assert!((a[Indicator::Sidewalk] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a[Indicator::Powerline] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_voter_is_identity() {
+        let s = set(&[Indicator::MultilaneRoad]);
+        assert_eq!(majority_vote(&[s], TiePolicy::No), s);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for metrics, voting, and average precision.
+
+use nbhd_eval::{
+    average_precision, majority_vote, BinaryConfusion, PresenceEvaluator, TiePolicy,
+};
+use nbhd_types::{Indicator, IndicatorSet};
+use proptest::prelude::*;
+
+fn arb_set() -> impl Strategy<Value = IndicatorSet> {
+    (0u8..64).prop_map(IndicatorSet::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn confusion_rates_are_probabilities(tp in 0u64..1000, fp in 0u64..1000, tn in 0u64..1000, fn_ in 0u64..1000) {
+        let c = BinaryConfusion { tp, fp, tn, fn_ };
+        for rate in [c.precision(), c.recall(), c.specificity(), c.f1(), c.accuracy()] {
+            prop_assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn f1_is_between_min_and_max_of_p_and_r(tp in 1u64..1000, fp in 0u64..1000, fn_ in 0u64..1000) {
+        let c = BinaryConfusion { tp, fp, tn: 0, fn_ };
+        let (p, r) = (c.precision(), c.recall());
+        prop_assert!(c.f1() <= p.max(r) + 1e-12);
+        prop_assert!(c.f1() >= p.min(r) - 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(truths in proptest::collection::vec(arb_set(), 1..50)) {
+        let mut e = PresenceEvaluator::new();
+        for t in &truths {
+            e.observe(*t, *t);
+        }
+        prop_assert!((e.table().average.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_vote_is_identity(s in arb_set(), n in 1usize..9) {
+        let votes = vec![s; n];
+        prop_assert_eq!(majority_vote(&votes, TiePolicy::No), s);
+        prop_assert_eq!(majority_vote(&votes, TiePolicy::Yes), s);
+    }
+
+    #[test]
+    fn vote_is_permutation_invariant(votes in proptest::collection::vec(arb_set(), 1..7), seed in 0u64..100) {
+        let voted = majority_vote(&votes, TiePolicy::No);
+        let mut shuffled = votes.clone();
+        // deterministic pseudo-shuffle
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(majority_vote(&shuffled, TiePolicy::No), voted);
+    }
+
+    #[test]
+    fn vote_respects_supermajorities(s in arb_set(), other in arb_set(), n in 2usize..5) {
+        // n copies of s vs a single dissenter: s wins every indicator
+        let mut votes = vec![s; n];
+        votes.push(other);
+        let voted = majority_vote(&votes, TiePolicy::No);
+        if n > 1 {
+            prop_assert_eq!(voted, s);
+        }
+    }
+
+    #[test]
+    fn ap_is_bounded(preds in proptest::collection::vec((0.0f32..1.0, any::<bool>()), 0..60), extra_pos in 0usize..10) {
+        let tp = preds.iter().filter(|(_, c)| *c).count();
+        let positives = tp + extra_pos;
+        let ap = average_precision(&preds, positives);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ap), "ap {ap}");
+    }
+
+    #[test]
+    fn ap_perfect_ranking_dominates_any_other(scores in proptest::collection::vec(0.0f32..1.0, 2..30)) {
+        // half the predictions correct; perfect ranking puts them on top
+        let n = scores.len();
+        let half = n / 2;
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let perfect: Vec<(f32, bool)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i < half))
+            .collect();
+        let inverted: Vec<(f32, bool)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i >= n - half))
+            .collect();
+        if half > 0 {
+            let ap_perfect = average_precision(&perfect, half);
+            let ap_inverted = average_precision(&inverted, half);
+            prop_assert!(ap_perfect >= ap_inverted - 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluator_merge_equals_joint_observation(
+        pairs_a in proptest::collection::vec((arb_set(), arb_set()), 0..20),
+        pairs_b in proptest::collection::vec((arb_set(), arb_set()), 0..20),
+    ) {
+        let mut separate_a = PresenceEvaluator::new();
+        for (t, p) in &pairs_a {
+            separate_a.observe(*t, *p);
+        }
+        let mut separate_b = PresenceEvaluator::new();
+        for (t, p) in &pairs_b {
+            separate_b.observe(*t, *p);
+        }
+        separate_a.merge(&separate_b);
+
+        let mut joint = PresenceEvaluator::new();
+        for (t, p) in pairs_a.iter().chain(&pairs_b) {
+            joint.observe(*t, *p);
+        }
+        prop_assert_eq!(separate_a.confusions(), joint.confusions());
+        for ind in Indicator::ALL {
+            prop_assert_eq!(separate_a.confusions()[ind].total(), joint.confusions()[ind].total());
+        }
+    }
+}

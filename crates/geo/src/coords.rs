@@ -1,0 +1,139 @@
+//! Geographic coordinates and distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Feet per degree of latitude (WGS-84 mean).
+pub const FEET_PER_DEGREE_LAT: f64 = 364_000.0;
+
+/// A WGS-84 latitude/longitude pair in degrees.
+///
+/// ```
+/// use nbhd_geo::LatLon;
+/// let a = LatLon::new(35.05, -79.01);
+/// let b = LatLon::new(35.05, -79.01);
+/// assert!(a.distance_feet(b) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees north.
+    pub lat: f64,
+    /// Longitude in degrees east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        LatLon { lat, lon }
+    }
+
+    /// Equirectangular-approximation distance in feet — accurate to well
+    /// under 1% at county scales, which is all the sampler needs.
+    pub fn distance_feet(self, other: LatLon) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dy = (other.lat - self.lat) * FEET_PER_DEGREE_LAT;
+        let dx = (other.lon - self.lon) * FEET_PER_DEGREE_LAT * mean_lat.cos();
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Initial bearing from `self` to `other` in degrees clockwise from
+    /// north, in `[0, 360)`.
+    pub fn bearing_to(self, other: LatLon) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dy = other.lat - self.lat;
+        let dx = (other.lon - self.lon) * mean_lat.cos();
+        let deg = dx.atan2(dy).to_degrees();
+        (deg + 360.0) % 360.0
+    }
+
+    /// Linear interpolation along the segment `self -> other` at parameter
+    /// `t` in `[0, 1]`.
+    pub fn lerp(self, other: LatLon, t: f64) -> LatLon {
+        LatLon::new(
+            self.lat + (other.lat - self.lat) * t,
+            self.lon + (other.lon - self.lon) * t,
+        )
+    }
+}
+
+/// A rectangular geographic extent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoBounds {
+    /// Southwest corner.
+    pub min: LatLon,
+    /// Northeast corner.
+    pub max: LatLon,
+}
+
+impl GeoBounds {
+    /// Creates bounds from two corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min` is not southwest of `max`.
+    pub fn new(min: LatLon, max: LatLon) -> Self {
+        assert!(
+            min.lat < max.lat && min.lon < max.lon,
+            "min corner must be southwest of max corner"
+        );
+        GeoBounds { min, max }
+    }
+
+    /// Returns `true` when `p` lies inside the bounds.
+    pub fn contains(&self, p: LatLon) -> bool {
+        p.lat >= self.min.lat && p.lat <= self.max.lat && p.lon >= self.min.lon && p.lon <= self.max.lon
+    }
+
+    /// The coordinate at fractional position `(fx, fy)` within the bounds
+    /// (`fx` east-west, `fy` south-north, both in `[0, 1]`).
+    pub fn at(&self, fx: f64, fy: f64) -> LatLon {
+        LatLon::new(
+            self.min.lat + (self.max.lat - self.min.lat) * fy,
+            self.min.lon + (self.max.lon - self.min.lon) * fx,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_degree_of_latitude_is_364k_feet() {
+        let a = LatLon::new(35.0, -79.0);
+        let b = LatLon::new(36.0, -79.0);
+        assert!((a.distance_feet(b) - FEET_PER_DEGREE_LAT).abs() < 1.0);
+    }
+
+    #[test]
+    fn bearings_cardinal() {
+        let o = LatLon::new(35.0, -79.0);
+        assert!((o.bearing_to(LatLon::new(36.0, -79.0)) - 0.0).abs() < 0.5);
+        assert!((o.bearing_to(LatLon::new(35.0, -78.0)) - 90.0).abs() < 0.5);
+        assert!((o.bearing_to(LatLon::new(34.0, -79.0)) - 180.0).abs() < 0.5);
+        assert!((o.bearing_to(LatLon::new(35.0, -80.0)) - 270.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = LatLon::new(35.0, -79.0);
+        let b = LatLon::new(36.0, -78.0);
+        let m = a.lerp(b, 0.5);
+        assert!((m.lat - 35.5).abs() < 1e-9 && (m.lon + 78.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_contain_and_at() {
+        let b = GeoBounds::new(LatLon::new(35.0, -80.0), LatLon::new(36.0, -79.0));
+        assert!(b.contains(b.at(0.5, 0.5)));
+        assert!(!b.contains(LatLon::new(34.0, -79.5)));
+        assert_eq!(b.at(0.0, 0.0), b.min);
+        assert_eq!(b.at(1.0, 1.0), b.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "southwest")]
+    fn inverted_bounds_panic() {
+        let _ = GeoBounds::new(LatLon::new(36.0, -79.0), LatLon::new(35.0, -80.0));
+    }
+}

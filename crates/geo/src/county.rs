@@ -1,0 +1,136 @@
+//! County definitions mirroring the study area.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoBounds, LatLon, RoadNetwork};
+
+/// A county with its extent, zoning mix, and synthesized road network
+/// parameters.
+///
+/// The study samples "two counties (e.g., Robeson and Durham counties),
+/// covering both rural and urban settings in North Carolina"; the presets
+/// [`County::robeson`] and [`County::durham`] model that contrast.
+///
+/// ```
+/// use nbhd_geo::County;
+/// let robeson = County::robeson();
+/// assert_eq!(robeson.name(), "Robeson");
+/// let net = robeson.road_network(1.0, 42);
+/// assert!(!net.edges().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct County {
+    name: String,
+    bounds: GeoBounds,
+    /// Fractions of urban / suburban / rural tracts; sums to 1.
+    zone_mix: [f64; 3],
+}
+
+impl County {
+    /// Creates a custom county.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when the zone mix does not sum
+    /// to approximately 1 or has negative entries.
+    pub fn new(
+        name: impl Into<String>,
+        bounds: GeoBounds,
+        zone_mix: [f64; 3],
+    ) -> nbhd_types::Result<Self> {
+        let sum: f64 = zone_mix.iter().sum();
+        if zone_mix.iter().any(|&m| m < 0.0) || (sum - 1.0).abs() > 0.01 {
+            return Err(nbhd_types::Error::config(format!(
+                "zone mix must be non-negative and sum to 1, got {zone_mix:?}"
+            )));
+        }
+        Ok(County {
+            name: name.into(),
+            bounds,
+            zone_mix,
+        })
+    }
+
+    /// Robeson County, NC: predominantly rural.
+    pub fn robeson() -> County {
+        County {
+            name: "Robeson".to_owned(),
+            bounds: GeoBounds::new(LatLon::new(34.30, -79.45), LatLon::new(34.85, -78.85)),
+            zone_mix: [0.10, 0.28, 0.62],
+        }
+    }
+
+    /// Durham County, NC: predominantly urban.
+    pub fn durham() -> County {
+        County {
+            name: "Durham".to_owned(),
+            bounds: GeoBounds::new(LatLon::new(35.85, -79.00), LatLon::new(36.24, -78.70)),
+            zone_mix: [0.48, 0.38, 0.14],
+        }
+    }
+
+    /// The two study counties in the order the paper lists them.
+    pub fn study_pair() -> [County; 2] {
+        [County::robeson(), County::durham()]
+    }
+
+    /// The county name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The county's geographic extent.
+    pub fn bounds(&self) -> GeoBounds {
+        self.bounds
+    }
+
+    /// The urban/suburban/rural tract mix.
+    pub fn zone_mix(&self) -> [f64; 3] {
+        self.zone_mix
+    }
+
+    /// Synthesizes this county's road network.
+    ///
+    /// `scale` trades fidelity for speed: 1.0 is the full-study size, small
+    /// fractions are used by tests.
+    pub fn road_network(&self, scale: f64, seed: u64) -> RoadNetwork {
+        let county_seed = nbhd_types::rng::child_seed(seed, &self.name);
+        RoadNetwork::synthesize(self.bounds, self.zone_mix, scale, county_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Zoning;
+
+    #[test]
+    fn presets_have_contrasting_mixes() {
+        let r = County::robeson();
+        let d = County::durham();
+        assert!(r.zone_mix()[2] > d.zone_mix()[2], "Robeson is more rural");
+        assert!(d.zone_mix()[0] > r.zone_mix()[0], "Durham is more urban");
+    }
+
+    #[test]
+    fn invalid_mix_rejected() {
+        let b = County::robeson().bounds();
+        assert!(County::new("X", b, [0.5, 0.5, 0.5]).is_err());
+        assert!(County::new("X", b, [-0.2, 0.6, 0.6]).is_err());
+        assert!(County::new("X", b, [0.2, 0.3, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn networks_reflect_zone_mix() {
+        let rural_net = County::robeson().road_network(2.0, 1);
+        let urban_net = County::durham().road_network(2.0, 1);
+        let rural_frac = |n: &crate::RoadNetwork| {
+            n.edges().iter().filter(|e| e.zone == Zoning::Rural).count() as f64
+                / n.edges().len() as f64
+        };
+        assert!(
+            rural_frac(&rural_net) > rural_frac(&urban_net),
+            "Robeson should have more rural edges"
+        );
+    }
+}

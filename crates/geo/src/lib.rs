@@ -1,0 +1,35 @@
+//! Synthetic geography for the neighborhood-environment study: counties
+//! with urban/suburban/rural zoning mixes, procedurally generated road
+//! networks, 50-ft roadway segmentation, and the random survey sampling the
+//! paper performs over Robeson and Durham counties.
+//!
+//! This crate is the replacement for the study's proprietary geographic
+//! inputs (see DESIGN.md §2): downstream crates only need survey points
+//! with a position, road bearing, lane class, and zoning — all of which are
+//! synthesized here deterministically from a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_geo::{County, SurveySample};
+//!
+//! let counties = County::study_pair();
+//! let sample = SurveySample::draw(&counties, 50, 0.5, 42)?;
+//! assert_eq!(sample.len(), 50);
+//! # Ok::<(), nbhd_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coords;
+mod county;
+mod network;
+mod segment;
+mod zone;
+
+pub use coords::{GeoBounds, LatLon, FEET_PER_DEGREE_LAT};
+pub use county::County;
+pub use network::{RoadClass, RoadEdge, RoadNetwork};
+pub use segment::{segment_network, SurveyPoint, SurveySample, SEGMENT_INTERVAL_FEET};
+pub use zone::{ZonePriors, Zoning};

@@ -1,0 +1,240 @@
+//! Roadway segmentation into 50-ft survey points, and survey sampling.
+
+use nbhd_types::rng::{child_seed, rng_from};
+use nbhd_types::LocationId;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::{County, LatLon, RoadClass, RoadNetwork, Zoning};
+
+/// The paper's segmentation interval: one survey point every 50 feet.
+pub const SEGMENT_INTERVAL_FEET: f64 = 50.0;
+
+/// One survey point on a roadway: where a street-view capture is requested.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyPoint {
+    /// Stable identifier, unique within a survey.
+    pub id: LocationId,
+    /// Geographic position.
+    pub position: LatLon,
+    /// Local bearing of the roadway at this point, degrees from north.
+    pub road_bearing: f64,
+    /// Lane configuration of the roadway.
+    pub road_class: RoadClass,
+    /// Zoning of the surrounding tract.
+    pub zone: Zoning,
+    /// Which county the point belongs to.
+    pub county: String,
+}
+
+/// Segments every edge of a network at [`SEGMENT_INTERVAL_FEET`].
+///
+/// Point ids are assigned sequentially starting from `first_id`.
+pub fn segment_network(
+    network: &RoadNetwork,
+    county: &str,
+    first_id: u64,
+) -> Vec<SurveyPoint> {
+    let mut points = Vec::new();
+    let mut next = first_id;
+    for edge in network.edges() {
+        let len = edge.length_feet();
+        let mut d = SEGMENT_INTERVAL_FEET / 2.0;
+        while d < len {
+            if let Some((pos, bearing)) = edge.point_at(d) {
+                points.push(SurveyPoint {
+                    id: LocationId(next),
+                    position: pos,
+                    road_bearing: bearing,
+                    road_class: edge.class,
+                    zone: edge.zone,
+                    county: county.to_owned(),
+                });
+                next += 1;
+            }
+            d += SEGMENT_INTERVAL_FEET;
+        }
+    }
+    points
+}
+
+/// A full survey sample: the randomly selected subset of survey points that
+/// get imaged, mirroring the paper's 1,200 randomly selected locations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveySample {
+    points: Vec<SurveyPoint>,
+}
+
+impl SurveySample {
+    /// Draws `n` locations across the given counties, split evenly between
+    /// them, with `scale` controlling road-network fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when `n` is zero or no counties
+    /// are given.
+    pub fn draw(
+        counties: &[County],
+        n: usize,
+        scale: f64,
+        seed: u64,
+    ) -> nbhd_types::Result<SurveySample> {
+        if n == 0 {
+            return Err(nbhd_types::Error::config("sample size must be positive"));
+        }
+        if counties.is_empty() {
+            return Err(nbhd_types::Error::config("at least one county required"));
+        }
+        let per_county = n / counties.len();
+        let mut remainder = n % counties.len();
+        let mut points = Vec::with_capacity(n);
+        let mut first_id = 0u64;
+        for county in counties {
+            let network = county.road_network(scale, seed);
+            let candidates = segment_network(&network, county.name(), first_id);
+            first_id += candidates.len() as u64 + 1_000_000;
+            let mut rng = rng_from(child_seed(seed, county.name()));
+            let take = per_county + usize::from(remainder > 0);
+            remainder = remainder.saturating_sub(1);
+            if candidates.len() < take {
+                return Err(nbhd_types::Error::config(format!(
+                    "county {} has only {} candidate points, need {take}; increase scale",
+                    county.name(),
+                    candidates.len()
+                )));
+            }
+            // Stratify by zone so the sample reflects the county's zoning
+            // mix rather than raw segment counts (grid tracts have ~3x the
+            // segment density of winding rural roads).
+            let mut by_zone: [Vec<SurveyPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for p in candidates {
+                let idx = Zoning::ALL.iter().position(|z| *z == p.zone).expect("known zone");
+                by_zone[idx].push(p);
+            }
+            for bucket in &mut by_zone {
+                bucket.shuffle(&mut rng);
+            }
+            let mix = county.zone_mix();
+            let mut taken = 0usize;
+            for (idx, bucket) in by_zone.iter_mut().enumerate() {
+                let want = ((take as f64) * mix[idx]).round() as usize;
+                let got = want.min(bucket.len());
+                points.extend(bucket.drain(..got));
+                taken += got;
+            }
+            // top up any shortfall from whichever zones have spare points
+            let mut leftovers: Vec<SurveyPoint> =
+                by_zone.into_iter().flatten().collect();
+            leftovers.shuffle(&mut rng);
+            while taken < take {
+                match leftovers.pop() {
+                    Some(p) => {
+                        points.push(p);
+                        taken += 1;
+                    }
+                    None => {
+                        return Err(nbhd_types::Error::config(format!(
+                            "county {} ran out of candidate points",
+                            county.name()
+                        )))
+                    }
+                }
+            }
+            points.truncate(points.len() - taken + take);
+        }
+        Ok(SurveySample { points })
+    }
+
+    /// The sampled points.
+    pub fn points(&self) -> &[SurveyPoint] {
+        &self.points
+    }
+
+    /// Number of sampled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no points were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fraction of points in each zoning category, ordered urban/suburban/rural.
+    pub fn zone_fractions(&self) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        for p in &self.points {
+            let idx = Zoning::ALL.iter().position(|z| *z == p.zone).expect("known zone");
+            counts[idx] += 1;
+        }
+        counts.map(|c| c as f64 / self.points.len().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmentation_spacing_is_50_feet() {
+        let county = County::durham();
+        let network = county.road_network(0.5, 3);
+        let points = segment_network(&network, county.name(), 0);
+        assert!(points.len() > 100);
+        // consecutive points on the same straight edge are 50 ft apart
+        let d01 = points[0].position.distance_feet(points[1].position);
+        assert!((d01 - SEGMENT_INTERVAL_FEET).abs() < 1.0, "spacing {d01}");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let sample = SurveySample::draw(&County::study_pair(), 200, 0.5, 11).unwrap();
+        let mut ids: Vec<u64> = sample.points().iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), sample.len());
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_split_evenly() {
+        let counties = County::study_pair();
+        let a = SurveySample::draw(&counties, 100, 0.5, 9).unwrap();
+        let b = SurveySample::draw(&counties, 100, 0.5, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let robeson = a.points().iter().filter(|p| p.county == "Robeson").count();
+        assert_eq!(robeson, 50);
+    }
+
+    #[test]
+    fn draw_matches_county_zone_mix() {
+        let counties = County::study_pair();
+        let sample = SurveySample::draw(&counties, 600, 1.0, 3).unwrap();
+        let [urban, suburban, rural] = sample.zone_fractions();
+        // expected mix = mean of the two county mixes
+        let expect = [
+            (counties[0].zone_mix()[0] + counties[1].zone_mix()[0]) / 2.0,
+            (counties[0].zone_mix()[1] + counties[1].zone_mix()[1]) / 2.0,
+            (counties[0].zone_mix()[2] + counties[1].zone_mix()[2]) / 2.0,
+        ];
+        assert!((urban - expect[0]).abs() < 0.08, "urban {urban} vs {}", expect[0]);
+        assert!((suburban - expect[1]).abs() < 0.08, "suburban {suburban} vs {}", expect[1]);
+        assert!((rural - expect[2]).abs() < 0.08, "rural {rural} vs {}", expect[2]);
+    }
+
+    #[test]
+    fn draw_covers_rural_and_urban() {
+        let sample = SurveySample::draw(&County::study_pair(), 400, 1.0, 5).unwrap();
+        let [urban, _, rural] = sample.zone_fractions();
+        assert!(urban > 0.05, "urban fraction {urban}");
+        assert!(rural > 0.10, "rural fraction {rural}");
+    }
+
+    #[test]
+    fn draw_validates_inputs() {
+        assert!(SurveySample::draw(&County::study_pair(), 0, 1.0, 1).is_err());
+        assert!(SurveySample::draw(&[], 10, 1.0, 1).is_err());
+        // asking for far more points than a tiny network has fails loudly
+        assert!(SurveySample::draw(&County::study_pair(), 1_000_000, 0.1, 1).is_err());
+    }
+}

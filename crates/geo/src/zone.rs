@@ -1,0 +1,143 @@
+//! Zoning categories and their environmental-indicator priors.
+
+use serde::{Deserialize, Serialize};
+
+/// The development intensity of a neighborhood.
+///
+/// The study covers "both rural and urban settings" across two counties;
+/// zoning is what drives which indicators a scene is likely to contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Zoning {
+    /// Dense, gridded development: sidewalks, streetlights, apartments.
+    Urban,
+    /// Residential subdivisions: some sidewalks, overhead utilities.
+    Suburban,
+    /// Sparse development: two-lane roads, powerlines, few sidewalks.
+    Rural,
+}
+
+impl Zoning {
+    /// All zoning categories.
+    pub const ALL: [Zoning; 3] = [Zoning::Urban, Zoning::Suburban, Zoning::Rural];
+
+    /// The prior probabilities of scene features for this zoning, used by
+    /// the scene composer.
+    pub const fn priors(self) -> ZonePriors {
+        match self {
+            Zoning::Urban => ZonePriors {
+                streetlight: 0.40,
+                sidewalk: 0.80,
+                multilane: 0.85,
+                powerline: 0.30,
+                apartment: 0.32,
+                building_density: 0.85,
+                tree_density: 0.25,
+                traffic_density: 0.55,
+            },
+            Zoning::Suburban => ZonePriors {
+                streetlight: 0.21,
+                sidewalk: 0.48,
+                multilane: 0.68,
+                powerline: 0.42,
+                apartment: 0.11,
+                building_density: 0.60,
+                tree_density: 0.50,
+                traffic_density: 0.30,
+            },
+            Zoning::Rural => ZonePriors {
+                streetlight: 0.05,
+                sidewalk: 0.05,
+                multilane: 0.42,
+                powerline: 0.38,
+                apartment: 0.015,
+                building_density: 0.20,
+                tree_density: 0.80,
+                traffic_density: 0.10,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Zoning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Zoning::Urban => "urban",
+            Zoning::Suburban => "suburban",
+            Zoning::Rural => "rural",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scene-feature prior probabilities for a zoning category.
+///
+/// All fields are probabilities in `[0, 1]`. `multilane` is the probability
+/// that a road in this zone has more than one lane per direction;
+/// `building_density`, `tree_density`, and `traffic_density` scale how many
+/// distractor objects the composer places.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZonePriors {
+    /// P(streetlights installed along the segment).
+    pub streetlight: f64,
+    /// P(sidewalk present along the segment).
+    pub sidewalk: f64,
+    /// P(road is multilane | road present).
+    pub multilane: f64,
+    /// P(overhead powerline along the segment).
+    pub powerline: f64,
+    /// P(an apartment building on the segment).
+    pub apartment: f64,
+    /// Relative density of roadside buildings.
+    pub building_density: f64,
+    /// Relative density of roadside trees.
+    pub tree_density: f64,
+    /// Relative density of vehicles on the road.
+    pub traffic_density: f64,
+}
+
+impl ZonePriors {
+    /// Validates that every field is a probability.
+    pub fn is_valid(&self) -> bool {
+        [
+            self.streetlight,
+            self.sidewalk,
+            self.multilane,
+            self.powerline,
+            self.apartment,
+            self.building_density,
+            self.tree_density,
+            self.traffic_density,
+        ]
+        .iter()
+        .all(|p| (0.0..=1.0).contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_priors_are_probabilities() {
+        for z in Zoning::ALL {
+            assert!(z.priors().is_valid(), "{z} priors out of range");
+        }
+    }
+
+    #[test]
+    fn urban_is_denser_than_rural() {
+        let u = Zoning::Urban.priors();
+        let r = Zoning::Rural.priors();
+        assert!(u.sidewalk > r.sidewalk);
+        assert!(u.streetlight > r.streetlight);
+        assert!(u.apartment > r.apartment);
+        assert!(u.multilane > r.multilane);
+        assert!(r.tree_density > u.tree_density);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Zoning::Urban.to_string(), "urban");
+        assert_eq!(Zoning::Rural.to_string(), "rural");
+    }
+}

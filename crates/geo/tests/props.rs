@@ -1,0 +1,88 @@
+//! Property-based tests for geography: coordinates, networks, sampling.
+
+use nbhd_geo::{County, GeoBounds, LatLon, SurveySample, Zoning, SEGMENT_INTERVAL_FEET};
+use proptest::prelude::*;
+
+fn arb_latlon() -> impl Strategy<Value = LatLon> {
+    (33.0f64..37.0, -80.5f64..-77.5).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative(a in arb_latlon(), b in arb_latlon()) {
+        let ab = a.distance_feet(b);
+        let ba = b.distance_feet(a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6 * ab.max(1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint(a in arb_latlon(), b in arb_latlon(), t in 0.0f64..=1.0) {
+        let p = a.lerp(b, t);
+        let d_total = a.distance_feet(b);
+        let d_a = a.distance_feet(p);
+        // interpolation distance is proportional to t (within flat-earth error)
+        prop_assert!((d_a - t * d_total).abs() < d_total * 0.02 + 1.0);
+    }
+
+    #[test]
+    fn bearing_is_in_range(a in arb_latlon(), b in arb_latlon()) {
+        let bearing = a.bearing_to(b);
+        prop_assert!((0.0..360.0).contains(&bearing));
+    }
+
+    #[test]
+    fn bounds_at_is_inside(fx in 0.0f64..=1.0, fy in 0.0f64..=1.0) {
+        let bounds = GeoBounds::new(LatLon::new(34.0, -80.0), LatLon::new(36.0, -78.0));
+        prop_assert!(bounds.contains(bounds.at(fx, fy)));
+    }
+
+    #[test]
+    fn samples_have_expected_size_and_unique_ids(n in 1usize..150, seed in 0u64..30) {
+        let sample = SurveySample::draw(&County::study_pair(), n, 1.0, seed).unwrap();
+        prop_assert_eq!(sample.len(), n);
+        let mut ids: Vec<u64> = sample.points().iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+        // zone fractions sum to 1
+        let fracs = sample.zone_fractions();
+        prop_assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_points_lie_on_segment_grid(seed in 0u64..20) {
+        let counties = County::study_pair();
+        let sample = SurveySample::draw(&counties, 30, 0.5, seed).unwrap();
+        for p in sample.points() {
+            // every point belongs to one of the two counties' bounds
+            // (allow a hair of slack: winding rural roads can wander)
+            let inside = counties.iter().any(|c| {
+                let b = c.bounds();
+                p.position.lat >= b.min.lat - 0.2
+                    && p.position.lat <= b.max.lat + 0.2
+                    && p.position.lon >= b.min.lon - 0.2
+                    && p.position.lon <= b.max.lon + 0.2
+            });
+            prop_assert!(inside, "point {:?} far outside both counties", p.position);
+            prop_assert!((0.0..360.0).contains(&p.road_bearing));
+        }
+        let _ = SEGMENT_INTERVAL_FEET;
+    }
+
+    #[test]
+    fn networks_are_deterministic_per_seed(seed in 0u64..30, scale in 1usize..3) {
+        let county = County::durham();
+        let a = county.road_network(scale as f64, seed);
+        let b = county.road_network(scale as f64, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zone_priors_are_valid_for_all_zones(idx in 0usize..3) {
+        let z = Zoning::ALL[idx];
+        prop_assert!(z.priors().is_valid());
+    }
+}

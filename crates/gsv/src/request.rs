@@ -1,0 +1,129 @@
+//! Street-view image requests, mirroring the real API's parameter surface.
+
+use nbhd_types::{Error, Heading, LocationId, Result};
+
+/// A validated street-view image request.
+///
+/// The study requests 640x640 images at four headings per location; the
+/// builder validates sizes the way the real endpoint does (max 640).
+///
+/// ```
+/// use nbhd_gsv::ImageRequest;
+/// use nbhd_types::{Heading, LocationId};
+///
+/// let req = ImageRequest::builder(LocationId(12), Heading::East)
+///     .size(640)
+///     .build()?;
+/// assert_eq!(req.size(), 640);
+/// # Ok::<(), nbhd_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageRequest {
+    location: LocationId,
+    heading: Heading,
+    size: u32,
+}
+
+impl ImageRequest {
+    /// Starts building a request for the given location and heading.
+    pub fn builder(location: LocationId, heading: Heading) -> ImageRequestBuilder {
+        ImageRequestBuilder {
+            location,
+            heading,
+            size: crate::DEFAULT_IMAGE_SIZE,
+        }
+    }
+
+    /// The requested location.
+    pub fn location(&self) -> LocationId {
+        self.location
+    }
+
+    /// The requested heading.
+    pub fn heading(&self) -> Heading {
+        self.heading
+    }
+
+    /// The requested square image size in pixels.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The image id this request resolves to.
+    pub fn image_id(&self) -> nbhd_types::ImageId {
+        nbhd_types::ImageId::new(self.location, self.heading)
+    }
+}
+
+/// Builder for [`ImageRequest`].
+#[derive(Debug, Clone)]
+pub struct ImageRequestBuilder {
+    location: LocationId,
+    heading: Heading,
+    size: u32,
+}
+
+impl ImageRequestBuilder {
+    /// Sets the square image size in pixels (16..=640).
+    pub fn size(mut self, size: u32) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Validates and builds the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the size is outside `16..=640`.
+    pub fn build(self) -> Result<ImageRequest> {
+        if !(16..=640).contains(&self.size) {
+            return Err(Error::config(format!(
+                "image size {} outside supported range 16..=640",
+                self.size
+            )));
+        }
+        Ok(ImageRequest {
+            location: self.location,
+            heading: self.heading,
+            size: self.size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_size_is_study_size() {
+        let r = ImageRequest::builder(LocationId(1), Heading::North)
+            .build()
+            .unwrap();
+        assert_eq!(r.size(), 640);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected() {
+        assert!(ImageRequest::builder(LocationId(1), Heading::North)
+            .size(1280)
+            .build()
+            .is_err());
+        assert!(ImageRequest::builder(LocationId(1), Heading::North)
+            .size(8)
+            .build()
+            .is_err());
+        assert!(ImageRequest::builder(LocationId(1), Heading::North)
+            .size(320)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn image_id_combines_location_and_heading() {
+        let r = ImageRequest::builder(LocationId(3), Heading::West)
+            .build()
+            .unwrap();
+        assert_eq!(r.image_id().location, LocationId(3));
+        assert_eq!(r.image_id().heading, Heading::West);
+    }
+}

@@ -1,0 +1,329 @@
+//! The simulated street-view imagery service.
+
+use std::collections::HashMap;
+
+use nbhd_raster::RasterImage;
+use nbhd_scene::{render, SceneGenerator, SceneSpec};
+use nbhd_types::rng::{child_seed_n, splitmix64};
+use nbhd_types::{Error, Heading, ImageId, LocationId, Result};
+use parking_lot::Mutex;
+
+use crate::{ImageRequest, UsageMeter};
+
+/// Per-image fee in USD, matching the real static street-view pricing tier
+/// (about $7 per 1,000 requests).
+pub const FEE_PER_IMAGE_USD: f64 = 0.007;
+
+/// Response status codes, after the real API's metadata statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageStatus {
+    /// Imagery exists for the location.
+    Ok,
+    /// No imagery at this location (the simulated coverage gap).
+    ZeroResults,
+}
+
+/// A successful image response: pixels plus capture metadata.
+#[derive(Debug, Clone)]
+pub struct ImageResponse {
+    /// The rendered capture.
+    pub image: RasterImage,
+    /// Which image this is.
+    pub id: ImageId,
+    /// Capture date as `(year, month)`, like the real metadata endpoint.
+    pub capture_date: (u16, u8),
+    /// Attribution string.
+    pub copyright: String,
+}
+
+/// The simulated Street View service: deterministic imagery by
+/// `(location, heading)`, coverage gaps, per-request fees, a daily quota,
+/// and an LRU response cache.
+///
+/// The survey points themselves come from [`nbhd_geo`]; the service is
+/// registered with them up front (the "coverage area").
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_geo::{County, SurveySample};
+/// use nbhd_gsv::{ImageRequest, StreetViewService};
+/// use nbhd_types::Heading;
+///
+/// let sample = SurveySample::draw(&County::study_pair(), 3, 0.5, 11)?;
+/// let service = StreetViewService::new(11, sample.points().to_vec());
+/// let point = &sample.points()[0];
+/// let req = ImageRequest::builder(point.id, Heading::North).size(64).build()?;
+/// if let Ok(resp) = service.fetch(&req) {
+///     assert_eq!(resp.image.size(), (64, 64));
+/// }
+/// assert!(service.usage().requests >= 1);
+/// # Ok::<(), nbhd_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct StreetViewService {
+    generator: SceneGenerator,
+    points: HashMap<LocationId, nbhd_geo::SurveyPoint>,
+    seed: u64,
+    quota: Option<u64>,
+    coverage_gap_rate: f64,
+    state: Mutex<ServiceState>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    usage: UsageMeter,
+    cache: HashMap<(ImageId, u32), ImageResponse>,
+    cache_order: Vec<(ImageId, u32)>,
+}
+
+/// Maximum cached responses before eviction.
+const CACHE_CAP: usize = 4096;
+
+impl StreetViewService {
+    /// Creates a service covering the given survey points.
+    pub fn new(seed: u64, points: Vec<nbhd_geo::SurveyPoint>) -> Self {
+        StreetViewService {
+            generator: SceneGenerator::new(seed),
+            points: points.into_iter().map(|p| (p.id, p)).collect(),
+            seed,
+            quota: None,
+            coverage_gap_rate: 0.01,
+            state: Mutex::new(ServiceState::default()),
+        }
+    }
+
+    /// Sets a hard request quota (requests beyond it fail).
+    #[must_use]
+    pub fn with_quota(mut self, quota: u64) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Sets the fraction of locations with no imagery (default 1%).
+    #[must_use]
+    pub fn with_coverage_gap_rate(mut self, rate: f64) -> Self {
+        self.coverage_gap_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Checks imagery coverage without incurring the image fee, like the
+    /// real (free) metadata endpoint.
+    pub fn coverage(&self, location: LocationId) -> CoverageStatus {
+        if !self.points.contains_key(&location) {
+            return CoverageStatus::ZeroResults;
+        }
+        // a deterministic per-location coverage gap
+        let h = splitmix64(child_seed_n(self.seed, "coverage", location.0));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if frac < self.coverage_gap_rate {
+            CoverageStatus::ZeroResults
+        } else {
+            CoverageStatus::Ok
+        }
+    }
+
+    /// Fetches imagery for a request, charging the per-image fee.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotFound`] when the location has no coverage.
+    /// * [`Error::Service`] when the quota is exhausted.
+    pub fn fetch(&self, request: &ImageRequest) -> Result<ImageResponse> {
+        let mut state = self.state.lock();
+        if let Some(quota) = self.quota {
+            if state.usage.requests >= quota {
+                return Err(Error::service("request quota exhausted"));
+            }
+        }
+        state.usage.requests += 1;
+
+        let key = (request.image_id(), request.size());
+        if let Some(hit) = state.cache.get(&key).cloned() {
+            state.usage.cache_hits += 1;
+            return Ok(hit);
+        }
+
+        if self.coverage(request.location()) == CoverageStatus::ZeroResults {
+            return Err(Error::not_found(format!(
+                "no imagery at {}",
+                request.location()
+            )));
+        }
+        let point = self
+            .points
+            .get(&request.location())
+            .expect("coverage() checked membership");
+
+        state.usage.billed_images += 1;
+        state.usage.fees_usd += FEE_PER_IMAGE_USD;
+
+        let spec = self.generator.compose(point, request.heading());
+        let (image, _) = render(&spec, request.size());
+        let response = ImageResponse {
+            image,
+            id: request.image_id(),
+            capture_date: (2025, 1),
+            copyright: "(c) nbhd synthetic imagery".to_owned(),
+        };
+        if state.cache_order.len() >= CACHE_CAP {
+            let evict = state.cache_order.remove(0);
+            state.cache.remove(&evict);
+        }
+        state.cache.insert(key, response.clone());
+        state.cache_order.push(key);
+        Ok(response)
+    }
+
+    /// The scene ground truth for an image — what a perfect annotator would
+    /// see. Only the simulation harness uses this; "production" consumers
+    /// see pixels only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for uncovered locations.
+    pub fn ground_truth(&self, id: ImageId) -> Result<SceneSpec> {
+        if self.coverage(id.location) == CoverageStatus::ZeroResults {
+            return Err(Error::not_found(format!("no imagery at {}", id.location)));
+        }
+        let point = self
+            .points
+            .get(&id.location)
+            .expect("coverage() checked membership");
+        Ok(self.generator.compose(point, id.heading))
+    }
+
+    /// Snapshot of usage counters.
+    pub fn usage(&self) -> UsageMeter {
+        self.state.lock().usage.clone()
+    }
+
+    /// All covered location ids (those with imagery), sorted.
+    pub fn covered_locations(&self) -> Vec<LocationId> {
+        let mut v: Vec<LocationId> = self
+            .points
+            .keys()
+            .copied()
+            .filter(|&l| self.coverage(l) == CoverageStatus::Ok)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fetches all four headings for a location.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fetch error.
+    pub fn fetch_panorama(&self, location: LocationId, size: u32) -> Result<Vec<ImageResponse>> {
+        Heading::ALL
+            .iter()
+            .map(|&h| {
+                let req = ImageRequest::builder(location, h).size(size).build()?;
+                self.fetch(&req)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_geo::{County, SurveySample};
+
+    fn service(n: usize, seed: u64) -> (StreetViewService, Vec<LocationId>) {
+        let sample = SurveySample::draw(&County::study_pair(), n, 0.5, seed).unwrap();
+        let ids = sample.points().iter().map(|p| p.id).collect();
+        (StreetViewService::new(seed, sample.points().to_vec()), ids)
+    }
+
+    #[test]
+    fn fetch_is_deterministic_and_cached() {
+        let (svc, ids) = service(5, 1);
+        let loc = svc.covered_locations()[0];
+        let req = ImageRequest::builder(loc, Heading::South)
+            .size(64)
+            .build()
+            .unwrap();
+        let a = svc.fetch(&req).unwrap();
+        let b = svc.fetch(&req).unwrap();
+        assert_eq!(a.image, b.image);
+        let usage = svc.usage();
+        assert_eq!(usage.requests, 2);
+        assert_eq!(usage.billed_images, 1, "second fetch served from cache");
+        assert_eq!(usage.cache_hits, 1);
+        assert!(ids.contains(&loc));
+    }
+
+    #[test]
+    fn unknown_location_is_not_found() {
+        let (svc, _) = service(3, 2);
+        let req = ImageRequest::builder(LocationId(999_999_999), Heading::North)
+            .size(64)
+            .build()
+            .unwrap();
+        assert!(matches!(svc.fetch(&req), Err(Error::NotFound(_))));
+        assert_eq!(svc.coverage(LocationId(999_999_999)), CoverageStatus::ZeroResults);
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let (svc, _) = service(5, 3);
+        let svc = StreetViewService {
+            quota: Some(2),
+            ..svc
+        };
+        let loc = svc.covered_locations()[0];
+        for i in 0..3 {
+            let req = ImageRequest::builder(loc, Heading::ALL[i])
+                .size(32)
+                .build()
+                .unwrap();
+            let out = svc.fetch(&req);
+            if i < 2 {
+                assert!(out.is_ok(), "request {i} within quota");
+            } else {
+                assert!(matches!(out, Err(Error::Service(_))), "request {i} over quota");
+            }
+        }
+    }
+
+    #[test]
+    fn fees_accumulate_per_billed_image() {
+        let (svc, _) = service(4, 4);
+        let loc = svc.covered_locations()[0];
+        let responses = svc.fetch_panorama(loc, 32).unwrap();
+        assert_eq!(responses.len(), 4);
+        let usage = svc.usage();
+        assert_eq!(usage.billed_images, 4);
+        assert!((usage.fees_usd - 4.0 * FEE_PER_IMAGE_USD).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_gaps_appear_at_configured_rate() {
+        let sample = SurveySample::draw(&County::study_pair(), 400, 1.0, 5).unwrap();
+        let svc = StreetViewService::new(5, sample.points().to_vec()).with_coverage_gap_rate(0.2);
+        let covered = svc.covered_locations().len();
+        assert!(
+            (240..=400).contains(&covered),
+            "~80% of 400 should be covered, got {covered}"
+        );
+        let gap = 400 - covered;
+        assert!(gap > 30, "expected noticeable gaps, got {gap}");
+    }
+
+    #[test]
+    fn ground_truth_matches_rendered_labels() {
+        let (svc, _) = service(3, 6);
+        let loc = svc.covered_locations()[0];
+        let id = ImageId::new(loc, Heading::East);
+        let spec = svc.ground_truth(id).unwrap();
+        let req = ImageRequest::builder(loc, Heading::East)
+            .size(64)
+            .build()
+            .unwrap();
+        let resp = svc.fetch(&req).unwrap();
+        let (reimage, _) = nbhd_scene::render(&spec, 64);
+        assert_eq!(resp.image, reimage);
+    }
+}

@@ -1,0 +1,49 @@
+//! Usage accounting for the imagery service.
+
+/// Counters for imagery-service usage: requests, billed fetches, cache hits,
+/// and accumulated fees.
+///
+/// ```
+/// use nbhd_gsv::UsageMeter;
+/// let m = UsageMeter::default();
+/// assert_eq!(m.requests, 0);
+/// assert_eq!(m.fees_usd, 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageMeter {
+    /// Total requests received (including cache hits and failures).
+    pub requests: u64,
+    /// Requests that rendered fresh imagery and were billed.
+    pub billed_images: u64,
+    /// Requests served from the response cache (not billed).
+    pub cache_hits: u64,
+    /// Accumulated fees in USD.
+    pub fees_usd: f64,
+}
+
+impl UsageMeter {
+    /// Fraction of requests served from cache, 0 when no requests were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(UsageMeter::default().cache_hit_rate(), 0.0);
+        let m = UsageMeter {
+            requests: 4,
+            cache_hits: 1,
+            ..Default::default()
+        };
+        assert!((m.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

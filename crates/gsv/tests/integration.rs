@@ -1,0 +1,78 @@
+//! Street-view service integration: concurrency, caching under load, and
+//! consistency with the scene substrate.
+
+use std::sync::Arc;
+
+use nbhd_geo::{County, SurveySample};
+use nbhd_gsv::{ImageRequest, StreetViewService};
+use nbhd_types::{Heading, ImageId};
+
+fn service(n: usize, seed: u64) -> StreetViewService {
+    let sample = SurveySample::draw(&County::study_pair(), n, 0.5, seed).unwrap();
+    StreetViewService::new(seed, sample.points().to_vec())
+}
+
+#[test]
+fn concurrent_fetches_are_consistent_and_billed_once() {
+    let svc = Arc::new(service(6, 21));
+    let loc = svc.covered_locations()[0];
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            let req = ImageRequest::builder(loc, Heading::East)
+                .size(64)
+                .build()
+                .unwrap();
+            svc.fetch(&req).unwrap().image
+        }));
+    }
+    let images: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for img in &images[1..] {
+        assert_eq!(*img, images[0], "all threads must see identical pixels");
+    }
+    let usage = svc.usage();
+    assert_eq!(usage.requests, 8);
+    assert_eq!(usage.billed_images, 1, "cache deduplicates concurrent misses");
+    assert_eq!(usage.cache_hits, 7);
+}
+
+#[test]
+fn different_sizes_are_cached_separately() {
+    let svc = service(4, 22);
+    let loc = svc.covered_locations()[0];
+    for size in [32u32, 64, 32, 64] {
+        let req = ImageRequest::builder(loc, Heading::North)
+            .size(size)
+            .build()
+            .unwrap();
+        let resp = svc.fetch(&req).unwrap();
+        assert_eq!(resp.image.size(), (size, size));
+    }
+    let usage = svc.usage();
+    assert_eq!(usage.billed_images, 2);
+    assert_eq!(usage.cache_hits, 2);
+}
+
+#[test]
+fn imagery_matches_ground_truth_scene() {
+    let svc = service(5, 23);
+    for &loc in svc.covered_locations().iter().take(3) {
+        for heading in Heading::ALL {
+            let id = ImageId::new(loc, heading);
+            let spec = svc.ground_truth(id).unwrap();
+            let req = ImageRequest::builder(loc, heading).size(96).build().unwrap();
+            let fetched = svc.fetch(&req).unwrap().image;
+            let (rendered, _) = nbhd_scene::render(&spec, 96);
+            assert_eq!(fetched, rendered, "{id}: service and oracle must agree");
+        }
+    }
+}
+
+#[test]
+fn coverage_is_stable_across_calls() {
+    let svc = service(50, 24);
+    let a = svc.covered_locations();
+    let b = svc.covered_locations();
+    assert_eq!(a, b, "coverage gaps must be deterministic");
+}

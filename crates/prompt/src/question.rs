@@ -1,0 +1,158 @@
+//! The six presence questions, in every studied language.
+//!
+//! English texts are verbatim from the paper's Table II; the translations
+//! follow Appendix B.
+
+use nbhd_types::Indicator;
+
+use crate::Language;
+
+/// The order the paper's prompt asks the questions in (multilane first),
+/// which differs from the canonical reporting order.
+pub const PROMPT_ORDER: [Indicator; 6] = [
+    Indicator::MultilaneRoad,
+    Indicator::SingleLaneRoad,
+    Indicator::Sidewalk,
+    Indicator::Streetlight,
+    Indicator::Powerline,
+    Indicator::Apartment,
+];
+
+/// The question text for one indicator in one language.
+///
+/// ```
+/// use nbhd_prompt::{question_text, Language};
+/// use nbhd_types::Indicator;
+///
+/// let q = question_text(Indicator::Sidewalk, Language::English);
+/// assert!(q.contains("sidewalk"));
+/// ```
+pub fn question_text(indicator: Indicator, language: Language) -> &'static str {
+    match (language, indicator) {
+        (Language::English, Indicator::MultilaneRoad) => {
+            "Is the road shown in the image a multi-lane road (more than one lane per direction)? Respond only with 'Yes' or 'No'."
+        }
+        (Language::English, Indicator::SingleLaneRoad) => {
+            "Is the road in the image a single-lane road (one lane per direction)? Respond only with 'Yes' or 'No'."
+        }
+        (Language::English, Indicator::Sidewalk) => {
+            "Is there a sidewalk visible in the image? Respond only with 'Yes' or 'No'."
+        }
+        (Language::English, Indicator::Streetlight) => {
+            "Is there a streetlight visible in the image? Respond only with 'Yes' or 'No'."
+        }
+        (Language::English, Indicator::Powerline) => {
+            "Is there a power line visible in the image? Please respond with 'Yes' or 'No'."
+        }
+        (Language::English, Indicator::Apartment) => {
+            "Is there an apartment visible in the image? Respond only with 'Yes' or 'No'."
+        }
+        (Language::Spanish, Indicator::MultilaneRoad) => {
+            "¿La carretera que se muestra en la imagen tiene varios carriles (más de un carril por sentido)? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Spanish, Indicator::SingleLaneRoad) => {
+            "¿La carretera que se muestra en la imagen tiene un solo carril (un carril por sentido)? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Spanish, Indicator::Sidewalk) => {
+            "¿Se ve una acera en la imagen? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Spanish, Indicator::Streetlight) => {
+            "¿Se ve un alumbrado público en la imagen? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Spanish, Indicator::Powerline) => {
+            "¿Se ve un cable eléctrico en la imagen? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Spanish, Indicator::Apartment) => {
+            "¿Se ve un apartamento en la imagen? Responda solo con 'Sí' o 'No'."
+        }
+        (Language::Chinese, Indicator::MultilaneRoad) => {
+            "图片中显示的道路是多车道公路（每个方向有超过一条车道）吗？请仅回答\"是\"或\"否\"。"
+        }
+        (Language::Chinese, Indicator::SingleLaneRoad) => {
+            "图片中的道路是单车道公路（每个方向只有一条车道）吗？请仅回答\"是\"或\"否\"。"
+        }
+        (Language::Chinese, Indicator::Sidewalk) => {
+            "图片中是否有可见的路边人行道？仅回答\"是\"或\"否\"。"
+        }
+        (Language::Chinese, Indicator::Streetlight) => {
+            "图片中是否有可见的路灯？仅回答\"是\"或\"否\"。"
+        }
+        (Language::Chinese, Indicator::Powerline) => {
+            "图片中是否有可见的电线？请回答\"是\"或\"否\"。"
+        }
+        (Language::Chinese, Indicator::Apartment) => {
+            "图片中是否有可见的公寓？仅回答\"是\"或\"否\"。"
+        }
+        (Language::Bengali, Indicator::MultilaneRoad) => {
+            "ছবিতে দেখানো রাস্তাটি কি বহু-লেনের রাস্তা (প্রতি দিকে একাধিক লেন)? অনুগ্রহ করে কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+        (Language::Bengali, Indicator::SingleLaneRoad) => {
+            "ছবিতে দেখানো রাস্তাটি কি এক-লেনের রাস্তা (প্রতি দিকে এক লেন)? অনুগ্রহ করে কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+        (Language::Bengali, Indicator::Sidewalk) => {
+            "ছবিতে কি কোনও ফুটপাত দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+        (Language::Bengali, Indicator::Streetlight) => {
+            "ছবিতে কি কোনও রাস্তার আলো দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+        (Language::Bengali, Indicator::Powerline) => {
+            "ছবিতে কি কোনও বিদ্যুতের লাইন দেখা যাচ্ছে? অনুগ্রহ করে 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+        (Language::Bengali, Indicator::Apartment) => {
+            "ছবিতে কি কোনও অ্যাপার্টমেন্ট দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        }
+    }
+}
+
+/// The format instruction preceding a parallel prompt ("Respond in this
+/// format: Yes, No, No, Yes, No, Yes:").
+pub fn format_instruction(language: Language) -> &'static str {
+    match language {
+        Language::English => "Respond in this format: Yes, No, No, Yes, No, Yes:",
+        Language::Spanish => {
+            "Por favor, responda exactamente en este formato y ningún otro: sí, no, no, sí, no, no."
+        }
+        Language::Chinese => "请严格按照以下格式回答，不得使用其他格式：是，否，否，是，是，否。",
+        Language::Bengali => "ঠিক এই ফর্ম্যাটে উত্তর দিন: হ্যাঁ, না, না, হ্যাঁ, না, না।",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pair_has_text() {
+        for lang in Language::ALL {
+            for ind in Indicator::ALL {
+                assert!(!question_text(ind, lang).is_empty(), "{lang} {ind}");
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_order_covers_all_indicators_once() {
+        let set: nbhd_types::IndicatorSet = PROMPT_ORDER.into_iter().collect();
+        assert_eq!(set, nbhd_types::IndicatorSet::FULL);
+        assert_eq!(PROMPT_ORDER[0], Indicator::MultilaneRoad);
+    }
+
+    #[test]
+    fn english_texts_match_the_paper() {
+        assert!(question_text(Indicator::Powerline, Language::English).contains("power line"));
+        assert!(
+            question_text(Indicator::MultilaneRoad, Language::English)
+                .contains("more than one lane per direction")
+        );
+    }
+
+    #[test]
+    fn texts_differ_between_languages() {
+        for ind in Indicator::ALL {
+            let en = question_text(ind, Language::English);
+            for lang in [Language::Spanish, Language::Chinese, Language::Bengali] {
+                assert_ne!(en, question_text(ind, lang), "{lang} {ind}");
+            }
+        }
+    }
+}

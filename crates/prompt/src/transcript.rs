@@ -1,0 +1,133 @@
+//! Conversation transcripts: prompts, raw responses, parsed answers.
+
+use nbhd_types::ImageId;
+use serde::{Deserialize, Serialize};
+
+use crate::{ParsedAnswers, Prompt};
+
+/// One request/response exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exchange {
+    /// The request text.
+    pub request: String,
+    /// The raw model response.
+    pub response: String,
+    /// The parsed answers for this exchange's questions.
+    pub parsed: ParsedAnswers,
+}
+
+/// A complete conversation with one model about one image.
+///
+/// ```
+/// use nbhd_prompt::{parse_response, Exchange, Language, Prompt, PromptMode, Transcript};
+/// use nbhd_types::{Heading, ImageId, LocationId};
+///
+/// let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+/// let mut t = Transcript::new(ImageId::new(LocationId(1), Heading::North), "demo-model");
+/// t.push(Exchange {
+///     request: prompt.messages[0].text.clone(),
+///     response: "Yes, No, No, Yes, No, Yes".to_owned(),
+///     parsed: parse_response("Yes, No, No, Yes, No, Yes", Language::English, 6),
+/// });
+/// assert_eq!(t.exchanges.len(), 1);
+/// assert!(t.all_parsed());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// The image discussed.
+    pub image: ImageId,
+    /// The model's name.
+    pub model: String,
+    /// The exchanges in order.
+    pub exchanges: Vec<Exchange>,
+}
+
+impl Transcript {
+    /// Starts an empty transcript.
+    pub fn new(image: ImageId, model: impl Into<String>) -> Transcript {
+        Transcript {
+            image,
+            model: model.into(),
+            exchanges: Vec::new(),
+        }
+    }
+
+    /// Appends an exchange.
+    pub fn push(&mut self, exchange: Exchange) {
+        self.exchanges.push(exchange);
+    }
+
+    /// Returns `true` when every exchange parsed completely.
+    pub fn all_parsed(&self) -> bool {
+        self.exchanges.iter().all(|e| e.parsed.is_complete())
+    }
+
+    /// Concatenated per-question answers across exchanges, in prompt order.
+    pub fn answers(&self) -> Vec<Option<bool>> {
+        self.exchanges
+            .iter()
+            .flat_map(|e| e.parsed.answers.iter().copied())
+            .collect()
+    }
+
+    /// Validates that the transcript's questions match a prompt plan.
+    pub fn matches_prompt(&self, prompt: &Prompt) -> bool {
+        self.exchanges.len() == prompt.messages.len()
+            && self
+                .exchanges
+                .iter()
+                .zip(&prompt.messages)
+                .all(|(e, m)| e.parsed.answers.len() == m.questions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_response, Language, PromptMode};
+    use nbhd_types::{Heading, LocationId};
+
+    fn transcript_for(mode: PromptMode) -> (Transcript, Prompt) {
+        let prompt = Prompt::build(Language::English, mode);
+        let mut t = Transcript::new(ImageId::new(LocationId(3), Heading::East), "m");
+        for m in &prompt.messages {
+            let resp = m
+                .questions
+                .iter()
+                .map(|_| "No")
+                .collect::<Vec<_>>()
+                .join(", ");
+            t.push(Exchange {
+                request: m.text.clone(),
+                response: resp.clone(),
+                parsed: parse_response(&resp, Language::English, m.questions.len()),
+            });
+        }
+        (t, prompt)
+    }
+
+    #[test]
+    fn transcripts_align_with_their_prompts() {
+        for mode in [PromptMode::Parallel, PromptMode::Sequential] {
+            let (t, p) = transcript_for(mode);
+            assert!(t.matches_prompt(&p), "{mode:?}");
+            assert_eq!(t.answers().len(), 6);
+            assert!(t.all_parsed());
+        }
+    }
+
+    #[test]
+    fn mismatched_prompt_detected() {
+        let (t, _) = transcript_for(PromptMode::Parallel);
+        let other = Prompt::build(Language::English, PromptMode::Sequential);
+        assert!(!t.matches_prompt(&other));
+    }
+
+    #[test]
+    fn transcript_serializes() {
+        let (t, _) = transcript_for(PromptMode::Sequential);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

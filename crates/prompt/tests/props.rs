@@ -1,0 +1,79 @@
+//! Property-based tests: the response parser must be total and stable on
+//! arbitrary input, and prompt construction must be well-formed for every
+//! language/mode combination.
+
+use nbhd_prompt::{parse_response, Language, Prompt, PromptMode, PROMPT_ORDER};
+use proptest::prelude::*;
+
+fn arb_language() -> impl Strategy<Value = Language> {
+    prop_oneof![
+        Just(Language::English),
+        Just(Language::Spanish),
+        Just(Language::Chinese),
+        Just(Language::Bengali),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,400}", lang in arb_language(), n in 0usize..10) {
+        let parsed = parse_response(&text, lang, n);
+        prop_assert_eq!(parsed.answers.len(), n);
+        prop_assert!(parsed.failures <= n);
+    }
+
+    #[test]
+    fn parser_is_deterministic(text in ".{0,200}", lang in arb_language()) {
+        let a = parse_response(&text, lang, 6);
+        let b = parse_response(&text, lang, 6);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn well_formed_answers_always_parse(answers in proptest::collection::vec(any::<bool>(), 6), lang in arb_language()) {
+        let text = answers
+            .iter()
+            .map(|&a| if a { lang.yes_word() } else { lang.no_word() })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let parsed = parse_response(&text, lang, 6);
+        prop_assert!(parsed.is_complete(), "failed on {text:?}");
+        for (got, want) in parsed.answers.iter().zip(&answers) {
+            prop_assert_eq!(*got, Some(*want));
+        }
+    }
+
+    #[test]
+    fn parsed_presence_only_contains_yes_answers(answers in proptest::collection::vec(any::<bool>(), 6)) {
+        let text = answers
+            .iter()
+            .map(|&a| if a { "Yes" } else { "No" })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let parsed = parse_response(&text, Language::English, 6);
+        let set = parsed.to_presence(&PROMPT_ORDER);
+        for (ind, yes) in PROMPT_ORDER.iter().zip(&answers) {
+            prop_assert_eq!(set.contains(*ind), *yes);
+        }
+    }
+
+    #[test]
+    fn prompts_are_well_formed(lang in arb_language(), sequential in any::<bool>()) {
+        let mode = if sequential { PromptMode::Sequential } else { PromptMode::Parallel };
+        let p = Prompt::build(lang, mode);
+        prop_assert_eq!(p.question_count(), 6);
+        prop_assert_eq!(p.question_order(), PROMPT_ORDER.to_vec());
+        for m in &p.messages {
+            prop_assert!(!m.text.trim().is_empty());
+            prop_assert!(!m.questions.is_empty());
+        }
+    }
+
+    #[test]
+    fn extra_yes_no_tokens_never_underflow(k in 0usize..20) {
+        let text = vec!["yes"; k].join(" ");
+        let parsed = parse_response(&text, Language::English, 6);
+        prop_assert_eq!(parsed.extra_tokens, k.saturating_sub(6));
+        prop_assert_eq!(parsed.failures, 6usize.saturating_sub(k));
+    }
+}

@@ -1,0 +1,253 @@
+//! Data-augmentation transforms for the paper's ablation study (Fig. 2).
+//!
+//! The paper augments training data by rotating object images 90/180/270
+//! degrees and by random 30%-area crops, and finds that rotation *hurts*
+//! directional classes (streetlights, apartments). These transforms apply to
+//! a full image together with its labeled boxes, so training sets can be
+//! expanded exactly the way the paper describes.
+
+use nbhd_types::{BBox, ObjectLabel};
+use rand::Rng;
+
+use crate::RasterImage;
+
+/// A geometric augmentation applicable to an image and its labels.
+///
+/// ```
+/// use nbhd_raster::{Augmentation, RasterImage, Rgb};
+/// let img = RasterImage::filled(8, 4, Rgb::gray(9));
+/// let (rot, _) = Augmentation::Rotate90.apply(&img, &[]);
+/// assert_eq!(rot.size(), (4, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Augmentation {
+    /// Rotate 90 degrees clockwise.
+    Rotate90,
+    /// Rotate 180 degrees.
+    Rotate180,
+    /// Rotate 270 degrees clockwise (90 counter-clockwise).
+    Rotate270,
+    /// Mirror horizontally.
+    HFlip,
+}
+
+impl Augmentation {
+    /// The three rotations used by the paper's first augmentation pass.
+    pub const ROTATIONS: [Augmentation; 3] = [
+        Augmentation::Rotate90,
+        Augmentation::Rotate180,
+        Augmentation::Rotate270,
+    ];
+
+    /// Applies the transform to an image and its labels.
+    pub fn apply(self, img: &RasterImage, labels: &[ObjectLabel]) -> (RasterImage, Vec<ObjectLabel>) {
+        let (w, h) = img.size();
+        let out_img = match self {
+            Augmentation::Rotate90 => rotate90(img),
+            Augmentation::Rotate180 => rotate180(img),
+            Augmentation::Rotate270 => rotate270(img),
+            Augmentation::HFlip => hflip(img),
+        };
+        let out_labels = labels
+            .iter()
+            .map(|l| {
+                let bbox = match self {
+                    Augmentation::Rotate90 => l.bbox.rotate90_cw(w, h),
+                    Augmentation::Rotate180 => l.bbox.rotate180(w, h),
+                    Augmentation::Rotate270 => l.bbox.rotate270_cw(w, h),
+                    Augmentation::HFlip => l.bbox.hflip(w),
+                };
+                ObjectLabel::new(l.indicator, bbox)
+            })
+            .collect();
+        (out_img, out_labels)
+    }
+}
+
+fn rotate90(img: &RasterImage) -> RasterImage {
+    let (w, h) = img.size();
+    let mut out = RasterImage::new(h, w);
+    for y in 0..h {
+        for x in 0..w {
+            out.put(h - 1 - y, x, img.get(x, y));
+        }
+    }
+    out
+}
+
+fn rotate180(img: &RasterImage) -> RasterImage {
+    let (w, h) = img.size();
+    let mut out = RasterImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            out.put(w - 1 - x, h - 1 - y, img.get(x, y));
+        }
+    }
+    out
+}
+
+fn rotate270(img: &RasterImage) -> RasterImage {
+    let (w, h) = img.size();
+    let mut out = RasterImage::new(h, w);
+    for y in 0..h {
+        for x in 0..w {
+            out.put(y, w - 1 - x, img.get(x, y));
+        }
+    }
+    out
+}
+
+fn hflip(img: &RasterImage) -> RasterImage {
+    let (w, h) = img.size();
+    let mut out = RasterImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            out.put(w - 1 - x, y, img.get(x, y));
+        }
+    }
+    out
+}
+
+/// Randomly crops away roughly `frac` of the image area (the paper crops by
+/// 30% of the object image area), then rescales back to the original size.
+///
+/// Labels are remapped into the cropped frame; labels whose remaining visible
+/// area falls below 40% of their original area are dropped.
+pub fn random_crop<R: Rng + ?Sized>(
+    rng: &mut R,
+    img: &RasterImage,
+    labels: &[ObjectLabel],
+    frac: f32,
+) -> (RasterImage, Vec<ObjectLabel>) {
+    let frac = frac.clamp(0.0, 0.9);
+    let keep = (1.0 - frac).sqrt();
+    let (w, h) = img.size();
+    let cw = ((w as f32 * keep).round() as u32).clamp(1, w);
+    let ch = ((h as f32 * keep).round() as u32).clamp(1, h);
+    let max_x = w - cw;
+    let max_y = h - ch;
+    let x0 = if max_x == 0 { 0 } else { rng.random_range(0..=max_x) };
+    let y0 = if max_y == 0 { 0 } else { rng.random_range(0..=max_y) };
+    let region = BBox::new(x0 as f32, y0 as f32, cw as f32, ch as f32);
+    let cropped = img.crop(region).expect("crop region is inside the image");
+    let scaled = cropped.resize(w, h);
+    let sx = w as f32 / cw as f32;
+    let sy = h as f32 / ch as f32;
+    let out_labels = labels
+        .iter()
+        .filter_map(|l| {
+            let visible = l.bbox.intersect(region)?;
+            if visible.area() < 0.4 * l.bbox.area() {
+                return None;
+            }
+            let moved = visible.translate(-(x0 as f32), -(y0 as f32)).scale(sx, sy);
+            Some(ObjectLabel::new(l.indicator, moved))
+        })
+        .collect();
+    (scaled, out_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rgb;
+    use nbhd_types::Indicator;
+    use rand::SeedableRng;
+
+    fn marked_image() -> RasterImage {
+        let mut img = RasterImage::new(8, 6);
+        img.put(1, 2, Rgb::WHITE);
+        img
+    }
+
+    #[test]
+    fn rotate90_moves_pixels_correctly() {
+        let img = marked_image();
+        let (rot, _) = Augmentation::Rotate90.apply(&img, &[]);
+        assert_eq!(rot.size(), (6, 8));
+        // (x=1, y=2) -> (h-1-y=3, x=1)
+        assert_eq!(rot.get(3, 1), Rgb::WHITE);
+    }
+
+    #[test]
+    fn four_rotate90_is_identity() {
+        let img = marked_image();
+        let mut cur = img.clone();
+        for _ in 0..4 {
+            let (next, _) = Augmentation::Rotate90.apply(&cur, &[]);
+            cur = next;
+        }
+        assert_eq!(cur, img);
+    }
+
+    #[test]
+    fn labels_follow_pixels_under_rotation() {
+        let mut img = RasterImage::new(16, 12);
+        crate::draw::fill_rect(&mut img, 2, 3, 4, 5, Rgb::WHITE);
+        let label = ObjectLabel::new(Indicator::Apartment, BBox::new(2.0, 3.0, 4.0, 5.0));
+        for aug in [
+            Augmentation::Rotate90,
+            Augmentation::Rotate180,
+            Augmentation::Rotate270,
+            Augmentation::HFlip,
+        ] {
+            let (rimg, rlabels) = aug.apply(&img, std::slice::from_ref(&label));
+            let b = rlabels[0].bbox;
+            // every white pixel must be inside the transformed box
+            for y in 0..rimg.height() {
+                for x in 0..rimg.width() {
+                    if rimg.get(x, y) == Rgb::WHITE {
+                        assert!(
+                            b.contains((x as f32 + 0.5, y as f32 + 0.5).into()),
+                            "{aug:?}: pixel ({x},{y}) outside {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_crop_preserves_size_and_scales_labels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut img = RasterImage::new(40, 40);
+        crate::draw::fill_rect(&mut img, 15, 15, 10, 10, Rgb::WHITE);
+        let labels = vec![ObjectLabel::new(
+            Indicator::Sidewalk,
+            BBox::new(15.0, 15.0, 10.0, 10.0),
+        )];
+        let (out, out_labels) = random_crop(&mut rng, &img, &labels, 0.3);
+        assert_eq!(out.size(), (40, 40));
+        // center object survives a 30% crop most of the time with this seed
+        if let Some(l) = out_labels.first() {
+            assert!(l.bbox.area() >= 100.0 * 0.9, "scaled area {}", l.bbox.area());
+        }
+    }
+
+    #[test]
+    fn random_crop_drops_edge_labels_sometimes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let img = RasterImage::new(40, 40);
+        let labels = vec![ObjectLabel::new(
+            Indicator::Streetlight,
+            BBox::new(0.0, 0.0, 3.0, 3.0),
+        )];
+        let mut dropped = false;
+        for _ in 0..50 {
+            let (_, out) = random_crop(&mut rng, &img, &labels, 0.3);
+            if out.is_empty() {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "corner label should sometimes be cropped away");
+    }
+
+    #[test]
+    fn crop_zero_frac_is_identity_geometry() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let img = marked_image();
+        let (out, _) = random_crop(&mut rng, &img, &[], 0.0);
+        assert_eq!(out, img);
+    }
+}

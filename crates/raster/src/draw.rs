@@ -1,0 +1,270 @@
+//! Software rasterization primitives used by the scene renderer.
+
+use nbhd_types::Point;
+
+use crate::{RasterImage, Rgb};
+
+/// Fills an axis-aligned rectangle given by corner `(x, y)` and size.
+pub fn fill_rect(img: &mut RasterImage, x: i64, y: i64, w: i64, h: i64, color: Rgb) {
+    for yy in y.max(0)..(y + h).min(img.height() as i64) {
+        for xx in x.max(0)..(x + w).min(img.width() as i64) {
+            img.put_i(xx, yy, color);
+        }
+    }
+}
+
+/// Draws a 1-pixel rectangle outline.
+pub fn stroke_rect(img: &mut RasterImage, x: i64, y: i64, w: i64, h: i64, color: Rgb) {
+    fill_rect(img, x, y, w, 1, color);
+    fill_rect(img, x, y + h - 1, w, 1, color);
+    fill_rect(img, x, y, 1, h, color);
+    fill_rect(img, x + w - 1, y, 1, h, color);
+}
+
+/// Draws a line of the given thickness between two points (Bresenham with a
+/// square brush).
+pub fn line(img: &mut RasterImage, a: Point, b: Point, thickness: u32, color: Rgb) {
+    let (mut x0, mut y0) = (a.x.round() as i64, a.y.round() as i64);
+    let (x1, y1) = (b.x.round() as i64, b.y.round() as i64);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let t = thickness.max(1) as i64;
+    let half = t / 2;
+    loop {
+        fill_rect(img, x0 - half, y0 - half, t, t, color);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Draws a dashed line: `dash_len` pixels on, `gap_len` pixels off.
+///
+/// Used for lane markings, which are the detector's main cue for telling
+/// single-lane from multilane roads.
+pub fn dashed_line(
+    img: &mut RasterImage,
+    a: Point,
+    b: Point,
+    thickness: u32,
+    dash_len: f32,
+    gap_len: f32,
+    color: Rgb,
+) {
+    let total = a.distance(b);
+    if total < 1.0 {
+        return;
+    }
+    let period = (dash_len + gap_len).max(1.0);
+    let dir = Point::new((b.x - a.x) / total, (b.y - a.y) / total);
+    let mut s = 0.0f32;
+    while s < total {
+        let e = (s + dash_len).min(total);
+        let p0 = Point::new(a.x + dir.x * s, a.y + dir.y * s);
+        let p1 = Point::new(a.x + dir.x * e, a.y + dir.y * e);
+        line(img, p0, p1, thickness, color);
+        s += period;
+    }
+}
+
+/// Fills a disc centered at `c` with the given radius.
+pub fn fill_disc(img: &mut RasterImage, c: Point, radius: f32, color: Rgb) {
+    let r = radius.max(0.5);
+    let x0 = (c.x - r).floor() as i64;
+    let x1 = (c.x + r).ceil() as i64;
+    let y0 = (c.y - r).floor() as i64;
+    let y1 = (c.y + r).ceil() as i64;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f32 + 0.5 - c.x;
+            let dy = y as f32 + 0.5 - c.y;
+            if dx * dx + dy * dy <= r * r {
+                img.put_i(x, y, color);
+            }
+        }
+    }
+}
+
+/// Fills a convex polygon via scanline (vertices in any winding order).
+///
+/// Non-convex inputs produce the scanline between the leftmost and rightmost
+/// crossing per row, which is adequate for the renderer's road trapezoids.
+pub fn fill_convex_polygon(img: &mut RasterImage, vertices: &[Point], color: Rgb) {
+    if vertices.len() < 3 {
+        return;
+    }
+    let y_min = vertices.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).floor() as i64;
+    let y_max = vertices
+        .iter()
+        .map(|p| p.y)
+        .fold(f32::NEG_INFINITY, f32::max)
+        .ceil() as i64;
+    for y in y_min.max(0)..=y_max.min(img.height() as i64 - 1) {
+        let yc = y as f32 + 0.5;
+        let mut xs: Vec<f32> = Vec::with_capacity(4);
+        let n = vertices.len();
+        for i in 0..n {
+            let p = vertices[i];
+            let q = vertices[(i + 1) % n];
+            let (lo, hi) = if p.y <= q.y { (p, q) } else { (q, p) };
+            if yc >= lo.y && yc < hi.y && (hi.y - lo.y).abs() > 1e-6 {
+                let t = (yc - lo.y) / (hi.y - lo.y);
+                xs.push(lo.x + t * (hi.x - lo.x));
+            }
+        }
+        if xs.len() >= 2 {
+            let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            fill_rect(img, lo.round() as i64, y, (hi - lo).round() as i64 + 1, 1, color);
+        }
+    }
+}
+
+/// Fills the whole image with a vertical gradient from `top` to `bottom`.
+pub fn vertical_gradient(img: &mut RasterImage, top: Rgb, bottom: Rgb) {
+    let h = img.height();
+    for y in 0..h {
+        let t = y as f32 / (h.saturating_sub(1)).max(1) as f32;
+        let c = top.lerp(bottom, t);
+        for x in 0..img.width() {
+            img.put(x, y, c);
+        }
+    }
+}
+
+/// Draws a regular grid of small rectangles inside a bounding region —
+/// the window pattern of apartment facades.
+#[allow(clippy::too_many_arguments)]
+pub fn window_grid(
+    img: &mut RasterImage,
+    x: i64,
+    y: i64,
+    w: i64,
+    h: i64,
+    cols: u32,
+    rows: u32,
+    window: Rgb,
+) {
+    if cols == 0 || rows == 0 || w < 4 || h < 4 {
+        return;
+    }
+    let cell_w = w as f32 / cols as f32;
+    let cell_h = h as f32 / rows as f32;
+    let win_w = (cell_w * 0.5).max(1.0) as i64;
+    let win_h = (cell_h * 0.55).max(1.0) as i64;
+    for r in 0..rows {
+        for c in 0..cols {
+            let wx = x + (c as f32 * cell_w + cell_w * 0.25) as i64;
+            let wy = y + (r as f32 * cell_h + cell_h * 0.2) as i64;
+            fill_rect(img, wx, wy, win_w, win_h, window);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_color(img: &RasterImage, c: Rgb) -> usize {
+        img.pixels().iter().filter(|&&p| p == c).count()
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = RasterImage::new(10, 10);
+        fill_rect(&mut img, -5, -5, 8, 8, Rgb::WHITE);
+        assert_eq!(count_color(&img, Rgb::WHITE), 9);
+    }
+
+    #[test]
+    fn line_endpoints_are_painted() {
+        let mut img = RasterImage::new(20, 20);
+        line(&mut img, Point::new(2.0, 3.0), Point::new(15.0, 12.0), 1, Rgb::WHITE);
+        assert_eq!(img.get(2, 3), Rgb::WHITE);
+        assert_eq!(img.get(15, 12), Rgb::WHITE);
+    }
+
+    #[test]
+    fn thick_line_covers_more_pixels() {
+        let mut thin = RasterImage::new(30, 30);
+        let mut thick = RasterImage::new(30, 30);
+        line(&mut thin, Point::new(0.0, 0.0), Point::new(29.0, 29.0), 1, Rgb::WHITE);
+        line(&mut thick, Point::new(0.0, 0.0), Point::new(29.0, 29.0), 3, Rgb::WHITE);
+        assert!(count_color(&thick, Rgb::WHITE) > count_color(&thin, Rgb::WHITE));
+    }
+
+    #[test]
+    fn dashed_line_has_gaps() {
+        let mut dashed = RasterImage::new(60, 10);
+        let mut solid = RasterImage::new(60, 10);
+        dashed_line(
+            &mut dashed,
+            Point::new(0.0, 5.0),
+            Point::new(59.0, 5.0),
+            1,
+            5.0,
+            5.0,
+            Rgb::WHITE,
+        );
+        line(&mut solid, Point::new(0.0, 5.0), Point::new(59.0, 5.0), 1, Rgb::WHITE);
+        let d = count_color(&dashed, Rgb::WHITE);
+        let s = count_color(&solid, Rgb::WHITE);
+        assert!(d > 0 && d < s, "dashed={d} solid={s}");
+    }
+
+    #[test]
+    fn disc_is_roughly_circular() {
+        let mut img = RasterImage::new(40, 40);
+        fill_disc(&mut img, Point::new(20.0, 20.0), 10.0, Rgb::WHITE);
+        let n = count_color(&img, Rgb::WHITE) as f32;
+        let expected = std::f32::consts::PI * 100.0;
+        assert!((n - expected).abs() / expected < 0.15, "area {n} vs {expected}");
+        assert_eq!(img.get(20, 20), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn polygon_fills_triangle() {
+        let mut img = RasterImage::new(20, 20);
+        fill_convex_polygon(
+            &mut img,
+            &[Point::new(10.0, 2.0), Point::new(18.0, 18.0), Point::new(2.0, 18.0)],
+            Rgb::WHITE,
+        );
+        assert_eq!(img.get(10, 10), Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::BLACK);
+        let n = count_color(&img, Rgb::WHITE) as f32;
+        assert!((n - 128.0).abs() / 128.0 < 0.25, "triangle area {n}");
+    }
+
+    #[test]
+    fn gradient_is_monotone() {
+        let mut img = RasterImage::new(4, 50);
+        vertical_gradient(&mut img, Rgb::gray(10), Rgb::gray(240));
+        let top = img.get(0, 0).luminance();
+        let mid = img.get(0, 25).luminance();
+        let bot = img.get(0, 49).luminance();
+        assert!(top < mid && mid < bot);
+    }
+
+    #[test]
+    fn window_grid_paints_expected_count() {
+        let mut img = RasterImage::new(100, 100);
+        window_grid(&mut img, 10, 10, 80, 80, 4, 3, Rgb::WHITE);
+        // 12 windows, each 10x14-ish; just assert a plausible coverage band.
+        let n = count_color(&img, Rgb::WHITE);
+        assert!(n > 500 && n < 3000, "painted {n}");
+    }
+}

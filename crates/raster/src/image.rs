@@ -1,0 +1,348 @@
+//! The in-memory RGB raster image type.
+
+use nbhd_types::{BBox, Error, Result};
+
+/// An 8-bit-per-channel RGB color.
+///
+/// ```
+/// use nbhd_raster::Rgb;
+/// let sky = Rgb::new(160, 196, 232);
+/// assert!(sky.luminance() > 180.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a color from channel values.
+    #[inline]
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// A neutral gray with all channels equal to `v`.
+    #[inline]
+    pub const fn gray(v: u8) -> Self {
+        Rgb { r: v, g: v, b: v }
+    }
+
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::gray(0);
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::gray(255);
+
+    /// Rec. 601 luma in `[0, 255]`.
+    #[inline]
+    pub fn luminance(self) -> f32 {
+        0.299 * self.r as f32 + 0.587 * self.g as f32 + 0.114 * self.b as f32
+    }
+
+    /// Linear blend toward `other` by `t` in `[0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t).round() as u8;
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+
+    /// Multiplies all channels by `f`, saturating.
+    pub fn scaled(self, f: f32) -> Rgb {
+        let s = |v: u8| ((v as f32) * f).clamp(0.0, 255.0) as u8;
+        Rgb::new(s(self.r), s(self.g), s(self.b))
+    }
+}
+
+impl From<(u8, u8, u8)> for Rgb {
+    fn from((r, g, b): (u8, u8, u8)) -> Self {
+        Rgb::new(r, g, b)
+    }
+}
+
+/// A row-major, tightly packed RGB image.
+///
+/// This is the pixel substrate for the whole workspace: the scene renderer
+/// draws into it, the noise/augmentation ablations transform it, and the
+/// detector extracts features from it.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_raster::{Rgb, RasterImage};
+///
+/// let mut img = RasterImage::filled(64, 48, Rgb::gray(128));
+/// img.put(10, 10, Rgb::WHITE);
+/// assert_eq!(img.get(10, 10), Rgb::WHITE);
+/// assert_eq!(img.get(0, 0), Rgb::gray(128));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgb>,
+}
+
+impl RasterImage {
+    /// Creates a black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self::filled(width, height, Rgb::BLACK)
+    }
+
+    /// Creates an image filled with `color`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: u32, height: u32, color: Rgb) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        RasterImage {
+            width,
+            height,
+            pixels: vec![color; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn size(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        (y as usize) * (self.width as usize) + (x as usize)
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[self.idx(x, y)]
+    }
+
+    /// Writes the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn put(&mut self, x: u32, y: u32, color: Rgb) {
+        if x < self.width && y < self.height {
+            let i = self.idx(x, y);
+            self.pixels[i] = color;
+        }
+    }
+
+    /// Writes the pixel at signed coordinates; negative or out-of-bounds
+    /// writes are ignored. Convenient for rasterizers.
+    #[inline]
+    pub fn put_i(&mut self, x: i64, y: i64, color: Rgb) {
+        if x >= 0 && y >= 0 {
+            self.put(x as u32, y as u32, color);
+        }
+    }
+
+    /// Alpha-blends `color` onto the pixel at `(x, y)` with opacity `alpha`.
+    pub fn blend(&mut self, x: u32, y: u32, color: Rgb, alpha: f32) {
+        if x < self.width && y < self.height {
+            let i = self.idx(x, y);
+            self.pixels[i] = self.pixels[i].lerp(color, alpha);
+        }
+    }
+
+    /// Raw pixel slice, row-major.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixel slice, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [Rgb] {
+        &mut self.pixels
+    }
+
+    /// Converts to a row-major grayscale `f32` plane in `[0, 255]`.
+    pub fn to_gray(&self) -> Vec<f32> {
+        self.pixels.iter().map(|p| p.luminance()).collect()
+    }
+
+    /// Extracts a sub-image; the box is clamped to the image first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the clamped region is empty.
+    pub fn crop(&self, region: BBox) -> Result<RasterImage> {
+        let clamped = region
+            .clamp_to(self.width, self.height)
+            .ok_or_else(|| Error::config("crop region lies outside the image"))?;
+        let x0 = clamped.x.floor() as u32;
+        let y0 = clamped.y.floor() as u32;
+        let w = (clamped.w.round() as u32).max(1).min(self.width - x0);
+        let h = (clamped.h.round() as u32).max(1).min(self.height - y0);
+        let mut out = RasterImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                out.put(x, y, self.get(x0 + x, y0 + y));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nearest-neighbour resize to `(width, height)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn resize(&self, width: u32, height: u32) -> RasterImage {
+        assert!(width > 0 && height > 0, "resize dimensions must be positive");
+        let mut out = RasterImage::new(width, height);
+        for y in 0..height {
+            let sy = (y as u64 * self.height as u64 / height as u64) as u32;
+            for x in 0..width {
+                let sx = (x as u64 * self.width as u64 / width as u64) as u32;
+                out.put(x, y, self.get(sx.min(self.width - 1), sy.min(self.height - 1)));
+            }
+        }
+        out
+    }
+
+    /// Mean luminance over the whole image.
+    pub fn mean_luminance(&self) -> f32 {
+        let sum: f64 = self.pixels.iter().map(|p| p.luminance() as f64).sum();
+        (sum / self.pixels.len() as f64) as f32
+    }
+
+    /// Luminance variance (the "signal power" used for SNR calculations).
+    pub fn luminance_variance(&self) -> f32 {
+        let mean = self.mean_luminance() as f64;
+        let var: f64 = self
+            .pixels
+            .iter()
+            .map(|p| {
+                let d = p.luminance() as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixels.len() as f64;
+        var as f32
+    }
+
+    /// Mean absolute per-channel difference to another image of equal size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the sizes differ.
+    pub fn mean_abs_diff(&self, other: &RasterImage) -> Result<f32> {
+        if self.size() != other.size() {
+            return Err(Error::config("images differ in size"));
+        }
+        let total: u64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| {
+                (a.r as i32 - b.r as i32).unsigned_abs() as u64
+                    + (a.g as i32 - b.g as i32).unsigned_abs() as u64
+                    + (a.b as i32 - b.b as i32).unsigned_abs() as u64
+            })
+            .sum();
+        Ok(total as f32 / (self.pixels.len() as f32 * 3.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut img = RasterImage::new(8, 4);
+        img.put(7, 3, Rgb::new(1, 2, 3));
+        assert_eq!(img.get(7, 3), Rgb::new(1, 2, 3));
+        assert_eq!(img.size(), (8, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = RasterImage::new(4, 4);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    fn put_out_of_bounds_is_ignored() {
+        let mut img = RasterImage::new(4, 4);
+        img.put(100, 100, Rgb::WHITE);
+        img.put_i(-1, -1, Rgb::WHITE);
+        assert!(img.pixels().iter().all(|&p| p == Rgb::BLACK));
+    }
+
+    #[test]
+    fn crop_extracts_region() {
+        let mut img = RasterImage::new(10, 10);
+        img.put(5, 5, Rgb::WHITE);
+        let c = img.crop(BBox::new(4.0, 4.0, 3.0, 3.0)).unwrap();
+        assert_eq!(c.size(), (3, 3));
+        assert_eq!(c.get(1, 1), Rgb::WHITE);
+    }
+
+    #[test]
+    fn crop_outside_errors() {
+        let img = RasterImage::new(10, 10);
+        assert!(img.crop(BBox::new(20.0, 20.0, 5.0, 5.0)).is_err());
+    }
+
+    #[test]
+    fn resize_preserves_fill() {
+        let img = RasterImage::filled(10, 10, Rgb::gray(77));
+        let r = img.resize(23, 7);
+        assert_eq!(r.size(), (23, 7));
+        assert!(r.pixels().iter().all(|&p| p == Rgb::gray(77)));
+    }
+
+    #[test]
+    fn luminance_stats() {
+        let img = RasterImage::filled(4, 4, Rgb::gray(100));
+        assert!((img.mean_luminance() - 100.0).abs() < 0.5);
+        assert!(img.luminance_variance() < 1e-3);
+    }
+
+    #[test]
+    fn mean_abs_diff_detects_changes() {
+        let a = RasterImage::filled(4, 4, Rgb::gray(100));
+        let mut b = a.clone();
+        assert_eq!(a.mean_abs_diff(&b).unwrap(), 0.0);
+        b.put(0, 0, Rgb::gray(148));
+        assert!(a.mean_abs_diff(&b).unwrap() > 0.0);
+        let c = RasterImage::new(3, 3);
+        assert!(a.mean_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn rgb_lerp_endpoints() {
+        let a = Rgb::new(0, 0, 0);
+        let b = Rgb::new(255, 255, 255);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Rgb::gray(128));
+    }
+}

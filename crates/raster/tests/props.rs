@@ -1,0 +1,102 @@
+//! Property-based tests for image transforms and noise.
+
+use nbhd_raster::{add_gaussian_sigma, Augmentation, RasterImage, Rgb};
+use nbhd_types::rng::rng_from;
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = RasterImage> {
+    (2u32..40, 2u32..40, proptest::collection::vec(any::<(u8, u8, u8)>(), 1..40)).prop_map(
+        |(w, h, marks)| {
+            let mut img = RasterImage::new(w, h);
+            for (i, (r, g, b)) in marks.into_iter().enumerate() {
+                let x = (i as u32 * 7) % w;
+                let y = (i as u32 * 13) % h;
+                img.put(x, y, Rgb::new(r, g, b));
+            }
+            img
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn four_rotations_are_identity(img in arb_image()) {
+        let mut cur = img.clone();
+        for _ in 0..4 {
+            cur = Augmentation::Rotate90.apply(&cur, &[]).0;
+        }
+        prop_assert_eq!(cur, img);
+    }
+
+    #[test]
+    fn rotate180_twice_is_identity(img in arb_image()) {
+        let once = Augmentation::Rotate180.apply(&img, &[]).0;
+        let twice = Augmentation::Rotate180.apply(&once, &[]).0;
+        prop_assert_eq!(twice, img);
+    }
+
+    #[test]
+    fn hflip_is_involution(img in arb_image()) {
+        let once = Augmentation::HFlip.apply(&img, &[]).0;
+        let twice = Augmentation::HFlip.apply(&once, &[]).0;
+        prop_assert_eq!(twice, img);
+    }
+
+    #[test]
+    fn rotations_preserve_pixel_multiset(img in arb_image()) {
+        let rot = Augmentation::Rotate90.apply(&img, &[]).0;
+        let mut a: Vec<(u8, u8, u8)> = img.pixels().iter().map(|p| (p.r, p.g, p.b)).collect();
+        let mut b: Vec<(u8, u8, u8)> = rot.pixels().iter().map(|p| (p.r, p.g, p.b)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(rot.size(), (img.size().1, img.size().0));
+    }
+
+    #[test]
+    fn rotations_preserve_mean_luminance(img in arb_image()) {
+        let rot = Augmentation::Rotate270.apply(&img, &[]).0;
+        prop_assert!((rot.mean_luminance() - img.mean_luminance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noise_with_zero_sigma_is_identity(img in arb_image(), seed in 0u64..100) {
+        let mut rng = rng_from(seed);
+        prop_assert_eq!(add_gaussian_sigma(&mut rng, &img, 0.0), img);
+    }
+
+    #[test]
+    fn noise_keeps_dimensions_and_is_seed_deterministic(img in arb_image(), seed in 0u64..100) {
+        let a = add_gaussian_sigma(&mut rng_from(seed), &img, 12.0);
+        let b = add_gaussian_sigma(&mut rng_from(seed), &img, 12.0);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.size(), img.size());
+    }
+
+    #[test]
+    fn resize_round_trip_is_lossless_for_integer_scales(img in arb_image(), k in 1u32..4) {
+        let (w, h) = img.size();
+        let up = img.resize(w * k, h * k);
+        let down = up.resize(w, h);
+        prop_assert_eq!(down, img);
+    }
+
+    #[test]
+    fn crop_of_full_region_is_identity(img in arb_image()) {
+        let (w, h) = img.size();
+        let full = img
+            .crop(nbhd_types::BBox::new(0.0, 0.0, w as f32, h as f32))
+            .unwrap();
+        prop_assert_eq!(full, img);
+    }
+
+    #[test]
+    fn lerp_stays_within_channel_bounds(a in any::<(u8, u8, u8)>(), b in any::<(u8, u8, u8)>(), t in 0.0f32..1.0) {
+        let ca = Rgb::new(a.0, a.1, a.2);
+        let cb = Rgb::new(b.0, b.1, b.2);
+        let m = ca.lerp(cb, t);
+        prop_assert!(m.r >= ca.r.min(cb.r) && m.r <= ca.r.max(cb.r));
+        prop_assert!(m.g >= ca.g.min(cb.g) && m.g <= ca.g.max(cb.g));
+        prop_assert!(m.b >= ca.b.min(cb.b) && m.b <= ca.b.max(cb.b));
+    }
+}

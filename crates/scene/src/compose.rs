@@ -1,0 +1,346 @@
+//! The scene composer: turns a survey point + heading into a concrete
+//! [`SceneSpec`], sampling from the zoning priors.
+//!
+//! This is the randomness boundary of the imaging substrate: every
+//! stochastic choice (which objects exist, where they stand, the weather)
+//! happens here, seeded per image, so the renderer and the evidence model
+//! stay pure functions of the spec.
+
+use nbhd_geo::{RoadClass, SurveyPoint, Zoning};
+use nbhd_types::rng::{child_seed_n, rng_from};
+use nbhd_types::{Heading, ImageId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::spec::{
+    BuildingKind, BuildingView, PowerlineView, RoadView, SceneSpec, SidewalkView, Side,
+    StreetlightView, TreeView, VehicleView, ViewKind,
+};
+
+/// Composes street scenes deterministically from a root seed.
+///
+/// ```
+/// use nbhd_geo::{County, SurveySample};
+/// use nbhd_scene::SceneGenerator;
+/// use nbhd_types::Heading;
+///
+/// let sample = SurveySample::draw(&County::study_pair(), 4, 0.5, 7)?;
+/// let gen = SceneGenerator::new(7);
+/// let spec = gen.compose(&sample.points()[0], Heading::North);
+/// let again = gen.compose(&sample.points()[0], Heading::North);
+/// assert_eq!(spec, again); // fully deterministic
+/// # Ok::<(), nbhd_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SceneGenerator {
+    seed: u64,
+}
+
+impl SceneGenerator {
+    /// Creates a generator rooted at `seed`.
+    pub const fn new(seed: u64) -> Self {
+        SceneGenerator { seed }
+    }
+
+    /// Composes the scene visible from `point` looking toward `heading`.
+    pub fn compose(&self, point: &SurveyPoint, heading: Heading) -> SceneSpec {
+        let image = ImageId::new(point.id, heading);
+        let mut rng = rng_from(child_seed_n(self.seed, "scene", image.key()));
+        let view = view_kind(point.road_bearing, heading);
+        compose_with(&mut rng, image, point.zone, point.road_class, view)
+    }
+
+    /// Composes directly from scene parameters, bypassing geography.
+    /// Useful for tests and controlled benchmarks.
+    pub fn compose_raw(
+        &self,
+        image: ImageId,
+        zone: Zoning,
+        road_class: RoadClass,
+        view: ViewKind,
+    ) -> SceneSpec {
+        let mut rng = rng_from(child_seed_n(self.seed, "scene", image.key()));
+        compose_with(&mut rng, image, zone, road_class, view)
+    }
+}
+
+/// Classifies the view: along the road when the capture heading is within
+/// 45 degrees of the road bearing (in either direction).
+pub fn view_kind(road_bearing: f64, heading: Heading) -> ViewKind {
+    let h = heading.degrees() as f64;
+    let diff = (road_bearing - h).abs() % 180.0;
+    let folded = diff.min(180.0 - diff);
+    if folded <= 45.0 {
+        ViewKind::AlongRoad
+    } else {
+        ViewKind::AcrossRoad
+    }
+}
+
+fn compose_with(
+    rng: &mut StdRng,
+    image: ImageId,
+    zone: Zoning,
+    road_class: RoadClass,
+    view: ViewKind,
+) -> SceneSpec {
+    let priors = zone.priors();
+    let along = view == ViewKind::AlongRoad;
+
+    // Roadway: fully visible along; a partial bottom band across (often
+    // cropped out of frame entirely by vegetation or parked vehicles).
+    let road = if along {
+        Some(RoadView {
+            class: road_class,
+            visible_frac: rng.random_range(0.85..1.0),
+        })
+    } else if rng.random_bool(0.35) {
+        Some(RoadView {
+            class: road_class,
+            visible_frac: rng.random_range(0.15..0.45),
+        })
+    } else {
+        None
+    };
+
+    // Sidewalk: installed per zone prior; visible mostly in along views.
+    let sidewalk_visible_p = if along { 0.95 } else { 0.50 };
+    let sidewalk = if rng.random_bool(priors.sidewalk) && rng.random_bool(sidewalk_visible_p) {
+        Some(SidewalkView {
+            side: random_side(rng),
+            clear_frac: rng.random_range(0.5..1.0),
+        })
+    } else {
+        None
+    };
+
+    // Streetlights: 1-3 poles along the view, at most one across.
+    let mut streetlights = Vec::new();
+    if rng.random_bool(priors.streetlight) {
+        let count = if along {
+            rng.random_range(1..=3)
+        } else if rng.random_bool(0.5) {
+            1
+        } else {
+            0
+        };
+        let side = random_side(rng);
+        for i in 0..count {
+            streetlights.push(StreetlightView {
+                side,
+                depth: (i as f32 * 0.28 + rng.random_range(0.02..0.18)).min(0.85),
+                height: rng.random_range(0.40..0.60),
+            });
+        }
+    }
+
+    // Powerlines: wires remain visible even across the road.
+    let powerline_visible_p = if along { 0.85 } else { 0.55 };
+    let powerline = if rng.random_bool(priors.powerline) && rng.random_bool(powerline_visible_p) {
+        let n_poles = if along { rng.random_range(2..=4) } else { rng.random_range(1..=2) };
+        let mut pole_depths: Vec<f32> = (0..n_poles)
+            .map(|i| (i as f32 * 0.25 + rng.random_range(0.02..0.15)).min(0.85))
+            .collect();
+        pole_depths.sort_by(|a, b| a.partial_cmp(b).expect("finite depths"));
+        Some(PowerlineView {
+            pole_depths,
+            side: random_side(rng),
+            wires: rng.random_range(2..=4),
+            wire_height: rng.random_range(0.10..0.28),
+        })
+    } else {
+        None
+    };
+
+    // Buildings. Apartments are their own prior; the rest fill by density.
+    let mut buildings = Vec::new();
+    let apartment_visible_p = if along { 0.45 } else { 0.75 };
+    if rng.random_bool(priors.apartment) && rng.random_bool(apartment_visible_p) {
+        buildings.push(BuildingView {
+            kind: BuildingKind::Apartment,
+            side: random_side(rng),
+            depth: rng.random_range(0.05..0.45),
+            stories: rng.random_range(3..=6),
+            width: rng.random_range(0.28..0.50),
+            palette: rng.random_range(0..8),
+        });
+    }
+    let max_extra = if along { 5.0 } else { 3.0 };
+    let n_extra = (priors.building_density * max_extra * rng.random_range(0.4..1.2)).round() as usize;
+    for _ in 0..n_extra {
+        let kind = if rng.random_bool(shop_fraction(zone)) {
+            BuildingKind::Shop
+        } else {
+            BuildingKind::House
+        };
+        buildings.push(BuildingView {
+            kind,
+            side: random_side(rng),
+            depth: rng.random_range(0.05..0.80),
+            stories: if kind == BuildingKind::Shop && rng.random_bool(0.3) { 2 } else { 1 },
+            width: rng.random_range(0.12..0.26),
+            palette: rng.random_range(0..8),
+        });
+    }
+    // far-to-near draw order for the painter's algorithm
+    buildings.sort_by(|a, b| b.depth.partial_cmp(&a.depth).expect("finite depths"));
+
+    // Trees.
+    let n_trees = (priors.tree_density * 6.0 * rng.random_range(0.3..1.2)).round() as usize;
+    let mut trees: Vec<TreeView> = (0..n_trees)
+        .map(|_| TreeView {
+            side: random_side(rng),
+            depth: rng.random_range(0.05..0.85),
+            size: rng.random_range(0.15..0.40),
+        })
+        .collect();
+    trees.sort_by(|a, b| b.depth.partial_cmp(&a.depth).expect("finite depths"));
+
+    // Vehicles only make sense on a visible road.
+    let mut vehicles = Vec::new();
+    if let Some(road) = &road {
+        if along {
+            let n = (priors.traffic_density * 3.0 * rng.random_range(0.0..1.3)).round() as usize;
+            for _ in 0..n {
+                vehicles.push(VehicleView {
+                    lane_offset: rng.random_range(-0.8..0.8),
+                    depth: rng.random_range(0.10..0.75),
+                    palette: rng.random_range(0..8),
+                });
+            }
+            vehicles.sort_by(|a, b| b.depth.partial_cmp(&a.depth).expect("finite depths"));
+        } else if road.visible_frac > 0.25 && rng.random_bool(priors.traffic_density) {
+            vehicles.push(VehicleView {
+                lane_offset: rng.random_range(-0.6..0.6),
+                depth: rng.random_range(0.2..0.8),
+                palette: rng.random_range(0..8),
+            });
+        }
+    }
+
+    SceneSpec {
+        image,
+        zone,
+        view,
+        road,
+        sidewalk,
+        streetlights,
+        powerline,
+        buildings,
+        trees,
+        vehicles,
+        lighting: rng.random_range(0.70..1.10),
+        haze: rng.random_range(0.0..0.40),
+    }
+}
+
+fn shop_fraction(zone: Zoning) -> f64 {
+    match zone {
+        Zoning::Urban => 0.45,
+        Zoning::Suburban => 0.20,
+        Zoning::Rural => 0.05,
+    }
+}
+
+fn random_side<R: Rng + ?Sized>(rng: &mut R) -> Side {
+    if rng.random_bool(0.5) {
+        Side::Left
+    } else {
+        Side::Right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::LocationId;
+
+    #[test]
+    fn view_kind_folds_angles() {
+        assert_eq!(view_kind(0.0, Heading::North), ViewKind::AlongRoad);
+        assert_eq!(view_kind(180.0, Heading::North), ViewKind::AlongRoad);
+        assert_eq!(view_kind(90.0, Heading::North), ViewKind::AcrossRoad);
+        assert_eq!(view_kind(44.0, Heading::North), ViewKind::AlongRoad);
+        assert_eq!(view_kind(46.0, Heading::North), ViewKind::AcrossRoad);
+        assert_eq!(view_kind(350.0, Heading::North), ViewKind::AlongRoad);
+        assert_eq!(view_kind(270.0, Heading::West), ViewKind::AlongRoad);
+    }
+
+    #[test]
+    fn compose_raw_is_deterministic_per_image() {
+        let generator = SceneGenerator::new(3);
+        let id = ImageId::new(LocationId(5), Heading::East);
+        let a = generator.compose_raw(id, Zoning::Urban, RoadClass::Multilane, ViewKind::AlongRoad);
+        let b = generator.compose_raw(id, Zoning::Urban, RoadClass::Multilane, ViewKind::AlongRoad);
+        assert_eq!(a, b);
+        let other = ImageId::new(LocationId(6), Heading::East);
+        let c = generator.compose_raw(other, Zoning::Urban, RoadClass::Multilane, ViewKind::AlongRoad);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn along_views_always_show_the_road() {
+        let generator = SceneGenerator::new(9);
+        for loc in 0..50u64 {
+            let id = ImageId::new(LocationId(loc), Heading::North);
+            let s =
+                generator.compose_raw(id, Zoning::Suburban, RoadClass::SingleLane, ViewKind::AlongRoad);
+            let road = s.road.expect("along view always has a road");
+            assert!(road.visible_frac > 0.8);
+        }
+    }
+
+    #[test]
+    fn across_views_often_hide_the_road() {
+        let generator = SceneGenerator::new(10);
+        let hidden = (0..200u64)
+            .filter(|&loc| {
+                let id = ImageId::new(LocationId(loc), Heading::North);
+                generator
+                    .compose_raw(id, Zoning::Suburban, RoadClass::SingleLane, ViewKind::AcrossRoad)
+                    .road
+                    .is_none()
+            })
+            .count();
+        assert!(
+            (90..=170).contains(&hidden),
+            "expected ~65% hidden, got {hidden}/200"
+        );
+    }
+
+    #[test]
+    fn urban_scenes_are_richer_than_rural() {
+        let generator = SceneGenerator::new(11);
+        let count_avg = |zone: Zoning, f: &dyn Fn(&SceneSpec) -> usize| -> f64 {
+            (0..300u64)
+                .map(|loc| {
+                    let id = ImageId::new(LocationId(loc), Heading::North);
+                    f(&generator.compose_raw(id, zone, RoadClass::SingleLane, ViewKind::AlongRoad))
+                        as f64
+                })
+                .sum::<f64>()
+                / 300.0
+        };
+        let urban_sl = count_avg(Zoning::Urban, &|s| s.streetlights.len());
+        let rural_sl = count_avg(Zoning::Rural, &|s| s.streetlights.len());
+        assert!(urban_sl > rural_sl * 3.0, "urban {urban_sl} rural {rural_sl}");
+        let urban_sw = count_avg(Zoning::Urban, &|s| usize::from(s.sidewalk.is_some()));
+        let rural_sw = count_avg(Zoning::Rural, &|s| usize::from(s.sidewalk.is_some()));
+        assert!(urban_sw > rural_sw * 4.0);
+        let rural_trees = count_avg(Zoning::Rural, &|s| s.trees.len());
+        let urban_trees = count_avg(Zoning::Urban, &|s| s.trees.len());
+        assert!(rural_trees > urban_trees);
+    }
+
+    #[test]
+    fn buildings_are_sorted_far_to_near() {
+        let generator = SceneGenerator::new(12);
+        for loc in 0..30u64 {
+            let id = ImageId::new(LocationId(loc), Heading::South);
+            let s = generator.compose_raw(id, Zoning::Urban, RoadClass::Multilane, ViewKind::AlongRoad);
+            for w in s.buildings.windows(2) {
+                assert!(w[0].depth >= w[1].depth);
+            }
+        }
+    }
+}

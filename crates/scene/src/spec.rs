@@ -1,0 +1,304 @@
+//! The complete ground-truth description of one street-view scene.
+//!
+//! A [`SceneSpec`] is everything there is to know about a synthetic capture:
+//! the view geometry, the road, and every placed object with its concrete
+//! position in normalized coordinates. The renderer consumes it to produce
+//! pixels plus exact object boxes; the VLM simulator consumes it to compute
+//! per-indicator visual evidence. All randomness lives in the *composer* —
+//! a spec renders identically every time.
+
+use nbhd_geo::{RoadClass, Zoning};
+use nbhd_types::{ImageId, Indicator, IndicatorSet};
+use serde::{Deserialize, Serialize};
+
+/// Which way the capture looks relative to the roadway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViewKind {
+    /// Looking down the road: full perspective view to a vanishing point.
+    AlongRoad,
+    /// Looking across the road: facades dominate, road is a bottom band.
+    AcrossRoad,
+}
+
+/// Which side of the frame an object sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// Left half of the frame.
+    Left,
+    /// Right half of the frame.
+    Right,
+}
+
+/// The roadway as seen in this view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadView {
+    /// Lane configuration (ground truth, even when hard to see).
+    pub class: RoadClass,
+    /// Fraction of the roadway actually visible in frame, `(0, 1]`.
+    /// Along-road views are ~1; across-road views show a partial band.
+    pub visible_frac: f32,
+}
+
+/// A visible sidewalk strip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SidewalkView {
+    /// Side of the road the strip runs on (along views).
+    pub side: Side,
+    /// Fraction of the strip unoccluded, `(0, 1]`.
+    pub clear_frac: f32,
+}
+
+/// One streetlight placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreetlightView {
+    /// Which roadside the pole stands on.
+    pub side: Side,
+    /// Depth along the view, `0` = nearest, `1` = at the horizon.
+    pub depth: f32,
+    /// Pole height as a fraction of frame height at zero depth.
+    pub height: f32,
+}
+
+/// Overhead powerline infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerlineView {
+    /// Utility pole depths along the view (same semantics as streetlights).
+    pub pole_depths: Vec<f32>,
+    /// Which side the poles run on.
+    pub side: Side,
+    /// Number of parallel wires (2–4).
+    pub wires: u8,
+    /// Height of the wire band as a fraction of frame height (from top).
+    pub wire_height: f32,
+}
+
+/// Building kinds the composer can place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BuildingKind {
+    /// A multi-story apartment block with a regular window grid.
+    Apartment,
+    /// A single-family house with a pitched roof.
+    House,
+    /// A flat-roofed commercial unit.
+    Shop,
+}
+
+/// One placed building.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildingView {
+    /// The building type.
+    pub kind: BuildingKind,
+    /// Which side of the frame it occupies.
+    pub side: Side,
+    /// Depth along the view (along views) or horizontal position (across).
+    pub depth: f32,
+    /// Stories (1 for houses/shops, 3–6 for apartments).
+    pub stories: u8,
+    /// Footprint width as a fraction of frame width at zero depth.
+    pub width: f32,
+    /// Facade palette index (stable pseudo-color).
+    pub palette: u8,
+}
+
+/// One roadside tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeView {
+    /// Side of the frame.
+    pub side: Side,
+    /// Depth along the view.
+    pub depth: f32,
+    /// Canopy size as a fraction of frame height at zero depth.
+    pub size: f32,
+}
+
+/// One vehicle on the road.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleView {
+    /// Lane offset in `[-1, 1]` across the road width.
+    pub lane_offset: f32,
+    /// Depth along the view.
+    pub depth: f32,
+    /// Body palette index.
+    pub palette: u8,
+}
+
+/// The full ground truth for one captured image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneSpec {
+    /// Which image this scene belongs to.
+    pub image: ImageId,
+    /// Zoning of the surrounding tract.
+    pub zone: Zoning,
+    /// View geometry relative to the road.
+    pub view: ViewKind,
+    /// The roadway, when visible in frame.
+    pub road: Option<RoadView>,
+    /// The sidewalk, when present and visible.
+    pub sidewalk: Option<SidewalkView>,
+    /// Streetlight placements (empty when none visible).
+    pub streetlights: Vec<StreetlightView>,
+    /// Powerline infrastructure, when visible.
+    pub powerline: Option<PowerlineView>,
+    /// Buildings, ordered far to near by the composer.
+    pub buildings: Vec<BuildingView>,
+    /// Trees, ordered far to near.
+    pub trees: Vec<TreeView>,
+    /// Vehicles on the road.
+    pub vehicles: Vec<VehicleView>,
+    /// Global brightness in `[0.6, 1.1]` (overcast to bright).
+    pub lighting: f32,
+    /// Atmospheric haze in `[0, 0.5]`; washes out distant objects.
+    pub haze: f32,
+}
+
+impl SceneSpec {
+    /// The ground-truth presence set: which of the six indicators are in
+    /// this scene.
+    ///
+    /// Roads count as present when any part of the roadway is visible; the
+    /// class (single vs. multi) comes from the road's true lane count, not
+    /// from what is discernible — matching how the study's human labeler
+    /// worked from local knowledge of the roads.
+    pub fn presence(&self) -> IndicatorSet {
+        let mut set = IndicatorSet::new();
+        if let Some(road) = &self.road {
+            match road.class {
+                RoadClass::SingleLane => set.insert(Indicator::SingleLaneRoad),
+                RoadClass::Multilane => set.insert(Indicator::MultilaneRoad),
+            };
+        }
+        if self.sidewalk.is_some() {
+            set.insert(Indicator::Sidewalk);
+        }
+        if !self.streetlights.is_empty() {
+            set.insert(Indicator::Streetlight);
+        }
+        if self.powerline.is_some() {
+            set.insert(Indicator::Powerline);
+        }
+        if self
+            .buildings
+            .iter()
+            .any(|b| b.kind == BuildingKind::Apartment)
+        {
+            set.insert(Indicator::Apartment);
+        }
+        set
+    }
+
+    /// Number of distinct labelable objects in the scene (used to mirror the
+    /// paper's 1,927-object count).
+    pub fn object_count(&self) -> usize {
+        let mut n = 0usize;
+        n += usize::from(self.road.is_some());
+        n += usize::from(self.sidewalk.is_some());
+        n += self.streetlights.len();
+        n += usize::from(self.powerline.is_some());
+        n += self
+            .buildings
+            .iter()
+            .filter(|b| b.kind == BuildingKind::Apartment)
+            .count();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_types::{Heading, LocationId};
+
+    fn empty_spec() -> SceneSpec {
+        SceneSpec {
+            image: ImageId::new(LocationId(0), Heading::North),
+            zone: Zoning::Rural,
+            view: ViewKind::AlongRoad,
+            road: None,
+            sidewalk: None,
+            streetlights: Vec::new(),
+            powerline: None,
+            buildings: Vec::new(),
+            trees: Vec::new(),
+            vehicles: Vec::new(),
+            lighting: 1.0,
+            haze: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_scene_has_no_indicators() {
+        assert!(empty_spec().presence().is_empty());
+        assert_eq!(empty_spec().object_count(), 0);
+    }
+
+    #[test]
+    fn road_class_maps_to_indicator() {
+        let mut s = empty_spec();
+        s.road = Some(RoadView {
+            class: RoadClass::Multilane,
+            visible_frac: 1.0,
+        });
+        assert!(s.presence().contains(Indicator::MultilaneRoad));
+        assert!(!s.presence().contains(Indicator::SingleLaneRoad));
+        s.road = Some(RoadView {
+            class: RoadClass::SingleLane,
+            visible_frac: 0.3,
+        });
+        assert!(s.presence().contains(Indicator::SingleLaneRoad));
+    }
+
+    #[test]
+    fn only_apartments_count_as_apartment() {
+        let mut s = empty_spec();
+        s.buildings.push(BuildingView {
+            kind: BuildingKind::House,
+            side: Side::Left,
+            depth: 0.2,
+            stories: 1,
+            width: 0.2,
+            palette: 0,
+        });
+        assert!(!s.presence().contains(Indicator::Apartment));
+        s.buildings.push(BuildingView {
+            kind: BuildingKind::Apartment,
+            side: Side::Right,
+            depth: 0.3,
+            stories: 4,
+            width: 0.3,
+            palette: 1,
+        });
+        assert!(s.presence().contains(Indicator::Apartment));
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn object_count_tracks_all_indicator_objects() {
+        let mut s = empty_spec();
+        s.road = Some(RoadView {
+            class: RoadClass::SingleLane,
+            visible_frac: 1.0,
+        });
+        s.sidewalk = Some(SidewalkView {
+            side: Side::Right,
+            clear_frac: 1.0,
+        });
+        s.streetlights.push(StreetlightView {
+            side: Side::Left,
+            depth: 0.1,
+            height: 0.5,
+        });
+        s.streetlights.push(StreetlightView {
+            side: Side::Left,
+            depth: 0.5,
+            height: 0.5,
+        });
+        s.powerline = Some(PowerlineView {
+            pole_depths: vec![0.2, 0.6],
+            side: Side::Right,
+            wires: 3,
+            wire_height: 0.25,
+        });
+        assert_eq!(s.object_count(), 5);
+        assert_eq!(s.presence().len(), 4);
+    }
+}

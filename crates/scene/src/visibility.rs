@@ -1,0 +1,267 @@
+//! Per-indicator visual evidence, the interface between scenes and the
+//! simulated vision-language models.
+//!
+//! A VLM does not see ground truth; it sees *evidence*. For each indicator
+//! this module scores (a) how visible the indicator is when present —
+//! small, distant, occluded, or hazy objects are easy to miss — and (b) how
+//! much *distractor* evidence the scene offers when the indicator is absent
+//! — e.g. any partial roadway view reads as "single-lane road" to the
+//! paper's LLMs, and large multi-window houses read as apartments.
+
+use nbhd_types::{Indicator, IndicatorMap};
+
+use crate::spec::{BuildingKind, SceneSpec, ViewKind};
+
+/// Evidence scores for one indicator in one scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndicatorEvidence {
+    /// How conspicuous the indicator is *when present*, in `[0, 1]`.
+    /// Meaningless (0) when absent.
+    pub visibility: f32,
+    /// How much the scene *falsely suggests* the indicator when absent,
+    /// in `[0, 1]`. Meaningless (0) when present.
+    pub distractor: f32,
+}
+
+/// Computes the evidence scores for every indicator.
+///
+/// ```
+/// use nbhd_geo::{RoadClass, Zoning};
+/// use nbhd_scene::{scene_evidence, SceneGenerator, ViewKind};
+/// use nbhd_types::{Heading, ImageId, Indicator, LocationId};
+///
+/// let spec = SceneGenerator::new(5).compose_raw(
+///     ImageId::new(LocationId(0), Heading::North),
+///     Zoning::Urban,
+///     RoadClass::Multilane,
+///     ViewKind::AlongRoad,
+/// );
+/// let ev = scene_evidence(&spec);
+/// // a fully visible multilane road is strong evidence
+/// assert!(ev[Indicator::MultilaneRoad].visibility > 0.5);
+/// # // and single-lane gets distractor evidence from the same road
+/// # assert!(ev[Indicator::SingleLaneRoad].distractor > 0.0);
+/// ```
+pub fn scene_evidence(spec: &SceneSpec) -> IndicatorMap<IndicatorEvidence> {
+    let presence = spec.presence();
+    IndicatorMap::from_fn(|ind| {
+        let present = presence.contains(ind);
+        IndicatorEvidence {
+            visibility: if present { visibility(spec, ind) } else { 0.0 },
+            distractor: if present { 0.0 } else { distractor(spec, ind) },
+        }
+    })
+}
+
+/// Dims evidence for distant/hazy conditions.
+fn atmosphere(spec: &SceneSpec) -> f32 {
+    (spec.lighting.clamp(0.6, 1.1) - 0.25 * spec.haze).clamp(0.3, 1.1)
+}
+
+fn visibility(spec: &SceneSpec, ind: Indicator) -> f32 {
+    let atm = atmosphere(spec);
+    let v = match ind {
+        Indicator::Streetlight => spec
+            .streetlights
+            .iter()
+            .map(|sl| (1.0 - 0.75 * sl.depth) * (sl.height / 0.6).min(1.0))
+            .fold(0.0f32, f32::max),
+        Indicator::Sidewalk => {
+            let sw = spec.sidewalk.as_ref().expect("present implies sidewalk");
+            let view_factor = match spec.view {
+                ViewKind::AlongRoad => 1.0,
+                ViewKind::AcrossRoad => 0.8,
+            };
+            sw.clear_frac * view_factor
+        }
+        Indicator::SingleLaneRoad | Indicator::MultilaneRoad => {
+            let road = spec.road.as_ref().expect("present implies road");
+            match spec.view {
+                ViewKind::AlongRoad => road.visible_frac,
+                // lane markings are hard to count in a cross section
+                ViewKind::AcrossRoad => 0.45 * (road.visible_frac / 0.45).min(1.0),
+            }
+        }
+        Indicator::Powerline => {
+            let pl = spec.powerline.as_ref().expect("present implies powerline");
+            let wires = pl.wires as f32 / 4.0;
+            let poles = (pl.pole_depths.len() as f32 / 3.0).min(1.0);
+            0.45 + 0.35 * wires + 0.20 * poles
+        }
+        Indicator::Apartment => spec
+            .buildings
+            .iter()
+            .filter(|b| b.kind == BuildingKind::Apartment)
+            .map(|b| (1.0 - 0.6 * b.depth) * (b.stories as f32 / 6.0).clamp(0.5, 1.0))
+            .fold(0.0f32, f32::max),
+    };
+    (v * atm).clamp(0.05, 1.0)
+}
+
+fn distractor(spec: &SceneSpec, ind: Indicator) -> f32 {
+    let d: f32 = match ind {
+        // Any visible roadway suggests "single-lane road" — the failure
+        // mode the paper calls out for every LLM (Sec. IV-C2).
+        Indicator::SingleLaneRoad => match &spec.road {
+            Some(road) => {
+                let lane_legibility = match spec.view {
+                    ViewKind::AlongRoad => road.visible_frac,
+                    ViewKind::AcrossRoad => 0.35,
+                };
+                0.95 - 0.45 * lane_legibility
+            }
+            // driveways / parking aprons at building frontages
+            None => 0.12 + 0.04 * spec.buildings.len().min(4) as f32,
+        },
+        // A single-lane road with heavy traffic can read as multilane.
+        Indicator::MultilaneRoad => match &spec.road {
+            Some(road) => {
+                let traffic = (spec.vehicles.len() as f32 / 3.0).min(1.0);
+                0.10 + 0.25 * traffic * road.visible_frac
+            }
+            None => 0.03,
+        },
+        // Wide pale shoulders and building aprons mimic sidewalks.
+        Indicator::Sidewalk => {
+            let aprons = spec
+                .buildings
+                .iter()
+                .filter(|b| b.kind != BuildingKind::House)
+                .count() as f32;
+            0.06 + 0.05 * aprons.min(3.0)
+        }
+        // Utility poles without luminaires look like streetlight poles.
+        Indicator::Streetlight => match &spec.powerline {
+            Some(pl) => 0.12 + 0.06 * pl.pole_depths.len().min(3) as f32,
+            None => 0.04,
+        },
+        // Streetlight masts and bare branches mimic wires/poles.
+        Indicator::Powerline => {
+            let masts = (spec.streetlights.len() as f32).min(3.0);
+            let branches = (spec.trees.len() as f32 / 6.0).min(1.0);
+            0.05 + 0.07 * masts + 0.08 * branches
+        }
+        // Multi-window shops and two-story houses mimic apartments.
+        Indicator::Apartment => spec
+            .buildings
+            .iter()
+            .map(|b| match b.kind {
+                BuildingKind::Apartment => 0.0,
+                BuildingKind::Shop => {
+                    if b.stories >= 2 {
+                        0.35
+                    } else {
+                        0.18
+                    }
+                }
+                BuildingKind::House => 0.08,
+            })
+            .fold(0.02f32, f32::max),
+    };
+    d.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RoadView, SidewalkView, Side, StreetlightView};
+    use crate::SceneGenerator;
+    use nbhd_geo::{RoadClass, Zoning};
+    use nbhd_types::{Heading, ImageId, LocationId};
+
+    fn base_spec() -> SceneSpec {
+        SceneGenerator::new(17).compose_raw(
+            ImageId::new(LocationId(0), Heading::North),
+            Zoning::Suburban,
+            RoadClass::SingleLane,
+            ViewKind::AlongRoad,
+        )
+    }
+
+    #[test]
+    fn evidence_sides_are_mutually_exclusive() {
+        let spec = base_spec();
+        let presence = spec.presence();
+        let ev = scene_evidence(&spec);
+        for (ind, e) in ev.iter() {
+            if presence.contains(ind) {
+                assert!(e.visibility > 0.0 && e.distractor == 0.0, "{ind}");
+            } else {
+                assert!(e.visibility == 0.0, "{ind}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearer_streetlights_are_more_visible() {
+        let mut near = base_spec();
+        near.streetlights = vec![StreetlightView {
+            side: Side::Left,
+            depth: 0.05,
+            height: 0.55,
+        }];
+        let mut far = near.clone();
+        far.streetlights[0].depth = 0.8;
+        let vn = scene_evidence(&near)[Indicator::Streetlight].visibility;
+        let vf = scene_evidence(&far)[Indicator::Streetlight].visibility;
+        assert!(vn > vf, "near {vn} far {vf}");
+    }
+
+    #[test]
+    fn partial_road_views_boost_single_lane_distractor() {
+        let mut spec = base_spec();
+        spec.road = Some(RoadView {
+            class: RoadClass::Multilane,
+            visible_frac: 0.2,
+        });
+        spec.view = ViewKind::AcrossRoad;
+        let partial = scene_evidence(&spec)[Indicator::SingleLaneRoad].distractor;
+        spec.view = ViewKind::AlongRoad;
+        spec.road = Some(RoadView {
+            class: RoadClass::Multilane,
+            visible_frac: 1.0,
+        });
+        let full = scene_evidence(&spec)[Indicator::SingleLaneRoad].distractor;
+        assert!(
+            partial > full,
+            "partial view {partial} should confuse more than full {full}"
+        );
+        assert!(partial > 0.6, "partial road is a strong SR distractor: {partial}");
+    }
+
+    #[test]
+    fn haze_reduces_visibility() {
+        let mut clear = base_spec();
+        clear.sidewalk = Some(SidewalkView {
+            side: Side::Right,
+            clear_frac: 0.9,
+        });
+        clear.haze = 0.0;
+        clear.lighting = 1.0;
+        let mut hazy = clear.clone();
+        hazy.haze = 0.5;
+        hazy.lighting = 0.62;
+        let vc = scene_evidence(&clear)[Indicator::Sidewalk].visibility;
+        let vh = scene_evidence(&hazy)[Indicator::Sidewalk].visibility;
+        assert!(vc > vh, "clear {vc} hazy {vh}");
+    }
+
+    #[test]
+    fn evidence_is_bounded() {
+        let generator = SceneGenerator::new(23);
+        for loc in 0..100u64 {
+            for view in [ViewKind::AlongRoad, ViewKind::AcrossRoad] {
+                let spec = generator.compose_raw(
+                    ImageId::new(LocationId(loc), Heading::East),
+                    Zoning::Urban,
+                    RoadClass::Multilane,
+                    view,
+                );
+                for (_, e) in scene_evidence(&spec).iter() {
+                    assert!((0.0..=1.0).contains(&e.visibility));
+                    assert!((0.0..=1.0).contains(&e.distractor));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+use nbhd_geo::{County, SurveySample};
+use nbhd_scene::{scene_evidence, SceneGenerator};
+use nbhd_types::Heading;
+
+#[test]
+#[ignore]
+fn probe_evidence_means() {
+    let sample = SurveySample::draw(&County::study_pair(), 400, 1.0, 2025).unwrap();
+    let generator = SceneGenerator::new(2025);
+    let mut vis_sum = 0.0f64;
+    let mut vis_n = 0usize;
+    let mut dis_sum = 0.0f64;
+    let mut dis_n = 0usize;
+    for p in sample.points() {
+        for h in Heading::ALL {
+            let spec = generator.compose(p, h);
+            let presence = spec.presence();
+            for (ind, e) in scene_evidence(&spec).iter() {
+                if presence.contains(ind) {
+                    vis_sum += e.visibility as f64;
+                    vis_n += 1;
+                } else {
+                    dis_sum += e.distractor as f64;
+                    dis_n += 1;
+                }
+            }
+        }
+    }
+    println!("mean visibility (present) = {:.4} over {}", vis_sum / vis_n as f64, vis_n);
+    println!("mean distractor (absent)  = {:.4} over {}", dis_sum / dis_n as f64, dis_n);
+}

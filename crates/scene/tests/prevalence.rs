@@ -1,0 +1,64 @@
+//! End-to-end prevalence check: composing scenes over a full two-county
+//! survey must reproduce the paper's per-image class balance (derived from
+//! its object counts: SL 206, SW 444, SR 346, MR 505, PL 301, AP 125 over
+//! 1,200 images — see DESIGN.md §6).
+
+use nbhd_geo::{County, SurveySample};
+use nbhd_scene::SceneGenerator;
+use nbhd_types::{Heading, Indicator, IndicatorMap};
+
+/// Target per-image presence prevalence for each indicator.
+fn targets() -> IndicatorMap<f64> {
+    IndicatorMap::from([0.17, 0.34, 0.28, 0.37, 0.24, 0.10])
+}
+
+#[test]
+fn survey_prevalence_matches_paper_class_balance() {
+    let counties = County::study_pair();
+    let sample = SurveySample::draw(&counties, 500, 1.0, 2026).expect("sample");
+    let generator = SceneGenerator::new(2026);
+
+    let mut counts = IndicatorMap::fill(0usize);
+    let mut total = 0usize;
+    for point in sample.points() {
+        for heading in Heading::ALL {
+            let spec = generator.compose(point, heading);
+            let presence = spec.presence();
+            for ind in presence {
+                counts[ind] += 1;
+            }
+            total += 1;
+        }
+    }
+
+    let targets = targets();
+    for ind in Indicator::ALL {
+        let prevalence = counts[ind] as f64 / total as f64;
+        let target = targets[ind];
+        assert!(
+            (prevalence - target).abs() < 0.08,
+            "{ind}: prevalence {prevalence:.3} vs target {target:.3}"
+        );
+    }
+}
+
+#[test]
+fn object_counts_scale_like_the_paper() {
+    // The paper labels 1,927 objects over 1,200 images (~1.6 per image).
+    let counties = County::study_pair();
+    let sample = SurveySample::draw(&counties, 150, 1.0, 7).expect("sample");
+    let generator = SceneGenerator::new(7);
+    let mut objects = 0usize;
+    let mut images = 0usize;
+    for point in sample.points() {
+        for heading in Heading::ALL {
+            objects += generator.compose(point, heading).object_count();
+            images += 1;
+        }
+    }
+    let per_image = objects as f64 / images as f64;
+    assert!(
+        (1.0..=2.6).contains(&per_image),
+        "objects per image {per_image:.2} out of plausible band"
+    );
+}

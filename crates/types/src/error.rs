@@ -1,0 +1,113 @@
+//! The shared error type for the `nbhd` workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by `nbhd` public APIs.
+///
+/// Variants are intentionally coarse: each crate attaches context via the
+/// message string, and callers typically either report or retry.
+///
+/// ```
+/// use nbhd_types::Error;
+/// let err = Error::config("sample count must be positive");
+/// assert_eq!(err.to_string(), "invalid configuration: sample count must be positive");
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was out of range or inconsistent.
+    Config(String),
+    /// A response or file could not be parsed.
+    Parse(String),
+    /// A requested item does not exist.
+    NotFound(String),
+    /// A simulated or real service refused the request.
+    Service(String),
+    /// An I/O failure while reading or writing artifacts.
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Creates a [`Error::Config`] with the given message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Creates a [`Error::Parse`] with the given message.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Creates a [`Error::NotFound`] with the given message.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Creates a [`Error::Service`] with the given message.
+    pub fn service(msg: impl Into<String>) -> Self {
+        Error::Service(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Service(m) => write!(f, "service error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        for err in [
+            Error::config("x"),
+            Error::parse("x"),
+            Error::not_found("x"),
+            Error::service("x"),
+        ] {
+            let s = err.to_string();
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let err = Error::from(io);
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,317 @@
+//! Axis-aligned geometry: points, bounding boxes, IoU.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in image coordinates (pixels, origin top-left).
+///
+/// ```
+/// use nbhd_types::Point;
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(p.distance(Point::ORIGIN), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in pixels.
+    pub x: f32,
+    /// Vertical coordinate in pixels.
+    pub y: f32,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl From<(f32, f32)> for Point {
+    fn from((x, y): (f32, f32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned bounding box `(x, y, w, h)` in pixel coordinates.
+///
+/// `x`/`y` is the top-left corner. Degenerate boxes (zero or negative
+/// width/height) have zero [`area`](BBox::area) and zero IoU with everything.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_types::BBox;
+/// let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+/// let b = BBox::new(5.0, 5.0, 10.0, 10.0);
+/// let iou = a.iou(b);
+/// assert!((iou - 25.0 / 175.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width in pixels.
+    pub w: f32,
+    /// Height in pixels.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Creates a box from top-left corner and size.
+    #[inline]
+    pub const fn new(x: f32, y: f32, w: f32, h: f32) -> Self {
+        BBox { x, y, w, h }
+    }
+
+    /// Creates a box from two opposite corners, in any order.
+    ///
+    /// ```
+    /// use nbhd_types::BBox;
+    /// let b = BBox::from_corners((10.0, 12.0).into(), (2.0, 4.0).into());
+    /// assert_eq!(b, BBox::new(2.0, 4.0, 8.0, 8.0));
+    /// ```
+    pub fn from_corners(a: super::Point, b: super::Point) -> Self {
+        let x0 = a.x.min(b.x);
+        let y0 = a.y.min(b.y);
+        let x1 = a.x.max(b.x);
+        let y1 = a.y.max(b.y);
+        BBox::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Right edge (`x + w`).
+    #[inline]
+    pub fn right(self) -> f32 {
+        self.x + self.w
+    }
+
+    /// Bottom edge (`y + h`).
+    #[inline]
+    pub fn bottom(self) -> f32 {
+        self.y + self.h
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area in square pixels; zero for degenerate boxes.
+    #[inline]
+    pub fn area(self) -> f32 {
+        if self.w <= 0.0 || self.h <= 0.0 {
+            0.0
+        } else {
+            self.w * self.h
+        }
+    }
+
+    /// Returns `true` when the box has positive width and height.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.w > 0.0 && self.h > 0.0 && self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Returns `true` when `p` lies inside (inclusive of the top-left edge,
+    /// exclusive of the bottom-right edge).
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// The intersection box, or `None` when disjoint.
+    pub fn intersect(self, other: BBox) -> Option<BBox> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x1 > x0 && y1 > y0 {
+            Some(BBox::new(x0, y0, x1 - x0, y1 - y0))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest box covering both.
+    pub fn union_bounds(self, other: BBox) -> BBox {
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        BBox::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Intersection-over-union with `other`, in `[0, 1]`.
+    ///
+    /// This is the matching criterion for detection evaluation: the paper
+    /// scores a predicted box as correct when `iou >= 0.5` with ground truth.
+    pub fn iou(self, other: BBox) -> f32 {
+        let inter = match self.intersect(other) {
+            Some(b) => b.area(),
+            None => return 0.0,
+        };
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clamps the box to lie within a `width x height` image, shrinking as
+    /// needed. Returns `None` when nothing remains.
+    pub fn clamp_to(self, width: u32, height: u32) -> Option<BBox> {
+        self.intersect(BBox::new(0.0, 0.0, width as f32, height as f32))
+    }
+
+    /// Translates the box by `(dx, dy)`.
+    #[inline]
+    #[must_use]
+    pub fn translate(self, dx: f32, dy: f32) -> BBox {
+        BBox::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Scales the box (both corner and size) by `(sx, sy)`.
+    #[inline]
+    #[must_use]
+    pub fn scale(self, sx: f32, sy: f32) -> BBox {
+        BBox::new(self.x * sx, self.y * sy, self.w * sx, self.h * sy)
+    }
+
+    /// Maps the box through a 90-degree clockwise rotation of a
+    /// `width x height` image (used by the augmentation ablation).
+    ///
+    /// ```
+    /// use nbhd_types::BBox;
+    /// // a 2x4 box at the top-left of a 10x10 image ends up at the top-right
+    /// let b = BBox::new(0.0, 0.0, 2.0, 4.0).rotate90_cw(10, 10);
+    /// assert_eq!(b, BBox::new(6.0, 0.0, 4.0, 2.0));
+    /// ```
+    #[must_use]
+    pub fn rotate90_cw(self, _width: u32, height: u32) -> BBox {
+        // Pixel (x, y) -> (height - 1 - y, x); for continuous boxes we map
+        // the corner span [y, y+h) -> [height - y - h, height - y).
+        BBox::new(height as f32 - self.y - self.h, self.x, self.h, self.w)
+    }
+
+    /// Maps the box through a 180-degree rotation of a `width x height` image.
+    #[must_use]
+    pub fn rotate180(self, width: u32, height: u32) -> BBox {
+        BBox::new(
+            width as f32 - self.x - self.w,
+            height as f32 - self.y - self.h,
+            self.w,
+            self.h,
+        )
+    }
+
+    /// Maps the box through a 90-degree counter-clockwise rotation.
+    #[must_use]
+    pub fn rotate270_cw(self, width: u32, _height: u32) -> BBox {
+        BBox::new(self.y, width as f32 - self.x - self.w, self.h, self.w)
+    }
+
+    /// Maps the box through a horizontal mirror of a `width`-pixel-wide image.
+    #[must_use]
+    pub fn hflip(self, width: u32) -> BBox {
+        BBox::new(width as f32 - self.x - self.w, self.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_validity() {
+        assert_eq!(BBox::new(0.0, 0.0, 3.0, 4.0).area(), 12.0);
+        assert_eq!(BBox::new(0.0, 0.0, -3.0, 4.0).area(), 0.0);
+        assert!(!BBox::new(0.0, 0.0, 0.0, 4.0).is_valid());
+        assert!(BBox::new(1.0, 1.0, 0.1, 0.1).is_valid());
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(2.0, 3.0, 5.0, 7.0);
+        assert!((b.iou(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.iou(b), 0.0);
+        assert!(a.intersect(b).is_none());
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(3.0, 3.0, 10.0, 10.0);
+        assert!((a.iou(b) - b.iou(a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersect_and_union_bounds() {
+        let a = BBox::new(0.0, 0.0, 4.0, 4.0);
+        let b = BBox::new(2.0, 2.0, 4.0, 4.0);
+        assert_eq!(a.intersect(b), Some(BBox::new(2.0, 2.0, 2.0, 2.0)));
+        assert_eq!(a.union_bounds(b), BBox::new(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn clamp_to_image() {
+        let b = BBox::new(-5.0, -5.0, 20.0, 20.0);
+        assert_eq!(b.clamp_to(10, 10), Some(BBox::new(0.0, 0.0, 10.0, 10.0)));
+        assert_eq!(BBox::new(20.0, 20.0, 5.0, 5.0).clamp_to(10, 10), None);
+    }
+
+    #[test]
+    fn contains_edges() {
+        let b = BBox::new(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains(Point::ORIGIN));
+        assert!(!b.contains(Point::new(2.0, 0.0)));
+        assert!(b.contains(b.center()));
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let (w, h) = (640u32, 480u32);
+        let b = BBox::new(12.0, 30.0, 50.0, 20.0);
+        // 90cw on (w,h) gives an (h,w) image; applying 270 on that undoes it.
+        let r = b.rotate90_cw(w, h).rotate270_cw(h, w);
+        assert!((r.x - b.x).abs() < 1e-4 && (r.y - b.y).abs() < 1e-4);
+        let r2 = b.rotate180(w, h).rotate180(w, h);
+        assert!((r2.x - b.x).abs() < 1e-4 && (r2.y - b.y).abs() < 1e-4);
+        let r3 = b.hflip(w).hflip(w);
+        assert!((r3.x - b.x).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rotate_keeps_area() {
+        let b = BBox::new(12.0, 30.0, 50.0, 20.0);
+        assert_eq!(b.rotate90_cw(640, 480).area(), b.area());
+        assert_eq!(b.rotate180(640, 480).area(), b.area());
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let b1 = BBox::from_corners(Point::new(1.0, 2.0), Point::new(5.0, 9.0));
+        let b2 = BBox::from_corners(Point::new(5.0, 9.0), Point::new(1.0, 2.0));
+        assert_eq!(b1, b2);
+        assert_eq!(b1.w, 4.0);
+        assert_eq!(b1.h, 7.0);
+    }
+}

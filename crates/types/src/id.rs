@@ -1,0 +1,171 @@
+//! Identifiers for survey locations and captured images.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a survey location (a 50-ft roadway segment point).
+///
+/// ```
+/// use nbhd_types::LocationId;
+/// let id = LocationId(42);
+/// assert_eq!(id.to_string(), "loc-000042");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LocationId(pub u64);
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc-{:06}", self.0)
+    }
+}
+
+impl From<u64> for LocationId {
+    fn from(v: u64) -> Self {
+        LocationId(v)
+    }
+}
+
+/// One of the four compass headings the study captures per location
+/// (0 = north, 90 = east, 180 = south, 270 = west).
+///
+/// ```
+/// use nbhd_types::Heading;
+/// assert_eq!(Heading::East.degrees(), 90);
+/// assert_eq!(Heading::from_degrees(180), Some(Heading::South));
+/// assert_eq!(Heading::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Heading {
+    /// 0 degrees.
+    North,
+    /// 90 degrees.
+    East,
+    /// 180 degrees.
+    South,
+    /// 270 degrees.
+    West,
+}
+
+impl Heading {
+    /// All four headings in capture order.
+    pub const ALL: [Heading; 4] = [Heading::North, Heading::East, Heading::South, Heading::West];
+
+    /// The heading angle in degrees clockwise from north.
+    pub const fn degrees(self) -> u16 {
+        match self {
+            Heading::North => 0,
+            Heading::East => 90,
+            Heading::South => 180,
+            Heading::West => 270,
+        }
+    }
+
+    /// Parses a multiple-of-90 angle; returns `None` otherwise.
+    pub const fn from_degrees(deg: u16) -> Option<Heading> {
+        match deg {
+            0 => Some(Heading::North),
+            90 => Some(Heading::East),
+            180 => Some(Heading::South),
+            270 => Some(Heading::West),
+            _ => None,
+        }
+    }
+
+    /// Dense index in `0..4` matching [`Heading::ALL`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The opposite heading.
+    pub const fn opposite(self) -> Heading {
+        match self {
+            Heading::North => Heading::South,
+            Heading::East => Heading::West,
+            Heading::South => Heading::North,
+            Heading::West => Heading::East,
+        }
+    }
+}
+
+impl fmt::Display for Heading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.degrees())
+    }
+}
+
+/// Identifier of a captured image: a location plus a heading.
+///
+/// ```
+/// use nbhd_types::{Heading, ImageId, LocationId};
+/// let id = ImageId::new(LocationId(7), Heading::West);
+/// assert_eq!(id.to_string(), "loc-000007@270");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ImageId {
+    /// The survey location this image was captured at.
+    pub location: LocationId,
+    /// The compass heading of the capture.
+    pub heading: Heading,
+}
+
+impl ImageId {
+    /// Creates an image id.
+    pub const fn new(location: LocationId, heading: Heading) -> Self {
+        ImageId { location, heading }
+    }
+
+    /// A stable 64-bit key suitable for seeding per-image randomness.
+    ///
+    /// Distinct `(location, heading)` pairs yield distinct keys.
+    pub const fn key(self) -> u64 {
+        self.location.0.wrapping_mul(4).wrapping_add(self.heading.index() as u64)
+    }
+}
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.location, self.heading)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heading_round_trip() {
+        for h in Heading::ALL {
+            assert_eq!(Heading::from_degrees(h.degrees()), Some(h));
+        }
+        assert_eq!(Heading::from_degrees(45), None);
+    }
+
+    #[test]
+    fn heading_opposite_is_involution() {
+        for h in Heading::ALL {
+            assert_eq!(h.opposite().opposite(), h);
+            assert_ne!(h.opposite(), h);
+        }
+    }
+
+    #[test]
+    fn image_keys_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for loc in 0..100u64 {
+            for h in Heading::ALL {
+                assert!(seen.insert(ImageId::new(LocationId(loc), h).key()));
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LocationId(3).to_string(), "loc-000003");
+        assert_eq!(Heading::South.to_string(), "180");
+    }
+}

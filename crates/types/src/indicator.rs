@@ -1,0 +1,630 @@
+//! The six environmental indicators and dense containers keyed by them.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Index, IndexMut, Sub};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An environmental indicator from the study.
+///
+/// The paper audits exactly six binary per-image indicators. Their order here
+/// matches the order the paper's prompts ask about them (multilane first in
+/// the prompt, but the canonical *reporting* order used by every table is
+/// streetlight, sidewalk, single-lane, multilane, powerline, apartment —
+/// which is the order of this enum).
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_types::Indicator;
+///
+/// assert_eq!(Indicator::Streetlight.abbrev(), "SL");
+/// assert_eq!(Indicator::ALL.len(), 6);
+/// assert_eq!("sidewalk".parse::<Indicator>().unwrap(), Indicator::Sidewalk);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Indicator {
+    /// A street-lighting fixture (pole plus luminaire head).
+    Streetlight,
+    /// A paved pedestrian sidewalk strip.
+    Sidewalk,
+    /// A roadway with one lane per direction.
+    SingleLaneRoad,
+    /// A roadway with more than one lane per direction.
+    MultilaneRoad,
+    /// Visible overhead power lines (poles and wires).
+    Powerline,
+    /// A multi-unit apartment building.
+    Apartment,
+}
+
+impl Indicator {
+    /// All six indicators in canonical reporting order.
+    pub const ALL: [Indicator; 6] = [
+        Indicator::Streetlight,
+        Indicator::Sidewalk,
+        Indicator::SingleLaneRoad,
+        Indicator::MultilaneRoad,
+        Indicator::Powerline,
+        Indicator::Apartment,
+    ];
+
+    /// Number of distinct indicators.
+    pub const COUNT: usize = 6;
+
+    /// Dense index of this indicator in `0..6`, stable across the workspace.
+    ///
+    /// ```
+    /// use nbhd_types::Indicator;
+    /// assert_eq!(Indicator::Apartment.index(), 5);
+    /// ```
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The inverse of [`Indicator::index`]; returns `None` when out of range.
+    ///
+    /// ```
+    /// use nbhd_types::Indicator;
+    /// assert_eq!(Indicator::from_index(0), Some(Indicator::Streetlight));
+    /// assert_eq!(Indicator::from_index(6), None);
+    /// ```
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<Indicator> {
+        match index {
+            0 => Some(Indicator::Streetlight),
+            1 => Some(Indicator::Sidewalk),
+            2 => Some(Indicator::SingleLaneRoad),
+            3 => Some(Indicator::MultilaneRoad),
+            4 => Some(Indicator::Powerline),
+            5 => Some(Indicator::Apartment),
+            _ => None,
+        }
+    }
+
+    /// The two-letter abbreviation used throughout the paper's figures
+    /// (SL, SW, SR, MR, PL, AP).
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Indicator::Streetlight => "SL",
+            Indicator::Sidewalk => "SW",
+            Indicator::SingleLaneRoad => "SR",
+            Indicator::MultilaneRoad => "MR",
+            Indicator::Powerline => "PL",
+            Indicator::Apartment => "AP",
+        }
+    }
+
+    /// Human-readable name matching the paper's table rows.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Indicator::Streetlight => "Streetlight",
+            Indicator::Sidewalk => "Sidewalk",
+            Indicator::SingleLaneRoad => "Single-lane road",
+            Indicator::MultilaneRoad => "Multilane road",
+            Indicator::Powerline => "Powerline",
+            Indicator::Apartment => "Apartment",
+        }
+    }
+
+    /// The label string used in LabelMe-style annotation files.
+    pub const fn label_key(self) -> &'static str {
+        match self {
+            Indicator::Streetlight => "streetlight",
+            Indicator::Sidewalk => "sidewalk",
+            Indicator::SingleLaneRoad => "single_lane_road",
+            Indicator::MultilaneRoad => "multilane_road",
+            Indicator::Powerline => "powerline",
+            Indicator::Apartment => "apartment",
+        }
+    }
+}
+
+impl fmt::Display for Indicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an [`Indicator`] from a string fails.
+///
+/// ```
+/// use nbhd_types::Indicator;
+/// assert!("fire hydrant".parse::<Indicator>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIndicatorError {
+    input: String,
+}
+
+impl ParseIndicatorError {
+    /// The string that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseIndicatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown indicator name {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseIndicatorError {}
+
+impl FromStr for Indicator {
+    type Err = ParseIndicatorError;
+
+    /// Parses indicator names, abbreviations, and LabelMe label keys,
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .trim()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let found = match norm.as_str() {
+            "streetlight" | "sl" | "streetlamp" => Indicator::Streetlight,
+            "sidewalk" | "sw" => Indicator::Sidewalk,
+            "singlelaneroad" | "sr" | "singlelane" => Indicator::SingleLaneRoad,
+            "multilaneroad" | "mr" | "multilane" => Indicator::MultilaneRoad,
+            "powerline" | "pl" | "powerlines" => Indicator::Powerline,
+            "apartment" | "ap" | "apartments" => Indicator::Apartment,
+            _ => {
+                return Err(ParseIndicatorError {
+                    input: s.to_owned(),
+                })
+            }
+        };
+        Ok(found)
+    }
+}
+
+/// A dense set of [`Indicator`]s, backed by a single byte.
+///
+/// The per-image ground truth of the study is exactly a set of present
+/// indicators, so this type appears everywhere: scene ground truth, parsed
+/// LLM answers, detector output, and voting.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_types::{Indicator, IndicatorSet};
+///
+/// let a: IndicatorSet = [Indicator::Sidewalk, Indicator::Powerline].into_iter().collect();
+/// let b = IndicatorSet::from_iter([Indicator::Powerline]);
+/// assert_eq!(a & b, b);
+/// assert_eq!((a | b).len(), 2);
+/// assert_eq!((a - b).iter().next(), Some(Indicator::Sidewalk));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IndicatorSet {
+    bits: u8,
+}
+
+impl IndicatorSet {
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        IndicatorSet { bits: 0 }
+    }
+
+    /// The set containing all six indicators.
+    pub const FULL: IndicatorSet = IndicatorSet { bits: 0b11_1111 };
+
+    /// Creates a set from a raw bit pattern; bits above the sixth are
+    /// silently dropped.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        IndicatorSet {
+            bits: bits & 0b11_1111,
+        }
+    }
+
+    /// The raw bit pattern (bit *i* = indicator with index *i*).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Returns `true` when no indicator is present.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of indicators in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Returns `true` when `indicator` is in the set.
+    #[inline]
+    pub const fn contains(self, indicator: Indicator) -> bool {
+        self.bits & (1 << indicator.index()) != 0
+    }
+
+    /// Inserts `indicator`; returns `true` when it was not already present.
+    #[inline]
+    pub fn insert(&mut self, indicator: Indicator) -> bool {
+        let was = self.contains(indicator);
+        self.bits |= 1 << indicator.index();
+        !was
+    }
+
+    /// Removes `indicator`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, indicator: Indicator) -> bool {
+        let was = self.contains(indicator);
+        self.bits &= !(1 << indicator.index());
+        was
+    }
+
+    /// Inserts or removes `indicator` according to `present`.
+    #[inline]
+    pub fn set(&mut self, indicator: Indicator, present: bool) {
+        if present {
+            self.insert(indicator);
+        } else {
+            self.remove(indicator);
+        }
+    }
+
+    /// Builder-style [`IndicatorSet::insert`].
+    ///
+    /// ```
+    /// use nbhd_types::{Indicator, IndicatorSet};
+    /// let s = IndicatorSet::new().with(Indicator::Apartment);
+    /// assert!(s.contains(Indicator::Apartment));
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn with(mut self, indicator: Indicator) -> Self {
+        self.insert(indicator);
+        self
+    }
+
+    /// Iterates over the present indicators in canonical order.
+    #[inline]
+    pub fn iter(self) -> IndicatorSetIter {
+        IndicatorSetIter {
+            bits: self.bits,
+            next: 0,
+        }
+    }
+
+    /// The complement set (indicators *not* present).
+    #[inline]
+    pub const fn complement(self) -> Self {
+        IndicatorSet {
+            bits: !self.bits & 0b11_1111,
+        }
+    }
+
+    /// Number of indicators on which `self` and `other` disagree.
+    ///
+    /// ```
+    /// use nbhd_types::{Indicator, IndicatorSet};
+    /// let a = IndicatorSet::new().with(Indicator::Sidewalk);
+    /// let b = IndicatorSet::new().with(Indicator::Powerline);
+    /// assert_eq!(a.hamming(b), 2);
+    /// ```
+    #[inline]
+    pub const fn hamming(self, other: Self) -> usize {
+        (self.bits ^ other.bits).count_ones() as usize
+    }
+}
+
+impl BitOr for IndicatorSet {
+    type Output = IndicatorSet;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        IndicatorSet {
+            bits: self.bits | rhs.bits,
+        }
+    }
+}
+
+impl BitAnd for IndicatorSet {
+    type Output = IndicatorSet;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        IndicatorSet {
+            bits: self.bits & rhs.bits,
+        }
+    }
+}
+
+impl Sub for IndicatorSet {
+    type Output = IndicatorSet;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        IndicatorSet {
+            bits: self.bits & !rhs.bits,
+        }
+    }
+}
+
+impl FromIterator<Indicator> for IndicatorSet {
+    fn from_iter<T: IntoIterator<Item = Indicator>>(iter: T) -> Self {
+        let mut set = IndicatorSet::new();
+        for i in iter {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+impl Extend<Indicator> for IndicatorSet {
+    fn extend<T: IntoIterator<Item = Indicator>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+impl IntoIterator for IndicatorSet {
+    type Item = Indicator;
+    type IntoIter = IndicatorSetIter;
+    fn into_iter(self) -> IndicatorSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for IndicatorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for IndicatorSet {
+    /// Formats as a `+`-joined abbreviation list, or `"none"` when empty.
+    ///
+    /// ```
+    /// use nbhd_types::{Indicator, IndicatorSet};
+    /// let s = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+    /// assert_eq!(s.to_string(), "SW+PL");
+    /// assert_eq!(IndicatorSet::new().to_string(), "none");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for ind in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            f.write_str(ind.abbrev())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the indicators in an [`IndicatorSet`], in canonical order.
+#[derive(Debug, Clone)]
+pub struct IndicatorSetIter {
+    bits: u8,
+    next: usize,
+}
+
+impl Iterator for IndicatorSetIter {
+    type Item = Indicator;
+
+    fn next(&mut self) -> Option<Indicator> {
+        while self.next < Indicator::COUNT {
+            let idx = self.next;
+            self.next += 1;
+            if self.bits & (1 << idx) != 0 {
+                return Indicator::from_index(idx);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.bits >> self.next).count_ones() as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for IndicatorSetIter {}
+
+/// A dense map from [`Indicator`] to `T`, stored inline as `[T; 6]`.
+///
+/// Used for per-class metrics, per-class model reliabilities, per-class
+/// answers, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_types::{Indicator, IndicatorMap};
+///
+/// let mut recalls = IndicatorMap::fill(0.0f64);
+/// recalls[Indicator::Sidewalk] = 0.89;
+/// assert_eq!(recalls[Indicator::Sidewalk], 0.89);
+/// let avg: f64 = recalls.values().sum::<f64>() / 6.0;
+/// assert!(avg > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct IndicatorMap<T> {
+    values: [T; 6],
+}
+
+impl<T> IndicatorMap<T> {
+    /// Builds a map by evaluating `f` for every indicator.
+    pub fn from_fn(mut f: impl FnMut(Indicator) -> T) -> Self {
+        IndicatorMap {
+            values: Indicator::ALL.map(&mut f),
+        }
+    }
+
+    /// Consumes the map, returning the backing array in canonical order.
+    pub fn into_array(self) -> [T; 6] {
+        self.values
+    }
+
+    /// Iterates over `(indicator, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Indicator, &T)> {
+        Indicator::ALL.iter().map(move |&i| (i, &self.values[i.index()]))
+    }
+
+    /// Iterates over `(indicator, &mut value)` pairs in canonical order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Indicator, &mut T)> {
+        self.values
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| (Indicator::from_index(i).expect("index < 6"), v))
+    }
+
+    /// Iterates over the values in canonical order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.values.iter()
+    }
+
+    /// Maps every value through `f`, producing a new map.
+    pub fn map<U>(&self, mut f: impl FnMut(Indicator, &T) -> U) -> IndicatorMap<U> {
+        IndicatorMap::from_fn(|i| f(i, &self.values[i.index()]))
+    }
+}
+
+impl<T: Clone> IndicatorMap<T> {
+    /// Builds a map with every slot set to `value`.
+    pub fn fill(value: T) -> Self {
+        IndicatorMap {
+            values: std::array::from_fn(|_| value.clone()),
+        }
+    }
+}
+
+impl<T> Index<Indicator> for IndicatorMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, indicator: Indicator) -> &T {
+        &self.values[indicator.index()]
+    }
+}
+
+impl<T> IndexMut<Indicator> for IndicatorMap<T> {
+    #[inline]
+    fn index_mut(&mut self, indicator: Indicator) -> &mut T {
+        &mut self.values[indicator.index()]
+    }
+}
+
+impl<T> From<[T; 6]> for IndicatorMap<T> {
+    /// Interprets the array in canonical indicator order (SL, SW, SR, MR, PL, AP).
+    fn from(values: [T; 6]) -> Self {
+        IndicatorMap { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, ind) in Indicator::ALL.iter().enumerate() {
+            assert_eq!(ind.index(), i);
+            assert_eq!(Indicator::from_index(i), Some(*ind));
+        }
+        assert_eq!(Indicator::from_index(6), None);
+    }
+
+    #[test]
+    fn parse_accepts_names_abbrevs_and_label_keys() {
+        for ind in Indicator::ALL {
+            assert_eq!(ind.name().parse::<Indicator>().unwrap(), ind);
+            assert_eq!(ind.abbrev().parse::<Indicator>().unwrap(), ind);
+            assert_eq!(ind.label_key().parse::<Indicator>().unwrap(), ind);
+            assert_eq!(ind.abbrev().to_lowercase().parse::<Indicator>().unwrap(), ind);
+        }
+        let err = "greenspace".parse::<Indicator>().unwrap_err();
+        assert_eq!(err.input(), "greenspace");
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = IndicatorSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Indicator::Powerline));
+        assert!(!s.insert(Indicator::Powerline));
+        assert!(s.contains(Indicator::Powerline));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Indicator::Powerline));
+        assert!(!s.remove(Indicator::Powerline));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = IndicatorSet::from_iter([Indicator::Streetlight, Indicator::Sidewalk]);
+        let b = IndicatorSet::from_iter([Indicator::Sidewalk, Indicator::Apartment]);
+        assert_eq!((a | b).len(), 3);
+        assert_eq!((a & b).len(), 1);
+        assert_eq!((a - b).len(), 1);
+        assert_eq!(a.hamming(b), 2);
+        assert_eq!(a.complement().len(), 4);
+        assert_eq!(IndicatorSet::FULL.complement(), IndicatorSet::new());
+    }
+
+    #[test]
+    fn set_iter_order_is_canonical() {
+        let s = IndicatorSet::FULL;
+        let order: Vec<Indicator> = s.iter().collect();
+        assert_eq!(order, Indicator::ALL.to_vec());
+        assert_eq!(s.iter().len(), 6);
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        let s = IndicatorSet::from_bits(0xFF);
+        assert_eq!(s, IndicatorSet::FULL);
+        assert_eq!(s.bits(), 0b11_1111);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(IndicatorSet::new().to_string(), "none");
+        assert_eq!(
+            IndicatorSet::FULL.to_string(),
+            "SL+SW+SR+MR+PL+AP"
+        );
+    }
+
+    #[test]
+    fn map_index_and_iter() {
+        let mut m = IndicatorMap::fill(0usize);
+        for (i, ind) in Indicator::ALL.iter().enumerate() {
+            m[*ind] = i * 10;
+        }
+        assert_eq!(m[Indicator::Apartment], 50);
+        let collected: Vec<usize> = m.values().copied().collect();
+        assert_eq!(collected, vec![0, 10, 20, 30, 40, 50]);
+        let doubled = m.map(|_, v| v * 2);
+        assert_eq!(doubled[Indicator::Apartment], 100);
+    }
+
+    #[test]
+    fn map_from_fn_order() {
+        let m = IndicatorMap::from_fn(|i| i.abbrev());
+        assert_eq!(m[Indicator::SingleLaneRoad], "SR");
+        let pairs: Vec<(Indicator, &&str)> = m.iter().collect();
+        assert_eq!(pairs[0].0, Indicator::Streetlight);
+    }
+
+    #[test]
+    fn set_serde_round_trip() {
+        let s = IndicatorSet::from_iter([Indicator::Sidewalk, Indicator::Apartment]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: IndicatorSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! Core domain types shared by every crate in the `nbhd` workspace.
+//!
+//! The `nbhd` workspace reproduces the DSN 2025 study *"Decoding Neighborhood
+//! Environments with Large Language Models"*. This crate holds the vocabulary
+//! that the rest of the system speaks:
+//!
+//! * [`Indicator`] — the six environmental indicators the study detects
+//!   (streetlight, sidewalk, single-lane road, multilane road, powerline,
+//!   apartment), plus the dense set/map containers [`IndicatorSet`] and
+//!   [`IndicatorMap`] keyed by them.
+//! * [`BBox`] / [`Point`] — axis-aligned geometry used by both the annotation
+//!   format and the object detector, including IoU computation.
+//! * [`ObjectLabel`] / [`ImageLabels`] — ground-truth and human annotations.
+//! * [`ImageId`], [`LocationId`], [`Heading`] — identifiers for survey points
+//!   and the four compass headings the study captures per point.
+//! * [`Error`] — the shared error type for fallible public APIs.
+//! * [`rng`] — deterministic seed-splitting helpers so every experiment in
+//!   the workspace is reproducible from a single `u64`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_types::{Indicator, IndicatorSet};
+//!
+//! let mut present = IndicatorSet::new();
+//! present.insert(Indicator::Sidewalk);
+//! present.insert(Indicator::Powerline);
+//! assert!(present.contains(Indicator::Sidewalk));
+//! assert_eq!(present.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod geom;
+mod id;
+mod indicator;
+mod label;
+pub mod rng;
+
+pub use error::{Error, Result};
+pub use geom::{BBox, Point};
+pub use id::{Heading, ImageId, LocationId};
+pub use indicator::{Indicator, IndicatorMap, IndicatorSet, IndicatorSetIter, ParseIndicatorError};
+pub use label::{ImageLabels, ObjectLabel};

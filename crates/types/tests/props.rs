@@ -1,0 +1,133 @@
+//! Property-based tests for the geometry and set primitives.
+
+use nbhd_types::{BBox, Indicator, IndicatorSet, Point};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (
+        -100.0f32..740.0,
+        -100.0f32..740.0,
+        0.1f32..640.0,
+        0.1f32..640.0,
+    )
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+fn arb_set() -> impl Strategy<Value = IndicatorSet> {
+    (0u8..64).prop_map(IndicatorSet::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn iou_is_bounded_and_symmetric(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(b);
+        let ba = b.iou(a);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_with_self_is_one(a in arb_bbox()) {
+        prop_assert!((a.iou(a) - 1.0).abs() < 5e-3); // f32 cancellation on thin boxes at large x
+    }
+
+    #[test]
+    fn intersection_is_no_larger_than_either(a in arb_bbox(), b in arb_bbox()) {
+        if let Some(i) = a.intersect(b) {
+            // relative tolerance: areas can be ~1e5, f32 rounding applies
+            prop_assert!(i.area() <= a.area() * (1.0 + 1e-5) + 1e-3);
+            prop_assert!(i.area() <= b.area() * (1.0 + 1e-5) + 1e-3);
+        }
+    }
+
+    #[test]
+    fn union_bounds_contains_both(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union_bounds(b);
+        for bx in [a, b] {
+            prop_assert!(u.x <= bx.x + 1e-4);
+            prop_assert!(u.y <= bx.y + 1e-4);
+            prop_assert!(u.right() >= bx.right() - 1e-3);
+            prop_assert!(u.bottom() >= bx.bottom() - 1e-3);
+        }
+    }
+
+    #[test]
+    fn rotations_preserve_area_and_compose(b in arb_bbox()) {
+        let (w, h) = (640u32, 640u32);
+        let r90 = b.rotate90_cw(w, h);
+        prop_assert!((r90.area() - b.area()).abs() < 1e-2);
+        // four 90-degree rotations are the identity on a square image
+        let full = b
+            .rotate90_cw(w, h)
+            .rotate90_cw(h, w)
+            .rotate90_cw(w, h)
+            .rotate90_cw(h, w);
+        prop_assert!((full.x - b.x).abs() < 1e-3);
+        prop_assert!((full.y - b.y).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotate180_equals_two_rotate90(b in arb_bbox()) {
+        let (w, h) = (640u32, 480u32);
+        let two = b.rotate90_cw(w, h).rotate90_cw(h, w);
+        let one = b.rotate180(w, h);
+        prop_assert!((two.x - one.x).abs() < 1e-3);
+        prop_assert!((two.y - one.y).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_stays_inside(b in arb_bbox()) {
+        if let Some(c) = b.clamp_to(640, 640) {
+            prop_assert!(c.x >= 0.0 && c.y >= 0.0);
+            prop_assert!(c.right() <= 640.0 + 1e-3);
+            prop_assert!(c.bottom() <= 640.0 + 1e-3);
+            prop_assert!(c.area() <= b.area() * (1.0 + 1e-5) + 1e-2);
+        }
+    }
+
+    #[test]
+    fn center_is_inside_valid_boxes(b in arb_bbox()) {
+        prop_assert!(b.contains(b.center()));
+    }
+
+    #[test]
+    fn set_bits_round_trip(s in arb_set()) {
+        prop_assert_eq!(IndicatorSet::from_bits(s.bits()), s);
+        prop_assert_eq!(s.iter().collect::<IndicatorSet>(), s);
+    }
+
+    #[test]
+    fn set_algebra_laws(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!((a - b) & b, IndicatorSet::new());
+        prop_assert_eq!((a & b) | (a - b), a);
+        prop_assert_eq!(a.hamming(b), (a - b).len() + (b - a).len());
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn set_len_matches_iter_count(s in arb_set()) {
+        prop_assert_eq!(s.len(), s.iter().count());
+        prop_assert_eq!(s.is_empty(), s.len() == 0);
+    }
+
+    #[test]
+    fn indicator_parse_round_trips(idx in 0usize..6) {
+        let ind = Indicator::from_index(idx).unwrap();
+        prop_assert_eq!(ind.name().parse::<Indicator>().unwrap(), ind);
+        prop_assert_eq!(ind.abbrev().parse::<Indicator>().unwrap(), ind);
+    }
+
+    #[test]
+    fn distance_is_a_metric(ax in -100.0f32..100.0, ay in -100.0f32..100.0,
+                            bx in -100.0f32..100.0, by in -100.0f32..100.0,
+                            cx in -100.0f32..100.0, cy in -100.0f32..100.0) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-4);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-3);
+        prop_assert!(a.distance(a) < 1e-6);
+    }
+}

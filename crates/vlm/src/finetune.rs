@@ -1,0 +1,127 @@
+//! Few-shot adaptation of model profiles from labeled examples.
+//!
+//! The paper's discussion section suggests few-shot learning as a way to
+//! close the non-English performance gap. This module implements the
+//! adaptation primitive: re-estimate per-class sensitivity/specificity from
+//! a small calibration set and blend with the prior profile through Beta
+//! smoothing, so a handful of examples nudges — but cannot whiplash — the
+//! model's behaviour.
+
+use nbhd_types::{Indicator, IndicatorMap, IndicatorSet};
+
+use crate::{ModelProfile, Reliability};
+
+/// One calibration example: ground truth vs. the model's parsed answers.
+pub type CalibrationExample = (IndicatorSet, IndicatorSet);
+
+/// Strength of the prior in pseudo-observations.
+pub const PRIOR_STRENGTH: f64 = 25.0;
+
+/// Adapts a profile from calibration examples.
+///
+/// Per class, the empirical sensitivity/specificity on the examples is
+/// blended with the prior at [`PRIOR_STRENGTH`] pseudo-counts. An empty
+/// example set returns the profile unchanged.
+///
+/// ```
+/// use nbhd_types::{Indicator, IndicatorSet};
+/// use nbhd_vlm::{adapt_profile, gemini_15_pro};
+///
+/// // examples where the model always misses sidewalks
+/// let sw = IndicatorSet::new().with(Indicator::Sidewalk);
+/// let examples: Vec<_> = (0..200).map(|_| (sw, IndicatorSet::new())).collect();
+/// let adapted = adapt_profile(&gemini_15_pro(), &examples);
+/// assert!(
+///     adapted.reliability[Indicator::Sidewalk].sensitivity
+///         < gemini_15_pro().reliability[Indicator::Sidewalk].sensitivity
+/// );
+/// ```
+pub fn adapt_profile(profile: &ModelProfile, examples: &[CalibrationExample]) -> ModelProfile {
+    if examples.is_empty() {
+        return profile.clone();
+    }
+    let mut adapted = profile.clone();
+    adapted.name = format!("{}+adapted", profile.name);
+    adapted.reliability = IndicatorMap::from_fn(|ind| blend(profile, ind, examples));
+    adapted
+}
+
+fn blend(profile: &ModelProfile, ind: Indicator, examples: &[CalibrationExample]) -> Reliability {
+    let prior = profile.reliability[ind];
+    let mut pos = 0.0f64;
+    let mut pos_hit = 0.0f64;
+    let mut neg = 0.0f64;
+    let mut neg_hit = 0.0f64;
+    for (truth, predicted) in examples {
+        if truth.contains(ind) {
+            pos += 1.0;
+            pos_hit += f64::from(predicted.contains(ind));
+        } else {
+            neg += 1.0;
+            neg_hit += f64::from(!predicted.contains(ind));
+        }
+    }
+    let sensitivity =
+        (pos_hit + PRIOR_STRENGTH * prior.sensitivity) / (pos + PRIOR_STRENGTH);
+    let specificity =
+        (neg_hit + PRIOR_STRENGTH * prior.specificity) / (neg + PRIOR_STRENGTH);
+    Reliability {
+        sensitivity: sensitivity.clamp(0.01, 0.995),
+        specificity: specificity.clamp(0.01, 0.995),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemini_15_pro;
+
+    #[test]
+    fn empty_examples_are_identity() {
+        let p = gemini_15_pro();
+        let a = adapt_profile(&p, &[]);
+        assert_eq!(a.reliability, p.reliability);
+        assert_eq!(a.name, p.name);
+    }
+
+    #[test]
+    fn few_examples_barely_move_the_prior() {
+        let p = gemini_15_pro();
+        let sw = IndicatorSet::new().with(Indicator::Sidewalk);
+        let examples = vec![(sw, sw); 3];
+        let a = adapt_profile(&p, &examples);
+        let delta = (a.reliability[Indicator::Sidewalk].sensitivity
+            - p.reliability[Indicator::Sidewalk].sensitivity)
+            .abs();
+        assert!(delta < 0.06, "3 examples moved sensitivity by {delta}");
+    }
+
+    #[test]
+    fn many_examples_dominate_the_prior() {
+        let p = gemini_15_pro();
+        let sw = IndicatorSet::new().with(Indicator::Sidewalk);
+        // perfect detection in 500 examples
+        let examples = vec![(sw, sw); 500];
+        let a = adapt_profile(&p, &examples);
+        assert!(a.reliability[Indicator::Sidewalk].sensitivity > 0.93);
+    }
+
+    #[test]
+    fn adaptation_is_per_class() {
+        let p = gemini_15_pro();
+        let sw = IndicatorSet::new().with(Indicator::Sidewalk);
+        let examples = vec![(sw, IndicatorSet::new()); 300];
+        let a = adapt_profile(&p, &examples);
+        // sidewalk sensitivity drops; powerline specificity rises slightly
+        // (the examples contain only powerline-absent images answered "no")
+        assert!(
+            a.reliability[Indicator::Sidewalk].sensitivity
+                < p.reliability[Indicator::Sidewalk].sensitivity
+        );
+        assert!(
+            a.reliability[Indicator::Powerline].specificity
+                >= p.reliability[Indicator::Powerline].specificity
+        );
+        assert!(a.name.ends_with("+adapted"));
+    }
+}

@@ -1,0 +1,411 @@
+//! The simulated vision-language model: profile + evidence + sampler.
+
+use nbhd_prompt::{Language, Prompt, PromptMessage, PromptMode};
+use nbhd_types::rng::{child_seed, child_seed_n, rng_from};
+use nbhd_types::Indicator;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{
+    margin_confidence, mixed_difficulty, sample_answer, AnswerToken, ImageContext, ModelProfile,
+    SamplerParams, DEFAULT_SHARED_FRACTION,
+};
+
+/// Coupling strength between scene visibility and effective sensitivity.
+const VISIBILITY_COUPLING: f64 = 0.15;
+/// Centering constant: measured mean visibility of present indicators
+/// across survey scenes (see `nbhd-scene`'s evidence probe).
+const VISIBILITY_MEAN: f64 = 0.64;
+/// Coupling strength between distractor evidence and effective specificity.
+const DISTRACTOR_COUPLING: f64 = 0.15;
+/// Centering constant: measured mean distractor evidence of absent
+/// indicators across survey scenes.
+const DISTRACTOR_MEAN: f64 = 0.15;
+/// Compensation for residual sampler losses at default settings. Junk
+/// tokens parse as "No", which only costs *sensitivity* (a junk answer to
+/// an absent question is correct), so the present side is compensated more.
+const SENSITIVITY_COMPENSATION: f64 = 0.012;
+const SPECIFICITY_COMPENSATION: f64 = 0.002;
+
+/// A runnable simulated model.
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_geo::{RoadClass, Zoning};
+/// use nbhd_prompt::{Language, Prompt, PromptMode};
+/// use nbhd_scene::{SceneGenerator, ViewKind};
+/// use nbhd_types::{Heading, ImageId, LocationId};
+/// use nbhd_vlm::{gemini_15_pro, ImageContext, SamplerParams, VisionModel};
+///
+/// let spec = SceneGenerator::new(3).compose_raw(
+///     ImageId::new(LocationId(0), Heading::North),
+///     Zoning::Urban,
+///     RoadClass::Multilane,
+///     ViewKind::AlongRoad,
+/// );
+/// let ctx = ImageContext::from_scene(&spec, 3);
+/// let model = VisionModel::new(gemini_15_pro(), 3);
+/// let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+/// let responses = model.respond(&ctx, &prompt, &SamplerParams::default());
+/// assert_eq!(responses.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisionModel {
+    profile: ModelProfile,
+    survey_seed: u64,
+    shared_fraction: f64,
+}
+
+impl VisionModel {
+    /// Creates a model bound to a survey seed.
+    pub fn new(profile: ModelProfile, survey_seed: u64) -> VisionModel {
+        VisionModel {
+            profile,
+            survey_seed,
+            shared_fraction: DEFAULT_SHARED_FRACTION,
+        }
+    }
+
+    /// Overrides the cross-model error-correlation fraction (for the
+    /// voting-gain ablation).
+    #[must_use]
+    pub fn with_shared_fraction(mut self, alpha: f64) -> VisionModel {
+        self.shared_fraction = alpha.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The model's profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// Produces one raw text response per prompt message.
+    pub fn respond(&self, ctx: &ImageContext, prompt: &Prompt, params: &SamplerParams) -> Vec<String> {
+        let model_seed = child_seed(
+            child_seed(self.survey_seed, "vlm"),
+            &format!(
+                "{}/{}/{:?}/t{:.3}/p{:.3}",
+                self.profile.name,
+                prompt.language.tag(),
+                prompt.mode,
+                params.temperature,
+                params.top_p
+            ),
+        );
+        prompt
+            .messages
+            .iter()
+            .enumerate()
+            .map(|(msg_idx, message)| {
+                let mut rng = rng_from(child_seed_n(
+                    model_seed,
+                    "message",
+                    ctx.image.key() * 31 + msg_idx as u64,
+                ));
+                self.render_message(ctx, prompt, message, params, &mut rng)
+            })
+            .collect()
+    }
+
+    fn render_message(
+        &self,
+        ctx: &ImageContext,
+        prompt: &Prompt,
+        message: &PromptMessage,
+        params: &SamplerParams,
+        rng: &mut StdRng,
+    ) -> String {
+        // Format rigidity: at aggressive decoding settings the model may
+        // echo the instruction's example answer pattern verbatim.
+        let rigidity_p = self.profile.rigidity * params.rigidity_drive();
+        if rigidity_p > 0.0 && rng.random_bool(rigidity_p.min(1.0)) {
+            return format_echo(prompt.language, message.questions.len());
+        }
+
+        let mut parts: Vec<String> = Vec::with_capacity(message.questions.len());
+        for &ind in &message.questions {
+            let (intent_yes, margin) = self.decide(ctx, ind, prompt.language, prompt.mode);
+            let token = sample_answer(rng, margin_confidence(margin), self.profile.junk_mass, params);
+            let part = match token {
+                AnswerToken::Intent => answer_word(prompt.language, intent_yes),
+                AnswerToken::Flip => answer_word(prompt.language, !intent_yes),
+                AnswerToken::Junk => junk_phrase(prompt.language, rng).to_owned(),
+            };
+            // occasional verbose English phrasing
+            if prompt.language == Language::English
+                && token != AnswerToken::Junk
+                && rng.random_bool(self.profile.verbosity)
+            {
+                let polarity = if part == "Yes" { "is" } else { "is not" };
+                parts.push(format!("{part} — there {polarity} a {} visible", noun(ind)));
+            } else {
+                parts.push(part);
+            }
+        }
+        parts.join(", ")
+    }
+
+    /// The calibrated yes/no decision for one question: the latent intent
+    /// and the (signed) correctness margin driving answer confidence.
+    pub fn decide(
+        &self,
+        ctx: &ImageContext,
+        ind: Indicator,
+        language: Language,
+        mode: PromptMode,
+    ) -> (bool, f64) {
+        let structure = if mode == PromptMode::Sequential {
+            self.profile.sequential_factor
+        } else {
+            1.0
+        };
+        let present = ctx.presence.contains(ind);
+        let ev = ctx.evidence[ind];
+        let u = mixed_difficulty(
+            ctx,
+            child_seed(self.survey_seed, &self.profile.name),
+            ind,
+            self.shared_fraction,
+        );
+        if present {
+            let s = self.profile.sensitivity(ind, language) * structure;
+            let s_eff = (s
+                + VISIBILITY_COUPLING * (ev.visibility as f64 - VISIBILITY_MEAN)
+                + SENSITIVITY_COMPENSATION)
+                .clamp(0.01, 0.995);
+            (u < s_eff, s_eff - u)
+        } else {
+            let f = self.profile.specificity(ind, language);
+            let f_eff = (f - DISTRACTOR_COUPLING * (ev.distractor as f64 - DISTRACTOR_MEAN)
+                + SPECIFICITY_COMPENSATION)
+                .clamp(0.01, 0.995);
+            (u > f_eff, u - f_eff)
+        }
+    }
+}
+
+/// The canonical answer word for a language.
+fn answer_word(language: Language, yes: bool) -> String {
+    if yes {
+        language.yes_word().to_owned()
+    } else {
+        language.no_word().to_owned()
+    }
+}
+
+/// A non-answer the parser cannot map to yes/no.
+fn junk_phrase<R: Rng + ?Sized>(language: Language, rng: &mut R) -> &'static str {
+    let options: &[&str] = match language {
+        Language::English => &[
+            "unclear from this angle",
+            "I cannot determine that",
+            "possibly",
+        ],
+        Language::Spanish => &["posiblemente", "incierto"],
+        Language::Chinese => &["不确定", "难以判断"],
+        Language::Bengali => &["অনিশ্চিত", "বলা কঠিন"],
+    };
+    options[rng.random_range(0..options.len())]
+}
+
+/// The instruction's literal example pattern (Yes, No, No, Yes, No, Yes),
+/// truncated/extended to the expected answer count.
+fn format_echo(language: Language, n: usize) -> String {
+    const PATTERN: [bool; 6] = [true, false, false, true, false, true];
+    (0..n)
+        .map(|i| answer_word(language, PATTERN[i % PATTERN.len()]))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A short English noun for verbose answers.
+fn noun(ind: Indicator) -> &'static str {
+    match ind {
+        Indicator::Streetlight => "streetlight",
+        Indicator::Sidewalk => "sidewalk",
+        Indicator::SingleLaneRoad => "single-lane road",
+        Indicator::MultilaneRoad => "multi-lane road",
+        Indicator::Powerline => "power line",
+        Indicator::Apartment => "apartment building",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemini_15_pro, paper_models};
+    use nbhd_geo::{RoadClass, Zoning};
+    use nbhd_prompt::parse_response;
+    use nbhd_scene::{SceneGenerator, ViewKind};
+    use nbhd_types::{Heading, ImageId, IndicatorSet, LocationId};
+
+    fn ctx(loc: u64) -> ImageContext {
+        let zone = [Zoning::Urban, Zoning::Suburban, Zoning::Rural][(loc % 3) as usize];
+        let class = if loc % 2 == 0 { RoadClass::Multilane } else { RoadClass::SingleLane };
+        let view = if loc % 4 == 0 { ViewKind::AcrossRoad } else { ViewKind::AlongRoad };
+        let spec = SceneGenerator::new(7).compose_raw(
+            ImageId::new(LocationId(loc), Heading::North),
+            zone,
+            class,
+            view,
+        );
+        ImageContext::from_scene(&spec, 7)
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let model = VisionModel::new(gemini_15_pro(), 7);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let c = ctx(1);
+        let a = model.respond(&c, &prompt, &SamplerParams::default());
+        let b = model.respond(&c, &prompt, &SamplerParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_responses_usually_parse_completely() {
+        let model = VisionModel::new(gemini_15_pro(), 7);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let mut complete = 0usize;
+        for loc in 0..100 {
+            let responses = model.respond(&ctx(loc), &prompt, &SamplerParams::default());
+            let parsed = parse_response(&responses[0], Language::English, 6);
+            complete += usize::from(parsed.is_complete());
+        }
+        assert!(complete >= 85, "only {complete}/100 parsed completely");
+    }
+
+    #[test]
+    fn accuracy_is_near_calibration_target() {
+        // Gemini's paper-average accuracy is 0.88; the simulated model
+        // should land within a few points over a decent sample.
+        let model = VisionModel::new(gemini_15_pro(), 7);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for loc in 0..400 {
+            let c = ctx(loc);
+            let responses = model.respond(&c, &prompt, &SamplerParams::default());
+            let parsed = parse_response(&responses[0], Language::English, 6);
+            let predicted = parsed.to_presence(&prompt.question_order());
+            for ind in Indicator::ALL {
+                total += 1;
+                correct += usize::from(predicted.contains(ind) == c.presence.contains(ind));
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!((acc - 0.88).abs() < 0.05, "accuracy {acc:.3} vs target 0.88");
+    }
+
+    #[test]
+    fn sequential_mode_loses_recall() {
+        let model = VisionModel::new(gemini_15_pro(), 7);
+        let count_hits = |mode: PromptMode| {
+            let prompt = Prompt::build(Language::English, mode);
+            let mut hits = 0usize;
+            let mut positives = 0usize;
+            for loc in 0..300 {
+                let c = ctx(loc);
+                let responses = model.respond(&c, &prompt, &SamplerParams::default());
+                let mut answers = Vec::new();
+                for (r, m) in responses.iter().zip(&prompt.messages) {
+                    answers.extend(parse_response(r, Language::English, m.questions.len()).answers);
+                }
+                for (ind, ans) in prompt.question_order().iter().zip(answers) {
+                    if c.presence.contains(*ind) {
+                        positives += 1;
+                        hits += usize::from(ans == Some(true));
+                    }
+                }
+            }
+            hits as f64 / positives as f64
+        };
+        let parallel = count_hits(PromptMode::Parallel);
+        let sequential = count_hits(PromptMode::Sequential);
+        assert!(
+            parallel > sequential + 0.04,
+            "parallel recall {parallel:.3} should clearly beat sequential {sequential:.3}"
+        );
+    }
+
+    #[test]
+    fn chinese_prompts_miss_sidewalks() {
+        let model = VisionModel::new(gemini_15_pro(), 7);
+        let prompt = Prompt::build(Language::Chinese, PromptMode::Parallel);
+        let mut hits = 0usize;
+        let mut positives = 0usize;
+        for loc in 0..600 {
+            let c = ctx(loc);
+            if !c.presence.contains(Indicator::Sidewalk) {
+                continue;
+            }
+            positives += 1;
+            let responses = model.respond(&c, &prompt, &SamplerParams::default());
+            let parsed = parse_response(&responses[0], Language::Chinese, 6);
+            let predicted = parsed.to_presence(&prompt.question_order());
+            hits += usize::from(predicted.contains(Indicator::Sidewalk));
+        }
+        assert!(positives > 50, "need sidewalk-positive scenes, got {positives}");
+        let recall = hits as f64 / positives as f64;
+        assert!(recall < 0.10, "zh sidewalk recall {recall:.3} should collapse");
+    }
+
+    #[test]
+    fn low_temperature_triggers_format_echo() {
+        let model = VisionModel::new(crate::grok_2(), 7);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let cold = SamplerParams {
+            temperature: 0.1,
+            top_p: 0.95,
+        };
+        let echo = format_echo(Language::English, 6);
+        let mut echoes = 0usize;
+        for loc in 0..400 {
+            let responses = model.respond(&ctx(loc), &prompt, &cold);
+            echoes += usize::from(responses[0] == echo);
+        }
+        // grok rigidity 0.12 at full drive ~0.9 -> ~10% of responses
+        assert!(
+            (15..=80).contains(&echoes),
+            "expected ~40/400 echoes, got {echoes}"
+        );
+        // and none at the default settings
+        let mut at_default = 0usize;
+        for loc in 0..200 {
+            let responses = model.respond(&ctx(loc), &prompt, &SamplerParams::default());
+            at_default += usize::from(responses[0] == echo);
+        }
+        assert!(at_default <= 2, "format echo at defaults: {at_default}");
+    }
+
+    #[test]
+    fn models_disagree_but_not_always() {
+        let models: Vec<VisionModel> = paper_models()
+            .into_iter()
+            .map(|p| VisionModel::new(p, 7))
+            .collect();
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let mut identical = 0usize;
+        for loc in 0..100 {
+            let c = ctx(loc);
+            let sets: Vec<IndicatorSet> = models
+                .iter()
+                .map(|m| {
+                    let r = m.respond(&c, &prompt, &SamplerParams::default());
+                    parse_response(&r[0], Language::English, 6).to_presence(&prompt.question_order())
+                })
+                .collect();
+            if sets.windows(2).all(|w| w[0] == w[1]) {
+                identical += 1;
+            }
+        }
+        assert!(identical > 5, "correlated errors should align models sometimes");
+        assert!(identical < 95, "models must not be clones");
+    }
+}

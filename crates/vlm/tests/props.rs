@@ -1,0 +1,139 @@
+//! Property-based tests for the VLM simulator: calibration identities,
+//! sampler behavior, and copula marginals.
+
+use nbhd_geo::{RoadClass, Zoning};
+use nbhd_prompt::{Language, Prompt, PromptMode};
+use nbhd_scene::{SceneGenerator, ViewKind};
+use nbhd_types::rng::rng_from;
+use nbhd_types::{Heading, ImageId, LocationId};
+use nbhd_vlm::{
+    adapt_profile, mixed_difficulty, paper_models, sample_answer, AnswerToken, ImageContext,
+    Reliability, SamplerParams, VisionModel,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = SamplerParams> {
+    (0.05f64..2.0, 0.05f64..=1.0).prop_map(|(temperature, top_p)| SamplerParams {
+        temperature,
+        top_p,
+    })
+}
+
+fn ctx(seed: u64, loc: u64) -> ImageContext {
+    let spec = SceneGenerator::new(seed).compose_raw(
+        ImageId::new(LocationId(loc), Heading::North),
+        Zoning::Suburban,
+        RoadClass::SingleLane,
+        ViewKind::AlongRoad,
+    );
+    ImageContext::from_scene(&spec, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reliability_inversion_is_exact(recall in 0.05f64..1.0, accuracy in 0.3f64..1.0, prevalence in 0.05f64..0.6) {
+        let r = Reliability::from_paper(recall, accuracy, prevalence);
+        // when no clamping was needed, the implied accuracy matches
+        let unclamped = (accuracy - recall * prevalence) / (1.0 - prevalence);
+        if (0.02..=0.995).contains(&unclamped) && (0.02..=0.995).contains(&recall) {
+            prop_assert!((r.implied_accuracy(prevalence) - accuracy).abs() < 1e-9);
+        }
+        prop_assert!((0.0..=1.0).contains(&r.sensitivity));
+        prop_assert!((0.0..=1.0).contains(&r.specificity));
+    }
+
+    #[test]
+    fn sampler_never_panics_and_returns_valid_tokens(
+        confidence in -0.5f64..1.5,
+        junk in 0.0f64..0.5,
+        params in arb_params(),
+        seed in 0u64..500,
+    ) {
+        let mut rng = rng_from(seed);
+        let token = sample_answer(&mut rng, confidence, junk, &params);
+        prop_assert!(matches!(token, AnswerToken::Intent | AnswerToken::Flip | AnswerToken::Junk));
+    }
+
+    #[test]
+    fn difficulty_is_a_probability(seed in 0u64..100, loc in 0u64..100, alpha in 0.0f64..=1.0) {
+        let c = ctx(seed, loc);
+        for ind in nbhd_types::Indicator::ALL {
+            let u = mixed_difficulty(&c, seed ^ 0x5555, ind, alpha);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn responses_are_reproducible_for_any_params(params in arb_params(), loc in 0u64..50) {
+        let model = VisionModel::new(nbhd_vlm::grok_2(), 3);
+        let c = ctx(3, loc);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        prop_assert_eq!(
+            model.respond(&c, &prompt, &params),
+            model.respond(&c, &prompt, &params)
+        );
+    }
+
+    #[test]
+    fn every_model_answers_every_message(loc in 0u64..40, sequential in any::<bool>()) {
+        let mode = if sequential { PromptMode::Sequential } else { PromptMode::Parallel };
+        let prompt = Prompt::build(Language::English, mode);
+        let c = ctx(9, loc);
+        for profile in paper_models() {
+            let model = VisionModel::new(profile, 9);
+            let texts = model.respond(&c, &prompt, &SamplerParams::default());
+            prop_assert_eq!(texts.len(), prompt.messages.len());
+            for t in &texts {
+                prop_assert!(!t.trim().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptation_never_leaves_probability_bounds(
+        n_pos in 0usize..50,
+        n_neg in 0usize..50,
+        hit_pos in any::<bool>(),
+        hit_neg in any::<bool>(),
+    ) {
+        use nbhd_types::{Indicator, IndicatorSet};
+        let sw = IndicatorSet::new().with(Indicator::Sidewalk);
+        let mut examples = Vec::new();
+        for _ in 0..n_pos {
+            examples.push((sw, if hit_pos { sw } else { IndicatorSet::new() }));
+        }
+        for _ in 0..n_neg {
+            examples.push((IndicatorSet::new(), if hit_neg { sw } else { IndicatorSet::new() }));
+        }
+        let adapted = adapt_profile(&nbhd_vlm::claude_37(), &examples);
+        for ind in Indicator::ALL {
+            let r = adapted.reliability[ind];
+            prop_assert!((0.0..=1.0).contains(&r.sensitivity));
+            prop_assert!((0.0..=1.0).contains(&r.specificity));
+        }
+    }
+}
+
+#[test]
+fn copula_correlation_is_monotone_in_alpha() {
+    // agreement between two models' difficulty signs rises with alpha
+    let mut prev = 0.0f64;
+    for alpha in [0.0, 0.5, 1.0] {
+        let mut same = 0usize;
+        for loc in 0..400u64 {
+            let c = ctx(13, loc);
+            let a = mixed_difficulty(&c, 1, nbhd_types::Indicator::Powerline, alpha) < 0.5;
+            let b = mixed_difficulty(&c, 2, nbhd_types::Indicator::Powerline, alpha) < 0.5;
+            same += usize::from(a == b);
+        }
+        let frac = same as f64 / 400.0;
+        assert!(
+            frac >= prev - 0.05,
+            "agreement must not drop as alpha rises: {frac} after {prev}"
+        );
+        prev = frac;
+    }
+    assert!(prev > 0.99, "alpha=1 should agree everywhere, got {prev}");
+}

@@ -1,0 +1,72 @@
+//! LLM ensemble under realistic API conditions: rate limits, transient
+//! faults with retries, per-model cost metering, and majority voting.
+//!
+//! ```text
+//! cargo run --release --example llm_ensemble
+//! ```
+
+use nbhd::client::{Ensemble, ExecutorConfig, FaultProfile, RetryPolicy};
+use nbhd::prelude::*;
+use nbhd::vlm::{claude_37, gemini_15_pro, grok_2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let survey = SurveyPipeline::new(SurveyConfig::smoke(99)).run()?;
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    let contexts = survey.contexts(&ids)?;
+
+    // A flaky public API behind a 5 req/s limit, 6 concurrent workers,
+    // up to 4 attempts per request with exponential backoff.
+    let ensemble = Ensemble::new(
+        vec![
+            (gemini_15_pro(), true),
+            (claude_37(), true),
+            (grok_2(), true),
+        ],
+        survey.config().seed,
+        FaultProfile::FLAKY,
+        ExecutorConfig {
+            workers: 6,
+            rate_limit: Some((4, 5.0)),
+            retry: RetryPolicy::default(),
+            seed: 99,
+        },
+    );
+
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let outcome = ensemble.survey(&contexts, &prompt, &SamplerParams::default());
+
+    // score each model and the vote
+    let mut evaluators: Vec<(String, PresenceEvaluator)> = Vec::new();
+    for (name, answers) in &outcome.per_model {
+        let mut eval = PresenceEvaluator::new();
+        for (pred, ctx) in answers.presence.iter().zip(&contexts) {
+            eval.observe(ctx.presence, *pred);
+        }
+        println!(
+            "{:<16} accuracy {:.3} | parse failures {} | transport failures {}",
+            name,
+            eval.table().average.accuracy,
+            answers.parse_failures,
+            answers.transport_failures
+        );
+        evaluators.push((name.clone(), eval));
+    }
+    let mut vote_eval = PresenceEvaluator::new();
+    for (pred, ctx) in outcome.voted.iter().zip(&contexts) {
+        vote_eval.observe(ctx.presence, *pred);
+    }
+    println!(
+        "{:<16} accuracy {:.3}",
+        "majority-vote",
+        vote_eval.table().average.accuracy
+    );
+
+    println!(
+        "\nvirtual wall-clock: {:.1}s for {} images x 3 models",
+        ensemble.clock().now_ms() as f64 / 1000.0,
+        contexts.len()
+    );
+    println!("\n{}", ensemble.meter().report());
+    println!("total simulated spend: ${:.3}", ensemble.meter().total_usd());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Multilingual prompt audit: how prompt language changes what the model
+//! finds — including the paper's catastrophic failures (Chinese sidewalks,
+//! Spanish single-lane roads) — and how few-shot adaptation can narrow the
+//! gap.
+//!
+//! ```text
+//! cargo run --release --example multilingual_audit
+//! ```
+
+use nbhd::prelude::*;
+use nbhd::prompt::parse_response;
+use nbhd::vlm::{adapt_profile, gemini_15_pro};
+
+fn recall_by_class(
+    survey: &SurveyDataset,
+    model: &VisionModel,
+    language: Language,
+) -> Result<(nbhd::eval::MetricsTable, usize), nbhd::types::Error> {
+    let prompt = Prompt::build(language, PromptMode::Parallel);
+    let mut eval = PresenceEvaluator::new();
+    let mut examples = 0usize;
+    for &id in survey.images() {
+        let ctx = survey.context(id)?;
+        let texts = model.respond(&ctx, &prompt, &SamplerParams::default());
+        let parsed = parse_response(&texts[0], language, 6);
+        eval.observe(ctx.presence, parsed.to_presence(&prompt.question_order()));
+        examples += 1;
+    }
+    Ok((eval.table(), examples))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = SurveyConfig::smoke(55);
+    config.locations = 100;
+    let survey = SurveyPipeline::new(config).run()?;
+    let model = VisionModel::new(gemini_15_pro(), survey.config().seed);
+
+    println!("Gemini 1.5 Pro recall by prompt language:\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}",
+        "language", "avg recall", "SW recall", "SR recall"
+    );
+    for language in [
+        Language::English,
+        Language::Bengali,
+        Language::Spanish,
+        Language::Chinese,
+    ] {
+        let (table, _) = recall_by_class(&survey, &model, language)?;
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>14.3}",
+            language.to_string(),
+            table.average.recall,
+            table.per_class[Indicator::Sidewalk].recall,
+            table.per_class[Indicator::SingleLaneRoad].recall,
+        );
+    }
+
+    // Few-shot adaptation: collect Chinese-prompt mistakes on a calibration
+    // slice, adapt the profile, and re-audit.
+    println!("\n== few-shot adaptation on the Chinese prompt gap");
+    let prompt = Prompt::build(Language::Chinese, PromptMode::Parallel);
+    let calib_ids: Vec<ImageId> = survey.images().iter().take(150).copied().collect();
+    let mut examples = Vec::new();
+    for &id in &calib_ids {
+        let ctx = survey.context(id)?;
+        let texts = model.respond(&ctx, &prompt, &SamplerParams::default());
+        let predicted =
+            parse_response(&texts[0], Language::Chinese, 6).to_presence(&prompt.question_order());
+        examples.push((ctx.presence, predicted));
+    }
+    let adapted_profile = adapt_profile(model.profile(), &examples);
+    println!(
+        "sidewalk sensitivity: base {:.3} -> adapted {:.3}",
+        model.profile().reliability[Indicator::Sidewalk].sensitivity,
+        adapted_profile.reliability[Indicator::Sidewalk].sensitivity,
+    );
+    println!(
+        "(adaptation pulls the profile toward the observed behaviour; a\n\
+         downstream auditor would now know to distrust zh sidewalk answers)"
+    );
+    Ok(())
+}

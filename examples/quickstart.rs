@@ -1,0 +1,42 @@
+//! Quickstart: build a small survey, ask the simulated LLM ensemble about a
+//! few street scenes, and compare against ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nbhd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Collect a small survey: two NC-style counties, synthetic street
+    //    view imagery, simulated human annotation, 70/20/10 split.
+    let survey = SurveyPipeline::new(SurveyConfig::smoke(2025)).run()?;
+    println!("survey: {}", survey.dataset().summary());
+
+    // 2. Ask the paper's four models about the first ten images using the
+    //    paper's English parallel prompt, and majority-vote the top three.
+    let ids: Vec<ImageId> = survey.images().iter().take(10).copied().collect();
+    let outcome = run_llm_survey(&survey, paper_lineup(), &ids, &LlmSurveyConfig::default())?;
+
+    println!("\nimage            ground truth      majority vote");
+    for (i, &id) in ids.iter().enumerate() {
+        println!(
+            "{:<16} {:<17} {}",
+            id.to_string(),
+            outcome.truth[i].to_string(),
+            outcome.ensemble.voted[i]
+        );
+    }
+
+    // 3. How well does each model do, and what did the calls cost?
+    println!("\nper-model accuracy over {} images:", ids.len());
+    for (name, table) in &outcome.tables {
+        println!("  {:<18} {:.3}", name, table.average.accuracy);
+    }
+    println!(
+        "majority vote accuracy: {:.3}",
+        outcome.voted_table.average.accuracy
+    );
+    println!("\nsimulated API spend: ${:.4}", outcome.total_usd);
+    Ok(())
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Generates EXPERIMENTS.md from a paper_tables bench log.
+
+Usage: python3 scripts/experiments_md.py bench_output.txt > EXPERIMENTS.md
+"""
+import re
+import sys
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Regenerated with `cargo bench -p nbhd-bench --bench paper_tables`
+(the log this file was produced from is committed alongside it).
+Experiment ids follow DESIGN.md §4. Absolute parity with the paper is not
+the goal — the substrates are simulations (DESIGN.md §2) — but every
+reported *shape* should hold, and the LLM-side statistics are calibrated
+to land close.
+
+Deviations worth calling out:
+
+* **t1 (Table I).** The paper's YOLOv11-Nano reaches mAP50 ≈ 0.99 on real
+  imagery with a deep network. Our from-scratch linear-mixture detector
+  reaches a substantially lower mAP at benchmark scale. The *ordering*
+  the study relies on still holds: the supervised detector is strong on
+  the big road classes and the LLM ensemble needs no training at all; we
+  record the honest gap below rather than inflating the substrate.
+* **f2 / f3 (Figs. 2-3).** Rotation augmentation hurts and noise degrades
+  accuracy in our reproduction as in the paper, but with larger magnitudes:
+  a linear-mixture detector is more fragile to out-of-distribution training
+  frames and to pixel noise than a deep YOLO. The directional-class claim
+  (streetlights collapse hardest under rotation) reproduces exactly.
+* **f4 (Fig. 4).** The paper's parallel-prompt recalls in Fig. 4 (92/83)
+  disagree with its own appendix tables (90/91); we calibrate to the
+  tables, so our parallel numbers track the appendix and the
+  parallel-beats-sequential gap is the reproduced shape.
+
+"""
+
+
+def main(path: str) -> None:
+    text = open(path).read()
+    sections = re.split(r"\n== ", text)
+    out = [HEADER]
+    for section in sections[1:]:
+        title_line, _, body = section.partition("\n")
+        m = re.match(r"(\w+): (.*)", title_line)
+        if not m:
+            continue
+        exp_id, title = m.groups()
+        if exp_id == "t2":
+            out.append(f"## {exp_id} — {title}\n\nQualitative example; see the bench log for the rendered answer grid.\n")
+            continue
+        rows = re.findall(
+            r"^(.*?)\s+(-?\d+\.\d{3})\s+(-?\d+\.\d{3})\s+(\d+\.\d{3})\s*$",
+            body.split("paper vs measured")[-1],
+            re.M,
+        )
+        out.append(f"## {exp_id} — {title}\n")
+        if rows:
+            out.append("| quantity | paper | measured | delta |")
+            out.append("|---|---|---|---|")
+            for name, paper, measured, delta in rows:
+                out.append(f"| {name.strip()} | {paper} | {measured} | {delta} |")
+        out.append("")
+    summary = re.search(r"# (\d+ experiments, .*)", text)
+    if summary:
+        out.append(f"\n**Summary:** {summary.group(1)}\n")
+    print("\n".join(out))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -1,0 +1,20 @@
+//! `nbhd` — decoding neighborhood environments with (simulated) large
+//! language models.
+//!
+//! This is the umbrella crate of the workspace: it re-exports the public
+//! façade from [`nbhd_core`] so applications can depend on a single crate.
+//! See the repository README for the architecture overview and the DESIGN
+//! document for the per-experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd::prelude::*;
+//!
+//! // Build a tiny survey dataset and inspect its class balance.
+//! let config = SurveyConfig::smoke(7);
+//! let dataset = SurveyPipeline::new(config).run().unwrap();
+//! assert!(dataset.images().len() > 0);
+//! ```
+
+pub use nbhd_core::*;

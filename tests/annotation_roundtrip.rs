@@ -1,0 +1,61 @@
+//! Cross-crate annotation flow: survey → LabelMe files on disk → reload →
+//! rebuild an equivalent dataset.
+
+use nbhd::annotate::{AnnotationStore, LabeledDataset, SplitRatios};
+use nbhd::prelude::*;
+
+#[test]
+fn labelme_disk_round_trip_preserves_the_dataset() {
+    let survey = SurveyPipeline::new(SurveyConfig::smoke(77)).run().unwrap();
+    let dir = std::env::temp_dir().join(format!("nbhd-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = AnnotationStore::open(&dir).unwrap();
+
+    let size = survey.config().image_size;
+    for &id in survey.images() {
+        store
+            .save(survey.dataset().labels(id).unwrap(), size)
+            .unwrap();
+    }
+
+    let reloaded = store.load_all().unwrap();
+    assert_eq!(reloaded.len(), survey.images().len());
+    let rebuilt = LabeledDataset::build(reloaded, size, SplitRatios::STUDY, 77).unwrap();
+    assert_eq!(rebuilt.total_objects(), survey.dataset().total_objects());
+    assert_eq!(rebuilt.object_counts(), survey.dataset().object_counts());
+    for &id in survey.images() {
+        assert_eq!(
+            rebuilt.labels(id).unwrap().objects,
+            survey.dataset().labels(id).unwrap().objects,
+            "labels for {id} must round-trip bit-exactly"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn class_counts_shape_matches_the_paper() {
+    // Paper: 1,927 objects over 1,200 locations with MR (505) the largest
+    // class and AP (125) the smallest. Check the same ordering holds.
+    let mut config = SurveyConfig::smoke(78);
+    config.locations = 150;
+    let survey = SurveyPipeline::new(config).run().unwrap();
+    let counts = survey.dataset().object_counts();
+    assert!(
+        counts[Indicator::MultilaneRoad] > counts[Indicator::Apartment] * 2,
+        "MR ({}) should dwarf AP ({})",
+        counts[Indicator::MultilaneRoad],
+        counts[Indicator::Apartment]
+    );
+    assert!(
+        counts[Indicator::Sidewalk] > counts[Indicator::Apartment],
+        "SW should outnumber AP"
+    );
+    let total = survey.dataset().total_objects();
+    let per_location = total as f64 / 150.0;
+    // paper: 1927 / 1200 ≈ 1.6 objects per location... per image here
+    assert!(
+        (4.0..=11.0).contains(&per_location),
+        "objects per location {per_location:.2}"
+    );
+}
