@@ -125,6 +125,43 @@ fn bench_executor(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // the same batch through the full resilience stack: circuit breaker
+    // wrapping the transport, hedged attempts in the executor
+    c.bench_function("executor_batch_32_requests_resilient", |b| {
+        b.iter_batched(
+            || {
+                let clock = Arc::new(nbhd_core::client::VirtualClock::new());
+                let base = Arc::new(nbhd_core::client::SimulatedTransport::new(
+                    VisionModel::new(gemini_15_pro(), 9),
+                    9,
+                ));
+                let transport = Arc::new(nbhd_core::client::BreakerTransport::new(
+                    base,
+                    nbhd_core::client::BreakerConfig::default(),
+                    Arc::clone(&clock),
+                ));
+                let requests: Vec<nbhd_core::client::ModelRequest> = contexts
+                    .iter()
+                    .map(|ctx| nbhd_core::client::ModelRequest {
+                        context: ctx.clone(),
+                        prompt: prompt.clone(),
+                        params: SamplerParams::default(),
+                    })
+                    .collect();
+                let executor = nbhd_core::client::BatchExecutor::new(
+                    transport,
+                    ExecutorConfig {
+                        hedge: Some(nbhd_core::client::HedgePolicy::after_ms(1_500)),
+                        ..ExecutorConfig::default()
+                    },
+                )
+                .with_accounting(clock, Arc::new(nbhd_core::client::CostMeter::new()));
+                (executor, requests)
+            },
+            |(executor, requests)| executor.run(requests),
+            BatchSize::SmallInput,
+        );
+    });
 }
 
 criterion_group!(

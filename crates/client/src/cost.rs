@@ -21,6 +21,15 @@ pub struct ModelUsage {
     pub usd: f64,
     /// Summed request latency, milliseconds.
     pub latency_ms: f64,
+    /// Requests rejected instantly by an open circuit breaker (a subset of
+    /// [`ModelUsage::failures`]).
+    pub fail_fast: u64,
+    /// Hedge backup requests fired.
+    pub hedges_fired: u64,
+    /// Hedge backups whose answer won the race.
+    pub hedges_won: u64,
+    /// Total virtual milliseconds spent waiting in retry backoff.
+    pub backoff_ms: u64,
 }
 
 impl ModelUsage {
@@ -87,6 +96,29 @@ impl CostMeter {
         u.retries += u64::from(attempts.saturating_sub(1));
     }
 
+    /// Records a request rejected instantly by an open circuit breaker.
+    /// Counts as a failure, but burns no retries and no server time.
+    pub fn record_fail_fast(&self, model: &str) {
+        let mut ledger = self.ledger.lock();
+        let u = ledger.entry(model.to_owned()).or_default();
+        u.failures += 1;
+        u.fail_fast += 1;
+    }
+
+    /// Adds hedging and backoff accounting for one request, successful or
+    /// not. Kept separate from [`CostMeter::record_success`] so its widely
+    /// used signature stays stable.
+    pub fn record_resilience(&self, model: &str, hedges_fired: u32, hedges_won: u32, backoff_ms: u64) {
+        if hedges_fired == 0 && hedges_won == 0 && backoff_ms == 0 {
+            return;
+        }
+        let mut ledger = self.ledger.lock();
+        let u = ledger.entry(model.to_owned()).or_default();
+        u.hedges_fired += u64::from(hedges_fired);
+        u.hedges_won += u64::from(hedges_won);
+        u.backoff_ms += backoff_ms;
+    }
+
     /// Usage snapshot for one model.
     pub fn usage(&self, model: &str) -> Option<ModelUsage> {
         self.ledger.lock().get(model).copied()
@@ -105,14 +137,17 @@ impl CostMeter {
     /// A one-line-per-model text report.
     pub fn report(&self) -> String {
         let ledger = self.ledger.lock();
-        let mut out = String::from("model                 requests retries failures   tokens(in/out)      usd   mean-latency\n");
+        let mut out = String::from("model                 requests retries failures fastfail  hedges   tokens(in/out)      usd   mean-latency\n");
         for (name, u) in ledger.iter() {
             out.push_str(&format!(
-                "{:<22} {:>7} {:>7} {:>8} {:>9}/{:<9} {:>8.4} {:>9.0} ms\n",
+                "{:<22} {:>7} {:>7} {:>8} {:>8} {:>4}/{:<3} {:>9}/{:<9} {:>8.4} {:>9.0} ms\n",
                 name,
                 u.requests,
                 u.retries,
                 u.failures,
+                u.fail_fast,
+                u.hedges_fired,
+                u.hedges_won,
                 u.input_tokens,
                 u.output_tokens,
                 u.usd,
@@ -166,5 +201,29 @@ mod tests {
     #[test]
     fn unknown_model_is_none() {
         assert!(CostMeter::new().usage("nope").is_none());
+    }
+
+    #[test]
+    fn fail_fast_counts_as_failure_without_retries() {
+        let m = CostMeter::new();
+        m.record_fail_fast("a");
+        m.record_fail_fast("a");
+        let a = m.usage("a").unwrap();
+        assert_eq!(a.failures, 2);
+        assert_eq!(a.fail_fast, 2);
+        assert_eq!(a.retries, 0);
+        assert_eq!(a.usd, 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let m = CostMeter::new();
+        m.record_resilience("a", 2, 1, 750);
+        m.record_resilience("a", 1, 0, 250);
+        m.record_resilience("a", 0, 0, 0); // no-op
+        let a = m.usage("a").unwrap();
+        assert_eq!(a.hedges_fired, 3);
+        assert_eq!(a.hedges_won, 1);
+        assert_eq!(a.backoff_ms, 1000);
     }
 }

@@ -1,24 +1,49 @@
 //! The multi-model ensemble runner: queries every model about every image
-//! and majority-votes the designated voters (the paper's Sec. IV-C2 setup).
+//! and votes the designated voters (the paper's Sec. IV-C2 setup), with an
+//! optional resilience stack — chaos schedules, per-model circuit breakers,
+//! and quorum-aware degraded voting.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use nbhd_eval::{majority_vote, TiePolicy};
+use nbhd_eval::{majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteProvenance};
 use nbhd_prompt::{parse_response, Prompt};
+use nbhd_types::rng::child_seed_n;
 use nbhd_types::IndicatorSet;
 use nbhd_vlm::{ImageContext, ModelProfile, SamplerParams, VisionModel};
 
 use crate::{
-    BatchExecutor, CostMeter, ExecutorConfig, FaultProfile, ModelRequest, SimulatedTransport,
-    VirtualClock,
+    BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransport, CostMeter,
+    ExecutorConfig, FaultProfile, FaultSchedule, HealthReport, ModelHealth, ModelRequest,
+    ScheduledTransport, SimulatedTransport, Transport, VirtualClock,
 };
+
+/// The ensemble's failure-handling stack: what chaos to script, whether to
+/// circuit-break each member, and how to vote when members are down.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceConfig {
+    /// Wrap each member's transport in a per-model circuit breaker.
+    pub breaker: Option<BreakerConfig>,
+    /// Scripted chaos fault regimes applied on top of the base faults.
+    pub schedule: FaultSchedule,
+    /// How degraded votes are held when some voters fail.
+    pub quorum: QuorumPolicy,
+    /// Restore the legacy convention: a failed voter casts an empty
+    /// [`IndicatorSet`] (every indicator "absent") instead of being
+    /// excluded. Kept behind this flag so experiments can measure how much
+    /// the convention distorts per-class metrics.
+    pub legacy_empty_votes: bool,
+}
 
 /// One model's answers across a batch of images.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelAnswers {
-    /// Presence predictions per image (order matches the input batch).
+    /// Presence predictions per image (order matches the input batch);
+    /// failed images hold an empty set — consult
+    /// [`ModelAnswers::responded`] to tell absence from failure.
     pub presence: Vec<IndicatorSet>,
+    /// Whether each image actually got an answer from this model.
+    pub responded: Vec<bool>,
     /// Images whose response failed to parse completely.
     pub parse_failures: usize,
     /// Images whose request failed at the transport level.
@@ -30,55 +55,147 @@ pub struct ModelAnswers {
 pub struct EnsembleOutcome {
     /// Per-model answers keyed by model name.
     pub per_model: BTreeMap<String, ModelAnswers>,
-    /// Majority-voted presence per image (voters only).
+    /// Voted presence per image (voters only).
     pub voted: Vec<IndicatorSet>,
+    /// Per-image vote provenance (who responded, which fallback applied).
+    /// Empty under [`ResilienceConfig::legacy_empty_votes`], which predates
+    /// provenance tracking.
+    pub provenance: Vec<VoteProvenance>,
 }
 
 /// Queries a set of simulated models and votes the designated subset.
 pub struct Ensemble {
     members: Vec<Member>,
     config: ExecutorConfig,
+    resilience: ResilienceConfig,
+    survey_seed: u64,
+    faults: FaultProfile,
     clock: Arc<VirtualClock>,
     meter: Arc<CostMeter>,
 }
 
 struct Member {
     profile: ModelProfile,
-    transport: Arc<SimulatedTransport>,
+    /// The base simulated API (bottom of the decorator stack).
+    base: Arc<SimulatedTransport>,
+    /// Chaos-schedule layer, when a schedule is installed.
+    scheduled: Option<Arc<ScheduledTransport>>,
+    /// Circuit-breaker layer, when breaking is enabled.
+    breaker: Option<Arc<BreakerTransport>>,
+    /// Top of the stack — what the executor actually sends through.
+    transport: Arc<dyn Transport>,
     voting: bool,
+}
+
+impl Member {
+    /// Builds the decorator stack `base -> schedule -> breaker` for one
+    /// model. Layer seeds derive from the survey seed and member index.
+    fn build(
+        index: usize,
+        profile: ModelProfile,
+        voting: bool,
+        survey_seed: u64,
+        faults: FaultProfile,
+        resilience: &ResilienceConfig,
+        clock: &Arc<VirtualClock>,
+    ) -> Member {
+        let base = Arc::new(
+            SimulatedTransport::new(
+                VisionModel::new(profile.clone(), survey_seed),
+                survey_seed ^ (index as u64 + 1),
+            )
+            .with_faults(faults),
+        );
+        let mut transport: Arc<dyn Transport> = Arc::clone(&base) as Arc<dyn Transport>;
+        let scheduled = if resilience.schedule.is_empty() {
+            None
+        } else {
+            let layer = Arc::new(ScheduledTransport::new(
+                Arc::clone(&transport),
+                resilience.schedule.clone(),
+                Arc::clone(clock),
+                child_seed_n(survey_seed, "schedule", index as u64),
+            ));
+            transport = Arc::clone(&layer) as Arc<dyn Transport>;
+            Some(layer)
+        };
+        let breaker = resilience.breaker.map(|config| {
+            let layer = Arc::new(BreakerTransport::new(
+                Arc::clone(&transport),
+                config,
+                Arc::clone(clock),
+            ));
+            transport = Arc::clone(&layer) as Arc<dyn Transport>;
+            layer
+        });
+        Member {
+            profile,
+            base,
+            scheduled,
+            breaker,
+            transport,
+            voting,
+        }
+    }
 }
 
 impl Ensemble {
     /// Builds an ensemble over model profiles; `voting` selects which
-    /// members participate in the majority vote (the paper votes Gemini,
-    /// Claude, and Grok).
+    /// members participate in the vote (the paper votes Gemini, Claude,
+    /// and Grok). No chaos schedule or breaker is installed — see
+    /// [`Ensemble::with_resilience`].
     pub fn new(
         profiles: Vec<(ModelProfile, bool)>,
         survey_seed: u64,
         faults: FaultProfile,
         config: ExecutorConfig,
     ) -> Ensemble {
+        let clock = Arc::new(VirtualClock::new());
+        let resilience = ResilienceConfig::default();
         let members = profiles
             .into_iter()
             .enumerate()
-            .map(|(i, (profile, voting))| Member {
-                transport: Arc::new(
-                    SimulatedTransport::new(
-                        VisionModel::new(profile.clone(), survey_seed),
-                        survey_seed ^ (i as u64 + 1),
-                    )
-                    .with_faults(faults),
-                ),
-                profile,
-                voting,
+            .map(|(i, (profile, voting))| {
+                Member::build(i, profile, voting, survey_seed, faults, &resilience, &clock)
             })
             .collect();
         Ensemble {
             members,
             config,
-            clock: Arc::new(VirtualClock::new()),
+            resilience,
+            survey_seed,
+            faults,
+            clock,
             meter: Arc::new(CostMeter::new()),
         }
+    }
+
+    /// Installs a resilience stack, rebuilding each member's transport
+    /// decorators. Call before [`Ensemble::survey`]; attempt counters reset.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Ensemble {
+        let profiles: Vec<(ModelProfile, bool)> = self
+            .members
+            .iter()
+            .map(|m| (m.profile.clone(), m.voting))
+            .collect();
+        self.members = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, (profile, voting))| {
+                Member::build(
+                    i,
+                    profile,
+                    voting,
+                    self.survey_seed,
+                    self.faults,
+                    &resilience,
+                    &self.clock,
+                )
+            })
+            .collect();
+        self.resilience = resilience;
+        self
     }
 
     /// The paper's four models with its top-three voting set.
@@ -107,10 +224,50 @@ impl Ensemble {
         &self.clock
     }
 
-    /// Runs the full survey: every member answers every image; voters'
-    /// answers are majority-voted per image. Transport or parse failures
-    /// contribute an empty presence set (the harness convention: an
-    /// unanswered question counts as "absent").
+    /// Attempts that would have hit the real API for `model`: counted at
+    /// the chaos-schedule layer when one is installed (so shed traffic is
+    /// included), else at the base transport. `None` for unknown models.
+    pub fn api_attempts(&self, model: &str) -> Option<u64> {
+        self.members
+            .iter()
+            .find(|m| m.profile.name == model)
+            .map(|m| match &m.scheduled {
+                Some(layer) => layer.attempts(),
+                None => m.base.attempts(),
+            })
+    }
+
+    /// Per-model health: availability and resilience counters from the
+    /// cost meter plus each member's breaker bookkeeping. Members without
+    /// a breaker report a quiet closed one.
+    pub fn health_report(&self) -> HealthReport {
+        let closed = BreakerSnapshot {
+            state: BreakerState::Closed,
+            opened_at_ms: 0,
+            probe_successes: 0,
+            transitions: 0,
+            fail_fast: 0,
+        };
+        let models = self
+            .members
+            .iter()
+            .map(|m| ModelHealth {
+                model: m.profile.name.clone(),
+                usage: self.meter.usage(&m.profile.name).unwrap_or_default(),
+                breaker: m
+                    .breaker
+                    .as_ref()
+                    .map_or(closed, |b| b.breaker().snapshot()),
+            })
+            .collect();
+        HealthReport { models }
+    }
+
+    /// Runs the full survey: every member answers every image, then the
+    /// voters decide presence per image. By default the vote is held over
+    /// the voters that responded ([`quorum_vote`]); under
+    /// [`ResilienceConfig::legacy_empty_votes`] failed voters cast empty
+    /// sets into a plain [`majority_vote`] instead.
     pub fn survey(
         &self,
         contexts: &[ImageContext],
@@ -118,17 +275,15 @@ impl Ensemble {
         params: &SamplerParams,
     ) -> EnsembleOutcome {
         let mut per_model = BTreeMap::new();
-        let mut voter_answers: Vec<(String, Vec<IndicatorSet>)> = Vec::new();
+        let mut voter_answers: Vec<Vec<Option<IndicatorSet>>> = Vec::new();
         for member in &self.members {
-            let executor = BatchExecutor::new(
-                Arc::clone(&member.transport) as Arc<dyn crate::Transport>,
-                self.config.clone(),
-            )
-            .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
-            .with_pricing(
-                member.profile.usd_per_1k_input,
-                member.profile.usd_per_1k_output,
-            );
+            let executor =
+                BatchExecutor::new(Arc::clone(&member.transport), self.config.clone())
+                    .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
+                    .with_pricing(
+                        member.profile.usd_per_1k_input,
+                        member.profile.usd_per_1k_output,
+                    );
             let requests: Vec<ModelRequest> = contexts
                 .iter()
                 .map(|ctx| ModelRequest {
@@ -140,6 +295,8 @@ impl Ensemble {
             let results = executor.run(requests);
 
             let mut presence = Vec::with_capacity(contexts.len());
+            let mut answered = Vec::with_capacity(contexts.len());
+            let mut responded = Vec::with_capacity(contexts.len());
             let mut parse_failures = 0usize;
             let mut transport_failures = 0usize;
             for result in &results {
@@ -163,45 +320,62 @@ impl Ensemble {
                             }
                         }
                         presence.push(set);
+                        answered.push(Some(set));
+                        responded.push(true);
                     }
                     Err(_) => {
                         transport_failures += 1;
                         presence.push(IndicatorSet::new());
+                        answered.push(None);
+                        responded.push(false);
                     }
                 }
             }
             if member.voting {
-                voter_answers.push((member.profile.name.clone(), presence.clone()));
+                voter_answers.push(answered);
             }
             per_model.insert(
                 member.profile.name.clone(),
                 ModelAnswers {
                     presence,
+                    responded,
                     parse_failures,
                     transport_failures,
                 },
             );
         }
 
-        let voted = (0..contexts.len())
-            .map(|i| {
-                let votes: Vec<IndicatorSet> =
-                    voter_answers.iter().map(|(_, v)| v[i]).collect();
-                if votes.is_empty() {
-                    IndicatorSet::new()
-                } else {
-                    majority_vote(&votes, TiePolicy::No)
-                }
-            })
-            .collect();
+        let mut voted = Vec::with_capacity(contexts.len());
+        let mut provenance = Vec::new();
+        for i in 0..contexts.len() {
+            let votes: Vec<Option<IndicatorSet>> =
+                voter_answers.iter().map(|v| v[i]).collect();
+            if votes.is_empty() {
+                voted.push(IndicatorSet::new());
+            } else if self.resilience.legacy_empty_votes {
+                let sets: Vec<IndicatorSet> =
+                    votes.iter().map(|v| v.unwrap_or_default()).collect();
+                voted.push(majority_vote(&sets, TiePolicy::No));
+            } else {
+                let (set, prov) = quorum_vote(&votes, &self.resilience.quorum);
+                voted.push(set);
+                provenance.push(prov);
+            }
+        }
 
-        EnsembleOutcome { per_model, voted }
+        EnsembleOutcome {
+            per_model,
+            voted,
+            provenance,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{FaultRegime, RetryPolicy};
+    use nbhd_eval::VoteFallback;
     use nbhd_geo::{RoadClass, Zoning};
     use nbhd_prompt::{Language, PromptMode};
     use nbhd_scene::{SceneGenerator, ViewKind};
@@ -236,7 +410,11 @@ mod tests {
         for answers in outcome.per_model.values() {
             assert_eq!(answers.presence.len(), 20);
             assert_eq!(answers.transport_failures, 0);
+            assert!(answers.responded.iter().all(|r| *r));
         }
+        // a clean run is a full panel for every image
+        assert_eq!(outcome.provenance.len(), 20);
+        assert!(outcome.provenance.iter().all(VoteProvenance::is_full_panel));
         // cost accrued for every model
         assert!(ensemble.meter().total_usd() > 0.0);
         assert_eq!(ensemble.meter().snapshot().len(), 4);
@@ -314,5 +492,121 @@ mod tests {
             voted_acc >= mean_single - 0.01,
             "voted {voted_acc:.3} vs mean single {mean_single:.3}"
         );
+    }
+
+    fn degraded_ensemble(legacy: bool) -> Ensemble {
+        let profiles = vec![
+            (nbhd_vlm::gemini_15_pro(), true),
+            (nbhd_vlm::claude_37(), true),
+            (nbhd_vlm::grok_2(), true),
+        ];
+        Ensemble::new(
+            profiles,
+            5,
+            FaultProfile::NONE,
+            ExecutorConfig {
+                rate_limit: None,
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::default()
+                },
+                ..ExecutorConfig::default()
+            },
+        )
+        .with_resilience(ResilienceConfig {
+            schedule: FaultSchedule::new()
+                .with(FaultRegime::outage(0, u64::MAX).for_models(&["grok-2"])),
+            legacy_empty_votes: legacy,
+            ..ResilienceConfig::default()
+        })
+    }
+
+    #[test]
+    fn one_member_down_degrades_to_a_two_voter_quorum() {
+        let ensemble = degraded_ensemble(false);
+        let ctxs = contexts(15);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        assert_eq!(outcome.per_model["grok-2"].transport_failures, 15);
+        assert_eq!(outcome.provenance.len(), 15);
+        for prov in &outcome.provenance {
+            assert_eq!(prov.fallback, VoteFallback::DegradedQuorum { responders: 2 });
+            assert_eq!(prov.skipped, vec![2], "grok is voter index 2");
+        }
+        // the two healthy voters still produce substantive answers
+        assert!(outcome.voted.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn legacy_empty_votes_are_a_subset_of_the_quorum_vote() {
+        // with one voter down, the legacy convention demands unanimity from
+        // the two healthy voters, so its positives are a strict subset
+        let quorum = degraded_ensemble(false);
+        let legacy = degraded_ensemble(true);
+        let ctxs = contexts(25);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let q = quorum.survey(&ctxs, &prompt, &SamplerParams::default());
+        let l = legacy.survey(&ctxs, &prompt, &SamplerParams::default());
+        assert!(l.provenance.is_empty(), "legacy mode tracks no provenance");
+        for (lv, qv) in l.voted.iter().zip(&q.voted) {
+            for ind in lv.iter() {
+                assert!(qv.contains(ind), "legacy found {ind:?} the quorum missed");
+            }
+        }
+        let legacy_total: usize = l.voted.iter().map(|s| s.len()).sum();
+        let quorum_total: usize = q.voted.iter().map(|s| s.len()).sum();
+        assert!(
+            legacy_total < quorum_total,
+            "legacy {legacy_total} vs quorum {quorum_total}: the empty-set convention must suppress positives"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_on_a_dead_member_and_reports_health() {
+        let profiles = vec![
+            (nbhd_vlm::gemini_15_pro(), true),
+            (nbhd_vlm::claude_37(), true),
+            (nbhd_vlm::grok_2(), true),
+        ];
+        let ensemble = Ensemble::new(
+            profiles,
+            7,
+            FaultProfile::NONE,
+            ExecutorConfig::default(),
+        )
+        .with_resilience(ResilienceConfig {
+            breaker: Some(BreakerConfig::default()),
+            schedule: FaultSchedule::new()
+                .with(FaultRegime::outage(0, u64::MAX).for_models(&["grok-2"])),
+            ..ResilienceConfig::default()
+        });
+        let ctxs = contexts(30);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        assert_eq!(outcome.per_model["grok-2"].transport_failures, 30);
+
+        let health = ensemble.health_report();
+        assert_eq!(health.models.len(), 3);
+        let by_name: BTreeMap<&str, &ModelHealth> = health
+            .models
+            .iter()
+            .map(|m| (m.model.as_str(), m))
+            .collect();
+        assert_eq!(by_name["gemini-1.5-pro"].availability(), 1.0);
+        assert_eq!(by_name["grok-2"].availability(), 0.0);
+        let grok = by_name["grok-2"];
+        assert!(grok.breaker.transitions >= 1, "breaker must have tripped");
+        assert!(grok.breaker.fail_fast > 0, "later requests must fail fast");
+        // fail-fast saves API traffic: far fewer than 30 * max_attempts
+        // requests reached the (dead) API
+        let wasted = ensemble.api_attempts("grok-2").unwrap();
+        let retry_only = 30 * u64::from(ExecutorConfig::default().retry.max_attempts);
+        assert!(
+            wasted * 2 <= retry_only,
+            "breaker should cut wasted attempts at least in half: {wasted} vs {retry_only}"
+        );
+        // the rendered table mentions every model
+        let text = health.render("Ensemble health");
+        assert!(text.contains("grok-2") && text.contains("gemini-1.5-pro"));
     }
 }

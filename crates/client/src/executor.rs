@@ -6,8 +6,8 @@ use std::sync::Arc;
 use crossbeam::channel;
 
 use crate::{
-    send_with_retry, CostMeter, ModelRequest, ModelResponse, RetryPolicy, TokenBucket, Transport,
-    TransportError, VirtualClock,
+    send_resilient, CostMeter, HedgePolicy, ModelRequest, ModelResponse, RetryPolicy, TokenBucket,
+    Transport, TransportError, VirtualClock,
 };
 
 /// Executor configuration.
@@ -19,6 +19,8 @@ pub struct ExecutorConfig {
     pub rate_limit: Option<(u32, f64)>,
     /// Retry policy per request.
     pub retry: RetryPolicy,
+    /// Optional tail-latency hedging policy per attempt.
+    pub hedge: Option<HedgePolicy>,
     /// Seed for retry jitter.
     pub seed: u64,
 }
@@ -29,6 +31,7 @@ impl Default for ExecutorConfig {
             workers: 4,
             rate_limit: Some((8, 10.0)),
             retry: RetryPolicy::default(),
+            hedge: None,
             seed: 0,
         }
     }
@@ -119,6 +122,7 @@ impl BatchExecutor {
                 let clock = Arc::clone(&self.clock);
                 let meter = Arc::clone(&self.meter);
                 let retry = self.config.retry;
+                let hedge = self.config.hedge;
                 let seed = self.config.seed;
                 let pricing = self.pricing;
                 scope.spawn(move || {
@@ -126,8 +130,14 @@ impl BatchExecutor {
                         if let Some(bucket) = &bucket {
                             bucket.acquire_blocking();
                         }
-                        let outcome =
-                            send_with_retry(transport.as_ref(), &request, &retry, &clock, seed);
+                        let outcome = send_resilient(
+                            transport.as_ref(),
+                            &request,
+                            &retry,
+                            hedge.as_ref(),
+                            &clock,
+                            seed,
+                        );
                         let result = match outcome {
                             Ok(retried) => {
                                 meter.record_success(
@@ -139,11 +149,30 @@ impl BatchExecutor {
                                     retried.response.latency_ms,
                                     retried.attempts,
                                 );
+                                meter.record_resilience(
+                                    transport.model_name(),
+                                    retried.hedges_fired,
+                                    retried.hedges_won,
+                                    retried.backoff_ms,
+                                );
                                 Ok(retried.response)
                             }
-                            Err(err) => {
-                                meter.record_failure(transport.model_name(), retry.max_attempts);
-                                Err(err)
+                            Err(failure) => {
+                                // charge the attempts the request really
+                                // made — a fail-fast breaker rejection burns
+                                // one, not `retry.max_attempts`
+                                if failure.failed_fast() {
+                                    meter.record_fail_fast(transport.model_name());
+                                } else {
+                                    meter.record_failure(transport.model_name(), failure.attempts);
+                                }
+                                meter.record_resilience(
+                                    transport.model_name(),
+                                    failure.hedges_fired,
+                                    failure.hedges_won,
+                                    failure.backoff_ms,
+                                );
+                                Err(failure.error)
                             }
                         };
                         out_tx.send((idx, result)).expect("unbounded send");
@@ -262,6 +291,70 @@ mod tests {
             "virtual time {} ms",
             slow.clock().now_ms()
         );
+    }
+
+    #[test]
+    fn failures_record_real_attempt_counts() {
+        /// Always rejects with a non-retryable error: each request burns
+        /// exactly one attempt, so zero retries must be recorded.
+        struct Rejecting;
+        impl Transport for Rejecting {
+            fn model_name(&self) -> &str {
+                "rejecting"
+            }
+            fn send(&self, _r: &ModelRequest) -> Result<ModelResponse, TransportError> {
+                Err(TransportError::BadRequest("no".into()))
+            }
+        }
+        let e = BatchExecutor::new(Arc::new(Rejecting), ExecutorConfig::default());
+        let results = e.run(requests(12));
+        assert!(results.iter().all(Result::is_err));
+        let usage = e.meter().usage("rejecting").unwrap();
+        assert_eq!(usage.failures, 12);
+        assert_eq!(
+            usage.retries, 0,
+            "non-retryable failures must not be billed max_attempts retries"
+        );
+    }
+
+    #[test]
+    fn hedging_recovers_requests_within_one_attempt() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        /// Fails every odd call; hedge backups (the next call) succeed.
+        struct Alternating(AtomicU64);
+        impl Transport for Alternating {
+            fn model_name(&self) -> &str {
+                "alternating"
+            }
+            fn send(&self, _r: &ModelRequest) -> Result<ModelResponse, TransportError> {
+                if self.0.fetch_add(1, Ordering::SeqCst) % 2 == 0 {
+                    Err(TransportError::ServerError)
+                } else {
+                    Ok(ModelResponse {
+                        texts: vec!["Yes".into()],
+                        latency_ms: 100.0,
+                        input_tokens: 10,
+                        output_tokens: 1,
+                    })
+                }
+            }
+        }
+        let e = BatchExecutor::new(
+            Arc::new(Alternating(AtomicU64::new(0))),
+            ExecutorConfig {
+                workers: 1,
+                rate_limit: None,
+                hedge: Some(HedgePolicy::after_ms(10)),
+                ..ExecutorConfig::default()
+            },
+        );
+        let results = e.run(requests(8));
+        assert!(results.iter().all(Result::is_ok));
+        let usage = e.meter().usage("alternating").unwrap();
+        assert_eq!(usage.requests, 8);
+        assert_eq!(usage.retries, 0, "hedges rescue inside the first attempt");
+        assert_eq!(usage.hedges_fired, 8);
+        assert_eq!(usage.hedges_won, 8);
     }
 
     #[test]

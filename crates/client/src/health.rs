@@ -1,0 +1,114 @@
+//! Per-model health aggregation: availability, breaker activity, and
+//! resilience counters, rendered through `nbhd-eval`'s report machinery.
+
+use nbhd_eval::{render_health_table, HealthRow};
+
+use crate::{BreakerSnapshot, ModelUsage};
+
+/// One model's health over a run, combining cost-meter usage with the
+/// member's circuit-breaker bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHealth {
+    /// Model name.
+    pub model: String,
+    /// Usage counters from the [`crate::CostMeter`].
+    pub usage: ModelUsage,
+    /// The member's breaker snapshot.
+    pub breaker: BreakerSnapshot,
+}
+
+impl ModelHealth {
+    /// Fraction of requests answered, in `[0, 1]`; `1.0` with no traffic.
+    pub fn availability(&self) -> f64 {
+        let total = self.usage.requests + self.usage.failures;
+        if total == 0 {
+            1.0
+        } else {
+            self.usage.requests as f64 / total as f64
+        }
+    }
+
+    /// Converts to an `nbhd-eval` report row.
+    pub fn to_row(&self) -> HealthRow {
+        HealthRow {
+            model: self.model.clone(),
+            availability: self.availability(),
+            breaker_state: self.breaker.state.to_string(),
+            transitions: self.breaker.transitions,
+            retries: self.usage.retries,
+            fail_fast: self.usage.fail_fast,
+            hedges: (self.usage.hedges_fired, self.usage.hedges_won),
+            backoff_ms: self.usage.backoff_ms,
+        }
+    }
+}
+
+/// A whole-ensemble health report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// Per-model health, in ensemble member order.
+    pub models: Vec<ModelHealth>,
+}
+
+impl HealthReport {
+    /// All models as `nbhd-eval` report rows.
+    pub fn rows(&self) -> Vec<HealthRow> {
+        self.models.iter().map(ModelHealth::to_row).collect()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self, title: &str) -> String {
+        render_health_table(title, &self.rows())
+    }
+
+    /// The worst availability across models; `1.0` when empty.
+    pub fn min_availability(&self) -> f64 {
+        self.models
+            .iter()
+            .map(ModelHealth::availability)
+            .fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BreakerState;
+
+    fn health(model: &str, requests: u64, failures: u64) -> ModelHealth {
+        ModelHealth {
+            model: model.into(),
+            usage: ModelUsage {
+                requests,
+                failures,
+                ..ModelUsage::default()
+            },
+            breaker: BreakerSnapshot {
+                state: BreakerState::Closed,
+                opened_at_ms: 0,
+                probe_successes: 0,
+                transitions: 0,
+                fail_fast: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn availability_is_answered_fraction() {
+        assert!((health("a", 90, 10).availability() - 0.9).abs() < 1e-12);
+        assert_eq!(health("b", 0, 0).availability(), 1.0, "no traffic");
+        assert_eq!(health("c", 0, 5).availability(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_every_model() {
+        let report = HealthReport {
+            models: vec![health("gemini", 100, 0), health("grok", 5, 95)],
+        };
+        let text = report.render("Ensemble health");
+        assert!(text.contains("Ensemble health"));
+        assert!(text.contains("gemini"));
+        assert!(text.contains("grok"));
+        assert!((report.min_availability() - 0.05).abs() < 1e-12);
+    }
+}

@@ -9,11 +9,16 @@
 //!   a [`nbhd_vlm::VisionModel`] plus latency modeling and fault injection;
 //! * [`TokenBucket`] rate limiting over a [`VirtualClock`] (no real
 //!   sleeping: deterministic, instantaneous tests);
-//! * [`send_with_retry`] — exponential backoff with jitter and
-//!   server-hint honoring;
-//! * [`CostMeter`] — per-model token/dollar/latency accounting;
+//! * [`send_with_retry`] / [`send_resilient`] — exponential backoff with
+//!   jitter, a backoff cap, deadline budgets, and tail-latency hedging;
+//! * [`FaultSchedule`] — scripted chaos regimes (outages, brownouts,
+//!   rate-limit storms) over the virtual clock, via [`ScheduledTransport`];
+//! * [`CircuitBreaker`] / [`BreakerTransport`] — per-model fail-fast when
+//!   a backend is observably down;
+//! * [`CostMeter`] — per-model token/dollar/latency/resilience accounting;
 //! * [`BatchExecutor`] — a crossbeam-channel worker pool;
-//! * [`Ensemble`] — the multi-model survey runner with majority voting.
+//! * [`Ensemble`] — the multi-model survey runner with quorum-aware
+//!   voting and [`HealthReport`] observability.
 //!
 //! # Examples
 //!
@@ -42,18 +47,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod cost;
 mod ensemble;
 mod executor;
+mod health;
+mod hedge;
 mod ratelimit;
 mod retry;
+mod schedule;
 mod transport;
 
+pub use breaker::{
+    BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransport, CircuitBreaker,
+};
 pub use cost::{CostMeter, ModelUsage};
-pub use ensemble::{Ensemble, EnsembleOutcome, ModelAnswers};
+pub use ensemble::{Ensemble, EnsembleOutcome, ModelAnswers, ResilienceConfig};
 pub use executor::{BatchExecutor, ExecutorConfig};
+pub use health::{HealthReport, ModelHealth};
+pub use hedge::HedgePolicy;
 pub use ratelimit::{TokenBucket, VirtualClock};
-pub use retry::{send_with_retry, RetriedResponse, RetryPolicy};
+pub use retry::{
+    send_resilient, send_with_retry, RetriedResponse, RetryFailure, RetryPolicy, ERROR_RTT_MS,
+};
+pub use schedule::{FaultRegime, FaultSchedule, RegimeKind, ScheduledTransport};
 pub use transport::{
     FaultProfile, ModelRequest, ModelResponse, SimulatedTransport, Transport, TransportError,
 };

@@ -46,12 +46,26 @@ pub enum TransportError {
     ServerError,
     /// 4xx: the request itself is invalid; retrying cannot help.
     BadRequest(String),
+    /// The per-model circuit breaker is open: the request failed fast
+    /// without reaching the API. Retrying immediately cannot help — the
+    /// breaker will keep rejecting until its cool-down elapses.
+    CircuitOpen {
+        /// Remaining cool-down, virtual milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl TransportError {
     /// Whether a retry can plausibly succeed.
+    ///
+    /// [`TransportError::CircuitOpen`] is deliberately non-retryable: the
+    /// whole point of failing fast is not to burn the retry budget against
+    /// a tripped breaker.
     pub fn is_retryable(&self) -> bool {
-        !matches!(self, TransportError::BadRequest(_))
+        !matches!(
+            self,
+            TransportError::BadRequest(_) | TransportError::CircuitOpen { .. }
+        )
     }
 }
 
@@ -64,6 +78,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Timeout => write!(f, "request timed out"),
             TransportError::ServerError => write!(f, "server error"),
             TransportError::BadRequest(m) => write!(f, "bad request: {m}"),
+            TransportError::CircuitOpen { retry_after_ms } => {
+                write!(f, "circuit open (cool-down {retry_after_ms} ms)")
+            }
         }
     }
 }
@@ -257,6 +274,7 @@ mod tests {
         assert!(TransportError::ServerError.is_retryable());
         assert!(TransportError::RateLimited { retry_after_ms: 1 }.is_retryable());
         assert!(!TransportError::BadRequest("nope".into()).is_retryable());
+        assert!(!TransportError::CircuitOpen { retry_after_ms: 9 }.is_retryable());
     }
 
     #[test]

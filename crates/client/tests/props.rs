@@ -1,8 +1,11 @@
-//! Property-based tests for rate limiting, retry policy, and cost metering.
+//! Property-based tests for rate limiting, retry policy, circuit breaking,
+//! and cost metering.
 
 use std::sync::Arc;
 
-use nbhd_client::{CostMeter, RetryPolicy, TokenBucket, VirtualClock};
+use nbhd_client::{
+    BreakerConfig, BreakerState, CircuitBreaker, CostMeter, RetryPolicy, TokenBucket, VirtualClock,
+};
 use nbhd_types::rng::rng_from;
 use proptest::prelude::*;
 
@@ -34,6 +37,7 @@ proptest! {
             base_ms: base,
             multiplier: mult,
             jitter: 0.0,
+            ..RetryPolicy::default()
         };
         let mut rng = rng_from(1);
         let mut prev = 0u64;
@@ -51,6 +55,7 @@ proptest! {
             base_ms: base,
             multiplier: 2.0,
             jitter: 0.5,
+            ..RetryPolicy::default()
         };
         let mut rng = rng_from(seed);
         let d = p.backoff_ms(1, Some(hint), &mut rng);
@@ -64,6 +69,7 @@ proptest! {
             base_ms: 100,
             multiplier: 2.0,
             jitter,
+            ..RetryPolicy::default()
         };
         let mut rng = rng_from(seed);
         let nominal = 100.0 * 2.0f64.powi(attempt as i32 - 1);
@@ -98,5 +104,103 @@ proptest! {
             prop_assert_eq!(now, prev + d);
             prev = now;
         }
+    }
+
+    #[test]
+    fn capped_backoff_never_exceeds_max_ms(
+        base in 1u64..5_000,
+        mult in 1.0f64..4.0,
+        attempt in 1u32..12,
+        max_ms in 1u64..20_000,
+        jitter in 0.0f64..=1.0,
+        seed in 0u64..100,
+    ) {
+        let p = RetryPolicy {
+            base_ms: base,
+            multiplier: mult,
+            jitter,
+            max_ms,
+            ..RetryPolicy::default()
+        };
+        let mut rng = rng_from(seed);
+        let d = p.backoff_ms(attempt, None, &mut rng);
+        prop_assert!(
+            d <= max_ms.max(1),
+            "backoff {d} exceeds cap {max_ms} (base {base}, mult {mult}, attempt {attempt})"
+        );
+    }
+
+    #[test]
+    fn breaker_never_serves_while_open_before_cooldown(
+        events in proptest::collection::vec((0u64..3_000, any::<bool>()), 1..200),
+        min_samples in 1u32..6,
+        cooldown_ms in 500u64..20_000,
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let breaker = CircuitBreaker::new(
+            BreakerConfig {
+                window_ms: 10_000,
+                min_samples,
+                failure_rate: 0.5,
+                cooldown_ms,
+                probe_count: 2,
+            },
+            Arc::clone(&clock),
+        );
+        for (advance, ok) in events {
+            clock.advance_ms(advance);
+            let now = clock.now_ms();
+            let pre = breaker.snapshot();
+            match breaker.try_acquire() {
+                Ok(()) => {
+                    // the only way an Open breaker serves is the cool-down
+                    // having fully elapsed (it moves to HalfOpen)
+                    if pre.state == BreakerState::Open {
+                        prop_assert!(
+                            now >= pre.opened_at_ms + cooldown_ms,
+                            "served at {now} inside cool-down from {}",
+                            pre.opened_at_ms
+                        );
+                    }
+                    breaker.record(ok);
+                }
+                Err(remaining) => {
+                    prop_assert_eq!(pre.state, BreakerState::Open);
+                    prop_assert_eq!(remaining, pre.opened_at_ms + cooldown_ms - now);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_recloses_after_cooldown_and_probe_successes(
+        min_samples in 1u32..8,
+        probe_count in 1u32..5,
+        cooldown_ms in 1u64..10_000,
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let breaker = CircuitBreaker::new(
+            BreakerConfig {
+                window_ms: 60_000,
+                min_samples,
+                failure_rate: 0.5,
+                cooldown_ms,
+                probe_count,
+            },
+            Arc::clone(&clock),
+        );
+        for _ in 0..min_samples {
+            prop_assert!(breaker.try_acquire().is_ok(), "closed breaker serves");
+            breaker.record(false);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        prop_assert!(breaker.try_acquire().is_err(), "no service before cool-down");
+        clock.advance_ms(cooldown_ms);
+        for probe in 0..probe_count {
+            prop_assert!(breaker.try_acquire().is_ok(), "probe {probe} admitted");
+            breaker.record(true);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Closed);
+        prop_assert!(breaker.try_acquire().is_ok(), "re-closed breaker serves");
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use nbhd_client::{Ensemble, EnsembleOutcome, ExecutorConfig, FaultProfile};
+use nbhd_client::{Ensemble, EnsembleOutcome, ExecutorConfig, FaultProfile, ResilienceConfig};
 use nbhd_eval::{MetricsTable, PresenceEvaluator};
 use nbhd_prompt::{Language, Prompt, PromptMode};
 use nbhd_types::{ImageId, IndicatorSet, Result};
@@ -22,8 +22,11 @@ pub struct LlmSurveyConfig {
     pub params: SamplerParams,
     /// Transport fault injection.
     pub faults: FaultProfile,
-    /// Executor settings (workers, rate limits, retries).
+    /// Executor settings (workers, rate limits, retries, hedging).
     pub executor: ExecutorConfig,
+    /// Resilience stack: chaos schedule, circuit breakers, and degraded
+    /// voting policy.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for LlmSurveyConfig {
@@ -34,6 +37,7 @@ impl Default for LlmSurveyConfig {
             params: SamplerParams::default(),
             faults: FaultProfile::NONE,
             executor: ExecutorConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -55,6 +59,9 @@ pub struct LlmSurveyOutcome {
     pub total_usd: f64,
     /// Virtual wall-clock consumed, milliseconds.
     pub virtual_ms: u64,
+    /// Per-model health (availability, breaker activity, resilience
+    /// counters).
+    pub health: nbhd_client::HealthReport,
 }
 
 /// Runs an LLM survey over a set of images.
@@ -77,7 +84,8 @@ pub fn run_llm_survey(
         survey.config().seed,
         config.faults,
         config.executor.clone(),
-    );
+    )
+    .with_resilience(config.resilience.clone());
     let prompt = Prompt::build(config.language, config.mode);
     let outcome = ensemble.survey(&contexts, &prompt, &config.params);
 
@@ -101,6 +109,7 @@ pub fn run_llm_survey(
         cost_report: ensemble.meter().report(),
         total_usd: ensemble.meter().total_usd(),
         virtual_ms: ensemble.clock().now_ms(),
+        health: ensemble.health_report(),
         ensemble: outcome,
     })
 }
@@ -138,6 +147,33 @@ mod tests {
         }
         let v = outcome.voted_table.average.accuracy;
         assert!(v > 0.5, "voted accuracy {v}");
+    }
+
+    #[test]
+    fn resilience_config_threads_through_to_health() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(33)).run().unwrap();
+        let ids: Vec<ImageId> = survey.images().iter().take(10).copied().collect();
+        let config = LlmSurveyConfig {
+            resilience: ResilienceConfig {
+                breaker: Some(nbhd_client::BreakerConfig::default()),
+                ..ResilienceConfig::default()
+            },
+            ..LlmSurveyConfig::default()
+        };
+        let outcome = run_llm_survey(
+            &survey,
+            vec![(nbhd_vlm::gemini_15_pro(), true)],
+            &ids,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(outcome.health.models.len(), 1);
+        // clean transports: fully available, breaker quiet
+        assert!((outcome.health.min_availability() - 1.0).abs() < 1e-12);
+        assert_eq!(outcome.health.models[0].breaker.transitions, 0);
+        assert!(outcome.health.render("Health").contains("gemini-1.5-pro"));
+        // the quorum default records provenance for every image
+        assert_eq!(outcome.ensemble.provenance.len(), ids.len());
     }
 
     #[test]

@@ -36,5 +36,9 @@ pub use chart::{bar_chart, line_chart};
 pub use confusion::BinaryConfusion;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
-pub use report::{render_comparison, render_metrics_table, ComparisonRow};
-pub use vote::{agreement, majority_vote, TiePolicy};
+pub use report::{
+    render_comparison, render_health_table, render_metrics_table, ComparisonRow, HealthRow,
+};
+pub use vote::{
+    agreement, majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteFallback, VoteProvenance,
+};

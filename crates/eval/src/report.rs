@@ -92,6 +92,72 @@ pub fn render_comparison(title: &str, rows: &[ComparisonRow]) -> String {
     out
 }
 
+/// One model's health line for [`render_health_table`]: availability,
+/// breaker activity, and resilience counters over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRow {
+    /// Model name.
+    pub model: String,
+    /// Fraction of requests answered, in `[0, 1]`.
+    pub availability: f64,
+    /// Final breaker state, e.g. `"closed"`.
+    pub breaker_state: String,
+    /// Breaker state transitions over the run.
+    pub transitions: u64,
+    /// Attempts beyond the first.
+    pub retries: u64,
+    /// Requests rejected instantly by an open breaker.
+    pub fail_fast: u64,
+    /// Hedge backups fired / won.
+    pub hedges: (u64, u64),
+    /// Virtual milliseconds spent in retry backoff.
+    pub backoff_ms: u64,
+}
+
+/// Renders per-model health rows as an aligned text table, in the same
+/// report style as [`render_metrics_table`].
+///
+/// ```
+/// use nbhd_eval::{render_health_table, HealthRow};
+///
+/// let rows = vec![HealthRow {
+///     model: "gemini-1.5-pro".into(),
+///     availability: 0.97,
+///     breaker_state: "closed".into(),
+///     transitions: 0,
+///     retries: 12,
+///     fail_fast: 0,
+///     hedges: (3, 2),
+///     backoff_ms: 4100,
+/// }];
+/// let text = render_health_table("Model health", &rows);
+/// assert!(text.contains("gemini-1.5-pro"));
+/// assert!(text.contains("97.0%"));
+/// ```
+pub fn render_health_table(title: &str, rows: &[HealthRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<22} {:>7} {:>10} {:>6} {:>8} {:>9} {:>9} {:>11}\n",
+        "Model", "Avail", "Breaker", "Trans", "Retries", "FailFast", "Hedges", "Backoff"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>6.1}% {:>10} {:>6} {:>8} {:>9} {:>5}/{:<3} {:>8} ms\n",
+            r.model,
+            r.availability * 100.0,
+            r.breaker_state,
+            r.transitions,
+            r.retries,
+            r.fail_fast,
+            r.hedges.0,
+            r.hedges.1,
+            r.backoff_ms
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +181,38 @@ mod tests {
         assert!(text.contains("0.885"));
         assert!(text.contains("0.015"));
         assert!((rows[0].delta() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn health_table_lists_every_model() {
+        let rows = vec![
+            HealthRow {
+                model: "gemini".into(),
+                availability: 1.0,
+                breaker_state: "closed".into(),
+                transitions: 0,
+                retries: 0,
+                fail_fast: 0,
+                hedges: (0, 0),
+                backoff_ms: 0,
+            },
+            HealthRow {
+                model: "grok".into(),
+                availability: 0.125,
+                breaker_state: "open".into(),
+                transitions: 3,
+                retries: 40,
+                fail_fast: 120,
+                hedges: (5, 1),
+                backoff_ms: 90_000,
+            },
+        ];
+        let text = render_health_table("Health", &rows);
+        assert!(text.contains("gemini"));
+        assert!(text.contains("grok"));
+        assert!(text.contains("open"));
+        assert!(text.contains("12.5%"));
+        assert!(text.contains("120"));
     }
 
     #[test]

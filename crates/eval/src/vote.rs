@@ -51,6 +51,166 @@ pub fn majority_vote(votes: &[IndicatorSet], ties: TiePolicy) -> IndicatorSet {
     out
 }
 
+/// How a degraded ensemble votes when some members failed to answer.
+///
+/// The legacy convention — counting a failed model as an empty
+/// [`IndicatorSet`] — silently converts outages into "absent" votes and
+/// drags recall down. A quorum policy instead votes over the models that
+/// actually responded, provided enough of them did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumPolicy {
+    /// Minimum responders required to hold a vote at all. Below this the
+    /// vote falls back to the best single responder.
+    pub min_quorum: usize,
+    /// Tie-break when `ranked_tie_break` is off and the responders split
+    /// evenly.
+    pub ties: TiePolicy,
+    /// With an even split, side with the first responder in preference
+    /// order (voters are listed best-model-first) instead of a blanket
+    /// yes/no policy.
+    pub ranked_tie_break: bool,
+}
+
+impl Default for QuorumPolicy {
+    fn default() -> Self {
+        QuorumPolicy {
+            min_quorum: 2,
+            ties: TiePolicy::No,
+            ranked_tie_break: true,
+        }
+    }
+}
+
+/// What kind of vote actually happened for one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteFallback {
+    /// Every voter responded: the ordinary full-panel majority.
+    FullPanel,
+    /// A strict subset responded, but enough for a quorum.
+    DegradedQuorum {
+        /// How many voters responded.
+        responders: usize,
+    },
+    /// Below quorum: the answer is the best single responder's, verbatim.
+    BestSingle {
+        /// Index (in preference order) of the responder used.
+        voter: usize,
+    },
+    /// Nobody responded; the answer is empty.
+    NoResponders,
+}
+
+/// Per-image record of who voted and how the result was reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteProvenance {
+    /// Indices (in the input order) of voters whose answers were counted.
+    pub responders: Vec<usize>,
+    /// Indices of voters that failed and were excluded.
+    pub skipped: Vec<usize>,
+    /// How the final answer was produced.
+    pub fallback: VoteFallback,
+}
+
+impl VoteProvenance {
+    /// Whether the image got a full, healthy panel.
+    pub fn is_full_panel(&self) -> bool {
+        self.fallback == VoteFallback::FullPanel
+    }
+}
+
+/// Votes per-indicator presence over the voters that responded, in
+/// preference order (best model first).
+///
+/// - all respond ⇒ ordinary majority ([`VoteFallback::FullPanel`]);
+/// - at least [`QuorumPolicy::min_quorum`] respond ⇒ majority over the
+///   responders ([`VoteFallback::DegradedQuorum`]), with even splits
+///   resolved by the first responder when
+///   [`QuorumPolicy::ranked_tie_break`] is set;
+/// - below quorum ⇒ the first responder's answer verbatim
+///   ([`VoteFallback::BestSingle`]);
+/// - nobody ⇒ an empty set ([`VoteFallback::NoResponders`]).
+///
+/// # Examples
+///
+/// ```
+/// use nbhd_eval::{quorum_vote, QuorumPolicy, VoteFallback};
+/// use nbhd_types::{Indicator, IndicatorSet};
+///
+/// let gemini = IndicatorSet::new().with(Indicator::Sidewalk);
+/// let claude = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+/// // grok is down: with the legacy empty-set convention Sidewalk would
+/// // lose its 2-of-3 majority; the quorum vote keeps it.
+/// let (voted, prov) = quorum_vote(&[Some(gemini), Some(claude), None], &QuorumPolicy::default());
+/// assert!(voted.contains(Indicator::Sidewalk));
+/// assert_eq!(prov.fallback, VoteFallback::DegradedQuorum { responders: 2 });
+/// assert_eq!(prov.skipped, vec![2]);
+/// ```
+pub fn quorum_vote(
+    votes: &[Option<IndicatorSet>],
+    policy: &QuorumPolicy,
+) -> (IndicatorSet, VoteProvenance) {
+    let responders: Vec<usize> = (0..votes.len()).filter(|&i| votes[i].is_some()).collect();
+    let skipped: Vec<usize> = (0..votes.len()).filter(|&i| votes[i].is_none()).collect();
+    if responders.is_empty() {
+        return (
+            IndicatorSet::new(),
+            VoteProvenance {
+                responders,
+                skipped,
+                fallback: VoteFallback::NoResponders,
+            },
+        );
+    }
+    if responders.len() < policy.min_quorum.max(1) {
+        let voter = responders[0];
+        let answer = votes[voter].expect("responder has an answer");
+        return (
+            answer,
+            VoteProvenance {
+                responders,
+                skipped,
+                fallback: VoteFallback::BestSingle { voter },
+            },
+        );
+    }
+    let panel: Vec<IndicatorSet> = responders
+        .iter()
+        .map(|&i| votes[i].expect("responder has an answer"))
+        .collect();
+    let n = panel.len();
+    let mut out = IndicatorSet::new();
+    for ind in Indicator::ALL {
+        let yes = panel.iter().filter(|v| v.contains(ind)).count();
+        let present = match (2 * yes).cmp(&n) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                if policy.ranked_tie_break {
+                    panel[0].contains(ind)
+                } else {
+                    policy.ties == TiePolicy::Yes
+                }
+            }
+        };
+        out.set(ind, present);
+    }
+    let fallback = if skipped.is_empty() {
+        VoteFallback::FullPanel
+    } else {
+        VoteFallback::DegradedQuorum {
+            responders: responders.len(),
+        }
+    };
+    (
+        out,
+        VoteProvenance {
+            responders,
+            skipped,
+            fallback,
+        },
+    )
+}
+
 /// Per-indicator agreement level: the fraction of voters agreeing with the
 /// majority answer, in `[0.5, 1.0]`.
 pub fn agreement(votes: &[IndicatorSet]) -> nbhd_types::IndicatorMap<f64> {
@@ -117,5 +277,82 @@ mod tests {
     fn single_voter_is_identity() {
         let s = set(&[Indicator::MultilaneRoad]);
         assert_eq!(majority_vote(&[s], TiePolicy::No), s);
+    }
+
+    #[test]
+    fn full_panel_matches_majority_vote() {
+        let votes = [
+            set(&[Indicator::Powerline]),
+            set(&[Indicator::Powerline, Indicator::Streetlight]),
+            set(&[]),
+        ];
+        let wrapped: Vec<Option<IndicatorSet>> = votes.iter().copied().map(Some).collect();
+        let (voted, prov) = quorum_vote(&wrapped, &QuorumPolicy::default());
+        assert_eq!(voted, majority_vote(&votes, TiePolicy::No));
+        assert_eq!(prov.fallback, VoteFallback::FullPanel);
+        assert!(prov.is_full_panel());
+        assert_eq!(prov.responders, vec![0, 1, 2]);
+        assert!(prov.skipped.is_empty());
+    }
+
+    #[test]
+    fn ranked_tie_break_sides_with_the_best_responder() {
+        // two responders split on Sidewalk: the first listed (best) wins
+        let votes = [
+            Some(set(&[Indicator::Sidewalk])),
+            None,
+            Some(set(&[])),
+        ];
+        let (voted, prov) = quorum_vote(&votes, &QuorumPolicy::default());
+        assert!(voted.contains(Indicator::Sidewalk));
+        assert_eq!(prov.fallback, VoteFallback::DegradedQuorum { responders: 2 });
+        assert_eq!(prov.skipped, vec![1]);
+    }
+
+    #[test]
+    fn unranked_tie_break_uses_the_tie_policy() {
+        let votes = [Some(set(&[Indicator::Sidewalk])), None, Some(set(&[]))];
+        let policy = QuorumPolicy {
+            ranked_tie_break: false,
+            ties: TiePolicy::No,
+            ..QuorumPolicy::default()
+        };
+        let (voted, _) = quorum_vote(&votes, &policy);
+        assert!(!voted.contains(Indicator::Sidewalk));
+    }
+
+    #[test]
+    fn below_quorum_falls_back_to_best_single() {
+        let only = set(&[Indicator::Apartment]);
+        let votes = [None, Some(only), None];
+        let (voted, prov) = quorum_vote(&votes, &QuorumPolicy::default());
+        assert_eq!(voted, only);
+        assert_eq!(prov.fallback, VoteFallback::BestSingle { voter: 1 });
+        assert_eq!(prov.responders, vec![1]);
+        assert_eq!(prov.skipped, vec![0, 2]);
+    }
+
+    #[test]
+    fn no_responders_yields_empty_set() {
+        let (voted, prov) = quorum_vote(&[None, None, None], &QuorumPolicy::default());
+        assert!(voted.is_empty());
+        assert_eq!(prov.fallback, VoteFallback::NoResponders);
+        assert_eq!(prov.skipped, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degraded_quorum_beats_legacy_empty_set_on_recall() {
+        // one voter down: legacy counts it as an all-absent ballot, which
+        // strips anything short of unanimity among the healthy voters
+        let healthy_a = set(&[Indicator::Powerline, Indicator::Sidewalk]);
+        let healthy_b = set(&[Indicator::Powerline]);
+        let legacy = majority_vote(&[healthy_a, healthy_b, set(&[])], TiePolicy::No);
+        let (quorum, _) = quorum_vote(
+            &[Some(healthy_a), Some(healthy_b), None],
+            &QuorumPolicy::default(),
+        );
+        assert!(quorum.contains(Indicator::Powerline) && legacy.contains(Indicator::Powerline));
+        assert!(quorum.contains(Indicator::Sidewalk));
+        assert!(!legacy.contains(Indicator::Sidewalk), "legacy loses the 1-of-2 split");
     }
 }

@@ -1,0 +1,100 @@
+//! Chaos drill: run the voting ensemble through a scripted fault schedule —
+//! a dead model, a correlated brownout, and a rate-limit storm — with
+//! circuit breakers and hedging on, then render the per-model health report.
+//!
+//! ```text
+//! cargo run --release --example chaos_drill
+//! ```
+
+use nbhd::client::{
+    BreakerConfig, Ensemble, ExecutorConfig, FaultProfile, FaultRegime, FaultSchedule, HedgePolicy,
+    ResilienceConfig,
+};
+use nbhd::eval::VoteFallback;
+use nbhd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let survey = SurveyPipeline::new(SurveyConfig::smoke(4242)).run()?;
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    let contexts = survey.contexts(&ids)?;
+
+    // The drill script, in virtual time: Grok is down for the first two
+    // minutes, Claude drowns in 429s for a stretch, and mid-run every model
+    // browns out together (a correlated upstream incident).
+    let schedule = FaultSchedule::new()
+        .with(FaultRegime::outage(0, 120_000).for_models(&["grok-2"]))
+        .with(FaultRegime::rate_limit_storm(30_000, 60_000, 0.5, 800).for_models(&["claude-3.7"]))
+        .with(FaultRegime::brownout(60_000, 90_000, 0.25, 2.5));
+    println!("chaos schedule ({} regimes):", schedule.regimes().len());
+    for regime in schedule.regimes() {
+        println!(
+            "  [{:>6.1}s, {:>6.1}s) {:?} -> {}",
+            regime.start_ms as f64 / 1000.0,
+            regime.end_ms as f64 / 1000.0,
+            regime.kind,
+            regime
+                .models
+                .as_ref()
+                .map_or("all models".to_owned(), |m| m.join(", ")),
+        );
+    }
+
+    let ensemble = Ensemble::new(
+        vec![
+            (nbhd::vlm::gemini_15_pro(), true),
+            (nbhd::vlm::claude_37(), true),
+            (nbhd::vlm::grok_2(), true),
+        ],
+        survey.config().seed,
+        FaultProfile::FLAKY,
+        ExecutorConfig {
+            hedge: Some(HedgePolicy::after_ms(1_800)),
+            ..ExecutorConfig::default()
+        },
+    )
+    .with_resilience(ResilienceConfig {
+        breaker: Some(BreakerConfig::default()),
+        schedule,
+        ..ResilienceConfig::default()
+    });
+
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let outcome = ensemble.survey(&contexts, &prompt, &SamplerParams::default());
+
+    // score the degraded vote against ground truth
+    let mut eval = PresenceEvaluator::new();
+    for (pred, ctx) in outcome.voted.iter().zip(&contexts) {
+        eval.observe(ctx.presence, *pred);
+    }
+    println!(
+        "\nvoted accuracy under chaos: {:.3} over {} images",
+        eval.table().average.accuracy,
+        contexts.len()
+    );
+
+    // how each image's vote was actually held
+    let mut full = 0usize;
+    let mut degraded = 0usize;
+    let mut single = 0usize;
+    let mut none = 0usize;
+    for prov in &outcome.provenance {
+        match prov.fallback {
+            VoteFallback::FullPanel => full += 1,
+            VoteFallback::DegradedQuorum { .. } => degraded += 1,
+            VoteFallback::BestSingle { .. } => single += 1,
+            VoteFallback::NoResponders => none += 1,
+        }
+    }
+    println!(
+        "vote provenance: {full} full panels, {degraded} degraded quorums, {single} best-single fallbacks, {none} unanswered"
+    );
+
+    println!("\n{}", ensemble.health_report().render("Model health"));
+    println!("{}", ensemble.meter().report());
+    println!(
+        "virtual wall-clock: {:.1}s | simulated spend: ${:.3}",
+        ensemble.clock().now_ms() as f64 / 1000.0,
+        ensemble.meter().total_usd()
+    );
+    Ok(())
+}

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rate_limit: Some((4, 5.0)),
             retry: RetryPolicy::default(),
             seed: 99,
+            ..ExecutorConfig::default()
         },
     );
 

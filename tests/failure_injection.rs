@@ -1,11 +1,45 @@
 //! Failure-injection integration: the orchestration layer must degrade
 //! gracefully — and observably — when the simulated APIs misbehave.
 
-use nbhd::client::{Ensemble, ExecutorConfig, FaultProfile, RetryPolicy};
+use nbhd::client::{
+    BreakerConfig, Ensemble, ExecutorConfig, FaultProfile, FaultRegime, FaultSchedule,
+    ResilienceConfig, RetryPolicy,
+};
 use nbhd::prelude::*;
 
 fn survey() -> SurveyDataset {
     SurveyPipeline::new(SurveyConfig::smoke(3001)).run().unwrap()
+}
+
+/// A larger survey (~480 images) for accuracy-sensitive chaos comparisons.
+fn chaos_survey(seed: u64) -> SurveyDataset {
+    let mut config = SurveyConfig::smoke(seed);
+    config.locations = 120;
+    SurveyPipeline::new(config).run().unwrap()
+}
+
+/// Three voters in preference order — the best simulated model (Gemini)
+/// first, so degraded votes fall back toward the strongest panel member.
+fn voter_ensemble(survey_seed: u64, resilience: ResilienceConfig) -> Ensemble {
+    Ensemble::new(
+        vec![
+            (nbhd::vlm::gemini_15_pro(), true),
+            (nbhd::vlm::claude_37(), true),
+            (nbhd::vlm::grok_2(), true),
+        ],
+        survey_seed,
+        FaultProfile::NONE,
+        ExecutorConfig {
+            rate_limit: None,
+            ..ExecutorConfig::default()
+        },
+    )
+    .with_resilience(resilience)
+}
+
+/// Outage window covering the whole run for one model.
+fn grok_outage() -> FaultSchedule {
+    FaultSchedule::new().with(FaultRegime::outage(0, u64::MAX).for_models(&["grok-2"]))
 }
 
 fn run_with_faults(faults: FaultProfile, max_attempts: u32) -> (f64, u64, u64) {
@@ -24,6 +58,7 @@ fn run_with_faults(faults: FaultProfile, max_attempts: u32) -> (f64, u64, u64) {
                 ..RetryPolicy::default()
             },
             seed: 3001,
+            ..ExecutorConfig::default()
         },
     );
     let prompt = Prompt::build(Language::English, PromptMode::Parallel);
@@ -123,5 +158,155 @@ fn voting_with_a_dead_member_still_produces_answers() {
     assert!(outcome.voted.iter().all(|s| s.is_empty()));
     for answers in outcome.per_model.values() {
         assert_eq!(answers.transport_failures, contexts.len());
+        assert!(answers.responded.iter().all(|r| !r));
     }
+    // quorum voting records the total loss honestly
+    assert!(outcome
+        .provenance
+        .iter()
+        .all(|p| p.fallback == nbhd::eval::VoteFallback::NoResponders));
+}
+
+/// Average accuracy of voted predictions against scene ground truth.
+fn voted_accuracy(voted: &[IndicatorSet], contexts: &[nbhd::vlm::ImageContext]) -> f64 {
+    let mut eval = PresenceEvaluator::new();
+    for (pred, ctx) in voted.iter().zip(contexts) {
+        eval.observe(ctx.presence, *pred);
+    }
+    eval.table().average.accuracy
+}
+
+#[test]
+fn quorum_voting_survives_one_voter_down_within_three_points() {
+    let survey = chaos_survey(1201);
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    let contexts = survey.contexts(&ids).unwrap();
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let params = SamplerParams::default();
+
+    let clean = voter_ensemble(survey.config().seed, ResilienceConfig::default())
+        .survey(&contexts, &prompt, &params);
+    let degraded = voter_ensemble(
+        survey.config().seed,
+        ResilienceConfig {
+            schedule: grok_outage(),
+            ..ResilienceConfig::default()
+        },
+    )
+    .survey(&contexts, &prompt, &params);
+
+    assert_eq!(degraded.per_model["grok-2"].transport_failures, contexts.len());
+    let acc_clean = voted_accuracy(&clean.voted, &contexts);
+    let acc_degraded = voted_accuracy(&degraded.voted, &contexts);
+    assert!(
+        acc_clean - acc_degraded < 0.03,
+        "losing one voter must cost <3 accuracy points: clean {acc_clean:.3} vs degraded {acc_degraded:.3}"
+    );
+    // every image still got a substantive two-voter quorum
+    assert!(degraded
+        .provenance
+        .iter()
+        .all(|p| p.fallback == nbhd::eval::VoteFallback::DegradedQuorum { responders: 2 }));
+}
+
+#[test]
+fn legacy_empty_set_votes_measurably_distort_per_class_metrics() {
+    let survey = chaos_survey(1202);
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    let contexts = survey.contexts(&ids).unwrap();
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let params = SamplerParams::default();
+
+    let table_for = |legacy: bool| {
+        let outcome = voter_ensemble(
+            survey.config().seed,
+            ResilienceConfig {
+                schedule: grok_outage(),
+                legacy_empty_votes: legacy,
+                ..ResilienceConfig::default()
+            },
+        )
+        .survey(&contexts, &prompt, &params);
+        let mut eval = PresenceEvaluator::new();
+        for (pred, ctx) in outcome.voted.iter().zip(&contexts) {
+            eval.observe(ctx.presence, *pred);
+        }
+        eval.table()
+    };
+    let quorum = table_for(false);
+    let legacy = table_for(true);
+
+    // counting a dead voter as "everything absent" demands unanimity from
+    // the two healthy voters, which visibly suppresses recall...
+    assert!(
+        quorum.average.recall - legacy.average.recall > 0.02,
+        "quorum recall {:.3} vs legacy {:.3}",
+        quorum.average.recall,
+        legacy.average.recall
+    );
+    // ...and distorts individual classes well beyond noise
+    let max_gap = Indicator::ALL
+        .iter()
+        .map(|&ind| quorum.per_class[ind].recall - legacy.per_class[ind].recall)
+        .fold(f64::MIN, f64::max);
+    assert!(
+        max_gap > 0.05,
+        "at least one class should lose >5 recall points under the legacy convention, max gap {max_gap:.3}"
+    );
+}
+
+#[test]
+fn circuit_breaker_halves_wasted_attempts_against_a_dead_model() {
+    let survey = survey();
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    let contexts = survey.contexts(&ids).unwrap();
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let params = SamplerParams::default();
+
+    let retry_only = voter_ensemble(
+        survey.config().seed,
+        ResilienceConfig {
+            schedule: grok_outage(),
+            ..ResilienceConfig::default()
+        },
+    );
+    let _ = retry_only.survey(&contexts, &prompt, &params);
+    let wasted_retry_only = retry_only.api_attempts("grok-2").unwrap();
+
+    let with_breaker = voter_ensemble(
+        survey.config().seed,
+        ResilienceConfig {
+            schedule: grok_outage(),
+            breaker: Some(BreakerConfig::default()),
+            ..ResilienceConfig::default()
+        },
+    );
+    let outcome = with_breaker.survey(&contexts, &prompt, &params);
+    let wasted_breaker = with_breaker.api_attempts("grok-2").unwrap();
+
+    // retry-only burns max_attempts per request against the dead API
+    assert_eq!(
+        wasted_retry_only,
+        contexts.len() as u64 * u64::from(RetryPolicy::default().max_attempts)
+    );
+    assert!(
+        wasted_breaker * 2 <= wasted_retry_only,
+        "breaker must cut wasted attempts by >=50%: {wasted_breaker} vs {wasted_retry_only}"
+    );
+    // the vote still degrades gracefully while the breaker sheds load
+    assert_eq!(outcome.per_model["grok-2"].transport_failures, contexts.len());
+
+    // and the health report makes the outage observable
+    let health = with_breaker.health_report();
+    let grok = health
+        .models
+        .iter()
+        .find(|m| m.model == "grok-2")
+        .expect("grok health row");
+    assert_eq!(grok.availability(), 0.0);
+    assert!(grok.breaker.transitions >= 1);
+    assert!(grok.usage.fail_fast > 0, "fail-fasts must be metered");
+    let rendered = health.render("Chaos drill health");
+    assert!(rendered.contains("grok-2"));
+    assert!(rendered.contains("gemini-1.5-pro"));
 }
