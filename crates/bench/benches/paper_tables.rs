@@ -1,6 +1,10 @@
 //! The paper-table regeneration harness: re-runs every experiment (tables
 //! and figures) and prints paper-vs-measured comparisons.
 //!
+//! Independent experiments fan out over the shared `nbhd-exec` worker pool;
+//! reports still print in the paper's order, and the run ends with the
+//! substrate's counter table (parallel regions, tasks, steals, busy time).
+//!
 //! Run everything at the default benchmark scale:
 //!
 //! ```text
@@ -17,7 +21,16 @@
 
 use std::time::Instant;
 
+use nbhd_core::eval::{render_exec_table, ExecRow};
+use nbhd_core::exec;
+use nbhd_core::types::Result;
 use nbhd_core::{ExperimentReport, PaperExperiments, SurveyConfig, SurveyPipeline};
+
+/// A selectable experiment: its id plus a closure yielding its report(s).
+type Job<'a> = (
+    &'static str,
+    Box<dyn Fn() -> Result<Vec<ExperimentReport>> + Sync + 'a>,
+);
 
 fn main() {
     let args: Vec<String> = std::env::args()
@@ -39,6 +52,7 @@ fn main() {
         config.locations, config.image_size
     );
 
+    exec::reset_stats();
     let t0 = Instant::now();
     let survey = SurveyPipeline::new(config).run().expect("survey pipeline");
     println!(
@@ -46,54 +60,100 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         survey.dataset().summary()
     );
+    let survey_span = exec::stats();
+    exec::reset_stats();
     let harness = PaperExperiments::new(survey);
 
     let selected = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
-    let mut reports: Vec<ExperimentReport> = Vec::new();
 
-    let run = |name: &str, f: &dyn Fn() -> nbhd_core::types::Result<ExperimentReport>,
-                   reports: &mut Vec<ExperimentReport>| {
-        if !selected(name) {
-            return;
-        }
+    // Warm the harness's shared caches serially: the fan-out below runs
+    // experiments concurrently, and racing OnceLock initializers would
+    // train the baseline (or run the default LLM survey) more than once.
+    // Warmup errors are ignored here — each experiment re-hits them and
+    // reports its own FAILED line.
+    let tw = Instant::now();
+    if ["t1", "f3", "c1"].iter().any(|id| selected(id)) {
+        let _ = harness.baseline();
+    }
+    if ["f5", "t3", "t4", "t5", "t6"].iter().any(|id| selected(id)) {
+        let _ = harness.default_llm();
+    }
+    println!("# shared caches warmed in {:.1}s", tw.elapsed().as_secs_f64());
+
+    // LLM experiments listed first (no rendering required), detector
+    // experiments after (they render + train) — this is the print order;
+    // execution interleaves across the worker pool.
+    let mut jobs: Vec<Job> = Vec::new();
+    if selected("t2") {
+        jobs.push(("t2", Box::new(|| Ok(vec![harness.t2_example()?]))));
+    }
+    if selected("f5") {
+        jobs.push(("f5", Box::new(|| Ok(vec![harness.f5_voting()?]))));
+    }
+    if ["t3", "t4", "t5", "t6"].iter().any(|id| selected(id)) {
+        jobs.push((
+            "t3-t6",
+            Box::new(|| {
+                Ok(harness
+                    .t3_to_t6_model_tables()?
+                    .into_iter()
+                    .filter(|report| selected(report.id))
+                    .collect())
+            }),
+        ));
+    }
+    if selected("f4") {
+        jobs.push(("f4", Box::new(|| Ok(vec![harness.f4_prompt_modes()?]))));
+    }
+    if selected("f6") {
+        jobs.push(("f6", Box::new(|| Ok(vec![harness.f6_languages()?]))));
+    }
+    if selected("p1") {
+        jobs.push(("p1", Box::new(|| Ok(vec![harness.p1_temperature()?]))));
+    }
+    if selected("p2") {
+        jobs.push(("p2", Box::new(|| Ok(vec![harness.p2_top_p()?]))));
+    }
+    if selected("t1") {
+        jobs.push(("t1", Box::new(|| Ok(vec![harness.t1_baseline()?]))));
+    }
+    if selected("f2") {
+        jobs.push(("f2", Box::new(|| Ok(vec![harness.f2_augmentation()?]))));
+    }
+    if selected("f3") {
+        jobs.push(("f3", Box::new(|| Ok(vec![harness.f3_noise()?]))));
+    }
+    if selected("c1") {
+        jobs.push(("c1", Box::new(|| Ok(vec![harness.c1_scene_baseline()?]))));
+    }
+    if selected("a1") {
+        jobs.push(("a1", Box::new(|| Ok(vec![harness.a1_correlation()?]))));
+    }
+    if selected("e1") {
+        jobs.push(("e1", Box::new(|| Ok(vec![harness.e1_panorama()?]))));
+    }
+
+    // each experiment is deterministic in isolation (own seeds, cached
+    // shared state), so the fan-out changes wall-clock, not results
+    let results: Vec<(Result<Vec<ExperimentReport>>, f64)> = exec::par_map(&jobs, |(_, f)| {
         let t = Instant::now();
-        match f() {
-            Ok(report) => {
-                println!("\n{}", report.render());
-                println!("# {name} took {:.1}s", t.elapsed().as_secs_f64());
-                reports.push(report);
+        (f(), t.elapsed().as_secs_f64())
+    });
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for ((name, _), (result, secs)) in jobs.iter().zip(results) {
+        match result {
+            Ok(batch) => {
+                for report in batch {
+                    println!("\n{}", report.render());
+                    reports.push(report);
+                }
+                println!("# {name} took {secs:.1}s");
             }
             Err(err) => println!("\n== {name}: FAILED: {err}"),
         }
-    };
-
-    // LLM experiments first (no rendering required), detector experiments
-    // after (they render + train).
-    run("t2", &|| harness.t2_example(), &mut reports);
-    run("f5", &|| harness.f5_voting(), &mut reports);
-    if ["t3", "t4", "t5", "t6"].iter().any(|id| selected(id)) {
-        match harness.t3_to_t6_model_tables() {
-            Ok(model_tables) => {
-                for report in model_tables {
-                    if selected(report.id) {
-                        println!("\n{}", report.render());
-                        reports.push(report);
-                    }
-                }
-            }
-            Err(err) => println!("\n== t3-t6: FAILED: {err}"),
-        }
     }
-    run("f4", &|| harness.f4_prompt_modes(), &mut reports);
-    run("f6", &|| harness.f6_languages(), &mut reports);
-    run("p1", &|| harness.p1_temperature(), &mut reports);
-    run("p2", &|| harness.p2_top_p(), &mut reports);
-    run("t1", &|| harness.t1_baseline(), &mut reports);
-    run("f2", &|| harness.f2_augmentation(), &mut reports);
-    run("f3", &|| harness.f3_noise(), &mut reports);
-    run("c1", &|| harness.c1_scene_baseline(), &mut reports);
-    run("a1", &|| harness.a1_correlation(), &mut reports);
-    run("e1", &|| harness.e1_panorama(), &mut reports);
+    let experiments_span = exec::stats();
 
     // summary
     println!("\n# ============ summary ============");
@@ -114,6 +174,22 @@ fn main() {
     println!(
         "# {} experiments, {rows} paper-vs-measured rows: {within_05} within 0.05, {within_10} within 0.10",
         reports.len()
+    );
+    println!(
+        "\n{}",
+        render_exec_table(
+            "# execution substrate",
+            &[
+                ExecRow {
+                    label: "survey build",
+                    snapshot: survey_span,
+                },
+                ExecRow {
+                    label: "experiments",
+                    snapshot: experiments_span,
+                },
+            ],
+        )
     );
     println!("# total wall-clock {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -164,6 +164,26 @@ fn bench_executor(c: &mut Criterion) {
     });
 }
 
+fn bench_pipeline_build(c: &mut Criterion) {
+    // end-to-end survey build (sampling, rendering, annotation, split) at
+    // increasing worker counts; the 4-worker run should land well above the
+    // serial one since rendering dominates
+    let mut group = c.benchmark_group("pipeline_build");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("smoke_w{workers}"), |b| {
+            b.iter(|| {
+                let config = SurveyConfig {
+                    parallelism: Parallelism::fixed(workers),
+                    ..SurveyConfig::smoke(9)
+                };
+                SurveyPipeline::new(config).run().expect("survey pipeline")
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = perf;
     config = Criterion::default().sample_size(20);
@@ -173,6 +193,7 @@ criterion_group!(
         bench_prompting,
         bench_vlm_respond,
         bench_voting,
-        bench_executor
+        bench_executor,
+        bench_pipeline_build
 );
 criterion_main!(perf);

@@ -1,9 +1,10 @@
-//! The concurrent batch executor: worker threads, rate limiting, retries,
-//! and cost metering over a shared virtual clock.
+//! The concurrent batch executor: an ordered fan-out over the shared
+//! execution substrate, with rate limiting, retries, and cost metering
+//! over a shared virtual clock.
 
 use std::sync::Arc;
 
-use crossbeam::channel;
+use nbhd_exec::{Parallelism, ScopedPool};
 
 use crate::{
     send_resilient, CostMeter, HedgePolicy, ModelRequest, ModelResponse, RetryPolicy, TokenBucket,
@@ -13,8 +14,8 @@ use crate::{
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
-    /// Concurrent worker threads.
-    pub workers: usize,
+    /// Worker-thread budget for the request fan-out.
+    pub parallelism: Parallelism,
     /// Optional rate limit as `(burst_capacity, requests_per_second)`.
     pub rate_limit: Option<(u32, f64)>,
     /// Retry policy per request.
@@ -28,7 +29,7 @@ pub struct ExecutorConfig {
 impl Default for ExecutorConfig {
     fn default() -> Self {
         ExecutorConfig {
-            workers: 4,
+            parallelism: Parallelism::fixed(4),
             rate_limit: Some((8, 10.0)),
             retry: RetryPolicy::default(),
             hedge: None,
@@ -95,100 +96,71 @@ impl BatchExecutor {
     }
 
     /// Runs all requests, preserving order in the output.
+    ///
+    /// The fan-out rides the shared execution substrate (`nbhd-exec`), so
+    /// output slot `i` always holds request `i`'s result; the token bucket,
+    /// retry policy, hedging, and breaker state behave exactly as they do
+    /// under the sequential path.
     pub fn run(&self, requests: Vec<ModelRequest>) -> Vec<Result<ModelResponse, TransportError>> {
-        let n = requests.len();
-        if n == 0 {
+        if requests.is_empty() {
             return Vec::new();
         }
         let bucket = self
             .config
             .rate_limit
-            .map(|(cap, rate)| Arc::new(TokenBucket::new(cap, rate, self.clock.clone())));
+            .map(|(cap, rate)| TokenBucket::new(cap, rate, self.clock.clone()));
 
-        let (work_tx, work_rx) = channel::unbounded::<(usize, ModelRequest)>();
-        let (out_tx, out_rx) = channel::unbounded::<(usize, Result<ModelResponse, TransportError>)>();
-        for item in requests.into_iter().enumerate() {
-            work_tx.send(item).expect("unbounded send");
-        }
-        drop(work_tx);
-
-        let workers = self.config.workers.max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let work_rx = work_rx.clone();
-                let out_tx = out_tx.clone();
-                let bucket = bucket.clone();
-                let transport = Arc::clone(&self.transport);
-                let clock = Arc::clone(&self.clock);
-                let meter = Arc::clone(&self.meter);
-                let retry = self.config.retry;
-                let hedge = self.config.hedge;
-                let seed = self.config.seed;
-                let pricing = self.pricing;
-                scope.spawn(move || {
-                    while let Ok((idx, request)) = work_rx.recv() {
-                        if let Some(bucket) = &bucket {
-                            bucket.acquire_blocking();
-                        }
-                        let outcome = send_resilient(
-                            transport.as_ref(),
-                            &request,
-                            &retry,
-                            hedge.as_ref(),
-                            &clock,
-                            seed,
-                        );
-                        let result = match outcome {
-                            Ok(retried) => {
-                                meter.record_success(
-                                    transport.model_name(),
-                                    retried.response.input_tokens,
-                                    retried.response.output_tokens,
-                                    pricing.0,
-                                    pricing.1,
-                                    retried.response.latency_ms,
-                                    retried.attempts,
-                                );
-                                meter.record_resilience(
-                                    transport.model_name(),
-                                    retried.hedges_fired,
-                                    retried.hedges_won,
-                                    retried.backoff_ms,
-                                );
-                                Ok(retried.response)
-                            }
-                            Err(failure) => {
-                                // charge the attempts the request really
-                                // made — a fail-fast breaker rejection burns
-                                // one, not `retry.max_attempts`
-                                if failure.failed_fast() {
-                                    meter.record_fail_fast(transport.model_name());
-                                } else {
-                                    meter.record_failure(transport.model_name(), failure.attempts);
-                                }
-                                meter.record_resilience(
-                                    transport.model_name(),
-                                    failure.hedges_fired,
-                                    failure.hedges_won,
-                                    failure.backoff_ms,
-                                );
-                                Err(failure.error)
-                            }
-                        };
-                        out_tx.send((idx, result)).expect("unbounded send");
+        let pool = ScopedPool::new(self.config.parallelism);
+        pool.map(&requests, |request| {
+            if let Some(bucket) = &bucket {
+                bucket.acquire_blocking();
+            }
+            let outcome = send_resilient(
+                self.transport.as_ref(),
+                request,
+                &self.config.retry,
+                self.config.hedge.as_ref(),
+                &self.clock,
+                self.config.seed,
+            );
+            match outcome {
+                Ok(retried) => {
+                    self.meter.record_success(
+                        self.transport.model_name(),
+                        retried.response.input_tokens,
+                        retried.response.output_tokens,
+                        self.pricing.0,
+                        self.pricing.1,
+                        retried.response.latency_ms,
+                        retried.attempts,
+                    );
+                    self.meter.record_resilience(
+                        self.transport.model_name(),
+                        retried.hedges_fired,
+                        retried.hedges_won,
+                        retried.backoff_ms,
+                    );
+                    Ok(retried.response)
+                }
+                Err(failure) => {
+                    // charge the attempts the request really made — a
+                    // fail-fast breaker rejection burns one, not
+                    // `retry.max_attempts`
+                    if failure.failed_fast() {
+                        self.meter.record_fail_fast(self.transport.model_name());
+                    } else {
+                        self.meter
+                            .record_failure(self.transport.model_name(), failure.attempts);
                     }
-                });
+                    self.meter.record_resilience(
+                        self.transport.model_name(),
+                        failure.hedges_fired,
+                        failure.hedges_won,
+                        failure.backoff_ms,
+                    );
+                    Err(failure.error)
+                }
             }
-            drop(out_tx);
-            let mut results: Vec<Option<Result<ModelResponse, TransportError>>> =
-                (0..n).map(|_| None).collect();
-            while let Ok((idx, result)) = out_rx.recv() {
-                results[idx] = Some(result);
-            }
-            results
-                .into_iter()
-                .map(|r| r.expect("every request produces a result"))
-                .collect()
         })
     }
 }
@@ -342,7 +314,7 @@ mod tests {
         let e = BatchExecutor::new(
             Arc::new(Alternating(AtomicU64::new(0))),
             ExecutorConfig {
-                workers: 1,
+                parallelism: Parallelism::serial(),
                 rate_limit: None,
                 hedge: Some(HedgePolicy::after_ms(10)),
                 ..ExecutorConfig::default()
@@ -362,7 +334,7 @@ mod tests {
         let e = executor(
             FaultProfile::NONE,
             ExecutorConfig {
-                workers: 1,
+                parallelism: Parallelism::serial(),
                 rate_limit: None,
                 ..ExecutorConfig::default()
             },

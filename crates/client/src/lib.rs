@@ -16,7 +16,8 @@
 //! * [`CircuitBreaker`] / [`BreakerTransport`] — per-model fail-fast when
 //!   a backend is observably down;
 //! * [`CostMeter`] — per-model token/dollar/latency/resilience accounting;
-//! * [`BatchExecutor`] — a crossbeam-channel worker pool;
+//! * [`BatchExecutor`] — an order-preserving request fan-out on the shared
+//!   [`nbhd_exec`] worker pool;
 //! * [`Ensemble`] — the multi-model survey runner with quorum-aware
 //!   voting and [`HealthReport`] observability.
 //!
@@ -64,6 +65,7 @@ pub use breaker::{
 pub use cost::{CostMeter, ModelUsage};
 pub use ensemble::{Ensemble, EnsembleOutcome, ModelAnswers, ResilienceConfig};
 pub use executor::{BatchExecutor, ExecutorConfig};
+pub use nbhd_exec::Parallelism;
 pub use health::{HealthReport, ModelHealth};
 pub use hedge::HedgePolicy;
 pub use ratelimit::{TokenBucket, VirtualClock};

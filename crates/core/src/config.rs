@@ -1,6 +1,7 @@
 //! Survey configuration presets.
 
 use nbhd_annotate::{LabelerProfile, SplitRatios};
+use nbhd_exec::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an end-to-end neighborhood survey.
@@ -28,6 +29,11 @@ pub struct SurveyConfig {
     pub verification_passes: u32,
     /// Train/val/test ratios (the paper used 70/20/10).
     pub split: SplitRatios,
+    /// Worker-thread budget for the capture+annotate fan-out (and, via
+    /// [`crate::PaperExperiments`], for training). Results are bit-identical
+    /// at any setting; this knob trades wall-clock for cores only.
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl SurveyConfig {
@@ -40,6 +46,7 @@ impl SurveyConfig {
             network_scale: 2.0,
             verification_passes: 2,
             split: SplitRatios::STUDY,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -53,6 +60,7 @@ impl SurveyConfig {
             network_scale: 1.0,
             verification_passes: 2,
             split: SplitRatios::STUDY,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -65,6 +73,7 @@ impl SurveyConfig {
             network_scale: 0.5,
             verification_passes: 2,
             split: SplitRatios::STUDY,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -122,5 +131,17 @@ mod tests {
     fn verification_reduces_labeler_error() {
         let cfg = SurveyConfig::paper_full(1);
         assert!(cfg.labeler_profile().miss_rate < LabelerProfile::STUDENT.miss_rate);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_auto_in_serde() {
+        // configs serialized before the field existed still deserialize
+        let json = r#"{
+            "seed": 1, "locations": 24, "image_size": 128,
+            "network_scale": 0.5, "verification_passes": 2,
+            "split": { "train": 0.7, "val": 0.2, "test": 0.1 }
+        }"#;
+        let cfg: SurveyConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.parallelism, Parallelism::auto());
     }
 }

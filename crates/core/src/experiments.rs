@@ -77,6 +77,7 @@ impl PaperExperiments {
             epochs: if size <= 160 { 8 } else { 20 },
             hard_negative_rounds: if size <= 160 { 1 } else { 3 },
             seed,
+            parallelism: self.survey.config().parallelism,
             ..TrainConfig::default()
         };
         (train, detector)

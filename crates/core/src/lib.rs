@@ -56,6 +56,7 @@ pub mod prelude {
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
     pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
+    pub use nbhd_exec::{Parallelism, ScopedPool};
     pub use nbhd_geo::{County, SurveySample};
     pub use nbhd_prompt::{Language, Prompt, PromptMode};
     pub use nbhd_scene::{render, SceneGenerator};
@@ -68,6 +69,7 @@ pub use nbhd_annotate as annotate;
 pub use nbhd_client as client;
 pub use nbhd_detect as detect;
 pub use nbhd_eval as eval;
+pub use nbhd_exec as exec;
 pub use nbhd_geo as geo;
 pub use nbhd_gsv as gsv;
 pub use nbhd_prompt as prompt;

@@ -8,12 +8,13 @@
 use std::sync::Arc;
 
 use nbhd_annotate::{HumanLabeler, LabeledDataset};
+use nbhd_exec::ScopedPool;
 use nbhd_geo::{County, SurveySample};
 use nbhd_gsv::{ImageRequest, StreetViewService, UsageMeter};
 use nbhd_raster::RasterImage;
 use nbhd_scene::SceneSpec;
 use nbhd_types::rng::child_seed;
-use nbhd_types::{Heading, ImageId, ImageLabels, Result};
+use nbhd_types::{Heading, ImageId, ImageLabels, LocationId, Result};
 use nbhd_vlm::ImageContext;
 
 use crate::SurveyConfig;
@@ -54,16 +55,29 @@ impl SurveyPipeline {
             child_seed(self.config.seed, "labeler"),
         );
 
-        let mut annotations: Vec<ImageLabels> = Vec::new();
-        for location in service.covered_locations() {
-            for heading in Heading::ALL {
+        // One task per (location, heading) pair, fanned out over the
+        // execution substrate. The labeler is seeded per image id, so the
+        // output is bit-identical at any worker count; captures go through
+        // the service so each scene renders (and is billed) exactly once,
+        // and later pixel fetches for the same image are cache hits.
+        let pairs: Vec<(LocationId, Heading)> = service
+            .covered_locations()
+            .into_iter()
+            .flat_map(|location| Heading::ALL.iter().map(move |&heading| (location, heading)))
+            .collect();
+        let pool = ScopedPool::new(self.config.parallelism);
+        let annotations: Vec<ImageLabels> = pool
+            .map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
                 let id = ImageId::new(location, heading);
-                let spec = service.ground_truth(id)?;
-                let (_, truth_objects) = nbhd_scene::render(&spec, self.config.image_size);
-                let truth = ImageLabels::with_objects(id, truth_objects);
-                annotations.push(labeler.annotate(&truth, self.config.image_size));
-            }
-        }
+                let request = ImageRequest::builder(location, heading)
+                    .size(self.config.image_size)
+                    .build()?;
+                let capture = service.capture(&request)?;
+                let truth = ImageLabels::with_objects(id, capture.objects);
+                Ok(labeler.annotate(&truth, self.config.image_size))
+            })
+            .into_iter()
+            .collect::<Result<_>>()?;
         let dataset = LabeledDataset::build(
             annotations,
             self.config.image_size,
@@ -207,13 +221,21 @@ mod tests {
     #[test]
     fn imagery_usage_accumulates_fees() {
         let survey = SurveyPipeline::new(SurveyConfig::smoke(13)).run().unwrap();
-        assert_eq!(survey.imagery_usage().billed_images, 0, "labels need no pixels");
+        // the collection pass renders (and bills) each image exactly once
+        let after_run = survey.imagery_usage();
+        assert_eq!(after_run.billed_images as usize, survey.images().len());
+        assert!(
+            (after_run.fees_usd - after_run.billed_images as f64 * nbhd_gsv::FEE_PER_IMAGE_USD)
+                .abs()
+                < 1e-9
+        );
+        // pixel fetches afterwards reuse the saved renders: fees frozen
         let _ = survey.image(survey.images()[0]).unwrap();
         let _ = survey.image(survey.images()[0]).unwrap();
         let usage = survey.imagery_usage();
-        assert_eq!(usage.billed_images, 1);
-        assert_eq!(usage.cache_hits, 1);
-        assert!(usage.fees_usd > 0.0);
+        assert_eq!(usage.billed_images, after_run.billed_images, "no re-render");
+        assert_eq!(usage.cache_hits, after_run.cache_hits + 2);
+        assert!((usage.fees_usd - after_run.fees_usd).abs() < 1e-12);
     }
 
     #[test]
@@ -221,6 +243,28 @@ mod tests {
         let a = SurveyPipeline::new(SurveyConfig::smoke(14)).run().unwrap();
         let b = SurveyPipeline::new(SurveyConfig::smoke(14)).run().unwrap();
         assert_eq!(a.dataset(), b.dataset());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_dataset() {
+        let serial = SurveyPipeline::new(SurveyConfig {
+            parallelism: nbhd_exec::Parallelism::serial(),
+            ..SurveyConfig::smoke(16)
+        })
+        .run()
+        .unwrap();
+        let parallel = SurveyPipeline::new(SurveyConfig {
+            parallelism: nbhd_exec::Parallelism::fixed(4),
+            ..SurveyConfig::smoke(16)
+        })
+        .run()
+        .unwrap();
+        assert_eq!(serial.dataset(), parallel.dataset());
+        // billing is schedule-independent for distinct scenes
+        assert_eq!(
+            serial.imagery_usage().billed_images,
+            parallel.imagery_usage().billed_images
+        );
     }
 
     #[test]

@@ -53,7 +53,6 @@ mod detector;
 mod eval;
 mod features;
 mod nms;
-mod par;
 mod scene_baseline;
 mod train;
 
@@ -62,6 +61,7 @@ pub use detector::{ClassScorer, Detector, DetectorConfig};
 pub use eval::{evaluate_detector, scored_matches, DetectionReport, MATCH_IOU};
 pub use features::{FeatureMap, IntegralChannels, FEATURE_DIM, GRID, NUM_CHANNELS};
 pub use nms::{nms, Detection};
-pub use par::par_map;
+// per-image fan-out now lives in the shared execution substrate
+pub use nbhd_exec::{par_map, Parallelism};
 pub use scene_baseline::{whole_image_feature, SceneClassifier};
 pub use train::{ImageProvider, TrainConfig, Trainer};

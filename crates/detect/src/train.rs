@@ -14,7 +14,9 @@ use nbhd_types::{BBox, Error, ImageId, Indicator, IndicatorMap, Result};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{par_map, Detector, DetectorConfig, IntegralChannels};
+use nbhd_exec::{par_map_with, Parallelism};
+
+use crate::{Detector, DetectorConfig, IntegralChannels};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +39,9 @@ pub struct TrainConfig {
     pub positive_jitter: usize,
     /// Root seed for sampling and shuffling.
     pub seed: u64,
+    /// Worker-thread budget for the per-image harvest and mining passes.
+    /// Trained weights are bit-identical at any setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +56,7 @@ impl Default for TrainConfig {
             hard_negatives_per_image: 15,
             positive_jitter: 2,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -120,7 +126,7 @@ impl Trainer {
                 .map(|_| ClassPool::default())
                 .collect()
         });
-        let harvested = par_map(train_ids, |&id| -> Result<_> {
+        let harvested = par_map_with(self.train.parallelism, train_ids, |&id| -> Result<_> {
             let img = provider.image(id)?;
             let size = img.width();
             let integral = detector.integral(&img);
@@ -198,7 +204,7 @@ impl Trainer {
         for _round in 0..self.train.hard_negative_rounds {
             let size = dataset.image_size();
             let det_ref = &detector;
-            let mined = par_map(train_ids, |&id| -> Result<_> {
+            let mined = par_map_with(self.train.parallelism, train_ids, |&id| -> Result<_> {
                 let integral = integrals.get(&id).expect("cached in pass 1");
                 let labels = dataset.labels(id)?;
                 // scan low so marginal false positives are mined too

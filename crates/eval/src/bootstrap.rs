@@ -1,4 +1,9 @@
 //! Bootstrap confidence intervals over per-image statistics.
+//!
+//! Resamples fan out over the shared execution substrate: each resample
+//! draws from its own [`nbhd_exec::child_seed`]-derived RNG, so the
+//! interval is identical at any worker count (and identical to a
+//! sequential loop over the same per-resample seeds).
 
 use nbhd_types::rng::{child_seed, rng_from};
 use rand::Rng;
@@ -38,15 +43,16 @@ pub fn bootstrap_mean(values: &[f64], resamples: usize, level: f64, seed: u64) -
     assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
     let n = values.len();
     let estimate = values.iter().sum::<f64>() / n as f64;
-    let mut rng = rng_from(child_seed(seed, "bootstrap"));
-    let mut means = Vec::with_capacity(resamples);
-    for _ in 0..resamples {
+    let root = child_seed(seed, "bootstrap");
+    let order: Vec<u64> = (0..resamples as u64).collect();
+    let mut means = nbhd_exec::par_map(&order, |&resample| {
+        let mut rng = rng_from(nbhd_exec::child_seed(root, resample));
         let mut sum = 0.0;
         for _ in 0..n {
             sum += values[rng.random_range(0..n)];
         }
-        means.push(sum / n as f64);
-    }
+        sum / n as f64
+    });
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);

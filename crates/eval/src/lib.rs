@@ -37,7 +37,8 @@ pub use confusion::BinaryConfusion;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
 pub use report::{
-    render_comparison, render_health_table, render_metrics_table, ComparisonRow, HealthRow,
+    render_comparison, render_exec_table, render_health_table, render_metrics_table,
+    ComparisonRow, ExecRow, HealthRow,
 };
 pub use vote::{
     agreement, majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteFallback, VoteProvenance,

@@ -158,6 +158,61 @@ pub fn render_health_table(title: &str, rows: &[HealthRow]) -> String {
     out
 }
 
+/// One labeled execution-substrate snapshot for [`render_exec_table`]:
+/// typically one row per pipeline stage or bench section, built from
+/// [`nbhd_exec::stats`] deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRow<'a> {
+    /// What the snapshot covers (e.g. `"survey build"`).
+    pub label: &'a str,
+    /// The substrate counters for that span.
+    pub snapshot: nbhd_exec::ExecSnapshot,
+}
+
+/// Renders execution-substrate counters as an aligned text table, in the
+/// same report style as [`render_health_table`].
+///
+/// ```
+/// use nbhd_eval::{render_exec_table, ExecRow};
+///
+/// let rows = vec![ExecRow {
+///     label: "survey build",
+///     snapshot: nbhd_exec::ExecSnapshot {
+///         parallel_calls: 3,
+///         serial_calls: 1,
+///         tasks: 96,
+///         chunks: 24,
+///         steals: 5,
+///         busy_us: 120_000,
+///     },
+/// }];
+/// let text = render_exec_table("Execution substrate", &rows);
+/// assert!(text.contains("survey build"));
+/// assert!(text.contains("96"));
+/// ```
+pub fn render_exec_table(title: &str, rows: &[ExecRow<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>8} {:>8} {:>8} {:>8} {:>11}\n",
+        "Span", "Parallel", "Serial", "Tasks", "Chunks", "Steals", "Busy"
+    ));
+    for r in rows {
+        let s = r.snapshot;
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8.1} ms\n",
+            r.label,
+            s.parallel_calls,
+            s.serial_calls,
+            s.tasks,
+            s.chunks,
+            s.steals,
+            s.busy_ms()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +268,32 @@ mod tests {
         assert!(text.contains("open"));
         assert!(text.contains("12.5%"));
         assert!(text.contains("120"));
+    }
+
+    #[test]
+    fn exec_table_renders_counters() {
+        let rows = vec![
+            ExecRow {
+                label: "survey",
+                snapshot: nbhd_exec::ExecSnapshot {
+                    parallel_calls: 2,
+                    serial_calls: 0,
+                    tasks: 96,
+                    chunks: 16,
+                    steals: 4,
+                    busy_us: 2_500,
+                },
+            },
+            ExecRow {
+                label: "train",
+                snapshot: nbhd_exec::ExecSnapshot::default(),
+            },
+        ];
+        let text = render_exec_table("Exec", &rows);
+        assert!(text.contains("survey"));
+        assert!(text.contains("train"));
+        assert!(text.contains("96"));
+        assert!(text.contains("2.5 ms"));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The workspace-wide parallelism knob.
+
+use serde::{Deserialize, Serialize};
+
+/// How many worker threads a parallel region may use.
+///
+/// `workers == 0` means "auto": resolve to the machine's available
+/// parallelism at run time. Because every parallel primitive in
+/// [`crate`] is order-preserving and every stochastic task is seeded per
+/// item, the setting changes wall-clock only — results are bit-identical
+/// at any value.
+///
+/// ```
+/// use nbhd_exec::Parallelism;
+/// assert!(Parallelism::serial().is_serial());
+/// assert_eq!(Parallelism::fixed(4).resolved(), 4);
+/// assert!(Parallelism::auto().resolved() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker-thread count; `0` resolves to the hardware parallelism.
+    pub workers: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl Parallelism {
+    /// One worker: parallel regions degrade to plain sequential loops.
+    pub const fn serial() -> Self {
+        Parallelism { workers: 1 }
+    }
+
+    /// Resolve to the machine's available parallelism at run time.
+    pub const fn auto() -> Self {
+        Parallelism { workers: 0 }
+    }
+
+    /// Exactly `workers` threads (clamped to at least one).
+    pub fn fixed(workers: usize) -> Self {
+        Parallelism {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Whether parallel regions run sequentially.
+    pub fn is_serial(self) -> bool {
+        self.workers == 1
+    }
+
+    /// The concrete worker count this setting resolves to.
+    pub fn resolved(self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The worker count to use for a region of `items` tasks (never more
+    /// threads than tasks).
+    pub fn workers_for(self, items: usize) -> usize {
+        self.resolved().min(items.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        assert_eq!(Parallelism::fixed(0).workers, 1);
+        assert_eq!(Parallelism::fixed(7).workers, 7);
+    }
+
+    #[test]
+    fn workers_for_never_exceeds_items() {
+        assert_eq!(Parallelism::fixed(8).workers_for(3), 3);
+        assert_eq!(Parallelism::fixed(2).workers_for(100), 2);
+        assert_eq!(Parallelism::fixed(8).workers_for(0), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip_defaults_to_auto() {
+        let p: Parallelism = serde_json::from_str("{\"workers\":3}").unwrap();
+        assert_eq!(p, Parallelism::fixed(3));
+        let json = serde_json::to_string(&Parallelism::auto()).unwrap();
+        assert_eq!(serde_json::from_str::<Parallelism>(&json).unwrap(), Parallelism::auto());
+    }
+}

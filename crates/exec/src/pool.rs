@@ -1,0 +1,269 @@
+//! Ordered parallel maps over slices, with chunked work stealing.
+//!
+//! The execution model: the input is cut into fixed-size chunks; scoped
+//! worker threads claim chunks from a shared atomic cursor (cheap work
+//! stealing — an idle worker simply claims the next chunk, whoever its
+//! round-robin "owner" was); each worker computes its chunks into private
+//! per-chunk `Vec`s and hands them back through its join handle. The
+//! caller sorts the chunks by start offset and concatenates. No result
+//! ever crosses a channel, so collection cannot bottleneck on a single
+//! drain thread, and output order is input order by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::{stats, Parallelism};
+
+/// Inputs smaller than this run sequentially: thread spawn costs more
+/// than the work saved.
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Target chunks per worker. More than one so a slow chunk (or a slow
+/// core) rebalances; not so many that cursor contention dominates.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Maps `f` over `items` with automatic parallelism, preserving order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — bit-identical output —
+/// at any worker count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(Parallelism::auto(), items, f)
+}
+
+/// Maps `f` over `items` under an explicit [`Parallelism`], preserving
+/// order.
+pub fn par_map_with<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_with(parallelism, items, |_, item| f(item))
+}
+
+/// Maps `f(index, &item)` over `items` with automatic parallelism,
+/// preserving order. The index is the item's position in the input —
+/// use it with [`crate::child_seed`] for per-item randomness.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_with(Parallelism::auto(), items, f)
+}
+
+/// Maps `f(index, &item)` over `items` under an explicit [`Parallelism`],
+/// preserving order.
+pub fn par_map_indexed_with<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = parallelism.workers_for(n);
+    if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        stats::record_serial(n);
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    par_map_chunked(workers, chunk, items, f)
+}
+
+/// The core primitive: maps `f(index, &item)` over `items` on `workers`
+/// threads claiming chunks of `chunk` items, preserving order.
+///
+/// Exposed (rather than private) so the determinism suite can drive it
+/// with arbitrary chunk sizes and worker counts; production callers use
+/// the `par_map*` wrappers, which pick a chunk size.
+pub fn par_map_chunked<T, R, F>(workers: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let workers = workers.max(1).min(n_chunks.max(1));
+    if workers <= 1 || n == 0 {
+        stats::record_serial(n);
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = Vec::with_capacity(n_chunks);
+    let mut steals = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    let mut stolen = 0u64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        if c % workers != worker {
+                            stolen += 1;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let mut out = Vec::with_capacity(end - start);
+                        for (offset, item) in items[start..end].iter().enumerate() {
+                            out.push(f(start + offset, item));
+                        }
+                        local.push((start, out));
+                    }
+                    (local, stolen)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, stolen) = handle.join().expect("exec worker panicked");
+            steals += stolen;
+            pieces.extend(local);
+        }
+    });
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    stats::record_parallel(n as u64, n_chunks as u64, steals, started.elapsed());
+    out
+}
+
+/// A reusable handle over the substrate: holds a [`Parallelism`] setting
+/// and runs ordered maps under it. Layers that fan out repeatedly (the
+/// batch executor, the trainer) construct one and reuse it per region.
+///
+/// ```
+/// use nbhd_exec::{Parallelism, ScopedPool};
+/// let pool = ScopedPool::new(Parallelism::fixed(2));
+/// let doubled = pool.map(&[1, 2, 3, 4, 5], |&x: &i32| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScopedPool {
+    parallelism: Parallelism,
+}
+
+impl ScopedPool {
+    /// Creates a pool handle with the given parallelism.
+    pub fn new(parallelism: Parallelism) -> ScopedPool {
+        ScopedPool { parallelism }
+    }
+
+    /// The pool's parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Ordered parallel map (see [`par_map_with`]).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        par_map_with(self.parallelism, items, f)
+    }
+
+    /// Ordered parallel map with input indices (see
+    /// [`par_map_indexed_with`]).
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        par_map_indexed_with(self.parallelism, items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 3 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, items[i] * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_and_empty_inputs() {
+        assert!(par_map::<u32, u32, _>(&[], |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x: &u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_for_every_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xabc).collect();
+        for workers in 1..=8 {
+            let par = par_map_with(Parallelism::fixed(workers), &items, |&x| {
+                x.wrapping_mul(x) ^ 0xabc
+            });
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chunked_handles_ragged_tails() {
+        let items: Vec<u32> = (0..103).collect();
+        for chunk in [1, 2, 7, 50, 103, 1000] {
+            let out = par_map_chunked(3, chunk, &items, |i, &x| (i as u32, x + 1));
+            assert_eq!(out.len(), items.len());
+            for (i, (idx, v)) in out.iter().enumerate() {
+                assert_eq!(*idx as usize, i);
+                assert_eq!(*v, items[i] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_input_positions() {
+        let items = vec!["a", "b", "c", "d", "e", "f"];
+        let out = par_map_indexed_with(Parallelism::fixed(3), &items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c", "3d", "4e", "5f"]);
+    }
+
+    #[test]
+    fn pool_reuses_its_setting() {
+        let pool = ScopedPool::new(Parallelism::fixed(2));
+        assert_eq!(pool.parallelism(), Parallelism::fixed(2));
+        let a = pool.map(&[1u8, 2, 3, 4, 5, 6], |&x| x as u16 * 10);
+        let b = pool.map_indexed(&[1u8, 2, 3, 4, 5, 6], |i, &x| i as u16 + x as u16);
+        assert_eq!(a, vec![10, 20, 30, 40, 50, 60]);
+        assert_eq!(b, vec![1, 3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn seeded_work_is_thread_count_invariant() {
+        use nbhd_types::rng::rng_from;
+        use rand::Rng;
+        let items: Vec<u64> = (0..64).collect();
+        let draw = |i: usize, _: &u64| -> f64 {
+            let mut rng = rng_from(crate::child_seed(9, i as u64));
+            rng.random()
+        };
+        let serial = par_map_indexed_with(Parallelism::serial(), &items, draw);
+        let parallel = par_map_indexed_with(Parallelism::fixed(7), &items, draw);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,97 @@
+//! Substrate-wide execution counters.
+//!
+//! Counters are process-global atomics: cheap to bump from any worker, and
+//! snapshot-able at any point (e.g. at the end of a bench run). They are
+//! observability only — no behavior reads them — so their scheduling-
+//! dependent parts (steals, busy time) never threaten determinism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static SERIAL_CALLS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static CHUNKS: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+static BUSY_US: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the substrate's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSnapshot {
+    /// Parallel regions executed (fan-outs that actually spawned workers).
+    pub parallel_calls: u64,
+    /// Regions that fell back to a sequential loop (one worker, or too few
+    /// items to be worth spawning for).
+    pub serial_calls: u64,
+    /// Individual work items executed across all regions.
+    pub tasks: u64,
+    /// Work chunks claimed across all parallel regions.
+    pub chunks: u64,
+    /// Chunks executed by a worker other than their round-robin owner —
+    /// a measure of how much work-stealing rebalanced the load.
+    pub steals: u64,
+    /// Total wall-clock spent inside parallel regions, microseconds.
+    pub busy_us: u64,
+}
+
+impl ExecSnapshot {
+    /// Wall-clock spent inside parallel regions, in milliseconds.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_us as f64 / 1_000.0
+    }
+}
+
+/// Snapshots the substrate counters.
+pub fn stats() -> ExecSnapshot {
+    ExecSnapshot {
+        parallel_calls: PARALLEL_CALLS.load(Ordering::Relaxed),
+        serial_calls: SERIAL_CALLS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        chunks: CHUNKS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+        busy_us: BUSY_US.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets every counter to zero (e.g. between bench sections).
+pub fn reset_stats() {
+    PARALLEL_CALLS.store(0, Ordering::Relaxed);
+    SERIAL_CALLS.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    CHUNKS.store(0, Ordering::Relaxed);
+    STEALS.store(0, Ordering::Relaxed);
+    BUSY_US.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn record_serial(tasks: usize) {
+    SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_parallel(tasks: u64, chunks: u64, steals: u64, busy: Duration) {
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(tasks, Ordering::Relaxed);
+    CHUNKS.fetch_add(chunks, Ordering::Relaxed);
+    STEALS.fetch_add(steals, Ordering::Relaxed);
+    BUSY_US.fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // other tests run concurrently, so assert deltas only where safe:
+        // record, then check monotonicity
+        let before = stats();
+        record_serial(5);
+        record_parallel(10, 4, 1, Duration::from_micros(250));
+        let after = stats();
+        assert!(after.tasks >= before.tasks + 15);
+        assert!(after.parallel_calls >= before.parallel_calls + 1);
+        assert!(after.serial_calls >= before.serial_calls + 1);
+        assert!(after.steals >= before.steals + 1);
+        assert!(after.busy_us >= before.busy_us + 250);
+    }
+}

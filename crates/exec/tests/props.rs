@@ -1,0 +1,39 @@
+//! Property tests for the execution substrate's core guarantee: parallel
+//! output always equals sequential output, element for element, under any
+//! chunk size and worker count.
+
+use nbhd_exec::{par_map_chunked, par_map_indexed_with, Parallelism};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn chunked_output_order_matches_input_order(
+        items in prop::collection::vec(any::<u64>(), 0..300),
+        workers in 1usize..9,
+        chunk in 1usize..64,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31).rotate_left(7)).collect();
+        let got = par_map_chunked(workers, chunk, &items, |_, &x| x.wrapping_mul(31).rotate_left(7));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn indexed_map_is_worker_count_invariant(
+        items in prop::collection::vec(any::<i32>(), 0..200),
+        workers in 1usize..9,
+    ) {
+        let f = |i: usize, &x: &i32| (i as i64) * 1_000 + i64::from(x);
+        let serial = par_map_indexed_with(Parallelism::serial(), &items, f);
+        let parallel = par_map_indexed_with(Parallelism::fixed(workers), &items, f);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_item_seeds_are_index_stable(
+        seed in any::<u64>(),
+        index in 0u64..10_000,
+    ) {
+        prop_assert_eq!(nbhd_exec::child_seed(seed, index), nbhd_exec::child_seed(seed, index));
+        prop_assert_ne!(nbhd_exec::child_seed(seed, index), nbhd_exec::child_seed(seed, index + 1));
+    }
+}

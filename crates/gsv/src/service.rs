@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use nbhd_raster::RasterImage;
 use nbhd_scene::{render, SceneGenerator, SceneSpec};
 use nbhd_types::rng::{child_seed_n, splitmix64};
-use nbhd_types::{Error, Heading, ImageId, LocationId, Result};
+use nbhd_types::{Error, Heading, ImageId, LocationId, ObjectLabel, Result};
 use parking_lot::Mutex;
 
 use crate::{ImageRequest, UsageMeter};
@@ -34,6 +34,20 @@ pub struct ImageResponse {
     pub capture_date: (u16, u8),
     /// Attribution string.
     pub copyright: String,
+}
+
+/// One full render of a scene: the billable image response together with
+/// the ground-truth object labels the render pass produced.
+///
+/// The service caches `Capture`s, so a consumer that needs labels (the
+/// survey pipeline's annotator) and one that later needs pixels (the
+/// detector's image provider) share a single render and a single fee.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// The image response as served to pixel consumers.
+    pub response: ImageResponse,
+    /// Ground-truth labels from the same render pass (harness-only oracle).
+    pub objects: Vec<ObjectLabel>,
 }
 
 /// The simulated Street View service: deterministic imagery by
@@ -73,7 +87,7 @@ pub struct StreetViewService {
 #[derive(Debug, Default)]
 struct ServiceState {
     usage: UsageMeter,
-    cache: HashMap<(ImageId, u32), ImageResponse>,
+    cache: HashMap<(ImageId, u32), Capture>,
     cache_order: Vec<(ImageId, u32)>,
 }
 
@@ -130,18 +144,38 @@ impl StreetViewService {
     /// * [`Error::NotFound`] when the location has no coverage.
     /// * [`Error::Service`] when the quota is exhausted.
     pub fn fetch(&self, request: &ImageRequest) -> Result<ImageResponse> {
-        let mut state = self.state.lock();
-        if let Some(quota) = self.quota {
-            if state.usage.requests >= quota {
-                return Err(Error::service("request quota exhausted"));
-            }
-        }
-        state.usage.requests += 1;
+        Ok(self.capture(request)?.response)
+    }
 
+    /// Fetches the full capture — pixels *and* the render's ground-truth
+    /// labels — charging the per-image fee. Same billing, caching, and
+    /// quota behavior as [`StreetViewService::fetch`]; the two share one
+    /// cache entry, so fetching labels then pixels renders the scene once.
+    ///
+    /// Safe to call from many threads at once: the scene renders outside
+    /// the service lock, so concurrent requests for *different* scenes
+    /// draw in parallel, and a lost race on the *same* scene is billed as
+    /// a cache hit (rendering is deterministic, so either copy is valid).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NotFound`] when the location has no coverage.
+    /// * [`Error::Service`] when the quota is exhausted.
+    pub fn capture(&self, request: &ImageRequest) -> Result<Capture> {
         let key = (request.image_id(), request.size());
-        if let Some(hit) = state.cache.get(&key).cloned() {
-            state.usage.cache_hits += 1;
-            return Ok(hit);
+        {
+            let mut state = self.state.lock();
+            if let Some(quota) = self.quota {
+                if state.usage.requests >= quota {
+                    return Err(Error::service("request quota exhausted"));
+                }
+            }
+            state.usage.requests += 1;
+
+            if let Some(hit) = state.cache.get(&key).cloned() {
+                state.usage.cache_hits += 1;
+                return Ok(hit);
+            }
         }
 
         if self.coverage(request.location()) == CoverageStatus::ZeroResults {
@@ -155,24 +189,37 @@ impl StreetViewService {
             .get(&request.location())
             .expect("coverage() checked membership");
 
+        // Render with the lock released: this is the expensive part, and
+        // it depends only on immutable service state.
+        let spec = self.generator.compose(point, request.heading());
+        let (image, objects) = render(&spec, request.size());
+        let capture = Capture {
+            response: ImageResponse {
+                image,
+                id: request.image_id(),
+                capture_date: (2025, 1),
+                copyright: "(c) nbhd synthetic imagery".to_owned(),
+            },
+            objects,
+        };
+
+        let mut state = self.state.lock();
+        if let Some(existing) = state.cache.get(&key).cloned() {
+            // Another thread rendered the same scene while the lock was
+            // released. Serve its copy and bill nothing: the duplicate
+            // render cost compute, not fees.
+            state.usage.cache_hits += 1;
+            return Ok(existing);
+        }
         state.usage.billed_images += 1;
         state.usage.fees_usd += FEE_PER_IMAGE_USD;
-
-        let spec = self.generator.compose(point, request.heading());
-        let (image, _) = render(&spec, request.size());
-        let response = ImageResponse {
-            image,
-            id: request.image_id(),
-            capture_date: (2025, 1),
-            copyright: "(c) nbhd synthetic imagery".to_owned(),
-        };
         if state.cache_order.len() >= CACHE_CAP {
             let evict = state.cache_order.remove(0);
             state.cache.remove(&evict);
         }
-        state.cache.insert(key, response.clone());
+        state.cache.insert(key, capture.clone());
         state.cache_order.push(key);
-        Ok(response)
+        Ok(capture)
     }
 
     /// The scene ground truth for an image — what a perfect annotator would
@@ -310,6 +357,52 @@ mod tests {
         );
         let gap = 400 - covered;
         assert!(gap > 30, "expected noticeable gaps, got {gap}");
+    }
+
+    #[test]
+    fn capture_carries_the_render_labels() {
+        let (svc, _) = service(3, 8);
+        let loc = svc.covered_locations()[0];
+        let id = ImageId::new(loc, Heading::West);
+        let req = ImageRequest::builder(loc, Heading::West)
+            .size(64)
+            .build()
+            .unwrap();
+        let cap = svc.capture(&req).unwrap();
+        let spec = svc.ground_truth(id).unwrap();
+        let (image, objects) = nbhd_scene::render(&spec, 64);
+        assert_eq!(cap.response.image, image);
+        assert_eq!(cap.objects, objects);
+        // fetch after capture is a cache hit: one render, one fee
+        let resp = svc.fetch(&req).unwrap();
+        assert_eq!(resp.image, cap.response.image);
+        let usage = svc.usage();
+        assert_eq!(usage.billed_images, 1);
+        assert_eq!(usage.cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_captures_bill_each_scene_once() {
+        let (svc, _) = service(6, 7);
+        let loc = svc.covered_locations()[0];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for &heading in Heading::ALL.iter() {
+                        let req = ImageRequest::builder(loc, heading)
+                            .size(32)
+                            .build()
+                            .unwrap();
+                        svc.capture(&req).unwrap();
+                    }
+                });
+            }
+        });
+        let usage = svc.usage();
+        assert_eq!(usage.requests, 16);
+        assert_eq!(usage.billed_images, 4, "each (location, heading) billed once");
+        assert_eq!(usage.cache_hits, 12);
+        assert!((usage.fees_usd - 4.0 * FEE_PER_IMAGE_USD).abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! cargo run --release --example llm_ensemble
 //! ```
 
-use nbhd::client::{Ensemble, ExecutorConfig, FaultProfile, RetryPolicy};
+use nbhd::client::{Ensemble, ExecutorConfig, FaultProfile, Parallelism, RetryPolicy};
 use nbhd::prelude::*;
 use nbhd::vlm::{claude_37, gemini_15_pro, grok_2};
 
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         survey.config().seed,
         FaultProfile::FLAKY,
         ExecutorConfig {
-            workers: 6,
+            parallelism: Parallelism::fixed(6),
             rate_limit: Some((4, 5.0)),
             retry: RetryPolicy::default(),
             seed: 99,

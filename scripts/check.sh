@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench -p nbhd-bench --no-run
+
 echo "==> all checks passed"

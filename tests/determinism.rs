@@ -1,0 +1,114 @@
+//! Cross-crate determinism: every parallel code path in the workspace must
+//! produce results bit-identical to its serial counterpart, because all
+//! randomness is keyed by item identity (per-item seeds) rather than by
+//! scheduling order.
+
+use nbhd::prelude::*;
+use nbhd_core::{train_baseline, AugmentationPolicy, LlmSurveyConfig};
+use proptest::prelude::*;
+
+fn smoke_survey(parallelism: Parallelism) -> SurveyDataset {
+    let config = SurveyConfig {
+        parallelism,
+        ..SurveyConfig::smoke(77)
+    };
+    SurveyPipeline::new(config).run().expect("survey pipeline")
+}
+
+#[test]
+fn survey_dataset_is_worker_count_invariant() {
+    let serial = smoke_survey(Parallelism::serial());
+    let parallel = smoke_survey(Parallelism::fixed(4));
+    assert_eq!(serial.dataset(), parallel.dataset());
+    assert_eq!(serial.dataset().split(), parallel.dataset().split());
+    // byte-identical canonical form: per-image labels serialized in the
+    // dataset's image order
+    let canon = |s: &SurveyDataset| -> String {
+        s.images()
+            .iter()
+            .map(|&id| serde_json::to_string(s.dataset().labels(id).unwrap()).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(canon(&serial), canon(&parallel));
+}
+
+#[test]
+fn trained_detector_is_worker_count_invariant() {
+    let survey = smoke_survey(Parallelism::serial());
+    let train = |parallelism| {
+        train_baseline(
+            &survey,
+            TrainConfig {
+                epochs: 4,
+                hard_negative_rounds: 1,
+                parallelism,
+                ..TrainConfig::default()
+            },
+            DetectorConfig {
+                shrink: 4,
+                ..DetectorConfig::default()
+            },
+            AugmentationPolicy::None,
+        )
+        .expect("training")
+    };
+    let serial = train(Parallelism::serial());
+    let parallel = train(Parallelism::fixed(4));
+    // weights are serialized before comparing so the check is bitwise, not
+    // within-epsilon
+    assert_eq!(
+        serial.detector.to_json().unwrap(),
+        parallel.detector.to_json().unwrap()
+    );
+    assert_eq!(serial.report, parallel.report);
+}
+
+#[test]
+fn llm_vote_tallies_are_worker_count_invariant() {
+    let survey = smoke_survey(Parallelism::serial());
+    let ids: Vec<ImageId> = survey.images().iter().take(24).copied().collect();
+    let run = |parallelism| {
+        nbhd_core::run_llm_survey(
+            &survey,
+            nbhd_core::paper_lineup(),
+            &ids,
+            &LlmSurveyConfig {
+                executor: ExecutorConfig {
+                    parallelism,
+                    ..ExecutorConfig::default()
+                },
+                ..LlmSurveyConfig::default()
+            },
+        )
+        .expect("llm survey")
+    };
+    let serial = run(Parallelism::serial());
+    let parallel = run(Parallelism::fixed(4));
+    assert_eq!(serial.ensemble.voted, parallel.ensemble.voted);
+    assert_eq!(serial.voted_table, parallel.voted_table);
+    assert_eq!(serial.tables, parallel.tables);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // the substrate's core contract: output order matches input order for
+    // any worker count and any chunk size, including ragged tails
+    #[test]
+    fn par_map_preserves_input_order_for_any_chunking(
+        len in 0usize..200,
+        workers in 1usize..9,
+        chunk in 1usize..33,
+    ) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let out = nbhd_core::exec::par_map_chunked(workers, chunk, &items, |i, &x| {
+            (i as u64, x * 3 + 1)
+        });
+        prop_assert_eq!(out.len(), items.len());
+        for (i, (idx, val)) in out.iter().enumerate() {
+            prop_assert_eq!(*idx, i as u64);
+            prop_assert_eq!(*val, items[i] * 3 + 1);
+        }
+    }
+}

@@ -57,12 +57,19 @@ fn survey_to_detector_to_llms() {
 #[test]
 fn survey_images_are_reproducible_and_billed() {
     let survey = SurveyPipeline::new(SurveyConfig::smoke(1002)).run().unwrap();
+    let after_run = survey.imagery_usage();
+    assert_eq!(
+        after_run.billed_images as usize,
+        survey.images().len(),
+        "each scene renders and bills exactly once during the survey"
+    );
     let id = survey.images()[7];
     let a = survey.image(id).unwrap();
     let b = survey.image(id).unwrap();
     assert_eq!(a, b);
     let usage = survey.imagery_usage();
-    assert_eq!(usage.billed_images, 1, "second fetch from cache");
+    assert_eq!(usage.billed_images, after_run.billed_images, "fetches come from cache");
+    assert_eq!(usage.cache_hits, after_run.cache_hits + 2);
     assert!(usage.fees_usd > 0.0);
 }
 

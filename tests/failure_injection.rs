@@ -51,7 +51,7 @@ fn run_with_faults(faults: FaultProfile, max_attempts: u32) -> (f64, u64, u64) {
         survey.config().seed,
         faults,
         ExecutorConfig {
-            workers: 4,
+            parallelism: Parallelism::fixed(4),
             rate_limit: None,
             retry: RetryPolicy {
                 max_attempts,
