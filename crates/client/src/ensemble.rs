@@ -7,16 +7,37 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use nbhd_eval::{majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteProvenance};
+use nbhd_journal::CheckpointStore;
 use nbhd_prompt::{parse_response, Prompt};
 use nbhd_types::rng::child_seed_n;
-use nbhd_types::IndicatorSet;
+use nbhd_types::{Error, IndicatorSet, Result};
 use nbhd_vlm::{ImageContext, ModelProfile, SamplerParams, VisionModel};
+use serde::{Deserialize, Serialize};
 
 use crate::{
     BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransport, CostMeter,
     ExecutorConfig, FaultProfile, FaultSchedule, HealthReport, ModelHealth, ModelRequest,
     ScheduledTransport, SimulatedTransport, Transport, VirtualClock,
 };
+
+/// Journal record kind for completed LLM votes.
+pub const VOTE_RECORD_KIND: &str = "llm-vote";
+
+/// Journal payload for one completed `(model, image)` query: the parsed
+/// presence bits plus whether the parse was complete. Only *successful*
+/// responses are journaled — a transport failure is retried on resume.
+#[derive(Debug, Serialize, Deserialize)]
+struct VoteRecord {
+    bits: u8,
+    complete: bool,
+}
+
+/// The idempotency key for one `(model, image)` query. The prompt and
+/// sampler are part of the run config (hashed into the manifest), so they
+/// need not appear in the key.
+fn vote_key(model: &str, context: &ImageContext) -> String {
+    format!("{}#{}", model, context.image)
+}
 
 /// The ensemble's failure-handling stack: what chaos to script, whether to
 /// circuit-break each member, and how to vote when members are down.
@@ -72,6 +93,7 @@ pub struct Ensemble {
     faults: FaultProfile,
     clock: Arc<VirtualClock>,
     meter: Arc<CostMeter>,
+    checkpoint: Option<Arc<dyn CheckpointStore>>,
 }
 
 struct Member {
@@ -167,7 +189,19 @@ impl Ensemble {
             faults,
             clock,
             meter: Arc::new(CostMeter::new()),
+            checkpoint: None,
         }
+    }
+
+    /// Attaches a checkpoint store: every successful `(model, image)` query
+    /// is journaled under an idempotency key, and [`Ensemble::try_survey`]
+    /// replays journaled votes instead of re-querying — a resumed ensemble
+    /// never re-queries a journaled `(image, model, question)` triple, and
+    /// never re-pays its token cost.
+    #[must_use]
+    pub fn with_checkpoint(mut self, store: Arc<dyn CheckpointStore>) -> Ensemble {
+        self.checkpoint = Some(store);
+        self
     }
 
     /// Installs a resilience stack, rebuilding each member's transport
@@ -268,38 +302,100 @@ impl Ensemble {
     /// the voters that responded ([`quorum_vote`]); under
     /// [`ResilienceConfig::legacy_empty_votes`] failed voters cast empty
     /// sets into a plain [`majority_vote`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checkpoint store attached via
+    /// [`Ensemble::with_checkpoint`] fails; use [`Ensemble::try_survey`]
+    /// for checkpointed runs.
     pub fn survey(
         &self,
         contexts: &[ImageContext],
         prompt: &Prompt,
         params: &SamplerParams,
     ) -> EnsembleOutcome {
+        self.try_survey(contexts, prompt, params)
+            .expect("survey without a checkpoint store is infallible")
+    }
+
+    /// [`Ensemble::survey`], surfacing checkpoint-store failures.
+    ///
+    /// With a store attached, each member's journaled votes are replayed
+    /// without touching the transport, and only the remaining contexts are
+    /// queried; each fresh successful response is journaled *before* it is
+    /// counted, so a crash mid-batch loses at most in-flight queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the checkpoint store fails to persist a vote
+    /// or holds a malformed vote record.
+    pub fn try_survey(
+        &self,
+        contexts: &[ImageContext],
+        prompt: &Prompt,
+        params: &SamplerParams,
+    ) -> Result<EnsembleOutcome> {
         let mut per_model = BTreeMap::new();
         let mut voter_answers: Vec<Vec<Option<IndicatorSet>>> = Vec::new();
         for member in &self.members {
-            let executor =
-                BatchExecutor::new(Arc::clone(&member.transport), self.config.clone())
-                    .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
-                    .with_pricing(
-                        member.profile.usd_per_1k_input,
-                        member.profile.usd_per_1k_output,
-                    );
-            let requests: Vec<ModelRequest> = contexts
+            // replay journaled votes; only the rest go to the transport
+            let mut replayed: Vec<Option<VoteRecord>> = Vec::with_capacity(contexts.len());
+            for ctx in contexts {
+                let record = match &self.checkpoint {
+                    Some(store) => store
+                        .load(VOTE_RECORD_KIND, &vote_key(&member.profile.name, ctx))
+                        .map(|value| {
+                            serde_json::from_value::<VoteRecord>(value)
+                                .map_err(|e| Error::parse(format!("vote record: {e}")))
+                        })
+                        .transpose()?,
+                    None => None,
+                };
+                replayed.push(record);
+            }
+            let pending: Vec<ModelRequest> = contexts
                 .iter()
-                .map(|ctx| ModelRequest {
+                .zip(&replayed)
+                .filter(|(_, record)| record.is_none())
+                .map(|(ctx, _)| ModelRequest {
                     context: ctx.clone(),
                     prompt: prompt.clone(),
                     params: *params,
                 })
                 .collect();
-            let results = executor.run(requests);
+            let results = if pending.is_empty() {
+                Vec::new()
+            } else {
+                let executor =
+                    BatchExecutor::new(Arc::clone(&member.transport), self.config.clone())
+                        .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
+                        .with_pricing(
+                            member.profile.usd_per_1k_input,
+                            member.profile.usd_per_1k_output,
+                        );
+                executor.run(pending)
+            };
+            let mut fresh = results.into_iter();
 
             let mut presence = Vec::with_capacity(contexts.len());
             let mut answered = Vec::with_capacity(contexts.len());
             let mut responded = Vec::with_capacity(contexts.len());
             let mut parse_failures = 0usize;
             let mut transport_failures = 0usize;
-            for result in &results {
+            for (ctx, record) in contexts.iter().zip(replayed) {
+                if let Some(record) = record {
+                    let set = IndicatorSet::from_bits(record.bits);
+                    if !record.complete {
+                        parse_failures += 1;
+                    }
+                    presence.push(set);
+                    answered.push(Some(set));
+                    responded.push(true);
+                    continue;
+                }
+                let result = fresh
+                    .next()
+                    .expect("one executor result per pending context");
                 match result {
                     Ok(response) => {
                         let mut answers = Vec::with_capacity(6);
@@ -319,11 +415,27 @@ impl Ensemble {
                                 set.insert(*ind);
                             }
                         }
+                        if let Some(store) = &self.checkpoint {
+                            // save-before-act: the vote is durable before it
+                            // counts toward any tally
+                            let record = VoteRecord {
+                                bits: set.bits(),
+                                complete,
+                            };
+                            store.save(
+                                VOTE_RECORD_KIND,
+                                &vote_key(&member.profile.name, ctx),
+                                serde_json::to_value(&record)
+                                    .map_err(|e| Error::parse(format!("vote record: {e}")))?,
+                            )?;
+                        }
                         presence.push(set);
                         answered.push(Some(set));
                         responded.push(true);
                     }
                     Err(_) => {
+                        // transport failures are NOT journaled: a resumed
+                        // run retries them instead of replaying the failure
                         transport_failures += 1;
                         presence.push(IndicatorSet::new());
                         answered.push(None);
@@ -363,11 +475,11 @@ impl Ensemble {
             }
         }
 
-        EnsembleOutcome {
+        Ok(EnsembleOutcome {
             per_model,
             voted,
             provenance,
-        }
+        })
     }
 }
 
@@ -418,6 +530,41 @@ mod tests {
         // cost accrued for every model
         assert!(ensemble.meter().total_usd() > 0.0);
         assert_eq!(ensemble.meter().snapshot().len(), 4);
+    }
+
+    #[test]
+    fn checkpointed_survey_replays_votes_without_requerying() {
+        use nbhd_journal::MemoryStore;
+        let store = Arc::new(MemoryStore::new());
+        let ctxs = contexts(12);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let params = SamplerParams::default();
+
+        let first = Ensemble::paper_setup(5).with_checkpoint(store.clone());
+        let a = first.try_survey(&ctxs, &prompt, &params).unwrap();
+        assert!(first.api_attempts("gemini-1.5-pro").unwrap() > 0);
+        assert_eq!(
+            store.load_kind(VOTE_RECORD_KIND).len(),
+            4 * 12,
+            "every (model, image) vote journaled"
+        );
+
+        // a "restarted process": same config, same journal — every vote
+        // replays, no model is queried again
+        let second = Ensemble::paper_setup(5).with_checkpoint(store.clone());
+        let b = second.try_survey(&ctxs, &prompt, &params).unwrap();
+        for model in a.per_model.keys() {
+            assert_eq!(second.api_attempts(model), Some(0), "{model} re-queried");
+        }
+        assert_eq!(a.voted, b.voted);
+        assert_eq!(a.per_model, b.per_model);
+        assert_eq!(a.provenance.len(), b.provenance.len());
+
+        // an unjournaled ensemble still answers identically
+        let plain = Ensemble::paper_setup(5);
+        let c = plain.survey(&ctxs, &prompt, &params);
+        assert_eq!(a.voted, c.voted);
+        assert_eq!(a.per_model, c.per_model);
     }
 
     #[test]

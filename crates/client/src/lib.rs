@@ -63,7 +63,9 @@ pub use breaker::{
     BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransport, CircuitBreaker,
 };
 pub use cost::{CostMeter, ModelUsage};
-pub use ensemble::{Ensemble, EnsembleOutcome, ModelAnswers, ResilienceConfig};
+pub use ensemble::{
+    Ensemble, EnsembleOutcome, ModelAnswers, ResilienceConfig, VOTE_RECORD_KIND,
+};
 pub use executor::{BatchExecutor, ExecutorConfig};
 pub use nbhd_exec::Parallelism;
 pub use health::{HealthReport, ModelHealth};

@@ -1,0 +1,336 @@
+//! Crash-safe end-to-end runs: a [`RunPlan`] bound to a journal via its
+//! config hash, driven through every checkpointed layer of the workspace.
+//!
+//! [`run_checkpointed`] executes the full study — capture+annotate,
+//! detector training, the LLM ensemble vote, and the bootstrap CI — with
+//! every completed unit journaled through one [`CheckpointStore`]. Kill
+//! the process anywhere (see `tests/crash_resume.rs`, which kills it at
+//! *every record boundary*, including mid-record torn writes) and rerun
+//! with the same plan and store: the resumed [`RunReport`] is
+//! byte-identical to an uninterrupted run, and no scene is ever billed
+//! twice.
+//!
+//! What makes the replay exact:
+//!
+//! * every stochastic unit draws from a seed keyed by its identity, never
+//!   from a shared RNG, so redone and replayed units interleave freely;
+//! * `f32`/`f64` payloads roundtrip through JSON bit-exactly (shortest
+//!   decimal representation), so replayed weights and means are the same
+//!   bytes the original process computed;
+//! * fees are restored by repeated addition in the same fold order the
+//!   uninterrupted run used, so totals match to the last bit.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nbhd_annotate::SplitRatios;
+use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
+use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
+use nbhd_eval::bootstrap_mean_checkpointed;
+use nbhd_exec::Parallelism;
+use nbhd_journal::{CheckpointStore, RunManifest};
+use nbhd_prompt::{Language, Prompt, PromptMode};
+use nbhd_types::{Error, ImageId, Indicator, Result};
+use nbhd_vlm::SamplerParams;
+
+use crate::{paper_lineup, SurveyConfig, SurveyDataset, SurveyPipeline};
+
+use serde::{Deserialize, Serialize};
+
+/// Journal record kind for completed pipeline stages (whole-stage outputs,
+/// e.g. the trained detector's weights).
+pub const STAGE_RECORD_KIND: &str = "stage";
+
+/// Stage key under which the trained detector's weights are journaled.
+pub const DETECTOR_STAGE_KEY: &str = "detector";
+
+/// Everything that determines a checkpointed run's output. The journal
+/// manifest hashes this plan, so resuming under a *different* plan is
+/// refused instead of silently replaying records from another experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Survey (data-collection) configuration.
+    pub survey: SurveyConfig,
+    /// Detector SGD epochs.
+    pub epochs: u32,
+    /// Hard-negative-mining rounds.
+    pub hard_negative_rounds: u32,
+    /// Ensemble size: how many models of the paper lineup to query.
+    pub models: usize,
+    /// Bootstrap resamples for the vote-correctness CI.
+    pub resamples: usize,
+    /// Bootstrap confidence level.
+    pub level: f64,
+}
+
+impl RunPlan {
+    /// A tiny plan for tests and examples: 5 locations at 64 px, 2 SGD
+    /// epochs, 2 models, 8 resamples.
+    pub fn smoke(seed: u64) -> RunPlan {
+        RunPlan {
+            survey: SurveyConfig {
+                seed,
+                locations: 5,
+                image_size: 64,
+                network_scale: 0.5,
+                verification_passes: 1,
+                split: SplitRatios::STUDY,
+                parallelism: Parallelism::auto(),
+            },
+            epochs: 2,
+            hard_negative_rounds: 1,
+            models: 2,
+            resamples: 8,
+            level: 0.9,
+        }
+    }
+
+    /// The journal manifest for this plan: its config hash over canonical
+    /// JSON, with the worker count normalized out — results are
+    /// bit-identical at any parallelism, so a run journaled serially may be
+    /// resumed with 4 workers (and vice versa) without a
+    /// [`nbhd_journal::JournalError::ConfigMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the plan cannot be serialized.
+    pub fn manifest(&self, label: &str) -> Result<RunManifest> {
+        let mut canon = self.clone();
+        canon.survey.parallelism = Parallelism::auto();
+        Ok(RunManifest::for_config(label, &canon)?)
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid survey configs or degenerate
+    /// bootstrap settings.
+    pub fn validate(&self) -> Result<()> {
+        self.survey.validate()?;
+        if self.models == 0 || self.models > paper_lineup().len() {
+            return Err(Error::config(format!(
+                "models {} outside 1..={}",
+                self.models,
+                paper_lineup().len()
+            )));
+        }
+        if self.resamples == 0 {
+            return Err(Error::config("bootstrap needs at least one resample"));
+        }
+        if !(self.level > 0.0 && self.level < 1.0) {
+            return Err(Error::config("confidence level must be in (0, 1)"));
+        }
+        Ok(())
+    }
+}
+
+/// The byte-comparable outcome of a checkpointed run. Two reports from the
+/// same [`RunPlan`] compare equal iff the runs produced identical datasets,
+/// weights, votes, intervals, and fee totals — the torture suite's
+/// definition of "resume happened correctly".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Canonical dataset JSON: one line per image, in dataset image order.
+    pub dataset_json: String,
+    /// The trained detector's weights as canonical JSON.
+    pub detector_json: String,
+    /// Canonical JSON of voted presence bits keyed by image id.
+    pub votes_json: String,
+    /// Mean per-image vote correctness against scene ground truth.
+    pub voted_accuracy: f64,
+    /// Bootstrap point estimate of the vote correctness.
+    pub ci_estimate: f64,
+    /// Bootstrap CI lower bound.
+    pub ci_lo: f64,
+    /// Bootstrap CI upper bound.
+    pub ci_hi: f64,
+    /// Scenes billed across every process of the run.
+    pub billed_images: u64,
+    /// Total imagery fees (USD) across every process of the run.
+    pub fees_usd: f64,
+}
+
+/// Runs the full study under a checkpoint store: survey capture, detector
+/// training, LLM ensemble vote, and bootstrap CI, each journaling its
+/// completed units. Rerunning with the same plan and store resumes from
+/// wherever the previous process died and lands on a byte-identical
+/// [`RunReport`].
+///
+/// # Errors
+///
+/// Propagates plan-validation, pipeline, training, ensemble, and store
+/// failures — including [`nbhd_journal::JournalError::Killed`] (mapped to
+/// [`Error::Service`]) when a torture-test kill schedule fires.
+pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Result<RunReport> {
+    plan.validate()?;
+    let survey =
+        SurveyPipeline::new(plan.survey.clone()).run_with_store(Some(Arc::clone(&store)))?;
+    let dataset_json = canonical_dataset_json(&survey)?;
+
+    // Stage 2: the detector. The finished weights are journaled as one
+    // stage record, so a resumed run skips training entirely; a run that
+    // died *during* training resumes from its per-image harvest records.
+    let detector = match store.load(STAGE_RECORD_KIND, DETECTOR_STAGE_KEY) {
+        Some(value) => {
+            let json = value
+                .as_str()
+                .ok_or_else(|| Error::parse("detector stage record is not a string"))?;
+            Detector::from_json(json)?
+        }
+        None => {
+            let trainer = Trainer::new(
+                TrainConfig {
+                    epochs: plan.epochs,
+                    hard_negative_rounds: plan.hard_negative_rounds,
+                    seed: plan.survey.seed,
+                    parallelism: plan.survey.parallelism,
+                    ..TrainConfig::default()
+                },
+                DetectorConfig {
+                    shrink: 4,
+                    ..DetectorConfig::default()
+                },
+            );
+            let detector =
+                trainer.fit_checkpointed(survey.dataset(), &survey.provider(), store.as_ref())?;
+            store.save(
+                STAGE_RECORD_KIND,
+                DETECTOR_STAGE_KEY,
+                serde_json::Value::String(detector.to_json()?),
+            )?;
+            detector
+        }
+    };
+    let detector_json = detector.to_json()?;
+
+    // Stage 3: the LLM ensemble vote, with each (model, image) query
+    // journaled under an idempotency key.
+    let ids: Vec<ImageId> = survey.images().to_vec();
+    if ids.is_empty() {
+        return Err(Error::config("survey produced no images"));
+    }
+    let contexts = survey.contexts(&ids)?;
+    let ensemble = Ensemble::new(
+        paper_lineup().into_iter().take(plan.models).collect(),
+        plan.survey.seed,
+        FaultProfile::NONE,
+        ExecutorConfig {
+            parallelism: plan.survey.parallelism,
+            ..ExecutorConfig::default()
+        },
+    )
+    .with_checkpoint(Arc::clone(&store));
+    let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+    let outcome = ensemble.try_survey(&contexts, &prompt, &SamplerParams::default())?;
+
+    let mut votes: BTreeMap<String, u8> = BTreeMap::new();
+    for (id, set) in ids.iter().zip(&outcome.voted) {
+        votes.insert(id.to_string(), set.bits());
+    }
+    let votes_json =
+        serde_json::to_string(&votes).map_err(|e| Error::parse(format!("votes: {e}")))?;
+
+    // Stage 4: bootstrap CI over per-image vote correctness, with each
+    // resample's mean journaled under its index.
+    let correctness: Vec<f64> = contexts
+        .iter()
+        .zip(&outcome.voted)
+        .map(|(ctx, voted)| {
+            let agree = Indicator::ALL
+                .iter()
+                .filter(|&&ind| voted.contains(ind) == ctx.presence.contains(ind))
+                .count();
+            agree as f64 / Indicator::ALL.len() as f64
+        })
+        .collect();
+    let voted_accuracy = correctness.iter().sum::<f64>() / correctness.len() as f64;
+    let ci = bootstrap_mean_checkpointed(
+        &correctness,
+        plan.resamples,
+        plan.level,
+        plan.survey.seed,
+        store.as_ref(),
+    )?;
+
+    let usage = survey.imagery_usage();
+    Ok(RunReport {
+        dataset_json,
+        detector_json,
+        votes_json,
+        voted_accuracy,
+        ci_estimate: ci.estimate,
+        ci_lo: ci.lo,
+        ci_hi: ci.hi,
+        billed_images: usage.billed_images,
+        fees_usd: usage.fees_usd,
+    })
+}
+
+/// The dataset in canonical form: one labels line per image, in the
+/// dataset's image order.
+fn canonical_dataset_json(survey: &SurveyDataset) -> Result<String> {
+    let mut lines = Vec::with_capacity(survey.images().len());
+    for &id in survey.images() {
+        lines.push(
+            serde_json::to_string(survey.dataset().labels(id)?)
+                .map_err(|e| Error::parse(format!("labels {id}: {e}")))?,
+        );
+    }
+    Ok(lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_journal::MemoryStore;
+
+    #[test]
+    fn checkpointed_run_is_deterministic_and_resumable() {
+        let plan = RunPlan::smoke(41);
+        let a = run_checkpointed(&plan, Arc::new(MemoryStore::new())).unwrap();
+        let b = run_checkpointed(&plan, Arc::new(MemoryStore::new())).unwrap();
+        assert_eq!(a, b, "two fresh runs of the same plan must agree");
+
+        // a completed store replays everything: same report again
+        let store = Arc::new(MemoryStore::new());
+        let first = run_checkpointed(&plan, store.clone()).unwrap();
+        assert_eq!(first, a);
+        let resumed = run_checkpointed(&plan, store).unwrap();
+        assert_eq!(resumed, a);
+        assert!(a.billed_images > 0);
+        assert!(a.fees_usd > 0.0);
+        assert!(a.ci_lo <= a.ci_estimate && a.ci_estimate <= a.ci_hi);
+    }
+
+    #[test]
+    fn manifests_ignore_parallelism_but_not_the_rest() {
+        let plan = RunPlan::smoke(41);
+        let mut reworked = plan.clone();
+        reworked.survey.parallelism = Parallelism::fixed(4);
+        assert_eq!(
+            plan.manifest("run").unwrap().config_hash,
+            reworked.manifest("run").unwrap().config_hash,
+            "worker count is not part of the run identity"
+        );
+        let mut different = plan.clone();
+        different.survey.seed = 42;
+        assert_ne!(
+            plan.manifest("run").unwrap().config_hash,
+            different.manifest("run").unwrap().config_hash
+        );
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut plan = RunPlan::smoke(1);
+        plan.models = 0;
+        assert!(plan.validate().is_err());
+        let mut plan = RunPlan::smoke(1);
+        plan.resamples = 0;
+        assert!(plan.validate().is_err());
+        let mut plan = RunPlan::smoke(1);
+        plan.level = 1.0;
+        assert!(plan.validate().is_err());
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod baseline;
+mod checkpoint;
 mod config;
 mod experiments;
 mod llm_survey;
@@ -40,19 +41,24 @@ pub use baseline::{
     evaluate_on, evaluate_with_noise, survey_split, train_baseline, AugmentationPolicy,
     AugmentedProvider, BaselineOutcome,
 };
+pub use checkpoint::{run_checkpointed, RunPlan, RunReport, DETECTOR_STAGE_KEY, STAGE_RECORD_KIND};
 pub use config::SurveyConfig;
 pub use experiments::{ExperimentReport, PaperExperiments};
 pub use llm_survey::{paper_lineup, run_llm_survey, LlmSurveyConfig, LlmSurveyOutcome};
 pub use panorama::{run_panorama_survey, FusionRule, PanoramaOutcome};
-pub use pipeline::{SurveyDataset, SurveyImageProvider, SurveyPipeline};
+pub use pipeline::{
+    SurveyDataset, SurveyImageProvider, SurveyPipeline, CAPTURE_RECORD_KIND, PANIC_RECORD_KIND,
+};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
-        paper_lineup, run_llm_survey, train_baseline, AugmentationPolicy, LlmSurveyConfig,
-        PaperExperiments, SurveyConfig, SurveyDataset, SurveyPipeline,
+        paper_lineup, run_checkpointed, run_llm_survey, train_baseline, AugmentationPolicy,
+        LlmSurveyConfig, PaperExperiments, RunPlan, RunReport, SurveyConfig, SurveyDataset,
+        SurveyPipeline,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
+    pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
     pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
@@ -72,6 +78,7 @@ pub use nbhd_eval as eval;
 pub use nbhd_exec as exec;
 pub use nbhd_geo as geo;
 pub use nbhd_gsv as gsv;
+pub use nbhd_journal as journal;
 pub use nbhd_prompt as prompt;
 pub use nbhd_raster as raster;
 pub use nbhd_scene as scene;

@@ -11,13 +11,22 @@ use nbhd_annotate::{HumanLabeler, LabeledDataset};
 use nbhd_exec::ScopedPool;
 use nbhd_geo::{County, SurveySample};
 use nbhd_gsv::{ImageRequest, StreetViewService, UsageMeter};
+use nbhd_journal::CheckpointStore;
 use nbhd_raster::RasterImage;
 use nbhd_scene::SceneSpec;
 use nbhd_types::rng::child_seed;
-use nbhd_types::{Heading, ImageId, ImageLabels, LocationId, Result};
+use nbhd_types::{Error, Heading, ImageId, ImageLabels, LocationId, Result};
 use nbhd_vlm::ImageContext;
 
 use crate::SurveyConfig;
+
+/// Journal record kind for completed `(location, heading)` captures: the
+/// payload is the verified human annotation for that image.
+pub const CAPTURE_RECORD_KIND: &str = "capture";
+
+/// Journal record kind for worker panics (forensic only — a panic record
+/// is never replayed; the poisoned item is simply retried on resume).
+pub const PANIC_RECORD_KIND: &str = "panic";
 
 /// Builds a [`SurveyDataset`] from a [`SurveyConfig`].
 #[derive(Debug, Clone)]
@@ -38,6 +47,26 @@ impl SurveyPipeline {
     /// Returns configuration errors, geography-sampling failures, or
     /// imagery-service failures.
     pub fn run(&self) -> Result<SurveyDataset> {
+        self.run_with_store(None)
+    }
+
+    /// [`SurveyPipeline::run`] with crash-safe checkpointing: each
+    /// completed `(location, heading)` capture is journaled (annotation as
+    /// the payload, scene fee journaled first by the billing-wrapped
+    /// service), so a resumed run replays completed units instead of
+    /// re-capturing — and never bills a scene twice. A worker panic is
+    /// journaled forensically and surfaced as a clean error naming the
+    /// poisoned input index, instead of unwinding through the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors, geography-sampling failures,
+    /// imagery-service failures, store failures, or [`Error::Service`]
+    /// when a capture worker panics.
+    pub fn run_with_store(
+        &self,
+        store: Option<Arc<dyn CheckpointStore>>,
+    ) -> Result<SurveyDataset> {
         self.config.validate()?;
         let counties = County::study_pair();
         let sample = SurveySample::draw(
@@ -46,10 +75,12 @@ impl SurveyPipeline {
             self.config.network_scale,
             self.config.seed,
         )?;
-        let service = Arc::new(StreetViewService::new(
-            self.config.seed,
-            sample.points().to_vec(),
-        ));
+        let mut service =
+            StreetViewService::new(self.config.seed, sample.points().to_vec());
+        if let Some(store) = &store {
+            service = service.with_billing_store(Arc::clone(store))?;
+        }
+        let service = Arc::new(service);
         let labeler = HumanLabeler::new(
             self.config.labeler_profile(),
             child_seed(self.config.seed, "labeler"),
@@ -66,18 +97,48 @@ impl SurveyPipeline {
             .flat_map(|location| Heading::ALL.iter().map(move |&heading| (location, heading)))
             .collect();
         let pool = ScopedPool::new(self.config.parallelism);
-        let annotations: Vec<ImageLabels> = pool
-            .map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
-                let id = ImageId::new(location, heading);
-                let request = ImageRequest::builder(location, heading)
-                    .size(self.config.image_size)
-                    .build()?;
-                let capture = service.capture(&request)?;
-                let truth = ImageLabels::with_objects(id, capture.objects);
-                Ok(labeler.annotate(&truth, self.config.image_size))
-            })
-            .into_iter()
-            .collect::<Result<_>>()?;
+        let mapped = pool.try_map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
+            let id = ImageId::new(location, heading);
+            if let Some(store) = &store {
+                // replay: the annotation was journaled after its scene fee,
+                // so a journaled capture implies a journaled (restored,
+                // prepaid) fee — the unit is skipped whole
+                if let Some(value) = store.load(CAPTURE_RECORD_KIND, &id.to_string()) {
+                    return serde_json::from_value(value)
+                        .map_err(|e| Error::parse(format!("capture record {id}: {e}")));
+                }
+            }
+            let request = ImageRequest::builder(location, heading)
+                .size(self.config.image_size)
+                .build()?;
+            let capture = service.capture(&request)?;
+            let truth = ImageLabels::with_objects(id, capture.objects);
+            let labels = labeler.annotate(&truth, self.config.image_size);
+            if let Some(store) = &store {
+                store.save(
+                    CAPTURE_RECORD_KIND,
+                    &id.to_string(),
+                    serde_json::to_value(&labels)
+                        .map_err(|e| Error::parse(format!("capture record {id}: {e}")))?,
+                )?;
+            }
+            Ok(labels)
+        });
+        let annotations: Vec<ImageLabels> = match mapped {
+            Ok(items) => items.into_iter().collect::<Result<_>>()?,
+            Err(panicked) => {
+                if let Some(store) = &store {
+                    // forensic only — best-effort, since the journal itself
+                    // may be the thing that is dying
+                    let _ = store.save(
+                        PANIC_RECORD_KIND,
+                        &panicked.index.to_string(),
+                        serde_json::json!({ "message": panicked.message }),
+                    );
+                }
+                return Err(Error::service(format!("survey capture {panicked}")));
+            }
+        };
         let dataset = LabeledDataset::build(
             annotations,
             self.config.image_size,

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use nbhd_annotate::LabeledDataset;
+use nbhd_journal::CheckpointStore;
 use nbhd_raster::RasterImage;
 use nbhd_types::rng::{child_seed, child_seed_n, rng_from};
 use nbhd_types::{BBox, Error, ImageId, Indicator, IndicatorMap, Result};
@@ -17,6 +18,9 @@ use rand::Rng;
 use nbhd_exec::{par_map_with, Parallelism};
 
 use crate::{Detector, DetectorConfig, IntegralChannels};
+
+/// Journal record kind for per-image harvest chunks.
+pub const HARVEST_RECORD_KIND: &str = "harvest";
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +114,35 @@ impl Trainer {
     /// Propagates provider failures; returns [`Error::Config`] when the
     /// train split is empty.
     pub fn fit<P: ImageProvider + Sync>(&self, dataset: &LabeledDataset, provider: &P) -> Result<Detector> {
+        self.fit_with(dataset, provider, None)
+    }
+
+    /// [`Trainer::fit`] with harvest checkpointing: each image's harvested
+    /// window examples are journaled as one chunk, so a crashed training
+    /// run resumes without redoing completed harvests. Images still fetch
+    /// pixels and rebuild integral channels on replay (compute is cheap to
+    /// redo and not worth journaling); only the RNG-consuming example
+    /// harvest is replayed from the journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider and store failures; returns [`Error::Config`]
+    /// when the train split is empty.
+    pub fn fit_checkpointed<P: ImageProvider + Sync>(
+        &self,
+        dataset: &LabeledDataset,
+        provider: &P,
+        store: &dyn CheckpointStore,
+    ) -> Result<Detector> {
+        self.fit_with(dataset, provider, Some(store))
+    }
+
+    fn fit_with<P: ImageProvider + Sync>(
+        &self,
+        dataset: &LabeledDataset,
+        provider: &P,
+        store: Option<&dyn CheckpointStore>,
+    ) -> Result<Detector> {
         let train_ids = &dataset.split().train;
         if train_ids.is_empty() {
             return Err(Error::config("training split is empty"));
@@ -130,6 +163,14 @@ impl Trainer {
             let img = provider.image(id)?;
             let size = img.width();
             let integral = detector.integral(&img);
+            if let Some(store) = store {
+                if let Some(value) = store.load(HARVEST_RECORD_KIND, &id.key().to_string()) {
+                    let examples: Vec<(Indicator, usize, Vec<f32>, f32)> =
+                        serde_json::from_value(value)
+                            .map_err(|e| Error::parse(format!("harvest record {id}: {e}")))?;
+                    return Ok((id, integral, examples));
+                }
+            }
             let labels = dataset.labels(id)?;
             let mut rng = rng_from(child_seed_n(self.train.seed, "harvest", id.key()));
             let mut examples: Vec<(Indicator, usize, Vec<f32>, f32)> = Vec::new();
@@ -183,6 +224,16 @@ impl Trainer {
                         }
                     }
                 }
+            }
+            if let Some(store) = store {
+                // save-before-act: the harvest chunk is durable before any
+                // of its examples reach a training pool
+                store.save(
+                    HARVEST_RECORD_KIND,
+                    &id.key().to_string(),
+                    serde_json::to_value(&examples)
+                        .map_err(|e| Error::parse(format!("harvest record {id}: {e}")))?,
+                )?;
             }
             Ok((id, integral, examples))
         });
@@ -458,6 +509,32 @@ mod tests {
         .unwrap();
         assert!(trainer.fit(&empty, &p).is_err());
         drop(ds);
+    }
+
+    #[test]
+    fn checkpointed_fit_matches_plain_fit_and_replays() {
+        use nbhd_journal::MemoryStore;
+        let (ds, images) = small_dataset(20, 96);
+        let trainer = Trainer::new(
+            TrainConfig {
+                epochs: 3,
+                hard_negative_rounds: 1,
+                ..TrainConfig::default()
+            },
+            DetectorConfig::default(),
+        );
+        let p = provider(images);
+        let plain = trainer.fit(&ds, &p).unwrap();
+
+        let store = MemoryStore::new();
+        let first = trainer.fit_checkpointed(&ds, &p, &store).unwrap();
+        assert_eq!(plain, first, "journaling must not change the weights");
+        assert_eq!(store.load_kind(HARVEST_RECORD_KIND).len(), ds.split().train.len());
+
+        // a "restarted" training run replays every harvest chunk and still
+        // lands on identical weights
+        let resumed = trainer.fit_checkpointed(&ds, &p, &store).unwrap();
+        assert_eq!(plain, resumed);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! interval is identical at any worker count (and identical to a
 //! sequential loop over the same per-resample seeds).
 
+use nbhd_journal::CheckpointStore;
 use nbhd_types::rng::{child_seed, rng_from};
 use rand::Rng;
+
+/// Journal record kind for completed bootstrap resamples.
+pub const RESAMPLE_RECORD_KIND: &str = "resample";
 
 /// A two-sided bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,18 +45,83 @@ pub fn bootstrap_mean(values: &[f64], resamples: usize, level: f64, seed: u64) -
     assert!(!values.is_empty(), "bootstrap requires observations");
     assert!(resamples > 0, "bootstrap requires at least one resample");
     assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
-    let n = values.len();
-    let estimate = values.iter().sum::<f64>() / n as f64;
     let root = child_seed(seed, "bootstrap");
     let order: Vec<u64> = (0..resamples as u64).collect();
-    let mut means = nbhd_exec::par_map(&order, |&resample| {
-        let mut rng = rng_from(nbhd_exec::child_seed(root, resample));
-        let mut sum = 0.0;
-        for _ in 0..n {
-            sum += values[rng.random_range(0..n)];
+    let means = nbhd_exec::par_map(&order, |&resample| resample_mean(values, root, resample));
+    assemble_interval(values, means, resamples, level)
+}
+
+/// [`bootstrap_mean`] with per-resample checkpointing: each resample's mean
+/// is journaled under its index, so a resumed run replays completed
+/// resamples instead of redrawing them. The interval is identical to an
+/// uninterrupted [`bootstrap_mean`] — replayed means roundtrip through JSON
+/// bit-exactly, and each resample's RNG depends only on `(seed, index)`.
+///
+/// # Errors
+///
+/// Returns an error when the store fails to persist a resample or holds a
+/// malformed resample record.
+///
+/// # Panics
+///
+/// Same input contract as [`bootstrap_mean`].
+pub fn bootstrap_mean_checkpointed(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    store: &dyn CheckpointStore,
+) -> nbhd_types::Result<ConfidenceInterval> {
+    assert!(!values.is_empty(), "bootstrap requires observations");
+    assert!(resamples > 0, "bootstrap requires at least one resample");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    let root = child_seed(seed, "bootstrap");
+    let order: Vec<u64> = (0..resamples as u64).collect();
+    let drawn = nbhd_exec::par_map(&order, |&resample| {
+        match store.load(RESAMPLE_RECORD_KIND, &resample.to_string()) {
+            Some(value) => match value.as_f64() {
+                Some(mean) => Ok((resample, mean, true)),
+                None => Err(nbhd_types::Error::parse(format!(
+                    "resample record {resample}: not a number"
+                ))),
+            },
+            None => Ok((resample, resample_mean(values, root, resample), false)),
         }
-        sum / n as f64
     });
+    let mut means = Vec::with_capacity(resamples);
+    for item in drawn {
+        let (resample, mean, replayed) = item?;
+        if !replayed {
+            store.save(
+                RESAMPLE_RECORD_KIND,
+                &resample.to_string(),
+                serde_json::Value::from(mean),
+            )?;
+        }
+        means.push(mean);
+    }
+    Ok(assemble_interval(values, means, resamples, level))
+}
+
+/// One bootstrap resample's mean, drawn from its own `(root, index)` seed.
+fn resample_mean(values: &[f64], root: u64, resample: u64) -> f64 {
+    let n = values.len();
+    let mut rng = rng_from(nbhd_exec::child_seed(root, resample));
+    let mut sum = 0.0;
+    for _ in 0..n {
+        sum += values[rng.random_range(0..n)];
+    }
+    sum / n as f64
+}
+
+/// Sorts the resample means into the percentile interval.
+fn assemble_interval(
+    values: &[f64],
+    mut means: Vec<f64>,
+    resamples: usize,
+    level: f64,
+) -> ConfidenceInterval {
+    let estimate = values.iter().sum::<f64>() / values.len() as f64;
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
@@ -104,5 +173,31 @@ mod tests {
     #[should_panic(expected = "observations")]
     fn empty_input_panics() {
         let _ = bootstrap_mean(&[], 10, 0.95, 1);
+    }
+
+    #[test]
+    fn checkpointed_interval_is_identical_and_replays() {
+        use nbhd_journal::MemoryStore;
+        let vals: Vec<f64> = (0..80).map(|i| ((i * 13) % 7) as f64 / 7.0).collect();
+        let plain = bootstrap_mean(&vals, 120, 0.95, 17);
+
+        let store = MemoryStore::new();
+        let first = bootstrap_mean_checkpointed(&vals, 120, 0.95, 17, &store).unwrap();
+        assert_eq!(plain, first, "journaling must not change the interval");
+        assert_eq!(store.load_kind(RESAMPLE_RECORD_KIND).len(), 120);
+
+        // a "restarted" run replays every resample — and a half-journaled
+        // store (simulating a crash mid-bootstrap) completes to the same
+        // interval
+        let resumed = bootstrap_mean_checkpointed(&vals, 120, 0.95, 17, &store).unwrap();
+        assert_eq!(plain, resumed);
+
+        let partial = MemoryStore::new();
+        for (key, value) in store.load_kind(RESAMPLE_RECORD_KIND).into_iter().take(50) {
+            partial.save(RESAMPLE_RECORD_KIND, &key, value).unwrap();
+        }
+        let completed = bootstrap_mean_checkpointed(&vals, 120, 0.95, 17, &partial).unwrap();
+        assert_eq!(plain, completed);
+        assert_eq!(partial.load_kind(RESAMPLE_RECORD_KIND).len(), 120);
     }
 }

@@ -31,7 +31,9 @@ mod metrics;
 mod report;
 mod vote;
 
-pub use bootstrap::{bootstrap_mean, ConfidenceInterval};
+pub use bootstrap::{
+    bootstrap_mean, bootstrap_mean_checkpointed, ConfidenceInterval, RESAMPLE_RECORD_KIND,
+};
 pub use chart::{bar_chart, line_chart};
 pub use confusion::BinaryConfusion;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};

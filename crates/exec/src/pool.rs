@@ -9,10 +9,58 @@
 //! ever crosses a channel, so collection cannot bottleneck on a single
 //! drain thread, and output order is input order by construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::{stats, Parallelism};
+
+/// One worker closure panicked. The pool isolates the panic with
+/// `catch_unwind`, stops claiming new chunks, joins every worker cleanly,
+/// and surfaces the *input index* of the poisoned item — instead of the
+/// old behavior, where the unwinding worker tore down the whole
+/// `thread::scope` with a contextless "worker panicked" abort.
+///
+/// When several items panic concurrently, the lowest observed input index
+/// is reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Runs one item under `catch_unwind`, mapping a panic to [`TaskPanicked`].
+fn run_item<T, R, F>(f: &F, index: usize, item: &T) -> Result<R, TaskPanicked>
+where
+    F: Fn(usize, &T) -> R + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(|payload| TaskPanicked {
+        index,
+        message: panic_message(payload.as_ref()),
+    })
+}
 
 /// Inputs smaller than this run sequentially: thread spawn costs more
 /// than the work saved.
@@ -82,7 +130,37 @@ where
 /// Exposed (rather than private) so the determinism suite can drive it
 /// with arbitrary chunk sizes and worker counts; production callers use
 /// the `par_map*` wrappers, which pick a chunk size.
+///
+/// # Panics
+///
+/// Re-panics with the poisoned item's input index when a closure panics;
+/// use [`try_par_map_chunked`] to handle that case as an error instead.
 pub fn par_map_chunked<T, R, F>(workers: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_par_map_chunked(workers, chunk, items, f) {
+        Ok(out) => out,
+        Err(panicked) => panic!("exec {panicked}"),
+    }
+}
+
+/// Fallible twin of [`par_map_chunked`]: one panicking closure aborts the
+/// map cleanly with [`TaskPanicked`] naming the input index, instead of
+/// unwinding through the pool. Workers stop claiming chunks as soon as a
+/// panic is observed; already-claimed chunks finish normally.
+///
+/// # Errors
+///
+/// Returns [`TaskPanicked`] when any closure invocation panics.
+pub fn try_par_map_chunked<T, R, F>(
+    workers: usize,
+    chunk: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, TaskPanicked>
 where
     T: Sync,
     R: Send,
@@ -94,22 +172,33 @@ where
     let workers = workers.max(1).min(n_chunks.max(1));
     if workers <= 1 || n == 0 {
         stats::record_serial(n);
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            out.push(run_item(&f, i, item)?);
+        }
+        return Ok(out);
     }
 
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
     let mut pieces: Vec<(usize, Vec<R>)> = Vec::with_capacity(n_chunks);
     let mut steals = 0u64;
+    let mut first_panic: Option<TaskPanicked> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 let cursor = &cursor;
+                let poisoned = &poisoned;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     let mut stolen = 0u64;
+                    let mut panicked: Option<TaskPanicked> = None;
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
@@ -120,28 +209,107 @@ where
                         let start = c * chunk;
                         let end = (start + chunk).min(n);
                         let mut out = Vec::with_capacity(end - start);
+                        let mut failed = false;
                         for (offset, item) in items[start..end].iter().enumerate() {
-                            out.push(f(start + offset, item));
+                            match run_item(f, start + offset, item) {
+                                Ok(r) => out.push(r),
+                                Err(p) => {
+                                    panicked = Some(p);
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if failed {
+                            break;
                         }
                         local.push((start, out));
                     }
-                    (local, stolen)
+                    (local, stolen, panicked)
                 })
             })
             .collect();
         for handle in handles {
-            let (local, stolen) = handle.join().expect("exec worker panicked");
+            let (local, stolen, panicked) = handle
+                .join()
+                .expect("exec worker died outside catch_unwind");
             steals += stolen;
             pieces.extend(local);
+            if let Some(p) = panicked {
+                if first_panic.as_ref().is_none_or(|e| p.index < e.index) {
+                    first_panic = Some(p);
+                }
+            }
         }
     });
+    if let Some(panicked) = first_panic {
+        return Err(panicked);
+    }
     pieces.sort_unstable_by_key(|&(start, _)| start);
     let mut out = Vec::with_capacity(n);
     for (_, mut piece) in pieces {
         out.append(&mut piece);
     }
     stats::record_parallel(n as u64, n_chunks as u64, steals, started.elapsed());
-    out
+    Ok(out)
+}
+
+/// Fallible [`par_map`]: surfaces worker panics as [`TaskPanicked`].
+///
+/// # Errors
+///
+/// Returns [`TaskPanicked`] when any closure invocation panics.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map_with(Parallelism::auto(), items, f)
+}
+
+/// Fallible [`par_map_with`]: surfaces worker panics as [`TaskPanicked`].
+///
+/// # Errors
+///
+/// Returns [`TaskPanicked`] when any closure invocation panics.
+pub fn try_par_map_with<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map_indexed_with(parallelism, items, |_, item| f(item))
+}
+
+/// Fallible [`par_map_indexed_with`]: surfaces worker panics as
+/// [`TaskPanicked`].
+///
+/// # Errors
+///
+/// Returns [`TaskPanicked`] when any closure invocation panics.
+pub fn try_par_map_indexed_with<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = parallelism.workers_for(n);
+    if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        return try_par_map_chunked(1, n.max(1), items, f);
+    }
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    try_par_map_chunked(workers, chunk, items, f)
 }
 
 /// A reusable handle over the substrate: holds a [`Parallelism`] setting
@@ -189,6 +357,35 @@ impl ScopedPool {
         F: Fn(usize, &T) -> R + Sync,
     {
         par_map_indexed_with(self.parallelism, items, f)
+    }
+
+    /// Fallible ordered map (see [`try_par_map_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanicked`] when any closure invocation panics.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskPanicked>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        try_par_map_with(self.parallelism, items, f)
+    }
+
+    /// Fallible ordered map with input indices (see
+    /// [`try_par_map_indexed_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanicked`] when any closure invocation panics.
+    pub fn try_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskPanicked>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        try_par_map_indexed_with(self.parallelism, items, f)
     }
 }
 
@@ -251,6 +448,74 @@ mod tests {
         let b = pool.map_indexed(&[1u8, 2, 3, 4, 5, 6], |i, &x| i as u16 + x as u16);
         assert_eq!(a, vec![10, 20, 30, 40, 50, 60]);
         assert_eq!(b, vec![1, 3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn panic_surfaces_as_task_panicked_with_input_index() {
+        let items: Vec<u32> = (0..100).collect();
+        for parallelism in [Parallelism::serial(), Parallelism::fixed(4)] {
+            let err = try_par_map_with(parallelism, &items, |&x| {
+                assert!(x != 63, "item 63 is poisoned");
+                x * 2
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 63, "{parallelism:?}");
+            assert!(err.message.contains("poisoned"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn lowest_index_wins_when_several_items_panic() {
+        let items: Vec<u32> = (0..256).collect();
+        let err = try_par_map_with(Parallelism::fixed(4), &items, |&x| {
+            assert!(x % 2 == 0, "odd item");
+            x
+        })
+        .unwrap_err();
+        // item 1 panics inside the first chunk, so no racing worker can
+        // observe a lower poisoned index
+        assert_eq!(err.index, 1);
+    }
+
+    #[test]
+    fn poisoned_pool_still_returns_everything_on_retry() {
+        // a panic must not wedge any shared state: the same inputs map
+        // cleanly right after a poisoned run
+        let items: Vec<u32> = (0..64).collect();
+        let pool = ScopedPool::new(Parallelism::fixed(3));
+        assert!(pool.try_map(&items, |&x| assert!(x != 10)).is_err());
+        let out = pool.try_map(&items, |&x| x + 1).unwrap();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn par_map_repanics_with_task_context() {
+        let items: Vec<u32> = (0..40).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_with(Parallelism::fixed(4), &items, |&x| {
+                assert!(x != 5, "boom at five");
+                x
+            })
+        })
+        .unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("task 5"), "got: {message}");
+        assert!(message.contains("boom at five"), "got: {message}");
+    }
+
+    #[test]
+    fn try_map_matches_map_on_clean_inputs() {
+        let items: Vec<u64> = (0..257).collect();
+        let ok = try_par_map(&items, |&x| x.wrapping_mul(7)).unwrap();
+        let plain = par_map(&items, |&x| x.wrapping_mul(7));
+        assert_eq!(ok, plain);
+        let pool = ScopedPool::new(Parallelism::fixed(2));
+        let indexed = pool.try_map_indexed(&items, |i, &x| i as u64 + x).unwrap();
+        assert_eq!(indexed[200], 400);
     }
 
     #[test]

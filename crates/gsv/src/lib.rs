@@ -33,5 +33,7 @@ mod usage;
 pub const DEFAULT_IMAGE_SIZE: u32 = 640;
 
 pub use request::{ImageRequest, ImageRequestBuilder};
-pub use service::{Capture, CoverageStatus, ImageResponse, StreetViewService, FEE_PER_IMAGE_USD};
+pub use service::{
+    Capture, CoverageStatus, ImageResponse, StreetViewService, FEE_PER_IMAGE_USD, FEE_RECORD_KIND,
+};
 pub use usage::UsageMeter;

@@ -1,18 +1,33 @@
 //! The simulated street-view imagery service.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
+use nbhd_journal::CheckpointStore;
 use nbhd_raster::RasterImage;
 use nbhd_scene::{render, SceneGenerator, SceneSpec};
 use nbhd_types::rng::{child_seed_n, splitmix64};
 use nbhd_types::{Error, Heading, ImageId, LocationId, ObjectLabel, Result};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::{ImageRequest, UsageMeter};
 
 /// Per-image fee in USD, matching the real static street-view pricing tier
 /// (about $7 per 1,000 requests).
 pub const FEE_PER_IMAGE_USD: f64 = 0.007;
+
+/// Journal record kind for billed scene fees.
+pub const FEE_RECORD_KIND: &str = "gsv-fee";
+
+/// Journal payload for one billed scene: enough to rebuild the billing key
+/// `(ImageId, size)` on resume.
+#[derive(Debug, Serialize, Deserialize)]
+struct FeeRecord {
+    location: u64,
+    heading: u8,
+    size: u32,
+}
 
 /// Response status codes, after the real API's metadata statuses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +96,8 @@ pub struct StreetViewService {
     seed: u64,
     quota: Option<u64>,
     coverage_gap_rate: f64,
+    billing: Option<Arc<dyn CheckpointStore>>,
+    prepaid: HashSet<(ImageId, u32)>,
     state: Mutex<ServiceState>,
 }
 
@@ -103,8 +120,43 @@ impl StreetViewService {
             seed,
             quota: None,
             coverage_gap_rate: 0.01,
+            billing: None,
+            prepaid: HashSet::new(),
             state: Mutex::new(ServiceState::default()),
         }
+    }
+
+    /// Attaches a billing journal, making fees idempotent across process
+    /// restarts.
+    ///
+    /// Every scene fee already recorded in `store` is restored into the
+    /// usage meter (so reported totals span the whole run, not just this
+    /// process) and marked *prepaid*: re-rendering a prepaid scene after a
+    /// crash costs compute but never a second fee. New fees are journaled
+    /// **before** the meter is charged — save-before-act — so a crash
+    /// between the two leaves the journal authoritative, not the meter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a restored fee record is malformed.
+    pub fn with_billing_store(mut self, store: Arc<dyn CheckpointStore>) -> Result<Self> {
+        let mut usage = UsageMeter::default();
+        for (key, payload) in store.load_kind(FEE_RECORD_KIND) {
+            let fee: FeeRecord = serde_json::from_value(payload)
+                .map_err(|e| Error::parse(format!("fee record {key}: {e}")))?;
+            let heading = *Heading::ALL
+                .get(fee.heading as usize)
+                .ok_or_else(|| Error::parse(format!("fee record {key}: bad heading")))?;
+            let id = ImageId::new(LocationId(fee.location), heading);
+            self.prepaid.insert((id, fee.size));
+            usage.billed_images += 1;
+            // restore by repeated addition, matching the fold order of the
+            // uninterrupted run, so resumed fee totals are byte-identical
+            usage.fees_usd += FEE_PER_IMAGE_USD;
+        }
+        self.state.lock().usage = usage;
+        self.billing = Some(store);
+        Ok(self)
     }
 
     /// Sets a hard request quota (requests beyond it fail).
@@ -211,8 +263,30 @@ impl StreetViewService {
             state.usage.cache_hits += 1;
             return Ok(existing);
         }
-        state.usage.billed_images += 1;
-        state.usage.fees_usd += FEE_PER_IMAGE_USD;
+        if self.prepaid.contains(&key) {
+            // this scene's fee was journaled by a previous process; the
+            // render is redone (compute is free to redo) but the fee is not
+            state.usage.cache_hits += 1;
+        } else {
+            if let Some(billing) = &self.billing {
+                // save-before-act: the fee record is durable before the
+                // meter is charged, so a crash here never loses a fee and
+                // a resumed run never double-bills
+                let fee = FeeRecord {
+                    location: key.0.location.0,
+                    heading: key.0.heading.index() as u8,
+                    size: key.1,
+                };
+                billing.save(
+                    FEE_RECORD_KIND,
+                    &format!("{}/{}", key.0, key.1),
+                    serde_json::to_value(&fee)
+                        .map_err(|e| Error::parse(format!("fee record: {e}")))?,
+                )?;
+            }
+            state.usage.billed_images += 1;
+            state.usage.fees_usd += FEE_PER_IMAGE_USD;
+        }
         if state.cache_order.len() >= CACHE_CAP {
             let evict = state.cache_order.remove(0);
             state.cache.remove(&evict);
@@ -402,6 +476,41 @@ mod tests {
         assert_eq!(usage.requests, 16);
         assert_eq!(usage.billed_images, 4, "each (location, heading) billed once");
         assert_eq!(usage.cache_hits, 12);
+        assert!((usage.fees_usd - 4.0 * FEE_PER_IMAGE_USD).abs() < 1e-12);
+    }
+
+    #[test]
+    fn billing_is_idempotent_across_restarts() {
+        use nbhd_journal::MemoryStore;
+        let store = Arc::new(MemoryStore::new());
+
+        // first "process": bill three scenes, then die
+        let (svc, _) = service(5, 9);
+        let svc = svc.with_billing_store(store.clone()).unwrap();
+        let loc = svc.covered_locations()[0];
+        for &heading in &Heading::ALL[..3] {
+            let req = ImageRequest::builder(loc, heading).size(32).build().unwrap();
+            svc.capture(&req).unwrap();
+        }
+        let first = svc.usage();
+        assert_eq!(first.billed_images, 3);
+        assert_eq!(store.load_kind(FEE_RECORD_KIND).len(), 3);
+        drop(svc);
+
+        // second "process" resumes from the same journal: the three fees
+        // are restored, and re-capturing those scenes bills nothing new
+        let (svc, _) = service(5, 9);
+        let svc = svc.with_billing_store(store.clone()).unwrap();
+        let restored = svc.usage();
+        assert_eq!(restored.billed_images, 3);
+        assert!((restored.fees_usd - first.fees_usd).abs() == 0.0, "byte-identical fees");
+        for &heading in Heading::ALL.iter() {
+            let req = ImageRequest::builder(loc, heading).size(32).build().unwrap();
+            svc.capture(&req).unwrap();
+        }
+        let usage = svc.usage();
+        assert_eq!(usage.billed_images, 4, "only the fourth heading is new");
+        assert_eq!(store.load_kind(FEE_RECORD_KIND).len(), 4);
         assert!((usage.fees_usd - 4.0 * FEE_PER_IMAGE_USD).abs() < 1e-12);
     }
 

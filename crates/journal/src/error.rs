@@ -1,0 +1,121 @@
+//! Journal-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by the journal layer.
+///
+/// Corruption is *not* fatal to a run: [`crate::Journal::open`] recovers by
+/// truncating to the last valid record and reports what it dropped through
+/// [`crate::JournalScan::corruption`]. The error variants exist so strict
+/// consumers (tests, tooling) can distinguish the failure modes cleanly —
+/// no code path in this crate panics on malformed input.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// An I/O failure while reading or writing journal files.
+    Io(std::io::Error),
+    /// A record frame failed validation (torn write, flipped bits, bad
+    /// length, or unparseable payload) at the given byte offset.
+    Corrupt {
+        /// Byte offset of the frame that failed validation.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// The run manifest is missing, truncated, or unparseable.
+    Manifest(String),
+    /// The manifest on disk was written by a different configuration: a
+    /// resume under a changed config must be refused, not silently merged.
+    ConfigMismatch {
+        /// The config hash the resuming process expects.
+        expected: u64,
+        /// The config hash recorded in the on-disk manifest.
+        found: u64,
+    },
+    /// The journal's [`crate::KillSchedule`] fired: the simulated crash
+    /// point was reached and the journal refuses all further appends.
+    Killed,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+            JournalError::Manifest(m) => write!(f, "run manifest error: {m}"),
+            JournalError::ConfigMismatch { expected, found } => write!(
+                f,
+                "run manifest config hash {found:#018x} does not match expected {expected:#018x}; \
+                 refusing to resume under a different configuration"
+            ),
+            JournalError::Killed => write!(f, "journal killed by schedule (simulated crash)"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<JournalError> for nbhd_types::Error {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(io) => nbhd_types::Error::Io(io),
+            JournalError::ConfigMismatch { .. } => nbhd_types::Error::config(e.to_string()),
+            JournalError::Manifest(_) | JournalError::Corrupt { .. } => {
+                nbhd_types::Error::parse(e.to_string())
+            }
+            JournalError::Killed => nbhd_types::Error::service(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = JournalError::Corrupt {
+            offset: 42,
+            detail: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 42"));
+        let e = JournalError::ConfigMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("refusing to resume"));
+    }
+
+    #[test]
+    fn converts_into_workspace_error() {
+        let e: nbhd_types::Error = JournalError::Killed.into();
+        assert!(matches!(e, nbhd_types::Error::Service(_)));
+        let e: nbhd_types::Error = JournalError::ConfigMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .into();
+        assert!(matches!(e, nbhd_types::Error::Config(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JournalError>();
+    }
+}

@@ -1,0 +1,455 @@
+//! The journal itself: durable append, crash recovery, and replay.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::{
+    encode_record, header_bytes, read_manifest, scan_bytes, write_manifest, JournalError,
+    JournalScan, RunManifest, HEADER_LEN,
+};
+
+/// A simulated crash point for torture testing: the journal dies after
+/// `after_records` successful appends, optionally writing the first
+/// `torn_bytes` of the next record (a torn write) before dying. Every
+/// append after the kill point fails with [`JournalError::Killed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSchedule {
+    /// Appends that succeed before the crash.
+    pub after_records: u64,
+    /// Bytes of the next record's frame written before dying (0 = the
+    /// crash lands exactly on a record boundary).
+    pub torn_bytes: usize,
+}
+
+impl KillSchedule {
+    /// Dies cleanly on the record boundary after `n` appends.
+    pub fn at(n: u64) -> KillSchedule {
+        KillSchedule {
+            after_records: n,
+            torn_bytes: 0,
+        }
+    }
+
+    /// Dies after `n` appends, leaving `torn_bytes` of the next record on
+    /// disk — the half-written page a real power cut leaves behind.
+    pub fn torn(n: u64, torn_bytes: usize) -> KillSchedule {
+        KillSchedule {
+            after_records: n,
+            torn_bytes,
+        }
+    }
+}
+
+/// Abstract checkpoint storage for completed units of work.
+///
+/// One trait serves every layer: the survey pipeline records captures, the
+/// imagery service records fees, the ensemble records votes, the trainer
+/// records harvests, the bootstrap records resamples. Implemented by
+/// [`Journal`] (durable) and [`MemoryStore`] (tests).
+///
+/// Save-before-act is the contract that makes resume exact: a unit's
+/// output is journaled *before* any externally visible effect depends on
+/// it, so a crash leaves either no trace (redo) or a full record (replay)
+/// — never a half-effect.
+pub trait CheckpointStore: Send + Sync + std::fmt::Debug {
+    /// The recorded payload for `(kind, key)`, if journaled.
+    fn load(&self, kind: &str, key: &str) -> Option<serde_json::Value>;
+
+    /// All recorded `(key, payload)` pairs of a kind, sorted by key.
+    fn load_kind(&self, kind: &str) -> Vec<(String, serde_json::Value)>;
+
+    /// Durably records a completed unit of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on write failure or
+    /// [`JournalError::Killed`] past a [`KillSchedule`] crash point.
+    fn save(&self, kind: &str, key: &str, payload: serde_json::Value) -> Result<(), JournalError>;
+}
+
+/// An append-only, checksummed write-ahead journal over one run directory.
+///
+/// Appends are flushed per record; recovery on [`Journal::open`] scans the
+/// file, truncates any torn or corrupt tail, and exposes the surviving
+/// records for replay through [`CheckpointStore`]. Replay is *keyed*, not
+/// positional: record order in the file depends on worker scheduling and
+/// is deliberately meaningless.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    recovery: Option<String>,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    replay: HashMap<(String, String), serde_json::Value>,
+    restored: u64,
+    appended: u64,
+    kill: Option<KillSchedule>,
+    dead: bool,
+}
+
+/// Path of the journal file inside a run directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal.nbhd")
+}
+
+/// Scans a journal file from disk without opening it for writing — the
+/// inspection entry point for tests and tooling.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Io`] when the file cannot be read. Corruption is
+/// *not* an error here; it is reported inside the scan.
+pub fn scan_file(path: &Path) -> Result<JournalScan, JournalError> {
+    Ok(scan_bytes(&fs::read(path)?))
+}
+
+impl Journal {
+    /// Creates a fresh run directory: manifest written, empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] on filesystem failure.
+    pub fn create(dir: &Path, manifest: &RunManifest) -> Result<Journal, JournalError> {
+        fs::create_dir_all(dir)?;
+        write_manifest(dir, manifest)?;
+        let mut file = File::create(journal_path(dir))?;
+        file.write_all(&header_bytes())?;
+        file.flush()?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            recovery: None,
+            inner: Mutex::new(Inner {
+                file,
+                replay: HashMap::new(),
+                restored: 0,
+                appended: 0,
+                kill: None,
+                dead: false,
+            }),
+        })
+    }
+
+    /// Opens an existing run directory for resume: validates the manifest
+    /// against `expected`, scans the journal, truncates any torn or
+    /// corrupt tail, and loads the surviving records for replay.
+    ///
+    /// # Errors
+    ///
+    /// * [`JournalError::Manifest`] — manifest missing or unreadable.
+    /// * [`JournalError::ConfigMismatch`] — manifest written by a
+    ///   different configuration.
+    /// * [`JournalError::Io`] — filesystem failure.
+    ///
+    /// Journal-body corruption is **not** an error: the damaged suffix is
+    /// dropped (the work it recorded is simply redone) and described by
+    /// [`Journal::recovery_note`].
+    pub fn open(dir: &Path, expected: &RunManifest) -> Result<Journal, JournalError> {
+        let found = read_manifest(dir)?;
+        if found.config_hash != expected.config_hash {
+            return Err(JournalError::ConfigMismatch {
+                expected: expected.config_hash,
+                found: found.config_hash,
+            });
+        }
+        let path = journal_path(dir);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_bytes(&bytes);
+        let recovery = scan.corruption.as_ref().map(|c| c.to_string());
+        let mut file = OpenOptions::new().write(true).create(true).open(&path)?;
+        if scan.valid_len < HEADER_LEN {
+            // header missing or damaged: no trustworthy records — restart
+            // the file (the manifest, validated above, still names the run)
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes())?;
+        } else {
+            file.set_len(scan.valid_len)?;
+            file.seek(SeekFrom::Start(scan.valid_len))?;
+        }
+        file.flush()?;
+        let mut replay = HashMap::new();
+        for record in &scan.records {
+            // last record wins; duplicates of a key record the same unit
+            replay.insert((record.kind.clone(), record.key.clone()), record.payload.clone());
+        }
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            recovery,
+            inner: Mutex::new(Inner {
+                file,
+                restored: scan.records.len() as u64,
+                replay,
+                appended: 0,
+                kill: None,
+                dead: false,
+            }),
+        })
+    }
+
+    /// Opens the run directory when its manifest exists, creates it fresh
+    /// otherwise — the one-call resume entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Journal::open`] / [`Journal::create`] failures,
+    /// including [`JournalError::ConfigMismatch`].
+    pub fn open_or_create(dir: &Path, manifest: &RunManifest) -> Result<Journal, JournalError> {
+        if crate::manifest_path(dir).exists() {
+            Journal::open(dir, manifest)
+        } else {
+            Journal::create(dir, manifest)
+        }
+    }
+
+    /// Installs a [`KillSchedule`] (torture testing only).
+    #[must_use]
+    pub fn with_kill(self, kill: KillSchedule) -> Journal {
+        self.inner.lock().kill = Some(kill);
+        self
+    }
+
+    /// The run directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records recovered from disk at open time.
+    pub fn restored_records(&self) -> u64 {
+        self.inner.lock().restored
+    }
+
+    /// Records appended by this process.
+    pub fn appended_records(&self) -> u64 {
+        self.inner.lock().appended
+    }
+
+    /// Human-readable description of any corruption dropped during
+    /// recovery, or `None` for a clean open.
+    pub fn recovery_note(&self) -> Option<&str> {
+        self.recovery.as_deref()
+    }
+}
+
+impl CheckpointStore for Journal {
+    fn load(&self, kind: &str, key: &str) -> Option<serde_json::Value> {
+        self.inner
+            .lock()
+            .replay
+            .get(&(kind.to_owned(), key.to_owned()))
+            .cloned()
+    }
+
+    fn load_kind(&self, kind: &str) -> Vec<(String, serde_json::Value)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(String, serde_json::Value)> = inner
+            .replay
+            .iter()
+            .filter(|((k, _), _)| k == kind)
+            .map(|((_, key), payload)| (key.clone(), payload.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn save(&self, kind: &str, key: &str, payload: serde_json::Value) -> Result<(), JournalError> {
+        let record = crate::Record {
+            kind: kind.to_owned(),
+            key: key.to_owned(),
+            payload,
+        };
+        let frame = encode_record(&record)?;
+        let mut inner = self.inner.lock();
+        if inner.dead {
+            return Err(JournalError::Killed);
+        }
+        if let Some(kill) = inner.kill {
+            if inner.appended >= kill.after_records {
+                let torn = kill.torn_bytes.min(frame.len());
+                inner.file.write_all(&frame[..torn])?;
+                inner.file.flush()?;
+                inner.dead = true;
+                return Err(JournalError::Killed);
+            }
+        }
+        inner.file.write_all(&frame)?;
+        inner.file.flush()?;
+        inner.appended += 1;
+        inner
+            .replay
+            .insert((record.kind, record.key), record.payload);
+        Ok(())
+    }
+}
+
+/// An in-memory [`CheckpointStore`] for unit tests: same keyed semantics
+/// as [`Journal`], no filesystem.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    map: Mutex<HashMap<(String, String), serde_json::Value>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Total records stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn load(&self, kind: &str, key: &str) -> Option<serde_json::Value> {
+        self.map
+            .lock()
+            .get(&(kind.to_owned(), key.to_owned()))
+            .cloned()
+    }
+
+    fn load_kind(&self, kind: &str) -> Vec<(String, serde_json::Value)> {
+        let map = self.map.lock();
+        let mut out: Vec<(String, serde_json::Value)> = map
+            .iter()
+            .filter(|((k, _), _)| k == kind)
+            .map(|((_, key), payload)| (key.clone(), payload.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn save(&self, kind: &str, key: &str, payload: serde_json::Value) -> Result<(), JournalError> {
+        self.map
+            .lock()
+            .insert((kind.to_owned(), key.to_owned()), payload);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nbhd-journal-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> RunManifest {
+        RunManifest::new("unit", 0xfeed)
+    }
+
+    #[test]
+    fn append_then_reopen_replays() {
+        let dir = temp_dir("reopen");
+        let journal = Journal::create(&dir, &manifest()).unwrap();
+        for i in 0..10u64 {
+            journal
+                .save("unit", &i.to_string(), serde_json::json!({ "i": i }))
+                .unwrap();
+        }
+        assert_eq!(journal.appended_records(), 10);
+        drop(journal);
+
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        assert_eq!(journal.restored_records(), 10);
+        assert!(journal.recovery_note().is_none());
+        assert_eq!(
+            journal.load("unit", "7"),
+            Some(serde_json::json!({ "i": 7 }))
+        );
+        assert_eq!(journal.load("unit", "11"), None);
+        assert_eq!(journal.load_kind("unit").len(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_config_refuses_resume() {
+        let dir = temp_dir("mismatch");
+        Journal::create(&dir, &manifest()).unwrap();
+        let other = RunManifest::new("unit", 0xbeef);
+        assert!(matches!(
+            Journal::open(&dir, &other),
+            Err(JournalError::ConfigMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_schedule_dies_and_stays_dead() {
+        let dir = temp_dir("kill");
+        let journal = Journal::create(&dir, &manifest())
+            .unwrap()
+            .with_kill(KillSchedule::torn(3, 5));
+        for i in 0..3u64 {
+            journal
+                .save("unit", &i.to_string(), serde_json::json!(i))
+                .unwrap();
+        }
+        assert!(matches!(
+            journal.save("unit", "3", serde_json::json!(3)),
+            Err(JournalError::Killed)
+        ));
+        assert!(matches!(
+            journal.save("unit", "4", serde_json::json!(4)),
+            Err(JournalError::Killed)
+        ));
+        drop(journal);
+
+        // recovery drops the 5 torn bytes and replays the 3 full records
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        assert_eq!(journal.restored_records(), 3);
+        assert!(journal.recovery_note().is_some());
+        journal.save("unit", "3", serde_json::json!(3)).unwrap();
+        drop(journal);
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        assert_eq!(journal.restored_records(), 4);
+        assert!(journal.recovery_note().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_record_wins_on_duplicate_keys() {
+        let dir = temp_dir("dupes");
+        let journal = Journal::create(&dir, &manifest()).unwrap();
+        journal.save("unit", "k", serde_json::json!(1)).unwrap();
+        journal.save("unit", "k", serde_json::json!(2)).unwrap();
+        drop(journal);
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        assert_eq!(journal.load("unit", "k"), Some(serde_json::json!(2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_matches_journal_semantics() {
+        let store = MemoryStore::new();
+        assert!(store.is_empty());
+        store.save("a", "1", serde_json::json!("x")).unwrap();
+        store.save("a", "0", serde_json::json!("y")).unwrap();
+        store.save("b", "9", serde_json::json!("z")).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.load("a", "1"), Some(serde_json::json!("x")));
+        let kind_a = store.load_kind("a");
+        assert_eq!(kind_a[0].0, "0", "load_kind sorts by key");
+        assert_eq!(kind_a.len(), 2);
+    }
+}

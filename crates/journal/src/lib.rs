@@ -1,0 +1,58 @@
+//! Crash-safe run layer: an append-only, checksummed write-ahead journal
+//! plus config-hash manifests, so a long fee-metered survey run survives
+//! process death and resumes to **byte-identical** results.
+//!
+//! The model is save-before-act over keyed units of work:
+//!
+//! * every completed unit — a `(location, heading)` capture, a journaled
+//!   scene fee, an LLM vote, a per-image detector harvest, a bootstrap
+//!   resample — is appended as one checksummed [`Record`];
+//! * a [`RunManifest`] binds the journal directory to the FNV-1a hash of
+//!   the run configuration, so resuming under a changed config is refused
+//!   with [`JournalError::ConfigMismatch`] instead of silently replaying
+//!   stale records;
+//! * on reopen, recovery scans forward, truncates any torn or corrupt
+//!   tail (the half-written frame a crash leaves behind), and replays the
+//!   surviving records through the [`CheckpointStore`] trait — completed
+//!   units are served from the journal, everything else is redone.
+//!
+//! Record order in the file is scheduling-dependent and deliberately
+//! meaningless: replay is keyed by `(kind, key)`, which is what makes the
+//! journal compatible with the deterministic parallel substrate in
+//! `nbhd-exec`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_journal::{CheckpointStore, Journal, RunManifest};
+//!
+//! let dir = std::env::temp_dir().join("nbhd-journal-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let manifest = RunManifest::for_config("doc-run", &("seed", 7u64))?;
+//! let journal = Journal::open_or_create(&dir, &manifest)?;
+//! journal.save("capture", "12@N", serde_json::json!({ "ok": true }))?;
+//! drop(journal);
+//!
+//! // a "restarted process" resumes from the same directory
+//! let journal = Journal::open_or_create(&dir, &manifest)?;
+//! assert_eq!(journal.restored_records(), 1);
+//! assert!(journal.load("capture", "12@N").is_some());
+//! std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), nbhd_journal::JournalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod journal;
+mod manifest;
+mod record;
+
+pub use error::JournalError;
+pub use journal::{journal_path, scan_file, CheckpointStore, Journal, KillSchedule, MemoryStore};
+pub use manifest::{config_hash, manifest_path, read_manifest, write_manifest, RunManifest};
+pub use record::{
+    encode_record, fnv1a64, header_bytes, scan_bytes, JournalScan, Record, FORMAT_VERSION,
+    HEADER_LEN, MAGIC,
+};

@@ -1,0 +1,150 @@
+//! The run manifest: a small JSON file binding a journal directory to the
+//! configuration hash of the run that produced it, so a resume under a
+//! *different* configuration is refused instead of silently replaying
+//! records that no longer mean what the new run thinks they mean.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{fnv1a64, JournalError};
+
+/// Identity of one journaled run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Human-readable run label (informational only).
+    pub label: String,
+    /// FNV-1a hash of the run configuration's canonical JSON. Resume
+    /// compares this and nothing else: two configs with the same hash are
+    /// the same run.
+    pub config_hash: u64,
+}
+
+impl RunManifest {
+    /// Creates a manifest from a precomputed config hash.
+    pub fn new(label: impl Into<String>, config_hash: u64) -> RunManifest {
+        RunManifest {
+            version: 1,
+            label: label.into(),
+            config_hash,
+        }
+    }
+
+    /// Creates a manifest by hashing a serializable configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Manifest`] when the config cannot be
+    /// serialized.
+    pub fn for_config<C: Serialize>(label: &str, config: &C) -> Result<RunManifest, JournalError> {
+        Ok(RunManifest::new(label, config_hash(config)?))
+    }
+}
+
+/// Hashes a configuration's canonical JSON with FNV-1a.
+///
+/// Struct fields serialize in declaration order, so the hash is stable for
+/// a given config type and value.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Manifest`] when serialization fails.
+pub fn config_hash<C: Serialize>(config: &C) -> Result<u64, JournalError> {
+    let bytes = serde_json::to_vec(config)
+        .map_err(|e| JournalError::Manifest(format!("unserializable config: {e}")))?;
+    Ok(fnv1a64(&bytes))
+}
+
+/// Path of the manifest file inside a run directory.
+pub fn manifest_path(dir: &Path) -> std::path::PathBuf {
+    dir.join("manifest.json")
+}
+
+/// Writes the manifest into a run directory.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Io`] on write failure.
+pub fn write_manifest(dir: &Path, manifest: &RunManifest) -> Result<(), JournalError> {
+    let bytes = serde_json::to_vec_pretty(manifest)
+        .map_err(|e| JournalError::Manifest(format!("unserializable manifest: {e}")))?;
+    fs::write(manifest_path(dir), bytes)?;
+    Ok(())
+}
+
+/// Reads the manifest from a run directory.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Manifest`] when the file is missing, truncated,
+/// or unparseable — a clean error, never a panic, so callers can fall back
+/// to starting the run fresh.
+pub fn read_manifest(dir: &Path) -> Result<RunManifest, JournalError> {
+    let path = manifest_path(dir);
+    let bytes = fs::read(&path).map_err(|e| {
+        JournalError::Manifest(format!("cannot read {}: {e}", path.display()))
+    })?;
+    serde_json::from_slice(&bytes).map_err(|e| {
+        JournalError::Manifest(format!("corrupt manifest {}: {e}", path.display()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Config {
+        seed: u64,
+        size: u32,
+    }
+
+    #[test]
+    fn hash_distinguishes_configs() {
+        let a = config_hash(&Config { seed: 1, size: 64 }).unwrap();
+        let b = config_hash(&Config { seed: 2, size: 64 }).unwrap();
+        let a2 = config_hash(&Config { seed: 1, size: 64 }).unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("nbhd-journal-manifest-test");
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = RunManifest::for_config("test-run", &Config { seed: 9, size: 32 }).unwrap();
+        write_manifest(&dir, &manifest).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), manifest);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_manifest_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("nbhd-journal-manifest-torn");
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = RunManifest::new("torn", 7);
+        write_manifest(&dir, &manifest).unwrap();
+        let full = fs::read(manifest_path(&dir)).unwrap();
+        fs::write(manifest_path(&dir), &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(JournalError::Manifest(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("nbhd-journal-manifest-missing");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(JournalError::Manifest(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,325 @@
+//! The on-disk journal format: a fixed file header followed by
+//! length-prefixed, checksummed record frames.
+//!
+//! ```text
+//! file   := MAGIC (8 bytes) VERSION (u32 LE) frame*
+//! frame  := len (u32 LE) checksum (u64 LE, FNV-1a over body) body
+//! body   := JSON of { kind, key, payload }
+//! ```
+//!
+//! The frame layout makes recovery a single forward scan: a torn tail —
+//! whether it cuts a length word, a checksum, or the body — fails
+//! validation at the first damaged frame, and everything before it is
+//! trusted verbatim. There is no footer or index to rebuild; the journal
+//! is valid at *every* prefix that ends on a frame boundary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::JournalError;
+
+/// File magic: identifies a journal file.
+pub const MAGIC: &[u8; 8] = b"NBHDJRNL";
+
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Byte length of the file header (magic + version).
+pub const HEADER_LEN: u64 = 12;
+
+/// Per-frame prefix length (length word + checksum word).
+const FRAME_PREFIX: usize = 12;
+
+/// Upper bound on a single record body; anything larger is treated as a
+/// corrupt length word rather than an allocation request.
+const MAX_BODY_LEN: u32 = 1 << 28;
+
+/// One journaled unit of completed work: a capture, a harvest, a vote, a
+/// fee, a resample — anything the run must not redo after a crash.
+///
+/// `kind` namespaces the record (each layer owns its kinds), `key`
+/// identifies the unit within the kind, and `payload` is the unit's full
+/// recorded output, replayed verbatim on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Record namespace, e.g. `"capture"`, `"gsv-fee"`, `"llm-vote"`.
+    pub kind: String,
+    /// Unit identity within the kind, e.g. an image id.
+    pub key: String,
+    /// The recorded output, replayed verbatim on resume.
+    pub payload: serde_json::Value,
+}
+
+/// FNV-1a over a byte slice: tiny, dependency-free, and stable across
+/// platforms — exactly what a torn-write detector needs (this is an
+/// integrity check against crashes, not an adversary).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// The 12-byte file header.
+pub fn header_bytes() -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN as usize);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out
+}
+
+/// Encodes one record as a framed byte sequence.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Corrupt`] when the payload cannot be serialized
+/// (non-string map keys and similar serde_json refusals).
+pub fn encode_record(record: &Record) -> Result<Vec<u8>, JournalError> {
+    let body = serde_json::to_vec(record).map_err(|e| JournalError::Corrupt {
+        offset: 0,
+        detail: format!("unserializable record: {e}"),
+    })?;
+    let mut frame = Vec::with_capacity(FRAME_PREFIX + body.len());
+    frame.extend_from_slice(&u32::try_from(body.len()).map_err(|_| JournalError::Corrupt {
+        offset: 0,
+        detail: "record body exceeds u32 length".to_owned(),
+    })?.to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// The result of scanning journal bytes: every record in the valid prefix,
+/// each record's frame offset, the byte length of the valid prefix, and —
+/// when the scan stopped early — what stopped it.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// All records in the valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset of each record's frame start (parallel to `records`).
+    pub offsets: Vec<u64>,
+    /// Length of the trusted prefix; recovery truncates the file to this.
+    pub valid_len: u64,
+    /// The validation failure that ended the scan, if any. `None` means the
+    /// whole file parsed cleanly.
+    pub corruption: Option<JournalError>,
+}
+
+impl JournalScan {
+    /// Converts the scan into a hard error when any corruption was found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corruption that ended the scan.
+    pub fn strict(self) -> Result<JournalScan, JournalError> {
+        match self.corruption {
+            Some(err) => Err(err),
+            None => Ok(self),
+        }
+    }
+}
+
+/// Scans journal bytes, validating every frame in order.
+///
+/// Never panics and never fails: damage is reported in
+/// [`JournalScan::corruption`] and everything before the damage is
+/// returned. A missing or mangled header yields an empty scan with
+/// `valid_len == 0` (recovery rewrites the header).
+pub fn scan_bytes(bytes: &[u8]) -> JournalScan {
+    let mut scan = JournalScan {
+        records: Vec::new(),
+        offsets: Vec::new(),
+        valid_len: 0,
+        corruption: None,
+    };
+    if bytes.len() < HEADER_LEN as usize {
+        if !bytes.is_empty() {
+            scan.corruption = Some(JournalError::Corrupt {
+                offset: 0,
+                detail: "truncated file header".to_owned(),
+            });
+        }
+        return scan;
+    }
+    if &bytes[..8] != MAGIC {
+        scan.corruption = Some(JournalError::Corrupt {
+            offset: 0,
+            detail: "bad magic".to_owned(),
+        });
+        return scan;
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        scan.corruption = Some(JournalError::Corrupt {
+            offset: 8,
+            detail: format!("unsupported format version {version}"),
+        });
+        return scan;
+    }
+    scan.valid_len = HEADER_LEN;
+
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        if pos == bytes.len() {
+            return scan; // clean end on a frame boundary
+        }
+        let corrupt = |detail: String| JournalError::Corrupt {
+            offset: pos as u64,
+            detail,
+        };
+        if bytes.len() - pos < FRAME_PREFIX {
+            scan.corruption = Some(corrupt("torn frame prefix".to_owned()));
+            return scan;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        if len == 0 || len > MAX_BODY_LEN {
+            scan.corruption = Some(corrupt(format!("implausible body length {len}")));
+            return scan;
+        }
+        let body_start = pos + FRAME_PREFIX;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            scan.corruption = Some(corrupt("torn record body".to_owned()));
+            return scan;
+        }
+        let stored = u64::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+            bytes[pos + 9],
+            bytes[pos + 10],
+            bytes[pos + 11],
+        ]);
+        let body = &bytes[body_start..body_end];
+        if fnv1a64(body) != stored {
+            scan.corruption = Some(corrupt("checksum mismatch".to_owned()));
+            return scan;
+        }
+        match serde_json::from_slice::<Record>(body) {
+            Ok(record) => {
+                scan.records.push(record);
+                scan.offsets.push(pos as u64);
+                scan.valid_len = body_end as u64;
+                pos = body_end;
+            }
+            Err(e) => {
+                scan.corruption = Some(corrupt(format!("unparseable record body: {e}")));
+                return scan;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> Record {
+        Record {
+            kind: "test".to_owned(),
+            key: i.to_string(),
+            payload: serde_json::json!({ "value": i }),
+        }
+    }
+
+    fn journal_bytes(n: u64) -> Vec<u8> {
+        let mut bytes = header_bytes();
+        for i in 0..n {
+            bytes.extend_from_slice(&encode_record(&sample(i)).unwrap());
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrips_records() {
+        let bytes = journal_bytes(5);
+        let scan = scan_bytes(&bytes);
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.offsets.len(), 5);
+        for (i, record) in scan.records.iter().enumerate() {
+            assert_eq!(*record, sample(i as u64));
+        }
+    }
+
+    #[test]
+    fn every_truncation_recovers_a_frame_boundary_prefix() {
+        let bytes = journal_bytes(4);
+        let full = scan_bytes(&bytes);
+        let boundaries: Vec<u64> = full
+            .offsets
+            .iter()
+            .copied()
+            .chain(std::iter::once(bytes.len() as u64))
+            .collect();
+        for cut in 0..bytes.len() {
+            let scan = scan_bytes(&bytes[..cut]);
+            // valid_len is always one of the true frame boundaries (or 0)
+            assert!(
+                scan.valid_len == 0 || boundaries.contains(&scan.valid_len),
+                "cut {cut} -> valid_len {}",
+                scan.valid_len
+            );
+            // records in the valid prefix are undamaged
+            for (i, record) in scan.records.iter().enumerate() {
+                assert_eq!(*record, sample(i as u64));
+            }
+            // only whole-file cuts on boundaries are corruption-free
+            let on_boundary = cut as u64 == 0
+                || cut as u64 == HEADER_LEN
+                || boundaries.contains(&(cut as u64));
+            assert_eq!(scan.corruption.is_none(), on_boundary, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_detected_not_propagated() {
+        let bytes = journal_bytes(3);
+        let clean = scan_bytes(&bytes);
+        for flip in HEADER_LEN as usize..bytes.len() {
+            let mut mangled = bytes.clone();
+            mangled[flip] ^= 0x40;
+            let scan = scan_bytes(&mangled);
+            // never more records than the clean scan, and any record that
+            // does survive is byte-identical to the original
+            assert!(scan.records.len() <= clean.records.len());
+            for (a, b) in scan.records.iter().zip(&clean.records) {
+                assert_eq!(a, b, "flip at {flip} leaked damage into a record");
+            }
+        }
+    }
+
+    #[test]
+    fn header_damage_yields_empty_scan() {
+        let mut bytes = journal_bytes(2);
+        bytes[0] ^= 0xff;
+        let scan = scan_bytes(&bytes);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.records.is_empty());
+        assert!(matches!(
+            scan.corruption,
+            Some(JournalError::Corrupt { offset: 0, .. })
+        ));
+        assert!(scan_bytes(&[]).corruption.is_none());
+    }
+
+    #[test]
+    fn strict_scan_surfaces_the_corruption() {
+        let mut bytes = journal_bytes(2);
+        bytes.truncate(bytes.len() - 3);
+        let err = scan_bytes(&bytes).strict().unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { .. }));
+        assert!(scan_bytes(&journal_bytes(2)).strict().is_ok());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // pinned so on-disk journals stay readable across builds
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,161 @@
+//! Journal-corruption coverage: torn final records, flipped checksum
+//! bytes, and truncated manifests must each yield a clean [`JournalError`]
+//! (or a clean recovery to the last valid record) — never a panic, never a
+//! silent wrong resume.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nbhd_journal::{
+    journal_path, manifest_path, scan_file, CheckpointStore, Journal, JournalError, RunManifest,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nbhd-journal-corruption-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn manifest() -> RunManifest {
+    RunManifest::new("corruption-suite", 0xabad_1dea)
+}
+
+/// Writes a journal of `n` records and returns its directory.
+fn seeded_journal(name: &str, n: u64) -> PathBuf {
+    let dir = temp_dir(name);
+    let journal = Journal::create(&dir, &manifest()).unwrap();
+    for i in 0..n {
+        journal
+            .save("unit", &i.to_string(), serde_json::json!({ "i": i, "sq": i * i }))
+            .unwrap();
+    }
+    dir
+}
+
+#[test]
+fn torn_final_record_recovers_to_last_valid_record() {
+    let dir = seeded_journal("torn-final", 8);
+    let path = journal_path(&dir);
+    let bytes = fs::read(&path).unwrap();
+    let full = scan_file(&path).unwrap();
+    assert_eq!(full.records.len(), 8);
+    let last_start = *full.offsets.last().unwrap() as usize;
+
+    // cut inside the final record at several depths: mid-prefix, mid-body
+    for cut in [last_start + 1, last_start + 6, last_start + 13, bytes.len() - 1] {
+        fs::write(&path, &bytes[..cut]).unwrap();
+        // a strict scan names the corruption cleanly
+        let err = scan_file(&path).unwrap().strict().unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { .. }), "cut {cut}: {err}");
+        // open() recovers: 7 intact records replay, the torn one is redone
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        assert_eq!(journal.restored_records(), 7, "cut {cut}");
+        assert!(journal.recovery_note().is_some());
+        assert_eq!(
+            journal.load("unit", "6"),
+            Some(serde_json::json!({ "i": 6, "sq": 36 }))
+        );
+        assert_eq!(journal.load("unit", "7"), None, "torn record must not replay");
+        // the file was truncated back to the last valid boundary
+        assert_eq!(fs::read(&path).unwrap().len(), last_start);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flipped_checksum_byte_falls_back_to_the_prior_prefix() {
+    let dir = seeded_journal("flip", 6);
+    let path = journal_path(&dir);
+    let clean = fs::read(&path).unwrap();
+    let full = scan_file(&path).unwrap();
+
+    for (damaged, &offset) in full.offsets.iter().enumerate() {
+        // flip one byte inside record `damaged`'s checksum word
+        let mut bytes = clean.clone();
+        bytes[offset as usize + 5] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = scan_file(&path).unwrap().strict().unwrap_err();
+        match err {
+            JournalError::Corrupt { offset: at, .. } => assert_eq!(at, offset),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        let journal = Journal::open(&dir, &manifest()).unwrap();
+        // everything before the flipped record replays; it and everything
+        // after it (unreachable past the damage) are redone
+        assert_eq!(journal.restored_records() as usize, damaged);
+        assert!(journal.recovery_note().is_some());
+        fs::write(&path, &clean).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_manifest_is_refused_cleanly() {
+    let dir = seeded_journal("manifest", 4);
+    let mpath = manifest_path(&dir);
+    let full = fs::read(&mpath).unwrap();
+
+    for keep in [0, 1, full.len() / 2, full.len() - 1] {
+        fs::write(&mpath, &full[..keep]).unwrap();
+        match Journal::open(&dir, &manifest()) {
+            Err(JournalError::Manifest(_)) => {}
+            other => panic!("keep {keep}: expected Manifest error, got {other:?}"),
+        }
+    }
+    // a deleted manifest is the same clean failure
+    fs::remove_file(&mpath).unwrap();
+    assert!(matches!(
+        Journal::open(&dir, &manifest()),
+        Err(JournalError::Manifest(_))
+    ));
+    // restoring the manifest restores the run — the journal body was never
+    // touched by the manifest damage
+    fs::write(&mpath, &full).unwrap();
+    let journal = Journal::open(&dir, &manifest()).unwrap();
+    assert_eq!(journal.restored_records(), 4);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_after_recovery_appends_at_the_truncation_point() {
+    let dir = seeded_journal("resume-append", 5);
+    let path = journal_path(&dir);
+    let bytes = fs::read(&path).unwrap();
+    // torn write: drop the back half of the final record
+    fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+
+    let journal = Journal::open(&dir, &manifest()).unwrap();
+    assert_eq!(journal.restored_records(), 4);
+    // redo the lost unit, then extend the run
+    journal
+        .save("unit", "4", serde_json::json!({ "i": 4, "sq": 16 }))
+        .unwrap();
+    journal.save("unit", "5", serde_json::json!({ "i": 5, "sq": 25 })).unwrap();
+    drop(journal);
+
+    let scan = scan_file(&path).unwrap().strict().unwrap();
+    assert_eq!(scan.records.len(), 6, "4 recovered + 2 appended, no gaps");
+    let journal = Journal::open(&dir, &manifest()).unwrap();
+    assert!(journal.recovery_note().is_none(), "second open is clean");
+    assert_eq!(journal.restored_records(), 6);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mangled_header_drops_records_but_never_panics() {
+    let dir = seeded_journal("header", 3);
+    let path = journal_path(&dir);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[2] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+
+    let journal = Journal::open(&dir, &manifest()).unwrap();
+    assert_eq!(journal.restored_records(), 0, "untrusted header: start over");
+    assert!(journal.recovery_note().is_some());
+    journal.save("unit", "0", serde_json::json!(0)).unwrap();
+    drop(journal);
+    let journal = Journal::open(&dir, &manifest()).unwrap();
+    assert_eq!(journal.restored_records(), 1, "rewritten header is valid");
+    fs::remove_dir_all(&dir).unwrap();
+}

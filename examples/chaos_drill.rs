@@ -1,16 +1,21 @@
 //! Chaos drill: run the voting ensemble through a scripted fault schedule —
 //! a dead model, a correlated brownout, and a rate-limit storm — with
 //! circuit breakers and hedging on, then render the per-model health report.
+//! Part two kills the journaled drill mid-outage and resumes it from the
+//! run directory.
 //!
 //! ```text
 //! cargo run --release --example chaos_drill
 //! ```
+
+use std::sync::Arc;
 
 use nbhd::client::{
     BreakerConfig, Ensemble, ExecutorConfig, FaultProfile, FaultRegime, FaultSchedule, HedgePolicy,
     ResilienceConfig,
 };
 use nbhd::eval::VoteFallback;
+use nbhd::journal::{Journal, KillSchedule, RunManifest};
 use nbhd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,24 +44,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let ensemble = Ensemble::new(
-        vec![
-            (nbhd::vlm::gemini_15_pro(), true),
-            (nbhd::vlm::claude_37(), true),
-            (nbhd::vlm::grok_2(), true),
-        ],
-        survey.config().seed,
-        FaultProfile::FLAKY,
-        ExecutorConfig {
-            hedge: Some(HedgePolicy::after_ms(1_800)),
-            ..ExecutorConfig::default()
-        },
-    )
-    .with_resilience(ResilienceConfig {
-        breaker: Some(BreakerConfig::default()),
-        schedule,
-        ..ResilienceConfig::default()
-    });
+    let build_ensemble = || {
+        Ensemble::new(
+            vec![
+                (nbhd::vlm::gemini_15_pro(), true),
+                (nbhd::vlm::claude_37(), true),
+                (nbhd::vlm::grok_2(), true),
+            ],
+            survey.config().seed,
+            FaultProfile::FLAKY,
+            ExecutorConfig {
+                hedge: Some(HedgePolicy::after_ms(1_800)),
+                ..ExecutorConfig::default()
+            },
+        )
+        .with_resilience(ResilienceConfig {
+            breaker: Some(BreakerConfig::default()),
+            schedule: schedule.clone(),
+            ..ResilienceConfig::default()
+        })
+    };
+    let ensemble = build_ensemble();
 
     let prompt = Prompt::build(Language::English, PromptMode::Parallel);
     let outcome = ensemble.survey(&contexts, &prompt, &SamplerParams::default());
@@ -96,5 +104,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ensemble.clock().now_ms() as f64 / 1000.0,
         ensemble.meter().total_usd()
     );
+
+    // ---- part two: kill the drill mid-outage, then resume it ------------
+    // The same drill, journaled: the process dies while Grok is still dark
+    // and the brownout is raging, then a fresh process resumes from the run
+    // directory. Successful votes replay from the journal; transport
+    // failures were deliberately NOT journaled, so the resumed run retries
+    // them against the (by then healthier) schedule instead of replaying
+    // the outage.
+    println!("\n=== crash/resume mid-outage ===");
+    let dir = std::env::temp_dir().join("nbhd-chaos-drill-run");
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest = RunManifest::for_config("chaos-drill", survey.config())?;
+
+    let doomed = Journal::create(&dir, &manifest)?.with_kill(KillSchedule::torn(40, 7));
+    let ensemble = build_ensemble().with_checkpoint(Arc::new(doomed));
+    match ensemble.try_survey(&contexts, &prompt, &SamplerParams::default()) {
+        Ok(_) => println!("kill point was past the end; drill completed in one process"),
+        Err(err) => println!("process died mid-survey: {err}"),
+    }
+
+    let journal = Journal::open(&dir, &manifest)?;
+    print!(
+        "resume: {} votes survived the crash",
+        journal.restored_records()
+    );
+    match journal.recovery_note() {
+        Some(note) => println!(" ({note})"),
+        None => println!(" (clean tail)"),
+    }
+    let resumed = build_ensemble().with_checkpoint(Arc::new(journal));
+    let outcome = resumed.try_survey(&contexts, &prompt, &SamplerParams::default())?;
+    for model in ["gemini-1.5-pro", "claude-3.7", "grok-2"] {
+        println!(
+            "  {model}: {} live API attempts after resume",
+            resumed.api_attempts(model).unwrap_or(0)
+        );
+    }
+    let mut eval = PresenceEvaluator::new();
+    for (pred, ctx) in outcome.voted.iter().zip(&contexts) {
+        eval.observe(ctx.presence, *pred);
+    }
+    println!(
+        "voted accuracy after resume: {:.3} over {} images",
+        eval.table().average.accuracy,
+        contexts.len()
+    );
+
+    // Breaker state is deliberately NOT journaled. A breaker is derived
+    // health — a cache of recent failure observations — not ground truth
+    // about the run. Replaying a pre-crash "open" breaker would fail fast
+    // against an API that recovered while the process was down; the resumed
+    // ensemble starts every breaker closed and re-learns each member's
+    // health from live traffic within a handful of requests.
+    println!("\n{}", resumed.health_report().render("Model health after resume"));
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

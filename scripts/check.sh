@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo test -p nbhd-journal (fast journal gate)"
+cargo test -q -p nbhd-journal
+
 echo "==> cargo test"
 cargo test -q
+
+echo "==> crash/resume torture (every kill point, serial + 4 workers)"
+cargo test -q --test crash_resume
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench -p nbhd-bench --no-run
