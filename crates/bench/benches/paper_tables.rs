@@ -19,12 +19,28 @@
 //! NBHD_SCALE=full  cargo bench -p nbhd-bench --bench paper_tables
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use nbhd_core::eval::{render_exec_table, ExecRow};
-use nbhd_core::exec;
+use nbhd_core::eval::{render_exec_table, render_run_summary, ExecRow};
+use nbhd_core::exec::{ExecSnapshot, ScopedPool};
+use nbhd_core::obs::Obs;
 use nbhd_core::types::Result;
 use nbhd_core::{ExperimentReport, PaperExperiments, SurveyConfig, SurveyPipeline};
+
+/// Counter delta between two snapshots of the same run-scoped registry —
+/// the per-section view the old (racy, process-global) `reset_stats`
+/// dance used to provide.
+fn exec_delta(after: &ExecSnapshot, before: &ExecSnapshot) -> ExecSnapshot {
+    ExecSnapshot {
+        parallel_calls: after.parallel_calls - before.parallel_calls,
+        serial_calls: after.serial_calls - before.serial_calls,
+        tasks: after.tasks - before.tasks,
+        chunks: after.chunks - before.chunks,
+        steals: after.steals - before.steals,
+        busy_us: after.busy_us - before.busy_us,
+    }
+}
 
 /// A selectable experiment: its id plus a closure yielding its report(s).
 type Job<'a> = (
@@ -52,16 +68,20 @@ fn main() {
         config.locations, config.image_size
     );
 
-    exec::reset_stats();
+    let obs = Obs::default();
     let t0 = Instant::now();
-    let survey = SurveyPipeline::new(config).run().expect("survey pipeline");
+    let survey_stage = obs.tracer().enter("survey");
+    let survey = SurveyPipeline::new(config)
+        .with_obs(obs.clone())
+        .run()
+        .expect("survey pipeline");
+    survey_stage.record();
     println!(
         "# survey built in {:.1}s: {}",
         t0.elapsed().as_secs_f64(),
         survey.dataset().summary()
     );
-    let survey_span = exec::stats();
-    exec::reset_stats();
+    let survey_span = ExecSnapshot::from_metrics(&obs.registry().snapshot());
     let harness = PaperExperiments::new(survey);
 
     let selected = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
@@ -135,10 +155,13 @@ fn main() {
 
     // each experiment is deterministic in isolation (own seeds, cached
     // shared state), so the fan-out changes wall-clock, not results
-    let results: Vec<(Result<Vec<ExperimentReport>>, f64)> = exec::par_map(&jobs, |(_, f)| {
+    let experiments_stage = obs.tracer().enter("experiments");
+    let pool = ScopedPool::default().with_metrics(Arc::clone(obs.registry()));
+    let results: Vec<(Result<Vec<ExperimentReport>>, f64)> = pool.map(&jobs, |(_, f)| {
         let t = Instant::now();
         (f(), t.elapsed().as_secs_f64())
     });
+    experiments_stage.record();
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for ((name, _), (result, secs)) in jobs.iter().zip(results) {
@@ -153,7 +176,10 @@ fn main() {
             Err(err) => println!("\n== {name}: FAILED: {err}"),
         }
     }
-    let experiments_span = exec::stats();
+    let experiments_span = exec_delta(
+        &ExecSnapshot::from_metrics(&obs.registry().snapshot()),
+        &survey_span,
+    );
 
     // summary
     println!("\n# ============ summary ============");
@@ -191,5 +217,6 @@ fn main() {
             ],
         )
     );
+    println!("\n{}", render_run_summary("# run summary", &obs.summary()));
     println!("# total wall-clock {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use nbhd_obs::MetricsRegistry;
 use parking_lot::Mutex;
 
 /// Usage counters for one model.
@@ -135,26 +136,84 @@ impl CostMeter {
     }
 
     /// A one-line-per-model text report.
+    ///
+    /// Column widths are computed from the content, so long model names
+    /// and 7+ digit token counts stay aligned instead of overflowing a
+    /// fixed-width template.
     pub fn report(&self) -> String {
+        const COLUMNS: usize = 9;
+        const HEADERS: [&str; COLUMNS] = [
+            "model",
+            "requests",
+            "retries",
+            "failures",
+            "fastfail",
+            "hedges",
+            "tokens(in/out)",
+            "usd",
+            "mean-latency",
+        ];
         let ledger = self.ledger.lock();
-        let mut out = String::from("model                 requests retries failures fastfail  hedges   tokens(in/out)      usd   mean-latency\n");
-        for (name, u) in ledger.iter() {
-            out.push_str(&format!(
-                "{:<22} {:>7} {:>7} {:>8} {:>8} {:>4}/{:<3} {:>9}/{:<9} {:>8.4} {:>9.0} ms\n",
-                name,
-                u.requests,
-                u.retries,
-                u.failures,
-                u.fail_fast,
-                u.hedges_fired,
-                u.hedges_won,
-                u.input_tokens,
-                u.output_tokens,
-                u.usd,
-                u.mean_latency_ms()
-            ));
+        let rows: Vec<[String; COLUMNS]> = ledger
+            .iter()
+            .map(|(name, u)| {
+                [
+                    name.clone(),
+                    u.requests.to_string(),
+                    u.retries.to_string(),
+                    u.failures.to_string(),
+                    u.fail_fast.to_string(),
+                    format!("{}/{}", u.hedges_fired, u.hedges_won),
+                    format!("{}/{}", u.input_tokens, u.output_tokens),
+                    format!("{:.4}", u.usd),
+                    format!("{:.0} ms", u.mean_latency_ms()),
+                ]
+            })
+            .collect();
+        let mut widths: [usize; COLUMNS] = HEADERS.map(str::len);
+        for row in &rows {
+            for (width, cell) in widths.iter_mut().zip(row.iter()) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let render = |cells: &[String; COLUMNS]| -> String {
+            let mut line = format!("{:<width$}", cells[0], width = widths[0]);
+            for (cell, width) in cells.iter().zip(widths.iter()).skip(1) {
+                line.push_str(&format!("  {cell:>width$}"));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = render(&HEADERS.map(str::to_string));
+        for row in &rows {
+            out.push_str(&render(row));
         }
         out
+    }
+
+    /// Publishes the ledger into a run-scoped metrics registry.
+    ///
+    /// Integer counters land in the deterministic namespace as
+    /// `client.<model>.<field>`; dollar and latency sums accumulate in
+    /// completion order, so they land in the gauge namespace, outside
+    /// the deterministic surface. Publishing uses absolute `set`
+    /// semantics and is idempotent.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        let ledger = self.ledger.lock();
+        for (name, u) in ledger.iter() {
+            let key = |field: &str| format!("client.{name}.{field}");
+            registry.set(&key("requests"), u.requests);
+            registry.set(&key("retries"), u.retries);
+            registry.set(&key("failures"), u.failures);
+            registry.set(&key("fail_fast"), u.fail_fast);
+            registry.set(&key("input_tokens"), u.input_tokens);
+            registry.set(&key("output_tokens"), u.output_tokens);
+            registry.set(&key("hedges_fired"), u.hedges_fired);
+            registry.set(&key("hedges_won"), u.hedges_won);
+            registry.set(&key("backoff_ms"), u.backoff_ms);
+            registry.set_gauge(&key("usd"), u.usd);
+            registry.set_gauge(&key("latency_ms"), u.latency_ms);
+        }
     }
 }
 
@@ -196,6 +255,82 @@ mod tests {
         let r = m.report();
         assert!(r.contains("gemini"));
         assert!(r.contains("claude"));
+    }
+
+    #[test]
+    fn report_golden_output_for_long_names_and_wide_tokens() {
+        let m = CostMeter::new();
+        m.record_success(
+            "a-very-long-model-name-v2.5-experimental", // 40 chars
+            1_234_567,
+            7_654_321,
+            0.001,
+            0.002,
+            500.0,
+            2,
+        );
+        m.record_failure("tiny", 3);
+        m.record_fail_fast("tiny");
+        m.record_resilience("tiny", 2, 1, 750);
+        let report = m.report();
+        // widths derived by hand from the content above: model 40,
+        // requests 8, retries 7, failures 8, fastfail 8, hedges 6,
+        // tokens(in/out) 15, usd 7, mean-latency 12
+        let expected = format!(
+            "{:<40}  {:>8}  {:>7}  {:>8}  {:>8}  {:>6}  {:>15}  {:>7}  {:>12}\n\
+             {:<40}  {:>8}  {:>7}  {:>8}  {:>8}  {:>6}  {:>15}  {:>7}  {:>12}\n\
+             {:<40}  {:>8}  {:>7}  {:>8}  {:>8}  {:>6}  {:>15}  {:>7}  {:>12}\n",
+            "model",
+            "requests",
+            "retries",
+            "failures",
+            "fastfail",
+            "hedges",
+            "tokens(in/out)",
+            "usd",
+            "mean-latency",
+            "a-very-long-model-name-v2.5-experimental",
+            1,
+            1,
+            0,
+            0,
+            "0/0",
+            "1234567/7654321",
+            "16.5432",
+            "500 ms",
+            "tiny",
+            0,
+            2,
+            2,
+            1,
+            "2/1",
+            "0/0",
+            "0.0000",
+            "0 ms",
+        );
+        assert_eq!(report, expected);
+        // the report is one aligned grid: every line has equal length
+        let lens: Vec<usize> = report.lines().map(str::len).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn publish_is_idempotent_and_splits_namespaces() {
+        let m = CostMeter::new();
+        m.record_success("gemini", 1000, 50, 0.00125, 0.005, 900.0, 2);
+        m.record_resilience("gemini", 1, 1, 300);
+        let registry = MetricsRegistry::new();
+        m.publish(&registry);
+        m.publish(&registry); // absolute set semantics: no double count
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["client.gemini.requests"], 1);
+        assert_eq!(snap.counters["client.gemini.retries"], 1);
+        assert_eq!(snap.counters["client.gemini.input_tokens"], 1000);
+        assert_eq!(snap.counters["client.gemini.backoff_ms"], 300);
+        assert!(!snap.counters.contains_key("client.gemini.usd"));
+        let usd = snap.gauges["client.gemini.usd"];
+        assert!((usd - 0.0015).abs() < 1e-9); // 1000/1k*0.00125 + 50/1k*0.005
+        assert!(snap.gauges.contains_key("client.gemini.latency_ms"));
     }
 
     #[test]

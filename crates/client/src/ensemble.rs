@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use nbhd_eval::{majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteProvenance};
 use nbhd_journal::CheckpointStore;
+use nbhd_obs::Obs;
 use nbhd_prompt::{parse_response, Prompt};
 use nbhd_types::rng::child_seed_n;
 use nbhd_types::{Error, IndicatorSet, Result};
@@ -94,6 +95,7 @@ pub struct Ensemble {
     clock: Arc<VirtualClock>,
     meter: Arc<CostMeter>,
     checkpoint: Option<Arc<dyn CheckpointStore>>,
+    obs: Option<Obs>,
 }
 
 struct Member {
@@ -190,6 +192,7 @@ impl Ensemble {
             clock,
             meter: Arc::new(CostMeter::new()),
             checkpoint: None,
+            obs: None,
         }
     }
 
@@ -230,6 +233,58 @@ impl Ensemble {
             .collect();
         self.resilience = resilience;
         self
+    }
+
+    /// Attaches the run's observability bundle. The ensemble adopts the
+    /// obs virtual clock as its accounting clock (rebuilding each
+    /// member's transport decorators, which capture the clock), opens a
+    /// `vote-<model>` span per member batch, and publishes cost-meter
+    /// and breaker counters into the obs registry after each survey.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Ensemble {
+        self.clock = Arc::clone(obs.clock());
+        let profiles: Vec<(ModelProfile, bool)> = self
+            .members
+            .iter()
+            .map(|m| (m.profile.clone(), m.voting))
+            .collect();
+        self.members = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, (profile, voting))| {
+                Member::build(
+                    i,
+                    profile,
+                    voting,
+                    self.survey_seed,
+                    self.faults,
+                    &self.resilience,
+                    &self.clock,
+                )
+            })
+            .collect();
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Publishes the cost meter and per-member breaker bookkeeping into
+    /// the obs registry. Breaker counters are wall metrics: whether and
+    /// when a breaker trips depends on request scheduling.
+    fn publish_metrics(&self, obs: &Obs) {
+        self.meter.publish(obs.registry());
+        for member in &self.members {
+            if let Some(breaker) = &member.breaker {
+                let snap = breaker.breaker().snapshot();
+                obs.registry().set_wall(
+                    &format!("breaker.{}.transitions", member.profile.name),
+                    snap.transitions,
+                );
+                obs.registry().set_wall(
+                    &format!("breaker.{}.fail_fast", member.profile.name),
+                    snap.fail_fast,
+                );
+            }
+        }
     }
 
     /// The paper's four models with its top-three voting set.
@@ -338,6 +393,10 @@ impl Ensemble {
         let mut per_model = BTreeMap::new();
         let mut voter_answers: Vec<Vec<Option<IndicatorSet>>> = Vec::new();
         for member in &self.members {
+            let vote_stage = self
+                .obs
+                .as_ref()
+                .map(|obs| obs.tracer().enter(&format!("vote-{}", member.profile.name)));
             // replay journaled votes; only the rest go to the transport
             let mut replayed: Vec<Option<VoteRecord>> = Vec::with_capacity(contexts.len());
             for ctx in contexts {
@@ -366,13 +425,16 @@ impl Ensemble {
             let results = if pending.is_empty() {
                 Vec::new()
             } else {
-                let executor =
+                let mut executor =
                     BatchExecutor::new(Arc::clone(&member.transport), self.config.clone())
                         .with_accounting(Arc::clone(&self.clock), Arc::clone(&self.meter))
                         .with_pricing(
                             member.profile.usd_per_1k_input,
                             member.profile.usd_per_1k_output,
                         );
+                if let Some(obs) = &self.obs {
+                    executor = executor.with_obs(obs.clone());
+                }
                 executor.run(pending)
             };
             let mut fresh = results.into_iter();
@@ -455,6 +517,12 @@ impl Ensemble {
                     transport_failures,
                 },
             );
+            if let Some(stage) = vote_stage {
+                stage.record();
+            }
+        }
+        if let Some(obs) = &self.obs {
+            self.publish_metrics(obs);
         }
 
         let mut voted = Vec::with_capacity(contexts.len());
@@ -565,6 +633,41 @@ mod tests {
         let c = plain.survey(&ctxs, &prompt, &params);
         assert_eq!(a.voted, c.voted);
         assert_eq!(a.per_model, c.per_model);
+    }
+
+    #[test]
+    fn obs_collects_vote_spans_and_publishes_the_meter() {
+        let obs = Obs::new();
+        let ensemble = Ensemble::paper_setup(5).with_obs(obs.clone());
+        let ctxs = contexts(8);
+        let prompt = Prompt::build(Language::English, PromptMode::Parallel);
+        let outcome = ensemble.survey(&ctxs, &prompt, &SamplerParams::default());
+        assert_eq!(outcome.voted.len(), 8);
+
+        let summary = obs.summary();
+        let vote_spans = summary
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("vote-"))
+            .count();
+        assert_eq!(vote_spans, 4, "one vote span per member");
+        // each member's batch span nests inside its vote span
+        assert!(summary
+            .spans
+            .iter()
+            .any(|s| s.key == "vote-gemini-1.5-pro/batch-gemini-1.5-pro" && s.depth == 1));
+        // the cost meter published per-model counters into the registry
+        assert_eq!(
+            summary
+                .metrics
+                .counters
+                .get("client.gemini-1.5-pro.requests"),
+            Some(&8)
+        );
+        assert!(summary.metrics.gauges.contains_key("client.grok-2.usd"));
+        // accounting and span timing share the obs clock
+        assert!(obs.clock().now_ms() > 0);
+        assert!(summary.spans.iter().any(|s| s.virtual_ms() > 0));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use nbhd_exec::{Parallelism, ScopedPool};
+use nbhd_obs::Obs;
 
 use crate::{
     send_resilient, CostMeter, HedgePolicy, ModelRequest, ModelResponse, RetryPolicy, TokenBucket,
@@ -56,6 +57,7 @@ pub struct BatchExecutor {
     clock: Arc<VirtualClock>,
     meter: Arc<CostMeter>,
     pricing: (f64, f64),
+    obs: Option<Obs>,
 }
 
 impl BatchExecutor {
@@ -67,6 +69,7 @@ impl BatchExecutor {
             clock: Arc::new(VirtualClock::new()),
             meter: Arc::new(CostMeter::new()),
             pricing: (0.0, 0.0),
+            obs: None,
         }
     }
 
@@ -75,6 +78,18 @@ impl BatchExecutor {
     pub fn with_accounting(mut self, clock: Arc<VirtualClock>, meter: Arc<CostMeter>) -> Self {
         self.clock = clock;
         self.meter = meter;
+        self
+    }
+
+    /// Attaches a run observability bundle: every batch records a
+    /// `batch-<model>` stage span and the fan-out's execution counters
+    /// land in the bundle's registry. Does not touch the accounting
+    /// clock — share that via [`BatchExecutor::with_accounting`]
+    /// (callers that want spans stamped in batch time pass an `Obs`
+    /// built over the same clock).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -110,8 +125,15 @@ impl BatchExecutor {
             .rate_limit
             .map(|(cap, rate)| TokenBucket::new(cap, rate, self.clock.clone()));
 
-        let pool = ScopedPool::new(self.config.parallelism);
-        pool.map(&requests, |request| {
+        let stage = self
+            .obs
+            .as_ref()
+            .map(|obs| obs.tracer().enter(&format!("batch-{}", self.transport.model_name())));
+        let mut pool = ScopedPool::new(self.config.parallelism);
+        if let Some(obs) = &self.obs {
+            pool = pool.with_metrics(Arc::clone(obs.registry()));
+        }
+        let results = pool.map(&requests, |request| {
             if let Some(bucket) = &bucket {
                 bucket.acquire_blocking();
             }
@@ -161,7 +183,11 @@ impl BatchExecutor {
                     Err(failure.error)
                 }
             }
-        })
+        });
+        if let Some(stage) = stage {
+            stage.record();
+        }
+        results
     }
 }
 

@@ -2,41 +2,16 @@
 //!
 //! The executor accounts for time virtually (no real sleeping), so tests
 //! and benchmarks of the rate limiter are instantaneous and deterministic.
+//!
+//! The clock itself lives in `nbhd-obs` (it is the run-wide time source
+//! for span tracing too); it is re-exported here so client callers keep
+//! their `nbhd_client::VirtualClock` spelling.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// A monotonically advancing virtual clock, shared across workers.
-///
-/// ```
-/// use nbhd_client::VirtualClock;
-/// let clock = VirtualClock::new();
-/// clock.advance_ms(250);
-/// assert_eq!(clock.now_ms(), 250);
-/// ```
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    now_ms: AtomicU64,
-}
-
-impl VirtualClock {
-    /// A clock starting at zero.
-    pub fn new() -> VirtualClock {
-        VirtualClock::default()
-    }
-
-    /// Current virtual time in milliseconds.
-    pub fn now_ms(&self) -> u64 {
-        self.now_ms.load(Ordering::SeqCst)
-    }
-
-    /// Advances the clock, returning the new time.
-    pub fn advance_ms(&self, delta: u64) -> u64 {
-        self.now_ms.fetch_add(delta, Ordering::SeqCst) + delta
-    }
-}
+pub use nbhd_obs::VirtualClock;
 
 /// A token bucket: `capacity` burst, refilled at `refill_per_sec`.
 ///
@@ -86,17 +61,26 @@ impl TokenBucket {
         }
     }
 
+    /// Credits the tokens accrued since `last_ms`. Reads the clock
+    /// *under the state lock* so a credit can never miss an advance paid
+    /// by another thread holding the lock.
+    fn refill(&self, state: &mut BucketState) {
+        let now = self.clock.now_ms();
+        if now > state.last_ms {
+            let elapsed = (now - state.last_ms) as f64 / 1000.0;
+            state.tokens = (state.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+            state.last_ms = now;
+        }
+    }
+
     /// Attempts to take one token.
     ///
     /// # Errors
     ///
     /// Returns the number of milliseconds until a token will be available.
     pub fn try_acquire(&self) -> Result<(), u64> {
-        let now = self.clock.now_ms();
         let mut state = self.state.lock();
-        let elapsed = now.saturating_sub(state.last_ms) as f64 / 1000.0;
-        state.tokens = (state.tokens + elapsed * self.refill_per_sec).min(self.capacity);
-        state.last_ms = now;
+        self.refill(&mut state);
         if state.tokens >= 1.0 {
             state.tokens -= 1.0;
             Ok(())
@@ -107,14 +91,27 @@ impl TokenBucket {
     }
 
     /// Acquires a token, advancing the virtual clock through any waits.
+    ///
+    /// The wait is serialized through the bucket state: the whole
+    /// refill-or-pay loop runs under the state lock, so exactly one
+    /// waiter advances the clock for each token deficit while the
+    /// others block on the lock and then re-check a refilled bucket.
+    /// (Previously every concurrent waiter charged its own full wait to
+    /// the shared clock, so N waiters paid ~N× the virtual time a
+    /// serial run pays for the same acquisitions.)
     pub fn acquire_blocking(&self) {
+        let mut state = self.state.lock();
         loop {
-            match self.try_acquire() {
-                Ok(()) => return,
-                Err(wait_ms) => {
-                    self.clock.advance_ms(wait_ms.max(1));
-                }
+            self.refill(&mut state);
+            if state.tokens >= 1.0 {
+                state.tokens -= 1.0;
+                return;
             }
+            let deficit = 1.0 - state.tokens;
+            let wait_ms = ((deficit / self.refill_per_sec * 1000.0).ceil() as u64).max(1);
+            self.clock.advance_ms(wait_ms);
+            // looping refills from the advanced clock; concurrent
+            // advances by other clock users are credited too
         }
     }
 }
@@ -135,6 +132,37 @@ mod tests {
         let elapsed = clock.now_ms();
         assert!(elapsed >= 9_400, "elapsed {elapsed} ms");
         assert!(elapsed <= 11_000, "elapsed {elapsed} ms");
+    }
+
+    #[test]
+    fn concurrent_waiters_pay_each_deficit_once() {
+        // the multi-worker twin of sustained_rate_is_bounded_by_refill:
+        // 100 acquisitions spread over 4 workers must charge exactly the
+        // serial bound of virtual time, not ~4x it (the old bug: every
+        // waiter advanced the shared clock by its own wait)
+        let serial_elapsed = {
+            let clock = Arc::new(VirtualClock::new());
+            let bucket = TokenBucket::new(5, 10.0, clock.clone());
+            for _ in 0..100 {
+                bucket.acquire_blocking();
+            }
+            clock.now_ms()
+        };
+        let parallel_elapsed = {
+            let clock = Arc::new(VirtualClock::new());
+            let bucket = TokenBucket::new(5, 10.0, clock.clone());
+            let items: Vec<u32> = (0..100).collect();
+            let _ = nbhd_exec::par_map_with(nbhd_exec::Parallelism::fixed(4), &items, |_| {
+                bucket.acquire_blocking()
+            });
+            clock.now_ms()
+        };
+        assert_eq!(
+            parallel_elapsed, serial_elapsed,
+            "4 workers must charge the serial virtual-time bound"
+        );
+        assert!(serial_elapsed >= 9_400, "elapsed {serial_elapsed} ms");
+        assert!(serial_elapsed <= 11_000, "elapsed {serial_elapsed} ms");
     }
 
     #[test]

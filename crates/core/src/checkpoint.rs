@@ -26,9 +26,10 @@ use std::sync::Arc;
 use nbhd_annotate::SplitRatios;
 use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
 use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
-use nbhd_eval::bootstrap_mean_checkpointed;
-use nbhd_exec::Parallelism;
+use nbhd_eval::bootstrap_mean_pooled;
+use nbhd_exec::{Parallelism, ScopedPool};
 use nbhd_journal::{CheckpointStore, RunManifest};
+use nbhd_obs::Obs;
 use nbhd_prompt::{Language, Prompt, PromptMode};
 use nbhd_types::{Error, ImageId, Indicator, Result};
 use nbhd_vlm::SamplerParams;
@@ -163,14 +164,42 @@ pub struct RunReport {
 /// failures — including [`nbhd_journal::JournalError::Killed`] (mapped to
 /// [`Error::Service`]) when a torture-test kill schedule fires.
 pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Result<RunReport> {
+    run_observed(plan, store, &Obs::default())
+}
+
+/// [`run_checkpointed`] with a caller-supplied observability bundle: every
+/// stage runs under a virtual-time span (`run`, `survey/capture`,
+/// `detector/harvest…`, `ensemble/vote-*`, `bootstrap`), execution and
+/// accounting counters land in the bundle's [`nbhd_obs::MetricsRegistry`],
+/// and completed spans are journaled through `store` (kind
+/// [`nbhd_obs::SPAN_RECORD_KIND`]) so a resumed run never duplicates a span
+/// key. The [`RunReport`] is identical to an unobserved run, and the
+/// bundle's deterministic surface (virtual-time span tree + deterministic
+/// counters) is byte-identical at any worker count.
+///
+/// # Errors
+///
+/// Same contract as [`run_checkpointed`].
+pub fn run_observed(
+    plan: &RunPlan,
+    store: Arc<dyn CheckpointStore>,
+    obs: &Obs,
+) -> Result<RunReport> {
     plan.validate()?;
-    let survey =
-        SurveyPipeline::new(plan.survey.clone()).run_with_store(Some(Arc::clone(&store)))?;
+    obs.tracer().attach_sink(Arc::clone(&store));
+    let run_stage = obs.tracer().enter("run");
+
+    let survey_stage = obs.tracer().enter("survey");
+    let survey = SurveyPipeline::new(plan.survey.clone())
+        .with_obs(obs.clone())
+        .run_with_store(Some(Arc::clone(&store)))?;
+    survey_stage.record();
     let dataset_json = canonical_dataset_json(&survey)?;
 
     // Stage 2: the detector. The finished weights are journaled as one
     // stage record, so a resumed run skips training entirely; a run that
     // died *during* training resumes from its per-image harvest records.
+    let detector_stage = obs.tracer().enter("detector");
     let detector = match store.load(STAGE_RECORD_KIND, DETECTOR_STAGE_KEY) {
         Some(value) => {
             let json = value
@@ -191,7 +220,8 @@ pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Resu
                     shrink: 4,
                     ..DetectorConfig::default()
                 },
-            );
+            )
+            .with_obs(obs.clone());
             let detector =
                 trainer.fit_checkpointed(survey.dataset(), &survey.provider(), store.as_ref())?;
             store.save(
@@ -202,6 +232,7 @@ pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Resu
             detector
         }
     };
+    detector_stage.record();
     let detector_json = detector.to_json()?;
 
     // Stage 3: the LLM ensemble vote, with each (model, image) query
@@ -211,6 +242,7 @@ pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Resu
         return Err(Error::config("survey produced no images"));
     }
     let contexts = survey.contexts(&ids)?;
+    let ensemble_stage = obs.tracer().enter("ensemble");
     let ensemble = Ensemble::new(
         paper_lineup().into_iter().take(plan.models).collect(),
         plan.survey.seed,
@@ -220,9 +252,11 @@ pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Resu
             ..ExecutorConfig::default()
         },
     )
+    .with_obs(obs.clone())
     .with_checkpoint(Arc::clone(&store));
     let prompt = Prompt::build(Language::English, PromptMode::Parallel);
     let outcome = ensemble.try_survey(&contexts, &prompt, &SamplerParams::default())?;
+    ensemble_stage.record();
 
     let mut votes: BTreeMap<String, u8> = BTreeMap::new();
     for (id, set) in ids.iter().zip(&outcome.voted) {
@@ -245,15 +279,21 @@ pub fn run_checkpointed(plan: &RunPlan, store: Arc<dyn CheckpointStore>) -> Resu
         })
         .collect();
     let voted_accuracy = correctness.iter().sum::<f64>() / correctness.len() as f64;
-    let ci = bootstrap_mean_checkpointed(
+    let bootstrap_stage = obs.tracer().enter("bootstrap");
+    let pool = ScopedPool::new(plan.survey.parallelism).with_metrics(Arc::clone(obs.registry()));
+    let ci = bootstrap_mean_pooled(
         &correctness,
         plan.resamples,
         plan.level,
         plan.survey.seed,
         store.as_ref(),
+        &pool,
     )?;
+    bootstrap_stage.record();
 
     let usage = survey.imagery_usage();
+    usage.publish(obs.registry());
+    run_stage.record();
     Ok(RunReport {
         dataset_json,
         detector_json,
@@ -301,6 +341,55 @@ mod tests {
         assert!(a.billed_images > 0);
         assert!(a.fees_usd > 0.0);
         assert!(a.ci_lo <= a.ci_estimate && a.ci_estimate <= a.ci_hi);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_journals_its_spans() {
+        let plan = RunPlan::smoke(43);
+        let plain = run_checkpointed(&plan, Arc::new(MemoryStore::new())).unwrap();
+
+        let obs = Obs::default();
+        let store = Arc::new(MemoryStore::new());
+        let observed = run_observed(&plan, store.clone(), &obs).unwrap();
+        assert_eq!(plain, observed, "observability must not change the report");
+
+        let summary = obs.summary();
+        let keys: Vec<&str> = summary.spans.iter().map(|s| s.key.as_str()).collect();
+        for expected in [
+            "run",
+            "run/survey",
+            "run/survey/capture",
+            "run/detector",
+            "run/detector/harvest",
+            "run/ensemble",
+            "run/bootstrap",
+        ] {
+            assert!(keys.contains(&expected), "missing span {expected}: {keys:?}");
+        }
+        // the root span closes last and spans the whole virtual timeline
+        let root = summary.spans.iter().find(|s| s.key == "run").unwrap();
+        assert_eq!(root.depth, 0);
+        assert!(root.virtual_ms() > 0, "LLM latency advances the clock");
+
+        // spans were journaled through the run's store, one per key
+        let journaled = store.load_kind(nbhd_obs::SPAN_RECORD_KIND);
+        assert_eq!(journaled.len(), summary.spans.len());
+
+        // counters carry the unified rollup: exec tasks, per-model client
+        // accounting, and imagery billing
+        let counters = &summary.metrics.counters;
+        assert!(counters[nbhd_exec::TASKS_METRIC] > 0);
+        assert!(counters["gsv.billed_images"] > 0);
+        assert!(counters.keys().any(|k| k.starts_with("client.")));
+
+        // a resumed run replays every unit and never duplicates a span key
+        let again = run_observed(&plan, store.clone(), &Obs::default()).unwrap();
+        assert_eq!(again, plain);
+        assert_eq!(
+            store.load_kind(nbhd_obs::SPAN_RECORD_KIND).len(),
+            journaled.len(),
+            "resume must not duplicate span records"
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub use baseline::{
     evaluate_on, evaluate_with_noise, survey_split, train_baseline, AugmentationPolicy,
     AugmentedProvider, BaselineOutcome,
 };
-pub use checkpoint::{run_checkpointed, RunPlan, RunReport, DETECTOR_STAGE_KEY, STAGE_RECORD_KIND};
+pub use checkpoint::{
+    run_checkpointed, run_observed, RunPlan, RunReport, DETECTOR_STAGE_KEY, STAGE_RECORD_KIND,
+};
 pub use config::SurveyConfig;
 pub use experiments::{ExperimentReport, PaperExperiments};
 pub use llm_survey::{paper_lineup, run_llm_survey, LlmSurveyConfig, LlmSurveyOutcome};
@@ -53,9 +55,9 @@ pub use pipeline::{
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
-        paper_lineup, run_checkpointed, run_llm_survey, train_baseline, AugmentationPolicy,
-        LlmSurveyConfig, PaperExperiments, RunPlan, RunReport, SurveyConfig, SurveyDataset,
-        SurveyPipeline,
+        paper_lineup, run_checkpointed, run_llm_survey, run_observed, train_baseline,
+        AugmentationPolicy, LlmSurveyConfig, PaperExperiments, RunPlan, RunReport, SurveyConfig,
+        SurveyDataset, SurveyPipeline,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
     pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
     pub use nbhd_exec::{Parallelism, ScopedPool};
+    pub use nbhd_obs::{Obs, RunSummary};
     pub use nbhd_geo::{County, SurveySample};
     pub use nbhd_prompt::{Language, Prompt, PromptMode};
     pub use nbhd_scene::{render, SceneGenerator};
@@ -79,6 +82,7 @@ pub use nbhd_exec as exec;
 pub use nbhd_geo as geo;
 pub use nbhd_gsv as gsv;
 pub use nbhd_journal as journal;
+pub use nbhd_obs as obs;
 pub use nbhd_prompt as prompt;
 pub use nbhd_raster as raster;
 pub use nbhd_scene as scene;

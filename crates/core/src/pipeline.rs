@@ -12,6 +12,7 @@ use nbhd_exec::ScopedPool;
 use nbhd_geo::{County, SurveySample};
 use nbhd_gsv::{ImageRequest, StreetViewService, UsageMeter};
 use nbhd_journal::CheckpointStore;
+use nbhd_obs::Obs;
 use nbhd_raster::RasterImage;
 use nbhd_scene::SceneSpec;
 use nbhd_types::rng::child_seed;
@@ -32,12 +33,23 @@ pub const PANIC_RECORD_KIND: &str = "panic";
 #[derive(Debug, Clone)]
 pub struct SurveyPipeline {
     config: SurveyConfig,
+    obs: Option<Obs>,
 }
 
 impl SurveyPipeline {
     /// Creates the pipeline.
     pub fn new(config: SurveyConfig) -> SurveyPipeline {
-        SurveyPipeline { config }
+        SurveyPipeline { config, obs: None }
+    }
+
+    /// Attaches the run's observability bundle: the capture fan-out
+    /// records a `capture` stage span and its execution counters, and the
+    /// imagery usage meter publishes into the bundle's registry when the
+    /// pass completes. Does not affect the dataset.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> SurveyPipeline {
+        self.obs = Some(obs);
+        self
     }
 
     /// Runs the full data-collection pass.
@@ -96,7 +108,11 @@ impl SurveyPipeline {
             .into_iter()
             .flat_map(|location| Heading::ALL.iter().map(move |&heading| (location, heading)))
             .collect();
-        let pool = ScopedPool::new(self.config.parallelism);
+        let mut pool = ScopedPool::new(self.config.parallelism);
+        if let Some(obs) = &self.obs {
+            pool = pool.with_metrics(Arc::clone(obs.registry()));
+        }
+        let capture_stage = self.obs.as_ref().map(|obs| obs.tracer().enter("capture"));
         let mapped = pool.try_map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
             let id = ImageId::new(location, heading);
             if let Some(store) = &store {
@@ -124,6 +140,9 @@ impl SurveyPipeline {
             }
             Ok(labels)
         });
+        if let Some(stage) = capture_stage {
+            stage.record();
+        }
         let annotations: Vec<ImageLabels> = match mapped {
             Ok(items) => items.into_iter().collect::<Result<_>>()?,
             Err(panicked) => {
@@ -145,6 +164,9 @@ impl SurveyPipeline {
             self.config.split,
             child_seed(self.config.seed, "split"),
         )?;
+        if let Some(obs) = &self.obs {
+            service.usage().publish(obs.registry());
+        }
         Ok(SurveyDataset {
             config: self.config.clone(),
             service,
@@ -326,6 +348,30 @@ mod tests {
             serial.imagery_usage().billed_images,
             parallel.imagery_usage().billed_images
         );
+    }
+
+    #[test]
+    fn obs_records_capture_span_and_publishes_imagery_usage() {
+        let obs = Obs::default();
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(17))
+            .with_obs(obs.clone())
+            .run()
+            .unwrap();
+        let summary = obs.summary();
+        assert!(summary.spans.iter().any(|s| s.key == "capture"));
+        let counters = &summary.metrics.counters;
+        assert_eq!(
+            counters.get(nbhd_exec::TASKS_METRIC).copied().unwrap_or(0) as usize,
+            survey.images().len(),
+            "one exec task per captured image"
+        );
+        assert_eq!(
+            counters.get("gsv.billed_images").copied(),
+            Some(survey.imagery_usage().billed_images)
+        );
+        // observing must not perturb the dataset
+        let plain = SurveyPipeline::new(SurveyConfig::smoke(17)).run().unwrap();
+        assert_eq!(plain.dataset(), survey.dataset());
     }
 
     #[test]

@@ -6,16 +6,18 @@
 //! split used for operating-point selection.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nbhd_annotate::LabeledDataset;
 use nbhd_journal::CheckpointStore;
+use nbhd_obs::Obs;
 use nbhd_raster::RasterImage;
 use nbhd_types::rng::{child_seed, child_seed_n, rng_from};
 use nbhd_types::{BBox, Error, ImageId, Indicator, IndicatorMap, Result};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use nbhd_exec::{par_map_with, Parallelism};
+use nbhd_exec::{Parallelism, ScopedPool};
 
 use crate::{Detector, DetectorConfig, IntegralChannels};
 
@@ -91,6 +93,7 @@ pub struct Trainer {
     pub train: TrainConfig,
     /// Detector (inference-side) configuration.
     pub detector: DetectorConfig,
+    obs: Option<Obs>,
 }
 
 /// One mixture component's training pool.
@@ -103,7 +106,21 @@ struct ClassPool {
 impl Trainer {
     /// Creates a trainer from configs.
     pub fn new(train: TrainConfig, detector: DetectorConfig) -> Self {
-        Trainer { train, detector }
+        Trainer {
+            train,
+            detector,
+            obs: None,
+        }
+    }
+
+    /// Attaches the run's observability bundle: the harvest, each mining
+    /// round, and calibration record stage spans, and the per-image
+    /// fan-outs record execution counters into the bundle's registry.
+    /// Does not affect the trained weights.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Trainer {
+        self.obs = Some(obs);
+        self
     }
 
     /// Trains on the dataset's train split, then calibrates per-class
@@ -149,6 +166,10 @@ impl Trainer {
         }
         let mut detector = Detector::untrained(self.detector.clone());
         let mut rng = rng_from(child_seed(self.train.seed, "trainer"));
+        let mut pool = ScopedPool::new(self.train.parallelism);
+        if let Some(obs) = &self.obs {
+            pool = pool.with_metrics(Arc::clone(obs.registry()));
+        }
 
         // Pass 1 (parallel over images): harvest positive and
         // random-negative window features, routed to the mixture component
@@ -159,7 +180,8 @@ impl Trainer {
                 .map(|_| ClassPool::default())
                 .collect()
         });
-        let harvested = par_map_with(self.train.parallelism, train_ids, |&id| -> Result<_> {
+        let harvest_stage = self.obs.as_ref().map(|obs| obs.tracer().enter("harvest"));
+        let harvested = pool.map(train_ids, |&id| -> Result<_> {
             let img = provider.image(id)?;
             let size = img.width();
             let integral = detector.integral(&img);
@@ -247,15 +269,22 @@ impl Trainer {
                 pool.labels.push(label);
             }
         }
+        if let Some(stage) = harvest_stage {
+            stage.record();
+        }
 
         self.sgd(&mut detector, &mut pools, &mut rng);
 
         // Hard-negative mining rounds (parallel scans): collect confident
         // mistakes, extend the pools, refit.
-        for _round in 0..self.train.hard_negative_rounds {
+        for round in 0..self.train.hard_negative_rounds {
             let size = dataset.image_size();
             let det_ref = &detector;
-            let mined = par_map_with(self.train.parallelism, train_ids, |&id| -> Result<_> {
+            let mine_stage = self
+                .obs
+                .as_ref()
+                .map(|obs| obs.tracer().enter(&format!("mine-{round}")));
+            let mined = pool.map(train_ids, |&id| -> Result<_> {
                 let integral = integrals.get(&id).expect("cached in pass 1");
                 let labels = dataset.labels(id)?;
                 // scan low so marginal false positives are mined too
@@ -288,6 +317,9 @@ impl Trainer {
                     added += 1;
                 }
             }
+            if let Some(stage) = mine_stage {
+                stage.record();
+            }
             if added == 0 {
                 break;
             }
@@ -297,7 +329,11 @@ impl Trainer {
         // Threshold calibration on the validation split.
         let val_ids = &dataset.split().val;
         if !val_ids.is_empty() {
+            let stage = self.obs.as_ref().map(|obs| obs.tracer().enter("calibrate"));
             self.calibrate(&mut detector, dataset, provider, val_ids)?;
+            if let Some(stage) = stage {
+                stage.record();
+            }
         }
         Ok(detector)
     }
@@ -535,6 +571,37 @@ mod tests {
         // lands on identical weights
         let resumed = trainer.fit_checkpointed(&ds, &p, &store).unwrap();
         assert_eq!(plain, resumed);
+    }
+
+    #[test]
+    fn obs_records_stage_spans_and_exec_counters_without_changing_weights() {
+        let (ds, images) = small_dataset(20, 96);
+        let trainer = Trainer::new(
+            TrainConfig {
+                epochs: 3,
+                hard_negative_rounds: 1,
+                ..TrainConfig::default()
+            },
+            DetectorConfig::default(),
+        );
+        let p = provider(images);
+        let plain = trainer.fit(&ds, &p).unwrap();
+
+        let obs = Obs::new();
+        let observed = trainer.clone().with_obs(obs.clone()).fit(&ds, &p).unwrap();
+        assert_eq!(plain, observed, "observability must not change training");
+
+        let summary = obs.summary();
+        let names: Vec<&str> = summary.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"harvest"), "spans: {names:?}");
+        assert!(names.contains(&"mine-0"), "spans: {names:?}");
+        assert!(names.contains(&"calibrate"), "spans: {names:?}");
+        // the per-image fan-outs recorded their task counts
+        let tasks = summary.metrics.counters[nbhd_exec::TASKS_METRIC];
+        assert!(
+            tasks >= 2 * ds.split().train.len() as u64,
+            "harvest + mining tasks expected, got {tasks}"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! interval is identical at any worker count (and identical to a
 //! sequential loop over the same per-resample seeds).
 
+use nbhd_exec::ScopedPool;
 use nbhd_journal::CheckpointStore;
 use nbhd_types::rng::{child_seed, rng_from};
 use rand::Rng;
@@ -72,12 +73,36 @@ pub fn bootstrap_mean_checkpointed(
     seed: u64,
     store: &dyn CheckpointStore,
 ) -> nbhd_types::Result<ConfidenceInterval> {
+    bootstrap_mean_pooled(values, resamples, level, seed, store, &ScopedPool::default())
+}
+
+/// [`bootstrap_mean_checkpointed`] riding a caller-supplied [`ScopedPool`]:
+/// the resample fan-out runs at the pool's parallelism and, when the pool
+/// carries a run-scoped metrics registry, its execution counters land
+/// there. The interval is identical at any pool setting.
+///
+/// # Errors
+///
+/// Returns an error when the store fails to persist a resample or holds a
+/// malformed resample record.
+///
+/// # Panics
+///
+/// Same input contract as [`bootstrap_mean`].
+pub fn bootstrap_mean_pooled(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    store: &dyn CheckpointStore,
+    pool: &ScopedPool,
+) -> nbhd_types::Result<ConfidenceInterval> {
     assert!(!values.is_empty(), "bootstrap requires observations");
     assert!(resamples > 0, "bootstrap requires at least one resample");
     assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
     let root = child_seed(seed, "bootstrap");
     let order: Vec<u64> = (0..resamples as u64).collect();
-    let drawn = nbhd_exec::par_map(&order, |&resample| {
+    let drawn = pool.map(&order, |&resample| {
         match store.load(RESAMPLE_RECORD_KIND, &resample.to_string()) {
             Some(value) => match value.as_f64() {
                 Some(mean) => Ok((resample, mean, true)),
@@ -173,6 +198,26 @@ mod tests {
     #[should_panic(expected = "observations")]
     fn empty_input_panics() {
         let _ = bootstrap_mean(&[], 10, 0.95, 1);
+    }
+
+    #[test]
+    fn pooled_bootstrap_matches_and_records_exec_counters() {
+        use nbhd_exec::Parallelism;
+        use nbhd_journal::MemoryStore;
+        use nbhd_obs::MetricsRegistry;
+        use std::sync::Arc;
+        let vals: Vec<f64> = (0..80).map(|i| ((i * 13) % 7) as f64 / 7.0).collect();
+        let plain = bootstrap_mean(&vals, 120, 0.95, 17);
+        let registry = Arc::new(MetricsRegistry::new());
+        let pool = ScopedPool::new(Parallelism::fixed(4)).with_metrics(Arc::clone(&registry));
+        let store = MemoryStore::new();
+        let pooled = bootstrap_mean_pooled(&vals, 120, 0.95, 17, &store, &pool).unwrap();
+        assert_eq!(plain, pooled, "pool choice must not change the interval");
+        assert_eq!(
+            registry.snapshot().counters[nbhd_exec::TASKS_METRIC],
+            120,
+            "one task per resample"
+        );
     }
 
     #[test]

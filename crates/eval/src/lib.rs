@@ -32,7 +32,8 @@ mod report;
 mod vote;
 
 pub use bootstrap::{
-    bootstrap_mean, bootstrap_mean_checkpointed, ConfidenceInterval, RESAMPLE_RECORD_KIND,
+    bootstrap_mean, bootstrap_mean_checkpointed, bootstrap_mean_pooled, ConfidenceInterval,
+    RESAMPLE_RECORD_KIND,
 };
 pub use chart::{bar_chart, line_chart};
 pub use confusion::BinaryConfusion;
@@ -40,7 +41,7 @@ pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
 pub use report::{
     render_comparison, render_exec_table, render_health_table, render_metrics_table,
-    ComparisonRow, ExecRow, HealthRow,
+    render_run_summary, ComparisonRow, ExecRow, HealthRow,
 };
 pub use vote::{
     agreement, majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteFallback, VoteProvenance,

@@ -1,5 +1,6 @@
 //! Text rendering of metric tables and paper-vs-measured comparisons.
 
+use nbhd_obs::RunSummary;
 use nbhd_types::Indicator;
 
 use crate::MetricsTable;
@@ -160,7 +161,8 @@ pub fn render_health_table(title: &str, rows: &[HealthRow]) -> String {
 
 /// One labeled execution-substrate snapshot for [`render_exec_table`]:
 /// typically one row per pipeline stage or bench section, built from
-/// [`nbhd_exec::stats`] deltas.
+/// [`nbhd_exec::ExecSnapshot::from_metrics`] deltas over a run-scoped
+/// registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecRow<'a> {
     /// What the snapshot covers (e.g. `"survey build"`).
@@ -209,6 +211,74 @@ pub fn render_exec_table(title: &str, rows: &[ExecRow<'_>]) -> String {
             s.steals,
             s.busy_ms()
         ));
+    }
+    out
+}
+
+/// Renders a [`RunSummary`] as a per-stage timing tree followed by the
+/// unified counter rollup, in the same aligned-text style as the other
+/// report tables. Spans indent by nesting depth and show both time
+/// scales; wall counters and gauges are marked so readers know they are
+/// off the deterministic surface.
+///
+/// ```
+/// use nbhd_eval::render_run_summary;
+/// use nbhd_obs::Obs;
+///
+/// let obs = Obs::new();
+/// let stage = obs.tracer().enter("survey");
+/// obs.clock().advance_ms(40);
+/// obs.registry().add("survey.captures", 20);
+/// stage.record();
+/// let text = render_run_summary("Run summary", &obs.summary());
+/// assert!(text.contains("survey"));
+/// assert!(text.contains("survey.captures"));
+/// ```
+pub fn render_run_summary(title: &str, summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let labels: Vec<String> = summary
+        .spans
+        .iter()
+        .map(|s| format!("{:indent$}{}", "", s.name, indent = 2 * s.depth))
+        .collect();
+    let stage_w = labels
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max("Stage".len());
+    out.push_str(&format!(
+        "{:<stage_w$} {:>12} {:>12}\n",
+        "Stage", "Virtual", "Wall"
+    ));
+    for (label, span) in labels.iter().zip(&summary.spans) {
+        out.push_str(&format!(
+            "{:<stage_w$} {:>9} ms {:>9.1} ms\n",
+            label,
+            span.virtual_ms(),
+            span.wall_us as f64 / 1000.0
+        ));
+    }
+    let m = &summary.metrics;
+    let name_w = m
+        .counters
+        .keys()
+        .chain(m.wall_counters.keys())
+        .chain(m.gauges.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max("Counter".len());
+    out.push_str(&format!("{:<name_w$} {:>14}\n", "Counter", "Value"));
+    for (name, value) in &m.counters {
+        out.push_str(&format!("{name:<name_w$} {value:>14}\n"));
+    }
+    for (name, value) in &m.wall_counters {
+        out.push_str(&format!("{name:<name_w$} {value:>14} (wall)\n"));
+    }
+    for (name, value) in &m.gauges {
+        out.push_str(&format!("{name:<name_w$} {value:>14.4} (gauge)\n"));
     }
     out
 }
@@ -294,6 +364,35 @@ mod tests {
         assert!(text.contains("train"));
         assert!(text.contains("96"));
         assert!(text.contains("2.5 ms"));
+    }
+
+    #[test]
+    fn run_summary_indents_nested_stages_and_marks_wall_metrics() {
+        use nbhd_obs::Obs;
+        let obs = Obs::new();
+        let run = obs.tracer().enter("run");
+        obs.clock().advance_ms(10);
+        let survey = obs.tracer().enter("survey");
+        obs.clock().advance_ms(30);
+        survey.record();
+        run.record();
+        obs.registry().add("survey.captures", 12);
+        obs.registry().add_wall("exec.steals", 4);
+        obs.registry().add_gauge("client.gemini.usd", 0.5);
+
+        let text = render_run_summary("Run summary", &obs.summary());
+        assert!(text.contains("Run summary"), "{text}");
+        // nested stage indents by depth under its parent
+        let run_line = text.lines().find(|l| l.starts_with("run ")).unwrap();
+        let survey_line = text.lines().find(|l| l.starts_with("  survey")).unwrap();
+        assert!(run_line.contains("40 ms"), "{run_line}");
+        assert!(survey_line.contains("30 ms"), "{survey_line}");
+        // counters render; off-surface metrics are marked
+        assert!(text.contains("survey.captures"), "{text}");
+        let steals = text.lines().find(|l| l.contains("exec.steals")).unwrap();
+        assert!(steals.ends_with("(wall)"), "{steals}");
+        let usd = text.lines().find(|l| l.contains("client.gemini.usd")).unwrap();
+        assert!(usd.ends_with("(gauge)"), "{usd}");
     }
 
     #[test]

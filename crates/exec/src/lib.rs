@@ -19,9 +19,12 @@
 //!    thread ran it or when.
 //!
 //! The [`Parallelism`] knob is plumbed through `SurveyConfig`,
-//! `TrainConfig`, and `ExecutorConfig`; [`stats`] exposes substrate-wide
-//! counters (tasks, chunks, steals, busy wall-time) that `nbhd-eval`
-//! renders as a report table.
+//! `TrainConfig`, and `ExecutorConfig`. Execution counters (tasks,
+//! chunks, steals, busy wall-time) record into a run-scoped
+//! `nbhd-obs` [`MetricsRegistry`](nbhd_obs::MetricsRegistry) attached
+//! via [`ScopedPool::with_metrics`] and are read back with
+//! [`ExecSnapshot::from_metrics`]; the old process-global [`stats`] /
+//! [`reset_stats`] shims remain, deprecated, for legacy callers.
 //!
 //! # Examples
 //!
@@ -47,7 +50,12 @@ pub use pool::{
     par_map, par_map_chunked, par_map_indexed, par_map_indexed_with, par_map_with, try_par_map,
     try_par_map_chunked, try_par_map_indexed_with, try_par_map_with, ScopedPool, TaskPanicked,
 };
-pub use stats::{reset_stats, stats, ExecSnapshot};
+pub use stats::{
+    ExecSnapshot, BUSY_US_METRIC, CHUNKS_METRIC, PARALLEL_CALLS_METRIC, SERIAL_CALLS_METRIC,
+    STEALS_METRIC, TASKS_METRIC,
+};
+#[allow(deprecated)]
+pub use stats::{reset_stats, stats};
 
 /// Derives the seed for one work item from a parent seed and the item's
 /// input index.

@@ -12,7 +12,10 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+use nbhd_obs::MetricsRegistry;
 
 use crate::{stats, Parallelism};
 
@@ -114,14 +117,33 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_indexed_metrics(parallelism, items, f, None)
+}
+
+/// [`par_map_indexed_with`] recording into an optional run-scoped
+/// registry; the registry-aware internals behind [`ScopedPool`].
+fn par_map_indexed_metrics<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+    registry: Option<&MetricsRegistry>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = parallelism.workers_for(n);
     if workers <= 1 || n < MIN_PARALLEL_ITEMS {
-        stats::record_serial(n);
+        stats::record_serial(n, registry);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
-    par_map_chunked(workers, chunk, items, f)
+    match try_par_map_chunked_metrics(workers, chunk, items, f, registry) {
+        Ok(out) => out,
+        Err(panicked) => panic!("exec {panicked}"),
+    }
 }
 
 /// The core primitive: maps `f(index, &item)` over `items` on `workers`
@@ -166,12 +188,29 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_par_map_chunked_metrics(workers, chunk, items, f, None)
+}
+
+/// [`try_par_map_chunked`] recording into an optional run-scoped
+/// registry.
+fn try_par_map_chunked_metrics<T, R, F>(
+    workers: usize,
+    chunk: usize,
+    items: &[T],
+    f: F,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk);
     let workers = workers.max(1).min(n_chunks.max(1));
     if workers <= 1 || n == 0 {
-        stats::record_serial(n);
+        stats::record_serial(n, registry);
         let mut out = Vec::with_capacity(n);
         for (i, item) in items.iter().enumerate() {
             out.push(run_item(&f, i, item)?);
@@ -251,7 +290,7 @@ where
     for (_, mut piece) in pieces {
         out.append(&mut piece);
     }
-    stats::record_parallel(n as u64, n_chunks as u64, steals, started.elapsed());
+    stats::record_parallel(n as u64, n_chunks as u64, steals, started.elapsed(), registry);
     Ok(out)
 }
 
@@ -303,18 +342,39 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_par_map_indexed_metrics(parallelism, items, f, None)
+}
+
+/// [`try_par_map_indexed_with`] recording into an optional run-scoped
+/// registry.
+fn try_par_map_indexed_metrics<T, R, F>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: F,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Vec<R>, TaskPanicked>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = parallelism.workers_for(n);
     if workers <= 1 || n < MIN_PARALLEL_ITEMS {
-        return try_par_map_chunked(1, n.max(1), items, f);
+        return try_par_map_chunked_metrics(1, n.max(1), items, f, registry);
     }
     let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
-    try_par_map_chunked(workers, chunk, items, f)
+    try_par_map_chunked_metrics(workers, chunk, items, f, registry)
 }
 
 /// A reusable handle over the substrate: holds a [`Parallelism`] setting
 /// and runs ordered maps under it. Layers that fan out repeatedly (the
 /// batch executor, the trainer) construct one and reuse it per region.
+///
+/// Attach a run-scoped [`MetricsRegistry`] with
+/// [`ScopedPool::with_metrics`] and every map records its task, chunk,
+/// steal, and busy counters there (in addition to the deprecated global
+/// shims), isolated from every other run in the process.
 ///
 /// ```
 /// use nbhd_exec::{Parallelism, ScopedPool};
@@ -322,20 +382,36 @@ where
 /// let doubled = pool.map(&[1, 2, 3, 4, 5], |&x: &i32| x * 2);
 /// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScopedPool {
     parallelism: Parallelism,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ScopedPool {
     /// Creates a pool handle with the given parallelism.
     pub fn new(parallelism: Parallelism) -> ScopedPool {
-        ScopedPool { parallelism }
+        ScopedPool {
+            parallelism,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a run-scoped metrics registry; every subsequent map
+    /// records its counters there.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> ScopedPool {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The pool's parallelism setting.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Ordered parallel map (see [`par_map_with`]).
@@ -345,7 +421,12 @@ impl ScopedPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        par_map_with(self.parallelism, items, f)
+        par_map_indexed_metrics(
+            self.parallelism,
+            items,
+            |_, item| f(item),
+            self.metrics.as_deref(),
+        )
     }
 
     /// Ordered parallel map with input indices (see
@@ -356,7 +437,7 @@ impl ScopedPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        par_map_indexed_with(self.parallelism, items, f)
+        par_map_indexed_metrics(self.parallelism, items, f, self.metrics.as_deref())
     }
 
     /// Fallible ordered map (see [`try_par_map_with`]).
@@ -370,7 +451,12 @@ impl ScopedPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        try_par_map_with(self.parallelism, items, f)
+        try_par_map_indexed_metrics(
+            self.parallelism,
+            items,
+            |_, item| f(item),
+            self.metrics.as_deref(),
+        )
     }
 
     /// Fallible ordered map with input indices (see
@@ -385,7 +471,7 @@ impl ScopedPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        try_par_map_indexed_with(self.parallelism, items, f)
+        try_par_map_indexed_metrics(self.parallelism, items, f, self.metrics.as_deref())
     }
 }
 
@@ -516,6 +602,33 @@ mod tests {
         let pool = ScopedPool::new(Parallelism::fixed(2));
         let indexed = pool.try_map_indexed(&items, |i, &x| i as u64 + x).unwrap();
         assert_eq!(indexed[200], 400);
+    }
+
+    #[test]
+    fn attached_registry_sees_this_pools_work_only() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let pool = ScopedPool::new(Parallelism::fixed(3)).with_metrics(Arc::clone(&registry));
+        let items: Vec<u64> = (0..64).collect();
+        let _ = pool.map(&items, |&x| x + 1);
+        let _ = pool.try_map(&items, |&x| x + 2).unwrap();
+        let snapshot = crate::ExecSnapshot::from_metrics(&registry.snapshot());
+        assert_eq!(snapshot.tasks, 128);
+        assert_eq!(snapshot.parallel_calls + snapshot.serial_calls, 2);
+    }
+
+    #[test]
+    fn registry_task_counts_are_worker_count_invariant() {
+        let items: Vec<u64> = (0..257).collect();
+        let count_tasks = |parallelism: Parallelism| {
+            let registry = Arc::new(MetricsRegistry::new());
+            let pool = ScopedPool::new(parallelism).with_metrics(Arc::clone(&registry));
+            let _ = pool.map_indexed(&items, |i, &x| i as u64 + x);
+            registry.snapshot().counters[crate::stats::TASKS_METRIC]
+        };
+        assert_eq!(
+            count_tasks(Parallelism::serial()),
+            count_tasks(Parallelism::fixed(4))
+        );
     }
 
     #[test]

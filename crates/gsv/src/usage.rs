@@ -1,5 +1,7 @@
 //! Usage accounting for the imagery service.
 
+use nbhd_obs::MetricsRegistry;
+
 /// Counters for imagery-service usage: requests, billed fetches, cache hits,
 /// and accumulated fees.
 ///
@@ -30,11 +32,41 @@ impl UsageMeter {
             self.cache_hits as f64 / self.requests as f64
         }
     }
+
+    /// Publishes the meter into a run-scoped metrics registry under the
+    /// `gsv.` namespace. Request/billing/cache counts are deterministic
+    /// counters; accumulated fees are a gauge (floating point stays off
+    /// the byte-compared surface). Absolute `set` semantics: idempotent.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry.set("gsv.requests", self.requests);
+        registry.set("gsv.billed_images", self.billed_images);
+        registry.set("gsv.cache_hits", self.cache_hits);
+        registry.set_gauge("gsv.fees_usd", self.fees_usd);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn publish_splits_counters_from_fee_gauge() {
+        let m = UsageMeter {
+            requests: 10,
+            billed_images: 6,
+            cache_hits: 4,
+            fees_usd: 0.042,
+        };
+        let registry = MetricsRegistry::new();
+        m.publish(&registry);
+        m.publish(&registry); // idempotent: absolute set, no double count
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["gsv.requests"], 10);
+        assert_eq!(snap.counters["gsv.billed_images"], 6);
+        assert_eq!(snap.counters["gsv.cache_hits"], 4);
+        assert!(!snap.counters.contains_key("gsv.fees_usd"));
+        assert!((snap.gauges["gsv.fees_usd"] - 0.042).abs() < 1e-12);
+    }
 
     #[test]
     fn hit_rate_handles_zero() {

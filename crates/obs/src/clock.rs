@@ -1,0 +1,39 @@
+//! The shared virtual clock.
+//!
+//! Every layer that accounts for time — rate limiting, retry backoff,
+//! breaker cooldowns, hedging, simulated request latency, and now span
+//! tracing — advances this clock instead of sleeping. Virtual time is
+//! part of the deterministic surface: a run's total virtual elapsed time
+//! is a pure function of the work performed, not of scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically advancing virtual clock, shared across workers.
+///
+/// ```
+/// use nbhd_obs::VirtualClock;
+/// let clock = VirtualClock::new();
+/// clock.advance_ms(250);
+/// assert_eq!(clock.now_ms(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock, returning the new time.
+    pub fn advance_ms(&self, delta: u64) -> u64 {
+        self.now_ms.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+}

@@ -1,0 +1,33 @@
+//! Unified run observability for the nbhd workspace.
+//!
+//! One run, one [`Obs`] bundle, three pieces:
+//!
+//! * [`VirtualClock`] — the shared virtual time source (moved here from
+//!   `nbhd-client` so every layer, not just the API client, can stamp
+//!   spans with it).
+//! * [`MetricsRegistry`] — the unified counter surface that absorbs the
+//!   previously scattered tallies (`nbhd-exec` global atomics,
+//!   `CostMeter`, gsv `UsageMeter`, breaker transitions), split into a
+//!   deterministic namespace and an observability-only wall namespace.
+//! * [`Tracer`] / [`Stage`] — nested virtual-time stage spans with an
+//!   optional crash-safe journal sink (`"obs-span"` records through
+//!   `nbhd-journal`'s length+FNV framing, deduplicated across resume).
+//!
+//! The determinism contract: [`RunSummary::deterministic_text`]
+//! (virtual-time spans + deterministic counters) is byte-identical at
+//! any worker count for the same plan and seed; wall-clock durations,
+//! scheduling counters, and completion-order float sums live outside
+//! that surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod metrics;
+mod summary;
+mod trace;
+
+pub use clock::VirtualClock;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use summary::{Obs, RunSummary};
+pub use trace::{SpanRecord, Stage, Tracer, SPAN_RECORD_KIND};

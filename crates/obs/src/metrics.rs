@@ -1,0 +1,192 @@
+//! The unified counter surface for one run.
+//!
+//! Historically every layer kept its own tally: `nbhd-exec` in
+//! process-global atomics (which race `reset_stats` across parallel
+//! tests), the client in `CostMeter`, the imagery service in
+//! `UsageMeter`, the breakers in per-model state. A [`MetricsRegistry`]
+//! is a run-scoped home for all of them, split into two namespaces:
+//!
+//! * **deterministic counters** — `u64` values that are byte-identical
+//!   at any worker count for the same plan and seed (task counts, token
+//!   totals, billed images). These belong to the deterministic surface
+//!   compared by `tests/determinism.rs`.
+//! * **wall counters and gauges** — scheduling-dependent values (chunk
+//!   and steal counts, busy time, f64 dollar sums accumulated in
+//!   completion order). Observability-only; never byte-compared.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Run-scoped metrics: deterministic counters, wall counters, gauges.
+///
+/// Cheap to share (`Arc<MetricsRegistry>`); all methods take `&self`.
+///
+/// ```
+/// use nbhd_obs::MetricsRegistry;
+/// let registry = MetricsRegistry::new();
+/// registry.add("exec.tasks", 20);
+/// registry.add_wall("exec.steals", 3);
+/// registry.add_gauge("client.usd", 0.125);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counters["exec.tasks"], 20);
+/// assert!(!snap.counters.contains_key("exec.steals"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+///
+/// Only [`MetricsSnapshot::counters`] is deterministic across worker
+/// counts; `wall_counters` and `gauges` are observability-only.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Deterministic counters: byte-identical at any worker count.
+    pub counters: BTreeMap<String, u64>,
+    /// Scheduling-dependent counters (chunks, steals, busy time).
+    pub wall_counters: BTreeMap<String, u64>,
+    /// Floating-point sums accumulated in completion order (usd, latency).
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds to a deterministic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a deterministic counter to an absolute value (idempotent
+    /// publish for meters that already aggregate internally).
+    pub fn set(&self, name: &str, value: u64) {
+        self.inner.lock().counters.insert(name.to_string(), value);
+    }
+
+    /// Adds to a scheduling-dependent wall counter.
+    pub fn add_wall(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.wall_counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a wall counter to an absolute value.
+    pub fn set_wall(&self, name: &str, value: u64) {
+        self.inner
+            .lock()
+            .wall_counters
+            .insert(name.to_string(), value);
+    }
+
+    /// Adds to a floating-point gauge sum.
+    pub fn add_gauge(&self, name: &str, delta: f64) {
+        let mut inner = self.inner.lock();
+        *inner.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a deterministic counter (0 when unset).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a wall counter (0 when unset).
+    pub fn wall_counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .wall_counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0.0 when unset).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.inner.lock().gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().clone()
+    }
+}
+
+impl MetricsSnapshot {
+    /// The deterministic counters rendered one per line, `name value`.
+    ///
+    /// This is the counter half of the run's deterministic surface; see
+    /// [`crate::RunSummary::deterministic_text`].
+    pub fn deterministic_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_namespace() {
+        let registry = MetricsRegistry::new();
+        registry.add("a", 2);
+        registry.add("a", 3);
+        registry.add_wall("a", 7); // same name, different namespace
+        registry.add_gauge("g", 1.5);
+        registry.add_gauge("g", 0.25);
+        assert_eq!(registry.counter("a"), 5);
+        assert_eq!(registry.wall_counter("a"), 7);
+        assert!((registry.gauge("g") - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_is_idempotent_publish() {
+        let registry = MetricsRegistry::new();
+        registry.set("m.requests", 40);
+        registry.set("m.requests", 40);
+        assert_eq!(registry.counter("m.requests"), 40);
+        registry.set_gauge("m.usd", 1.25);
+        registry.set_gauge("m.usd", 1.25);
+        assert!((registry.gauge("m.usd") - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_text_excludes_wall_metrics() {
+        let registry = MetricsRegistry::new();
+        registry.add("det.z", 1);
+        registry.add("det.a", 2);
+        registry.add_wall("wall.x", 9);
+        registry.add_gauge("gauge.y", 3.0);
+        let text = registry.snapshot().deterministic_text();
+        assert_eq!(text, "det.a 2\ndet.z 1\n");
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_race() {
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let registry = std::sync::Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        registry.add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("n"), 4000);
+    }
+}

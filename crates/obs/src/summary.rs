@@ -1,0 +1,127 @@
+//! The `Obs` bundle and end-of-run summaries.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::VirtualClock;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::{SpanRecord, Tracer};
+
+/// One run's observability bundle: shared clock, metrics registry, and
+/// span tracer. Cheap to clone (three `Arc`s); every layer that accepts
+/// an `Obs` records into the same run-scoped state.
+///
+/// A default `Obs` is fully functional but unattached — spans and
+/// counters accumulate in memory and are simply never rendered unless
+/// someone asks for [`Obs::summary`].
+#[derive(Debug, Clone)]
+pub struct Obs {
+    clock: Arc<VirtualClock>,
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A fresh bundle: clock at zero, empty registry, empty trace.
+    pub fn new() -> Obs {
+        let clock = Arc::new(VirtualClock::new());
+        Obs {
+            tracer: Arc::new(Tracer::new(Arc::clone(&clock))),
+            registry: Arc::new(MetricsRegistry::new()),
+            clock,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The unified counter registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// A point-in-time summary: every recorded span plus a metrics
+    /// snapshot.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            spans: self.tracer.spans(),
+            metrics: self.registry.snapshot(),
+        }
+    }
+}
+
+/// Everything one run reported: stage spans in enter order plus the
+/// final counter rollup. Rendered pretty by `nbhd-eval`'s
+/// `render_run_summary`; byte-compared via
+/// [`RunSummary::deterministic_text`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Stage spans in enter (`seq`) order.
+    pub spans: Vec<SpanRecord>,
+    /// Final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunSummary {
+    /// The run's deterministic surface as text: virtual-time spans and
+    /// deterministic counters only. Byte-identical at 1 vs N workers
+    /// for the same plan and seed; wall-clock fields, wall counters,
+    /// and gauges are excluded.
+    pub fn deterministic_text(&self) -> String {
+        let mut out = String::from("spans\n");
+        for span in &self.spans {
+            out.push_str(&span.deterministic_line());
+        }
+        out.push_str("counters\n");
+        out.push_str(&self.metrics.deterministic_text());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_collects_spans_and_counters() {
+        let obs = Obs::new();
+        let stage = obs.tracer().enter("survey");
+        obs.clock().advance_ms(40);
+        obs.registry().add("survey.captures", 20);
+        obs.registry().add_wall("exec.steals", 2);
+        stage.record();
+        let summary = obs.summary();
+        assert_eq!(summary.spans.len(), 1);
+        let text = summary.deterministic_text();
+        assert!(text.contains("survey [0..40]"), "{text}");
+        assert!(text.contains("survey.captures 20"), "{text}");
+        assert!(!text.contains("steals"), "wall counters leaked: {text}");
+    }
+
+    #[test]
+    fn deterministic_text_is_stable_for_equal_state() {
+        let build = || {
+            let obs = Obs::new();
+            let outer = obs.tracer().enter("run");
+            obs.clock().advance_ms(7);
+            obs.registry().add("n", 3);
+            outer.record();
+            obs.summary().deterministic_text()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -14,8 +14,9 @@ use nbhd::client::{
     BreakerConfig, Ensemble, ExecutorConfig, FaultProfile, FaultRegime, FaultSchedule, HedgePolicy,
     ResilienceConfig,
 };
-use nbhd::eval::VoteFallback;
+use nbhd::eval::{render_run_summary, VoteFallback};
 use nbhd::journal::{Journal, KillSchedule, RunManifest};
+use nbhd::obs::Obs;
 use nbhd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..ResilienceConfig::default()
         })
     };
-    let ensemble = build_ensemble();
+    let obs = Obs::default();
+    let ensemble = build_ensemble().with_obs(obs.clone());
 
     let prompt = Prompt::build(Language::English, PromptMode::Parallel);
     let outcome = ensemble.survey(&contexts, &prompt, &SamplerParams::default());
@@ -104,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ensemble.clock().now_ms() as f64 / 1000.0,
         ensemble.meter().total_usd()
     );
+    println!("\n{}", render_run_summary("Drill summary", &obs.summary()));
 
     // ---- part two: kill the drill mid-outage, then resume it ------------
     // The same drill, journaled: the process dies while Grok is still dark

@@ -17,8 +17,10 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use nbhd::eval::render_run_summary;
 use nbhd::journal::{journal_path, manifest_path, scan_file, Journal, KillSchedule};
-use nbhd::{run_checkpointed, RunPlan};
+use nbhd::obs::Obs;
+use nbhd::{run_observed, RunPlan};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -61,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => journal,
     };
 
-    match run_checkpointed(&plan, Arc::new(journal)) {
+    let obs = Obs::default();
+    match run_observed(&plan, Arc::new(journal), &obs) {
         Ok(report) => {
             println!("run complete:");
             println!("  images labeled : {}", report.dataset_json.lines().count());
@@ -77,6 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.billed_images, report.fees_usd
             );
             println!("rerun with the same directory: everything replays, nothing is re-billed.");
+            println!("\n{}", render_run_summary("Run summary", &obs.summary()));
         }
         Err(err) => {
             println!("process died: {err}");

@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -p nbhd-journal (fast journal gate)"
 cargo test -q -p nbhd-journal
 
+echo "==> cargo test -p nbhd-obs (fast observability gate: spans, metrics, summary)"
+cargo test -q -p nbhd-obs
+
+echo "==> obs golden snapshots (cost-report alignment + run-summary rendering)"
+cargo test -q -p nbhd-client report_golden_output_for_long_names_and_wide_tokens
+cargo test -q -p nbhd-eval run_summary_indents_nested_stages_and_marks_wall_metrics
+
 echo "==> cargo test"
 cargo test -q
 

@@ -90,6 +90,102 @@ fn llm_vote_tallies_are_worker_count_invariant() {
     assert_eq!(serial.tables, parallel.tables);
 }
 
+#[test]
+fn run_summary_deterministic_surface_is_worker_count_invariant() {
+    use std::sync::Arc;
+
+    // the full checkpointed study, observed end to end: the virtual-time
+    // span tree and every deterministic counter must be byte-identical at
+    // any worker count (wall-clock timings are excluded from the surface)
+    let observe = |parallelism| {
+        let plan = RunPlan {
+            survey: SurveyConfig {
+                parallelism,
+                ..RunPlan::smoke(88).survey
+            },
+            ..RunPlan::smoke(88)
+        };
+        let obs = Obs::default();
+        let report = nbhd_core::run_observed(&plan, Arc::new(MemoryStore::new()), &obs)
+            .expect("observed run");
+        (report, obs.summary())
+    };
+    let (serial_report, serial) = observe(Parallelism::serial());
+    let (parallel_report, parallel) = observe(Parallelism::fixed(4));
+    assert_eq!(serial_report, parallel_report);
+    assert_eq!(
+        serial.deterministic_text(),
+        parallel.deterministic_text(),
+        "span tree + counters must not depend on scheduling"
+    );
+    // the surface is non-trivial: spans from every stage, counters from
+    // exec, client accounting, and imagery billing
+    let text = serial.deterministic_text();
+    for needle in ["run/survey/capture", "run/detector", "run/ensemble", "run/bootstrap"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    assert!(text.contains("exec.tasks"));
+    assert!(text.contains("gsv.billed_images"));
+    // wall-clock metrics stay out of the deterministic surface
+    assert!(!text.contains("exec.steals"));
+    assert!(!text.contains("usd"));
+}
+
+#[test]
+fn trace_journal_survives_kill_and_resume_without_duplicate_spans() {
+    use std::collections::HashSet;
+    use std::fs;
+    use std::sync::Arc;
+
+    use nbhd_journal::{journal_path, scan_file, KillSchedule};
+    use nbhd_obs::{Obs, SPAN_RECORD_KIND};
+
+    let mut plan = RunPlan::smoke(91);
+    plan.survey.locations = 3;
+    plan.epochs = 1;
+    plan.resamples = 4;
+    let manifest = plan.manifest("obs-torture").unwrap();
+    let dir = std::env::temp_dir().join("nbhd-obs-kill");
+    let _ = fs::remove_dir_all(&dir);
+
+    // first process dies mid-run (some spans may already be journaled)
+    let journal = Journal::create(&dir, &manifest)
+        .unwrap()
+        .with_kill(KillSchedule::at(55));
+    let first = nbhd_core::run_observed(&plan, Arc::new(journal), &Obs::default());
+    assert!(first.is_err(), "kill schedule must abort the first process");
+
+    // second process resumes from the same directory and completes
+    let journal = Journal::open(&dir, &manifest).unwrap();
+    let obs = Obs::default();
+    let report = nbhd_core::run_observed(&plan, Arc::new(journal), &obs).unwrap();
+    assert_eq!(
+        report,
+        nbhd_core::run_checkpointed(&plan, Arc::new(MemoryStore::new())).unwrap(),
+        "resumed observed run must match an uninterrupted one"
+    );
+
+    // the raw on-disk frames never repeat a span key, across both processes
+    let scan = scan_file(&journal_path(&dir)).unwrap();
+    let span_keys: Vec<&str> = scan
+        .records
+        .iter()
+        .filter(|r| r.kind == SPAN_RECORD_KIND)
+        .map(|r| r.key.as_str())
+        .collect();
+    let unique: HashSet<&str> = span_keys.iter().copied().collect();
+    assert_eq!(
+        span_keys.len(),
+        unique.len(),
+        "a span key was journaled twice across kill/resume"
+    );
+    assert!(
+        span_keys.contains(&"run"),
+        "the resumed process journals its root span"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
