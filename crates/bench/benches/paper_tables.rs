@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use nbhd_core::eval::{render_exec_table, render_run_summary, ExecRow};
 use nbhd_core::exec::{ExecSnapshot, ScopedPool};
-use nbhd_core::obs::Obs;
+use nbhd_core::obs::{Obs, RunArtifact};
 use nbhd_core::types::Result;
 use nbhd_core::{ExperimentReport, PaperExperiments, SurveyConfig, SurveyPipeline};
 
@@ -98,7 +98,10 @@ fn main() {
     if ["f5", "t3", "t4", "t5", "t6"].iter().any(|id| selected(id)) {
         let _ = harness.default_llm();
     }
-    println!("# shared caches warmed in {:.1}s", tw.elapsed().as_secs_f64());
+    println!(
+        "# shared caches warmed in {:.1}s",
+        tw.elapsed().as_secs_f64()
+    );
 
     // LLM experiments listed first (no rendering required), detector
     // experiments after (they render + train) — this is the print order;
@@ -218,5 +221,16 @@ fn main() {
         )
     );
     println!("\n{}", render_run_summary("# run summary", &obs.summary()));
+
+    // Flight-recorder artifact: the run's deterministic surface (spans,
+    // counters, histograms), diffable against a committed baseline via
+    // the `run_diff` bin — see scripts/bench_artifact.sh.
+    let artifact_path = std::env::var("NBHD_ARTIFACT")
+        .unwrap_or_else(|_| "target/BENCH_paper_tables.json".to_owned());
+    let artifact = RunArtifact::from_obs("paper_tables", &obs);
+    match artifact.write_file(std::path::Path::new(&artifact_path)) {
+        Ok(()) => println!("# run artifact written to {artifact_path}"),
+        Err(err) => println!("# run artifact FAILED ({artifact_path}): {err}"),
+    }
     println!("# total wall-clock {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,44 @@
+//! Flight-recorder regression gate: diff two exported [`RunArtifact`]s.
+//!
+//! ```text
+//! cargo run -p nbhd-bench --bin run_diff -- BENCH_paper_tables.json target/BENCH_paper_tables.json
+//! ```
+//!
+//! Prints the rendered diff and exits 0 when the gate passes, 1 when any
+//! regression fires (counter drift, stage-duration ratio, histogram
+//! percentile shift, or structural mismatch), and 2 on usage errors.
+//! Thresholds are [`DiffThresholds::default`].
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use nbhd_core::eval::render_run_diff;
+use nbhd_core::obs::{diff, DiffThresholds, RunArtifact};
+
+fn load(path: &str) -> Result<RunArtifact, String> {
+    RunArtifact::read_file(Path::new(path)).map_err(|err| format!("run_diff: {path}: {err}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: run_diff <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    }
+    let (baseline, current) = match (load(&args[0]), load(&args[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let result = diff(&baseline, &current, &DiffThresholds::default());
+    print!("{}", render_run_diff("Run diff", &result));
+    if result.is_pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use nbhd_obs::MetricsRegistry;
+use nbhd_obs::{Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 
 /// Usage counters for one model.
@@ -58,6 +58,22 @@ impl ModelUsage {
 #[derive(Debug, Default)]
 pub struct CostMeter {
     ledger: Mutex<BTreeMap<String, ModelUsage>>,
+    hists: Mutex<BTreeMap<String, ModelHists>>,
+}
+
+/// Per-model latency and token distributions, kept beside the ledger
+/// (not inside [`ModelUsage`], which stays a `Copy` scalar bundle).
+///
+/// The latency histogram is deterministic even though request completion
+/// order races: a histogram is order-independent, and for a fixed plan
+/// and seed the *multiset* of simulated latency draws is worker-count
+/// invariant — each draw is keyed by a global attempt index that every
+/// schedule consumes exactly once per batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ModelHists {
+    latency_ms: Histogram,
+    input_tokens: Histogram,
+    output_tokens: Histogram,
 }
 
 impl CostMeter {
@@ -78,15 +94,28 @@ impl CostMeter {
         latency_ms: f64,
         attempts: u32,
     ) {
-        let mut ledger = self.ledger.lock();
-        let u = ledger.entry(model.to_owned()).or_default();
-        u.requests += 1;
-        u.retries += u64::from(attempts.saturating_sub(1));
-        u.input_tokens += input_tokens;
-        u.output_tokens += output_tokens;
-        u.usd += input_tokens as f64 / 1000.0 * usd_per_1k_input
-            + output_tokens as f64 / 1000.0 * usd_per_1k_output;
-        u.latency_ms += latency_ms;
+        {
+            let mut ledger = self.ledger.lock();
+            let u = ledger.entry(model.to_owned()).or_default();
+            u.requests += 1;
+            u.retries += u64::from(attempts.saturating_sub(1));
+            u.input_tokens += input_tokens;
+            u.output_tokens += output_tokens;
+            u.usd += input_tokens as f64 / 1000.0 * usd_per_1k_input
+                + output_tokens as f64 / 1000.0 * usd_per_1k_output;
+            u.latency_ms += latency_ms;
+        }
+        let mut hists = self.hists.lock();
+        let h = hists.entry(model.to_owned()).or_default();
+        h.latency_ms.record(latency_ms.round().max(0.0) as u64);
+        h.input_tokens.record(input_tokens);
+        h.output_tokens.record(output_tokens);
+    }
+
+    /// The per-request latency distribution for one model, or `None`
+    /// when it has no successful requests yet.
+    pub fn latency_hist(&self, model: &str) -> Option<Histogram> {
+        self.hists.lock().get(model).map(|h| h.latency_ms.clone())
     }
 
     /// Records a request that exhausted its retries.
@@ -109,7 +138,13 @@ impl CostMeter {
     /// Adds hedging and backoff accounting for one request, successful or
     /// not. Kept separate from [`CostMeter::record_success`] so its widely
     /// used signature stays stable.
-    pub fn record_resilience(&self, model: &str, hedges_fired: u32, hedges_won: u32, backoff_ms: u64) {
+    pub fn record_resilience(
+        &self,
+        model: &str,
+        hedges_fired: u32,
+        hedges_won: u32,
+        backoff_ms: u64,
+    ) {
         if hedges_fired == 0 && hedges_won == 0 && backoff_ms == 0 {
             return;
         }
@@ -196,23 +231,35 @@ impl CostMeter {
     /// Integer counters land in the deterministic namespace as
     /// `client.<model>.<field>`; dollar and latency sums accumulate in
     /// completion order, so they land in the gauge namespace, outside
-    /// the deterministic surface. Publishing uses absolute `set`
-    /// semantics and is idempotent.
+    /// the deterministic surface. Latency and token *distributions* land
+    /// in the deterministic histogram namespace under the same
+    /// `client.<model>.<field>` names (histograms are order-independent,
+    /// so the racing completion order does not reach them). Publishing
+    /// uses absolute `set` semantics and is idempotent.
     pub fn publish(&self, registry: &MetricsRegistry) {
-        let ledger = self.ledger.lock();
-        for (name, u) in ledger.iter() {
+        {
+            let ledger = self.ledger.lock();
+            for (name, u) in ledger.iter() {
+                let key = |field: &str| format!("client.{name}.{field}");
+                registry.set(&key("requests"), u.requests);
+                registry.set(&key("retries"), u.retries);
+                registry.set(&key("failures"), u.failures);
+                registry.set(&key("fail_fast"), u.fail_fast);
+                registry.set(&key("input_tokens"), u.input_tokens);
+                registry.set(&key("output_tokens"), u.output_tokens);
+                registry.set(&key("hedges_fired"), u.hedges_fired);
+                registry.set(&key("hedges_won"), u.hedges_won);
+                registry.set(&key("backoff_ms"), u.backoff_ms);
+                registry.set_gauge(&key("usd"), u.usd);
+                registry.set_gauge(&key("latency_ms"), u.latency_ms);
+            }
+        }
+        let hists = self.hists.lock();
+        for (name, h) in hists.iter() {
             let key = |field: &str| format!("client.{name}.{field}");
-            registry.set(&key("requests"), u.requests);
-            registry.set(&key("retries"), u.retries);
-            registry.set(&key("failures"), u.failures);
-            registry.set(&key("fail_fast"), u.fail_fast);
-            registry.set(&key("input_tokens"), u.input_tokens);
-            registry.set(&key("output_tokens"), u.output_tokens);
-            registry.set(&key("hedges_fired"), u.hedges_fired);
-            registry.set(&key("hedges_won"), u.hedges_won);
-            registry.set(&key("backoff_ms"), u.backoff_ms);
-            registry.set_gauge(&key("usd"), u.usd);
-            registry.set_gauge(&key("latency_ms"), u.latency_ms);
+            registry.set_hist(&key("latency_ms"), h.latency_ms.clone());
+            registry.set_hist(&key("input_tokens"), h.input_tokens.clone());
+            registry.set_hist(&key("output_tokens"), h.output_tokens.clone());
         }
     }
 }
@@ -335,7 +382,29 @@ mod tests {
 
     #[test]
     fn unknown_model_is_none() {
-        assert!(CostMeter::new().usage("nope").is_none());
+        let m = CostMeter::new();
+        assert!(m.usage("nope").is_none());
+        assert!(m.latency_hist("nope").is_none());
+    }
+
+    #[test]
+    fn latency_and_token_hists_track_per_request_distributions() {
+        let m = CostMeter::new();
+        m.record_success("a", 1000, 100, 0.001, 0.002, 500.4, 1);
+        m.record_success("a", 2000, 200, 0.001, 0.002, 699.6, 1);
+        let lat = m.latency_hist("a").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.min(), 500); // 500.4 rounds down
+        assert_eq!(lat.max(), 700); // 699.6 rounds up
+        let registry = MetricsRegistry::new();
+        m.publish(&registry);
+        m.publish(&registry); // set_hist semantics: no double count
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["client.a.latency_ms"], lat);
+        assert_eq!(snap.histograms["client.a.input_tokens"].sum(), 3000);
+        assert_eq!(snap.histograms["client.a.output_tokens"].max(), 200);
+        // same names exist as counters; the namespaces are independent
+        assert_eq!(snap.counters["client.a.input_tokens"], 3000);
     }
 
     #[test]

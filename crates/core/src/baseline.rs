@@ -98,7 +98,12 @@ pub fn evaluate_with_noise(
         let mut rng = rng_from(child_seed_n(seed, "image", id.key()));
         Ok(add_gaussian_snr(&mut rng, &img, snr_db))
     };
-    evaluate_on(detector, survey.dataset(), &noisy, &survey.dataset().split().test)
+    evaluate_on(
+        detector,
+        survey.dataset(),
+        &noisy,
+        &survey.dataset().split().test,
+    )
 }
 
 /// A provider that understands augmented image ids.
@@ -307,6 +312,10 @@ mod tests {
         let clean = out.report.map50;
         let noisy = evaluate_with_noise(&out.detector, &survey, 5.0).unwrap();
         // at 5 dB performance must not exceed clean by a wide margin
-        assert!(noisy.map50 <= clean + 0.15, "noisy {} clean {clean}", noisy.map50);
+        assert!(
+            noisy.map50 <= clean + 0.15,
+            "noisy {} clean {clean}",
+            noisy.map50
+        );
     }
 }

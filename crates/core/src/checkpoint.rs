@@ -45,6 +45,10 @@ pub const STAGE_RECORD_KIND: &str = "stage";
 /// Stage key under which the trained detector's weights are journaled.
 pub const DETECTOR_STAGE_KEY: &str = "detector";
 
+/// Deterministic histogram of per-stage virtual durations (ms), one
+/// sample per span recorded by [`run_observed`].
+pub const STAGE_VIRTUAL_MS_HIST: &str = "core.stage_virtual_ms";
+
 /// Everything that determines a checkpointed run's output. The journal
 /// manifest hashes this plan, so resuming under a *different* plan is
 /// refused instead of silently replaying records from another experiment.
@@ -187,6 +191,9 @@ pub fn run_observed(
 ) -> Result<RunReport> {
     plan.validate()?;
     obs.tracer().attach_sink(Arc::clone(&store));
+    // Snapshot the span count so the stage-duration histogram below only
+    // sees this run's spans, even on an Obs reused across runs.
+    let span_base = obs.tracer().spans().len();
     let run_stage = obs.tracer().enter("run");
 
     let survey_stage = obs.tracer().enter("survey");
@@ -294,6 +301,13 @@ pub fn run_observed(
     let usage = survey.imagery_usage();
     usage.publish(obs.registry());
     run_stage.record();
+    // Per-stage virtual durations as one deterministic histogram: spans
+    // are entered on the orchestrating thread and stamped in virtual
+    // time, so the distribution is worker-count invariant.
+    for span in &obs.tracer().spans()[span_base..] {
+        obs.registry()
+            .record_hist(STAGE_VIRTUAL_MS_HIST, span.virtual_ms());
+    }
     Ok(RunReport {
         dataset_json,
         detector_json,
@@ -364,7 +378,10 @@ mod tests {
             "run/ensemble",
             "run/bootstrap",
         ] {
-            assert!(keys.contains(&expected), "missing span {expected}: {keys:?}");
+            assert!(
+                keys.contains(&expected),
+                "missing span {expected}: {keys:?}"
+            );
         }
         // the root span closes last and spans the whole virtual timeline
         let root = summary.spans.iter().find(|s| s.key == "run").unwrap();
@@ -381,6 +398,17 @@ mod tests {
         assert!(counters[nbhd_exec::TASKS_METRIC] > 0);
         assert!(counters["gsv.billed_images"] > 0);
         assert!(counters.keys().any(|k| k.starts_with("client.")));
+
+        // the flight recorder's histograms: one stage-duration sample per
+        // span, per-model request latency, and wall-side chunk sizes
+        let stage_hist = &summary.metrics.histograms[STAGE_VIRTUAL_MS_HIST];
+        assert_eq!(stage_hist.count(), summary.spans.len() as u64);
+        assert!(stage_hist.max() >= root.virtual_ms());
+        assert!(summary
+            .metrics
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("client.") && k.ends_with(".latency_ms")));
 
         // a resumed run replays every unit and never duplicates a span key
         let again = run_observed(&plan, store.clone(), &Obs::default()).unwrap();

@@ -90,7 +90,9 @@ impl SurveyConfig {
     /// sizes, or invalid split ratios.
     pub fn validate(&self) -> nbhd_types::Result<()> {
         if self.locations == 0 {
-            return Err(nbhd_types::Error::config("survey needs at least one location"));
+            return Err(nbhd_types::Error::config(
+                "survey needs at least one location",
+            ));
         }
         if !(16..=640).contains(&self.image_size) {
             return Err(nbhd_types::Error::config(format!(

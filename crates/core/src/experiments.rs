@@ -245,7 +245,10 @@ impl PaperExperiments {
                 retention_5 = retention;
             }
             series.push((f64::from(snr), report.map50));
-            body.push_str(&format!("{snr:>4} dB {:>8.3} {:>10.3}\n", report.map50, retention));
+            body.push_str(&format!(
+                "{snr:>4} dB {:>8.3} {:>10.3}\n",
+                report.map50, retention
+            ));
         }
         series.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite SNR"));
         body.push('\n');
@@ -592,9 +595,30 @@ impl PaperExperiments {
             "p1",
             "Temperature sweep, Gemini (paper Sec. IV-C4)",
             &[
-                (SamplerParams { temperature: 0.1, top_p: 0.95 }, "T=0.1", 0.78),
-                (SamplerParams { temperature: 1.0, top_p: 0.95 }, "T=1.0", 0.81),
-                (SamplerParams { temperature: 1.5, top_p: 0.95 }, "T=1.5", 0.79),
+                (
+                    SamplerParams {
+                        temperature: 0.1,
+                        top_p: 0.95,
+                    },
+                    "T=0.1",
+                    0.78,
+                ),
+                (
+                    SamplerParams {
+                        temperature: 1.0,
+                        top_p: 0.95,
+                    },
+                    "T=1.0",
+                    0.81,
+                ),
+                (
+                    SamplerParams {
+                        temperature: 1.5,
+                        top_p: 0.95,
+                    },
+                    "T=1.5",
+                    0.79,
+                ),
             ],
         )
     }
@@ -609,9 +633,30 @@ impl PaperExperiments {
             "p2",
             "Top-p sweep, Gemini (paper Sec. IV-C4)",
             &[
-                (SamplerParams { temperature: 1.0, top_p: 0.5 }, "p=0.50", 0.79),
-                (SamplerParams { temperature: 1.0, top_p: 0.75 }, "p=0.75", 0.79),
-                (SamplerParams { temperature: 1.0, top_p: 0.95 }, "p=0.95", 0.81),
+                (
+                    SamplerParams {
+                        temperature: 1.0,
+                        top_p: 0.5,
+                    },
+                    "p=0.50",
+                    0.79,
+                ),
+                (
+                    SamplerParams {
+                        temperature: 1.0,
+                        top_p: 0.75,
+                    },
+                    "p=0.75",
+                    0.79,
+                ),
+                (
+                    SamplerParams {
+                        temperature: 1.0,
+                        top_p: 0.95,
+                    },
+                    "p=0.95",
+                    0.81,
+                ),
             ],
         )
     }
@@ -665,16 +710,17 @@ impl PaperExperiments {
         let contexts = self.survey.contexts(&ids)?;
         let prompt = Prompt::build(Language::English, PromptMode::Parallel);
         let params = SamplerParams::default();
-        let mut body = format!("{:>6} {:>12} {:>12} {:>8}
-", "alpha", "mean single", "voted", "gain");
+        let mut body = format!(
+            "{:>6} {:>12} {:>12} {:>8}
+",
+            "alpha", "mean single", "voted", "gain"
+        );
         let mut gains = Vec::new();
         for alpha in [0.0f64, 0.3, 0.55, 0.8, 1.0] {
             // run the three voters directly at this correlation level
             let models: Vec<VisionModel> = nbhd_vlm::voting_models()
                 .into_iter()
-                .map(|p| {
-                    VisionModel::new(p, self.survey.config().seed).with_shared_fraction(alpha)
-                })
+                .map(|p| VisionModel::new(p, self.survey.config().seed).with_shared_fraction(alpha))
                 .collect();
             let answers: Vec<Vec<nbhd_types::IndicatorSet>> = models
                 .iter()
@@ -800,8 +846,12 @@ impl PaperExperiments {
         let base = self.baseline()?;
         let provider = self.survey.provider();
         let (train, _) = self.train_configs();
-        let classifier =
-            SceneClassifier::fit(self.survey.dataset(), &provider, train.epochs, self.survey.config().seed)?;
+        let classifier = SceneClassifier::fit(
+            self.survey.dataset(),
+            &provider,
+            train.epochs,
+            self.survey.config().seed,
+        )?;
         // presence-level comparison on the test split
         let mut det_eval = PresenceEvaluator::new();
         let mut clf_eval = PresenceEvaluator::new();
@@ -815,7 +865,10 @@ impl PaperExperiments {
         let clf_table = clf_eval.table();
         let mut body = render_metrics_table("object detector (presence level)", &det_table);
         body.push('\n');
-        body.push_str(&render_metrics_table("whole-image scene classifier", &clf_table));
+        body.push_str(&render_metrics_table(
+            "whole-image scene classifier",
+            &clf_table,
+        ));
         Ok(ExperimentReport {
             id: "c1",
             title: "Detection vs scene classification (paper Sec. IV-B3)".into(),
@@ -845,10 +898,7 @@ mod tests {
     #[test]
     fn llm_experiments_render() {
         let h = harness();
-        for report in [
-            h.t2_example().unwrap(),
-            h.f5_voting().unwrap(),
-        ] {
+        for report in [h.t2_example().unwrap(), h.f5_voting().unwrap()] {
             let text = report.render();
             assert!(text.contains(report.id), "{text}");
             assert!(!text.is_empty());

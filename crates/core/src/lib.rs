@@ -43,10 +43,13 @@ pub use baseline::{
 };
 pub use checkpoint::{
     run_checkpointed, run_observed, RunPlan, RunReport, DETECTOR_STAGE_KEY, STAGE_RECORD_KIND,
+    STAGE_VIRTUAL_MS_HIST,
 };
 pub use config::SurveyConfig;
 pub use experiments::{ExperimentReport, PaperExperiments};
-pub use llm_survey::{paper_lineup, run_llm_survey, LlmSurveyConfig, LlmSurveyOutcome};
+pub use llm_survey::{
+    paper_lineup, run_llm_survey, run_llm_survey_observed, LlmSurveyConfig, LlmSurveyOutcome,
+};
 pub use panorama::{run_panorama_survey, FusionRule, PanoramaOutcome};
 pub use pipeline::{
     SurveyDataset, SurveyImageProvider, SurveyPipeline, CAPTURE_RECORD_KIND, PANIC_RECORD_KIND,
@@ -55,18 +58,18 @@ pub use pipeline::{
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
-        paper_lineup, run_checkpointed, run_llm_survey, run_observed, train_baseline,
-        AugmentationPolicy, LlmSurveyConfig, PaperExperiments, RunPlan, RunReport, SurveyConfig,
-        SurveyDataset, SurveyPipeline,
+        paper_lineup, run_checkpointed, run_llm_survey, run_llm_survey_observed, run_observed,
+        train_baseline, AugmentationPolicy, LlmSurveyConfig, PaperExperiments, RunPlan, RunReport,
+        SurveyConfig, SurveyDataset, SurveyPipeline,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
-    pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
     pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
     pub use nbhd_exec::{Parallelism, ScopedPool};
-    pub use nbhd_obs::{Obs, RunSummary};
     pub use nbhd_geo::{County, SurveySample};
+    pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
+    pub use nbhd_obs::{diff as run_diff, DiffThresholds, Obs, RunArtifact, RunSummary};
     pub use nbhd_prompt::{Language, Prompt, PromptMode};
     pub use nbhd_scene::{render, SceneGenerator};
     pub use nbhd_types::{Heading, ImageId, Indicator, IndicatorSet, LocationId};

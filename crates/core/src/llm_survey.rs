@@ -77,15 +77,47 @@ pub fn run_llm_survey(
     ids: &[ImageId],
     config: &LlmSurveyConfig,
 ) -> Result<LlmSurveyOutcome> {
+    run_llm_survey_inner(survey, models, ids, config, None)
+}
+
+/// [`run_llm_survey`] under a caller-supplied observability bundle: the
+/// ensemble adopts the bundle's virtual clock, opens a `vote-<model>`
+/// span per member batch, and publishes per-model accounting — counters,
+/// gauges, and the latency/token histograms — into the bundle's
+/// registry. The [`LlmSurveyOutcome`] is identical to an unobserved run.
+///
+/// # Errors
+///
+/// Propagates imagery-service failures while building contexts.
+pub fn run_llm_survey_observed(
+    survey: &SurveyDataset,
+    models: Vec<(ModelProfile, bool)>,
+    ids: &[ImageId],
+    config: &LlmSurveyConfig,
+    obs: &nbhd_obs::Obs,
+) -> Result<LlmSurveyOutcome> {
+    run_llm_survey_inner(survey, models, ids, config, Some(obs))
+}
+
+fn run_llm_survey_inner(
+    survey: &SurveyDataset,
+    models: Vec<(ModelProfile, bool)>,
+    ids: &[ImageId],
+    config: &LlmSurveyConfig,
+    obs: Option<&nbhd_obs::Obs>,
+) -> Result<LlmSurveyOutcome> {
     let contexts = survey.contexts(ids)?;
     let truth: Vec<IndicatorSet> = contexts.iter().map(|c| c.presence).collect();
-    let ensemble = Ensemble::new(
+    let mut ensemble = Ensemble::new(
         models,
         survey.config().seed,
         config.faults,
         config.executor.clone(),
     )
     .with_resilience(config.resilience.clone());
+    if let Some(obs) = obs {
+        ensemble = ensemble.with_obs(obs.clone());
+    }
     let prompt = Prompt::build(config.language, config.mode);
     let outcome = ensemble.survey(&contexts, &prompt, &config.params);
 
@@ -147,6 +179,30 @@ mod tests {
         }
         let v = outcome.voted_table.average.accuracy;
         assert!(v > 0.5, "voted accuracy {v}");
+    }
+
+    #[test]
+    fn observed_survey_matches_plain_and_publishes_latency_hists() {
+        let survey = SurveyPipeline::new(SurveyConfig::smoke(31)).run().unwrap();
+        let ids: Vec<ImageId> = survey.images().iter().take(10).copied().collect();
+        let config = LlmSurveyConfig::default();
+        let plain = run_llm_survey(&survey, paper_lineup(), &ids, &config).unwrap();
+        let obs = nbhd_obs::Obs::new();
+        let observed =
+            run_llm_survey_observed(&survey, paper_lineup(), &ids, &config, &obs).unwrap();
+        assert_eq!(plain.ensemble.voted, observed.ensemble.voted);
+        assert_eq!(plain.truth, observed.truth);
+        let snap = obs.registry().snapshot();
+        let lat = &snap.histograms["client.gemini-1.5-pro.latency_ms"];
+        assert_eq!(lat.count(), ids.len() as u64);
+        assert!(lat.p50() <= lat.p99());
+        assert!(lat.p99() <= lat.max());
+        // spans were opened per member batch on the obs tracer
+        assert!(obs
+            .tracer()
+            .spans()
+            .iter()
+            .any(|s| s.name.starts_with("vote-")));
     }
 
     #[test]

@@ -32,9 +32,7 @@ impl FusionRule {
     /// Fuses the per-heading presence sets.
     pub fn fuse(self, views: &[IndicatorSet]) -> IndicatorSet {
         match self {
-            FusionRule::Any => views
-                .iter()
-                .fold(IndicatorSet::new(), |acc, v| acc | *v),
+            FusionRule::Any => views.iter().fold(IndicatorSet::new(), |acc, v| acc | *v),
             FusionRule::AtLeastTwo => {
                 let mut out = IndicatorSet::new();
                 for ind in nbhd_types::Indicator::ALL {
@@ -102,9 +100,7 @@ pub fn run_panorama_survey(
             for (view, truth) in views.iter().zip(truths) {
                 frame_eval.observe(*truth, *view);
             }
-            let location_truth = truths
-                .iter()
-                .fold(IndicatorSet::new(), |acc, t| acc | *t);
+            let location_truth = truths.iter().fold(IndicatorSet::new(), |acc, t| acc | *t);
             fused_eval.observe(location_truth, rule.fuse(views));
         }
         frame_tables.insert(name.clone(), frame_eval.table());
@@ -126,7 +122,9 @@ mod tests {
     #[test]
     fn fusion_rules_behave() {
         let a = IndicatorSet::new().with(Indicator::Sidewalk);
-        let b = IndicatorSet::new().with(Indicator::Sidewalk).with(Indicator::Powerline);
+        let b = IndicatorSet::new()
+            .with(Indicator::Sidewalk)
+            .with(Indicator::Powerline);
         let empty = IndicatorSet::new();
         let views = [a, b, empty, empty];
         let any = FusionRule::Any.fuse(&views);

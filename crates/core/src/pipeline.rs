@@ -75,10 +75,7 @@ impl SurveyPipeline {
     /// Returns configuration errors, geography-sampling failures,
     /// imagery-service failures, store failures, or [`Error::Service`]
     /// when a capture worker panics.
-    pub fn run_with_store(
-        &self,
-        store: Option<Arc<dyn CheckpointStore>>,
-    ) -> Result<SurveyDataset> {
+    pub fn run_with_store(&self, store: Option<Arc<dyn CheckpointStore>>) -> Result<SurveyDataset> {
         self.config.validate()?;
         let counties = County::study_pair();
         let sample = SurveySample::draw(
@@ -87,8 +84,7 @@ impl SurveyPipeline {
             self.config.network_scale,
             self.config.seed,
         )?;
-        let mut service =
-            StreetViewService::new(self.config.seed, sample.points().to_vec());
+        let mut service = StreetViewService::new(self.config.seed, sample.points().to_vec());
         if let Some(store) = &store {
             service = service.with_billing_store(Arc::clone(store))?;
         }
@@ -288,7 +284,10 @@ mod tests {
         let id = survey.images()[0];
         let truth = survey.ground_truth(id).unwrap().presence();
         let labeled = survey.dataset().labels(id).unwrap().presence();
-        assert!(truth.hamming(labeled) <= 2, "truth {truth} labeled {labeled}");
+        assert!(
+            truth.hamming(labeled) <= 2,
+            "truth {truth} labeled {labeled}"
+        );
     }
 
     #[test]

@@ -42,10 +42,18 @@ pub struct ConfidenceInterval {
 /// assert!(ci.lo < 0.8 && 0.8 < ci.hi);
 /// assert!(ci.hi - ci.lo < 0.2);
 /// ```
-pub fn bootstrap_mean(values: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn bootstrap_mean(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     assert!(!values.is_empty(), "bootstrap requires observations");
     assert!(resamples > 0, "bootstrap requires at least one resample");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0, 1)"
+    );
     let root = child_seed(seed, "bootstrap");
     let order: Vec<u64> = (0..resamples as u64).collect();
     let means = nbhd_exec::par_map(&order, |&resample| resample_mean(values, root, resample));
@@ -73,7 +81,14 @@ pub fn bootstrap_mean_checkpointed(
     seed: u64,
     store: &dyn CheckpointStore,
 ) -> nbhd_types::Result<ConfidenceInterval> {
-    bootstrap_mean_pooled(values, resamples, level, seed, store, &ScopedPool::default())
+    bootstrap_mean_pooled(
+        values,
+        resamples,
+        level,
+        seed,
+        store,
+        &ScopedPool::default(),
+    )
 }
 
 /// [`bootstrap_mean_checkpointed`] riding a caller-supplied [`ScopedPool`]:
@@ -99,7 +114,10 @@ pub fn bootstrap_mean_pooled(
 ) -> nbhd_types::Result<ConfidenceInterval> {
     assert!(!values.is_empty(), "bootstrap requires observations");
     assert!(resamples > 0, "bootstrap requires at least one resample");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0, 1)"
+    );
     let root = child_seed(seed, "bootstrap");
     let order: Vec<u64> = (0..resamples as u64).collect();
     let drawn = pool.map(&order, |&resample| {

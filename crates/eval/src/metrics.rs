@@ -124,7 +124,9 @@ mod tests {
         let mut e = PresenceEvaluator::new();
         let sets = [
             IndicatorSet::new().with(Indicator::Sidewalk),
-            IndicatorSet::new().with(Indicator::Powerline).with(Indicator::Apartment),
+            IndicatorSet::new()
+                .with(Indicator::Powerline)
+                .with(Indicator::Apartment),
             IndicatorSet::new(),
         ];
         for s in sets {

@@ -1,6 +1,6 @@
 //! Text rendering of metric tables and paper-vs-measured comparisons.
 
-use nbhd_obs::RunSummary;
+use nbhd_obs::{Histogram, RunDiff, RunSummary};
 use nbhd_types::Indicator;
 
 use crate::MetricsTable;
@@ -280,6 +280,183 @@ pub fn render_run_summary(title: &str, summary: &RunSummary) -> String {
     for (name, value) in &m.gauges {
         out.push_str(&format!("{name:<name_w$} {value:>14.4} (gauge)\n"));
     }
+    if !m.histograms.is_empty() || !m.wall_histograms.is_empty() {
+        let hist_rows: Vec<(&String, &Histogram, bool)> = m
+            .histograms
+            .iter()
+            .map(|(n, h)| (n, h, false))
+            .chain(m.wall_histograms.iter().map(|(n, h)| (n, h, true)))
+            .collect();
+        let hist_w = hist_rows
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("Histogram".len());
+        out.push_str(&format!(
+            "{:<hist_w$} {:>8} {:>8} {:>8} {:>8}\n",
+            "Histogram", "Count", "P50", "P99", "Max"
+        ));
+        for (name, h, wall) in hist_rows {
+            out.push_str(&format!(
+                "{:<hist_w$} {:>8} {:>8} {:>8} {:>8}{}\n",
+                name,
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max(),
+                if wall { " (wall)" } else { "" }
+            ));
+        }
+    }
+    out
+}
+
+/// Renders named histograms as an aligned percentile table, in the same
+/// report style as [`render_exec_table`] — the per-model latency view
+/// printed by `examples/quickstart.rs`.
+///
+/// ```
+/// use nbhd_eval::render_hist_table;
+/// use nbhd_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for ms in [220, 450, 900] {
+///     h.record(ms);
+/// }
+/// let text = render_hist_table("Latency (ms)", &[("gemini-1.5-pro".into(), h)]);
+/// assert!(text.contains("gemini-1.5-pro"));
+/// assert!(text.contains("900"));
+/// ```
+pub fn render_hist_table(title: &str, rows: &[(String, Histogram)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let name_w = rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0)
+        .max("Name".len());
+    out.push_str(&format!(
+        "{:<name_w$} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "Name", "Count", "Min", "P50", "P90", "P99", "Max"
+    ));
+    for (name, h) in rows {
+        out.push_str(&format!(
+            "{:<name_w$} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            name,
+            h.count(),
+            h.min(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max()
+        ));
+    }
+    out
+}
+
+/// Renders a [`RunDiff`] as aligned tables — changed counters, stage
+/// duration ratios, histogram percentile shifts — followed by the
+/// regression findings and a final `PASS`/`FAIL` verdict line. This is
+/// the human-readable face of the `obs::diff` regression gate.
+///
+/// Unchanged counters and histograms are elided to keep the report
+/// focused; stages always print (their ratios are the point of the
+/// comparison).
+pub fn render_run_diff(title: &str, diff: &RunDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\nbaseline: {}  current: {}\n",
+        diff.baseline_name, diff.current_name
+    ));
+
+    let changed: Vec<_> = diff
+        .counters
+        .iter()
+        .filter(|c| c.baseline != c.current)
+        .collect();
+    if !changed.is_empty() {
+        let name_w = changed
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("Counter".len());
+        out.push_str(&format!(
+            "{:<name_w$} {:>12} {:>12}\n",
+            "Counter", "Baseline", "Current"
+        ));
+        for c in &changed {
+            out.push_str(&format!(
+                "{:<name_w$} {:>12} {:>12}\n",
+                c.name, c.baseline, c.current
+            ));
+        }
+    }
+
+    if !diff.stages.is_empty() {
+        let key_w = diff
+            .stages
+            .iter()
+            .map(|s| s.key.len())
+            .max()
+            .unwrap_or(0)
+            .max("Stage".len());
+        out.push_str(&format!(
+            "{:<key_w$} {:>12} {:>12} {:>7}\n",
+            "Stage", "Baseline", "Current", "Ratio"
+        ));
+        for s in &diff.stages {
+            out.push_str(&format!(
+                "{:<key_w$} {:>9} ms {:>9} ms {:>6.2}x\n",
+                s.key,
+                s.baseline_vms,
+                s.current_vms,
+                s.ratio()
+            ));
+        }
+    }
+
+    let shifted: Vec<_> = diff
+        .hists
+        .iter()
+        .filter(|h| h.baseline_p50 != h.current_p50 || h.baseline_p99 != h.current_p99)
+        .collect();
+    if !shifted.is_empty() {
+        let name_w = shifted
+            .iter()
+            .map(|h| h.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("Histogram".len());
+        out.push_str(&format!(
+            "{:<name_w$} {:>16} {:>16}\n",
+            "Histogram", "P50", "P99"
+        ));
+        for h in &shifted {
+            out.push_str(&format!(
+                "{:<name_w$} {:>7} -> {:>5} {:>7} -> {:>5}\n",
+                h.name, h.baseline_p50, h.current_p50, h.baseline_p99, h.current_p99
+            ));
+        }
+    }
+
+    for r in &diff.regressions {
+        out.push_str(&format!(
+            "REGRESSION [{}] {}: {} ({} -> {})\n",
+            r.kind.label(),
+            r.name,
+            r.detail,
+            r.baseline,
+            r.current
+        ));
+    }
+    if diff.is_pass() {
+        out.push_str("PASS: no regressions\n");
+    } else {
+        out.push_str(&format!("FAIL: {} regression(s)\n", diff.regressions.len()));
+    }
     out
 }
 
@@ -391,8 +568,84 @@ mod tests {
         assert!(text.contains("survey.captures"), "{text}");
         let steals = text.lines().find(|l| l.contains("exec.steals")).unwrap();
         assert!(steals.ends_with("(wall)"), "{steals}");
-        let usd = text.lines().find(|l| l.contains("client.gemini.usd")).unwrap();
+        let usd = text
+            .lines()
+            .find(|l| l.contains("client.gemini.usd"))
+            .unwrap();
         assert!(usd.ends_with("(gauge)"), "{usd}");
+    }
+
+    #[test]
+    fn run_summary_renders_histograms_with_wall_marker() {
+        use nbhd_obs::Obs;
+        let obs = Obs::new();
+        let span = obs.tracer().enter("run");
+        obs.clock().advance_ms(5);
+        span.record();
+        obs.registry().record_hist("client.gemini.latency_ms", 420);
+        obs.registry().record_hist("client.gemini.latency_ms", 900);
+        obs.registry().record_wall_hist("exec.chunk_items", 8);
+
+        let text = render_run_summary("Run summary", &obs.summary());
+        let lat = text
+            .lines()
+            .find(|l| l.contains("client.gemini.latency_ms"))
+            .unwrap();
+        assert!(lat.contains('2'), "{lat}"); // count column
+        assert!(!lat.ends_with("(wall)"), "{lat}");
+        let chunk = text
+            .lines()
+            .find(|l| l.contains("exec.chunk_items"))
+            .unwrap();
+        assert!(chunk.ends_with("(wall)"), "{chunk}");
+    }
+
+    #[test]
+    fn hist_table_lists_percentile_columns() {
+        let mut h = Histogram::new();
+        for ms in [220, 450, 900] {
+            h.record(ms);
+        }
+        let text = render_hist_table("Latency (ms)", &[("gemini-1.5-pro".into(), h)]);
+        assert!(text.contains("Latency (ms)"));
+        assert!(text.contains("P50"));
+        assert!(text.contains("P99"));
+        let row = text.lines().find(|l| l.contains("gemini-1.5-pro")).unwrap();
+        assert!(row.contains("900"), "{row}"); // max is exact
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn run_diff_report_flags_slowdown_and_prints_verdict() {
+        use nbhd_obs::{diff, DiffThresholds, Obs, RunArtifact};
+        let make = |survey_ms: u64, lat: u64| {
+            let obs = Obs::new();
+            let run = obs.tracer().enter("run");
+            let survey = obs.tracer().enter("survey");
+            obs.clock().advance_ms(survey_ms);
+            survey.record();
+            run.record();
+            obs.registry().add("survey.captures", 12);
+            obs.registry().record_hist("client.latency_ms", lat);
+            RunArtifact::from_obs("r", &obs)
+        };
+        let base = make(40, 100);
+
+        let self_text = render_run_diff("Diff", &diff(&base, &base, &DiffThresholds::default()));
+        assert!(self_text.contains("PASS: no regressions"), "{self_text}");
+        assert!(!self_text.contains("REGRESSION"), "{self_text}");
+
+        let slow = make(120, 500);
+        let d = diff(&base, &slow, &DiffThresholds::default());
+        let text = render_run_diff("Diff", &d);
+        assert!(text.contains("FAIL:"), "{text}");
+        assert!(text.contains("REGRESSION [stage]"), "{text}");
+        assert!(text.contains("REGRESSION [hist]"), "{text}");
+        // stage table shows the ratio; hist table shows the shift
+        let survey_row = text.lines().find(|l| l.starts_with("run/survey")).unwrap();
+        assert!(survey_row.contains("3.00x"), "{survey_row}");
+        assert!(text.contains("client.latency_ms"), "{text}");
     }
 
     #[test]
@@ -406,6 +659,9 @@ mod tests {
         let text = render_metrics_table("T", &t);
         let lines: Vec<&str> = text.lines().skip(1).collect();
         let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{text}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{text}"
+        );
     }
 }

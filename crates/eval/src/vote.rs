@@ -36,7 +36,10 @@ pub enum TiePolicy {
 /// assert_eq!(voted.len(), 2);
 /// ```
 pub fn majority_vote(votes: &[IndicatorSet], ties: TiePolicy) -> IndicatorSet {
-    assert!(!votes.is_empty(), "majority vote requires at least one voter");
+    assert!(
+        !votes.is_empty(),
+        "majority vote requires at least one voter"
+    );
     let mut out = IndicatorSet::new();
     let n = votes.len();
     for ind in Indicator::ALL {
@@ -298,14 +301,13 @@ mod tests {
     #[test]
     fn ranked_tie_break_sides_with_the_best_responder() {
         // two responders split on Sidewalk: the first listed (best) wins
-        let votes = [
-            Some(set(&[Indicator::Sidewalk])),
-            None,
-            Some(set(&[])),
-        ];
+        let votes = [Some(set(&[Indicator::Sidewalk])), None, Some(set(&[]))];
         let (voted, prov) = quorum_vote(&votes, &QuorumPolicy::default());
         assert!(voted.contains(Indicator::Sidewalk));
-        assert_eq!(prov.fallback, VoteFallback::DegradedQuorum { responders: 2 });
+        assert_eq!(
+            prov.fallback,
+            VoteFallback::DegradedQuorum { responders: 2 }
+        );
         assert_eq!(prov.skipped, vec![1]);
     }
 
@@ -353,6 +355,9 @@ mod tests {
         );
         assert!(quorum.contains(Indicator::Powerline) && legacy.contains(Indicator::Powerline));
         assert!(quorum.contains(Indicator::Sidewalk));
-        assert!(!legacy.contains(Indicator::Sidewalk), "legacy loses the 1-of-2 split");
+        assert!(
+            !legacy.contains(Indicator::Sidewalk),
+            "legacy loses the 1-of-2 split"
+        );
     }
 }

@@ -20,11 +20,11 @@
 //!
 //! The [`Parallelism`] knob is plumbed through `SurveyConfig`,
 //! `TrainConfig`, and `ExecutorConfig`. Execution counters (tasks,
-//! chunks, steals, busy wall-time) record into a run-scoped
-//! `nbhd-obs` [`MetricsRegistry`](nbhd_obs::MetricsRegistry) attached
-//! via [`ScopedPool::with_metrics`] and are read back with
-//! [`ExecSnapshot::from_metrics`]; the old process-global [`stats`] /
-//! [`reset_stats`] shims remain, deprecated, for legacy callers.
+//! chunks, steals, busy wall-time, and an items-per-chunk histogram)
+//! record into a run-scoped `nbhd-obs`
+//! [`MetricsRegistry`](nbhd_obs::MetricsRegistry) attached via
+//! [`ScopedPool::with_metrics`] and are read back with
+//! [`ExecSnapshot::from_metrics`].
 //!
 //! # Examples
 //!
@@ -51,11 +51,9 @@ pub use pool::{
     try_par_map_chunked, try_par_map_indexed_with, try_par_map_with, ScopedPool, TaskPanicked,
 };
 pub use stats::{
-    ExecSnapshot, BUSY_US_METRIC, CHUNKS_METRIC, PARALLEL_CALLS_METRIC, SERIAL_CALLS_METRIC,
-    STEALS_METRIC, TASKS_METRIC,
+    ExecSnapshot, BUSY_US_METRIC, CHUNKS_METRIC, CHUNK_ITEMS_HIST, PARALLEL_CALLS_METRIC,
+    SERIAL_CALLS_METRIC, STEALS_METRIC, TASKS_METRIC,
 };
-#[allow(deprecated)]
-pub use stats::{reset_stats, stats};
 
 /// Derives the seed for one work item from a parent seed and the item's
 /// input index.

@@ -91,6 +91,9 @@ mod tests {
         let p: Parallelism = serde_json::from_str("{\"workers\":3}").unwrap();
         assert_eq!(p, Parallelism::fixed(3));
         let json = serde_json::to_string(&Parallelism::auto()).unwrap();
-        assert_eq!(serde_json::from_str::<Parallelism>(&json).unwrap(), Parallelism::auto());
+        assert_eq!(
+            serde_json::from_str::<Parallelism>(&json).unwrap(),
+            Parallelism::auto()
+        );
     }
 }

@@ -290,7 +290,14 @@ where
     for (_, mut piece) in pieces {
         out.append(&mut piece);
     }
-    stats::record_parallel(n as u64, n_chunks as u64, steals, started.elapsed(), registry);
+    stats::record_parallel(
+        n as u64,
+        chunk as u64,
+        n_chunks as u64,
+        steals,
+        started.elapsed(),
+        registry,
+    );
     Ok(out)
 }
 
@@ -373,8 +380,8 @@ where
 ///
 /// Attach a run-scoped [`MetricsRegistry`] with
 /// [`ScopedPool::with_metrics`] and every map records its task, chunk,
-/// steal, and busy counters there (in addition to the deprecated global
-/// shims), isolated from every other run in the process.
+/// steal, and busy counters there, isolated from every other run in the
+/// process.
 ///
 /// ```
 /// use nbhd_exec::{Parallelism, ScopedPool};
@@ -585,10 +592,7 @@ mod tests {
             })
         })
         .unwrap_err();
-        let message = caught
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("task 5"), "got: {message}");
         assert!(message.contains("boom at five"), "got: {message}");
     }

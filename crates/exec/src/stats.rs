@@ -1,31 +1,23 @@
 //! Substrate execution counters.
 //!
-//! Counters come in two flavors. The preferred home is a run-scoped
-//! [`MetricsRegistry`] attached via [`crate::ScopedPool::with_metrics`]:
-//! isolated per run, safe under parallel tests, and rolled into the
-//! run's unified summary. The original process-global atomics survive as
-//! *deprecated shims* ([`stats`] / [`reset_stats`]) for legacy callers —
-//! they are inherently racy across concurrently running tests (any test
-//! may `reset_stats` under another test's feet), which is exactly why
-//! they were migrated.
+//! Counters live in a run-scoped [`MetricsRegistry`] attached via
+//! [`crate::ScopedPool::with_metrics`]: isolated per run, safe under
+//! parallel tests, and rolled into the run's unified summary. (The
+//! original process-global atomics — `stats()` / `reset_stats()` — were
+//! deprecated in the PR that introduced the registry and are now gone:
+//! they were inherently racy across concurrently running tests, which is
+//! exactly why they were migrated.)
 //!
 //! Counters are observability only — no behavior reads them — so their
-//! scheduling-dependent parts (steals, busy time) never threaten
-//! determinism. Task counts are deterministic at any worker count
-//! (registry namespace `counters`); call/chunk/steal/busy counts are
-//! scheduling-dependent (registry namespace `wall_counters`).
+//! scheduling-dependent parts (steals, busy time, chunk sizes) never
+//! threaten determinism. Task counts are deterministic at any worker
+//! count (registry namespace `counters`); call/chunk/steal/busy counts
+//! and the chunk-size histogram are scheduling-dependent (registry
+//! namespaces `wall_counters` / `wall_histograms`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use nbhd_obs::{MetricsRegistry, MetricsSnapshot};
-
-static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
-static SERIAL_CALLS: AtomicU64 = AtomicU64::new(0);
-static TASKS: AtomicU64 = AtomicU64::new(0);
-static CHUNKS: AtomicU64 = AtomicU64::new(0);
-static STEALS: AtomicU64 = AtomicU64::new(0);
-static BUSY_US: AtomicU64 = AtomicU64::new(0);
 
 /// Registry name for items executed (deterministic counter).
 pub const TASKS_METRIC: &str = "exec.tasks";
@@ -40,6 +32,10 @@ pub const STEALS_METRIC: &str = "exec.steals";
 /// Registry name for wall-clock microseconds inside parallel regions
 /// (wall counter).
 pub const BUSY_US_METRIC: &str = "exec.busy_us";
+/// Registry name for the items-per-chunk distribution (wall histogram —
+/// chunk sizes depend on the worker count, so they stay off the
+/// deterministic surface).
+pub const CHUNK_ITEMS_HIST: &str = "exec.chunk_items";
 
 /// A point-in-time snapshot of the substrate's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,40 +78,7 @@ impl ExecSnapshot {
     }
 }
 
-/// Snapshots the process-global shim counters.
-#[deprecated(
-    note = "process-global counters race reset_stats across parallel tests; \
-            attach a run-scoped MetricsRegistry via ScopedPool::with_metrics \
-            and read ExecSnapshot::from_metrics instead"
-)]
-pub fn stats() -> ExecSnapshot {
-    ExecSnapshot {
-        parallel_calls: PARALLEL_CALLS.load(Ordering::Relaxed),
-        serial_calls: SERIAL_CALLS.load(Ordering::Relaxed),
-        tasks: TASKS.load(Ordering::Relaxed),
-        chunks: CHUNKS.load(Ordering::Relaxed),
-        steals: STEALS.load(Ordering::Relaxed),
-        busy_us: BUSY_US.load(Ordering::Relaxed),
-    }
-}
-
-/// Resets every process-global shim counter to zero.
-#[deprecated(
-    note = "process-global counters race reset_stats across parallel tests; \
-            use a fresh run-scoped MetricsRegistry per section instead"
-)]
-pub fn reset_stats() {
-    PARALLEL_CALLS.store(0, Ordering::Relaxed);
-    SERIAL_CALLS.store(0, Ordering::Relaxed);
-    TASKS.store(0, Ordering::Relaxed);
-    CHUNKS.store(0, Ordering::Relaxed);
-    STEALS.store(0, Ordering::Relaxed);
-    BUSY_US.store(0, Ordering::Relaxed);
-}
-
 pub(crate) fn record_serial(tasks: usize, registry: Option<&MetricsRegistry>) {
-    SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
-    TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
     if let Some(registry) = registry {
         registry.add(TASKS_METRIC, tasks as u64);
         registry.add_wall(SERIAL_CALLS_METRIC, 1);
@@ -124,22 +87,30 @@ pub(crate) fn record_serial(tasks: usize, registry: Option<&MetricsRegistry>) {
 
 pub(crate) fn record_parallel(
     tasks: u64,
+    chunk: u64,
     chunks: u64,
     steals: u64,
     busy: Duration,
     registry: Option<&MetricsRegistry>,
 ) {
-    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
-    TASKS.fetch_add(tasks, Ordering::Relaxed);
-    CHUNKS.fetch_add(chunks, Ordering::Relaxed);
-    STEALS.fetch_add(steals, Ordering::Relaxed);
-    BUSY_US.fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
     if let Some(registry) = registry {
         registry.add(TASKS_METRIC, tasks);
         registry.add_wall(PARALLEL_CALLS_METRIC, 1);
         registry.add_wall(CHUNKS_METRIC, chunks);
         registry.add_wall(STEALS_METRIC, steals);
         registry.add_wall(BUSY_US_METRIC, busy.as_micros() as u64);
+        // chunk-size distribution: `tasks / chunk` full chunks plus one
+        // ragged tail when the chunk size does not divide the input
+        if chunk > 0 {
+            let full = tasks / chunk;
+            let tail = tasks % chunk;
+            if full > 0 {
+                registry.record_wall_hist_n(CHUNK_ITEMS_HIST, chunk, full);
+            }
+            if tail > 0 {
+                registry.record_wall_hist(CHUNK_ITEMS_HIST, tail);
+            }
+        }
     }
 }
 
@@ -150,10 +121,10 @@ mod tests {
     #[test]
     fn registry_counters_are_isolation_safe() {
         // a run-scoped registry sees exactly this test's recordings, no
-        // matter what other tests are doing to the global shims
+        // matter what other tests in the process are doing
         let registry = MetricsRegistry::new();
         record_serial(5, Some(&registry));
-        record_parallel(10, 4, 1, Duration::from_micros(250), Some(&registry));
+        record_parallel(10, 3, 4, 1, Duration::from_micros(250), Some(&registry));
         let snapshot = ExecSnapshot::from_metrics(&registry.snapshot());
         assert_eq!(snapshot.tasks, 15);
         assert_eq!(snapshot.serial_calls, 1);
@@ -166,7 +137,7 @@ mod tests {
     #[test]
     fn task_counts_are_deterministic_metrics_the_rest_are_wall() {
         let registry = MetricsRegistry::new();
-        record_parallel(8, 2, 1, Duration::from_micros(99), Some(&registry));
+        record_parallel(8, 4, 2, 1, Duration::from_micros(99), Some(&registry));
         let metrics = registry.snapshot();
         assert_eq!(metrics.counters.get(TASKS_METRIC), Some(&8));
         assert!(!metrics.counters.contains_key(STEALS_METRIC));
@@ -175,16 +146,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn global_shims_still_accumulate() {
-        // the shims stay racy by design (other tests may bump or reset
-        // them concurrently), so assert monotonicity only
-        let before = stats();
+    fn chunk_sizes_land_in_the_wall_histogram() {
+        let registry = MetricsRegistry::new();
+        // 10 tasks in chunks of 3: three full chunks plus a tail of 1
+        record_parallel(10, 3, 4, 0, Duration::ZERO, Some(&registry));
+        let metrics = registry.snapshot();
+        assert!(
+            !metrics.histograms.contains_key(CHUNK_ITEMS_HIST),
+            "chunk sizes are scheduling-dependent and must stay off the \
+             deterministic surface"
+        );
+        let hist = &metrics.wall_histograms[CHUNK_ITEMS_HIST];
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.sum(), 10);
+        assert_eq!(hist.min(), 1);
+        assert_eq!(hist.max(), 3);
+    }
+
+    #[test]
+    fn recording_without_a_registry_is_a_no_op() {
         record_serial(5, None);
-        record_parallel(10, 4, 1, Duration::from_micros(250), None);
-        let after = stats();
-        assert!(after.tasks >= before.tasks.saturating_add(15) || after.tasks >= 15);
-        assert!(after.parallel_calls >= 1);
-        assert!(after.serial_calls >= 1);
+        record_parallel(10, 3, 4, 1, Duration::from_micros(250), None);
     }
 }

@@ -1,0 +1,503 @@
+//! Run-vs-run comparison: the regression gate over two [`RunArtifact`]s.
+//!
+//! [`diff`] compares a baseline and a current artifact along the three
+//! axes the deterministic surface exposes — counter values, per-stage
+//! virtual durations, and histogram percentiles — and returns a
+//! [`RunDiff`]: every delta for rendering, plus the subset that crossed
+//! the configured [`DiffThresholds`] as pass/fail [`Regression`]
+//! findings. Wall counters, gauges, and wall histograms are never
+//! compared; they are scheduling- and machine-dependent by definition.
+//!
+//! Thresholds default strict-where-deterministic: counters must match
+//! exactly (they are byte-reproducible for a fixed plan and seed), while
+//! stage durations and histogram percentiles tolerate drift up to a
+//! ratio with an absolute floor so tiny stages cannot trip the gate by
+//! rounding.
+
+use serde::{Deserialize, Serialize};
+
+use crate::export::RunArtifact;
+use crate::hist::Histogram;
+
+/// Tolerances applied by [`diff`]. `Default` gives the tier-1 gate
+/// settings documented in DESIGN.md §12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffThresholds {
+    /// Relative drift tolerated on deterministic counters (0.0 = exact
+    /// match required, the default: these counters are reproducible).
+    pub counter_rel: f64,
+    /// Absolute slack on deterministic counters, applied as
+    /// `max(counter_abs, counter_rel * baseline)`.
+    pub counter_abs: u64,
+    /// A stage is flagged when `current / baseline` virtual duration
+    /// exceeds this ratio (default 1.5; an injected 2× slowdown trips).
+    pub stage_ratio: f64,
+    /// Stages whose durations are both below this many virtual
+    /// milliseconds are ignored (default 10 — rounding fodder).
+    pub stage_floor_ms: u64,
+    /// A histogram is flagged when its current p50 or p99 exceeds the
+    /// baseline's by this ratio (default 1.5).
+    pub hist_ratio: f64,
+    /// Percentile shifts where both sides are below this value are
+    /// ignored (default 10).
+    pub hist_floor: u64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            counter_rel: 0.0,
+            counter_abs: 0,
+            stage_ratio: 1.5,
+            stage_floor_ms: 10,
+            hist_ratio: 1.5,
+            hist_floor: 10,
+        }
+    }
+}
+
+/// Which comparison axis a [`Regression`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegressionKind {
+    /// A deterministic counter drifted beyond tolerance.
+    Counter,
+    /// A stage's virtual duration grew beyond the ratio threshold.
+    StageDuration,
+    /// A histogram percentile (p50/p99) grew beyond the ratio threshold.
+    HistPercentile,
+    /// The artifacts disagree on structure: a span key, counter, or
+    /// histogram present on one side is absent on the other.
+    Structure,
+}
+
+impl RegressionKind {
+    /// Short lowercase label for table rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegressionKind::Counter => "counter",
+            RegressionKind::StageDuration => "stage",
+            RegressionKind::HistPercentile => "hist",
+            RegressionKind::Structure => "structure",
+        }
+    }
+}
+
+/// One threshold violation found by [`diff`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Comparison axis.
+    pub kind: RegressionKind,
+    /// Counter name, span key, or histogram name.
+    pub name: String,
+    /// Baseline-side value (counter value, virtual ms, or percentile).
+    pub baseline: f64,
+    /// Current-side value.
+    pub current: f64,
+    /// Human-readable explanation with the threshold that tripped.
+    pub detail: String,
+}
+
+/// A deterministic counter compared across the two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Baseline value (0 when absent).
+    pub baseline: u64,
+    /// Current value (0 when absent).
+    pub current: u64,
+}
+
+/// A stage's total virtual duration compared across the two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDelta {
+    /// Span key (durations summed over re-entries of the same key).
+    pub key: String,
+    /// Baseline total virtual milliseconds.
+    pub baseline_vms: u64,
+    /// Current total virtual milliseconds.
+    pub current_vms: u64,
+}
+
+impl StageDelta {
+    /// `current / baseline`, or `f64::INFINITY` when the baseline is 0
+    /// and the current is not.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_vms == 0 {
+            if self.current_vms == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current_vms as f64 / self.baseline_vms as f64
+        }
+    }
+}
+
+/// A deterministic histogram's percentiles compared across the two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistDelta {
+    /// Histogram name.
+    pub name: String,
+    /// Baseline sample count.
+    pub baseline_count: u64,
+    /// Current sample count.
+    pub current_count: u64,
+    /// Baseline p50.
+    pub baseline_p50: u64,
+    /// Current p50.
+    pub current_p50: u64,
+    /// Baseline p99.
+    pub baseline_p99: u64,
+    /// Current p99.
+    pub current_p99: u64,
+}
+
+/// Everything [`diff`] found: all deltas (for rendering a full table)
+/// plus the threshold violations (the pass/fail verdict).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDiff {
+    /// Baseline artifact name.
+    pub baseline_name: String,
+    /// Current artifact name.
+    pub current_name: String,
+    /// Every deterministic counter present on either side.
+    pub counters: Vec<CounterDelta>,
+    /// Every span key present on either side.
+    pub stages: Vec<StageDelta>,
+    /// Every deterministic histogram present on either side.
+    pub hists: Vec<HistDelta>,
+    /// Threshold violations; empty means the gate passes.
+    pub regressions: Vec<Regression>,
+}
+
+impl RunDiff {
+    /// `true` when no threshold was crossed.
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn sorted_union<'a, I, J>(a: I, b: J) -> Vec<String>
+where
+    I: Iterator<Item = &'a String>,
+    J: Iterator<Item = &'a String>,
+{
+    let mut names: Vec<String> = a.chain(b).cloned().collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Total virtual duration per span key (summed over resume re-entries).
+fn stage_totals(artifact: &RunArtifact) -> std::collections::BTreeMap<String, u64> {
+    let mut totals = std::collections::BTreeMap::new();
+    for span in &artifact.spans {
+        *totals.entry(span.key.clone()).or_insert(0) += span.virtual_ms();
+    }
+    totals
+}
+
+fn ratio_exceeded(baseline: u64, current: u64, ratio: f64, floor: u64) -> bool {
+    if baseline.max(current) < floor {
+        return false;
+    }
+    if baseline == 0 {
+        return current >= floor;
+    }
+    current as f64 > baseline as f64 * ratio
+}
+
+/// Compares `current` against `baseline`; see the module docs.
+/// `diff(a, a, …)` always returns a passing diff.
+pub fn diff(baseline: &RunArtifact, current: &RunArtifact, thresholds: &DiffThresholds) -> RunDiff {
+    let mut regressions = Vec::new();
+
+    // Deterministic counters: union of names, flag drift in either
+    // direction (a dropping task count means lost work, not a win).
+    let mut counters = Vec::new();
+    for name in sorted_union(
+        baseline.metrics.counters.keys(),
+        current.metrics.counters.keys(),
+    ) {
+        let base = baseline.metrics.counters.get(&name).copied();
+        let cur = current.metrics.counters.get(&name).copied();
+        if base.is_none() || cur.is_none() {
+            regressions.push(Regression {
+                kind: RegressionKind::Structure,
+                name: name.clone(),
+                baseline: base.unwrap_or(0) as f64,
+                current: cur.unwrap_or(0) as f64,
+                detail: format!(
+                    "counter present only in {}",
+                    if base.is_some() {
+                        "baseline"
+                    } else {
+                        "current"
+                    }
+                ),
+            });
+        } else {
+            let (base, cur) = (base.unwrap_or(0), cur.unwrap_or(0));
+            let slack = (thresholds.counter_rel * base as f64).max(thresholds.counter_abs as f64);
+            if cur.abs_diff(base) as f64 > slack {
+                regressions.push(Regression {
+                    kind: RegressionKind::Counter,
+                    name: name.clone(),
+                    baseline: base as f64,
+                    current: cur as f64,
+                    detail: format!("counter drifted beyond slack {slack}"),
+                });
+            }
+        }
+        counters.push(CounterDelta {
+            name,
+            baseline: base.unwrap_or(0),
+            current: cur.unwrap_or(0),
+        });
+    }
+
+    // Stage durations: total virtual ms per span key, ratio-gated with
+    // an absolute floor so sub-floor stages cannot trip on rounding.
+    let base_stages = stage_totals(baseline);
+    let cur_stages = stage_totals(current);
+    let mut stages = Vec::new();
+    for key in sorted_union(base_stages.keys(), cur_stages.keys()) {
+        let base = base_stages.get(&key).copied();
+        let cur = cur_stages.get(&key).copied();
+        if base.is_none() || cur.is_none() {
+            regressions.push(Regression {
+                kind: RegressionKind::Structure,
+                name: key.clone(),
+                baseline: base.unwrap_or(0) as f64,
+                current: cur.unwrap_or(0) as f64,
+                detail: format!(
+                    "stage present only in {}",
+                    if base.is_some() {
+                        "baseline"
+                    } else {
+                        "current"
+                    }
+                ),
+            });
+        }
+        let delta = StageDelta {
+            key: key.clone(),
+            baseline_vms: base.unwrap_or(0),
+            current_vms: cur.unwrap_or(0),
+        };
+        if base.is_some()
+            && cur.is_some()
+            && ratio_exceeded(
+                delta.baseline_vms,
+                delta.current_vms,
+                thresholds.stage_ratio,
+                thresholds.stage_floor_ms,
+            )
+        {
+            regressions.push(Regression {
+                kind: RegressionKind::StageDuration,
+                name: key,
+                baseline: delta.baseline_vms as f64,
+                current: delta.current_vms as f64,
+                detail: format!(
+                    "virtual duration grew {:.2}x (threshold {:.2}x)",
+                    delta.ratio(),
+                    thresholds.stage_ratio
+                ),
+            });
+        }
+        stages.push(delta);
+    }
+
+    // Deterministic histograms: p50/p99 shifts, same ratio+floor gating.
+    let empty = Histogram::new();
+    let mut hists = Vec::new();
+    for name in sorted_union(
+        baseline.metrics.histograms.keys(),
+        current.metrics.histograms.keys(),
+    ) {
+        let base = baseline.metrics.histograms.get(&name);
+        let cur = current.metrics.histograms.get(&name);
+        if base.is_none() || cur.is_none() {
+            regressions.push(Regression {
+                kind: RegressionKind::Structure,
+                name: name.clone(),
+                baseline: base.map_or(0.0, |h| h.count() as f64),
+                current: cur.map_or(0.0, |h| h.count() as f64),
+                detail: format!(
+                    "histogram present only in {}",
+                    if base.is_some() {
+                        "baseline"
+                    } else {
+                        "current"
+                    }
+                ),
+            });
+        }
+        let (base_h, cur_h) = (base.unwrap_or(&empty), cur.unwrap_or(&empty));
+        let delta = HistDelta {
+            name: name.clone(),
+            baseline_count: base_h.count(),
+            current_count: cur_h.count(),
+            baseline_p50: base_h.p50(),
+            current_p50: cur_h.p50(),
+            baseline_p99: base_h.p99(),
+            current_p99: cur_h.p99(),
+        };
+        if base.is_some() && cur.is_some() {
+            for (label, b, c) in [
+                ("p50", delta.baseline_p50, delta.current_p50),
+                ("p99", delta.baseline_p99, delta.current_p99),
+            ] {
+                if ratio_exceeded(b, c, thresholds.hist_ratio, thresholds.hist_floor) {
+                    regressions.push(Regression {
+                        kind: RegressionKind::HistPercentile,
+                        name: format!("{name} {label}"),
+                        baseline: b as f64,
+                        current: c as f64,
+                        detail: format!(
+                            "{label} grew {b} -> {c} (threshold {:.2}x)",
+                            thresholds.hist_ratio
+                        ),
+                    });
+                }
+            }
+        }
+        hists.push(delta);
+    }
+
+    RunDiff {
+        baseline_name: baseline.name.clone(),
+        current_name: current.name.clone(),
+        counters,
+        stages,
+        hists,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Obs;
+
+    fn artifact(name: &str, slow: bool) -> RunArtifact {
+        let obs = Obs::new();
+        let run = obs.tracer().enter("run");
+        let survey = obs.tracer().enter("survey");
+        obs.clock().advance_ms(if slow { 200 } else { 100 });
+        survey.record();
+        let vote = obs.tracer().enter("ensemble");
+        obs.clock().advance_ms(50);
+        vote.record();
+        obs.registry().add("survey.captures", 10);
+        obs.registry()
+            .record_hist("lat.ms", if slow { 400 } else { 40 });
+        obs.registry()
+            .record_hist("lat.ms", if slow { 500 } else { 50 });
+        run.record();
+        RunArtifact::from_obs(name, &obs)
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let a = artifact("a", false);
+        let d = diff(&a, &a, &DiffThresholds::default());
+        assert!(d.is_pass(), "{:?}", d.regressions);
+        assert!(!d.counters.is_empty());
+        assert!(!d.stages.is_empty());
+        assert!(!d.hists.is_empty());
+    }
+
+    #[test]
+    fn injected_2x_stage_slowdown_is_flagged() {
+        let base = artifact("base", false);
+        let slow = artifact("slow", true);
+        let d = diff(&base, &slow, &DiffThresholds::default());
+        assert!(!d.is_pass());
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| { r.kind == RegressionKind::StageDuration && r.name == "run/survey" }),
+            "{:?}",
+            d.regressions
+        );
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.kind == RegressionKind::HistPercentile),
+            "{:?}",
+            d.regressions
+        );
+        // the unchanged ensemble stage is not flagged
+        assert!(d.regressions.iter().all(|r| !r.name.contains("ensemble")));
+    }
+
+    #[test]
+    fn counter_drift_is_flagged_in_both_directions() {
+        let a = artifact("a", false);
+        let mut up = a.clone();
+        up.metrics.counters.insert("survey.captures".into(), 12);
+        let mut down = a.clone();
+        down.metrics.counters.insert("survey.captures".into(), 8);
+        let strict = DiffThresholds::default();
+        assert!(!diff(&a, &up, &strict).is_pass());
+        assert!(!diff(&a, &down, &strict).is_pass());
+        let loose = DiffThresholds {
+            counter_rel: 0.25,
+            ..DiffThresholds::default()
+        };
+        assert!(diff(&a, &up, &loose).is_pass());
+        assert!(diff(&a, &down, &loose).is_pass());
+    }
+
+    #[test]
+    fn structural_mismatch_is_flagged() {
+        let a = artifact("a", false);
+        let mut b = a.clone();
+        b.metrics.counters.remove("survey.captures");
+        b.metrics.histograms.clear();
+        let d = diff(&a, &b, &DiffThresholds::default());
+        let structural: Vec<_> = d
+            .regressions
+            .iter()
+            .filter(|r| r.kind == RegressionKind::Structure)
+            .collect();
+        assert_eq!(structural.len(), 2, "{:?}", d.regressions);
+    }
+
+    #[test]
+    fn sub_floor_stages_never_trip() {
+        let build = |ms: u64| {
+            let obs = Obs::new();
+            let s = obs.tracer().enter("tiny");
+            obs.clock().advance_ms(ms);
+            s.record();
+            RunArtifact::from_obs("t", &obs)
+        };
+        // 2ms -> 8ms is a 4x blowup but both are under the 10ms floor
+        let d = diff(&build(2), &build(8), &DiffThresholds::default());
+        assert!(d.is_pass(), "{:?}", d.regressions);
+        // 8ms -> 40ms crosses the floor and the ratio
+        let d = diff(&build(8), &build(40), &DiffThresholds::default());
+        assert!(!d.is_pass());
+    }
+
+    #[test]
+    fn stage_ratio_handles_zero_baseline() {
+        let delta = StageDelta {
+            key: "k".into(),
+            baseline_vms: 0,
+            current_vms: 0,
+        };
+        assert_eq!(delta.ratio(), 1.0);
+        let delta = StageDelta {
+            key: "k".into(),
+            baseline_vms: 0,
+            current_vms: 5,
+        };
+        assert!(delta.ratio().is_infinite());
+    }
+}

@@ -1,0 +1,345 @@
+//! Exportable run artifacts: the flight recorder's on-disk format.
+//!
+//! A [`RunArtifact`] freezes one completed run — the full span tree plus
+//! the final [`MetricsSnapshot`] — behind a schema-versioned JSON header
+//! so two runs recorded by different builds can still be compared by
+//! [`crate::diff`]. The same artifact renders two ways:
+//!
+//! * [`RunArtifact::deterministic_text`] — the byte-comparable surface
+//!   (virtual-time spans, deterministic counters, deterministic
+//!   histograms), identical at any worker count.
+//! * [`RunArtifact::chrome_trace`] — a `chrome://tracing` / Perfetto
+//!   `traceEvents` document on the virtual timeline, for eyeballing
+//!   where a run spent its (virtual) time.
+//!
+//! Artifacts travel through plain files ([`RunArtifact::write_file`]) or
+//! through any [`CheckpointStore`] as `"run-artifact"` records, so a
+//! crash-safe journal can carry the run's own flight recording alongside
+//! its checkpoints.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use nbhd_journal::CheckpointStore;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use crate::metrics::MetricsSnapshot;
+use crate::summary::{Obs, RunSummary};
+use crate::trace::SpanRecord;
+
+/// Current artifact schema version. Bump on any breaking change to the
+/// [`RunArtifact`] layout; readers reject artifacts from the future and
+/// rely on `#[serde(default)]` for fields added since older versions.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Journal record kind for exported artifacts.
+pub const ARTIFACT_RECORD_KIND: &str = "run-artifact";
+
+/// A completed run frozen as a versioned, comparable artifact.
+///
+/// ```
+/// use nbhd_obs::{Obs, RunArtifact};
+/// let obs = Obs::new();
+/// let stage = obs.tracer().enter("survey");
+/// obs.clock().advance_ms(12);
+/// obs.registry().add("survey.captures", 5);
+/// stage.record();
+/// let artifact = RunArtifact::from_obs("smoke", &obs);
+/// let json = artifact.to_json().unwrap();
+/// let back = RunArtifact::from_json(&json).unwrap();
+/// assert_eq!(artifact, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunArtifact {
+    /// Schema version this artifact was written with.
+    pub schema_version: u32,
+    /// Caller-chosen run name (journal key, diff label).
+    pub name: String,
+    /// Stage spans in enter (`seq`) order.
+    pub spans: Vec<SpanRecord>,
+    /// Final metrics snapshot (all namespaces).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Errors raised while exporting or importing a [`RunArtifact`].
+#[derive(Debug)]
+pub enum ExportError {
+    /// Filesystem read/write failed.
+    Io(std::io::Error),
+    /// The payload was not valid artifact JSON.
+    Json(serde_json::Error),
+    /// The artifact was written by a newer schema than this reader.
+    SchemaVersion {
+        /// Version found in the artifact header.
+        found: u32,
+        /// Newest version this reader understands.
+        supported: u32,
+    },
+    /// No record under the requested key in the store.
+    Missing(String),
+    /// The checkpoint store rejected the save.
+    Store(String),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(err) => write!(f, "artifact io: {err}"),
+            ExportError::Json(err) => write!(f, "artifact json: {err}"),
+            ExportError::SchemaVersion { found, supported } => write!(
+                f,
+                "artifact schema version {found} is newer than supported {supported}"
+            ),
+            ExportError::Missing(key) => write!(f, "no run artifact under key {key:?}"),
+            ExportError::Store(detail) => write!(f, "artifact store: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(err) => Some(err),
+            ExportError::Json(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExportError {
+    fn from(err: std::io::Error) -> Self {
+        ExportError::Io(err)
+    }
+}
+
+impl From<serde_json::Error> for ExportError {
+    fn from(err: serde_json::Error) -> Self {
+        ExportError::Json(err)
+    }
+}
+
+impl RunArtifact {
+    /// Freezes the current state of an [`Obs`] bundle.
+    pub fn from_obs(name: &str, obs: &Obs) -> RunArtifact {
+        RunArtifact::from_summary(name, obs.summary())
+    }
+
+    /// Wraps an already-collected [`RunSummary`].
+    pub fn from_summary(name: &str, summary: RunSummary) -> RunArtifact {
+        RunArtifact {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            name: name.to_string(),
+            spans: summary.spans,
+            metrics: summary.metrics,
+        }
+    }
+
+    /// The deterministic surface as text: spans, counters, histograms.
+    /// Byte-identical at any worker count for the same plan and seed
+    /// (wall counters, gauges, wall histograms, and `wall_us` excluded).
+    pub fn deterministic_text(&self) -> String {
+        RunSummary {
+            spans: self.spans.clone(),
+            metrics: self.metrics.clone(),
+        }
+        .deterministic_text()
+    }
+
+    /// The span tree as a Chrome-trace / Perfetto `traceEvents`
+    /// document on the **virtual** timeline: each span is one complete
+    /// (`"ph": "X"`) event with `ts`/`dur` in microseconds derived from
+    /// virtual milliseconds, so the rendered trace is as deterministic
+    /// as the spans themselves. Wall-clock duration rides along in
+    /// `args.wall_us` for reference.
+    pub fn chrome_trace(&self) -> Value {
+        let events: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|span| {
+                json!({
+                    "name": span.name,
+                    "cat": "nbhd",
+                    "ph": "X",
+                    "ts": span.start_vms * 1000,
+                    "dur": span.virtual_ms() * 1000,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "key": span.key,
+                        "seq": span.seq,
+                        "depth": span.depth,
+                        "wall_us": span.wall_us,
+                    },
+                })
+            })
+            .collect();
+        json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "run": self.name,
+                "schema_version": self.schema_version,
+                "timeline": "virtual-ms",
+            },
+        })
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, ExportError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses an artifact, rejecting schema versions newer than
+    /// [`ARTIFACT_SCHEMA_VERSION`]. Older versions load via serde
+    /// defaults for fields they predate.
+    pub fn from_json(json: &str) -> Result<RunArtifact, ExportError> {
+        let artifact: RunArtifact = serde_json::from_str(json)?;
+        if artifact.schema_version > ARTIFACT_SCHEMA_VERSION {
+            return Err(ExportError::SchemaVersion {
+                found: artifact.schema_version,
+                supported: ARTIFACT_SCHEMA_VERSION,
+            });
+        }
+        Ok(artifact)
+    }
+
+    /// Writes the artifact as JSON to `path`, creating parent
+    /// directories as needed.
+    pub fn write_file(&self, path: &Path) -> Result<(), ExportError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads an artifact previously written by
+    /// [`RunArtifact::write_file`].
+    pub fn read_file(path: &Path) -> Result<RunArtifact, ExportError> {
+        RunArtifact::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Saves the artifact into a checkpoint store as a
+    /// [`ARTIFACT_RECORD_KIND`] record keyed by the artifact name, so a
+    /// run's journal can carry its own flight recording.
+    pub fn save_to_store(&self, store: &Arc<dyn CheckpointStore>) -> Result<(), ExportError> {
+        let payload = serde_json::to_value(self)?;
+        store
+            .save(ARTIFACT_RECORD_KIND, &self.name, payload)
+            .map_err(|err| ExportError::Store(err.to_string()))
+    }
+
+    /// Loads an artifact saved by [`RunArtifact::save_to_store`].
+    pub fn load_from_store(
+        store: &Arc<dyn CheckpointStore>,
+        name: &str,
+    ) -> Result<RunArtifact, ExportError> {
+        let payload = store
+            .load(ARTIFACT_RECORD_KIND, name)
+            .ok_or_else(|| ExportError::Missing(name.to_string()))?;
+        let artifact: RunArtifact = serde_json::from_value(payload)?;
+        if artifact.schema_version > ARTIFACT_SCHEMA_VERSION {
+            return Err(ExportError::SchemaVersion {
+                found: artifact.schema_version,
+                supported: ARTIFACT_SCHEMA_VERSION,
+            });
+        }
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_journal::MemoryStore;
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::new();
+        let run = obs.tracer().enter("run");
+        obs.clock().advance_ms(5);
+        let survey = obs.tracer().enter("survey");
+        obs.clock().advance_ms(20);
+        survey.record();
+        obs.registry().add("survey.captures", 10);
+        obs.registry().add_wall("exec.steals", 2);
+        obs.registry().record_hist("lat.ms", 30);
+        obs.registry().record_hist("lat.ms", 70);
+        run.record();
+        obs
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let artifact = RunArtifact::from_obs("t", &sample_obs());
+        let back = RunArtifact::from_json(&artifact.to_json().unwrap()).unwrap();
+        assert_eq!(artifact, back);
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let mut artifact = RunArtifact::from_obs("t", &sample_obs());
+        artifact.schema_version = ARTIFACT_SCHEMA_VERSION + 1;
+        let err = RunArtifact::from_json(&artifact.to_json().unwrap()).unwrap_err();
+        assert!(matches!(err, ExportError::SchemaVersion { .. }), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_has_wellformed_complete_events() {
+        let artifact = RunArtifact::from_obs("t", &sample_obs());
+        let trace = artifact.chrome_trace();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event["ph"], "X");
+            assert!(event["name"].is_string());
+            assert!(event["ts"].is_u64());
+            assert!(event["dur"].is_u64());
+        }
+        // run: [0..25]vms -> ts 0us dur 25000us; survey: [5..25]vms
+        let survey = events
+            .iter()
+            .find(|e| e["name"] == "survey")
+            .expect("survey event");
+        assert_eq!(survey["ts"], 5000);
+        assert_eq!(survey["dur"], 20_000);
+    }
+
+    #[test]
+    fn deterministic_text_matches_summary_surface() {
+        let obs = sample_obs();
+        let artifact = RunArtifact::from_obs("t", &obs);
+        assert_eq!(
+            artifact.deterministic_text(),
+            obs.summary().deterministic_text()
+        );
+        assert!(artifact.deterministic_text().contains("hist lat.ms"));
+        assert!(!artifact.deterministic_text().contains("steals"));
+    }
+
+    #[test]
+    fn file_roundtrip_creates_parents() {
+        let dir = std::env::temp_dir().join("nbhd-obs-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/artifact.json");
+        let artifact = RunArtifact::from_obs("t", &sample_obs());
+        artifact.write_file(&path).unwrap();
+        let back = RunArtifact::read_file(&path).unwrap();
+        assert_eq!(artifact, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_roundtrip_by_name() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+        let artifact = RunArtifact::from_obs("smoke-run", &sample_obs());
+        artifact.save_to_store(&store).unwrap();
+        let back = RunArtifact::load_from_store(&store, "smoke-run").unwrap();
+        assert_eq!(artifact, back);
+        let err = RunArtifact::load_from_store(&store, "absent").unwrap_err();
+        assert!(matches!(err, ExportError::Missing(_)), "{err}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Log2-bucketed latency/size histograms for the metrics registry.
+//!
+//! A [`Histogram`] is the fourth registry namespace (after counters, wall
+//! counters, and gauges): an order-independent summary of a multiset of
+//! `u64` samples. Bucket boundaries are fixed powers of two, so two
+//! histograms built from the same samples — in any order, on any worker
+//! count — are bit-identical, and [`Histogram::merge`] is commutative and
+//! associative. That is what lets per-request latencies recorded from
+//! racing workers sit on the run's deterministic surface.
+//!
+//! Percentiles are bucket-resolved: [`Histogram::percentile`] returns the
+//! upper bound of the bucket holding the requested rank, clamped to the
+//! exact observed `[min, max]` range (so a single-sample histogram reports
+//! every percentile as that sample, exactly).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A merge-able log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]` (bucket 64's upper bound saturates at
+/// [`u64::MAX`]). Buckets are stored sparsely, so an empty histogram
+/// serializes small and merge cost is proportional to occupied buckets.
+///
+/// ```
+/// use nbhd_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for ms in [3, 5, 9, 9, 1200] {
+///     h.record(ms);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1200);
+/// assert!(h.p50() <= h.p99());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Sparse bucket counts keyed by bucket index (0..=64).
+    buckets: BTreeMap<u8, u64>,
+    /// Total samples recorded (saturating).
+    count: u64,
+    /// Sum of all samples (saturating).
+    sum: u64,
+    /// Smallest sample observed; 0 when empty.
+    min: u64,
+    /// Largest sample observed; 0 when empty.
+    max: u64,
+}
+
+/// The bucket index a value lands in: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_index(value: u64) -> u8 {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as u8
+    }
+}
+
+/// The inclusive upper bound of a bucket.
+fn bucket_upper(index: u8) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value (bulk path for per-chunk
+    /// recording).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        *self.buckets.entry(bucket_index(value)).or_insert(0) += n;
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Merges another histogram in. Commutative and associative: merging
+    /// the same set of histograms in any grouping or order produces
+    /// bit-identical state.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket-resolved `q`-quantile (`q` in `[0, 1]`): the upper bound
+    /// of the bucket containing the sample of rank `ceil(q * count)`,
+    /// clamped to the observed `[min, max]`. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolved).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile (bucket-resolved).
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile (bucket-resolved).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// The histogram rendered as one deterministic text line (no
+    /// trailing newline): exact bucket counts plus the derived summary
+    /// statistics. Part of the run's byte-compared deterministic surface.
+    pub fn deterministic_line(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|(bucket, n)| format!("{bucket}:{n}"))
+            .collect();
+        format!(
+            "count={} sum={} min={} max={} p50={} p90={} p99={} buckets=[{}]",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            buckets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_valued_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.p50(), 0, "two of three samples are zero");
+        assert_eq!(h.p99(), 8);
+    }
+
+    #[test]
+    fn u64_max_samples_saturate_the_sum_not_the_stats() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        for value in [0u64, 1, 7, 1000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(value);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.percentile(q), value, "q={q} value={value}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_resolved() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // rank 500 of 1..=1000 lies in bucket [256..511] -> upper 511
+        assert_eq!(h.p50(), 511);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(12, 5);
+        bulk.record_n(0, 2);
+        bulk.record_n(99, 0); // no-op
+        let mut loop_h = Histogram::new();
+        for _ in 0..5 {
+            loop_h.record(12);
+        }
+        for _ in 0..2 {
+            loop_h.record(0);
+        }
+        assert_eq!(bulk, loop_h);
+    }
+
+    #[test]
+    fn deterministic_line_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let samples = [900u64, 3, 0, 1200, 3, 77];
+        for &s in &samples {
+            a.record(s);
+        }
+        for &s in samples.iter().rev() {
+            b.record(s);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.deterministic_line(), b.deterministic_line());
+        assert!(a.deterministic_line().contains("count=6"));
+        assert!(a.deterministic_line().contains("buckets=["));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_identity() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 5, 800, u64::MAX] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(
+            prop_oneof![Just(0u64), Just(u64::MAX), 0u64..10_000, any::<u64>()],
+            0..40,
+        )
+    }
+
+    fn build(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+            let (ha, hb) = (build(&a), build(&b));
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in arb_samples(),
+            b in arb_samples(),
+            c in arb_samples(),
+        ) {
+            let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn merge_equals_recording_the_union(a in arb_samples(), b in arb_samples()) {
+            let mut merged = build(&a);
+            merged.merge(&build(&b));
+            let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged, build(&union));
+        }
+
+        #[test]
+        fn percentiles_stay_within_observed_range(samples in arb_samples()) {
+            let h = build(&samples);
+            if !samples.is_empty() {
+                for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                    let p = h.percentile(q);
+                    prop_assert!(p >= h.min() && p <= h.max(), "q={} p={}", q, p);
+                }
+            }
+        }
+    }
+}

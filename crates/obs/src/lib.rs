@@ -14,20 +14,34 @@
 //!   `nbhd-journal`'s length+FNV framing, deduplicated across resume).
 //!
 //! The determinism contract: [`RunSummary::deterministic_text`]
-//! (virtual-time spans + deterministic counters) is byte-identical at
-//! any worker count for the same plan and seed; wall-clock durations,
-//! scheduling counters, and completion-order float sums live outside
-//! that surface.
+//! (virtual-time spans + deterministic counters + deterministic
+//! histograms) is byte-identical at any worker count for the same plan
+//! and seed; wall-clock durations, scheduling counters, and
+//! completion-order float sums live outside that surface.
+//!
+//! On top of the live bundle sits the **flight recorder**: a
+//! [`Histogram`] namespace in the registry for latency/size
+//! distributions, [`RunArtifact`] to freeze a finished run as versioned
+//! JSON (with a Chrome-trace/Perfetto view of the span tree), and
+//! [`diff`] to compare two artifacts under [`DiffThresholds`] and turn
+//! drift into pass/fail [`Regression`] findings — the regression gate
+//! `scripts/check.sh` runs against the committed bench baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;
+pub mod diff;
+mod export;
+mod hist;
 mod metrics;
 mod summary;
 mod trace;
 
 pub use clock::VirtualClock;
+pub use diff::{diff, DiffThresholds, Regression, RegressionKind, RunDiff};
+pub use export::{ExportError, RunArtifact, ARTIFACT_RECORD_KIND, ARTIFACT_SCHEMA_VERSION};
+pub use hist::Histogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use summary::{Obs, RunSummary};
-pub use trace::{SpanRecord, Stage, Tracer, SPAN_RECORD_KIND};
+pub use trace::{sanitize_span_name, SpanRecord, Stage, Tracer, SPAN_RECORD_KIND};

@@ -4,7 +4,7 @@
 //! process-global atomics (which race `reset_stats` across parallel
 //! tests), the client in `CostMeter`, the imagery service in
 //! `UsageMeter`, the breakers in per-model state. A [`MetricsRegistry`]
-//! is a run-scoped home for all of them, split into two namespaces:
+//! is a run-scoped home for all of them, split into namespaces:
 //!
 //! * **deterministic counters** — `u64` values that are byte-identical
 //!   at any worker count for the same plan and seed (task counts, token
@@ -13,11 +13,20 @@
 //! * **wall counters and gauges** — scheduling-dependent values (chunk
 //!   and steal counts, busy time, f64 dollar sums accumulated in
 //!   completion order). Observability-only; never byte-compared.
+//! * **histograms** — log2-bucketed [`Histogram`] distributions, again
+//!   split deterministic vs wall. A histogram is order-independent, so
+//!   a sample multiset that is worker-count invariant (per-request
+//!   latency draws, per-stage virtual durations) stays on the
+//!   deterministic surface even though which worker recorded each sample
+//!   races; scheduling-dependent samples (chunk sizes) go in the wall
+//!   namespace.
 
 use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
 
 /// Run-scoped metrics: deterministic counters, wall counters, gauges.
 ///
@@ -40,8 +49,9 @@ pub struct MetricsRegistry {
 
 /// A point-in-time copy of a [`MetricsRegistry`].
 ///
-/// Only [`MetricsSnapshot::counters`] is deterministic across worker
-/// counts; `wall_counters` and `gauges` are observability-only.
+/// [`MetricsSnapshot::counters`] and [`MetricsSnapshot::histograms`] are
+/// deterministic across worker counts; `wall_counters`,
+/// `wall_histograms`, and `gauges` are observability-only.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Deterministic counters: byte-identical at any worker count.
@@ -50,6 +60,14 @@ pub struct MetricsSnapshot {
     pub wall_counters: BTreeMap<String, u64>,
     /// Floating-point sums accumulated in completion order (usd, latency).
     pub gauges: BTreeMap<String, f64>,
+    /// Deterministic histograms: order-independent sample multisets
+    /// (per-request latency draws, per-stage virtual durations) that are
+    /// byte-identical at any worker count.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Scheduling-dependent histograms (chunk sizes, wall durations).
+    #[serde(default)]
+    pub wall_histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -95,6 +113,54 @@ impl MetricsRegistry {
         self.inner.lock().gauges.insert(name.to_string(), value);
     }
 
+    /// Records one sample into a deterministic histogram.
+    ///
+    /// Only record samples whose *multiset* is worker-count invariant
+    /// (the assignment of samples to workers may race; the collection of
+    /// values must not). Scheduling-dependent samples belong in
+    /// [`MetricsRegistry::record_wall_hist`].
+    pub fn record_hist(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Replaces a deterministic histogram wholesale (idempotent publish
+    /// for meters that aggregate internally, mirroring
+    /// [`MetricsRegistry::set`]).
+    pub fn set_hist(&self, name: &str, hist: Histogram) {
+        self.inner.lock().histograms.insert(name.to_string(), hist);
+    }
+
+    /// Records one sample into a scheduling-dependent wall histogram.
+    pub fn record_wall_hist(&self, name: &str, value: u64) {
+        self.record_wall_hist_n(name, value, 1);
+    }
+
+    /// Records `n` equal samples into a wall histogram (bulk path for
+    /// per-chunk recording).
+    pub fn record_wall_hist_n(&self, name: &str, value: u64, n: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .wall_histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_n(value, n);
+    }
+
+    /// A copy of a deterministic histogram, or `None` when unset.
+    pub fn hist(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.get(name).cloned()
+    }
+
+    /// A copy of a wall histogram, or `None` when unset.
+    pub fn wall_hist(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().wall_histograms.get(name).cloned()
+    }
+
     /// Current value of a deterministic counter (0 when unset).
     pub fn counter(&self, name: &str) -> u64 {
         self.inner.lock().counters.get(name).copied().unwrap_or(0)
@@ -122,7 +188,10 @@ impl MetricsRegistry {
 }
 
 impl MetricsSnapshot {
-    /// The deterministic counters rendered one per line, `name value`.
+    /// The deterministic counters rendered one per line, `name value`,
+    /// followed by one `hist name count=… buckets=[…]` line per
+    /// deterministic histogram (wall histograms are excluded, like wall
+    /// counters and gauges).
     ///
     /// This is the counter half of the run's deterministic surface; see
     /// [`crate::RunSummary::deterministic_text`].
@@ -130,6 +199,9 @@ impl MetricsSnapshot {
         let mut out = String::new();
         for (name, value) in &self.counters {
             out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!("hist {name} {}\n", hist.deterministic_line()));
         }
         out
     }
@@ -170,8 +242,51 @@ mod tests {
         registry.add("det.a", 2);
         registry.add_wall("wall.x", 9);
         registry.add_gauge("gauge.y", 3.0);
+        registry.record_wall_hist("wall.h", 5);
         let text = registry.snapshot().deterministic_text();
         assert_eq!(text, "det.a 2\ndet.z 1\n");
+    }
+
+    #[test]
+    fn deterministic_text_appends_histogram_lines() {
+        let registry = MetricsRegistry::new();
+        registry.add("det.a", 2);
+        registry.record_hist("lat.ms", 7);
+        registry.record_hist("lat.ms", 100);
+        let text = registry.snapshot().deterministic_text();
+        assert!(text.starts_with("det.a 2\nhist lat.ms count=2 "), "{text}");
+        assert!(text.contains("buckets=[3:1,7:1]"), "{text}");
+    }
+
+    #[test]
+    fn histogram_namespaces_are_independent() {
+        let registry = MetricsRegistry::new();
+        registry.record_hist("h", 1);
+        registry.record_wall_hist("h", 2);
+        registry.record_wall_hist_n("h", 2, 3);
+        assert_eq!(registry.hist("h").unwrap().count(), 1);
+        assert_eq!(registry.wall_hist("h").unwrap().count(), 4);
+        assert!(registry.hist("missing").is_none());
+    }
+
+    #[test]
+    fn set_hist_replaces_wholesale() {
+        let registry = MetricsRegistry::new();
+        registry.record_hist("h", 1);
+        let mut fresh = Histogram::new();
+        fresh.record(10);
+        registry.set_hist("h", fresh.clone());
+        assert_eq!(registry.hist("h").unwrap(), fresh);
+    }
+
+    #[test]
+    fn snapshot_without_histograms_deserializes_from_old_schema() {
+        // PR-4-era snapshots lack the histogram namespaces entirely.
+        let json = r#"{"counters":{"a":1},"wall_counters":{},"gauges":{}}"#;
+        let snap: MetricsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(snap.counters["a"], 1);
+        assert!(snap.histograms.is_empty());
+        assert!(snap.wall_histograms.is_empty());
     }
 
     #[test]

@@ -77,10 +77,11 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// The run's deterministic surface as text: virtual-time spans and
-    /// deterministic counters only. Byte-identical at 1 vs N workers
-    /// for the same plan and seed; wall-clock fields, wall counters,
-    /// and gauges are excluded.
+    /// The run's deterministic surface as text: virtual-time spans,
+    /// deterministic counters, and deterministic histograms only.
+    /// Byte-identical at 1 vs N workers for the same plan and seed;
+    /// wall-clock fields, wall counters, wall histograms, and gauges
+    /// are excluded.
     pub fn deterministic_text(&self) -> String {
         let mut out = String::from("spans\n");
         for span in &self.spans {

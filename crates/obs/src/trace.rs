@@ -30,6 +30,26 @@ use crate::clock::VirtualClock;
 /// Journal record kind for completed spans.
 pub const SPAN_RECORD_KIND: &str = "obs-span";
 
+/// Percent-escapes the characters that would let a span name corrupt
+/// the deterministic surface: `/` (the key separator — a name
+/// containing it would fake a child span), `\n`/`\r` (line separators —
+/// a name containing them would forge extra lines in the byte-compared
+/// text), and `%` itself (so the escaping is injective: two distinct
+/// names can never sanitize to the same string).
+pub fn sanitize_span_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
 /// One completed stage span.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanRecord {
@@ -111,9 +131,15 @@ impl Tracer {
     /// Opens a stage span. Call [`Stage::record`] when the stage ends
     /// (dropping the guard records it too, so early returns via `?`
     /// still close their spans).
+    ///
+    /// The name is sanitized with [`sanitize_span_name`]: `/`, newlines,
+    /// and `%` are percent-escaped so a hostile or buggy stage name can
+    /// neither fake a child span in the `/`-separated key nor forge an
+    /// extra line in the byte-compared deterministic surface.
     pub fn enter(&self, name: &str) -> Stage<'_> {
+        let name = sanitize_span_name(name);
         let mut inner = self.inner.lock();
-        inner.stack.push(name.to_string());
+        inner.stack.push(name.clone());
         let key = inner.stack.join("/");
         let depth = inner.stack.len() - 1;
         let seq = inner.next_seq;
@@ -121,7 +147,7 @@ impl Tracer {
         Stage {
             tracer: self,
             key,
-            name: name.to_string(),
+            name,
             depth,
             seq,
             start_vms: self.clock.now_ms(),
@@ -271,6 +297,44 @@ mod tests {
         tracer.enter("s").record();
         assert_eq!(first.load_kind(SPAN_RECORD_KIND).len(), 1);
         assert!(second.load_kind(SPAN_RECORD_KIND).is_empty());
+    }
+
+    #[test]
+    fn hostile_span_names_cannot_forge_lines_or_children() {
+        let (_clock, tracer) = tracer();
+        // a `/` would fake a child; a `\n` would forge an extra line in
+        // the byte-compared surface; `%` must round-trip injectively
+        tracer.enter("a/b").record();
+        tracer.enter("x\ny").record();
+        tracer.enter("p%q").record();
+        let spans = tracer.spans();
+        assert_eq!(spans[0].key, "a%2Fb");
+        assert_eq!(spans[0].depth, 0, "no fake child was created");
+        assert_eq!(spans[1].name, "x%0Ay");
+        assert_eq!(spans[2].name, "p%25q");
+        for span in &spans {
+            let line = span.deterministic_line();
+            assert_eq!(line.matches('\n').count(), 1, "one line per span");
+        }
+        // injective: the sanitized form of a hostile name never collides
+        // with the sanitized form of the name it tries to imitate
+        assert_ne!(sanitize_span_name("a/b"), sanitize_span_name("a%2Fb"));
+    }
+
+    #[test]
+    fn sanitized_stages_still_pop_their_stack_frame() {
+        let (_clock, tracer) = tracer();
+        let outer = tracer.enter("run");
+        tracer.enter("bad/name").record();
+        let sibling = tracer.enter("next");
+        sibling.record();
+        outer.record();
+        let spans = tracer.spans();
+        assert_eq!(spans[1].key, "run/bad%2Fname");
+        // "next" is a child of "run", not of the sanitized bad name:
+        // the hostile stage's frame was popped correctly
+        assert_eq!(spans[2].key, "run/next");
+        assert_eq!(spans[2].depth, 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use nbhd::eval::render_run_summary;
 use nbhd::journal::{journal_path, manifest_path, scan_file, Journal, KillSchedule};
-use nbhd::obs::Obs;
+use nbhd::obs::{Obs, RunArtifact};
 use nbhd::{run_observed, RunPlan};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -81,6 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             println!("rerun with the same directory: everything replays, nothing is re-billed.");
             println!("\n{}", render_run_summary("Run summary", &obs.summary()));
+
+            // Flight-recorder artifact: the run's deterministic surface,
+            // ready to gate a later run against this one:
+            //   cargo run -p nbhd-bench --bin run_diff -- \
+            //       <run-dir>/artifact.json <other-run>/artifact.json
+            let artifact_path = dir.join("artifact.json");
+            RunArtifact::from_obs("crash-resume-demo", &obs).write_file(&artifact_path)?;
+            println!("run artifact written to {}", artifact_path.display());
         }
         Err(err) => {
             println!("process died: {err}");

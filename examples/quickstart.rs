@@ -4,7 +4,16 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! The run is observed end to end: it prints per-model latency percentiles
+//! and exports the flight-recorder artifact to
+//! `target/quickstart_artifact.json`, diffable against a later run with
+//! `cargo run -p nbhd-bench --bin run_diff`.
 
+use std::path::Path;
+
+use nbhd::eval::render_hist_table;
+use nbhd::obs::Histogram;
 use nbhd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,8 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Ask the paper's four models about the first ten images using the
     //    paper's English parallel prompt, and majority-vote the top three.
+    //    The observability bundle records spans, counters, and latency
+    //    histograms as the ensemble works.
+    let obs = Obs::default();
     let ids: Vec<ImageId> = survey.images().iter().take(10).copied().collect();
-    let outcome = run_llm_survey(&survey, paper_lineup(), &ids, &LlmSurveyConfig::default())?;
+    let outcome = run_llm_survey_observed(
+        &survey,
+        paper_lineup(),
+        &ids,
+        &LlmSurveyConfig::default(),
+        &obs,
+    )?;
 
     println!("\nimage            ground truth      majority vote");
     for (i, &id) in ids.iter().enumerate() {
@@ -38,5 +56,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.voted_table.average.accuracy
     );
     println!("\nsimulated API spend: ${:.4}", outcome.total_usd);
+
+    // 4. What did the transport layer look like? Per-model request latency
+    //    percentiles, straight from the run's deterministic histograms.
+    let snapshot = obs.registry().snapshot();
+    let rows: Vec<(String, Histogram)> = outcome
+        .tables
+        .keys()
+        .filter_map(|name| {
+            let hist = snapshot
+                .histograms
+                .get(&format!("client.{name}.latency_ms"))?;
+            Some((name.clone(), hist.clone()))
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_hist_table("per-model request latency (ms)", &rows)
+    );
+
+    // 5. Export the flight-recorder artifact for later comparison.
+    let artifact = RunArtifact::from_obs("quickstart", &obs);
+    let path = Path::new("target/quickstart_artifact.json");
+    artifact.write_file(path)?;
+    println!("run artifact written to {}", path.display());
     Ok(())
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Flight-recorder bench gate: run the paper-table harness twice at a small
+# deterministic scale, self-diff the two run artifacts (the deterministic
+# surface must be byte-stable across identical-seed runs), then diff the
+# fresh artifact against the committed baseline BENCH_paper_tables.json.
+#
+# The committed baseline starts life as a bootstrap sentinel (name
+# "bootstrap"): the first run on a machine with a working toolchain
+# replaces it with a real artifact — review and commit that file. To
+# re-baseline after an intentional perf/shape change:
+#
+#   REBASELINE=1 ./scripts/bench_artifact.sh
+#
+# Run from the repository root: ./scripts/bench_artifact.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_paper_tables.json
+FRESH=target/BENCH_paper_tables.json
+RERUN=target/BENCH_paper_tables.rerun.json
+SCALE="${NBHD_SCALE:-smoke}"
+SEED="${NBHD_SEED:-2025}"
+# t2 keeps the gate fast: one LLM experiment on top of the survey build.
+ARGS="${NBHD_BENCH_ARGS:-t2}"
+
+echo "==> bench artifact: scale=$SCALE seed=$SEED experiments=$ARGS"
+NBHD_SCALE="$SCALE" NBHD_SEED="$SEED" NBHD_ARTIFACT="$FRESH" \
+    cargo bench -q -p nbhd-bench --bench paper_tables -- $ARGS >/dev/null
+NBHD_SCALE="$SCALE" NBHD_SEED="$SEED" NBHD_ARTIFACT="$RERUN" \
+    cargo bench -q -p nbhd-bench --bench paper_tables -- $ARGS >/dev/null
+
+echo "==> self-diff: identical seeds must produce zero regressions"
+cargo run -q -p nbhd-bench --bin run_diff -- "$FRESH" "$RERUN"
+
+if [ "${REBASELINE:-0}" = "1" ] || [ ! -f "$BASELINE" ] \
+    || grep -q '"name": "bootstrap"' "$BASELINE"; then
+    cp "$FRESH" "$BASELINE"
+    echo "==> baselined $BASELINE from this run -- review and commit it"
+else
+    echo "==> diff against committed baseline $BASELINE"
+    cargo run -q -p nbhd-bench --bin run_diff -- "$BASELINE" "$FRESH"
+fi

@@ -20,6 +20,9 @@ echo "==> obs golden snapshots (cost-report alignment + run-summary rendering)"
 cargo test -q -p nbhd-client report_golden_output_for_long_names_and_wide_tokens
 cargo test -q -p nbhd-eval run_summary_indents_nested_stages_and_marks_wall_metrics
 
+echo "==> flight recorder (artifact round-trip, trace shape, self-diff gate)"
+cargo test -q --test flight_recorder
+
 echo "==> cargo test"
 cargo test -q
 
@@ -28,5 +31,8 @@ cargo test -q --test crash_resume
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench -p nbhd-bench --no-run
+
+echo "==> bench artifact gate (self-diff + committed baseline)"
+./scripts/bench_artifact.sh
 
 echo "==> all checks passed"

@@ -121,13 +121,25 @@ fn run_summary_deterministic_surface_is_worker_count_invariant() {
     // the surface is non-trivial: spans from every stage, counters from
     // exec, client accounting, and imagery billing
     let text = serial.deterministic_text();
-    for needle in ["run/survey/capture", "run/detector", "run/ensemble", "run/bootstrap"] {
+    for needle in [
+        "run/survey/capture",
+        "run/detector",
+        "run/ensemble",
+        "run/bootstrap",
+    ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }
     assert!(text.contains("exec.tasks"));
     assert!(text.contains("gsv.billed_images"));
+    // histograms ride the deterministic surface: the sample multisets
+    // (latency draws, stage virtual durations) are scheduling-invariant
+    // even though per-worker arrival order is not
+    assert_eq!(serial.metrics.histograms, parallel.metrics.histograms);
+    assert!(text.contains("hist core.stage_virtual_ms"));
+    assert!(text.contains(".latency_ms"));
     // wall-clock metrics stay out of the deterministic surface
     assert!(!text.contains("exec.steals"));
+    assert!(!text.contains("exec.chunk_items"));
     assert!(!text.contains("usd"));
 }
 

@@ -1,0 +1,119 @@
+//! Flight-recorder integration: run artifacts exported from real observed
+//! runs must round-trip losslessly, render a well-formed Chrome trace, be
+//! worker-count invariant on the deterministic surface, and drive the
+//! `run_diff` regression gate (self-diff clean, injected slowdown flagged).
+
+use std::sync::Arc;
+
+use nbhd::prelude::*;
+use nbhd_obs::RegressionKind;
+
+/// A tiny observed study run, exported as an artifact.
+fn observed_artifact(seed: u64, parallelism: Parallelism) -> RunArtifact {
+    let base = RunPlan::smoke(seed);
+    let mut plan = RunPlan {
+        survey: SurveyConfig {
+            parallelism,
+            ..base.survey
+        },
+        ..base
+    };
+    plan.survey.locations = 3;
+    plan.epochs = 1;
+    plan.resamples = 4;
+    let obs = Obs::default();
+    nbhd_core::run_observed(&plan, Arc::new(MemoryStore::new()), &obs).expect("observed run");
+    RunArtifact::from_obs("flight", &obs)
+}
+
+#[test]
+fn artifact_round_trips_through_json_and_files() {
+    let artifact = observed_artifact(47, Parallelism::serial());
+    assert!(!artifact.spans.is_empty());
+    assert!(!artifact.metrics.counters.is_empty());
+    assert!(
+        artifact
+            .metrics
+            .histograms
+            .keys()
+            .any(|k| k.ends_with(".latency_ms")),
+        "observed run must publish latency histograms"
+    );
+
+    let json = artifact.to_json().unwrap();
+    assert_eq!(RunArtifact::from_json(&json).unwrap(), artifact);
+
+    let path = std::env::temp_dir().join("nbhd-flight-roundtrip/artifact.json");
+    artifact.write_file(&path).unwrap();
+    assert_eq!(RunArtifact::read_file(&path).unwrap(), artifact);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let artifact = observed_artifact(48, Parallelism::serial());
+    let trace = artifact.chrome_trace();
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(events.len(), artifact.spans.len());
+    for event in events {
+        assert_eq!(event["ph"], "X", "complete events only");
+        assert!(event["name"].is_string());
+        assert!(event["ts"].is_u64());
+        assert!(event["dur"].is_u64());
+    }
+    assert!(
+        events.iter().any(|e| e["name"] == "run"),
+        "root span missing from trace"
+    );
+}
+
+#[test]
+fn self_diff_passes_and_injected_slowdown_is_flagged() {
+    let artifact = observed_artifact(49, Parallelism::serial());
+
+    let clean = run_diff(&artifact, &artifact, &DiffThresholds::default());
+    assert!(
+        clean.is_pass(),
+        "self-diff regressions: {:?}",
+        clean.regressions
+    );
+    assert!(clean.regressions.is_empty());
+
+    // inject a uniform 2x virtual slowdown into every stage
+    let mut slow = artifact.clone();
+    for span in &mut slow.spans {
+        slow_span(span);
+    }
+    // the run is big enough that at least one stage clears the floor
+    assert!(
+        artifact.spans.iter().any(|s| s.virtual_ms() >= 10),
+        "no stage clears the diff floor; slowdown test would be vacuous"
+    );
+    let flagged = run_diff(&artifact, &slow, &DiffThresholds::default());
+    assert!(!flagged.is_pass());
+    assert!(flagged
+        .regressions
+        .iter()
+        .any(|r| matches!(r.kind, RegressionKind::StageDuration)));
+}
+
+fn slow_span(span: &mut nbhd_obs::SpanRecord) {
+    span.end_vms = span.start_vms + 2 * span.virtual_ms();
+}
+
+#[test]
+fn artifact_deterministic_surface_is_worker_count_invariant() {
+    let serial = observed_artifact(50, Parallelism::serial());
+    let parallel = observed_artifact(50, Parallelism::fixed(4));
+    assert_eq!(
+        serial.deterministic_text(),
+        parallel.deterministic_text(),
+        "artifact spans + counters + histograms must not depend on scheduling"
+    );
+    // and the whole artifact minus wall-clock fields matches: names equal,
+    // schema equal
+    assert_eq!(serial.name, parallel.name);
+    assert_eq!(serial.schema_version, parallel.schema_version);
+    assert_eq!(serial.metrics.histograms, parallel.metrics.histograms);
+    assert_eq!(serial.metrics.counters, parallel.metrics.counters);
+}
