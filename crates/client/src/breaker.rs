@@ -63,6 +63,36 @@ impl std::fmt::Display for BreakerState {
     }
 }
 
+/// Per-edge state-transition counts: how often the breaker crossed each
+/// edge of its state machine. `opened` alone says a backend failed;
+/// `opened` climbing in lock-step with `reclosed` says it is *flapping* —
+/// recovering just long enough to re-close, then tripping again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerTransitions {
+    /// Closed → Open trips (the failure window crossed the threshold).
+    pub opened: u64,
+    /// Open → HalfOpen moves (cool-down elapsed, probes admitted).
+    pub probed: u64,
+    /// HalfOpen → Closed recoveries (enough probes succeeded).
+    pub reclosed: u64,
+    /// HalfOpen → Open re-trips (a probe failed).
+    pub reopened: u64,
+}
+
+impl BreakerTransitions {
+    /// Total transitions across all edges.
+    pub fn total(&self) -> u64 {
+        self.opened + self.probed + self.reclosed + self.reopened
+    }
+
+    /// Completed open→closed→open cycles — the flap count. A breaker
+    /// that tripped once and stayed open has `opened == 1, flaps == 0`;
+    /// one that keeps bouncing has `flaps ≈ opened`.
+    pub fn flaps(&self) -> u64 {
+        self.reclosed.min(self.opened.saturating_sub(1)) + self.reopened
+    }
+}
+
 /// A point-in-time copy of the breaker's bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerSnapshot {
@@ -74,6 +104,8 @@ pub struct BreakerSnapshot {
     pub probe_successes: u32,
     /// Total state transitions since construction.
     pub transitions: u64,
+    /// Per-edge transition counts (which edges make up `transitions`).
+    pub edges: BreakerTransitions,
     /// Requests rejected without reaching the transport.
     pub fail_fast: u64,
 }
@@ -85,6 +117,7 @@ struct BreakerInner {
     probe_successes: u32,
     events: VecDeque<(u64, bool)>,
     transitions: u64,
+    edges: BreakerTransitions,
     fail_fast: u64,
 }
 
@@ -127,6 +160,7 @@ impl CircuitBreaker {
                 probe_successes: 0,
                 events: VecDeque::new(),
                 transitions: 0,
+                edges: BreakerTransitions::default(),
                 fail_fast: 0,
             }),
         }
@@ -151,6 +185,7 @@ impl CircuitBreaker {
                     inner.state = BreakerState::HalfOpen;
                     inner.probe_successes = 0;
                     inner.transitions += 1;
+                    inner.edges.probed += 1;
                     Ok(())
                 } else {
                     inner.fail_fast += 1;
@@ -179,6 +214,7 @@ impl CircuitBreaker {
                     inner.state = BreakerState::Open;
                     inner.opened_at_ms = now;
                     inner.transitions += 1;
+                    inner.edges.opened += 1;
                     inner.events.clear();
                 }
             }
@@ -188,12 +224,14 @@ impl CircuitBreaker {
                     if inner.probe_successes >= self.config.probe_count.max(1) {
                         inner.state = BreakerState::Closed;
                         inner.transitions += 1;
+                        inner.edges.reclosed += 1;
                         inner.events.clear();
                     }
                 } else {
                     inner.state = BreakerState::Open;
                     inner.opened_at_ms = now;
                     inner.transitions += 1;
+                    inner.edges.reopened += 1;
                 }
             }
             // A late result from a request admitted before the trip: the
@@ -215,6 +253,7 @@ impl CircuitBreaker {
             opened_at_ms: inner.opened_at_ms,
             probe_successes: inner.probe_successes,
             transitions: inner.transitions,
+            edges: inner.edges,
             fail_fast: inner.fail_fast,
         }
     }
@@ -350,6 +389,50 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         // the cool-down restarts from the re-open
         assert!(b.try_acquire().is_err());
+    }
+
+    #[test]
+    fn edge_counts_decompose_transitions_and_expose_flapping() {
+        let clock = Arc::new(VirtualClock::new());
+        let b = breaker(&clock);
+        // Two full flap cycles: trip, cool down, probe back to closed.
+        for _ in 0..2 {
+            for _ in 0..4 {
+                b.record(false);
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+            clock.advance_ms(5_000);
+            b.try_acquire().unwrap();
+            b.record(true);
+            b.record(true);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // Third trip ends with a failed probe: HalfOpen → Open.
+        for _ in 0..4 {
+            b.record(false);
+        }
+        clock.advance_ms(5_000);
+        b.try_acquire().unwrap();
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        let snap = b.snapshot();
+        let edges = snap.edges;
+        assert_eq!(edges.opened, 3);
+        assert_eq!(edges.probed, 3);
+        assert_eq!(edges.reclosed, 2);
+        assert_eq!(edges.reopened, 1);
+        assert_eq!(edges.total(), snap.transitions);
+        // Two completed open→closed cycles plus one failed probe.
+        assert_eq!(edges.flaps(), 3);
+
+        // A breaker that tripped once and stayed open is not flapping.
+        let once = breaker(&clock);
+        for _ in 0..4 {
+            once.record(false);
+        }
+        assert_eq!(once.snapshot().edges.opened, 1);
+        assert_eq!(once.snapshot().edges.flaps(), 0);
     }
 
     #[test]

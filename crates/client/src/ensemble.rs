@@ -283,6 +283,17 @@ impl Ensemble {
                     &format!("breaker.{}.fail_fast", member.profile.name),
                     snap.fail_fast,
                 );
+                let name = &member.profile.name;
+                obs.registry()
+                    .set_wall(&format!("breaker.{name}.opened"), snap.edges.opened);
+                obs.registry()
+                    .set_wall(&format!("breaker.{name}.probed"), snap.edges.probed);
+                obs.registry()
+                    .set_wall(&format!("breaker.{name}.reclosed"), snap.edges.reclosed);
+                obs.registry()
+                    .set_wall(&format!("breaker.{name}.reopened"), snap.edges.reopened);
+                obs.registry()
+                    .set_wall(&format!("breaker.{name}.flaps"), snap.edges.flaps());
             }
         }
     }
@@ -335,6 +346,7 @@ impl Ensemble {
             opened_at_ms: 0,
             probe_successes: 0,
             transitions: 0,
+            edges: crate::BreakerTransitions::default(),
             fail_fast: 0,
         };
         let models = self

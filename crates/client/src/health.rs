@@ -35,6 +35,7 @@ impl ModelHealth {
             availability: self.availability(),
             breaker_state: self.breaker.state.to_string(),
             transitions: self.breaker.transitions,
+            flaps: self.breaker.edges.flaps(),
             retries: self.usage.retries,
             fail_fast: self.usage.fail_fast,
             hedges: (self.usage.hedges_fired, self.usage.hedges_won),
@@ -88,6 +89,7 @@ mod tests {
                 opened_at_ms: 0,
                 probe_successes: 0,
                 transitions: 0,
+                edges: crate::BreakerTransitions::default(),
                 fail_fast: 0,
             },
         }

@@ -60,7 +60,8 @@ mod schedule;
 mod transport;
 
 pub use breaker::{
-    BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransport, CircuitBreaker,
+    BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransitions, BreakerTransport,
+    CircuitBreaker,
 };
 pub use cost::{CostMeter, ModelUsage};
 pub use ensemble::{
@@ -74,7 +75,7 @@ pub use ratelimit::{TokenBucket, VirtualClock};
 pub use retry::{
     send_resilient, send_with_retry, RetriedResponse, RetryFailure, RetryPolicy, ERROR_RTT_MS,
 };
-pub use schedule::{FaultRegime, FaultSchedule, RegimeKind, ScheduledTransport};
+pub use schedule::{DrawKeying, FaultRegime, FaultSchedule, RegimeKind, ScheduledTransport};
 pub use transport::{
     FaultProfile, ModelRequest, ModelResponse, SimulatedTransport, Transport, TransportError,
 };

@@ -166,18 +166,39 @@ impl FaultSchedule {
     }
 }
 
+/// How a [`ScheduledTransport`] keys its stochastic regime draws
+/// (brownout 5xx, storm rejects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DrawKeying {
+    /// Key draws on a per-transport attempt counter (the default):
+    /// retries of the same request see fresh i.i.d. draws, but the
+    /// counter races under a parallel fan-out, so *which* request a
+    /// fault lands on depends on scheduling.
+    #[default]
+    PerAttempt,
+    /// Key draws on the request's image identity and the active regime's
+    /// window start: a request's fault outcome is a pure function of
+    /// `(seed, image, window)`, invariant under worker count and send
+    /// order. Single-attempt callers that need fault outcomes on the
+    /// deterministic surface (e.g. a serving layer that owns admission
+    /// and retries itself) opt in via
+    /// [`ScheduledTransport::with_image_keyed_draws`].
+    PerImage,
+}
+
 /// A [`Transport`] decorator applying a [`FaultSchedule`] on top of an
 /// inner transport, reading the shared virtual clock to decide which
 /// regime (if any) governs each attempt.
 ///
 /// Stochastic regime draws (brownout 5xx, storm rejects) derive from the
-/// `u64` seed and a per-attempt counter, per the workspace seeding
-/// discipline.
+/// `u64` seed and, per [`DrawKeying`], either a per-attempt counter or
+/// the request's image identity.
 pub struct ScheduledTransport {
     inner: Arc<dyn Transport>,
     schedule: FaultSchedule,
     clock: Arc<VirtualClock>,
     seed: u64,
+    keying: DrawKeying,
     attempts: AtomicU64,
 }
 
@@ -194,7 +215,29 @@ impl ScheduledTransport {
             schedule,
             clock,
             seed,
+            keying: DrawKeying::default(),
             attempts: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches regime draws to [`DrawKeying::PerImage`]: fault outcomes
+    /// become a pure function of `(seed, image, regime window)`, so they
+    /// stay identical at any worker count.
+    #[must_use]
+    pub fn with_image_keyed_draws(mut self) -> ScheduledTransport {
+        self.keying = DrawKeying::PerImage;
+        self
+    }
+
+    /// The seed governing one stochastic regime draw.
+    fn draw_seed(&self, request: &ModelRequest, regime: &FaultRegime, attempt: u64) -> u64 {
+        match self.keying {
+            DrawKeying::PerAttempt => child_seed_n(self.seed, "schedule", attempt),
+            DrawKeying::PerImage => child_seed_n(
+                child_seed_n(self.seed, "schedule-image", request.context.image.key()),
+                "window",
+                regime.start_ms,
+            ),
         }
     }
 
@@ -224,7 +267,7 @@ impl Transport for ScheduledTransport {
                 reject,
                 retry_after_ms,
             } => {
-                let mut rng = rng_from(child_seed_n(self.seed, "schedule", attempt));
+                let mut rng = rng_from(self.draw_seed(request, regime, attempt));
                 if rng.random::<f64>() < *reject {
                     Err(TransportError::RateLimited {
                         retry_after_ms: *retry_after_ms,
@@ -237,7 +280,7 @@ impl Transport for ScheduledTransport {
                 server_error,
                 latency_factor,
             } => {
-                let mut rng = rng_from(child_seed_n(self.seed, "schedule", attempt));
+                let mut rng = rng_from(self.draw_seed(request, regime, attempt));
                 if rng.random::<f64>() < *server_error {
                     Err(TransportError::ServerError)
                 } else {
@@ -363,6 +406,38 @@ mod tests {
             }
         }
         assert!((70..=130).contains(&rejected), "~50% of 200, got {rejected}");
+    }
+
+    #[test]
+    fn image_keyed_draws_are_send_order_invariant() {
+        let clock = Arc::new(VirtualClock::new());
+        let storm = || {
+            FaultSchedule::new().with(FaultRegime::rate_limit_storm(0, u64::MAX, 0.5, 500))
+        };
+        let forward = scheduled(storm(), &clock).with_image_keyed_draws();
+        let backward = scheduled(storm(), &clock).with_image_keyed_draws();
+        let locs: Vec<u64> = (0..40).collect();
+        let mut by_loc_forward = std::collections::BTreeMap::new();
+        for &loc in &locs {
+            by_loc_forward.insert(loc, forward.send(&request(loc)).is_ok());
+        }
+        // the same seed sees the same per-image outcomes in any send
+        // order — this is what keeps scheduled faults on the
+        // deterministic surface for single-attempt callers
+        for &loc in locs.iter().rev() {
+            assert_eq!(
+                backward.send(&request(loc)).is_ok(),
+                by_loc_forward[&loc],
+                "image {loc} outcome must not depend on send order"
+            );
+        }
+        let rejected = by_loc_forward.values().filter(|ok| !**ok).count();
+        assert!(
+            (10..=30).contains(&rejected),
+            "~50% of 40 should bounce, got {rejected}"
+        );
+        // per-attempt keying keeps its historical racing behavior
+        assert_eq!(scheduled(storm(), &clock).keying, DrawKeying::PerAttempt);
     }
 
     #[test]

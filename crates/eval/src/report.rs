@@ -105,6 +105,9 @@ pub struct HealthRow {
     pub breaker_state: String,
     /// Breaker state transitions over the run.
     pub transitions: u64,
+    /// Completed trip/recover cycles — a high count means the backend is
+    /// flapping (bouncing between open and closed), not merely down.
+    pub flaps: u64,
     /// Attempts beyond the first.
     pub retries: u64,
     /// Requests rejected instantly by an open breaker.
@@ -126,6 +129,7 @@ pub struct HealthRow {
 ///     availability: 0.97,
 ///     breaker_state: "closed".into(),
 ///     transitions: 0,
+///     flaps: 0,
 ///     retries: 12,
 ///     fail_fast: 0,
 ///     hedges: (3, 2),
@@ -139,16 +143,17 @@ pub fn render_health_table(title: &str, rows: &[HealthRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:<22} {:>7} {:>10} {:>6} {:>8} {:>9} {:>9} {:>11}\n",
-        "Model", "Avail", "Breaker", "Trans", "Retries", "FailFast", "Hedges", "Backoff"
+        "{:<22} {:>7} {:>10} {:>6} {:>6} {:>8} {:>9} {:>9} {:>11}\n",
+        "Model", "Avail", "Breaker", "Trans", "Flaps", "Retries", "FailFast", "Hedges", "Backoff"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<22} {:>6.1}% {:>10} {:>6} {:>8} {:>9} {:>5}/{:<3} {:>8} ms\n",
+            "{:<22} {:>6.1}% {:>10} {:>6} {:>6} {:>8} {:>9} {:>5}/{:<3} {:>8} ms\n",
             r.model,
             r.availability * 100.0,
             r.breaker_state,
             r.transitions,
+            r.flaps,
             r.retries,
             r.fail_fast,
             r.hedges.0,
@@ -493,6 +498,7 @@ mod tests {
                 availability: 1.0,
                 breaker_state: "closed".into(),
                 transitions: 0,
+                flaps: 0,
                 retries: 0,
                 fail_fast: 0,
                 hedges: (0, 0),
@@ -503,6 +509,7 @@ mod tests {
                 availability: 0.125,
                 breaker_state: "open".into(),
                 transitions: 3,
+                flaps: 1,
                 retries: 40,
                 fail_fast: 120,
                 hedges: (5, 1),

@@ -2,11 +2,9 @@
 //!
 //! Counters live in a run-scoped [`MetricsRegistry`] attached via
 //! [`crate::ScopedPool::with_metrics`]: isolated per run, safe under
-//! parallel tests, and rolled into the run's unified summary. (The
-//! original process-global atomics — `stats()` / `reset_stats()` — were
-//! deprecated in the PR that introduced the registry and are now gone:
-//! they were inherently racy across concurrently running tests, which is
-//! exactly why they were migrated.)
+//! parallel tests, and rolled into the run's unified summary alongside
+//! every other subsystem's metrics. [`ExecSnapshot::from_metrics`] reads
+//! them back out of a published [`MetricsSnapshot`] for reporting.
 //!
 //! Counters are observability only — no behavior reads them — so their
 //! scheduling-dependent parts (steals, busy time, chunk sizes) never

@@ -1,0 +1,234 @@
+//! The admission controller: typed rejection of traffic the service
+//! cannot (or should not) absorb.
+
+use std::fmt;
+
+use nbhd_client::TokenBucket;
+
+/// Why a request was turned away, typed so callers can react (back off,
+/// top up a budget, retry after the hinted delay) instead of parsing
+/// error strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The tenant's bounded queue is full.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The tenant's configured queue bound.
+        capacity: usize,
+    },
+    /// The tenant's token-bucket quota is exhausted.
+    QuotaExhausted {
+        /// Virtual milliseconds until the bucket refills one token.
+        retry_after_ms: u64,
+    },
+    /// The tenant's hard budget cutoff has been reached.
+    BudgetExhausted,
+    /// The service itself is degraded past the point of queueing more
+    /// work: global load shedding.
+    Degraded {
+        /// Human-readable shed reason (e.g. which global signal fired).
+        reason: String,
+    },
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth}/{capacity})")
+            }
+            Rejected::QuotaExhausted { retry_after_ms } => {
+                write!(f, "quota exhausted (retry in {retry_after_ms} ms)")
+            }
+            Rejected::BudgetExhausted => write!(f, "budget exhausted"),
+            Rejected::Degraded { reason } => write!(f, "degraded: {reason}"),
+        }
+    }
+}
+
+/// A tenant's live admission signals, snapshotted by the service at
+/// arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantGate {
+    /// Current depth of the tenant's queue.
+    pub queue_depth: usize,
+    /// The tenant's queue bound.
+    pub queue_capacity: usize,
+    /// The tenant's metered spend so far, USD.
+    pub spent_usd: f64,
+    /// The tenant's hard budget cutoff, USD.
+    pub budget_usd: f64,
+}
+
+/// Admits or rejects arrivals against per-tenant and global bounds.
+///
+/// Checks run cheapest-and-most-permanent first — budget, global shed,
+/// tenant queue, then quota — so a quota token is only consumed for
+/// requests that every other gate has already passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionController {
+    global_capacity: usize,
+}
+
+impl AdmissionController {
+    /// A controller with a global bound on total queued requests across
+    /// all tenants (the service's concurrency limit).
+    pub fn new(global_capacity: usize) -> AdmissionController {
+        AdmissionController { global_capacity }
+    }
+
+    /// The global queue bound.
+    pub fn global_capacity(&self) -> usize {
+        self.global_capacity
+    }
+
+    /// Decides one arrival. On `Ok` the tenant's quota bucket has had one
+    /// token consumed and the caller must enqueue the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the applicable [`Rejected`] variant; no quota is consumed
+    /// on any rejection path.
+    pub fn admit(
+        &self,
+        gate: &TenantGate,
+        bucket: &TokenBucket,
+        total_queued: usize,
+    ) -> Result<(), Rejected> {
+        if gate.spent_usd >= gate.budget_usd {
+            return Err(Rejected::BudgetExhausted);
+        }
+        if total_queued >= self.global_capacity {
+            return Err(Rejected::Degraded {
+                reason: format!(
+                    "global queue saturated ({total_queued}/{})",
+                    self.global_capacity
+                ),
+            });
+        }
+        if gate.queue_depth >= gate.queue_capacity {
+            return Err(Rejected::QueueFull {
+                depth: gate.queue_depth,
+                capacity: gate.queue_capacity,
+            });
+        }
+        if let Err(retry_after_ms) = bucket.try_acquire() {
+            return Err(Rejected::QuotaExhausted { retry_after_ms });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_client::VirtualClock;
+    use std::sync::Arc;
+
+    fn bucket(clock: &Arc<VirtualClock>) -> TokenBucket {
+        TokenBucket::new(2, 1.0, Arc::clone(clock))
+    }
+
+    fn open_gate() -> TenantGate {
+        TenantGate {
+            queue_depth: 0,
+            queue_capacity: 4,
+            spent_usd: 0.0,
+            budget_usd: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn admits_until_quota_runs_dry_then_hints_refill() {
+        let clock = Arc::new(VirtualClock::new());
+        let bucket = bucket(&clock);
+        let controller = AdmissionController::new(100);
+        let gate = open_gate();
+        assert_eq!(controller.admit(&gate, &bucket, 0), Ok(()));
+        assert_eq!(controller.admit(&gate, &bucket, 1), Ok(()));
+        match controller.admit(&gate, &bucket, 2) {
+            Err(Rejected::QuotaExhausted { retry_after_ms }) => {
+                assert!(retry_after_ms > 0 && retry_after_ms <= 1_000);
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // the hinted wait is honest: after it elapses the tenant is back
+        clock.advance_ms(1_000);
+        assert_eq!(controller.admit(&gate, &bucket, 2), Ok(()));
+    }
+
+    #[test]
+    fn earlier_gates_do_not_burn_quota() {
+        let clock = Arc::new(VirtualClock::new());
+        let bucket = bucket(&clock);
+        let controller = AdmissionController::new(100);
+        let full = TenantGate {
+            queue_depth: 4,
+            ..open_gate()
+        };
+        for _ in 0..10 {
+            assert!(matches!(
+                controller.admit(&full, &bucket, 0),
+                Err(Rejected::QueueFull {
+                    depth: 4,
+                    capacity: 4
+                })
+            ));
+        }
+        // every queue-full rejection left the bucket untouched
+        assert_eq!(controller.admit(&open_gate(), &bucket, 0), Ok(()));
+        assert_eq!(controller.admit(&open_gate(), &bucket, 0), Ok(()));
+    }
+
+    #[test]
+    fn budget_cutoff_outranks_everything() {
+        let clock = Arc::new(VirtualClock::new());
+        let bucket = bucket(&clock);
+        let controller = AdmissionController::new(0); // even a saturated service
+        let broke = TenantGate {
+            spent_usd: 1.0,
+            budget_usd: 1.0,
+            ..open_gate()
+        };
+        assert_eq!(
+            controller.admit(&broke, &bucket, 0),
+            Err(Rejected::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn global_saturation_sheds_with_a_reason() {
+        let clock = Arc::new(VirtualClock::new());
+        let bucket = bucket(&clock);
+        let controller = AdmissionController::new(8);
+        match controller.admit(&open_gate(), &bucket, 8) {
+            Err(Rejected::Degraded { reason }) => {
+                assert!(reason.contains("8/8"), "reason: {reason}");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_render_typed_and_readable() {
+        assert_eq!(
+            Rejected::QueueFull {
+                depth: 3,
+                capacity: 3
+            }
+            .to_string(),
+            "queue full (3/3)"
+        );
+        assert_eq!(
+            Rejected::QuotaExhausted { retry_after_ms: 40 }.to_string(),
+            "quota exhausted (retry in 40 ms)"
+        );
+        assert_eq!(Rejected::BudgetExhausted.to_string(), "budget exhausted");
+        assert!(Rejected::Degraded {
+            reason: "x".into()
+        }
+        .to_string()
+        .starts_with("degraded:"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The detector-only tier: a transport-free fallback answering from
+//! scene evidence.
+
+use nbhd_types::{Indicator, IndicatorSet};
+use nbhd_vlm::ImageContext;
+
+/// Thresholds scene evidence into a presence prediction without touching
+/// any model transport — the service's bottom serving tier.
+///
+/// An indicator is predicted present when its visibility clears the
+/// visibility threshold (so faint-but-present indicators are missed,
+/// like a weak single detector would), or when its distractor score
+/// clears the distractor threshold (so strongly suggestive scenes
+/// produce false positives). Deterministic and free: usable under total
+/// ensemble outage and billed at zero tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvidenceDetector {
+    /// Minimum visibility for a present call, in `[0, 1]`.
+    pub visibility_threshold: f32,
+    /// Minimum distractor score for a (false-positive) present call, in
+    /// `[0, 1]`.
+    pub distractor_threshold: f32,
+}
+
+impl Default for EvidenceDetector {
+    fn default() -> Self {
+        EvidenceDetector {
+            visibility_threshold: 0.3,
+            distractor_threshold: 0.9,
+        }
+    }
+}
+
+impl EvidenceDetector {
+    /// Predicts presence for one image from its evidence scores.
+    pub fn detect(&self, context: &ImageContext) -> IndicatorSet {
+        let mut set = IndicatorSet::new();
+        for ind in Indicator::ALL {
+            let evidence = context.evidence[ind];
+            if evidence.visibility >= self.visibility_threshold
+                || evidence.distractor >= self.distractor_threshold
+            {
+                set.insert(ind);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_geo::{RoadClass, Zoning};
+    use nbhd_scene::{SceneGenerator, ViewKind};
+    use nbhd_types::{Heading, ImageId, LocationId};
+
+    fn contexts(n: u64) -> Vec<ImageContext> {
+        let generator = SceneGenerator::new(11);
+        (0..n)
+            .map(|loc| {
+                let zone = [Zoning::Urban, Zoning::Suburban, Zoning::Rural][(loc % 3) as usize];
+                let spec = generator.compose_raw(
+                    ImageId::new(LocationId(loc), Heading::North),
+                    zone,
+                    RoadClass::Multilane,
+                    ViewKind::AlongRoad,
+                );
+                ImageContext::from_scene(&spec, 11)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn is_deterministic_and_better_than_chance() {
+        let detector = EvidenceDetector::default();
+        let ctxs = contexts(120);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for ctx in &ctxs {
+            assert_eq!(detector.detect(ctx), detector.detect(ctx));
+            let predicted = detector.detect(ctx);
+            for ind in Indicator::ALL {
+                total += 1;
+                correct += usize::from(predicted.contains(ind) == ctx.presence.contains(ind));
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy > 0.6,
+            "evidence thresholding should beat chance, got {accuracy:.3}"
+        );
+    }
+
+    #[test]
+    fn is_imperfect_enough_to_be_a_degraded_tier() {
+        // the detector must NOT be an oracle: faint present indicators are
+        // missed, so at least some images disagree with ground truth
+        let detector = EvidenceDetector::default();
+        let disagreements = contexts(120)
+            .iter()
+            .filter(|ctx| detector.detect(ctx) != ctx.presence)
+            .count();
+        assert!(
+            disagreements > 0,
+            "thresholding should be lossy, not a ground-truth oracle"
+        );
+    }
+
+    #[test]
+    fn stricter_visibility_threshold_predicts_less() {
+        let loose = EvidenceDetector {
+            visibility_threshold: 0.1,
+            distractor_threshold: 1.1,
+        };
+        let strict = EvidenceDetector {
+            visibility_threshold: 0.9,
+            distractor_threshold: 1.1,
+        };
+        let ctxs = contexts(80);
+        let count = |d: &EvidenceDetector| -> usize {
+            ctxs.iter().map(|c| d.detect(c).len()).sum()
+        };
+        assert!(count(&strict) < count(&loose));
+    }
+}

@@ -1,0 +1,286 @@
+//! The overload chaos harness: traffic-storm workloads plus fault
+//! regimes, deterministic over the shared virtual clock.
+
+use std::collections::BTreeMap;
+
+use nbhd_client::{FaultRegime, FaultSchedule};
+use nbhd_geo::{RoadClass, Zoning};
+use nbhd_scene::{SceneGenerator, ViewKind};
+use nbhd_types::rng::{child_seed, child_seed_n};
+use nbhd_types::{Heading, ImageId, LocationId};
+use nbhd_vlm::ImageContext;
+
+/// One request arriving at the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Arrival time, virtual milliseconds.
+    pub at_ms: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Tenant-scoped request id (unique per tenant within a workload).
+    pub request_id: u64,
+    /// The image the tenant wants surveyed.
+    pub context: ImageContext,
+}
+
+/// A scripted arrival stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    arrivals: Vec<Arrival>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Appends one arrival.
+    pub fn push(&mut self, arrival: Arrival) {
+        self.arrivals.push(arrival);
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrivals in insertion order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Consumes the workload into arrival order: by time, then tenant,
+    /// then request id — a total order, so the service's serial admission
+    /// loop is identical no matter how the workload was assembled.
+    pub fn into_sorted(mut self) -> Vec<Arrival> {
+        self.arrivals
+            .sort_by(|a, b| {
+                (a.at_ms, &a.tenant, a.request_id).cmp(&(b.at_ms, &b.tenant, b.request_id))
+            });
+        self.arrivals
+    }
+}
+
+/// Builds traffic storms: per-tenant arrival patterns (steady streams,
+/// bursts) and the fault regimes raging while they land (429 storms,
+/// breaker flaps). Everything derives from one seed, so the same builder
+/// calls always produce the same storm.
+///
+/// ```
+/// use nbhd_serve::StormBuilder;
+///
+/// let (workload, schedule) = StormBuilder::new(7)
+///     .steady("acme", 0, 10, 100)
+///     .burst("blitz", 500, 20)
+///     .storm_429(400, 900, 0.6, 250)
+///     .breaker_flap("grok-2", 0, 2_000, 3)
+///     .build();
+/// assert_eq!(workload.len(), 30);
+/// assert_eq!(schedule.regimes().len(), 4, "one storm + three flap windows");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StormBuilder {
+    seed: u64,
+    workload: Workload,
+    schedule: FaultSchedule,
+    next_id: BTreeMap<String, u64>,
+}
+
+impl StormBuilder {
+    /// A builder whose image contexts and ids derive from `seed`.
+    pub fn new(seed: u64) -> StormBuilder {
+        StormBuilder {
+            seed,
+            workload: Workload::new(),
+            schedule: FaultSchedule::new(),
+            next_id: BTreeMap::new(),
+        }
+    }
+
+    /// One synthetic image context for a tenant's request. Locations are
+    /// derived from the tenant name and request id, so distinct requests
+    /// (even of different tenants) see distinct images and therefore
+    /// independent fault draws under image-keyed chaos.
+    fn context(&self, tenant: &str, request_id: u64) -> ImageContext {
+        let tenant_seed = child_seed(self.seed, tenant);
+        let location = LocationId(child_seed_n(tenant_seed, "arrival", request_id));
+        let zone = [Zoning::Urban, Zoning::Suburban, Zoning::Rural][(request_id % 3) as usize];
+        let class = if request_id % 2 == 0 {
+            RoadClass::Multilane
+        } else {
+            RoadClass::SingleLane
+        };
+        let view = if request_id % 4 == 0 {
+            ViewKind::AcrossRoad
+        } else {
+            ViewKind::AlongRoad
+        };
+        let spec = SceneGenerator::new(self.seed).compose_raw(
+            ImageId::new(location, Heading::North),
+            zone,
+            class,
+            view,
+        );
+        ImageContext::from_scene(&spec, self.seed)
+    }
+
+    fn arrive(&mut self, tenant: &str, at_ms: u64) {
+        let id = self.next_id.entry(tenant.to_string()).or_insert(0);
+        let request_id = *id;
+        *id += 1;
+        let context = self.context(tenant, request_id);
+        self.workload.push(Arrival {
+            at_ms,
+            tenant: tenant.to_string(),
+            request_id,
+            context,
+        });
+    }
+
+    /// A steady stream: `count` arrivals starting at `start_ms`, one
+    /// every `interval_ms`.
+    #[must_use]
+    pub fn steady(mut self, tenant: &str, start_ms: u64, count: usize, interval_ms: u64) -> Self {
+        for i in 0..count {
+            self.arrive(tenant, start_ms + i as u64 * interval_ms);
+        }
+        self
+    }
+
+    /// A burst: `count` arrivals all at `at_ms` — the pattern that fills
+    /// queues and trips load shedding.
+    #[must_use]
+    pub fn burst(mut self, tenant: &str, at_ms: u64, count: usize) -> Self {
+        for _ in 0..count {
+            self.arrive(tenant, at_ms);
+        }
+        self
+    }
+
+    /// Adds an arbitrary fault regime to the schedule.
+    #[must_use]
+    pub fn with_regime(mut self, regime: FaultRegime) -> Self {
+        self.schedule = self.schedule.with(regime);
+        self
+    }
+
+    /// A cross-model 429 storm: every model bounces `reject` of its
+    /// traffic with the given retry hint during the window.
+    #[must_use]
+    pub fn storm_429(self, start_ms: u64, end_ms: u64, reject: f64, retry_after_ms: u64) -> Self {
+        self.with_regime(FaultRegime::rate_limit_storm(
+            start_ms,
+            end_ms,
+            reject,
+            retry_after_ms,
+        ))
+    }
+
+    /// A flapping model: `cycles` alternating outage windows of
+    /// `period_ms` (down for one period, up for the next), which drives
+    /// the model's breaker through open → half-open → closed cycles.
+    #[must_use]
+    pub fn breaker_flap(mut self, model: &str, start_ms: u64, period_ms: u64, cycles: usize) -> Self {
+        for k in 0..cycles {
+            let down = start_ms + (2 * k as u64) * period_ms;
+            self.schedule = self
+                .schedule
+                .with(FaultRegime::outage(down, down + period_ms).for_models(&[model]));
+        }
+        self
+    }
+
+    /// Finishes the storm: the workload plus the fault schedule.
+    pub fn build(self) -> (Workload, FaultSchedule) {
+        (self.workload, self.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_client::RegimeKind;
+
+    #[test]
+    fn same_seed_same_storm() {
+        let build = || {
+            StormBuilder::new(9)
+                .steady("a", 0, 5, 100)
+                .burst("b", 200, 4)
+                .build()
+                .0
+        };
+        assert_eq!(build(), build());
+        assert_ne!(
+            build().arrivals()[0].context,
+            StormBuilder::new(10).burst("a", 0, 1).build().0.arrivals()[0].context,
+            "different seeds must draw different scenes"
+        );
+    }
+
+    #[test]
+    fn request_ids_count_per_tenant_and_contexts_differ() {
+        let (workload, _) = StormBuilder::new(3)
+            .steady("a", 0, 3, 10)
+            .steady("b", 0, 3, 10)
+            .build();
+        let ids: Vec<(String, u64)> = workload
+            .arrivals()
+            .iter()
+            .map(|a| (a.tenant.clone(), a.request_id))
+            .collect();
+        assert!(ids.contains(&("a".into(), 0)) && ids.contains(&("a".into(), 2)));
+        assert!(ids.contains(&("b".into(), 0)) && ids.contains(&("b".into(), 2)));
+        // same request id, different tenants: different images
+        let a0 = &workload.arrivals()[0];
+        let b0 = workload
+            .arrivals()
+            .iter()
+            .find(|x| x.tenant == "b" && x.request_id == 0)
+            .unwrap();
+        assert_ne!(a0.context.image, b0.context.image);
+    }
+
+    #[test]
+    fn sorting_is_total_and_stable_across_assembly_order() {
+        let forward = StormBuilder::new(5)
+            .steady("a", 0, 4, 50)
+            .burst("b", 50, 3)
+            .build()
+            .0
+            .into_sorted();
+        let backward = StormBuilder::new(5)
+            .burst("b", 50, 3)
+            .steady("a", 0, 4, 50)
+            .build()
+            .0
+            .into_sorted();
+        assert_eq!(forward, backward);
+        assert!(forward.windows(2).all(|w| {
+            (w[0].at_ms, &w[0].tenant, w[0].request_id)
+                <= (w[1].at_ms, &w[1].tenant, w[1].request_id)
+        }));
+    }
+
+    #[test]
+    fn breaker_flap_scripts_alternating_outages() {
+        let (_, schedule) = StormBuilder::new(1)
+            .breaker_flap("grok-2", 1_000, 500, 2)
+            .build();
+        assert_eq!(schedule.regimes().len(), 2);
+        // down in [1000, 1500) and [2000, 2500), up in between
+        assert!(matches!(
+            schedule.active_at("grok-2", 1_200).unwrap().kind,
+            RegimeKind::Outage
+        ));
+        assert!(schedule.active_at("grok-2", 1_700).is_none());
+        assert!(schedule.active_at("grok-2", 2_200).is_some());
+        assert!(schedule.active_at("claude-3.7", 1_200).is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Tenant configuration and billing.
+
+/// Static per-tenant service terms: quota, queue bound, budget, deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Tenant name (the admission key and billing ledger key).
+    pub name: String,
+    /// Token-bucket burst capacity, requests. Must be positive.
+    pub quota_burst: u32,
+    /// Token-bucket refill rate, requests per virtual second. Must be
+    /// positive.
+    pub quota_per_sec: f64,
+    /// Bound on the tenant's admitted-but-unserved queue.
+    pub queue_capacity: usize,
+    /// Hard spend cutoff, USD: once the tenant's metered spend reaches
+    /// this, further requests are rejected with
+    /// [`crate::Rejected::BudgetExhausted`]. Defaults to unlimited.
+    pub budget_usd: f64,
+    /// Per-request deadline, virtual milliseconds after arrival. A
+    /// request whose remaining headroom cannot cover an ensemble batch is
+    /// demoted to the detector tier rather than dropped.
+    pub deadline_ms: u64,
+}
+
+impl TenantConfig {
+    /// A tenant with moderate defaults: burst of 8, 4 requests/s, queue
+    /// of 16, unlimited budget, 60 s deadlines.
+    pub fn new(name: &str) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            quota_burst: 8,
+            quota_per_sec: 4.0,
+            queue_capacity: 16,
+            budget_usd: f64::INFINITY,
+            deadline_ms: 60_000,
+        }
+    }
+
+    /// Sets the token-bucket quota as `(burst, requests_per_sec)`.
+    #[must_use]
+    pub fn with_quota(mut self, burst: u32, per_sec: f64) -> TenantConfig {
+        self.quota_burst = burst;
+        self.quota_per_sec = per_sec;
+        self
+    }
+
+    /// Sets the queue bound.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> TenantConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the hard budget cutoff, USD.
+    #[must_use]
+    pub fn with_budget_usd(mut self, budget: f64) -> TenantConfig {
+        self.budget_usd = budget;
+        self
+    }
+
+    /// Sets the per-request deadline, virtual milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline: u64) -> TenantConfig {
+        self.deadline_ms = deadline;
+        self
+    }
+}
+
+/// One tenant's ledger over a service run. Counters and token totals are
+/// exact; `usd` is summed serially in request order, so it is reproducible
+/// bit-for-bit within a run shape (and to float tolerance across a
+/// kill/resume, where billing order interleaves differently).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantBill {
+    /// Requests admitted past the controller.
+    pub admitted: u64,
+    /// Requests served through some tier (includes replays).
+    pub served: u64,
+    /// Requests rejected with a typed [`crate::Rejected`].
+    pub rejected: u64,
+    /// Served requests replayed from the journal instead of executed.
+    pub replayed: u64,
+    /// Input tokens billed across all queried models.
+    pub input_tokens: u64,
+    /// Output tokens billed across all queried models.
+    pub output_tokens: u64,
+    /// Metered spend, USD.
+    pub usd: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let t = TenantConfig::new("acme")
+            .with_quota(2, 0.5)
+            .with_queue_capacity(3)
+            .with_budget_usd(0.25)
+            .with_deadline_ms(5_000);
+        assert_eq!(t.name, "acme");
+        assert_eq!(t.quota_burst, 2);
+        assert_eq!(t.quota_per_sec, 0.5);
+        assert_eq!(t.queue_capacity, 3);
+        assert_eq!(t.budget_usd, 0.25);
+        assert_eq!(t.deadline_ms, 5_000);
+        assert_eq!(TenantConfig::new("b").budget_usd, f64::INFINITY);
+    }
+}

@@ -1,0 +1,97 @@
+//! Overload drill: three tenants storm the serving layer while the
+//! simulated model APIs melt down, and the service degrades instead of
+//! collapsing.
+//!
+//! Run with `cargo run --example overload_drill`. Set `NBHD_ARTIFACT` to a
+//! path to also write the run's flight-recorder artifact (used by
+//! `scripts/bench_artifact.sh` to gate the serve surface for drift).
+
+use nbhd::client::{BreakerConfig, Parallelism};
+use nbhd::obs::RunArtifact;
+use nbhd::serve::{DegradePolicy, ServiceConfig, StormBuilder, SurveyService, TenantConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The storm: a steady tenant, a bursty tenant, a quota-starved slow
+    // tenant, a 60% 429 storm across every model, and grok-2 flapping.
+    let (workload, schedule) = StormBuilder::new(2024)
+        .steady("atlas", 0, 14, 150)
+        .burst("blitz", 600, 18)
+        .steady("crawl", 0, 8, 400)
+        .storm_429(500, 3_500, 0.6, 250)
+        .breaker_flap("grok-2", 0, 1_500, 2)
+        .build();
+    println!("== overload drill ==");
+    println!(
+        "{} arrivals from 3 tenants, {} fault regimes scripted\n",
+        workload.len(),
+        schedule.regimes().len()
+    );
+
+    let config = ServiceConfig {
+        schedule,
+        parallelism: Parallelism::fixed(4),
+        breaker: BreakerConfig {
+            min_samples: 4,
+            cooldown_ms: 2_000,
+            probe_count: 2,
+            ..BreakerConfig::default()
+        },
+        degrade: DegradePolicy {
+            quorum_depth: 10,
+            detector_depth: 20,
+        },
+        global_queue_capacity: 24,
+        ..ServiceConfig::default()
+    };
+    let tenants = vec![
+        TenantConfig::new("atlas"),
+        TenantConfig::new("blitz")
+            .with_quota(10, 4.0)
+            .with_queue_capacity(6),
+        TenantConfig::new("crawl").with_quota(2, 0.05),
+    ];
+
+    let mut service = SurveyService::new(config, tenants);
+    let report = service.run(workload)?;
+
+    println!("-- decision log --");
+    print!("{}", report.decision_text());
+
+    println!("\n-- tiers --");
+    for (tier, count) in report.tier_counts() {
+        println!("  {:<10} {count} responses", tier.as_str());
+    }
+
+    println!("\n-- rejections --");
+    for rejection in &report.rejections {
+        println!(
+            "  {}#{}: {}",
+            rejection.tenant, rejection.request_id, rejection.reason
+        );
+    }
+
+    println!("\n-- bills --");
+    for (tenant, bill) in &report.bills {
+        println!(
+            "  {tenant:<8} admitted={} served={} rejected={} tokens={}in/{}out spend=${:.4}",
+            bill.admitted,
+            bill.served,
+            bill.rejected,
+            bill.input_tokens,
+            bill.output_tokens,
+            bill.usd
+        );
+    }
+
+    println!();
+    println!("{}", report.health.render("model health after the storm"));
+
+    if let Ok(path) = std::env::var("NBHD_ARTIFACT") {
+        let artifact = RunArtifact::from_obs("overload_drill", service.obs());
+        match artifact.write_file(std::path::Path::new(&path)) {
+            Ok(()) => println!("artifact written to {path}"),
+            Err(err) => eprintln!("artifact write failed: {err}"),
+        }
+    }
+    Ok(())
+}

@@ -32,6 +32,16 @@ NBHD_SCALE="$SCALE" NBHD_SEED="$SEED" NBHD_ARTIFACT="$RERUN" \
 echo "==> self-diff: identical seeds must produce zero regressions"
 cargo run -q -p nbhd-bench --bin run_diff -- "$FRESH" "$RERUN"
 
+# The serving layer exports the same artifact shape (admission-wait and
+# queue-depth histograms, tier counters): run the overload drill twice
+# and self-diff — the serve decision surface must be seed-stable too.
+SERVE_FRESH=target/BENCH_overload_drill.json
+SERVE_RERUN=target/BENCH_overload_drill.rerun.json
+echo "==> serve artifact: overload drill self-diff"
+NBHD_ARTIFACT="$SERVE_FRESH" cargo run -q --example overload_drill >/dev/null
+NBHD_ARTIFACT="$SERVE_RERUN" cargo run -q --example overload_drill >/dev/null
+cargo run -q -p nbhd-bench --bin run_diff -- "$SERVE_FRESH" "$SERVE_RERUN"
+
 if [ "${REBASELINE:-0}" = "1" ] || [ ! -f "$BASELINE" ] \
     || grep -q '"name": "bootstrap"' "$BASELINE"; then
     cp "$FRESH" "$BASELINE"

@@ -16,6 +16,9 @@ cargo test -q -p nbhd-journal
 echo "==> cargo test -p nbhd-obs (fast observability gate: spans, metrics, summary)"
 cargo test -q -p nbhd-obs
 
+echo "==> cargo test -p nbhd-serve (fast serving gate: admission, tiers, storms)"
+cargo test -q -p nbhd-serve
+
 echo "==> obs golden snapshots (cost-report alignment + run-summary rendering)"
 cargo test -q -p nbhd-client report_golden_output_for_long_names_and_wide_tokens
 cargo test -q -p nbhd-eval run_summary_indents_nested_stages_and_marks_wall_metrics
@@ -28,6 +31,9 @@ cargo test -q
 
 echo "==> crash/resume torture (every kill point, serial + 4 workers)"
 cargo test -q --test crash_resume
+
+echo "==> overload drill (storm admission, degradation tiers, kill/resume billing)"
+cargo test -q --test overload_drill
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench -p nbhd-bench --no-run

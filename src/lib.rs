@@ -18,3 +18,7 @@
 //! ```
 
 pub use nbhd_core::*;
+
+/// The long-running multi-tenant serving layer: admission control, load
+/// shedding, graceful degradation tiers, and overload chaos drills.
+pub use nbhd_serve as serve;

@@ -1,0 +1,265 @@
+//! Overload drill: a three-tenant traffic storm against the serving layer.
+//!
+//! The contract under test, end to end: under a storm (burst + 429 storm +
+//! a flapping model + a quota-starved tenant) the service never queues
+//! unboundedly, serves every *admitted* request through some tier with
+//! provenance attached, rejects the rest with typed reasons, keeps its
+//! whole decision surface byte-identical between serial and 4-worker
+//! execution, and — killed mid-run and resumed from the journal — never
+//! bills a request twice.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nbhd_client::{BreakerConfig, FaultSchedule, Parallelism};
+use nbhd_journal::{journal_path, scan_file, Journal, KillSchedule, RunManifest};
+use nbhd_serve::{
+    DegradePolicy, Rejected, RunReport, ServiceConfig, ServiceTier, StormBuilder, SurveyService,
+    TenantConfig, Workload, RESPONSE_RECORD_KIND,
+};
+
+const SEED: u64 = 2024;
+const ARRIVALS: usize = 40;
+
+/// The storm: a steady tenant, a bursty tenant that overflows its queue,
+/// a slow tenant with a starved quota, a 60% 429 storm, and a flapping
+/// grok-2 (down [0, 1500) and [3000, 4500)).
+fn storm() -> (Workload, FaultSchedule) {
+    StormBuilder::new(SEED)
+        .steady("atlas", 0, 14, 150)
+        .burst("blitz", 600, 18)
+        .steady("crawl", 0, 8, 400)
+        .storm_429(500, 3_500, 0.6, 250)
+        .breaker_flap("grok-2", 0, 1_500, 2)
+        .build()
+}
+
+fn config(parallelism: Parallelism) -> ServiceConfig {
+    let (_, schedule) = storm();
+    ServiceConfig {
+        schedule,
+        parallelism,
+        breaker: BreakerConfig {
+            min_samples: 4,
+            cooldown_ms: 2_000,
+            probe_count: 2,
+            ..BreakerConfig::default()
+        },
+        degrade: DegradePolicy {
+            quorum_depth: 10,
+            detector_depth: 20,
+        },
+        global_queue_capacity: 24,
+        ..ServiceConfig::default()
+    }
+}
+
+fn tenants() -> Vec<TenantConfig> {
+    vec![
+        TenantConfig::new("atlas"),
+        TenantConfig::new("blitz")
+            .with_quota(10, 4.0)
+            .with_queue_capacity(6),
+        TenantConfig::new("crawl").with_quota(2, 0.05),
+    ]
+}
+
+fn run(parallelism: Parallelism) -> (RunReport, String) {
+    let (workload, _) = storm();
+    let mut service = SurveyService::new(config(parallelism), tenants());
+    let report = service.run(workload).unwrap();
+    let text = service.obs().summary().deterministic_text();
+    (report, text)
+}
+
+#[test]
+fn every_arrival_is_served_or_rejected_with_provenance() {
+    let (workload, _) = storm();
+    assert_eq!(workload.len(), ARRIVALS, "the storm script changed shape");
+
+    let (report, _) = run(Parallelism::fixed(4));
+    assert_eq!(report.responses.len() + report.rejections.len(), ARRIVALS);
+
+    // no silent drops: every admitted request was served through some tier
+    for (name, bill) in &report.bills {
+        assert_eq!(bill.admitted, bill.served, "tenant {name} dropped requests");
+        assert_eq!(bill.replayed, 0);
+    }
+
+    // the storm bites, and rejections are typed
+    let kinds: HashSet<&'static str> = report
+        .rejections
+        .iter()
+        .map(|r| match &r.reason {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::QuotaExhausted { .. } => "quota",
+            Rejected::BudgetExhausted => "budget",
+            Rejected::Degraded { .. } => "shed",
+        })
+        .collect();
+    assert!(
+        kinds.contains("queue_full"),
+        "blitz's burst must overflow its queue: {kinds:?}"
+    );
+    assert!(
+        kinds.contains("quota"),
+        "crawl must exhaust its quota: {kinds:?}"
+    );
+
+    // degradation engages: the grok-2 flap guarantees at least one batch
+    // runs below the full ensemble
+    let counts = report.tier_counts();
+    assert!(
+        counts.len() >= 2,
+        "expected multiple serving tiers, got {counts:?}"
+    );
+    assert!(counts.contains_key(&ServiceTier::FullEnsemble));
+
+    // provenance is attached and internally consistent on every response
+    for r in &report.responses {
+        let detector = r.provenance.tier == ServiceTier::DetectorOnly;
+        assert_eq!(
+            r.provenance.queried.is_empty(),
+            detector,
+            "{}#{}: queried panel must match the tier",
+            r.tenant,
+            r.request_id
+        );
+        assert!(r.provenance.batch > 0, "fresh responses carry their batch");
+        assert!(!r.provenance.replayed);
+    }
+    assert!(!report.decision_log.is_empty());
+}
+
+#[test]
+fn decision_surface_is_byte_identical_serial_vs_four_workers() {
+    let (serial, serial_text) = run(Parallelism::serial());
+    let (parallel, parallel_text) = run(Parallelism::fixed(4));
+    assert_eq!(serial.responses, parallel.responses);
+    assert_eq!(serial.rejections, parallel.rejections);
+    assert_eq!(serial.decision_text(), parallel.decision_text());
+    // ledgers are bit-identical: billing happens in the serial finalize
+    // loop, so even the f64 spend sums in the same order
+    assert_eq!(serial.bills, parallel.bills);
+    // the whole deterministic observability surface (spans, counters,
+    // histograms) agrees byte-for-byte
+    assert_eq!(serial_text, parallel_text);
+    assert!(
+        !serial.rejections.is_empty(),
+        "the storm must actually reject something"
+    );
+}
+
+fn drill_manifest() -> RunManifest {
+    RunManifest::for_config(
+        "overload-drill",
+        &serde_json::json!({ "seed": SEED, "arrivals": ARRIVALS }),
+    )
+    .unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nbhd-overload-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn kill_and_resume_never_double_bills() {
+    let (uninterrupted, _) = run(Parallelism::fixed(4));
+    let answer_by_key: BTreeMap<(String, u64), _> = uninterrupted
+        .responses
+        .iter()
+        .map(|r| ((r.tenant.clone(), r.request_id), r.presence))
+        .collect();
+    let manifest = drill_manifest();
+
+    for &after in &[0u64, 3, 9, 17, 100_000] {
+        let dir = temp_dir(&format!("kill-{after}"));
+        let journal = Journal::create(&dir, &manifest)
+            .unwrap()
+            .with_kill(KillSchedule::at(after));
+        let (workload, _) = storm();
+        let mut first = SurveyService::new(config(Parallelism::fixed(4)), tenants())
+            .with_checkpoint(Arc::new(journal));
+        let outcome = first.run(workload);
+        if after >= 100_000 {
+            assert!(outcome.is_ok(), "kill point beyond the run must not fire");
+        }
+
+        // "restart the process": reopen the run directory, rerun the storm
+        let journal = Journal::open(&dir, &manifest).unwrap();
+        let (workload, _) = storm();
+        let mut second = SurveyService::new(config(Parallelism::fixed(4)), tenants())
+            .with_checkpoint(Arc::new(journal));
+        let resumed = second.run(workload).unwrap();
+
+        // every arrival decided exactly once
+        assert_eq!(
+            resumed.responses.len() + resumed.rejections.len(),
+            ARRIVALS,
+            "after={after}"
+        );
+
+        // exactly one journal record per served request, checked on the
+        // raw on-disk frames: nothing was billed twice across the crash
+        let scan = scan_file(&journal_path(&dir)).unwrap();
+        let keys: Vec<&str> = scan
+            .records
+            .iter()
+            .filter(|r| r.kind == RESPONSE_RECORD_KIND)
+            .map(|r| r.key.as_str())
+            .collect();
+        let unique: HashSet<&str> = keys.iter().copied().collect();
+        assert_eq!(
+            keys.len(),
+            unique.len(),
+            "after={after}: a response was journaled twice"
+        );
+        assert_eq!(unique.len(), resumed.responses.len(), "after={after}");
+
+        // replayed answers are journal-faithful: identical to what the
+        // uninterrupted run served for the same requests
+        for r in resumed.responses.iter().filter(|r| r.provenance.replayed) {
+            assert_eq!(
+                answer_by_key.get(&(r.tenant.clone(), r.request_id)),
+                Some(&r.presence),
+                "after={after}: replay of {}#{} diverged",
+                r.tenant,
+                r.request_id
+            );
+        }
+
+        // replays bill exactly once and no admitted request is dropped
+        for (name, bill) in &resumed.bills {
+            assert_eq!(
+                bill.admitted + bill.replayed,
+                bill.served,
+                "tenant {name} after={after}"
+            );
+        }
+
+        // a completed first run means the resume replays everything and
+        // the ledgers agree (tokens exactly; spend to float tolerance,
+        // since replay order interleaves the f64 sums differently)
+        if let Ok(first_report) = &outcome {
+            assert!(resumed.responses.iter().all(|r| r.provenance.replayed));
+            for (name, before) in &first_report.bills {
+                let after_bill = &resumed.bills[name];
+                assert_eq!(
+                    (
+                        after_bill.served,
+                        after_bill.input_tokens,
+                        after_bill.output_tokens
+                    ),
+                    (before.served, before.input_tokens, before.output_tokens),
+                    "tenant {name}"
+                );
+                assert!((after_bill.usd - before.usd).abs() < 1e-9, "tenant {name}");
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
