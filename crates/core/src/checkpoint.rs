@@ -23,7 +23,6 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use nbhd_annotate::SplitRatios;
 use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
 use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
 use nbhd_eval::bootstrap_mean_pooled;
@@ -74,13 +73,10 @@ impl RunPlan {
     pub fn smoke(seed: u64) -> RunPlan {
         RunPlan {
             survey: SurveyConfig {
-                seed,
                 locations: 5,
                 image_size: 64,
-                network_scale: 0.5,
                 verification_passes: 1,
-                split: SplitRatios::STUDY,
-                parallelism: Parallelism::auto(),
+                ..SurveyConfig::smoke(seed)
             },
             epochs: 2,
             hard_negative_rounds: 1,
@@ -323,7 +319,7 @@ pub fn run_observed(
 
 /// The dataset in canonical form: one labels line per image, in the
 /// dataset's image order.
-fn canonical_dataset_json(survey: &SurveyDataset) -> Result<String> {
+pub(crate) fn canonical_dataset_json(survey: &SurveyDataset) -> Result<String> {
     let mut lines = Vec::with_capacity(survey.images().len());
     for &id in survey.images() {
         lines.push(

@@ -2,6 +2,7 @@
 
 use nbhd_annotate::{LabelerProfile, SplitRatios};
 use nbhd_exec::Parallelism;
+use nbhd_geo::RegionSet;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an end-to-end neighborhood survey.
@@ -34,6 +35,12 @@ pub struct SurveyConfig {
     /// at any setting; this knob trades wall-clock for cores only.
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// The regions the survey is drawn over. Defaults to the paper's
+    /// Robeson/Durham study pair; configs serialized before the field
+    /// existed deserialize to that same pair, and the region path draws a
+    /// byte-identical sample for it.
+    #[serde(default)]
+    pub regions: RegionSet,
 }
 
 impl SurveyConfig {
@@ -47,6 +54,7 @@ impl SurveyConfig {
             verification_passes: 2,
             split: SplitRatios::STUDY,
             parallelism: Parallelism::auto(),
+            regions: RegionSet::study_pair(),
         }
     }
 
@@ -61,6 +69,7 @@ impl SurveyConfig {
             verification_passes: 2,
             split: SplitRatios::STUDY,
             parallelism: Parallelism::auto(),
+            regions: RegionSet::study_pair(),
         }
     }
 
@@ -74,7 +83,15 @@ impl SurveyConfig {
             verification_passes: 2,
             split: SplitRatios::STUDY,
             parallelism: Parallelism::auto(),
+            regions: RegionSet::study_pair(),
         }
+    }
+
+    /// Sets the survey's region set.
+    #[must_use]
+    pub fn with_regions(mut self, regions: RegionSet) -> SurveyConfig {
+        self.regions = regions;
+        self
     }
 
     /// The labeler profile after the configured verification passes.
@@ -99,6 +116,13 @@ impl SurveyConfig {
                 "image size {} outside 16..=640",
                 self.image_size
             )));
+        }
+        if self.regions.is_empty() {
+            // a hand-written `{"regions": {"regions": []}}` config can
+            // bypass RegionSet::new's validation via serde
+            return Err(nbhd_types::Error::config(
+                "survey needs at least one region",
+            ));
         }
         self.split.validate()
     }
@@ -145,5 +169,15 @@ mod tests {
         }"#;
         let cfg: SurveyConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.parallelism, Parallelism::auto());
+        assert_eq!(cfg.regions, RegionSet::study_pair());
+    }
+
+    #[test]
+    fn custom_region_sets_round_trip_and_validate() {
+        let cfg = SurveyConfig::smoke(1).with_regions(RegionSet::synthetic_grid(8, 1));
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SurveyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 }

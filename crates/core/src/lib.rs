@@ -36,6 +36,8 @@ mod experiments;
 mod llm_survey;
 mod panorama;
 mod pipeline;
+mod shard;
+mod transfer;
 
 pub use baseline::{
     evaluate_on, evaluate_with_noise, survey_split, train_baseline, AugmentationPolicy,
@@ -54,20 +56,26 @@ pub use panorama::{run_panorama_survey, FusionRule, PanoramaOutcome};
 pub use pipeline::{
     SurveyDataset, SurveyImageProvider, SurveyPipeline, CAPTURE_RECORD_KIND, PANIC_RECORD_KIND,
 };
+pub use shard::{
+    merge_shard_annotations, run_sharded, ShardImageProvider, ShardedOutcome, SurveyShardSource,
+    SHARD_COUNT_METRIC, SHARD_PEAK_GAUGE, SHARD_RECORD_KIND, SHARD_WALL_MS_HIST,
+};
+pub use transfer::{run_transfer, TransferOutcome};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
         paper_lineup, run_checkpointed, run_llm_survey, run_llm_survey_observed, run_observed,
-        train_baseline, AugmentationPolicy, LlmSurveyConfig, PaperExperiments, RunPlan, RunReport,
-        SurveyConfig, SurveyDataset, SurveyPipeline,
+        run_sharded, run_transfer, train_baseline, AugmentationPolicy, LlmSurveyConfig,
+        PaperExperiments, RunPlan, RunReport, ShardedOutcome, SurveyConfig, SurveyDataset,
+        SurveyPipeline, TransferOutcome,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
     pub use nbhd_detect::{Detector, DetectorConfig, TrainConfig, Trainer};
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
     pub use nbhd_exec::{Parallelism, ScopedPool};
-    pub use nbhd_geo::{County, SurveySample};
+    pub use nbhd_geo::{County, RegionSet, RegionSpec, ShardPlan, SurveySample};
     pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
     pub use nbhd_obs::{diff as run_diff, DiffThresholds, Obs, RunArtifact, RunSummary};
     pub use nbhd_prompt::{Language, Prompt, PromptMode};

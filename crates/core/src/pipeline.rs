@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use nbhd_annotate::{HumanLabeler, LabeledDataset};
 use nbhd_exec::ScopedPool;
-use nbhd_geo::{County, SurveySample};
+use nbhd_geo::SurveySample;
 use nbhd_gsv::{ImageRequest, StreetViewService, UsageMeter};
 use nbhd_journal::CheckpointStore;
 use nbhd_obs::Obs;
@@ -77,14 +77,15 @@ impl SurveyPipeline {
     /// when a capture worker panics.
     pub fn run_with_store(&self, store: Option<Arc<dyn CheckpointStore>>) -> Result<SurveyDataset> {
         self.config.validate()?;
-        let counties = County::study_pair();
-        let sample = SurveySample::draw(
-            &counties,
+        let sample = SurveySample::draw_regions(
+            &self.config.regions,
             self.config.locations,
             self.config.network_scale,
             self.config.seed,
         )?;
-        let mut service = StreetViewService::new(self.config.seed, sample.points().to_vec());
+        // borrowed slice: the service indexes the points itself; no
+        // second owned copy of the sample is materialized here
+        let mut service = StreetViewService::new(self.config.seed, sample.points());
         if let Some(store) = &store {
             service = service.with_billing_store(Arc::clone(store))?;
         }
@@ -110,31 +111,14 @@ impl SurveyPipeline {
         }
         let capture_stage = self.obs.as_ref().map(|obs| obs.tracer().enter("capture"));
         let mapped = pool.try_map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
-            let id = ImageId::new(location, heading);
-            if let Some(store) = &store {
-                // replay: the annotation was journaled after its scene fee,
-                // so a journaled capture implies a journaled (restored,
-                // prepaid) fee — the unit is skipped whole
-                if let Some(value) = store.load(CAPTURE_RECORD_KIND, &id.to_string()) {
-                    return serde_json::from_value(value)
-                        .map_err(|e| Error::parse(format!("capture record {id}: {e}")));
-                }
-            }
-            let request = ImageRequest::builder(location, heading)
-                .size(self.config.image_size)
-                .build()?;
-            let capture = service.capture(&request)?;
-            let truth = ImageLabels::with_objects(id, capture.objects);
-            let labels = labeler.annotate(&truth, self.config.image_size);
-            if let Some(store) = &store {
-                store.save(
-                    CAPTURE_RECORD_KIND,
-                    &id.to_string(),
-                    serde_json::to_value(&labels)
-                        .map_err(|e| Error::parse(format!("capture record {id}: {e}")))?,
-                )?;
-            }
-            Ok(labels)
+            capture_unit(
+                &service,
+                &labeler,
+                store.as_ref(),
+                self.config.image_size,
+                location,
+                heading,
+            )
         });
         if let Some(stage) = capture_stage {
             stage.record();
@@ -171,6 +155,46 @@ impl SurveyPipeline {
     }
 }
 
+/// One capture-annotate unit: replay the journaled annotation when the
+/// store has it, otherwise capture through the service (billing the scene
+/// fee via the billing store first), annotate, and journal the result —
+/// save-before-act end to end. Shared by the eager pipeline fan-out and the
+/// sharded streaming path so both produce bit-identical records.
+pub(crate) fn capture_unit(
+    service: &StreetViewService,
+    labeler: &HumanLabeler,
+    store: Option<&Arc<dyn CheckpointStore>>,
+    image_size: u32,
+    location: LocationId,
+    heading: Heading,
+) -> Result<ImageLabels> {
+    let id = ImageId::new(location, heading);
+    if let Some(store) = store {
+        // replay: the annotation was journaled after its scene fee,
+        // so a journaled capture implies a journaled (restored,
+        // prepaid) fee — the unit is skipped whole
+        if let Some(value) = store.load(CAPTURE_RECORD_KIND, &id.to_string()) {
+            return serde_json::from_value(value)
+                .map_err(|e| Error::parse(format!("capture record {id}: {e}")));
+        }
+    }
+    let request = ImageRequest::builder(location, heading)
+        .size(image_size)
+        .build()?;
+    let capture = service.capture(&request)?;
+    let truth = ImageLabels::with_objects(id, capture.objects);
+    let labels = labeler.annotate(&truth, image_size);
+    if let Some(store) = store {
+        store.save(
+            CAPTURE_RECORD_KIND,
+            &id.to_string(),
+            serde_json::to_value(&labels)
+                .map_err(|e| Error::parse(format!("capture record {id}: {e}")))?,
+        )?;
+    }
+    Ok(labels)
+}
+
 /// A completed survey: the imagery service, the human-labeled dataset, and
 /// accessors for images, ground truth, and VLM contexts.
 #[derive(Debug, Clone)]
@@ -181,6 +205,19 @@ pub struct SurveyDataset {
 }
 
 impl SurveyDataset {
+    /// Assembles a survey from parts the sharded runner built itself.
+    pub(crate) fn from_parts(
+        config: SurveyConfig,
+        service: Arc<StreetViewService>,
+        dataset: LabeledDataset,
+    ) -> SurveyDataset {
+        SurveyDataset {
+            config,
+            service,
+            dataset,
+        }
+    }
+
     /// The survey configuration.
     pub fn config(&self) -> &SurveyConfig {
         &self.config

@@ -1,0 +1,609 @@
+//! The streaming sharded data path: generate → capture → label → (optional)
+//! detector-score, one shard of the survey at a time.
+//!
+//! [`run_sharded`] drives the same capture-annotate units as
+//! [`crate::SurveyPipeline`], but never holds more than one shard's scenes
+//! resident: each shard gets its own [`StreetViewService`] registered over
+//! just that shard's points, the shard is captured and labeled, its
+//! annotations are folded out, and the service (with its scene cache) is
+//! dropped before the next shard loads. The merged [`crate::SurveyDataset`]
+//! is **byte-identical** to the unsharded pipeline's at any shard count and
+//! any worker count — shard membership is a pure function of the location
+//! id ([`ShardPlan::assign`]), every capture unit is seeded by its image
+//! id, and [`merge_shard_annotations`] folds the batches back into the
+//! pipeline's canonical order.
+//!
+//! With a [`CheckpointStore`] attached the path is crash-safe at two
+//! granularities: a completed shard replays from its one shard record, and
+//! a shard that died midway re-runs with its completed capture units (and
+//! their scene fees) replayed from the same journal the unsharded pipeline
+//! writes — the two paths share record kinds, so a run journaled unsharded
+//! can resume sharded and vice versa.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nbhd_annotate::{HumanLabeler, LabeledDataset};
+use nbhd_detect::{
+    Detector, DetectorConfig, ImageProvider, ShardData, ShardSource, TrainConfig, Trainer,
+};
+use nbhd_exec::ScopedPool;
+use nbhd_geo::{ShardPlan, SurveyPoint, SurveySample};
+use nbhd_gsv::{ImageRequest, StreetViewService, FEE_PER_IMAGE_USD};
+use nbhd_journal::CheckpointStore;
+use nbhd_obs::Obs;
+use nbhd_raster::RasterImage;
+use nbhd_types::rng::child_seed;
+use nbhd_types::{Error, Heading, ImageId, ImageLabels, LocationId, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::capture_unit;
+use crate::{SurveyConfig, SurveyDataset, PANIC_RECORD_KIND};
+
+/// Journal record kind for completed shards: the payload is the shard's
+/// annotations plus its resident-memory high-water mark.
+pub const SHARD_RECORD_KIND: &str = "shard";
+
+/// Gauge: the run's peak resident scenes — the maximum, over shards, of
+/// each shard service's cache high-water mark. Deterministic for a fresh
+/// run at any worker count (the cache only grows below its eviction cap,
+/// so the high-water mark is the shard's distinct scene count).
+pub const SHARD_PEAK_GAUGE: &str = "core.shard.peak_resident_scenes";
+
+/// Wall-clock histogram: one sample per shard, milliseconds spent in that
+/// shard's generate→capture→label pass. Scheduling-dependent by nature, so
+/// it lands in the wall (non-deterministic) histogram surface.
+pub const SHARD_WALL_MS_HIST: &str = "core.shard.wall_ms";
+
+/// Counter: how many shards the run was split into.
+pub const SHARD_COUNT_METRIC: &str = "core.shard.count";
+
+/// Journal payload for one completed shard.
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardRecord {
+    annotations: Vec<ImageLabels>,
+    peak_resident_scenes: usize,
+}
+
+/// The outcome of a sharded run: the merged survey plus the memory and
+/// billing accounting the streaming pass observed.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    survey: SurveyDataset,
+    sample: SurveySample,
+    plan: ShardPlan,
+    store: Option<Arc<dyn CheckpointStore>>,
+    obs: Option<Obs>,
+    peak_resident_scenes: usize,
+    shard_images: Vec<usize>,
+    billed_images: u64,
+    fees_usd: f64,
+}
+
+impl ShardedOutcome {
+    /// The merged survey — byte-identical to the unsharded pipeline's.
+    pub fn survey(&self) -> &SurveyDataset {
+        &self.survey
+    }
+
+    /// Consumes the outcome, keeping only the survey.
+    pub fn into_survey(self) -> SurveyDataset {
+        self.survey
+    }
+
+    /// Peak scenes resident at once across the whole run: the maximum of
+    /// the per-shard service high-water marks, never the study total.
+    pub fn peak_resident_scenes(&self) -> usize {
+        self.peak_resident_scenes
+    }
+
+    /// Images captured per shard, in shard order.
+    pub fn shard_images(&self) -> &[usize] {
+        &self.shard_images
+    }
+
+    /// Scenes billed across the run (all shards, all processes when
+    /// journaled).
+    pub fn billed_images(&self) -> u64 {
+        self.billed_images
+    }
+
+    /// Total imagery fees in USD, folded by repeated addition in shard
+    /// order — byte-identical to the unsharded pipeline's accumulation.
+    pub fn fees_usd(&self) -> f64 {
+        self.fees_usd
+    }
+
+    /// A [`ShardSource`] over this survey: each `load` rebuilds a
+    /// shard-scoped service (scene fees prepaid when the run was
+    /// journaled), so training streams pixels shard by shard too.
+    pub fn shard_source(&self) -> SurveyShardSource {
+        let labels = self
+            .survey
+            .images()
+            .iter()
+            .map(|&id| {
+                let labels = self
+                    .survey
+                    .dataset()
+                    .labels(id)
+                    .expect("dataset images all have labels")
+                    .clone();
+                (id, labels)
+            })
+            .collect();
+        SurveyShardSource {
+            seed: self.survey.config().seed,
+            image_size: self.survey.config().image_size,
+            plan: self.plan,
+            points: self.sample.points().to_vec(),
+            labels,
+            billing: self.store.clone(),
+        }
+    }
+
+    /// Trains a detector over the shard stream — never materializing the
+    /// whole training set's pixels — landing on weights byte-identical to
+    /// [`Trainer::fit`] over the merged dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and store failures.
+    pub fn train_sharded(&self, train: TrainConfig, detector: DetectorConfig) -> Result<Detector> {
+        let mut trainer = Trainer::new(train, detector);
+        if let Some(obs) = &self.obs {
+            trainer = trainer.with_obs(obs.clone());
+        }
+        let source = self.shard_source();
+        let split = self.survey.dataset().split();
+        let size = self.survey.dataset().image_size();
+        match &self.store {
+            Some(store) => trainer.fit_sharded_checkpointed(split, size, &source, store.as_ref()),
+            None => trainer.fit_sharded(split, size, &source),
+        }
+    }
+}
+
+/// Runs the survey as a sharded stream: capture and label shard `0..n`,
+/// each over its own shard-scoped service, then merge into one
+/// [`SurveyDataset`].
+///
+/// With a `store`, completed shards and completed capture units replay on
+/// resume and no scene is ever billed twice. With an `obs`, each shard runs
+/// under a `shard-{i}` span, the run publishes [`SHARD_PEAK_GAUGE`],
+/// [`SHARD_COUNT_METRIC`], and a [`SHARD_WALL_MS_HIST`] sample per shard.
+///
+/// # Errors
+///
+/// Returns configuration errors, geography-sampling failures,
+/// imagery-service failures, store failures, or [`Error::Service`] when a
+/// capture worker panics.
+pub fn run_sharded(
+    config: &SurveyConfig,
+    plan: ShardPlan,
+    store: Option<Arc<dyn CheckpointStore>>,
+    obs: Option<&Obs>,
+) -> Result<ShardedOutcome> {
+    config.validate()?;
+    let sample = SurveySample::draw_regions(
+        &config.regions,
+        config.locations,
+        config.network_scale,
+        config.seed,
+    )?;
+    let labeler = HumanLabeler::new(config.labeler_profile(), child_seed(config.seed, "labeler"));
+    let mut pool = ScopedPool::new(config.parallelism);
+    if let Some(obs) = obs {
+        pool = pool.with_metrics(Arc::clone(obs.registry()));
+    }
+
+    let mut batches: Vec<Vec<ImageLabels>> = Vec::with_capacity(plan.shards());
+    let mut shard_images = Vec::with_capacity(plan.shards());
+    let mut peak = 0usize;
+    let mut billed_fresh = 0u64;
+    for shard in 0..plan.shards() {
+        let started = Instant::now();
+        let stage = obs.map(|o| o.tracer().enter(&format!("shard-{shard}")));
+        let (annotations, shard_peak, shard_billed) = run_shard(
+            config,
+            &sample,
+            plan,
+            shard,
+            &labeler,
+            &pool,
+            store.as_ref(),
+        )?;
+        if let Some(stage) = stage {
+            stage.record();
+        }
+        if let Some(obs) = obs {
+            obs.registry()
+                .record_wall_hist(SHARD_WALL_MS_HIST, started.elapsed().as_millis() as u64);
+        }
+        peak = peak.max(shard_peak);
+        billed_fresh += shard_billed;
+        shard_images.push(annotations.len());
+        batches.push(annotations);
+    }
+
+    let annotations = merge_shard_annotations(batches);
+    let dataset = LabeledDataset::build(
+        annotations,
+        config.image_size,
+        config.split,
+        child_seed(config.seed, "split"),
+    )?;
+
+    // Full-coverage service for post-merge pixel consumers (evaluation,
+    // reporting). It starts with an empty cache; with a billing store it
+    // restores every journaled fee as prepaid, so whole-run billing totals
+    // are exact and later fetches never double-bill.
+    let mut service = StreetViewService::new(config.seed, sample.points());
+    if let Some(store) = &store {
+        service = service.with_billing_store(Arc::clone(store))?;
+    }
+    let (billed_images, fees_usd) = if store.is_some() {
+        let usage = service.usage();
+        (usage.billed_images, usage.fees_usd)
+    } else {
+        // fold by repeated addition, matching the unsharded meter's
+        // accumulation order, so totals are byte-identical
+        let mut fees = 0.0f64;
+        for _ in 0..billed_fresh {
+            fees += FEE_PER_IMAGE_USD;
+        }
+        (billed_fresh, fees)
+    };
+    if let Some(obs) = obs {
+        obs.registry().set(SHARD_COUNT_METRIC, plan.shards() as u64);
+        obs.registry().set_gauge(SHARD_PEAK_GAUGE, peak as f64);
+    }
+    let survey = SurveyDataset::from_parts(config.clone(), Arc::new(service), dataset);
+    Ok(ShardedOutcome {
+        survey,
+        sample,
+        plan,
+        store,
+        obs: obs.cloned(),
+        peak_resident_scenes: peak,
+        shard_images,
+        billed_images,
+        fees_usd,
+    })
+}
+
+/// One shard's generate→capture→label pass. Returns the shard's
+/// annotations, its service's scene high-water mark, and how many scenes it
+/// freshly billed this process.
+fn run_shard(
+    config: &SurveyConfig,
+    sample: &SurveySample,
+    plan: ShardPlan,
+    shard: usize,
+    labeler: &HumanLabeler,
+    pool: &ScopedPool,
+    store: Option<&Arc<dyn CheckpointStore>>,
+) -> Result<(Vec<ImageLabels>, usize, u64)> {
+    let key = format!("{shard}of{}", plan.shards());
+    if let Some(store) = store {
+        // a completed shard replays whole: no service, no renders, and the
+        // journaled high-water mark keeps the peak gauge stable on resume
+        if let Some(value) = store.load(SHARD_RECORD_KIND, &key) {
+            let record: ShardRecord = serde_json::from_value(value)
+                .map_err(|e| Error::parse(format!("shard record {key}: {e}")))?;
+            return Ok((record.annotations, record.peak_resident_scenes, 0));
+        }
+    }
+
+    // the shard-scoped service: registered over just this shard's points,
+    // so its cache (and peak_resident_scenes) is bounded by the shard
+    let points = sample.shard_points(&plan, shard);
+    let mut service = StreetViewService::new(config.seed, &points);
+    if let Some(store) = store {
+        service = service.with_billing_store(Arc::clone(store))?;
+    }
+    let billed_before = service.usage().billed_images;
+
+    // coverage is keyed by location alone, so a shard service sees exactly
+    // the global coverage restricted to its points — the shard union
+    // reproduces the unsharded covered set
+    let pairs: Vec<(LocationId, Heading)> = service
+        .covered_locations()
+        .into_iter()
+        .flat_map(|location| Heading::ALL.iter().map(move |&heading| (location, heading)))
+        .collect();
+    let mapped = pool.try_map(&pairs, |&(location, heading)| -> Result<ImageLabels> {
+        capture_unit(
+            &service,
+            labeler,
+            store,
+            config.image_size,
+            location,
+            heading,
+        )
+    });
+    let annotations: Vec<ImageLabels> = match mapped {
+        Ok(items) => items.into_iter().collect::<Result<_>>()?,
+        Err(panicked) => {
+            if let Some(store) = store {
+                let _ = store.save(
+                    PANIC_RECORD_KIND,
+                    &panicked.index.to_string(),
+                    serde_json::json!({ "message": panicked.message }),
+                );
+            }
+            return Err(Error::service(format!("shard {shard} capture {panicked}")));
+        }
+    };
+    let peak = service.peak_resident_scenes();
+    let billed = service.usage().billed_images - billed_before;
+    if let Some(store) = store {
+        store.save(
+            SHARD_RECORD_KIND,
+            &key,
+            serde_json::to_value(&ShardRecord {
+                annotations: annotations.clone(),
+                peak_resident_scenes: peak,
+            })
+            .map_err(|e| Error::parse(format!("shard record {key}: {e}")))?,
+        )?;
+    }
+    Ok((annotations, peak, billed))
+}
+
+/// Folds per-shard annotation batches into the canonical survey order:
+/// ascending image id, which is exactly what the unsharded pipeline emits
+/// (sorted covered locations × the four headings in `Heading::ALL` order).
+///
+/// Pure and order-independent: image ids are unique across shards, so any
+/// permutation of the batches — and any order within a batch — folds to
+/// the same vector.
+pub fn merge_shard_annotations(batches: Vec<Vec<ImageLabels>>) -> Vec<ImageLabels> {
+    let mut all: Vec<ImageLabels> = batches.into_iter().flatten().collect();
+    all.sort_by_key(|labels| labels.image);
+    all
+}
+
+/// A [`ShardSource`] over a sharded survey: `load(i)` rebuilds shard `i`'s
+/// scoped street-view service and hands back that shard's annotations, so
+/// the trainer's resident scene cache is bounded by the largest shard.
+#[derive(Debug)]
+pub struct SurveyShardSource {
+    seed: u64,
+    image_size: u32,
+    plan: ShardPlan,
+    points: Vec<SurveyPoint>,
+    labels: HashMap<ImageId, ImageLabels>,
+    billing: Option<Arc<dyn CheckpointStore>>,
+}
+
+/// Pixel provider over one shard's scoped service.
+#[derive(Debug)]
+pub struct ShardImageProvider {
+    service: StreetViewService,
+    image_size: u32,
+}
+
+impl ImageProvider for ShardImageProvider {
+    fn image(&self, id: ImageId) -> Result<RasterImage> {
+        let request = ImageRequest::builder(id.location, id.heading)
+            .size(self.image_size)
+            .build()?;
+        Ok(self.service.fetch(&request)?.image)
+    }
+}
+
+impl ShardSource for SurveyShardSource {
+    type Provider = ShardImageProvider;
+
+    fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    fn load(&self, shard: usize) -> Result<ShardData<ShardImageProvider>> {
+        let points: Vec<SurveyPoint> = self
+            .points
+            .iter()
+            .filter(|p| self.plan.assign(p.id) == shard)
+            .cloned()
+            .collect();
+        let mut service = StreetViewService::new(self.seed, &points);
+        if let Some(store) = &self.billing {
+            // scene fees from the capture pass restore as prepaid: the
+            // training re-render costs compute, never a second fee
+            service = service.with_billing_store(Arc::clone(store))?;
+        }
+        let labels: HashMap<ImageId, ImageLabels> = self
+            .labels
+            .iter()
+            .filter(|(id, _)| self.plan.assign(id.location) == shard)
+            .map(|(id, labels)| (*id, labels.clone()))
+            .collect();
+        Ok(ShardData {
+            labels,
+            provider: ShardImageProvider {
+                service,
+                image_size: self.image_size,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SurveyPipeline;
+    use nbhd_journal::MemoryStore;
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_the_pipeline() {
+        let config = SurveyConfig::smoke(51);
+        let unsharded = SurveyPipeline::new(config.clone()).run().unwrap();
+        for shards in [1usize, 2, 4] {
+            let outcome =
+                run_sharded(&config, ShardPlan::new(shards).unwrap(), None, None).unwrap();
+            assert_eq!(
+                outcome.survey().dataset(),
+                unsharded.dataset(),
+                "{shards} shards must merge to the pipeline's dataset"
+            );
+            assert_eq!(
+                outcome.billed_images(),
+                unsharded.imagery_usage().billed_images
+            );
+            assert_eq!(
+                outcome.fees_usd().to_bits(),
+                unsharded.imagery_usage().fees_usd.to_bits(),
+                "fees must fold to the same bits"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_bounds_peak_resident_scenes() {
+        let config = SurveyConfig::smoke(52);
+        let outcome = run_sharded(&config, ShardPlan::new(4).unwrap(), None, None).unwrap();
+        let total = outcome.survey().images().len();
+        let largest = *outcome.shard_images().iter().max().unwrap();
+        assert!(largest < total, "four shards must each be a strict subset");
+        assert!(
+            outcome.peak_resident_scenes() <= largest,
+            "peak {} exceeds largest shard {largest}",
+            outcome.peak_resident_scenes()
+        );
+        assert!(outcome.peak_resident_scenes() > 0);
+    }
+
+    #[test]
+    fn sharded_run_publishes_shard_metrics() {
+        let config = SurveyConfig::smoke(52);
+        let obs = Obs::default();
+        let plain = run_sharded(&config, ShardPlan::new(3).unwrap(), None, None).unwrap();
+        let observed = run_sharded(&config, ShardPlan::new(3).unwrap(), None, Some(&obs)).unwrap();
+        assert_eq!(
+            plain.survey().dataset(),
+            observed.survey().dataset(),
+            "observability must not change the merge"
+        );
+        let summary = obs.summary();
+        assert_eq!(summary.metrics.counters[SHARD_COUNT_METRIC], 3);
+        assert_eq!(
+            summary.metrics.gauges[SHARD_PEAK_GAUGE],
+            observed.peak_resident_scenes() as f64
+        );
+        assert_eq!(
+            summary.metrics.wall_histograms[SHARD_WALL_MS_HIST].count(),
+            3,
+            "one wall sample per shard"
+        );
+        for shard in 0..3 {
+            let key = format!("shard-{shard}");
+            assert!(
+                summary.spans.iter().any(|s| s.name == key),
+                "missing span {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn journaled_shards_replay_on_resume() {
+        let config = SurveyConfig::smoke(53);
+        let plan = ShardPlan::new(3).unwrap();
+        let fresh = run_sharded(&config, plan, None, None).unwrap();
+
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+        let first = run_sharded(&config, plan, Some(Arc::clone(&store)), None).unwrap();
+        assert_eq!(first.survey().dataset(), fresh.survey().dataset());
+        assert_eq!(first.billed_images(), fresh.billed_images());
+
+        // a resumed run replays every shard record: same dataset, same
+        // whole-run billing, no new fees
+        let resumed = run_sharded(&config, plan, Some(store), None).unwrap();
+        assert_eq!(resumed.survey().dataset(), fresh.survey().dataset());
+        assert_eq!(resumed.billed_images(), fresh.billed_images());
+        assert_eq!(
+            resumed.fees_usd().to_bits(),
+            fresh.fees_usd().to_bits(),
+            "restored fees must be byte-identical"
+        );
+        assert_eq!(
+            resumed.peak_resident_scenes(),
+            fresh.peak_resident_scenes(),
+            "replayed shards keep the journaled high-water mark"
+        );
+    }
+
+    #[test]
+    fn sharded_run_resumes_a_journal_written_unsharded() {
+        // kill/resume mid-shard: the pipeline journaled every capture unit
+        // (but no shard records), so the sharded run finds each shard
+        // "partially complete" and replays unit by unit — no re-renders,
+        // no new fees, identical merge
+        let config = SurveyConfig::smoke(54);
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+        let unsharded = SurveyPipeline::new(config.clone())
+            .run_with_store(Some(Arc::clone(&store)))
+            .unwrap();
+
+        let resumed = run_sharded(&config, ShardPlan::new(4).unwrap(), Some(store), None).unwrap();
+        assert_eq!(resumed.survey().dataset(), unsharded.dataset());
+        assert_eq!(
+            resumed.billed_images(),
+            unsharded.imagery_usage().billed_images,
+            "replayed units must not re-bill"
+        );
+        assert_eq!(
+            resumed.peak_resident_scenes(),
+            0,
+            "every scene replayed from the journal; nothing rendered"
+        );
+    }
+
+    #[test]
+    fn sharded_training_matches_eager_training() {
+        let config = SurveyConfig::smoke(55);
+        let outcome = run_sharded(&config, ShardPlan::new(3).unwrap(), None, None).unwrap();
+        let train = TrainConfig {
+            epochs: 2,
+            hard_negative_rounds: 1,
+            seed: config.seed,
+            ..TrainConfig::default()
+        };
+        let detector = DetectorConfig {
+            shrink: 4,
+            ..DetectorConfig::default()
+        };
+        let eager = Trainer::new(train.clone(), detector.clone())
+            .fit(outcome.survey().dataset(), &outcome.survey().provider())
+            .unwrap();
+        let sharded = outcome.train_sharded(train, detector).unwrap();
+        assert_eq!(eager, sharded, "shard streaming must not change weights");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let config = SurveyConfig::smoke(56);
+        let plan = ShardPlan::new(4).unwrap();
+        let sample = SurveySample::draw_regions(
+            &config.regions,
+            config.locations,
+            config.network_scale,
+            config.seed,
+        )
+        .unwrap();
+        let labeler =
+            HumanLabeler::new(config.labeler_profile(), child_seed(config.seed, "labeler"));
+        let pool = ScopedPool::new(config.parallelism);
+        let mut batches = Vec::new();
+        for shard in 0..plan.shards() {
+            let (annotations, _, _) =
+                run_shard(&config, &sample, plan, shard, &labeler, &pool, None).unwrap();
+            batches.push(annotations);
+        }
+        let forward = merge_shard_annotations(batches.clone());
+        let mut reversed = batches;
+        reversed.reverse();
+        assert_eq!(forward, merge_shard_annotations(reversed));
+    }
+}

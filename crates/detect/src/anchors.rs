@@ -226,7 +226,10 @@ mod tests {
     fn streetlight_windows_are_tall_and_thin() {
         let a = AnchorSet::for_class(Indicator::Streetlight);
         for w in a.windows(320, 8) {
-            assert!(w.bbox.h > w.bbox.w, "streetlight anchor must be portrait: {w:?}");
+            assert!(
+                w.bbox.h > w.bbox.w,
+                "streetlight anchor must be portrait: {w:?}"
+            );
         }
     }
 

@@ -20,7 +20,9 @@ impl ClassModel {
     /// A zeroed model with one component per template.
     pub fn zeros(n_templates: usize) -> ClassModel {
         ClassModel {
-            components: (0..n_templates.max(1)).map(|_| ClassScorer::zeros()).collect(),
+            components: (0..n_templates.max(1))
+                .map(|_| ClassScorer::zeros())
+                .collect(),
         }
     }
 
@@ -210,7 +212,8 @@ impl Detector {
     pub fn score_window(&self, integral: &IntegralChannels, ind: Indicator, window: BBox) -> f32 {
         let mut buf = vec![0f32; FEATURE_DIM];
         integral.window_feature_into(window, &mut buf);
-        let template = self.anchors[ind].nearest_template(window, (integral.width() as u32) * integral.shrink());
+        let template = self.anchors[ind]
+            .nearest_template(window, (integral.width() as u32) * integral.shrink());
         self.scorers[ind].score(template, &buf)
     }
 
@@ -289,9 +292,15 @@ mod tests {
             ..DetectorConfig::default()
         });
         let img = RasterImage::filled(64, 64, Rgb::gray(100));
-        assert!(det.detect(&img).is_empty(), "0.5 scores below 0.6 threshold");
+        assert!(
+            det.detect(&img).is_empty(),
+            "0.5 scores below 0.6 threshold"
+        );
         det.thresholds = nbhd_types::IndicatorMap::fill(0.4);
-        assert!(!det.detect(&img).is_empty(), "0.5 scores above 0.4 threshold");
+        assert!(
+            !det.detect(&img).is_empty(),
+            "0.5 scores above 0.4 threshold"
+        );
     }
 
     #[test]

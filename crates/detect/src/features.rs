@@ -263,7 +263,10 @@ mod tests {
                 sum / (8.0 * 6.0)
             };
             let fast = integral.mean(c, 1, 2, 7, 10);
-            assert!((direct - fast).abs() < 1e-4, "channel {c}: {direct} vs {fast}");
+            assert!(
+                (direct - fast).abs() < 1e-4,
+                "channel {c}: {direct} vs {fast}"
+            );
         }
     }
 

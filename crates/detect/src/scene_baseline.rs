@@ -137,7 +137,11 @@ mod tests {
         let mut images = HashMap::new();
         for loc in 0..60u64 {
             let id = ImageId::new(LocationId(loc), Heading::North);
-            let zone = if loc % 2 == 0 { Zoning::Urban } else { Zoning::Rural };
+            let zone = if loc % 2 == 0 {
+                Zoning::Urban
+            } else {
+                Zoning::Rural
+            };
             let spec = generator.compose_raw(id, zone, RoadClass::SingleLane, ViewKind::AlongRoad);
             let (img, objs) = render(&spec, 96);
             labels.push(ImageLabels::with_objects(id, objs));
@@ -174,7 +178,10 @@ mod tests {
     #[test]
     fn empty_train_split_errors() {
         let ds = LabeledDataset::build(
-            vec![ImageLabels::new(ImageId::new(LocationId(0), Heading::North))],
+            vec![ImageLabels::new(ImageId::new(
+                LocationId(0),
+                Heading::North,
+            ))],
             64,
             SplitRatios {
                 train: 0.0,

@@ -8,12 +8,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use nbhd_annotate::LabeledDataset;
+use nbhd_annotate::{DatasetSplit, LabeledDataset};
 use nbhd_journal::CheckpointStore;
 use nbhd_obs::Obs;
 use nbhd_raster::RasterImage;
 use nbhd_types::rng::{child_seed, child_seed_n, rng_from};
-use nbhd_types::{BBox, Error, ImageId, Indicator, IndicatorMap, Result};
+use nbhd_types::{BBox, Error, ImageId, ImageLabels, Indicator, IndicatorMap, Result};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -65,6 +65,44 @@ impl Default for TrainConfig {
             parallelism: Parallelism::auto(),
         }
     }
+}
+
+/// One image's harvested window examples: `(class, mixture component,
+/// feature, label)` tuples, in harvest order.
+type Examples = Vec<(Indicator, usize, Vec<f32>, f32)>;
+
+/// One shard of a streamed training set: the annotations for every image
+/// the shard holds, plus a pixel source scoped to those images.
+///
+/// A shard is materialized, consumed, and dropped before the next shard
+/// loads, so the trainer's resident pixel/integral footprint is one
+/// shard's worth regardless of how large the full study is.
+pub struct ShardData<P> {
+    /// Annotations for each image in this shard.
+    pub labels: HashMap<ImageId, ImageLabels>,
+    /// Pixel source for exactly this shard's images.
+    pub provider: P,
+}
+
+/// A streamed training set: `shards()` disjoint [`ShardData`] pieces,
+/// materialized one at a time by [`Trainer::fit_sharded`].
+///
+/// `load` must be deterministic (same shard → same labels and pixels) and
+/// the shards must partition the dataset: every train/val image appears in
+/// exactly one shard.
+pub trait ShardSource {
+    /// The pixel source a loaded shard exposes.
+    type Provider: ImageProvider + Sync;
+
+    /// Number of shards.
+    fn shards(&self) -> usize;
+
+    /// Materializes one shard.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error when the shard cannot be produced.
+    fn load(&self, shard: usize) -> Result<ShardData<Self::Provider>>;
 }
 
 /// Provides pixels for an image id (the trainer is storage-agnostic).
@@ -130,7 +168,11 @@ impl Trainer {
     ///
     /// Propagates provider failures; returns [`Error::Config`] when the
     /// train split is empty.
-    pub fn fit<P: ImageProvider + Sync>(&self, dataset: &LabeledDataset, provider: &P) -> Result<Detector> {
+    pub fn fit<P: ImageProvider + Sync>(
+        &self,
+        dataset: &LabeledDataset,
+        provider: &P,
+    ) -> Result<Detector> {
         self.fit_with(dataset, provider, None)
     }
 
@@ -185,78 +227,8 @@ impl Trainer {
             let img = provider.image(id)?;
             let size = img.width();
             let integral = detector.integral(&img);
-            if let Some(store) = store {
-                if let Some(value) = store.load(HARVEST_RECORD_KIND, &id.key().to_string()) {
-                    let examples: Vec<(Indicator, usize, Vec<f32>, f32)> =
-                        serde_json::from_value(value)
-                            .map_err(|e| Error::parse(format!("harvest record {id}: {e}")))?;
-                    return Ok((id, integral, examples));
-                }
-            }
             let labels = dataset.labels(id)?;
-            let mut rng = rng_from(child_seed_n(self.train.seed, "harvest", id.key()));
-            let mut examples: Vec<(Indicator, usize, Vec<f32>, f32)> = Vec::new();
-            for ind in Indicator::ALL {
-                let gt: Vec<BBox> = labels.of_class(ind).map(|o| o.bbox).collect();
-                // positives: snapped anchors + jitter
-                for &b in &gt {
-                    let (template, snapped, iou) = detector.anchors[ind].snap(b, size);
-                    let window = if iou >= 0.3 { snapped } else { b };
-                    examples.push((ind, template, integral.window_feature(window), 1.0));
-                    for _ in 0..self.train.positive_jitter {
-                        let dx = rng.random_range(-1.0..1.0) * self.detector.shrink as f32;
-                        let dy = rng.random_range(-1.0..1.0) * self.detector.shrink as f32;
-                        examples.push((
-                            ind,
-                            template,
-                            integral.window_feature(window.translate(dx, dy)),
-                            1.0,
-                        ));
-                    }
-                }
-                // cross-class negatives: the confusable class's objects,
-                // snapped to this class's anchors, labeled negative so the
-                // scorer learns the distinction (single vs. multilane road,
-                // streetlight vs. utility pole)
-                if let Some(confusable) = confusable_class(ind) {
-                    for o in labels.of_class(confusable) {
-                        let (template, snapped, iou) = detector.anchors[ind].snap(o.bbox, size);
-                        if iou >= 0.3 {
-                            examples.push((ind, template, integral.window_feature(snapped), 0.0));
-                        }
-                    }
-                }
-                // random negatives with low IoU against this class's truth,
-                // spread across every component
-                let candidates = detector.anchors[ind].windows(size, self.detector.shrink);
-                for t_idx in 0..detector.anchors[ind].templates.len() {
-                    let of_template: Vec<&crate::AnchorWindow> =
-                        candidates.iter().filter(|w| w.template == t_idx).collect();
-                    if of_template.is_empty() {
-                        continue;
-                    }
-                    let mut taken = 0usize;
-                    let mut attempts = 0usize;
-                    while taken < self.train.negatives_per_image && attempts < 200 {
-                        attempts += 1;
-                        let w = of_template[rng.random_range(0..of_template.len())];
-                        if gt.iter().all(|g| g.iou(w.bbox) < 0.3) {
-                            examples.push((ind, t_idx, integral.window_feature(w.bbox), 0.0));
-                            taken += 1;
-                        }
-                    }
-                }
-            }
-            if let Some(store) = store {
-                // save-before-act: the harvest chunk is durable before any
-                // of its examples reach a training pool
-                store.save(
-                    HARVEST_RECORD_KIND,
-                    &id.key().to_string(),
-                    serde_json::to_value(&examples)
-                        .map_err(|e| Error::parse(format!("harvest record {id}: {e}")))?,
-                )?;
-            }
+            let examples = self.harvest_or_replay(&detector, labels, &integral, size, id, store)?;
             Ok((id, integral, examples))
         });
         let mut integrals: HashMap<ImageId, IntegralChannels> = HashMap::new();
@@ -287,26 +259,7 @@ impl Trainer {
             let mined = pool.map(train_ids, |&id| -> Result<_> {
                 let integral = integrals.get(&id).expect("cached in pass 1");
                 let labels = dataset.labels(id)?;
-                // scan low so marginal false positives are mined too
-                let dets = det_ref.scan(integral, size, 0.3);
-                let mut taken = IndicatorMap::fill(0usize);
-                let mut out: Vec<(Indicator, usize, Vec<f32>)> = Vec::new();
-                for det in dets {
-                    if taken[det.indicator] >= self.train.hard_negatives_per_image {
-                        continue;
-                    }
-                    let gt_iou = labels
-                        .of_class(det.indicator)
-                        .map(|o| o.bbox.iou(det.bbox))
-                        .fold(0.0f32, f32::max);
-                    if gt_iou < 0.25 {
-                        let template =
-                            det_ref.anchors[det.indicator].nearest_template(det.bbox, size);
-                        out.push((det.indicator, template, integral.window_feature(det.bbox)));
-                        taken[det.indicator] += 1;
-                    }
-                }
-                Ok(out)
+                Ok(self.mine_image(det_ref, integral, labels, size))
             });
             let mut added = 0usize;
             for item in mined {
@@ -336,6 +289,341 @@ impl Trainer {
             }
         }
         Ok(detector)
+    }
+
+    /// [`Trainer::fit`] over a sharded stream: the training set is consumed
+    /// one [`ShardData`] at a time — harvest, each mining round, and
+    /// calibration re-materialize shards instead of holding every image's
+    /// integral channels at once — so peak resident pixel/integral memory
+    /// is one shard's worth, not the study's.
+    ///
+    /// The trained detector is **byte-identical** to [`Trainer::fit`] on
+    /// the equivalent whole dataset: per-image harvests are keyed by image
+    /// id (not arrival order), harvested chunks are re-folded into the
+    /// canonical `split.train` order before pooling, and threshold
+    /// calibration counts are multiset-invariant, so neither shard count
+    /// nor shard arrival order can reach the weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard-source failures; returns [`Error::Config`] when the
+    /// train split is empty or a split image appears in no shard.
+    pub fn fit_sharded<S: ShardSource>(
+        &self,
+        split: &DatasetSplit,
+        image_size: u32,
+        source: &S,
+    ) -> Result<Detector> {
+        self.fit_sharded_with(split, image_size, source, None)
+    }
+
+    /// [`Trainer::fit_sharded`] with harvest checkpointing, journaling the
+    /// same per-image records as [`Trainer::fit_checkpointed`] — a run
+    /// journaled unsharded can resume sharded and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Trainer::fit_sharded`], plus store failures.
+    pub fn fit_sharded_checkpointed<S: ShardSource>(
+        &self,
+        split: &DatasetSplit,
+        image_size: u32,
+        source: &S,
+        store: &dyn CheckpointStore,
+    ) -> Result<Detector> {
+        self.fit_sharded_with(split, image_size, source, Some(store))
+    }
+
+    fn fit_sharded_with<S: ShardSource>(
+        &self,
+        split: &DatasetSplit,
+        image_size: u32,
+        source: &S,
+        store: Option<&dyn CheckpointStore>,
+    ) -> Result<Detector> {
+        let train_ids = &split.train;
+        if train_ids.is_empty() {
+            return Err(Error::config("training split is empty"));
+        }
+        let mut detector = Detector::untrained(self.detector.clone());
+        let mut rng = rng_from(child_seed(self.train.seed, "trainer"));
+        let mut pool = ScopedPool::new(self.train.parallelism);
+        if let Some(obs) = &self.obs {
+            pool = pool.with_metrics(Arc::clone(obs.registry()));
+        }
+
+        // Pass 1, shard by shard: harvest examples, drop the shard's
+        // integrals, keep only the (compact) example chunks keyed by id.
+        let harvest_stage = self.obs.as_ref().map(|obs| obs.tracer().enter("harvest"));
+        let mut chunks: HashMap<ImageId, Examples> = HashMap::new();
+        for s in 0..source.shards() {
+            let data = source.load(s)?;
+            let ids: Vec<ImageId> = train_ids
+                .iter()
+                .copied()
+                .filter(|id| data.labels.contains_key(id))
+                .collect();
+            let harvested = pool.map(&ids, |&id| -> Result<_> {
+                let img = data.provider.image(id)?;
+                let size = img.width();
+                let integral = detector.integral(&img);
+                let labels = data.labels.get(&id).expect("filtered on membership");
+                let examples =
+                    self.harvest_or_replay(&detector, labels, &integral, size, id, store)?;
+                Ok((id, examples))
+            });
+            for item in harvested {
+                let (id, examples) = item?;
+                chunks.insert(id, examples);
+            }
+        }
+        if let Some(stage) = harvest_stage {
+            stage.record();
+        }
+
+        // Canonical re-fold: fill the pools in split.train order — the
+        // exact insertion order fit() uses — so the SGD input is identical
+        // no matter how the shards arrived.
+        let mut pools: IndicatorMap<Vec<ClassPool>> = IndicatorMap::from_fn(|i| {
+            (0..detector.anchors[i].templates.len())
+                .map(|_| ClassPool::default())
+                .collect()
+        });
+        for id in train_ids {
+            let examples = chunks.remove(id).ok_or_else(|| {
+                Error::config(format!("train image {id} missing from every shard"))
+            })?;
+            for (ind, template, feature, label) in examples {
+                let pool = &mut pools[ind][template];
+                pool.features.push(feature);
+                pool.labels.push(label);
+            }
+        }
+        drop(chunks);
+
+        self.sgd(&mut detector, &mut pools, &mut rng);
+
+        // Mining rounds re-materialize each shard's integrals per round
+        // (compute is cheap to redo; memory is what we are bounding) and
+        // re-fold the mined negatives into split.train order.
+        for round in 0..self.train.hard_negative_rounds {
+            let det_ref = &detector;
+            let mine_stage = self
+                .obs
+                .as_ref()
+                .map(|obs| obs.tracer().enter(&format!("mine-{round}")));
+            let mut mined_by_id: HashMap<ImageId, Vec<(Indicator, usize, Vec<f32>)>> =
+                HashMap::new();
+            for s in 0..source.shards() {
+                let data = source.load(s)?;
+                let ids: Vec<ImageId> = train_ids
+                    .iter()
+                    .copied()
+                    .filter(|id| data.labels.contains_key(id))
+                    .collect();
+                let mined = pool.map(&ids, |&id| -> Result<_> {
+                    let img = data.provider.image(id)?;
+                    let integral = det_ref.integral(&img);
+                    let labels = data.labels.get(&id).expect("filtered on membership");
+                    Ok((id, self.mine_image(det_ref, &integral, labels, image_size)))
+                });
+                for item in mined {
+                    let (id, out) = item?;
+                    mined_by_id.insert(id, out);
+                }
+            }
+            if let Some(stage) = mine_stage {
+                stage.record();
+            }
+            let mut added = 0usize;
+            for id in train_ids {
+                let out = mined_by_id.remove(id).ok_or_else(|| {
+                    Error::config(format!("train image {id} missing from every shard"))
+                })?;
+                for (ind, template, feature) in out {
+                    let pool = &mut pools[ind][template];
+                    pool.features.push(feature);
+                    pool.labels.push(0.0);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                break;
+            }
+            self.sgd(&mut detector, &mut pools, &mut rng);
+        }
+
+        // Threshold calibration, shard by shard: the sweep consumes only
+        // per-class (score, matched) multisets and positive counts, both
+        // order-independent, so per-shard accumulation lands on the same
+        // thresholds fit() picks over the whole validation split at once.
+        if !split.val.is_empty() {
+            let stage = self.obs.as_ref().map(|obs| obs.tracer().enter("calibrate"));
+            let mut scored: IndicatorMap<Vec<(f32, bool)>> = IndicatorMap::from_fn(|_| Vec::new());
+            let mut positives = IndicatorMap::fill(0usize);
+            let mut covered = 0usize;
+            for s in 0..source.shards() {
+                let data = source.load(s)?;
+                let items: Vec<(ImageId, ImageLabels)> = split
+                    .val
+                    .iter()
+                    .filter_map(|id| data.labels.get(id).map(|l| (*id, l.clone())))
+                    .collect();
+                if items.is_empty() {
+                    continue;
+                }
+                covered += items.len();
+                let (shard_scored, shard_positives) =
+                    crate::scored_matches(&detector, &items, &data.provider)?;
+                for (idx, local) in shard_scored.into_array().into_iter().enumerate() {
+                    let ind = Indicator::from_index(idx).expect("index < 6");
+                    scored[ind].extend(local);
+                    positives[ind] += shard_positives[ind];
+                }
+            }
+            if covered != split.val.len() {
+                return Err(Error::config(format!(
+                    "validation images missing from shards: {covered} of {}",
+                    split.val.len()
+                )));
+            }
+            self.sweep_thresholds(&mut detector, &scored, &positives);
+            if let Some(stage) = stage {
+                stage.record();
+            }
+        }
+        Ok(detector)
+    }
+
+    /// One image's harvest: replay the journaled chunk when the store has
+    /// it, otherwise harvest fresh (from a seed keyed by the image id) and
+    /// journal the chunk — save-before-act. Shared by the eager and
+    /// sharded fit paths so both produce bit-identical examples.
+    fn harvest_or_replay(
+        &self,
+        detector: &Detector,
+        labels: &ImageLabels,
+        integral: &IntegralChannels,
+        size: u32,
+        id: ImageId,
+        store: Option<&dyn CheckpointStore>,
+    ) -> Result<Examples> {
+        if let Some(store) = store {
+            if let Some(value) = store.load(HARVEST_RECORD_KIND, &id.key().to_string()) {
+                return serde_json::from_value(value)
+                    .map_err(|e| Error::parse(format!("harvest record {id}: {e}")));
+            }
+        }
+        let examples = self.harvest_image(detector, labels, integral, size, id);
+        if let Some(store) = store {
+            // save-before-act: the harvest chunk is durable before any
+            // of its examples reach a training pool
+            store.save(
+                HARVEST_RECORD_KIND,
+                &id.key().to_string(),
+                serde_json::to_value(&examples)
+                    .map_err(|e| Error::parse(format!("harvest record {id}: {e}")))?,
+            )?;
+        }
+        Ok(examples)
+    }
+
+    /// Harvests one image's positive and negative window examples. Every
+    /// random draw comes from a seed keyed by the image id, so the result
+    /// depends only on `(config, detector anchors, labels, pixels)`.
+    fn harvest_image(
+        &self,
+        detector: &Detector,
+        labels: &ImageLabels,
+        integral: &IntegralChannels,
+        size: u32,
+        id: ImageId,
+    ) -> Examples {
+        let mut rng = rng_from(child_seed_n(self.train.seed, "harvest", id.key()));
+        let mut examples: Examples = Vec::new();
+        for ind in Indicator::ALL {
+            let gt: Vec<BBox> = labels.of_class(ind).map(|o| o.bbox).collect();
+            // positives: snapped anchors + jitter
+            for &b in &gt {
+                let (template, snapped, iou) = detector.anchors[ind].snap(b, size);
+                let window = if iou >= 0.3 { snapped } else { b };
+                examples.push((ind, template, integral.window_feature(window), 1.0));
+                for _ in 0..self.train.positive_jitter {
+                    let dx = rng.random_range(-1.0..1.0) * self.detector.shrink as f32;
+                    let dy = rng.random_range(-1.0..1.0) * self.detector.shrink as f32;
+                    examples.push((
+                        ind,
+                        template,
+                        integral.window_feature(window.translate(dx, dy)),
+                        1.0,
+                    ));
+                }
+            }
+            // cross-class negatives: the confusable class's objects,
+            // snapped to this class's anchors, labeled negative so the
+            // scorer learns the distinction (single vs. multilane road,
+            // streetlight vs. utility pole)
+            if let Some(confusable) = confusable_class(ind) {
+                for o in labels.of_class(confusable) {
+                    let (template, snapped, iou) = detector.anchors[ind].snap(o.bbox, size);
+                    if iou >= 0.3 {
+                        examples.push((ind, template, integral.window_feature(snapped), 0.0));
+                    }
+                }
+            }
+            // random negatives with low IoU against this class's truth,
+            // spread across every component
+            let candidates = detector.anchors[ind].windows(size, self.detector.shrink);
+            for t_idx in 0..detector.anchors[ind].templates.len() {
+                let of_template: Vec<&crate::AnchorWindow> =
+                    candidates.iter().filter(|w| w.template == t_idx).collect();
+                if of_template.is_empty() {
+                    continue;
+                }
+                let mut taken = 0usize;
+                let mut attempts = 0usize;
+                while taken < self.train.negatives_per_image && attempts < 200 {
+                    attempts += 1;
+                    let w = of_template[rng.random_range(0..of_template.len())];
+                    if gt.iter().all(|g| g.iou(w.bbox) < 0.3) {
+                        examples.push((ind, t_idx, integral.window_feature(w.bbox), 0.0));
+                        taken += 1;
+                    }
+                }
+            }
+        }
+        examples
+    }
+
+    /// Mines one image's confident false positives against the current
+    /// detector: a low-threshold scan, keeping detections with no matching
+    /// ground truth, capped per class.
+    fn mine_image(
+        &self,
+        detector: &Detector,
+        integral: &IntegralChannels,
+        labels: &ImageLabels,
+        size: u32,
+    ) -> Vec<(Indicator, usize, Vec<f32>)> {
+        // scan low so marginal false positives are mined too
+        let dets = detector.scan(integral, size, 0.3);
+        let mut taken = IndicatorMap::fill(0usize);
+        let mut out: Vec<(Indicator, usize, Vec<f32>)> = Vec::new();
+        for det in dets {
+            if taken[det.indicator] >= self.train.hard_negatives_per_image {
+                continue;
+            }
+            let gt_iou = labels
+                .of_class(det.indicator)
+                .map(|o| o.bbox.iou(det.bbox))
+                .fold(0.0f32, f32::max);
+            if gt_iou < 0.25 {
+                let template = detector.anchors[det.indicator].nearest_template(det.bbox, size);
+                out.push((det.indicator, template, integral.window_feature(det.bbox)));
+                taken[det.indicator] += 1;
+            }
+        }
+        out
     }
 
     /// SGD over every mixture component's pool.
@@ -394,6 +682,20 @@ impl Trainer {
             .map(|&id| Ok((id, dataset.labels(id)?.clone())))
             .collect::<Result<_>>()?;
         let (scored, positives) = crate::scored_matches(detector, &items, provider)?;
+        self.sweep_thresholds(detector, &scored, &positives);
+        Ok(())
+    }
+
+    /// The calibration sweep itself: picks each class's threshold from its
+    /// `(score, matched)` multiset and ground-truth positive count. Pure
+    /// counting — invariant to the order the scores were accumulated in,
+    /// which is what lets the sharded path calibrate shard by shard.
+    fn sweep_thresholds(
+        &self,
+        detector: &mut Detector,
+        scored: &IndicatorMap<Vec<(f32, bool)>>,
+        positives: &IndicatorMap<usize>,
+    ) {
         for ind in Indicator::ALL {
             let mut best_t = detector.thresholds[ind];
             let mut best_f1 = -1.0f64;
@@ -411,7 +713,6 @@ impl Trainer {
             }
             detector.thresholds[ind] = best_t;
         }
-        Ok(())
     }
 }
 
@@ -435,16 +736,17 @@ mod tests {
     use nbhd_types::{Heading, ImageLabels, LocationId};
 
     /// Builds a small synthetic dataset with an in-memory provider.
-    fn small_dataset(
-        n: u64,
-        size: u32,
-    ) -> (LabeledDataset, HashMap<ImageId, RasterImage>) {
+    fn small_dataset(n: u64, size: u32) -> (LabeledDataset, HashMap<ImageId, RasterImage>) {
         let generator = SceneGenerator::new(31);
         let mut labels = Vec::new();
         let mut images = HashMap::new();
         for loc in 0..n {
             let id = ImageId::new(LocationId(loc), Heading::North);
-            let zone = if loc % 2 == 0 { Zoning::Urban } else { Zoning::Rural };
+            let zone = if loc % 2 == 0 {
+                Zoning::Urban
+            } else {
+                Zoning::Rural
+            };
             let class = if loc % 3 == 0 {
                 RoadClass::Multilane
             } else {
@@ -533,7 +835,10 @@ mod tests {
         let p = provider(images);
         // the real assertion: an empty-train dataset errors
         let empty = LabeledDataset::build(
-            vec![ImageLabels::new(ImageId::new(LocationId(0), Heading::North))],
+            vec![ImageLabels::new(ImageId::new(
+                LocationId(0),
+                Heading::North,
+            ))],
             64,
             SplitRatios {
                 train: 0.0,
@@ -565,7 +870,10 @@ mod tests {
         let store = MemoryStore::new();
         let first = trainer.fit_checkpointed(&ds, &p, &store).unwrap();
         assert_eq!(plain, first, "journaling must not change the weights");
-        assert_eq!(store.load_kind(HARVEST_RECORD_KIND).len(), ds.split().train.len());
+        assert_eq!(
+            store.load_kind(HARVEST_RECORD_KIND).len(),
+            ds.split().train.len()
+        );
 
         // a "restarted" training run replays every harvest chunk and still
         // lands on identical weights
@@ -601,6 +909,119 @@ mod tests {
         assert!(
             tasks >= 2 * ds.split().train.len() as u64,
             "harvest + mining tasks expected, got {tasks}"
+        );
+    }
+
+    /// A nameable in-memory provider for [`ShardSource`] tests.
+    #[derive(Clone)]
+    struct MapProvider(HashMap<ImageId, RasterImage>);
+
+    impl ImageProvider for MapProvider {
+        fn image(&self, id: ImageId) -> Result<RasterImage> {
+            self.0
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| Error::not_found(format!("{id}")))
+        }
+    }
+
+    struct MapShards(Vec<(HashMap<ImageId, ImageLabels>, HashMap<ImageId, RasterImage>)>);
+
+    impl ShardSource for MapShards {
+        type Provider = MapProvider;
+
+        fn shards(&self) -> usize {
+            self.0.len()
+        }
+
+        fn load(&self, shard: usize) -> Result<ShardData<MapProvider>> {
+            let (labels, images) = self.0[shard].clone();
+            Ok(ShardData {
+                labels,
+                provider: MapProvider(images),
+            })
+        }
+    }
+
+    /// Splits a dataset into `n` shards by stable image-id hash.
+    fn shard_source(
+        ds: &LabeledDataset,
+        images: &HashMap<ImageId, RasterImage>,
+        n: usize,
+    ) -> MapShards {
+        let mut parts = vec![(HashMap::new(), HashMap::new()); n];
+        for &id in ds.images() {
+            let s = (id.key() % n as u64) as usize;
+            parts[s].0.insert(id, ds.labels(id).unwrap().clone());
+            parts[s].1.insert(id, images[&id].clone());
+        }
+        MapShards(parts)
+    }
+
+    fn small_trainer() -> Trainer {
+        Trainer::new(
+            TrainConfig {
+                epochs: 3,
+                hard_negative_rounds: 1,
+                ..TrainConfig::default()
+            },
+            DetectorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn sharded_fit_matches_plain_fit_at_any_shard_count() {
+        let (ds, images) = small_dataset(20, 96);
+        let trainer = small_trainer();
+        let p = provider(images.clone());
+        let plain = trainer.fit(&ds, &p).unwrap();
+        for n in [1usize, 3] {
+            let source = shard_source(&ds, &images, n);
+            let sharded = trainer
+                .fit_sharded(ds.split(), ds.image_size(), &source)
+                .unwrap();
+            assert_eq!(plain, sharded, "{n} shards must not change the weights");
+        }
+    }
+
+    #[test]
+    fn sharded_fit_replays_harvest_chunks_journaled_by_plain_fit() {
+        use nbhd_journal::MemoryStore;
+        let (ds, images) = small_dataset(20, 96);
+        let trainer = small_trainer();
+        let p = provider(images.clone());
+        let store = MemoryStore::new();
+        let plain = trainer.fit_checkpointed(&ds, &p, &store).unwrap();
+
+        // the sharded path replays every journaled chunk (same record kind
+        // and key), so an unsharded run's journal resumes a sharded run
+        let source = shard_source(&ds, &images, 3);
+        let sharded = trainer
+            .fit_sharded_checkpointed(ds.split(), ds.image_size(), &source, &store)
+            .unwrap();
+        assert_eq!(plain, sharded);
+        assert_eq!(
+            store.load_kind(HARVEST_RECORD_KIND).len(),
+            ds.split().train.len(),
+            "replay must not duplicate harvest records"
+        );
+    }
+
+    #[test]
+    fn sharded_fit_rejects_shards_that_drop_an_image() {
+        let (ds, images) = small_dataset(20, 96);
+        let mut source = shard_source(&ds, &images, 2);
+        let victim = ds.split().train[0];
+        for (labels, imgs) in &mut source.0 {
+            labels.remove(&victim);
+            imgs.remove(&victim);
+        }
+        let err = small_trainer()
+            .fit_sharded(ds.split(), ds.image_size(), &source)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("missing from every shard"),
+            "unexpected error: {err}"
         );
     }
 

@@ -93,6 +93,76 @@ pub fn render_comparison(title: &str, rows: &[ComparisonRow]) -> String {
     out
 }
 
+/// One cross-region generalization row for [`render_transfer_table`]: a
+/// detector trained on one region set, evaluated on (possibly another)
+/// region's held-out test split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRow {
+    /// The region set the detector was trained on.
+    pub train_region: String,
+    /// The region set the detector was evaluated on.
+    pub eval_region: String,
+    /// Detection mAP50 on the evaluation region's test split.
+    pub map50: f64,
+    /// Average presence-level F1 at the calibrated thresholds.
+    pub f1: f64,
+    /// Number of test images evaluated.
+    pub images: usize,
+}
+
+impl TransferRow {
+    /// Whether the row measures in-domain performance (train == eval region).
+    pub fn in_domain(&self) -> bool {
+        self.train_region == self.eval_region
+    }
+}
+
+/// Renders cross-region transfer rows as an aligned text table, in the same
+/// report style as [`render_metrics_table`].
+///
+/// ```
+/// use nbhd_eval::{render_transfer_table, TransferRow};
+///
+/// let rows = vec![TransferRow {
+///     train_region: "hidalgo+dallas".into(),
+///     eval_region: "grid-0".into(),
+///     map50: 0.41,
+///     f1: 0.62,
+///     images: 12,
+/// }];
+/// let text = render_transfer_table("Cross-region transfer", &rows);
+/// assert!(text.contains("hidalgo+dallas"));
+/// assert!(text.contains("transfer"));
+/// ```
+pub fn render_transfer_table(title: &str, rows: &[TransferRow]) -> String {
+    let train_w = rows
+        .iter()
+        .map(|r| r.train_region.len())
+        .chain(["Trained on".len()])
+        .max()
+        .unwrap_or(10);
+    let eval_w = rows
+        .iter()
+        .map(|r| r.eval_region.len())
+        .chain(["Tested on".len()])
+        .max()
+        .unwrap_or(9);
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<train_w$} {:<eval_w$} {:>9} {:>7} {:>7} {:>7}\n",
+        "Trained on", "Tested on", "Kind", "mAP50", "F1", "Images"
+    ));
+    for r in rows {
+        let kind = if r.in_domain() { "in-dom" } else { "transfer" };
+        out.push_str(&format!(
+            "{:<train_w$} {:<eval_w$} {:>9} {:>7.3} {:>7.3} {:>7}\n",
+            r.train_region, r.eval_region, kind, r.map50, r.f1, r.images
+        ));
+    }
+    out
+}
+
 /// One model's health line for [`render_health_table`]: availability,
 /// breaker activity, and resilience counters over a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -653,6 +723,38 @@ mod tests {
         let survey_row = text.lines().find(|l| l.starts_with("run/survey")).unwrap();
         assert!(survey_row.contains("3.00x"), "{survey_row}");
         assert!(text.contains("client.latency_ms"), "{text}");
+    }
+
+    #[test]
+    fn transfer_rows_align_and_classify_kind() {
+        let rows = vec![
+            TransferRow {
+                train_region: "hidalgo+dallas".into(),
+                eval_region: "hidalgo+dallas".into(),
+                map50: 0.512,
+                f1: 0.701,
+                images: 18,
+            },
+            TransferRow {
+                train_region: "hidalgo+dallas".into(),
+                eval_region: "grid-3".into(),
+                map50: 0.388,
+                f1: 0.6,
+                images: 9,
+            },
+        ];
+        assert!(rows[0].in_domain());
+        assert!(!rows[1].in_domain());
+        let text = render_transfer_table("Transfer", &rows);
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("in-dom"), "{text}");
+        assert!(lines[2].contains("transfer"), "{text}");
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{text}"
+        );
     }
 
     #[test]

@@ -25,11 +25,13 @@
 mod coords;
 mod county;
 mod network;
+mod region;
 mod segment;
 mod zone;
 
 pub use coords::{GeoBounds, LatLon, FEET_PER_DEGREE_LAT};
 pub use county::County;
 pub use network::{RoadClass, RoadEdge, RoadNetwork};
+pub use region::{Lighting, RegionSet, RegionSpec, ShardPlan, Weather};
 pub use segment::{segment_network, SurveyPoint, SurveySample, SEGMENT_INTERVAL_FEET};
 pub use zone::{ZonePriors, Zoning};

@@ -1,0 +1,508 @@
+//! The region registry and shard planning for streaming surveys.
+//!
+//! [`RegionSpec`] generalizes [`County`](crate::County) from the paper's
+//! fixed Robeson/Durham pair to an open set of survey regions with a
+//! parameterized zone mix, a per-region network-scale multiplier, and the
+//! scenario axes related work shows matter (weather, lighting). A
+//! [`RegionSet`] is the validated registry a survey draws from, and a
+//! [`ShardPlan`] deterministically splits the drawn locations into shards
+//! by stable hash so downstream stages can stream one shard at a time with
+//! bounded resident memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbhd_geo::{RegionSet, ShardPlan, SurveySample};
+//!
+//! let regions = RegionSet::synthetic_grid(8, 5);
+//! let sample = SurveySample::draw_regions(&regions, 64, 0.5, 5)?;
+//! let plan = ShardPlan::new(4)?;
+//! // every drawn location lands in exactly one shard
+//! for p in sample.points() {
+//!     assert!(plan.assign(p.id) < plan.shards());
+//! }
+//! # Ok::<(), nbhd_types::Error>(())
+//! ```
+
+use nbhd_types::rng::{child_seed, splitmix64};
+use nbhd_types::LocationId;
+use serde::{Deserialize, Serialize};
+
+use crate::{County, GeoBounds, LatLon, RoadNetwork};
+
+/// Sky/precipitation condition of a region's capture campaign.
+///
+/// A scenario axis hook: today it perturbs the region's synthesis seed (a
+/// rainy capture of the same county is a *different deterministic world*);
+/// the scene generator will consume it directly as the axis matures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear skies (the study's implicit default).
+    #[default]
+    Clear,
+    /// Overcast, flat light.
+    Overcast,
+    /// Active rain, wet pavement.
+    Rain,
+    /// Ground fog, reduced visibility.
+    Fog,
+}
+
+/// Time-of-day lighting of a region's capture campaign. Same hook
+/// semantics as [`Weather`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Lighting {
+    /// Full daylight (the study's implicit default).
+    #[default]
+    Day,
+    /// Low-angle dusk light.
+    Dusk,
+    /// Night, artificial lighting only.
+    Night,
+}
+
+impl Weather {
+    /// All weather conditions, in axis order.
+    pub const ALL: [Weather; 4] = [
+        Weather::Clear,
+        Weather::Overcast,
+        Weather::Rain,
+        Weather::Fog,
+    ];
+}
+
+impl Lighting {
+    /// All lighting conditions, in axis order.
+    pub const ALL: [Lighting; 3] = [Lighting::Day, Lighting::Dusk, Lighting::Night];
+}
+
+/// One survey region: a named geographic extent with a zoning mix, a
+/// network-scale multiplier, and scenario-axis settings.
+///
+/// For default axes and unit scale this is byte-compatible with
+/// [`County`]: the same name, bounds, and mix synthesize the identical
+/// road network and draw the identical sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    name: String,
+    bounds: GeoBounds,
+    /// Fractions of urban / suburban / rural tracts; sums to 1.
+    zone_mix: [f64; 3],
+    /// Per-region multiplier applied on top of the survey's base
+    /// network scale (1.0 = the county default).
+    #[serde(default = "default_scale")]
+    scale: f64,
+    /// Weather axis for this region's capture campaign.
+    #[serde(default)]
+    weather: Weather,
+    /// Lighting axis for this region's capture campaign.
+    #[serde(default)]
+    lighting: Lighting,
+}
+
+fn default_scale() -> f64 {
+    1.0
+}
+
+impl RegionSpec {
+    /// Creates a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when the zone mix does not sum
+    /// to approximately 1, has negative entries, the name is empty, or the
+    /// scale multiplier is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        bounds: GeoBounds,
+        zone_mix: [f64; 3],
+    ) -> nbhd_types::Result<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(nbhd_types::Error::config("region name must be non-empty"));
+        }
+        let sum: f64 = zone_mix.iter().sum();
+        if zone_mix.iter().any(|&m| m < 0.0) || (sum - 1.0).abs() > 0.01 {
+            return Err(nbhd_types::Error::config(format!(
+                "zone mix must be non-negative and sum to 1, got {zone_mix:?}"
+            )));
+        }
+        Ok(RegionSpec {
+            name,
+            bounds,
+            zone_mix,
+            scale: 1.0,
+            weather: Weather::default(),
+            lighting: Lighting::default(),
+        })
+    }
+
+    /// Sets the per-region network-scale multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] for non-positive scales.
+    pub fn with_scale(mut self, scale: f64) -> nbhd_types::Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(nbhd_types::Error::config(format!(
+                "region scale must be positive, got {scale}"
+            )));
+        }
+        self.scale = scale;
+        Ok(self)
+    }
+
+    /// Sets the weather axis.
+    #[must_use]
+    pub fn with_weather(mut self, weather: Weather) -> Self {
+        self.weather = weather;
+        self
+    }
+
+    /// Sets the lighting axis.
+    #[must_use]
+    pub fn with_lighting(mut self, lighting: Lighting) -> Self {
+        self.lighting = lighting;
+        self
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region's geographic extent.
+    pub fn bounds(&self) -> GeoBounds {
+        self.bounds
+    }
+
+    /// The urban/suburban/rural tract mix.
+    pub fn zone_mix(&self) -> [f64; 3] {
+        self.zone_mix
+    }
+
+    /// The per-region network-scale multiplier.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The weather axis.
+    pub fn weather(&self) -> Weather {
+        self.weather
+    }
+
+    /// The lighting axis.
+    pub fn lighting(&self) -> Lighting {
+        self.lighting
+    }
+
+    /// The region's deterministic synthesis seed.
+    ///
+    /// Default axes reproduce [`County::road_network`]'s seed exactly
+    /// (`child_seed(seed, name)`), so county-era samples stay
+    /// byte-identical; any non-default axis forks a distinct world.
+    pub fn region_seed(&self, seed: u64) -> u64 {
+        let base = child_seed(seed, &self.name);
+        if self.weather == Weather::Clear && self.lighting == Lighting::Day {
+            return base;
+        }
+        let axis = ((self.weather as u64) << 8) | self.lighting as u64;
+        splitmix64(child_seed(base, "axis") ^ axis)
+    }
+
+    /// Synthesizes this region's road network at `base_scale` times the
+    /// region's own multiplier.
+    pub fn road_network(&self, base_scale: f64, seed: u64) -> RoadNetwork {
+        RoadNetwork::synthesize(
+            self.bounds,
+            self.zone_mix,
+            base_scale * self.scale,
+            self.region_seed(seed),
+        )
+    }
+}
+
+impl From<County> for RegionSpec {
+    fn from(county: County) -> RegionSpec {
+        RegionSpec {
+            name: county.name().to_owned(),
+            bounds: county.bounds(),
+            zone_mix: county.zone_mix(),
+            scale: 1.0,
+            weather: Weather::default(),
+            lighting: Lighting::default(),
+        }
+    }
+}
+
+/// A validated, ordered registry of survey regions.
+///
+/// Replaces the hardcoded `County::study_pair()` as the thing a survey is
+/// drawn over: the paper's two-county study is just
+/// [`RegionSet::study_pair`], and arbitrarily many regions compose the
+/// same way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSet {
+    regions: Vec<RegionSpec>,
+}
+
+impl RegionSet {
+    /// Builds a registry from regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when empty or when two regions
+    /// share a name (names key per-region seeds; duplicates would alias
+    /// random streams).
+    pub fn new(regions: Vec<RegionSpec>) -> nbhd_types::Result<RegionSet> {
+        if regions.is_empty() {
+            return Err(nbhd_types::Error::config("region set must be non-empty"));
+        }
+        let mut names: Vec<&str> = regions.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != regions.len() {
+            return Err(nbhd_types::Error::config("region names must be unique"));
+        }
+        Ok(RegionSet { regions })
+    }
+
+    /// The paper's two study counties as a region set, in paper order.
+    pub fn study_pair() -> RegionSet {
+        RegionSet {
+            regions: County::study_pair().map(RegionSpec::from).to_vec(),
+        }
+    }
+
+    /// `k` synthetic regions tiled over a deterministic lat/lon grid with
+    /// zone mixes and scenario axes cycling through contrasting presets —
+    /// the continental-scale stand-in used by the sharded-run tests and
+    /// examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn synthetic_grid(k: usize, seed: u64) -> RegionSet {
+        assert!(k > 0, "need at least one synthetic region");
+        // contrasting mixes: urban-core, balanced, rural
+        const MIXES: [[f64; 3]; 3] = [[0.55, 0.33, 0.12], [0.30, 0.40, 0.30], [0.08, 0.27, 0.65]];
+        let regions = (0..k)
+            .map(|i| {
+                let row = (i / 4) as f64;
+                let col = (i % 4) as f64;
+                // jitter the tile origin deterministically per set seed so
+                // different seeds give different geographies
+                let j = (splitmix64(child_seed(seed, "grid") ^ i as u64) % 1000) as f64 / 10_000.0;
+                let min = LatLon::new(33.5 + 0.65 * row + j, -80.5 + 0.75 * col + j);
+                let max = LatLon::new(min.lat + 0.45, min.lon + 0.50);
+                RegionSpec {
+                    name: format!("synth-{i:02}"),
+                    bounds: GeoBounds::new(min, max),
+                    zone_mix: MIXES[i % MIXES.len()],
+                    scale: 1.0,
+                    weather: Weather::ALL[i % Weather::ALL.len()],
+                    lighting: Lighting::ALL[i % Lighting::ALL.len()],
+                }
+            })
+            .collect();
+        RegionSet { regions }
+    }
+
+    /// The regions, in registry order.
+    pub fn regions(&self) -> &[RegionSpec] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` when the set holds no regions (never, for a
+    /// validated set; kept for clippy symmetry with [`RegionSet::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The subset with the given names, in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::NotFound`] for unknown names.
+    pub fn select(&self, names: &[&str]) -> nbhd_types::Result<RegionSet> {
+        let regions: Vec<RegionSpec> = names
+            .iter()
+            .map(|&n| {
+                self.regions
+                    .iter()
+                    .find(|r| r.name() == n)
+                    .cloned()
+                    .ok_or_else(|| nbhd_types::Error::not_found(format!("region {n}")))
+            })
+            .collect::<nbhd_types::Result<_>>()?;
+        RegionSet::new(regions)
+    }
+}
+
+impl Default for RegionSet {
+    /// The paper's study pair — the backward-compatible survey default.
+    fn default() -> RegionSet {
+        RegionSet::study_pair()
+    }
+}
+
+/// Salt mixed into the shard hash so shard assignment is independent of
+/// every other consumer of location-id hashes.
+const SHARD_SALT: u64 = 0x5ea4_ded_5ead_c0de;
+
+/// A deterministic plan splitting survey locations into `n` shards by
+/// stable hash of the location id.
+///
+/// The assignment depends only on `(location, n)` — not on sample order,
+/// worker count, or which process asks — so any process can recompute its
+/// shard's membership from the plan alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardPlan {
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// A plan with `n` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when `n` is zero.
+    pub fn new(n: usize) -> nbhd_types::Result<ShardPlan> {
+        if n == 0 {
+            return Err(nbhd_types::Error::config("shard plan needs >= 1 shard"));
+        }
+        Ok(ShardPlan { shards: n })
+    }
+
+    /// The single-shard (unsharded) plan.
+    pub fn one() -> ShardPlan {
+        ShardPlan { shards: 1 }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard (`0..shards`) a location belongs to: a stable hash of the
+    /// location id reduced mod the shard count.
+    pub fn assign(&self, location: LocationId) -> usize {
+        (splitmix64(location.0 ^ SHARD_SALT) % self.shards as u64) as usize
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan::one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SurveySample;
+
+    #[test]
+    fn study_pair_regions_match_counties() {
+        let set = RegionSet::study_pair();
+        let counties = County::study_pair();
+        for (region, county) in set.regions().iter().zip(&counties) {
+            assert_eq!(region.name(), county.name());
+            assert_eq!(region.zone_mix(), county.zone_mix());
+            // default axes reproduce the county's synthesis seed exactly
+            assert_eq!(
+                region.region_seed(7),
+                nbhd_types::rng::child_seed(7, county.name())
+            );
+        }
+    }
+
+    #[test]
+    fn county_draw_equals_region_draw() {
+        let counties = County::study_pair();
+        let a = SurveySample::draw(&counties, 60, 0.5, 11).unwrap();
+        let b = SurveySample::draw_regions(&RegionSet::study_pair(), 60, 0.5, 11).unwrap();
+        assert_eq!(a, b, "region path must be byte-identical to county path");
+    }
+
+    #[test]
+    fn axes_fork_distinct_worlds() {
+        let base = RegionSpec::from(County::durham());
+        let rainy = base.clone().with_weather(Weather::Rain);
+        let night = base.clone().with_lighting(Lighting::Night);
+        assert_ne!(base.region_seed(3), rainy.region_seed(3));
+        assert_ne!(base.region_seed(3), night.region_seed(3));
+        assert_ne!(rainy.region_seed(3), night.region_seed(3));
+        // and the axis fork is deterministic
+        assert_eq!(rainy.region_seed(3), rainy.clone().region_seed(3));
+    }
+
+    #[test]
+    fn synthetic_grid_is_deterministic_and_diverse() {
+        let a = RegionSet::synthetic_grid(8, 5);
+        let b = RegionSet::synthetic_grid(8, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let c = RegionSet::synthetic_grid(8, 6);
+        assert_ne!(a, c, "set seed must vary the geography");
+        // mixes and axes cycle: at least two distinct mixes and weathers
+        let mixes: std::collections::HashSet<_> = a
+            .regions()
+            .iter()
+            .map(|r| format!("{:?}", r.zone_mix()))
+            .collect();
+        assert!(mixes.len() >= 2);
+        let weathers: std::collections::HashSet<_> = a
+            .regions()
+            .iter()
+            .map(|r| format!("{:?}", r.weather()))
+            .collect();
+        assert!(weathers.len() >= 2);
+    }
+
+    #[test]
+    fn region_set_validates() {
+        assert!(RegionSet::new(vec![]).is_err());
+        let r = RegionSpec::from(County::robeson());
+        assert!(
+            RegionSet::new(vec![r.clone(), r]).is_err(),
+            "duplicate names"
+        );
+        assert!(RegionSpec::new("", County::robeson().bounds(), [0.2, 0.3, 0.5]).is_err());
+        assert!(RegionSpec::new("x", County::robeson().bounds(), [0.5, 0.5, 0.5]).is_err());
+        let ok = RegionSpec::new("x", County::robeson().bounds(), [0.2, 0.3, 0.5]).unwrap();
+        assert!(ok.with_scale(0.0).is_err());
+    }
+
+    #[test]
+    fn select_picks_named_regions_in_order() {
+        let set = RegionSet::synthetic_grid(4, 1);
+        let picked = set.select(&["synth-02", "synth-00"]).unwrap();
+        assert_eq!(picked.regions()[0].name(), "synth-02");
+        assert_eq!(picked.regions()[1].name(), "synth-00");
+        assert!(set.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn shard_plan_partitions_stably() {
+        let plan = ShardPlan::new(4).unwrap();
+        let mut counts = [0usize; 4];
+        for loc in 0..4000u64 {
+            let s = plan.assign(LocationId(loc));
+            assert!(s < 4);
+            assert_eq!(s, plan.assign(LocationId(loc)), "assignment is stable");
+            counts[s] += 1;
+        }
+        // stable hash spreads locations roughly evenly
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "imbalanced shard: {counts:?}");
+        }
+        assert!(ShardPlan::new(0).is_err());
+        assert_eq!(ShardPlan::one().assign(LocationId(9)), 0);
+    }
+}

@@ -5,7 +5,7 @@ use nbhd_types::LocationId;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
-use crate::{County, LatLon, RoadClass, RoadNetwork, Zoning};
+use crate::{County, LatLon, RegionSet, RegionSpec, RoadClass, RoadNetwork, Zoning};
 
 /// The paper's segmentation interval: one survey point every 50 feet.
 pub const SEGMENT_INTERVAL_FEET: f64 = 50.0;
@@ -79,70 +79,32 @@ impl SurveySample {
         scale: f64,
         seed: u64,
     ) -> nbhd_types::Result<SurveySample> {
-        if n == 0 {
-            return Err(nbhd_types::Error::config("sample size must be positive"));
-        }
         if counties.is_empty() {
             return Err(nbhd_types::Error::config("at least one county required"));
         }
-        let per_county = n / counties.len();
-        let mut remainder = n % counties.len();
-        let mut points = Vec::with_capacity(n);
-        let mut first_id = 0u64;
-        for county in counties {
-            let network = county.road_network(scale, seed);
-            let candidates = segment_network(&network, county.name(), first_id);
-            first_id += candidates.len() as u64 + 1_000_000;
-            let mut rng = rng_from(child_seed(seed, county.name()));
-            let take = per_county + usize::from(remainder > 0);
-            remainder = remainder.saturating_sub(1);
-            if candidates.len() < take {
-                return Err(nbhd_types::Error::config(format!(
-                    "county {} has only {} candidate points, need {take}; increase scale",
-                    county.name(),
-                    candidates.len()
-                )));
-            }
-            // Stratify by zone so the sample reflects the county's zoning
-            // mix rather than raw segment counts (grid tracts have ~3x the
-            // segment density of winding rural roads).
-            let mut by_zone: [Vec<SurveyPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-            for p in candidates {
-                let idx = Zoning::ALL.iter().position(|z| *z == p.zone).expect("known zone");
-                by_zone[idx].push(p);
-            }
-            for bucket in &mut by_zone {
-                bucket.shuffle(&mut rng);
-            }
-            let mix = county.zone_mix();
-            let mut taken = 0usize;
-            for (idx, bucket) in by_zone.iter_mut().enumerate() {
-                let want = ((take as f64) * mix[idx]).round() as usize;
-                let got = want.min(bucket.len());
-                points.extend(bucket.drain(..got));
-                taken += got;
-            }
-            // top up any shortfall from whichever zones have spare points
-            let mut leftovers: Vec<SurveyPoint> =
-                by_zone.into_iter().flatten().collect();
-            leftovers.shuffle(&mut rng);
-            while taken < take {
-                match leftovers.pop() {
-                    Some(p) => {
-                        points.push(p);
-                        taken += 1;
-                    }
-                    None => {
-                        return Err(nbhd_types::Error::config(format!(
-                            "county {} ran out of candidate points",
-                            county.name()
-                        )))
-                    }
-                }
-            }
-            points.truncate(points.len() - taken + take);
-        }
-        Ok(SurveySample { points })
+        let regions: Vec<RegionSpec> = counties.iter().cloned().map(RegionSpec::from).collect();
+        draw_over(&regions, n, scale, seed)
+    }
+
+    /// Draws `n` locations across the regions of a [`RegionSet`], split
+    /// evenly between them, with `base_scale` multiplied by each region's
+    /// own scale to control road-network fidelity.
+    ///
+    /// For a study-pair set this is byte-identical to
+    /// [`SurveySample::draw`] over `County::study_pair()` — the county path
+    /// is now a thin wrapper over this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Config`] when `n` is zero or a region
+    /// cannot supply its share of points at this scale.
+    pub fn draw_regions(
+        regions: &RegionSet,
+        n: usize,
+        base_scale: f64,
+        seed: u64,
+    ) -> nbhd_types::Result<SurveySample> {
+        draw_over(regions.regions(), n, base_scale, seed)
     }
 
     /// The sampled points.
@@ -160,6 +122,17 @@ impl SurveySample {
         self.points.is_empty()
     }
 
+    /// The points of this sample that a [`crate::ShardPlan`] assigns to
+    /// shard `shard`, cloned into a shard-sized buffer (never the whole
+    /// sample).
+    pub fn shard_points(&self, plan: &crate::ShardPlan, shard: usize) -> Vec<SurveyPoint> {
+        self.points
+            .iter()
+            .filter(|p| plan.assign(p.id) == shard)
+            .cloned()
+            .collect()
+    }
+
     /// Fraction of points in each zoning category, ordered urban/suburban/rural.
     pub fn zone_fractions(&self) -> [f64; 3] {
         let mut counts = [0usize; 3];
@@ -169,6 +142,81 @@ impl SurveySample {
         }
         counts.map(|c| c as f64 / self.points.len().max(1) as f64)
     }
+}
+
+/// The shared sampling loop both draw paths funnel through: per region,
+/// synthesize the network, segment it, and take a zone-stratified random
+/// subset keyed by the region's own seed.
+fn draw_over(
+    regions: &[RegionSpec],
+    n: usize,
+    base_scale: f64,
+    seed: u64,
+) -> nbhd_types::Result<SurveySample> {
+    if n == 0 {
+        return Err(nbhd_types::Error::config("sample size must be positive"));
+    }
+    if regions.is_empty() {
+        return Err(nbhd_types::Error::config("at least one region required"));
+    }
+    let per_region = n / regions.len();
+    let mut remainder = n % regions.len();
+    let mut points = Vec::with_capacity(n);
+    let mut first_id = 0u64;
+    for region in regions {
+        let network = region.road_network(base_scale, seed);
+        let candidates = segment_network(&network, region.name(), first_id);
+        first_id += candidates.len() as u64 + 1_000_000;
+        let mut rng = rng_from(region.region_seed(seed));
+        let take = per_region + usize::from(remainder > 0);
+        remainder = remainder.saturating_sub(1);
+        if candidates.len() < take {
+            return Err(nbhd_types::Error::config(format!(
+                "region {} has only {} candidate points, need {take}; increase scale",
+                region.name(),
+                candidates.len()
+            )));
+        }
+        // Stratify by zone so the sample reflects the region's zoning
+        // mix rather than raw segment counts (grid tracts have ~3x the
+        // segment density of winding rural roads).
+        let mut by_zone: [Vec<SurveyPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for p in candidates {
+            let idx = Zoning::ALL.iter().position(|z| *z == p.zone).expect("known zone");
+            by_zone[idx].push(p);
+        }
+        for bucket in &mut by_zone {
+            bucket.shuffle(&mut rng);
+        }
+        let mix = region.zone_mix();
+        let mut taken = 0usize;
+        for (idx, bucket) in by_zone.iter_mut().enumerate() {
+            let want = ((take as f64) * mix[idx]).round() as usize;
+            let got = want.min(bucket.len());
+            points.extend(bucket.drain(..got));
+            taken += got;
+        }
+        // top up any shortfall from whichever zones have spare points
+        let mut leftovers: Vec<SurveyPoint> =
+            by_zone.into_iter().flatten().collect();
+        leftovers.shuffle(&mut rng);
+        while taken < take {
+            match leftovers.pop() {
+                Some(p) => {
+                    points.push(p);
+                    taken += 1;
+                }
+                None => {
+                    return Err(nbhd_types::Error::config(format!(
+                        "region {} ran out of candidate points",
+                        region.name()
+                    )))
+                }
+            }
+        }
+        points.truncate(points.len() - taken + take);
+    }
+    Ok(SurveySample { points })
 }
 
 #[cfg(test)]
@@ -228,6 +276,19 @@ mod tests {
         let [urban, _, rural] = sample.zone_fractions();
         assert!(urban > 0.05, "urban fraction {urban}");
         assert!(rural > 0.10, "rural fraction {rural}");
+    }
+
+    #[test]
+    fn shard_points_partition_the_sample() {
+        let sample = SurveySample::draw(&County::study_pair(), 120, 0.5, 7).unwrap();
+        let plan = crate::ShardPlan::new(3).unwrap();
+        let mut total = 0;
+        for shard in 0..3 {
+            let pts = sample.shard_points(&plan, shard);
+            assert!(pts.iter().all(|p| plan.assign(p.id) == shard));
+            total += pts.len();
+        }
+        assert_eq!(total, sample.len());
     }
 
     #[test]

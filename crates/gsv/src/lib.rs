@@ -14,7 +14,7 @@
 //! use nbhd_gsv::StreetViewService;
 //!
 //! let sample = SurveySample::draw(&County::study_pair(), 4, 0.5, 9)?;
-//! let service = StreetViewService::new(9, sample.points().to_vec());
+//! let service = StreetViewService::new(9, sample.points());
 //! let location = service.covered_locations()[0];
 //! let panorama = service.fetch_panorama(location, 64)?;
 //! assert_eq!(panorama.len(), 4);

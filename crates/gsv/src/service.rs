@@ -80,7 +80,7 @@ pub struct Capture {
 /// use nbhd_types::Heading;
 ///
 /// let sample = SurveySample::draw(&County::study_pair(), 3, 0.5, 11)?;
-/// let service = StreetViewService::new(11, sample.points().to_vec());
+/// let service = StreetViewService::new(11, sample.points());
 /// let point = &sample.points()[0];
 /// let req = ImageRequest::builder(point.id, Heading::North).size(64).build()?;
 /// if let Ok(resp) = service.fetch(&req) {
@@ -106,6 +106,9 @@ struct ServiceState {
     usage: UsageMeter,
     cache: HashMap<(ImageId, u32), Capture>,
     cache_order: Vec<(ImageId, u32)>,
+    /// High-water mark of cached scenes — the service's resident-memory
+    /// footprint in scene units, reported by sharded runs.
+    peak_resident: usize,
 }
 
 /// Maximum cached responses before eviction.
@@ -113,10 +116,14 @@ const CACHE_CAP: usize = 4096;
 
 impl StreetViewService {
     /// Creates a service covering the given survey points.
-    pub fn new(seed: u64, points: Vec<nbhd_geo::SurveyPoint>) -> Self {
+    ///
+    /// Takes a borrowed slice so callers can register a shard-scoped view
+    /// of a larger sample without materializing an owned copy first —
+    /// service memory scales with the slice handed in, not the study.
+    pub fn new(seed: u64, points: &[nbhd_geo::SurveyPoint]) -> Self {
         StreetViewService {
             generator: SceneGenerator::new(seed),
-            points: points.into_iter().map(|p| (p.id, p)).collect(),
+            points: points.iter().map(|p| (p.id, p.clone())).collect(),
             seed,
             quota: None,
             coverage_gap_rate: 0.01,
@@ -293,7 +300,16 @@ impl StreetViewService {
         }
         state.cache.insert(key, capture.clone());
         state.cache_order.push(key);
+        state.peak_resident = state.peak_resident.max(state.cache.len());
         Ok(capture)
+    }
+
+    /// High-water mark of scenes resident in the cache at once — the
+    /// service's peak memory footprint in scene units. Deterministic for a
+    /// given request set (every insert is counted under the lock), so
+    /// sharded runs can assert bounded memory on it.
+    pub fn peak_resident_scenes(&self) -> usize {
+        self.state.lock().peak_resident
     }
 
     /// The scene ground truth for an image — what a perfect annotator would
@@ -355,7 +371,7 @@ mod tests {
     fn service(n: usize, seed: u64) -> (StreetViewService, Vec<LocationId>) {
         let sample = SurveySample::draw(&County::study_pair(), n, 0.5, seed).unwrap();
         let ids = sample.points().iter().map(|p| p.id).collect();
-        (StreetViewService::new(seed, sample.points().to_vec()), ids)
+        (StreetViewService::new(seed, sample.points()), ids)
     }
 
     #[test]
@@ -423,7 +439,7 @@ mod tests {
     #[test]
     fn coverage_gaps_appear_at_configured_rate() {
         let sample = SurveySample::draw(&County::study_pair(), 400, 1.0, 5).unwrap();
-        let svc = StreetViewService::new(5, sample.points().to_vec()).with_coverage_gap_rate(0.2);
+        let svc = StreetViewService::new(5, sample.points()).with_coverage_gap_rate(0.2);
         let covered = svc.covered_locations().len();
         assert!(
             (240..=400).contains(&covered),
@@ -447,6 +463,7 @@ mod tests {
         let (image, objects) = nbhd_scene::render(&spec, 64);
         assert_eq!(cap.response.image, image);
         assert_eq!(cap.objects, objects);
+        assert_eq!(svc.peak_resident_scenes(), 1, "one scene resident");
         // fetch after capture is a cache hit: one render, one fee
         let resp = svc.fetch(&req).unwrap();
         assert_eq!(resp.image, cap.response.image);

@@ -9,7 +9,7 @@ use nbhd_types::{Heading, ImageId};
 
 fn service(n: usize, seed: u64) -> StreetViewService {
     let sample = SurveySample::draw(&County::study_pair(), n, 0.5, seed).unwrap();
-    StreetViewService::new(seed, sample.points().to_vec())
+    StreetViewService::new(seed, sample.points())
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! Streaming sharded surveys: bounded-memory collection over many regions,
+//! byte-identical to the eager pipeline, plus a cross-region transfer table.
+//!
+//! ```text
+//! cargo run --release --example region_shards
+//! ```
+//!
+//! Three acts:
+//!
+//! 1. The paper's two-county study pair, run unsharded and as two shards —
+//!    the merged dataset and the fee fold are byte-identical.
+//! 2. Eight synthetic regions streamed through eight shards — peak resident
+//!    scenes stay bounded by the largest shard, not the whole survey.
+//! 3. A detector trained on the study pair, evaluated in-domain and on a
+//!    synthetic region it never saw, rendered as a transfer table.
+//!
+//! The sharded run is observed: shard wall-times and the peak-resident
+//! gauge land in `target/region_shards_artifact.json` (override the path
+//! with `NBHD_ARTIFACT` — `scripts/bench_artifact.sh` self-diffs two runs
+//! to gate the shard surface for drift).
+
+use std::path::Path;
+
+use nbhd::eval::render_transfer_table;
+use nbhd::prelude::*;
+use nbhd_core::{run_sharded, run_transfer, SHARD_PEAK_GAUGE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Byte-equality on the study pair: sharded(2) vs the eager pipeline.
+    let config = SurveyConfig::smoke(2026);
+    let eager = SurveyPipeline::new(config.clone()).run()?;
+    let sharded = run_sharded(&config, ShardPlan::new(2).unwrap(), None, None)?;
+    assert_eq!(sharded.survey().dataset(), eager.dataset());
+    assert_eq!(
+        sharded.fees_usd().to_bits(),
+        eager.imagery_usage().fees_usd.to_bits()
+    );
+    println!(
+        "study pair: {} images, sharded(2) == unsharded, fees ${:.3} (bit-exact)",
+        eager.images().len(),
+        sharded.fees_usd()
+    );
+
+    // 2. Eight regions, eight shards, bounded peak-resident scenes.
+    let obs = Obs::default();
+    let wide = SurveyConfig {
+        locations: 48,
+        ..SurveyConfig::smoke(2026)
+    }
+    .with_regions(RegionSet::synthetic_grid(8, 2026));
+    let outcome = run_sharded(&wide, ShardPlan::new(8).unwrap(), None, Some(&obs))?;
+    let total = outcome.survey().images().len();
+    let largest = *outcome.shard_images().iter().max().unwrap();
+    println!(
+        "\n8 regions / 8 shards: {total} images total, largest shard {largest}, \
+         peak resident {} scenes ({}% of the eager footprint)",
+        outcome.peak_resident_scenes(),
+        outcome.peak_resident_scenes() * 100 / total.max(1)
+    );
+    assert!(outcome.peak_resident_scenes() <= largest);
+    let summary = obs.summary();
+    println!(
+        "gauge {SHARD_PEAK_GAUGE} = {}",
+        summary.metrics.gauges[SHARD_PEAK_GAUGE]
+    );
+
+    // 3. Cross-region transfer: train on the study pair, test on a region
+    //    set the detector never saw.
+    let target = SurveyConfig::smoke(2026).with_regions(RegionSet::synthetic_grid(2, 2026));
+    let transfer = run_transfer(
+        &config,
+        &target,
+        TrainConfig {
+            epochs: 3,
+            hard_negative_rounds: 1,
+            ..TrainConfig::default()
+        },
+        DetectorConfig {
+            shrink: 4,
+            ..DetectorConfig::default()
+        },
+        ShardPlan::new(2).unwrap(),
+    )?;
+    println!(
+        "\n{}",
+        render_transfer_table("cross-region transfer (mAP50)", &transfer.rows())
+    );
+    println!(
+        "mAP50 retained under transfer: {:.1}%",
+        transfer.retention() * 100.0
+    );
+
+    // 4. Export the flight-recorder artifact for later diffing.
+    let artifact = RunArtifact::from_obs("region_shards", &obs);
+    let path = std::env::var("NBHD_ARTIFACT")
+        .unwrap_or_else(|_| "target/region_shards_artifact.json".to_string());
+    artifact.write_file(Path::new(&path))?;
+    println!("\nrun artifact written to {path}");
+    Ok(())
+}

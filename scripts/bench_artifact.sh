@@ -42,6 +42,17 @@ NBHD_ARTIFACT="$SERVE_FRESH" cargo run -q --example overload_drill >/dev/null
 NBHD_ARTIFACT="$SERVE_RERUN" cargo run -q --example overload_drill >/dev/null
 cargo run -q -p nbhd-bench --bin run_diff -- "$SERVE_FRESH" "$SERVE_RERUN"
 
+# The sharded data path exports the same artifact shape (shard wall-time
+# histograms, the peak-resident gauge, shard counters): run the two-shard
+# region drill twice and self-diff — the shard decision surface must be
+# seed-stable too.
+SHARD_FRESH=target/BENCH_region_shards.json
+SHARD_RERUN=target/BENCH_region_shards.rerun.json
+echo "==> shard artifact: region shards self-diff"
+NBHD_ARTIFACT="$SHARD_FRESH" cargo run -q --example region_shards >/dev/null
+NBHD_ARTIFACT="$SHARD_RERUN" cargo run -q --example region_shards >/dev/null
+cargo run -q -p nbhd-bench --bin run_diff -- "$SHARD_FRESH" "$SHARD_RERUN"
+
 if [ "${REBASELINE:-0}" = "1" ] || [ ! -f "$BASELINE" ] \
     || grep -q '"name": "bootstrap"' "$BASELINE"; then
     cp "$FRESH" "$BASELINE"

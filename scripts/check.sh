@@ -26,11 +26,18 @@ cargo test -q -p nbhd-eval run_summary_indents_nested_stages_and_marks_wall_metr
 echo "==> flight recorder (artifact round-trip, trace shape, self-diff gate)"
 cargo test -q --test flight_recorder
 
+echo "==> shard fast gate (byte-equality vs pipeline, bounded memory, replay)"
+cargo test -q -p nbhd-core shard
+cargo test -q -p nbhd-detect sharded
+
 echo "==> cargo test"
 cargo test -q
 
 echo "==> crash/resume torture (every kill point, serial + 4 workers)"
 cargo test -q --test crash_resume
+
+echo "==> shard stream (8-region bounded run, merge algebra, mid-shard kill/resume)"
+cargo test -q --test shard_stream
 
 echo "==> overload drill (storm admission, degradation tiers, kill/resume billing)"
 cargo test -q --test overload_drill

@@ -34,6 +34,35 @@ fn survey_dataset_is_worker_count_invariant() {
 }
 
 #[test]
+fn sharded_serial_run_matches_unsharded_parallel_run() {
+    // the strongest cross-path pin: four shards driven serially must merge
+    // to the byte-identical dataset an unsharded four-worker pipeline
+    // produces — shard membership, capture seeding, and the merge are all
+    // functions of item identity, never of scheduling
+    let config = SurveyConfig {
+        parallelism: Parallelism::serial(),
+        ..SurveyConfig::smoke(77)
+    };
+    let sharded = nbhd_core::run_sharded(&config, ShardPlan::new(4).unwrap(), None, None)
+        .expect("sharded run");
+    let unsharded = smoke_survey(Parallelism::fixed(4));
+    assert_eq!(sharded.survey().dataset(), unsharded.dataset());
+    assert_eq!(
+        sharded.survey().dataset().split(),
+        unsharded.dataset().split()
+    );
+    assert_eq!(
+        sharded.billed_images(),
+        unsharded.imagery_usage().billed_images
+    );
+    assert_eq!(
+        sharded.fees_usd().to_bits(),
+        unsharded.imagery_usage().fees_usd.to_bits(),
+        "fees must fold to the same bits across path and worker count"
+    );
+}
+
+#[test]
 fn trained_detector_is_worker_count_invariant() {
     let survey = smoke_survey(Parallelism::serial());
     let train = |parallelism| {

@@ -1,0 +1,198 @@
+//! The streaming sharded data path, exercised across crate boundaries:
+//! bounded peak-resident scenes over many regions, order-independent shard
+//! merges, and kill/resume mid-shard with byte-identical output.
+
+use std::fs;
+use std::sync::Arc;
+
+use nbhd::prelude::*;
+use nbhd_core::merge_shard_annotations;
+use nbhd_core::types::ImageLabels;
+use nbhd_journal::journal_path;
+use proptest::prelude::*;
+
+#[test]
+fn eight_region_survey_streams_with_bounded_memory() {
+    // eight synthetic regions through eight shards: the whole survey
+    // completes while no more scenes are ever resident than one shard holds
+    let config = SurveyConfig {
+        locations: 48,
+        ..SurveyConfig::smoke(31)
+    }
+    .with_regions(RegionSet::synthetic_grid(8, 31));
+    let outcome =
+        run_sharded(&config, ShardPlan::new(8).unwrap(), None, None).expect("8-region run");
+
+    let total = outcome.survey().images().len();
+    let largest = *outcome.shard_images().iter().max().unwrap();
+    assert!(total > 0, "the survey must produce images");
+    assert!(
+        largest < total,
+        "eight shards must each hold a strict subset ({largest} of {total})"
+    );
+    assert!(
+        outcome.peak_resident_scenes() <= largest,
+        "peak resident {} exceeds the largest shard's {largest} scenes",
+        outcome.peak_resident_scenes()
+    );
+    // every region contributed points: the sample the run drew from spans
+    // all eight, and the shards partition it completely
+    let sample = SurveySample::draw_regions(
+        &config.regions,
+        config.locations,
+        config.network_scale,
+        config.seed,
+    )
+    .unwrap();
+    let counties: std::collections::HashSet<&str> =
+        sample.points().iter().map(|p| p.county.as_str()).collect();
+    assert_eq!(
+        counties.len(),
+        8,
+        "all eight regions must appear in the drawn sample: {counties:?}"
+    );
+    let sharded_points: usize = (0..8)
+        .map(|s| sample.shard_points(&ShardPlan::new(8).unwrap(), s).len())
+        .sum();
+    assert_eq!(sharded_points, sample.points().len());
+}
+
+#[test]
+fn sharded_kill_resume_is_byte_identical_mid_shard() {
+    // kill the journaled sharded run after a handful of records — mid-shard,
+    // before any shard completes — then resume from the same directory and
+    // require the merge, billing, and fee bits of an uninterrupted run
+    let config = SurveyConfig::smoke(57);
+    let plan = ShardPlan::new(4).unwrap();
+    let fresh = run_sharded(&config, plan, None, None).expect("uninterrupted run");
+    let manifest = RunManifest::for_config("shard-stream", &config).unwrap();
+
+    for &after in &[0u64, 3, 11, 29] {
+        let dir = std::env::temp_dir().join(format!("nbhd-shard-kill-{after}"));
+        let _ = fs::remove_dir_all(&dir);
+
+        let journal = Journal::create(&dir, &manifest)
+            .unwrap()
+            .with_kill(KillSchedule::at(after));
+        let first = run_sharded(&config, plan, Some(Arc::new(journal)), None);
+        if let Ok(outcome) = &first {
+            // the kill point was beyond the journal's record count
+            assert_eq!(outcome.survey().dataset(), fresh.survey().dataset());
+        }
+
+        let journal = Journal::open(&dir, &manifest).unwrap();
+        let resumed = run_sharded(&config, plan, Some(Arc::new(journal)), None).unwrap();
+        assert_eq!(
+            resumed.survey().dataset(),
+            fresh.survey().dataset(),
+            "kill at {after}: resumed merge must be byte-identical"
+        );
+        assert_eq!(
+            resumed.billed_images(),
+            fresh.billed_images(),
+            "kill at {after}"
+        );
+        assert_eq!(
+            resumed.fees_usd().to_bits(),
+            fresh.fees_usd().to_bits(),
+            "kill at {after}: fees must fold to the same bits"
+        );
+
+        // no capture was journaled twice across the two processes
+        let scan = nbhd_journal::scan_file(&journal_path(&dir)).unwrap();
+        let capture_keys: Vec<&str> = scan
+            .records
+            .iter()
+            .filter(|r| r.kind == nbhd_core::CAPTURE_RECORD_KIND)
+            .map(|r| r.key.as_str())
+            .collect();
+        let unique: std::collections::HashSet<&str> = capture_keys.iter().copied().collect();
+        assert_eq!(
+            capture_keys.len(),
+            unique.len(),
+            "kill at {after}: a capture was journaled twice"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Builds a deterministic batch of labels from `(location, heading index)`
+/// pairs, for exercising the merge in isolation.
+fn labels_from(pairs: &[(u64, usize)]) -> Vec<ImageLabels> {
+    pairs
+        .iter()
+        .map(|&(loc, h)| {
+            ImageLabels::with_objects(
+                ImageId::new(LocationId(loc), Heading::ALL[h % Heading::ALL.len()]),
+                Vec::new(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // merge algebra: the merged dataset is a pure function of the multiset
+    // of shard annotations — invariant to batch order and to how the units
+    // are partitioned into batches
+    #[test]
+    fn shard_merge_is_invariant_to_batch_order_and_partitioning(
+        pairs in proptest::collection::btree_set((0u64..500, 0usize..4), 0..60),
+        cuts in proptest::collection::vec(0usize..60, 0..5),
+        rotate in 0usize..5,
+    ) {
+        let pairs: Vec<(u64, usize)> = pairs.into_iter().collect();
+        let units = labels_from(&pairs);
+
+        // partition A: contiguous slices at the drawn cut points
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c.min(units.len())).collect();
+        bounds.sort_unstable();
+        let mut batches_a: Vec<Vec<ImageLabels>> = Vec::new();
+        let mut start = 0;
+        for &b in &bounds {
+            batches_a.push(units[start..b].to_vec());
+            start = b;
+        }
+        batches_a.push(units[start..].to_vec());
+
+        // partition B: the same batches, rotated (different arrival order)
+        let mut batches_b = batches_a.clone();
+        if !batches_b.is_empty() {
+            batches_b.rotate_left(rotate % batches_b.len());
+        }
+
+        // partition C: round-robin — an entirely different partitioning of
+        // the same multiset
+        let lanes = bounds.len() + 1;
+        let mut batches_c: Vec<Vec<ImageLabels>> = vec![Vec::new(); lanes];
+        for (i, unit) in units.iter().cloned().enumerate() {
+            batches_c[i % lanes].push(unit);
+        }
+
+        let merged_a = merge_shard_annotations(batches_a);
+        let merged_b = merge_shard_annotations(batches_b);
+        let merged_c = merge_shard_annotations(batches_c);
+        prop_assert_eq!(&merged_a, &merged_b);
+        prop_assert_eq!(&merged_a, &merged_c);
+
+        // the merge is sorted by image id and loses nothing
+        prop_assert_eq!(merged_a.len(), units.len());
+        prop_assert!(merged_a.windows(2).all(|w| w[0].image <= w[1].image));
+    }
+
+    // shard assignment is a pure function of location: every plan covers
+    // every location exactly once, so shards partition any point set
+    #[test]
+    fn shard_assignment_partitions_locations(
+        locs in proptest::collection::btree_set(0u64..10_000, 1..100),
+        shards in 1usize..9,
+    ) {
+        let plan = ShardPlan::new(shards).unwrap();
+        for &loc in &locs {
+            let shard = plan.assign(LocationId(loc));
+            prop_assert!(shard < shards);
+            prop_assert_eq!(shard, plan.assign(LocationId(loc)), "assignment must be stable");
+        }
+    }
+}
