@@ -150,6 +150,18 @@ pub struct RunReport {
     pub billed_images: u64,
     /// Total imagery fees (USD) across every process of the run.
     pub fees_usd: f64,
+    /// The survey's location-coverage fraction. `1.0` for runs whose data
+    /// path aborts on failure; below `1.0` when a supervised survey
+    /// quarantined or skipped locations. Defaults to `1.0` when absent so
+    /// reports journaled before this field existed still deserialize.
+    #[serde(default = "full_coverage")]
+    pub coverage: f64,
+}
+
+/// Serde default for [`RunReport::coverage`]: pre-supervision reports were
+/// all full-coverage by construction.
+fn full_coverage() -> f64 {
+    1.0
 }
 
 /// Runs the full study under a checkpoint store: survey capture, detector
@@ -314,6 +326,7 @@ pub fn run_observed(
         ci_hi: ci.hi,
         billed_images: usage.billed_images,
         fees_usd: usage.fees_usd,
+        coverage: survey.coverage_fraction(),
     })
 }
 

@@ -37,6 +37,7 @@ mod llm_survey;
 mod panorama;
 mod pipeline;
 mod shard;
+mod supervise;
 mod transfer;
 
 pub use baseline::{
@@ -60,15 +61,23 @@ pub use shard::{
     merge_shard_annotations, run_sharded, ShardImageProvider, ShardedOutcome, SurveyShardSource,
     SHARD_COUNT_METRIC, SHARD_PEAK_GAUGE, SHARD_RECORD_KIND, SHARD_WALL_MS_HIST,
 };
+pub use supervise::{
+    run_supervised, CoverageReport, QuarantineCause, QuarantineRecord, QuarantineStage,
+    RegionCoverage, ShardCoverage, ShardOutcome, SupervisePolicy, ATTEMPT_RECORD_KIND,
+    COVERAGE_FRACTION_GAUGE, QUARANTINE_CAUSE_PREFIX, QUARANTINE_COUNT_METRIC,
+    QUARANTINE_RECORD_KIND, QUARANTINE_RETRY_METRIC, SHARD_OUTCOME_COMPLETED_METRIC,
+    SHARD_OUTCOME_TIMED_OUT_METRIC, SUPERVISED_SHARD_RECORD_KIND,
+};
 pub use transfer::{run_transfer, TransferOutcome};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
         paper_lineup, run_checkpointed, run_llm_survey, run_llm_survey_observed, run_observed,
-        run_sharded, run_transfer, train_baseline, AugmentationPolicy, LlmSurveyConfig,
-        PaperExperiments, RunPlan, RunReport, ShardedOutcome, SurveyConfig, SurveyDataset,
-        SurveyPipeline, TransferOutcome,
+        run_sharded, run_supervised, run_transfer, train_baseline, AugmentationPolicy,
+        CoverageReport, LlmSurveyConfig, PaperExperiments, QuarantineCause, QuarantineRecord,
+        RunPlan, RunReport, ShardOutcome, ShardedOutcome, SupervisePolicy, SurveyConfig,
+        SurveyDataset, SurveyPipeline, TransferOutcome,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};
@@ -76,6 +85,7 @@ pub mod prelude {
     pub use nbhd_eval::{majority_vote, PresenceEvaluator, TiePolicy};
     pub use nbhd_exec::{Parallelism, ScopedPool};
     pub use nbhd_geo::{County, RegionSet, RegionSpec, ShardPlan, SurveySample};
+    pub use nbhd_gsv::{PoisonKind, PoisonSchedule};
     pub use nbhd_journal::{CheckpointStore, Journal, KillSchedule, MemoryStore, RunManifest};
     pub use nbhd_obs::{diff as run_diff, DiffThresholds, Obs, RunArtifact, RunSummary};
     pub use nbhd_prompt::{Language, Prompt, PromptMode};

@@ -151,6 +151,7 @@ impl SurveyPipeline {
             config: self.config.clone(),
             service,
             dataset,
+            coverage: None,
         })
     }
 }
@@ -202,6 +203,7 @@ pub struct SurveyDataset {
     config: SurveyConfig,
     service: Arc<StreetViewService>,
     dataset: LabeledDataset,
+    coverage: Option<crate::CoverageReport>,
 }
 
 impl SurveyDataset {
@@ -215,12 +217,32 @@ impl SurveyDataset {
             config,
             service,
             dataset,
+            coverage: None,
         }
+    }
+
+    /// Stamps the supervised run's coverage report onto the survey.
+    pub(crate) fn with_coverage(mut self, coverage: crate::CoverageReport) -> SurveyDataset {
+        self.coverage = Some(coverage);
+        self
     }
 
     /// The survey configuration.
     pub fn config(&self) -> &SurveyConfig {
         &self.config
+    }
+
+    /// The coverage report, when this survey came from a supervised run
+    /// ([`crate::run_supervised`]). Unsupervised paths always run to full
+    /// coverage or abort, so they carry `None`.
+    pub fn coverage(&self) -> Option<&crate::CoverageReport> {
+        self.coverage.as_ref()
+    }
+
+    /// The honest location-coverage fraction: `1.0` unless a supervised
+    /// run quarantined or skipped locations.
+    pub fn coverage_fraction(&self) -> f64 {
+        self.coverage.as_ref().map_or(1.0, |c| c.fraction())
     }
 
     /// The human-labeled dataset (annotations + split).

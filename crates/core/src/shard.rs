@@ -70,15 +70,15 @@ struct ShardRecord {
 /// billing accounting the streaming pass observed.
 #[derive(Debug)]
 pub struct ShardedOutcome {
-    survey: SurveyDataset,
-    sample: SurveySample,
-    plan: ShardPlan,
-    store: Option<Arc<dyn CheckpointStore>>,
-    obs: Option<Obs>,
-    peak_resident_scenes: usize,
-    shard_images: Vec<usize>,
-    billed_images: u64,
-    fees_usd: f64,
+    pub(crate) survey: SurveyDataset,
+    pub(crate) sample: SurveySample,
+    pub(crate) plan: ShardPlan,
+    pub(crate) store: Option<Arc<dyn CheckpointStore>>,
+    pub(crate) obs: Option<Obs>,
+    pub(crate) peak_resident_scenes: usize,
+    pub(crate) shard_images: Vec<usize>,
+    pub(crate) billed_images: u64,
+    pub(crate) fees_usd: f64,
 }
 
 impl ShardedOutcome {
@@ -90,6 +90,13 @@ impl ShardedOutcome {
     /// Consumes the outcome, keeping only the survey.
     pub fn into_survey(self) -> SurveyDataset {
         self.survey
+    }
+
+    /// The run's coverage report, when this outcome came from
+    /// [`crate::run_supervised`] (`None` for the unsupervised path, which
+    /// aborts rather than running partially).
+    pub fn coverage(&self) -> Option<&crate::CoverageReport> {
+        self.survey.coverage()
     }
 
     /// Peak scenes resident at once across the whole run: the maximum of
@@ -154,6 +161,12 @@ impl ShardedOutcome {
         let mut trainer = Trainer::new(train, detector);
         if let Some(obs) = &self.obs {
             trainer = trainer.with_obs(obs.clone());
+            // a partial survey trains on what it has; the gauge makes the
+            // shortfall part of the training run's observable identity
+            if let Some(coverage) = self.survey.coverage() {
+                obs.registry()
+                    .set_gauge(crate::COVERAGE_FRACTION_GAUGE, coverage.fraction());
+            }
         }
         let source = self.shard_source();
         let split = self.survey.dataset().split();

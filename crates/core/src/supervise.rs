@@ -1,0 +1,1104 @@
+//! Shard supervision: poison quarantine, bounded retries, and honest
+//! partial-run coverage.
+//!
+//! [`run_supervised`] drives the same streaming shard pass as
+//! [`crate::run_sharded`], but survives bad data instead of aborting on it.
+//! Each capture-annotate unit runs under a panic catcher; a location whose
+//! units fail is retried up to [`SupervisePolicy::max_attempts`] times with
+//! deterministic virtual-clock backoff, then **quarantined** with a typed
+//! [`QuarantineRecord`] journaled save-before-act — so a killed and resumed
+//! run never re-executes known poison. A per-shard virtual-time watchdog
+//! demotes a stuck shard to [`ShardOutcome::TimedOut`], preserving the
+//! captures it completed. The merged survey carries a [`CoverageReport`]
+//! stating exactly what was planned, completed, quarantined, and skipped —
+//! per shard and per region — so partial runs are honest, never silent.
+//!
+//! # Determinism contract
+//!
+//! Every supervision decision is a pure function of the configuration, the
+//! poison schedule, and the attempt ledger — never of thread scheduling or
+//! wall time. Stall charges are made by the orchestrator over the *planned*
+//! location set (whether or not a location executes this process), and
+//! backoff is charged for ledger-replayed attempts exactly as for executed
+//! ones, so serial and parallel runs, and a fresh run versus any
+//! kill/resume interleaving, produce byte-identical coverage reports and
+//! quarantine journals.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nbhd_annotate::{HumanLabeler, LabeledDataset};
+use nbhd_exec::{panic_message, ScopedPool};
+use nbhd_geo::{ShardPlan, SurveySample};
+use nbhd_gsv::{PoisonSchedule, StreetViewService, FEE_PER_IMAGE_USD};
+use nbhd_journal::CheckpointStore;
+use nbhd_obs::{Obs, VirtualClock};
+use nbhd_types::rng::child_seed;
+use nbhd_types::{Error, Heading, ImageLabels, LocationId, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::capture_unit;
+use crate::shard::{merge_shard_annotations, ShardedOutcome};
+use crate::{SurveyConfig, SurveyDataset, SHARD_COUNT_METRIC, SHARD_PEAK_GAUGE, SHARD_WALL_MS_HIST};
+
+/// Journal record kind for a completed *supervised* shard: annotations plus
+/// the shard's coverage facts, so a resumed run replays outcome and honesty
+/// together.
+pub const SUPERVISED_SHARD_RECORD_KIND: &str = "supervised-shard";
+
+/// Journal record kind for quarantined locations. Key is the location id;
+/// payload is the [`QuarantineRecord`]. Written save-before-act: once a
+/// location's record exists, no process will ever capture it again.
+pub const QUARANTINE_RECORD_KIND: &str = "quarantine";
+
+/// Journal record kind for the per-location attempt ledger. One record is
+/// appended after every *failed* attempt (cumulative count in the payload,
+/// last-record-wins on replay), so the raw journal shows exactly as many
+/// ledger entries for a poison location as capture attempts were made.
+pub const ATTEMPT_RECORD_KIND: &str = "quarantine-attempt";
+
+/// Counter: locations quarantined across the run.
+pub const QUARANTINE_COUNT_METRIC: &str = "core.quarantine.count";
+
+/// Counter: retry attempts spent on quarantined locations (attempts beyond
+/// each location's first).
+pub const QUARANTINE_RETRY_METRIC: &str = "core.quarantine.retries";
+
+/// Counter prefix for the per-cause quarantine breakdown; the full metric
+/// name is the prefix plus a [`QuarantineCause::slug`].
+pub const QUARANTINE_CAUSE_PREFIX: &str = "core.quarantine.cause.";
+
+/// Counter: shards that ran to completion.
+pub const SHARD_OUTCOME_COMPLETED_METRIC: &str = "core.shard.outcome.completed";
+
+/// Counter: shards the watchdog demoted to [`ShardOutcome::TimedOut`].
+pub const SHARD_OUTCOME_TIMED_OUT_METRIC: &str = "core.shard.outcome.timed_out";
+
+/// Gauge: the run's location coverage fraction (completed / planned).
+pub const COVERAGE_FRACTION_GAUGE: &str = "core.coverage.fraction";
+
+/// How the supervisor retries, backs off, and times out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisePolicy {
+    /// Capture attempts per location before quarantine (first try included).
+    pub max_attempts: u32,
+    /// Virtual milliseconds charged before each retry attempt.
+    pub backoff_ms: u64,
+    /// Virtual-time budget per shard; `None` disables the watchdog.
+    pub shard_deadline_ms: Option<u64>,
+    /// Locations dispatched per supervised batch (watchdog granularity).
+    pub batch_locations: usize,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> SupervisePolicy {
+        SupervisePolicy {
+            max_attempts: 3,
+            backoff_ms: 50,
+            shard_deadline_ms: None,
+            batch_locations: 8,
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `max_attempts` or `batch_locations`
+    /// is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::config("supervise: max_attempts must be >= 1"));
+        }
+        if self.batch_locations == 0 {
+            return Err(Error::config("supervise: batch_locations must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Which pipeline stage a quarantine was charged to.
+///
+/// The supervised capture-annotate unit spans capture and labeling and is
+/// charged to [`QuarantineStage::Capture`]; the other variants name the
+/// pipeline's remaining failure domains so downstream supervised passes
+/// (label audit, harvest/merge) stamp typed records of the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineStage {
+    /// The capture-annotate unit: scene compose, render, fee, annotation.
+    Capture,
+    /// A post-capture labeling or verification pass.
+    Label,
+    /// Folding shard outputs into the merged dataset.
+    Harvest,
+}
+
+/// Why a location was quarantined. The payload strings are deterministic
+/// (panic messages and error displays are pure functions of the input), so
+/// quarantine journals are byte-comparable across runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineCause {
+    /// A worker panicked; the payload is the preserved panic message.
+    Panic(String),
+    /// The scene failed validation (corrupt data).
+    Corrupt(String),
+    /// The imagery service or journal refused the unit.
+    Service(String),
+}
+
+impl QuarantineCause {
+    /// Classifies a pipeline error: parse failures are corrupt data,
+    /// everything else is charged to the service.
+    pub fn from_error(error: &Error) -> QuarantineCause {
+        match error {
+            Error::Parse(message) => QuarantineCause::Corrupt(message.clone()),
+            other => QuarantineCause::Service(other.to_string()),
+        }
+    }
+
+    /// A stable metric-name suffix for this cause.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            QuarantineCause::Panic(_) => "panic",
+            QuarantineCause::Corrupt(_) => "corrupt",
+            QuarantineCause::Service(_) => "service",
+        }
+    }
+}
+
+/// The journaled fact that a location is poison: it was attempted
+/// `attempts` times and will never be captured again.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// The quarantined location.
+    pub location: LocationId,
+    /// The stage the failures occurred in.
+    pub stage: QuarantineStage,
+    /// Total capture attempts made (first try included).
+    pub attempts: u32,
+    /// The final attempt's failure.
+    pub cause: QuarantineCause,
+}
+
+/// How a supervised shard ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardOutcome {
+    /// Every planned location was completed, quarantined, or already
+    /// journaled.
+    Completed,
+    /// The watchdog expired the shard's virtual-time budget; unvisited
+    /// locations were skipped, completed captures preserved.
+    TimedOut,
+}
+
+/// One shard's coverage facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCoverage {
+    /// The shard index.
+    pub shard: usize,
+    /// Locations the plan assigned to this shard (coverage gaps excluded).
+    pub planned_locations: usize,
+    /// Locations whose four units all completed.
+    pub completed_locations: usize,
+    /// Capture-annotate units contributed to the merge.
+    pub completed_units: usize,
+    /// Locations quarantined, in ascending location order.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Locations never resolved before the watchdog fired, ascending.
+    pub skipped: Vec<LocationId>,
+    /// How the shard ended.
+    pub outcome: ShardOutcome,
+}
+
+/// One region's coverage facts, aggregated over shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionCoverage {
+    /// The region (county) name.
+    pub region: String,
+    /// Planned locations in the region.
+    pub planned: usize,
+    /// Completed locations in the region.
+    pub completed: usize,
+    /// Quarantined locations in the region.
+    pub quarantined: usize,
+    /// Skipped locations in the region.
+    pub skipped: usize,
+}
+
+/// What a supervised run actually covered: per-shard and per-region counts,
+/// typed quarantine causes, and the honest coverage fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Per-shard coverage, in shard order.
+    pub shards: Vec<ShardCoverage>,
+    /// Per-region coverage, sorted by region name.
+    pub regions: Vec<RegionCoverage>,
+}
+
+impl CoverageReport {
+    /// Locations planned across all shards.
+    pub fn planned_locations(&self) -> usize {
+        self.shards.iter().map(|s| s.planned_locations).sum()
+    }
+
+    /// Locations fully completed across all shards.
+    pub fn completed_locations(&self) -> usize {
+        self.shards.iter().map(|s| s.completed_locations).sum()
+    }
+
+    /// Locations quarantined across all shards.
+    pub fn quarantined_count(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined.len()).sum()
+    }
+
+    /// Locations skipped by watchdog timeouts across all shards.
+    pub fn skipped_count(&self) -> usize {
+        self.shards.iter().map(|s| s.skipped.len()).sum()
+    }
+
+    /// Shards the watchdog demoted.
+    pub fn timed_out_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.outcome == ShardOutcome::TimedOut)
+            .count()
+    }
+
+    /// Retry attempts spent on quarantined locations (attempts beyond each
+    /// location's first).
+    pub fn retries(&self) -> u64 {
+        self.quarantine_records()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum()
+    }
+
+    /// The honest coverage fraction: completed / planned locations (`1.0`
+    /// for an empty plan).
+    pub fn fraction(&self) -> f64 {
+        let planned = self.planned_locations();
+        if planned == 0 {
+            return 1.0;
+        }
+        self.completed_locations() as f64 / planned as f64
+    }
+
+    /// Quarantine counts per cause slug, sorted by slug.
+    pub fn cause_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for record in self.quarantine_records() {
+            *counts.entry(record.cause.slug()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Every quarantine record, in shard order then location order.
+    pub fn quarantine_records(&self) -> impl Iterator<Item = &QuarantineRecord> {
+        self.shards.iter().flat_map(|s| s.quarantined.iter())
+    }
+
+    /// Per-shard rows for [`nbhd_eval::render_coverage_table`].
+    pub fn rows(&self) -> Vec<nbhd_eval::CoverageRow> {
+        self.shards
+            .iter()
+            .map(|s| nbhd_eval::CoverageRow {
+                label: format!("shard {}", s.shard),
+                planned: s.planned_locations,
+                completed: s.completed_locations,
+                quarantined: s.quarantined.len(),
+                skipped: s.skipped.len(),
+                outcome: match s.outcome {
+                    ShardOutcome::Completed => "completed".to_owned(),
+                    ShardOutcome::TimedOut => "timed-out".to_owned(),
+                },
+            })
+            .collect()
+    }
+
+    /// Per-region rows for [`nbhd_eval::render_coverage_table`].
+    pub fn region_rows(&self) -> Vec<nbhd_eval::CoverageRow> {
+        self.regions
+            .iter()
+            .map(|r| nbhd_eval::CoverageRow {
+                label: r.region.clone(),
+                planned: r.planned,
+                completed: r.completed,
+                quarantined: r.quarantined,
+                skipped: r.skipped,
+                outcome: if r.completed == r.planned {
+                    "complete".to_owned()
+                } else {
+                    "partial".to_owned()
+                },
+            })
+            .collect()
+    }
+}
+
+/// Journal payload for one completed supervised shard.
+#[derive(Debug, Serialize, Deserialize)]
+struct SupervisedShardRecord {
+    annotations: Vec<ImageLabels>,
+    peak_resident_scenes: usize,
+    coverage: ShardCoverage,
+}
+
+/// Journal payload for one failed attempt: the cumulative attempt count and
+/// the latest cause, so a resume after a crash mid-retry quarantines with
+/// the recorded cause instead of re-executing known poison.
+#[derive(Debug, Serialize, Deserialize)]
+struct AttemptRecord {
+    location: LocationId,
+    attempts: u32,
+    cause: QuarantineCause,
+}
+
+/// A phase-2 work item: either still pending retries or already a
+/// journaled quarantine fact.
+enum RetryEntry {
+    Pending { attempts: u32, cause: QuarantineCause },
+    Quarantined(QuarantineRecord),
+}
+
+/// One capture-annotate unit under the panic catcher: a total function from
+/// the unit to an annotation or a typed cause — never an unwind.
+fn run_unit(
+    service: &StreetViewService,
+    labeler: &HumanLabeler,
+    store: Option<&Arc<dyn CheckpointStore>>,
+    image_size: u32,
+    location: LocationId,
+    heading: Heading,
+) -> std::result::Result<ImageLabels, QuarantineCause> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        capture_unit(service, labeler, store, image_size, location, heading)
+    }));
+    match outcome {
+        Ok(Ok(labels)) => Ok(labels),
+        Ok(Err(error)) => Err(QuarantineCause::from_error(&error)),
+        Err(payload) => Err(QuarantineCause::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+/// Journals one failed attempt (cumulative count, latest cause).
+fn save_attempt(
+    store: Option<&Arc<dyn CheckpointStore>>,
+    location: LocationId,
+    attempts: u32,
+    cause: &QuarantineCause,
+) -> Result<()> {
+    if let Some(store) = store {
+        store.save(
+            ATTEMPT_RECORD_KIND,
+            &location.0.to_string(),
+            serde_json::to_value(&AttemptRecord {
+                location,
+                attempts,
+                cause: cause.clone(),
+            })
+            .map_err(|e| Error::parse(format!("attempt record {location}: {e}")))?,
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs the survey as a *supervised* sharded stream: per-unit panic
+/// isolation, bounded retries with virtual-clock backoff, journaled
+/// quarantine, a per-shard watchdog, and an honest [`CoverageReport`] on
+/// the merged survey.
+///
+/// With `poison`, the given fault schedule is injected through the shard
+/// services (the post-merge service is clean — quarantined locations are
+/// excluded from the dataset, never re-fetched). With a `store`, completed
+/// shards and units replay on resume and quarantined locations are **never
+/// re-executed**. With an `obs`, the run publishes the quarantine and
+/// outcome counters and the coverage gauge, and shares the bundle's virtual
+/// clock for watchdog time.
+///
+/// # Errors
+///
+/// Returns configuration errors, geography-sampling failures, store
+/// failures, or dataset-assembly failures. Capture failures never abort
+/// the run — they quarantine.
+pub fn run_supervised(
+    config: &SurveyConfig,
+    plan: ShardPlan,
+    policy: SupervisePolicy,
+    poison: Option<PoisonSchedule>,
+    store: Option<Arc<dyn CheckpointStore>>,
+    obs: Option<&Obs>,
+) -> Result<ShardedOutcome> {
+    config.validate()?;
+    policy.validate()?;
+    let sample = SurveySample::draw_regions(
+        &config.regions,
+        config.locations,
+        config.network_scale,
+        config.seed,
+    )?;
+    let labeler = HumanLabeler::new(config.labeler_profile(), child_seed(config.seed, "labeler"));
+    let mut pool = ScopedPool::new(config.parallelism);
+    if let Some(obs) = obs {
+        pool = pool.with_metrics(Arc::clone(obs.registry()));
+    }
+    let clock: Arc<VirtualClock> = obs
+        .map(|o| Arc::clone(o.clock()))
+        .unwrap_or_else(|| Arc::new(VirtualClock::new()));
+
+    let mut batches: Vec<Vec<ImageLabels>> = Vec::with_capacity(plan.shards());
+    let mut shard_images = Vec::with_capacity(plan.shards());
+    let mut coverages: Vec<ShardCoverage> = Vec::with_capacity(plan.shards());
+    let mut peak = 0usize;
+    let mut billed_fresh = 0u64;
+    for shard in 0..plan.shards() {
+        let started = Instant::now();
+        let stage = obs.map(|o| o.tracer().enter(&format!("shard-{shard}")));
+        let (annotations, shard_peak, shard_billed, coverage) = run_shard_supervised(
+            config,
+            &sample,
+            plan,
+            shard,
+            policy,
+            poison,
+            &labeler,
+            &pool,
+            &clock,
+            store.as_ref(),
+        )?;
+        if let Some(stage) = stage {
+            stage.record();
+        }
+        if let Some(obs) = obs {
+            obs.registry()
+                .record_wall_hist(SHARD_WALL_MS_HIST, started.elapsed().as_millis() as u64);
+        }
+        peak = peak.max(shard_peak);
+        billed_fresh += shard_billed;
+        shard_images.push(annotations.len());
+        batches.push(annotations);
+        coverages.push(coverage);
+    }
+
+    let annotations = merge_shard_annotations(batches);
+    let dataset = LabeledDataset::build(
+        annotations,
+        config.image_size,
+        config.split,
+        child_seed(config.seed, "split"),
+    )?;
+
+    // Clean full-coverage service for post-merge pixel consumers; with a
+    // billing store every journaled fee restores as prepaid — including
+    // fees for units of locations later quarantined, so billing stays
+    // honest about money actually spent.
+    let mut service = StreetViewService::new(config.seed, sample.points());
+    if let Some(store) = &store {
+        service = service.with_billing_store(Arc::clone(store))?;
+    }
+    let (billed_images, fees_usd) = if store.is_some() {
+        let usage = service.usage();
+        (usage.billed_images, usage.fees_usd)
+    } else {
+        let mut fees = 0.0f64;
+        for _ in 0..billed_fresh {
+            fees += FEE_PER_IMAGE_USD;
+        }
+        (billed_fresh, fees)
+    };
+
+    let report = build_report(coverages, &sample, &service);
+    if let Some(obs) = obs {
+        let registry = obs.registry();
+        registry.set(SHARD_COUNT_METRIC, plan.shards() as u64);
+        registry.set_gauge(SHARD_PEAK_GAUGE, peak as f64);
+        registry.set(QUARANTINE_COUNT_METRIC, report.quarantined_count() as u64);
+        registry.set(QUARANTINE_RETRY_METRIC, report.retries());
+        for (slug, count) in report.cause_counts() {
+            registry.set(&format!("{QUARANTINE_CAUSE_PREFIX}{slug}"), count as u64);
+        }
+        let timed_out = report.timed_out_shards();
+        registry.set(
+            SHARD_OUTCOME_COMPLETED_METRIC,
+            (plan.shards() - timed_out) as u64,
+        );
+        registry.set(SHARD_OUTCOME_TIMED_OUT_METRIC, timed_out as u64);
+        registry.set_gauge(COVERAGE_FRACTION_GAUGE, report.fraction());
+    }
+
+    let survey =
+        SurveyDataset::from_parts(config.clone(), Arc::new(service), dataset).with_coverage(report);
+    Ok(ShardedOutcome {
+        survey,
+        sample,
+        plan,
+        store,
+        obs: obs.cloned(),
+        peak_resident_scenes: peak,
+        shard_images,
+        billed_images,
+        fees_usd,
+    })
+}
+
+/// One supervised shard pass. Returns the shard's merged-in annotations,
+/// its service's scene high-water mark, freshly billed scenes, and its
+/// coverage facts.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_supervised(
+    config: &SurveyConfig,
+    sample: &SurveySample,
+    plan: ShardPlan,
+    shard: usize,
+    policy: SupervisePolicy,
+    poison: Option<PoisonSchedule>,
+    labeler: &HumanLabeler,
+    pool: &ScopedPool,
+    clock: &Arc<VirtualClock>,
+    store: Option<&Arc<dyn CheckpointStore>>,
+) -> Result<(Vec<ImageLabels>, usize, u64, ShardCoverage)> {
+    let key = format!("{shard}of{}", plan.shards());
+    if let Some(store) = store {
+        // a completed supervised shard replays whole — annotations,
+        // high-water mark, and coverage facts together, with no virtual
+        // time charged (later shards' deadlines are relative, so replay
+        // does not skew them)
+        if let Some(value) = store.load(SUPERVISED_SHARD_RECORD_KIND, &key) {
+            let record: SupervisedShardRecord = serde_json::from_value(value)
+                .map_err(|e| Error::parse(format!("supervised shard record {key}: {e}")))?;
+            return Ok((
+                record.annotations,
+                record.peak_resident_scenes,
+                0,
+                record.coverage,
+            ));
+        }
+    }
+
+    let points = sample.shard_points(&plan, shard);
+    let mut service = StreetViewService::new(config.seed, &points);
+    if let Some(schedule) = poison {
+        service = service.with_poison(schedule);
+    }
+    if let Some(store) = store {
+        service = service.with_billing_store(Arc::clone(store))?;
+    }
+    let billed_before = service.usage().billed_images;
+    let planned = service.covered_locations();
+    let planned_set: HashSet<LocationId> = planned.iter().copied().collect();
+
+    // Resume state: journaled quarantine facts are never re-executed, and
+    // the attempt ledger resumes each failed location at its recorded count
+    // with its recorded cause.
+    let mut prior_quarantine: HashMap<LocationId, QuarantineRecord> = HashMap::new();
+    let mut ledgered: BTreeMap<LocationId, (u32, QuarantineCause)> = BTreeMap::new();
+    if let Some(store) = store {
+        for (_, payload) in store.load_kind(QUARANTINE_RECORD_KIND) {
+            let record: QuarantineRecord = serde_json::from_value(payload)
+                .map_err(|e| Error::parse(format!("quarantine record: {e}")))?;
+            if planned_set.contains(&record.location) {
+                prior_quarantine.insert(record.location, record);
+            }
+        }
+        for (_, payload) in store.load_kind(ATTEMPT_RECORD_KIND) {
+            let record: AttemptRecord = serde_json::from_value(payload)
+                .map_err(|e| Error::parse(format!("attempt record: {e}")))?;
+            if planned_set.contains(&record.location)
+                && !prior_quarantine.contains_key(&record.location)
+            {
+                ledgered.insert(record.location, (record.attempts, record.cause));
+            }
+        }
+    }
+
+    // The deadline is relative to shard entry on the shared virtual clock,
+    // so watchdog decisions are invariant across resume and replay.
+    let deadline = policy
+        .shard_deadline_ms
+        .map(|ms| clock.now_ms().saturating_add(ms));
+    let expired =
+        |timed_out: bool| -> bool { timed_out || deadline.map_or(false, |d| clock.now_ms() >= d) };
+
+    let mut annotations: Vec<ImageLabels> = Vec::new();
+    let mut completed_locations = 0usize;
+    let mut failed: Vec<(LocationId, QuarantineCause)> = Vec::new();
+    let mut skipped: Vec<LocationId> = Vec::new();
+    let mut timed_out = false;
+
+    // Phase 1: dispatch planned locations in batches through the pool.
+    // Stall charges cover every planned location in the batch — executed,
+    // ledgered, or quarantined — so virtual time is a function of the plan,
+    // not of this process's history.
+    let batch = policy.batch_locations.max(1);
+    let mut idx = 0usize;
+    while idx < planned.len() {
+        if expired(timed_out) {
+            timed_out = true;
+            break;
+        }
+        let chunk = &planned[idx..(idx + batch).min(planned.len())];
+        if let Some(schedule) = poison {
+            for &location in chunk {
+                let stall = schedule.stall_ms(location);
+                if stall > 0 {
+                    clock.advance_ms(stall);
+                }
+            }
+        }
+        let exec: Vec<LocationId> = chunk
+            .iter()
+            .copied()
+            .filter(|l| !prior_quarantine.contains_key(l) && !ledgered.contains_key(l))
+            .collect();
+        let pairs: Vec<(LocationId, Heading)> = exec
+            .iter()
+            .flat_map(|&location| Heading::ALL.iter().map(move |&heading| (location, heading)))
+            .collect();
+        let results = pool.map(&pairs, |&(location, heading)| {
+            run_unit(&service, labeler, store, config.image_size, location, heading)
+        });
+        let mut units = results.into_iter();
+        for &location in &exec {
+            let unit_results: Vec<_> = units.by_ref().take(Heading::ALL.len()).collect();
+            match unit_results.iter().find_map(|r| r.as_ref().err()).cloned() {
+                None => {
+                    completed_locations += 1;
+                    annotations.extend(
+                        unit_results
+                            .into_iter()
+                            .map(|r| r.unwrap_or_else(|_| unreachable!("checked: no unit failed"))),
+                    );
+                }
+                Some(cause) => {
+                    save_attempt(store, location, 1, &cause)?;
+                    failed.push((location, cause));
+                }
+            }
+        }
+        idx += chunk.len();
+    }
+
+    // Everything unreached by a timed-out phase 1 that has no recorded
+    // history is skipped, honestly.
+    let mut queue: BTreeMap<LocationId, RetryEntry> = BTreeMap::new();
+    for (location, record) in prior_quarantine {
+        queue.insert(location, RetryEntry::Quarantined(record));
+    }
+    for (location, (attempts, cause)) in ledgered {
+        queue.insert(location, RetryEntry::Pending { attempts, cause });
+    }
+    for (location, cause) in failed {
+        queue.insert(location, RetryEntry::Pending { attempts: 1, cause });
+    }
+    if timed_out {
+        for &location in &planned[idx..] {
+            if !queue.contains_key(&location) {
+                skipped.push(location);
+            }
+        }
+    }
+
+    // Phase 2: retries and quarantine, serial on the orchestrator so the
+    // quarantine/attempt record stream is written in one deterministic
+    // order (ascending location).
+    let mut quarantined: Vec<QuarantineRecord> = Vec::new();
+    for (location, entry) in queue {
+        if expired(timed_out) {
+            timed_out = true;
+            match entry {
+                RetryEntry::Quarantined(record) => quarantined.push(record),
+                RetryEntry::Pending { .. } => skipped.push(location),
+            }
+            continue;
+        }
+        match entry {
+            RetryEntry::Quarantined(record) => {
+                // charge the backoff its original retries cost, so resumed
+                // virtual time matches the run that wrote the record
+                clock.advance_ms(u64::from(record.attempts.saturating_sub(1)) * policy.backoff_ms);
+                quarantined.push(record);
+            }
+            RetryEntry::Pending {
+                attempts: prior,
+                mut cause,
+            } => {
+                // ledger-consumed attempts charge exactly as executed ones
+                clock.advance_ms(u64::from(prior.saturating_sub(1)) * policy.backoff_ms);
+                let mut attempts = prior;
+                let mut recovered = false;
+                while attempts < policy.max_attempts {
+                    attempts += 1;
+                    clock.advance_ms(policy.backoff_ms);
+                    let mut units: Vec<ImageLabels> = Vec::with_capacity(Heading::ALL.len());
+                    let mut failure: Option<QuarantineCause> = None;
+                    for &heading in &Heading::ALL {
+                        match run_unit(&service, labeler, store, config.image_size, location, heading)
+                        {
+                            Ok(labels) => units.push(labels),
+                            Err(c) => {
+                                failure = Some(c);
+                                break;
+                            }
+                        }
+                    }
+                    match failure {
+                        None => {
+                            completed_locations += 1;
+                            annotations.extend(units);
+                            recovered = true;
+                            break;
+                        }
+                        Some(c) => {
+                            cause = c;
+                            save_attempt(store, location, attempts, &cause)?;
+                        }
+                    }
+                }
+                if !recovered {
+                    let record = QuarantineRecord {
+                        location,
+                        stage: QuarantineStage::Capture,
+                        attempts,
+                        cause,
+                    };
+                    if let Some(store) = store {
+                        // save-before-act: once journaled, no process will
+                        // ever capture this location again
+                        store.save(
+                            QUARANTINE_RECORD_KIND,
+                            &location.0.to_string(),
+                            serde_json::to_value(&record).map_err(|e| {
+                                Error::parse(format!("quarantine record {location}: {e}"))
+                            })?,
+                        )?;
+                    }
+                    quarantined.push(record);
+                }
+            }
+        }
+    }
+    skipped.sort_unstable();
+
+    let coverage = ShardCoverage {
+        shard,
+        planned_locations: planned.len(),
+        completed_locations,
+        completed_units: annotations.len(),
+        quarantined,
+        skipped,
+        outcome: if timed_out {
+            ShardOutcome::TimedOut
+        } else {
+            ShardOutcome::Completed
+        },
+    };
+    let peak = service.peak_resident_scenes();
+    let billed = service.usage().billed_images - billed_before;
+    if let Some(store) = store {
+        store.save(
+            SUPERVISED_SHARD_RECORD_KIND,
+            &key,
+            serde_json::to_value(&SupervisedShardRecord {
+                annotations: annotations.clone(),
+                peak_resident_scenes: peak,
+                coverage: coverage.clone(),
+            })
+            .map_err(|e| Error::parse(format!("supervised shard record {key}: {e}")))?,
+        )?;
+    }
+    Ok((annotations, peak, billed, coverage))
+}
+
+/// Folds per-shard coverage into the run report, attributing each planned
+/// location to its sampled region (county).
+fn build_report(
+    shards: Vec<ShardCoverage>,
+    sample: &SurveySample,
+    service: &StreetViewService,
+) -> CoverageReport {
+    let county_of: HashMap<LocationId, &str> = sample
+        .points()
+        .iter()
+        .map(|p| (p.id, p.county.as_str()))
+        .collect();
+    let mut regions: BTreeMap<&str, RegionCoverage> = BTreeMap::new();
+    for location in service.covered_locations() {
+        let county = county_of.get(&location).copied().unwrap_or("unknown");
+        let entry = regions.entry(county).or_insert_with(|| RegionCoverage {
+            region: county.to_owned(),
+            planned: 0,
+            completed: 0,
+            quarantined: 0,
+            skipped: 0,
+        });
+        entry.planned += 1;
+        entry.completed += 1;
+    }
+    let mut subtract = |location: LocationId, quarantined: bool| {
+        if let Some(entry) = county_of
+            .get(&location)
+            .and_then(|county| regions.get_mut(county))
+        {
+            entry.completed = entry.completed.saturating_sub(1);
+            if quarantined {
+                entry.quarantined += 1;
+            } else {
+                entry.skipped += 1;
+            }
+        }
+    };
+    for shard in &shards {
+        for record in &shard.quarantined {
+            subtract(record.location, true);
+        }
+        for &location in &shard.skipped {
+            subtract(location, false);
+        }
+    }
+    CoverageReport {
+        shards,
+        regions: regions.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sharded;
+    use nbhd_journal::MemoryStore;
+
+    fn report_bytes(report: &CoverageReport) -> Vec<u8> {
+        serde_json::to_vec(report).unwrap()
+    }
+
+    #[test]
+    fn supervised_run_without_faults_matches_run_sharded() {
+        let config = SurveyConfig::smoke(61);
+        let plan = ShardPlan::new(3).unwrap();
+        let plain = run_sharded(&config, plan, None, None).unwrap();
+        let supervised =
+            run_supervised(&config, plan, SupervisePolicy::default(), None, None, None).unwrap();
+        assert_eq!(supervised.survey().dataset(), plain.survey().dataset());
+        assert_eq!(supervised.billed_images(), plain.billed_images());
+        assert_eq!(
+            supervised.fees_usd().to_bits(),
+            plain.fees_usd().to_bits(),
+            "supervision must not change fee folding"
+        );
+        let report = supervised.survey().coverage().expect("coverage stamped");
+        assert_eq!(report.fraction(), 1.0);
+        assert_eq!(report.quarantined_count(), 0);
+        assert_eq!(report.skipped_count(), 0);
+        assert_eq!(report.timed_out_shards(), 0);
+        assert_eq!(report.planned_locations(), report.completed_locations());
+    }
+
+    #[test]
+    fn poisoned_run_is_partial_and_schedule_independent() {
+        let config = SurveyConfig::smoke(62);
+        let plan = ShardPlan::new(2).unwrap();
+        let poison = PoisonSchedule::new(config.seed)
+            .with_panic_rate(0.25)
+            .with_corrupt_rate(0.25);
+        let policy = SupervisePolicy::default();
+        let serial = run_supervised(
+            &SurveyConfig {
+                parallelism: nbhd_exec::Parallelism::serial(),
+                ..config.clone()
+            },
+            plan,
+            policy,
+            Some(poison),
+            None,
+            None,
+        )
+        .unwrap();
+        let parallel = run_supervised(
+            &SurveyConfig {
+                parallelism: nbhd_exec::Parallelism::fixed(4),
+                ..config.clone()
+            },
+            plan,
+            policy,
+            Some(poison),
+            None,
+            None,
+        )
+        .unwrap();
+        let report = serial.survey().coverage().unwrap();
+        assert!(report.fraction() < 1.0, "poison must cost coverage");
+        assert!(report.quarantined_count() > 0);
+        assert!(
+            report
+                .quarantine_records()
+                .all(|r| r.attempts == policy.max_attempts),
+            "injected poison never recovers early"
+        );
+        let causes = report.cause_counts();
+        assert!(causes.contains_key("panic") && causes.contains_key("corrupt"));
+        assert_eq!(
+            report_bytes(report),
+            report_bytes(parallel.survey().coverage().unwrap()),
+            "coverage must be byte-identical at any worker count"
+        );
+        assert_eq!(serial.survey().dataset(), parallel.survey().dataset());
+    }
+
+    #[test]
+    fn watchdog_demotes_a_stuck_shard_and_keeps_partial_captures() {
+        let config = SurveyConfig::smoke(63);
+        let plan = ShardPlan::one();
+        let poison = PoisonSchedule::new(config.seed).with_stalls(1.0, 1_000);
+        let policy = SupervisePolicy {
+            shard_deadline_ms: Some(2_500),
+            batch_locations: 2,
+            ..SupervisePolicy::default()
+        };
+        let outcome =
+            run_supervised(&config, plan, policy, Some(poison), None, None).unwrap();
+        let report = outcome.survey().coverage().unwrap();
+        assert_eq!(report.timed_out_shards(), 1);
+        assert_eq!(report.shards[0].outcome, ShardOutcome::TimedOut);
+        assert!(report.skipped_count() > 0, "timeout must skip the tail");
+        assert!(
+            report.completed_locations() > 0,
+            "completed captures are preserved"
+        );
+        assert!(report.fraction() < 1.0);
+        assert_eq!(
+            outcome.survey().dataset().images().len(),
+            report.completed_locations() * Heading::ALL.len(),
+            "dataset still builds from the partial captures"
+        );
+    }
+
+    #[test]
+    fn resume_replays_quarantine_without_reexecution() {
+        let config = SurveyConfig::smoke(64);
+        let plan = ShardPlan::new(2).unwrap();
+        let poison = PoisonSchedule::new(config.seed).with_panic_rate(0.3);
+        let policy = SupervisePolicy::default();
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+        let first = run_supervised(
+            &config,
+            plan,
+            policy,
+            Some(poison),
+            Some(Arc::clone(&store)),
+            None,
+        )
+        .unwrap();
+        let fresh =
+            run_supervised(&config, plan, policy, Some(poison), None, None).unwrap();
+        assert_eq!(
+            report_bytes(first.survey().coverage().unwrap()),
+            report_bytes(fresh.survey().coverage().unwrap()),
+            "journaling must not change coverage"
+        );
+        let resumed = run_supervised(
+            &config,
+            plan,
+            policy,
+            Some(poison),
+            Some(Arc::clone(&store)),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            report_bytes(resumed.survey().coverage().unwrap()),
+            report_bytes(first.survey().coverage().unwrap()),
+            "resume must replay identical coverage"
+        );
+        assert_eq!(resumed.survey().dataset(), first.survey().dataset());
+        assert_eq!(resumed.billed_images(), first.billed_images());
+        assert_eq!(
+            resumed.fees_usd().to_bits(),
+            first.fees_usd().to_bits(),
+            "quarantined locations must not be re-executed or re-billed"
+        );
+    }
+
+    #[test]
+    fn supervised_run_publishes_quarantine_metrics() {
+        let config = SurveyConfig::smoke(65);
+        let plan = ShardPlan::new(2).unwrap();
+        let poison = PoisonSchedule::new(config.seed).with_corrupt_rate(0.3);
+        let policy = SupervisePolicy::default();
+        let obs = Obs::default();
+        let outcome =
+            run_supervised(&config, plan, policy, Some(poison), None, Some(&obs)).unwrap();
+        let report = outcome.survey().coverage().unwrap();
+        assert!(report.quarantined_count() > 0);
+        let summary = obs.summary();
+        let counters = &summary.metrics.counters;
+        assert_eq!(
+            counters[QUARANTINE_COUNT_METRIC],
+            report.quarantined_count() as u64
+        );
+        assert_eq!(counters[QUARANTINE_RETRY_METRIC], report.retries());
+        assert_eq!(
+            counters["core.quarantine.cause.corrupt"],
+            report.cause_counts()["corrupt"] as u64
+        );
+        assert_eq!(counters[SHARD_OUTCOME_COMPLETED_METRIC], 2);
+        assert_eq!(counters[SHARD_OUTCOME_TIMED_OUT_METRIC], 0);
+        assert!(
+            (summary.metrics.gauges[COVERAGE_FRACTION_GAUGE] - report.fraction()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn region_coverage_sums_match_shard_totals() {
+        let config = SurveyConfig::smoke(66);
+        let plan = ShardPlan::new(3).unwrap();
+        let poison = PoisonSchedule::new(config.seed)
+            .with_panic_rate(0.1)
+            .with_corrupt_rate(0.1);
+        let outcome = run_supervised(
+            &config,
+            plan,
+            SupervisePolicy::default(),
+            Some(poison),
+            None,
+            None,
+        )
+        .unwrap();
+        let report = outcome.survey().coverage().unwrap();
+        assert_eq!(
+            report.regions.iter().map(|r| r.planned).sum::<usize>(),
+            report.planned_locations()
+        );
+        assert_eq!(
+            report.regions.iter().map(|r| r.completed).sum::<usize>(),
+            report.completed_locations()
+        );
+        assert_eq!(
+            report.regions.iter().map(|r| r.quarantined).sum::<usize>(),
+            report.quarantined_count()
+        );
+        assert_eq!(
+            report.regions.iter().map(|r| r.skipped).sum::<usize>(),
+            report.skipped_count()
+        );
+        let rows = report.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "shard 0");
+    }
+
+    #[test]
+    fn policy_validation_rejects_zero_knobs() {
+        let config = SurveyConfig::smoke(67);
+        let bad = SupervisePolicy {
+            max_attempts: 0,
+            ..SupervisePolicy::default()
+        };
+        assert!(run_supervised(&config, ShardPlan::one(), bad, None, None, None).is_err());
+        let bad = SupervisePolicy {
+            batch_locations: 0,
+            ..SupervisePolicy::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

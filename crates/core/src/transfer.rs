@@ -80,6 +80,7 @@ fn row_for(
         map50: report.map50,
         f1: report.table.average.f1,
         images: report.images,
+        coverage: survey.coverage_fraction(),
     })
 }
 

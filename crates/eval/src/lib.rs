@@ -40,9 +40,9 @@ pub use confusion::BinaryConfusion;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
 pub use report::{
-    render_comparison, render_exec_table, render_health_table, render_hist_table,
-    render_metrics_table, render_run_diff, render_run_summary, render_transfer_table,
-    ComparisonRow, ExecRow, HealthRow, TransferRow,
+    render_comparison, render_coverage_table, render_exec_table, render_health_table,
+    render_hist_table, render_metrics_table, render_run_diff, render_run_summary,
+    render_transfer_table, ComparisonRow, CoverageRow, ExecRow, HealthRow, TransferRow,
 };
 pub use vote::{
     agreement, majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteFallback, VoteProvenance,

@@ -108,6 +108,9 @@ pub struct TransferRow {
     pub f1: f64,
     /// Number of test images evaluated.
     pub images: usize,
+    /// Location-coverage fraction of the evaluated survey (`1.0` for a
+    /// full run; below for supervised partial runs).
+    pub coverage: f64,
 }
 
 impl TransferRow {
@@ -129,6 +132,7 @@ impl TransferRow {
 ///     map50: 0.41,
 ///     f1: 0.62,
 ///     images: 12,
+///     coverage: 1.0,
 /// }];
 /// let text = render_transfer_table("Cross-region transfer", &rows);
 /// assert!(text.contains("hidalgo+dallas"));
@@ -150,14 +154,91 @@ pub fn render_transfer_table(title: &str, rows: &[TransferRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:<train_w$} {:<eval_w$} {:>9} {:>7} {:>7} {:>7}\n",
-        "Trained on", "Tested on", "Kind", "mAP50", "F1", "Images"
+        "{:<train_w$} {:<eval_w$} {:>9} {:>7} {:>7} {:>7} {:>6}\n",
+        "Trained on", "Tested on", "Kind", "mAP50", "F1", "Images", "Cov"
     ));
     for r in rows {
         let kind = if r.in_domain() { "in-dom" } else { "transfer" };
         out.push_str(&format!(
-            "{:<train_w$} {:<eval_w$} {:>9} {:>7.3} {:>7.3} {:>7}\n",
-            r.train_region, r.eval_region, kind, r.map50, r.f1, r.images
+            "{:<train_w$} {:<eval_w$} {:>9} {:>7.3} {:>7.3} {:>7} {:>6.3}\n",
+            r.train_region, r.eval_region, kind, r.map50, r.f1, r.images, r.coverage
+        ));
+    }
+    out
+}
+
+/// One shard's or region's coverage line for [`render_coverage_table`]:
+/// what a supervised partial run planned, completed, quarantined, and
+/// skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageRow {
+    /// What the row covers (e.g. `"shard 2"` or a region name).
+    pub label: String,
+    /// Locations planned for this unit.
+    pub planned: usize,
+    /// Locations fully completed.
+    pub completed: usize,
+    /// Locations quarantined as poison.
+    pub quarantined: usize,
+    /// Locations skipped by a watchdog timeout.
+    pub skipped: usize,
+    /// Outcome label (e.g. `"completed"` / `"timed-out"`).
+    pub outcome: String,
+}
+
+/// Renders coverage rows as an aligned text table, in the same report
+/// style as [`render_transfer_table`].
+///
+/// ```
+/// use nbhd_eval::{render_coverage_table, CoverageRow};
+///
+/// let rows = vec![CoverageRow {
+///     label: "shard 0".into(),
+///     planned: 12,
+///     completed: 10,
+///     quarantined: 1,
+///     skipped: 1,
+///     outcome: "timed-out".into(),
+/// }];
+/// let text = render_coverage_table("Survey coverage", &rows);
+/// assert!(text.contains("shard 0"));
+/// assert!(text.contains("83.3%"));
+/// assert!(text.contains("timed-out"));
+/// ```
+pub fn render_coverage_table(title: &str, rows: &[CoverageRow]) -> String {
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(["Unit".len()])
+        .max()
+        .unwrap_or(4);
+    let outcome_w = rows
+        .iter()
+        .map(|r| r.outcome.len())
+        .chain(["Outcome".len()])
+        .max()
+        .unwrap_or(7);
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<label_w$} {:>8} {:>10} {:>12} {:>8} {:>9} {:>outcome_w$}\n",
+        "Unit", "Planned", "Completed", "Quarantined", "Skipped", "Coverage", "Outcome"
+    ));
+    for r in rows {
+        let coverage = if r.planned == 0 {
+            1.0
+        } else {
+            r.completed as f64 / r.planned as f64
+        };
+        out.push_str(&format!(
+            "{:<label_w$} {:>8} {:>10} {:>12} {:>8} {:>8.1}% {:>outcome_w$}\n",
+            r.label,
+            r.planned,
+            r.completed,
+            r.quarantined,
+            r.skipped,
+            coverage * 100.0,
+            r.outcome
         ));
     }
     out
@@ -734,6 +815,7 @@ mod tests {
                 map50: 0.512,
                 f1: 0.701,
                 images: 18,
+                coverage: 1.0,
             },
             TransferRow {
                 train_region: "hidalgo+dallas".into(),
@@ -741,6 +823,7 @@ mod tests {
                 map50: 0.388,
                 f1: 0.6,
                 images: 9,
+                coverage: 0.917,
             },
         ];
         assert!(rows[0].in_domain());
@@ -750,6 +833,38 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("in-dom"), "{text}");
         assert!(lines[2].contains("transfer"), "{text}");
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{text}"
+        );
+    }
+
+    #[test]
+    fn coverage_table_aligns_and_shows_fractions() {
+        let rows = vec![
+            CoverageRow {
+                label: "shard 0".into(),
+                planned: 12,
+                completed: 12,
+                quarantined: 0,
+                skipped: 0,
+                outcome: "completed".into(),
+            },
+            CoverageRow {
+                label: "shard 1".into(),
+                planned: 12,
+                completed: 6,
+                quarantined: 2,
+                skipped: 4,
+                outcome: "timed-out".into(),
+            },
+        ];
+        let text = render_coverage_table("Coverage", &rows);
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("timed-out"), "{text}");
+        let lines: Vec<&str> = text.lines().skip(1).collect();
         let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
         assert!(
             widths.windows(2).all(|w| w[0] == w[1]),

@@ -44,7 +44,14 @@ impl fmt::Display for TaskPanicked {
 impl std::error::Error for TaskPanicked {}
 
 /// Extracts a printable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+///
+/// `&'static str` and `String` payloads (the overwhelmingly common cases:
+/// `panic!("...")`, `assert!`, `unwrap`/`expect`) come through verbatim;
+/// anything else — `panic_any` with a non-string value — is reported as an
+/// opaque payload rather than dropped. Public so supervisors that run their
+/// own `catch_unwind` (e.g. per-unit quarantine in `nbhd-core`) produce
+/// causes identical to the pool's own [`TaskPanicked::message`].
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -555,6 +562,44 @@ mod tests {
             assert_eq!(err.index, 63, "{parallelism:?}");
             assert!(err.message.contains("poisoned"), "{}", err.message);
         }
+    }
+
+    #[test]
+    fn panic_message_preserves_string_payloads() {
+        // &'static str payload (plain panic!)
+        let err = try_par_map_with(Parallelism::serial(), &[0u8], |&x| {
+            if x == 0 {
+                panic!("static poison");
+            }
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "static poison");
+
+        // String payload (formatted panic!)
+        let err = try_par_map_with(Parallelism::serial(), &[7u8], |&x| {
+            if x == 7 {
+                panic!("formatted poison at {x}");
+            }
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "formatted poison at 7");
+    }
+
+    #[test]
+    fn panic_message_reports_non_string_payloads_as_opaque() {
+        let err = try_par_map_with(Parallelism::serial(), &[0u8], |&x| {
+            if x == 0 {
+                std::panic::panic_any(42usize);
+            }
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "opaque panic payload");
+        // the helper itself is part of the public contract
+        assert_eq!(panic_message(&42usize), "opaque panic payload");
+        assert_eq!(panic_message(&String::from("s")), "s");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod poison;
 mod request;
 mod service;
 mod usage;
@@ -32,6 +33,7 @@ mod usage;
 /// The study's capture resolution.
 pub const DEFAULT_IMAGE_SIZE: u32 = 640;
 
+pub use poison::{PoisonKind, PoisonSchedule};
 pub use request::{ImageRequest, ImageRequestBuilder};
 pub use service::{
     Capture, CoverageStatus, ImageResponse, StreetViewService, FEE_PER_IMAGE_USD, FEE_RECORD_KIND,

@@ -11,7 +11,7 @@ use nbhd_types::{Error, Heading, ImageId, LocationId, ObjectLabel, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::{ImageRequest, UsageMeter};
+use crate::{ImageRequest, PoisonKind, PoisonSchedule, UsageMeter};
 
 /// Per-image fee in USD, matching the real static street-view pricing tier
 /// (about $7 per 1,000 requests).
@@ -96,6 +96,7 @@ pub struct StreetViewService {
     seed: u64,
     quota: Option<u64>,
     coverage_gap_rate: f64,
+    poison: Option<PoisonSchedule>,
     billing: Option<Arc<dyn CheckpointStore>>,
     prepaid: HashSet<(ImageId, u32)>,
     state: Mutex<ServiceState>,
@@ -127,6 +128,7 @@ impl StreetViewService {
             seed,
             quota: None,
             coverage_gap_rate: 0.01,
+            poison: None,
             billing: None,
             prepaid: HashSet::new(),
             state: Mutex::new(ServiceState::default()),
@@ -178,6 +180,20 @@ impl StreetViewService {
     pub fn with_coverage_gap_rate(mut self, rate: f64) -> Self {
         self.coverage_gap_rate = rate.clamp(0.0, 1.0);
         self
+    }
+
+    /// Attaches a fault-injection schedule: captures at poisoned locations
+    /// panic or compose corrupt scenes (failing spec validation before any
+    /// fee is billed). Used by the shard supervisor's poison drills.
+    #[must_use]
+    pub fn with_poison(mut self, schedule: PoisonSchedule) -> Self {
+        self.poison = Some(schedule);
+        self
+    }
+
+    /// The attached fault-injection schedule, if any.
+    pub fn poison(&self) -> Option<&PoisonSchedule> {
+        self.poison.as_ref()
     }
 
     /// Checks imagery coverage without incurring the image fee, like the
@@ -248,9 +264,29 @@ impl StreetViewService {
             .get(&request.location())
             .expect("coverage() checked membership");
 
+        // Poisoned locations fail before compose/render, and therefore
+        // before any fee is billed: a quarantined location costs retries,
+        // never money.
+        if let Some(schedule) = &self.poison {
+            if schedule.draw(request.location()) == Some(PoisonKind::Panic) {
+                panic!("{}", PoisonSchedule::panic_message(request.location()));
+            }
+        }
+
         // Render with the lock released: this is the expensive part, and
         // it depends only on immutable service state.
-        let spec = self.generator.compose(point, request.heading());
+        let mut spec = self.generator.compose(point, request.heading());
+        if let Some(schedule) = &self.poison {
+            if schedule.draw(request.location()) == Some(PoisonKind::Corrupt) {
+                nbhd_scene::corrupt_spec(
+                    &mut spec,
+                    child_seed_n(self.seed, "corrupt", request.location().0),
+                );
+            }
+        }
+        // Defense in depth: every composed spec is validated before it can
+        // reach the renderer, corrupt-injected or not.
+        spec.validate()?;
         let (image, objects) = render(&spec, request.size());
         let capture = Capture {
             response: ImageResponse {
@@ -529,6 +565,55 @@ mod tests {
         assert_eq!(usage.billed_images, 4, "only the fourth heading is new");
         assert_eq!(store.load_kind(FEE_RECORD_KIND).len(), 4);
         assert!((usage.fees_usd - 4.0 * FEE_PER_IMAGE_USD).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_panic_fires_before_billing() {
+        let (svc, _) = service(8, 12);
+        let svc = svc.with_poison(PoisonSchedule::new(12).with_panic_rate(1.0));
+        let loc = svc.covered_locations()[0];
+        let req = ImageRequest::builder(loc, Heading::North)
+            .size(32)
+            .build()
+            .unwrap();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.capture(&req)));
+        assert!(out.is_err(), "fully poisoned service must panic");
+        let usage = svc.usage();
+        assert_eq!(usage.requests, 1, "the request was counted");
+        assert_eq!(usage.billed_images, 0, "poisoned capture is never billed");
+        assert!(usage.fees_usd == 0.0);
+    }
+
+    #[test]
+    fn corrupt_scene_fails_validation_before_billing() {
+        let (svc, _) = service(8, 13);
+        let svc = svc.with_poison(PoisonSchedule::new(13).with_corrupt_rate(1.0));
+        let loc = svc.covered_locations()[0];
+        let req = ImageRequest::builder(loc, Heading::East)
+            .size(32)
+            .build()
+            .unwrap();
+        assert!(matches!(svc.capture(&req), Err(Error::Parse(_))));
+        let usage = svc.usage();
+        assert_eq!(usage.billed_images, 0, "corrupt capture is never billed");
+        assert!(usage.fees_usd == 0.0);
+    }
+
+    #[test]
+    fn unpoisoned_locations_are_unaffected_by_the_schedule() {
+        let (clean, _) = service(6, 14);
+        let (svc, _) = service(6, 14);
+        // rate 0: schedule attached but inert — captures stay byte-identical
+        let svc = svc.with_poison(PoisonSchedule::new(14));
+        let loc = svc.covered_locations()[0];
+        let req = ImageRequest::builder(loc, Heading::South)
+            .size(32)
+            .build()
+            .unwrap();
+        assert_eq!(
+            svc.capture(&req).unwrap().response.image,
+            clean.capture(&req).unwrap().response.image
+        );
     }
 
     #[test]

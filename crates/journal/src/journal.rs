@@ -111,6 +111,60 @@ pub fn scan_file(path: &Path) -> Result<JournalScan, JournalError> {
     Ok(scan_bytes(&fs::read(path)?))
 }
 
+/// The result of a deep integrity scan over a journal file: every frame
+/// re-read from disk and re-checksummed, independent of any in-memory
+/// replay state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalAudit {
+    /// Frames that re-validated end to end (length, checksum, JSON parse).
+    pub records: u64,
+    /// Byte length of the trusted prefix.
+    pub valid_len: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Byte offset of the first damage, when any was found.
+    pub corrupt_offset: Option<u64>,
+    /// Human-readable description of the first damage, when any.
+    pub corruption: Option<String>,
+}
+
+impl JournalAudit {
+    /// Whether the whole file re-validated: no corruption and no trailing
+    /// bytes beyond the last valid frame.
+    pub fn is_clean(&self) -> bool {
+        self.corruption.is_none() && self.valid_len == self.file_len
+    }
+}
+
+/// Deep-scans a journal file: re-reads every byte from disk, re-validates
+/// every frame's length word and FNV-1a checksum, re-parses every body,
+/// and reports the first corrupt offset if the file is damaged.
+///
+/// Unlike recovery ([`Journal::open`]), this never truncates or rewrites
+/// anything — it is a pure integrity check for tooling (`journal_fsck`)
+/// and pre-flight gates.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Io`] when the file cannot be read. Corruption
+/// is reported inside the audit, not as an error.
+pub fn verify_file(path: &Path) -> Result<JournalAudit, JournalError> {
+    let bytes = fs::read(path)?;
+    let scan = scan_bytes(&bytes);
+    let corrupt_offset = match &scan.corruption {
+        Some(JournalError::Corrupt { offset, .. }) => Some(*offset),
+        Some(_) => Some(scan.valid_len),
+        None => None,
+    };
+    Ok(JournalAudit {
+        records: scan.records.len() as u64,
+        valid_len: scan.valid_len,
+        file_len: bytes.len() as u64,
+        corrupt_offset,
+        corruption: scan.corruption.as_ref().map(|c| c.to_string()),
+    })
+}
+
 impl Journal {
     /// Creates a fresh run directory: manifest written, empty journal.
     ///
@@ -239,6 +293,17 @@ impl Journal {
     /// recovery, or `None` for a clean open.
     pub fn recovery_note(&self) -> Option<&str> {
         self.recovery.as_deref()
+    }
+
+    /// Deep integrity scan of this journal's on-disk file: every frame
+    /// re-read and re-checksummed. See [`verify_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be read.
+    pub fn verify_all(&self) -> Result<JournalAudit, JournalError> {
+        // appends flush per record, so the on-disk file is current
+        verify_file(&journal_path(&self.dir))
     }
 }
 
@@ -436,6 +501,68 @@ mod tests {
         drop(journal);
         let journal = Journal::open(&dir, &manifest()).unwrap();
         assert_eq!(journal.load("unit", "k"), Some(serde_json::json!(2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_all_passes_on_a_clean_journal() {
+        let dir = temp_dir("verify-clean");
+        let journal = Journal::create(&dir, &manifest()).unwrap();
+        for i in 0..6u64 {
+            journal
+                .save("unit", &i.to_string(), serde_json::json!({ "i": i }))
+                .unwrap();
+        }
+        let audit = journal.verify_all().unwrap();
+        assert!(audit.is_clean(), "{audit:?}");
+        assert_eq!(audit.records, 6);
+        assert_eq!(audit.valid_len, audit.file_len);
+        assert_eq!(audit.corrupt_offset, None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_file_pins_a_flipped_byte_to_its_frame() {
+        let dir = temp_dir("verify-flip");
+        let journal = Journal::create(&dir, &manifest()).unwrap();
+        for i in 0..6u64 {
+            journal
+                .save("unit", &i.to_string(), serde_json::json!({ "i": i }))
+                .unwrap();
+        }
+        drop(journal);
+
+        let path = journal_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let audit = verify_file(&path).unwrap();
+        assert!(!audit.is_clean());
+        assert!(audit.records < 6, "{audit:?}");
+        let offset = audit.corrupt_offset.expect("corrupt offset");
+        assert!(offset as usize <= target, "{offset} vs {target}");
+        assert_eq!(offset, audit.valid_len, "frames before the damage stay trusted");
+        assert!(audit.corruption.is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_file_flags_a_torn_tail_recovery_would_drop() {
+        let dir = temp_dir("verify-torn");
+        let journal = Journal::create(&dir, &manifest())
+            .unwrap()
+            .with_kill(KillSchedule::torn(2, 5));
+        journal.save("unit", "0", serde_json::json!(0)).unwrap();
+        journal.save("unit", "1", serde_json::json!(1)).unwrap();
+        let _ = journal.save("unit", "2", serde_json::json!(2));
+        drop(journal);
+
+        let audit = verify_file(&journal_path(&dir)).unwrap();
+        assert!(!audit.is_clean());
+        assert_eq!(audit.records, 2);
+        assert!(audit.valid_len < audit.file_len);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -50,7 +50,10 @@ mod manifest;
 mod record;
 
 pub use error::JournalError;
-pub use journal::{journal_path, scan_file, CheckpointStore, Journal, KillSchedule, MemoryStore};
+pub use journal::{
+    journal_path, scan_file, verify_file, CheckpointStore, Journal, JournalAudit, KillSchedule,
+    MemoryStore,
+};
 pub use manifest::{config_hash, manifest_path, read_manifest, write_manifest, RunManifest};
 pub use record::{
     encode_record, fnv1a64, header_bytes, scan_bytes, JournalScan, Record, FORMAT_VERSION,

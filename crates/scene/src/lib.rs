@@ -44,7 +44,7 @@ mod visibility;
 pub use compose::{view_kind, SceneGenerator};
 pub use render::{render, DEFAULT_SIZE};
 pub use spec::{
-    BuildingKind, BuildingView, PowerlineView, RoadView, SceneSpec, SidewalkView, Side,
-    StreetlightView, TreeView, VehicleView, ViewKind,
+    corrupt_spec, BuildingKind, BuildingView, PowerlineView, RoadView, SceneSpec, SidewalkView,
+    Side, StreetlightView, TreeView, VehicleView, ViewKind,
 };
 pub use visibility::{scene_evidence, IndicatorEvidence};

@@ -186,6 +186,62 @@ impl SceneSpec {
         set
     }
 
+    /// Checks the documented invariants of the spec: finite fields, ranges
+    /// on lighting/haze/visibility fractions, and wire counts.
+    ///
+    /// The composer always produces valid specs; this exists so downstream
+    /// consumers (the GSV simulator, fault injection) can detect a corrupt
+    /// scene *before* it reaches the renderer or gets billed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nbhd_types::Error::Parse`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> nbhd_types::Result<()> {
+        fn bad(what: &str, value: f32) -> nbhd_types::Error {
+            nbhd_types::Error::parse(format!("corrupt scene spec: {what} = {value}"))
+        }
+        if !self.lighting.is_finite() || !(0.6..=1.1).contains(&self.lighting) {
+            return Err(bad("lighting outside [0.6, 1.1]", self.lighting));
+        }
+        if !self.haze.is_finite() || !(0.0..=0.5).contains(&self.haze) {
+            return Err(bad("haze outside [0, 0.5]", self.haze));
+        }
+        if let Some(road) = &self.road {
+            if !road.visible_frac.is_finite()
+                || road.visible_frac <= 0.0
+                || road.visible_frac > 1.0
+            {
+                return Err(bad("road.visible_frac outside (0, 1]", road.visible_frac));
+            }
+        }
+        if let Some(sidewalk) = &self.sidewalk {
+            if !sidewalk.clear_frac.is_finite()
+                || sidewalk.clear_frac <= 0.0
+                || sidewalk.clear_frac > 1.0
+            {
+                return Err(bad("sidewalk.clear_frac outside (0, 1]", sidewalk.clear_frac));
+            }
+        }
+        if let Some(powerline) = &self.powerline {
+            if !(2..=4).contains(&powerline.wires) {
+                return Err(nbhd_types::Error::parse(format!(
+                    "corrupt scene spec: powerline.wires = {} outside 2..=4",
+                    powerline.wires
+                )));
+            }
+            if !powerline.wire_height.is_finite() || powerline.wire_height <= 0.0 {
+                return Err(bad("powerline.wire_height not positive", powerline.wire_height));
+            }
+        }
+        for light in &self.streetlights {
+            if !light.depth.is_finite() || !light.height.is_finite() {
+                return Err(bad("streetlight geometry not finite", light.depth));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of distinct labelable objects in the scene (used to mirror the
     /// paper's 1,927-object count).
     pub fn object_count(&self) -> usize {
@@ -200,6 +256,27 @@ impl SceneSpec {
             .filter(|b| b.kind == BuildingKind::Apartment)
             .count();
         n
+    }
+}
+
+/// Deterministically mutates a valid spec into one that fails
+/// [`SceneSpec::validate`], for fault injection.
+///
+/// Which invariant is broken depends only on `seed`, so corrupting the same
+/// spec with the same seed is reproducible; the corruption always trips
+/// `validate()` before the spec can reach the renderer.
+pub fn corrupt_spec(spec: &mut SceneSpec, seed: u64) {
+    match nbhd_types::rng::splitmix64(seed) % 4 {
+        0 => spec.lighting = f32::NAN,
+        1 => spec.haze = 7.5,
+        2 => match &mut spec.road {
+            Some(road) => road.visible_frac = 0.0,
+            None => spec.lighting = -1.0,
+        },
+        _ => match &mut spec.powerline {
+            Some(powerline) => powerline.wires = 9,
+            None => spec.haze = f32::INFINITY,
+        },
     }
 }
 
@@ -300,5 +377,78 @@ mod tests {
         });
         assert_eq!(s.object_count(), 5);
         assert_eq!(s.presence().len(), 4);
+    }
+
+    #[test]
+    fn validate_accepts_composed_invariants() {
+        let mut s = empty_spec();
+        assert!(s.validate().is_ok());
+        s.road = Some(RoadView {
+            class: RoadClass::SingleLane,
+            visible_frac: 0.4,
+        });
+        s.powerline = Some(PowerlineView {
+            pole_depths: vec![0.2],
+            side: Side::Left,
+            wires: 3,
+            wire_height: 0.25,
+        });
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_broken_invariants() {
+        let mut s = empty_spec();
+        s.lighting = f32::NAN;
+        assert!(s.validate().is_err());
+
+        let mut s = empty_spec();
+        s.haze = 7.5;
+        assert!(s.validate().is_err());
+
+        let mut s = empty_spec();
+        s.road = Some(RoadView {
+            class: RoadClass::Multilane,
+            visible_frac: 0.0,
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = empty_spec();
+        s.powerline = Some(PowerlineView {
+            pole_depths: vec![0.1],
+            side: Side::Right,
+            wires: 9,
+            wire_height: 0.25,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn corrupt_spec_always_trips_validate() {
+        for seed in 0..64u64 {
+            let mut s = empty_spec();
+            s.road = Some(RoadView {
+                class: RoadClass::SingleLane,
+                visible_frac: 1.0,
+            });
+            s.powerline = Some(PowerlineView {
+                pole_depths: vec![0.2],
+                side: Side::Left,
+                wires: 2,
+                wire_height: 0.25,
+            });
+            assert!(s.validate().is_ok());
+            corrupt_spec(&mut s, seed);
+            assert!(s.validate().is_err(), "seed {seed} left the spec valid");
+        }
+    }
+
+    #[test]
+    fn corrupt_spec_is_deterministic() {
+        let mut a = empty_spec();
+        let mut b = empty_spec();
+        corrupt_spec(&mut a, 17);
+        corrupt_spec(&mut b, 17);
+        assert_eq!(a, b);
     }
 }

@@ -53,6 +53,17 @@ NBHD_ARTIFACT="$SHARD_FRESH" cargo run -q --example region_shards >/dev/null
 NBHD_ARTIFACT="$SHARD_RERUN" cargo run -q --example region_shards >/dev/null
 cargo run -q -p nbhd-bench --bin run_diff -- "$SHARD_FRESH" "$SHARD_RERUN"
 
+# A poisoned run's artifact (quarantine counters, shard-outcome counters,
+# the coverage gauge) is part of the deterministic surface too: run the
+# poison drill twice and self-diff — partial coverage must be seed-stable,
+# not an artifact of scheduling.
+POISON_FRESH=target/BENCH_poison_drill.json
+POISON_RERUN=target/BENCH_poison_drill.rerun.json
+echo "==> poison artifact: poison drill self-diff"
+NBHD_ARTIFACT="$POISON_FRESH" cargo run -q --example poison_drill >/dev/null
+NBHD_ARTIFACT="$POISON_RERUN" cargo run -q --example poison_drill >/dev/null
+cargo run -q -p nbhd-bench --bin run_diff -- "$POISON_FRESH" "$POISON_RERUN"
+
 if [ "${REBASELINE:-0}" = "1" ] || [ ! -f "$BASELINE" ] \
     || grep -q '"name": "bootstrap"' "$BASELINE"; then
     cp "$FRESH" "$BASELINE"

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -p nbhd-journal (fast journal gate)"
 cargo test -q -p nbhd-journal
 
+echo "==> journal_fsck self-test (deep-scan detects injected corruption)"
+cargo run -q -p nbhd-bench --bin journal_fsck -- --self-test
+
 echo "==> cargo test -p nbhd-obs (fast observability gate: spans, metrics, summary)"
 cargo test -q -p nbhd-obs
 
@@ -38,6 +41,9 @@ cargo test -q --test crash_resume
 
 echo "==> shard stream (8-region bounded run, merge algebra, mid-shard kill/resume)"
 cargo test -q --test shard_stream
+
+echo "==> poison drill (quarantine, watchdog, coverage honesty under kill/resume)"
+cargo run -q --example poison_drill >/dev/null
 
 echo "==> overload drill (storm admission, degradation tiers, kill/resume billing)"
 cargo test -q --test overload_drill

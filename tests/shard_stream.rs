@@ -6,8 +6,11 @@ use std::fs;
 use std::sync::Arc;
 
 use nbhd::prelude::*;
-use nbhd_core::merge_shard_annotations;
 use nbhd_core::types::ImageLabels;
+use nbhd_core::{
+    merge_shard_annotations, QuarantineStage, ShardCoverage, ATTEMPT_RECORD_KIND,
+    QUARANTINE_RECORD_KIND,
+};
 use nbhd_journal::journal_path;
 use proptest::prelude::*;
 
@@ -116,6 +119,168 @@ fn sharded_kill_resume_is_byte_identical_mid_shard() {
     }
 }
 
+#[test]
+fn supervised_poison_run_has_schedule_independent_coverage() {
+    // the same poison under serial and 4-worker execution must produce the
+    // same partial dataset and a byte-identical coverage report: what got
+    // covered is a property of the data, never of the schedule
+    let config = SurveyConfig {
+        locations: 16,
+        ..SurveyConfig::smoke(73)
+    };
+    let plan = ShardPlan::new(3).unwrap();
+    let poison = PoisonSchedule::new(config.seed)
+        .with_panic_rate(0.25)
+        .with_corrupt_rate(0.25);
+    let policy = SupervisePolicy::default();
+
+    let serial_cfg = SurveyConfig {
+        parallelism: Parallelism::serial(),
+        ..config.clone()
+    };
+    let par_cfg = SurveyConfig {
+        parallelism: Parallelism::fixed(4),
+        ..config.clone()
+    };
+    let serial = run_supervised(&serial_cfg, plan, policy, Some(poison), None, None).unwrap();
+    let par = run_supervised(&par_cfg, plan, policy, Some(poison), None, None).unwrap();
+
+    let report = serial.survey().coverage().expect("coverage report");
+    assert!(report.quarantined_count() > 0, "poison must bite");
+    assert!(report.fraction() < 1.0);
+    assert_eq!(
+        serde_json::to_vec(report).unwrap(),
+        serde_json::to_vec(par.survey().coverage().unwrap()).unwrap(),
+        "coverage reports must be byte-identical across schedules"
+    );
+    assert_eq!(serial.survey().dataset(), par.survey().dataset());
+}
+
+#[test]
+fn supervised_kill_resume_replays_quarantine_at_every_record() {
+    // kill the supervised journaled run at every record boundary and resume:
+    // the dataset, billing, coverage report, and the quarantine journal
+    // itself must come out identical to an uninterrupted run, and no
+    // quarantined location may ever be re-attempted
+    let config = SurveyConfig {
+        locations: 12,
+        ..SurveyConfig::smoke(74)
+    };
+    let plan = ShardPlan::new(2).unwrap();
+    let poison = PoisonSchedule::new(config.seed)
+        .with_panic_rate(0.3)
+        .with_corrupt_rate(0.2);
+    let policy = SupervisePolicy::default();
+    let manifest = RunManifest::for_config("supervised-stream", &config).unwrap();
+
+    // the uninterrupted journaled run is the reference
+    let ref_dir = std::env::temp_dir().join("nbhd-supervise-ref");
+    let _ = fs::remove_dir_all(&ref_dir);
+    let journal = Journal::create(&ref_dir, &manifest).unwrap();
+    let fresh = run_supervised(
+        &config,
+        plan,
+        policy,
+        Some(poison),
+        Some(Arc::new(journal)),
+        None,
+    )
+    .unwrap();
+    let ref_scan = nbhd_journal::scan_file(&journal_path(&ref_dir)).unwrap();
+    let total = ref_scan.records.len() as u64;
+    let quarantine_journal = |scan: &nbhd_journal::JournalScan| -> Vec<(String, String)> {
+        scan.records
+            .iter()
+            .filter(|r| r.kind == QUARANTINE_RECORD_KIND)
+            .map(|r| (r.key.clone(), r.payload.to_string()))
+            .collect()
+    };
+    let ref_quarantine = quarantine_journal(&ref_scan);
+    let report = fresh.survey().coverage().expect("coverage report");
+    assert!(!ref_quarantine.is_empty(), "poison must bite");
+    assert_eq!(ref_quarantine.len(), report.quarantined_count());
+
+    // attempt-ledger honesty: the raw journal holds exactly `attempts`
+    // attempt records for every quarantined location
+    for record in report.quarantine_records() {
+        let key = record.location.0.to_string();
+        let logged = ref_scan
+            .records
+            .iter()
+            .filter(|r| r.kind == ATTEMPT_RECORD_KIND && r.key == key)
+            .count();
+        assert_eq!(logged as u32, record.attempts, "location {}", record.location);
+    }
+    fs::remove_dir_all(&ref_dir).unwrap();
+
+    for after in 0..total {
+        let dir = std::env::temp_dir().join(format!("nbhd-supervise-kill-{after}"));
+        let _ = fs::remove_dir_all(&dir);
+        let journal = Journal::create(&dir, &manifest)
+            .unwrap()
+            .with_kill(KillSchedule::at(after));
+        let _ = run_supervised(
+            &config,
+            plan,
+            policy,
+            Some(poison),
+            Some(Arc::new(journal)),
+            None,
+        );
+
+        let journal = Journal::open(&dir, &manifest).unwrap();
+        let resumed = run_supervised(
+            &config,
+            plan,
+            policy,
+            Some(poison),
+            Some(Arc::new(journal)),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.survey().dataset(),
+            fresh.survey().dataset(),
+            "kill at {after}: resumed dataset must be byte-identical"
+        );
+        assert_eq!(
+            serde_json::to_vec(resumed.survey().coverage().unwrap()).unwrap(),
+            serde_json::to_vec(report).unwrap(),
+            "kill at {after}: resumed coverage must be byte-identical"
+        );
+        assert_eq!(resumed.billed_images(), fresh.billed_images(), "kill at {after}");
+        assert_eq!(
+            resumed.fees_usd().to_bits(),
+            fresh.fees_usd().to_bits(),
+            "kill at {after}"
+        );
+
+        // the quarantine journal across both processes is the reference
+        // sequence: each poison location decided once, in the same order
+        let scan = nbhd_journal::scan_file(&journal_path(&dir)).unwrap();
+        assert_eq!(
+            quarantine_journal(&scan),
+            ref_quarantine,
+            "kill at {after}: quarantine journal must replay, not re-execute"
+        );
+        // and the attempt ledger never exceeds the budget for any location
+        for record in report.quarantine_records() {
+            let key = record.location.0.to_string();
+            let logged = scan
+                .records
+                .iter()
+                .filter(|r| r.kind == ATTEMPT_RECORD_KIND && r.key == key)
+                .count();
+            assert_eq!(
+                logged as u32, record.attempts,
+                "kill at {after}: location {} was re-attempted",
+                record.location
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Builds a deterministic batch of labels from `(location, heading index)`
 /// pairs, for exercising the merge in isolation.
 fn labels_from(pairs: &[(u64, usize)]) -> Vec<ImageLabels> {
@@ -130,8 +295,112 @@ fn labels_from(pairs: &[(u64, usize)]) -> Vec<ImageLabels> {
         .collect()
 }
 
+/// Strategy for a quarantine cause with a small deterministic payload.
+fn cause_strategy() -> impl Strategy<Value = QuarantineCause> {
+    prop_oneof![
+        "[a-z]{0,8}".prop_map(QuarantineCause::Panic),
+        "[a-z]{0,8}".prop_map(QuarantineCause::Corrupt),
+        "[a-z]{0,8}".prop_map(QuarantineCause::Service),
+    ]
+}
+
+/// Strategy for one internally-consistent shard coverage: planned is the
+/// sum of completed, quarantined, and skipped.
+fn shard_coverage_strategy() -> impl Strategy<Value = ShardCoverage> {
+    (
+        0usize..30,
+        proptest::collection::vec((0u64..1000, 1u32..5, cause_strategy()), 0..5),
+        proptest::collection::vec(0u64..1000, 0..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(completed, quars, skipped, timed_out)| {
+            let quarantined: Vec<QuarantineRecord> = quars
+                .into_iter()
+                .map(|(loc, attempts, cause)| QuarantineRecord {
+                    location: LocationId(loc),
+                    stage: QuarantineStage::Capture,
+                    attempts,
+                    cause,
+                })
+                .collect();
+            let skipped: Vec<LocationId> = skipped.into_iter().map(LocationId).collect();
+            ShardCoverage {
+                shard: 0,
+                planned_locations: completed + quarantined.len() + skipped.len(),
+                completed_locations: completed,
+                completed_units: completed * 4,
+                quarantined,
+                skipped,
+                outcome: if timed_out {
+                    ShardOutcome::TimedOut
+                } else {
+                    ShardOutcome::Completed
+                },
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // coverage aggregation algebra: report totals are exactly the per-shard
+    // sums, the fraction is honest, and none of it depends on the order
+    // shards arrive in
+    #[test]
+    fn coverage_report_totals_are_sums_and_shard_order_invariant(
+        mut shards in proptest::collection::vec(shard_coverage_strategy(), 0..8),
+        rotate in 0usize..8,
+    ) {
+        for (i, s) in shards.iter_mut().enumerate() {
+            s.shard = i;
+        }
+        let report = CoverageReport { shards: shards.clone(), regions: Vec::new() };
+
+        let planned: usize = shards.iter().map(|s| s.planned_locations).sum();
+        let completed: usize = shards.iter().map(|s| s.completed_locations).sum();
+        let quarantined: usize = shards.iter().map(|s| s.quarantined.len()).sum();
+        let skipped: usize = shards.iter().map(|s| s.skipped.len()).sum();
+        let retries: u64 = shards
+            .iter()
+            .flat_map(|s| s.quarantined.iter())
+            .map(|r| u64::from(r.attempts - 1))
+            .sum();
+        prop_assert_eq!(report.planned_locations(), planned);
+        prop_assert_eq!(report.completed_locations(), completed);
+        prop_assert_eq!(report.quarantined_count(), quarantined);
+        prop_assert_eq!(report.skipped_count(), skipped);
+        prop_assert_eq!(report.retries(), retries);
+        prop_assert_eq!(planned, completed + quarantined + skipped);
+
+        // the fraction is honest: completed over planned, 1.0 on empty
+        if planned == 0 {
+            prop_assert_eq!(report.fraction(), 1.0);
+        } else {
+            let expect = completed as f64 / planned as f64;
+            prop_assert!((report.fraction() - expect).abs() < 1e-12);
+        }
+
+        // every quarantine lands in exactly one cause bucket
+        prop_assert_eq!(report.cause_counts().values().sum::<usize>(), quarantined);
+
+        // shard arrival order must not change any aggregate
+        let mut rotated = shards.clone();
+        if !rotated.is_empty() {
+            rotated.rotate_left(rotate % rotated.len());
+        }
+        let shuffled = CoverageReport { shards: rotated, regions: Vec::new() };
+        prop_assert_eq!(shuffled.planned_locations(), planned);
+        prop_assert_eq!(shuffled.completed_locations(), completed);
+        prop_assert_eq!(shuffled.quarantined_count(), quarantined);
+        prop_assert_eq!(shuffled.skipped_count(), skipped);
+        prop_assert_eq!(shuffled.retries(), retries);
+        prop_assert_eq!(shuffled.cause_counts(), report.cause_counts());
+        prop_assert_eq!(shuffled.timed_out_shards(), report.timed_out_shards());
+        prop_assert!((shuffled.fraction() - report.fraction()).abs() < 1e-12);
+
+        // rendering rows is 1:1 with shards
+        prop_assert_eq!(report.rows().len(), shards.len());
+    }
 
     // merge algebra: the merged dataset is a pure function of the multiset
     // of shard annotations — invariant to batch order and to how the units
