@@ -5,6 +5,22 @@ use std::collections::BTreeMap;
 use nbhd_obs::{Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 
+/// The one token-to-USD pricing rule for the whole workspace: tokens are
+/// billed per thousand, input and output at their own rates, in this exact
+/// floating-point fold order. Every biller — [`CostMeter::record_success`],
+/// per-line tenant billing in `nbhd-serve` — must route through this
+/// function so a future price-model change can never diverge tenant bills
+/// from the meter.
+pub fn token_cost_usd(
+    input_tokens: u64,
+    output_tokens: u64,
+    usd_per_1k_input: f64,
+    usd_per_1k_output: f64,
+) -> f64 {
+    input_tokens as f64 / 1000.0 * usd_per_1k_input
+        + output_tokens as f64 / 1000.0 * usd_per_1k_output
+}
+
 /// Usage counters for one model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ModelUsage {
@@ -101,8 +117,12 @@ impl CostMeter {
             u.retries += u64::from(attempts.saturating_sub(1));
             u.input_tokens += input_tokens;
             u.output_tokens += output_tokens;
-            u.usd += input_tokens as f64 / 1000.0 * usd_per_1k_input
-                + output_tokens as f64 / 1000.0 * usd_per_1k_output;
+            u.usd += token_cost_usd(
+                input_tokens,
+                output_tokens,
+                usd_per_1k_input,
+                usd_per_1k_output,
+            );
             u.latency_ms += latency_ms;
         }
         let mut hists = self.hists.lock();

@@ -63,7 +63,7 @@ pub use breaker::{
     BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransitions, BreakerTransport,
     CircuitBreaker,
 };
-pub use cost::{CostMeter, ModelUsage};
+pub use cost::{token_cost_usd, CostMeter, ModelUsage};
 pub use ensemble::{
     Ensemble, EnsembleOutcome, ModelAnswers, ResilienceConfig, VOTE_RECORD_KIND,
 };

@@ -1,0 +1,381 @@
+//! Distributed shard runs: one process executes one shard of a supervised
+//! survey and exports a mergeable per-shard [`RunArtifact`].
+//!
+//! [`run_shard_distributed`] drives exactly the shard pass that
+//! [`crate::run_supervised`] would run in-process for shard `i` of `N`:
+//! same plan assignment, same quarantine/retry/watchdog decisions, same
+//! virtual-time charges — but against its own fresh [`Obs`] bundle whose
+//! clock starts at zero. The exported artifact is stamped with a
+//! [`ShardIdentity`] whose `config_hash` is computed by
+//! [`distributed_config_hash`]: the hash of the survey config (worker
+//! count normalized out, exactly as [`nbhd_journal::RunManifest`] does),
+//! the supervise policy, and the poison schedule. The shard *count* is
+//! deliberately not hashed — like the worker count, how a run is
+//! partitioned must not change what it computes — so the merge refuses
+//! mismatched partitionings through [`ShardIdentity::count`] instead.
+//!
+//! # The cross-process determinism contract
+//!
+//! `RunArtifact::merge_shards` over the N per-shard artifacts is
+//! **byte-identical on the deterministic surface** to the artifact
+//! [`run_supervised_artifact`] records for the same run in one process,
+//! at any shard count and any worker count:
+//!
+//! * each per-shard process roots its spans at `shard-i` on a clock
+//!   starting at zero; the merge re-bases shard `i` by the summed extents
+//!   of shards `0..i`, reproducing the single shared clock;
+//! * per-shard counter publications are per-process values (this shard
+//!   ran `1` shard, quarantined *its* locations, counted *its* class
+//!   prevalence), so summation reproduces the single-process totals;
+//! * coverage folds with the same region-sum algebra
+//!   [`crate::CoverageReport`] pins in-process.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nbhd_annotate::HumanLabeler;
+use nbhd_exec::{Parallelism, ScopedPool};
+use nbhd_geo::{ShardPlan, SurveySample};
+use nbhd_gsv::PoisonSchedule;
+use nbhd_journal::CheckpointStore;
+use nbhd_obs::{Obs, RegionCoverageRow, RunArtifact, RunCoverage, ShardCoverageRow, ShardIdentity};
+use nbhd_types::rng::child_seed;
+use nbhd_types::{Error, ImageLabels, Result};
+use serde::Serialize;
+
+use crate::shard::ShardedOutcome;
+use crate::supervise::{
+    publish_class_counts, run_shard_supervised, ShardCoverage, ShardOutcome, SupervisePolicy,
+    COVERAGE_FRACTION_GAUGE, QUARANTINE_CAUSE_PREFIX, QUARANTINE_COUNT_METRIC,
+    QUARANTINE_RETRY_METRIC, SHARD_OUTCOME_COMPLETED_METRIC, SHARD_OUTCOME_TIMED_OUT_METRIC,
+};
+use crate::{
+    run_supervised, SurveyConfig, SHARD_COUNT_METRIC, SHARD_PEAK_GAUGE, SHARD_WALL_MS_HIST,
+};
+
+/// The identity hash stamped into every shard's [`ShardIdentity`]: the
+/// survey config with the worker count normalized to [`Parallelism::auto`]
+/// (results are bit-identical at any setting, so it is not identity),
+/// plus the supervise policy and poison schedule (which *do* change what
+/// the run computes). The shard count is deliberately excluded — see the
+/// module docs.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] when the identity cannot be serialized.
+pub fn distributed_config_hash(
+    config: &SurveyConfig,
+    policy: &SupervisePolicy,
+    poison: Option<PoisonSchedule>,
+) -> Result<u64> {
+    #[derive(Serialize)]
+    struct Identity<'a> {
+        survey: SurveyConfig,
+        policy: &'a SupervisePolicy,
+        poison: Option<PoisonSchedule>,
+    }
+    let identity = Identity {
+        survey: SurveyConfig {
+            parallelism: Parallelism::auto(),
+            ..config.clone()
+        },
+        policy,
+        poison,
+    };
+    nbhd_journal::config_hash(&identity)
+        .map_err(|e| Error::config(format!("distributed identity: {e}")))
+}
+
+/// What one distributed shard process produced.
+#[derive(Debug)]
+pub struct DistributedShardRun {
+    artifact: RunArtifact,
+    coverage: ShardCoverage,
+    annotations: Vec<ImageLabels>,
+    peak_resident_scenes: usize,
+    billed_images: u64,
+}
+
+impl DistributedShardRun {
+    /// The exported per-shard artifact (stamped and coverage-carrying).
+    pub fn artifact(&self) -> &RunArtifact {
+        &self.artifact
+    }
+
+    /// The shard's coverage facts.
+    pub fn coverage(&self) -> &ShardCoverage {
+        &self.coverage
+    }
+
+    /// The shard's merged-in annotations.
+    pub fn annotations(&self) -> &[ImageLabels] {
+        &self.annotations
+    }
+
+    /// The shard service's scene high-water mark.
+    pub fn peak_resident_scenes(&self) -> usize {
+        self.peak_resident_scenes
+    }
+
+    /// Scenes billed fresh by this process.
+    pub fn billed_images(&self) -> u64 {
+        self.billed_images
+    }
+}
+
+/// The artifact-side coverage section for one shard: its own shard row
+/// plus its own region rows (which the merge sums by region name).
+fn shard_run_coverage(coverage: &ShardCoverage) -> RunCoverage {
+    RunCoverage {
+        shards: vec![ShardCoverageRow {
+            shard: coverage.shard,
+            planned: coverage.planned_locations as u64,
+            completed: coverage.completed_locations as u64,
+            quarantined: coverage.quarantined.len() as u64,
+            skipped: coverage.skipped.len() as u64,
+            timed_out: coverage.outcome == ShardOutcome::TimedOut,
+        }],
+        regions: coverage
+            .regions
+            .iter()
+            .map(|r| RegionCoverageRow {
+                region: r.region.clone(),
+                planned: r.planned as u64,
+                completed: r.completed as u64,
+                quarantined: r.quarantined as u64,
+                skipped: r.skipped as u64,
+            })
+            .collect(),
+    }
+}
+
+/// Executes shard `index` of `shards` as its own process would: a fresh
+/// [`Obs`] bundle (clock at zero), the `shard-{index}` root span, the
+/// supervised shard pass, and per-process counter publications chosen so
+/// that summing N shards reproduces the single-process run exactly.
+///
+/// With a `store`, the shard journals through it like the in-process
+/// supervisor (quarantine facts, attempt ledger, completed-shard replay).
+///
+/// # Errors
+///
+/// Returns configuration errors (including `index >= shards`), sampling
+/// failures, and store failures. Capture failures quarantine, never abort.
+pub fn run_shard_distributed(
+    name: &str,
+    config: &SurveyConfig,
+    shards: usize,
+    index: usize,
+    policy: SupervisePolicy,
+    poison: Option<PoisonSchedule>,
+    store: Option<Arc<dyn CheckpointStore>>,
+) -> Result<DistributedShardRun> {
+    config.validate()?;
+    policy.validate()?;
+    let plan = ShardPlan::new(shards)?;
+    if index >= shards {
+        return Err(Error::config(format!(
+            "shard index {index} outside 0..{shards}"
+        )));
+    }
+    let config_hash = distributed_config_hash(config, &policy, poison)?;
+    let sample = SurveySample::draw_regions(
+        &config.regions,
+        config.locations,
+        config.network_scale,
+        config.seed,
+    )?;
+    let labeler = HumanLabeler::new(config.labeler_profile(), child_seed(config.seed, "labeler"));
+    let obs = Obs::new();
+    let pool = ScopedPool::new(config.parallelism).with_metrics(Arc::clone(obs.registry()));
+    let clock = Arc::clone(obs.clock());
+
+    let started = Instant::now();
+    let stage = obs.tracer().enter(&format!("shard-{index}"));
+    let (annotations, peak, billed, coverage) = run_shard_supervised(
+        config,
+        &sample,
+        plan,
+        index,
+        policy,
+        poison,
+        &labeler,
+        &pool,
+        &clock,
+        store.as_ref(),
+    )?;
+    stage.record();
+
+    let registry = obs.registry();
+    registry.record_wall_hist(SHARD_WALL_MS_HIST, started.elapsed().as_millis() as u64);
+    publish_class_counts(registry, &annotations);
+    // Per-process values: this process ran one shard, quarantined its own
+    // locations, and spent its own retries. Summed over all N shards these
+    // equal the totals run_supervised publishes in one process.
+    registry.set(SHARD_COUNT_METRIC, 1);
+    registry.set_gauge(SHARD_PEAK_GAUGE, peak as f64);
+    registry.set(QUARANTINE_COUNT_METRIC, coverage.quarantined.len() as u64);
+    let retries: u64 = coverage
+        .quarantined
+        .iter()
+        .map(|r| u64::from(r.attempts.saturating_sub(1)))
+        .sum();
+    registry.set(QUARANTINE_RETRY_METRIC, retries);
+    let mut cause_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for record in &coverage.quarantined {
+        *cause_counts.entry(record.cause.slug()).or_insert(0) += 1;
+    }
+    for (slug, count) in cause_counts {
+        registry.set(&format!("{QUARANTINE_CAUSE_PREFIX}{slug}"), count);
+    }
+    let (completed, timed_out) = match coverage.outcome {
+        ShardOutcome::Completed => (1, 0),
+        ShardOutcome::TimedOut => (0, 1),
+    };
+    registry.set(SHARD_OUTCOME_COMPLETED_METRIC, completed);
+    registry.set(SHARD_OUTCOME_TIMED_OUT_METRIC, timed_out);
+    let run_coverage = shard_run_coverage(&coverage);
+    registry.set_gauge(COVERAGE_FRACTION_GAUGE, run_coverage.fraction());
+
+    let artifact = RunArtifact::from_obs(name, &obs)
+        .with_shard(ShardIdentity {
+            index,
+            count: shards,
+            config_hash,
+        })
+        .with_coverage(run_coverage);
+    Ok(DistributedShardRun {
+        artifact,
+        coverage,
+        annotations,
+        peak_resident_scenes: peak,
+        billed_images: billed,
+    })
+}
+
+/// Runs the whole supervised survey in this process against a fresh
+/// [`Obs`] bundle and freezes it as the reference artifact (coverage
+/// section attached) that a merged N-shard artifact must byte-match on
+/// the deterministic surface.
+///
+/// # Errors
+///
+/// Propagates [`run_supervised`] errors and shard-plan validation.
+pub fn run_supervised_artifact(
+    name: &str,
+    config: &SurveyConfig,
+    shards: usize,
+    policy: SupervisePolicy,
+    poison: Option<PoisonSchedule>,
+    store: Option<Arc<dyn CheckpointStore>>,
+) -> Result<(RunArtifact, ShardedOutcome)> {
+    let plan = ShardPlan::new(shards)?;
+    let obs = Obs::new();
+    let outcome = run_supervised(config, plan, policy, poison, store, Some(&obs))?;
+    let coverage = outcome
+        .survey()
+        .coverage()
+        .map(crate::CoverageReport::run_coverage)
+        .unwrap_or_else(|| RunCoverage {
+            shards: Vec::new(),
+            regions: Vec::new(),
+        });
+    let artifact = RunArtifact::from_obs(name, &obs).with_coverage(coverage);
+    Ok((artifact, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_hash_normalizes_workers_and_ignores_shard_count() {
+        let config = SurveyConfig::smoke(31);
+        let policy = SupervisePolicy::default();
+        let serial = SurveyConfig {
+            parallelism: Parallelism::serial(),
+            ..config.clone()
+        };
+        let par = SurveyConfig {
+            parallelism: Parallelism::fixed(4),
+            ..config.clone()
+        };
+        let a = distributed_config_hash(&serial, &policy, None).unwrap();
+        let b = distributed_config_hash(&par, &policy, None).unwrap();
+        assert_eq!(a, b, "worker count is not identity");
+        // there is no shard-count input at all: the hash cannot depend on it
+        let seeded = SurveyConfig::smoke(32);
+        assert_ne!(
+            distributed_config_hash(&seeded, &policy, None).unwrap(),
+            a,
+            "the seed is identity"
+        );
+        let poisoned = distributed_config_hash(
+            &config,
+            &policy,
+            Some(PoisonSchedule::new(31).with_panic_rate(0.1)),
+        )
+        .unwrap();
+        assert_ne!(poisoned, a, "the poison schedule is identity");
+        let retried = SupervisePolicy {
+            max_attempts: 5,
+            ..policy
+        };
+        assert_ne!(
+            distributed_config_hash(&config, &retried, None).unwrap(),
+            a,
+            "the supervise policy is identity"
+        );
+    }
+
+    #[test]
+    fn out_of_range_shard_index_is_rejected() {
+        let config = SurveyConfig::smoke(33);
+        let err = run_shard_distributed(
+            "s",
+            &config,
+            2,
+            2,
+            SupervisePolicy::default(),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn shard_artifact_is_stamped_and_covered() {
+        let config = SurveyConfig::smoke(34);
+        let run = run_shard_distributed(
+            "shard-0-of-2",
+            &config,
+            2,
+            0,
+            SupervisePolicy::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        let artifact = run.artifact();
+        let identity = artifact.shard.expect("stamped");
+        assert_eq!(identity.index, 0);
+        assert_eq!(identity.count, 2);
+        assert_eq!(
+            identity.config_hash,
+            distributed_config_hash(&config, &SupervisePolicy::default(), None).unwrap()
+        );
+        let coverage = artifact.coverage.as_ref().expect("coverage attached");
+        assert_eq!(coverage.shards.len(), 1);
+        assert_eq!(coverage.shards[0].shard, 0);
+        assert_eq!(
+            coverage.planned(),
+            run.coverage().planned_locations as u64
+        );
+        assert!(
+            artifact.spans.iter().all(|s| s.key.starts_with("shard-0")),
+            "all spans rooted at the shard"
+        );
+    }
+}

@@ -32,6 +32,7 @@
 mod baseline;
 mod checkpoint;
 mod config;
+mod distributed;
 mod experiments;
 mod llm_survey;
 mod panorama;
@@ -49,6 +50,9 @@ pub use checkpoint::{
     STAGE_VIRTUAL_MS_HIST,
 };
 pub use config::SurveyConfig;
+pub use distributed::{
+    distributed_config_hash, run_shard_distributed, run_supervised_artifact, DistributedShardRun,
+};
 pub use experiments::{ExperimentReport, PaperExperiments};
 pub use llm_survey::{
     paper_lineup, run_llm_survey, run_llm_survey_observed, LlmSurveyConfig, LlmSurveyOutcome,
@@ -64,20 +68,22 @@ pub use shard::{
 pub use supervise::{
     run_supervised, CoverageReport, QuarantineCause, QuarantineRecord, QuarantineStage,
     RegionCoverage, ShardCoverage, ShardOutcome, SupervisePolicy, ATTEMPT_RECORD_KIND,
-    COVERAGE_FRACTION_GAUGE, QUARANTINE_CAUSE_PREFIX, QUARANTINE_COUNT_METRIC,
-    QUARANTINE_RECORD_KIND, QUARANTINE_RETRY_METRIC, SHARD_OUTCOME_COMPLETED_METRIC,
-    SHARD_OUTCOME_TIMED_OUT_METRIC, SUPERVISED_SHARD_RECORD_KIND,
+    CLASS_IMAGE_PREFIX, COVERAGE_FRACTION_GAUGE, QUARANTINE_CAUSE_PREFIX,
+    QUARANTINE_COUNT_METRIC, QUARANTINE_RECORD_KIND, QUARANTINE_RETRY_METRIC,
+    SHARD_OUTCOME_COMPLETED_METRIC, SHARD_OUTCOME_TIMED_OUT_METRIC, SUPERVISED_SHARD_RECORD_KIND,
 };
 pub use transfer::{run_transfer, TransferOutcome};
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
     pub use crate::{
-        paper_lineup, run_checkpointed, run_llm_survey, run_llm_survey_observed, run_observed,
-        run_sharded, run_supervised, run_transfer, train_baseline, AugmentationPolicy,
-        CoverageReport, LlmSurveyConfig, PaperExperiments, QuarantineCause, QuarantineRecord,
-        RunPlan, RunReport, ShardOutcome, ShardedOutcome, SupervisePolicy, SurveyConfig,
-        SurveyDataset, SurveyPipeline, TransferOutcome,
+        distributed_config_hash, paper_lineup, run_checkpointed, run_llm_survey,
+        run_llm_survey_observed, run_observed, run_shard_distributed, run_sharded,
+        run_supervised, run_supervised_artifact, run_transfer, train_baseline,
+        AugmentationPolicy, CoverageReport, DistributedShardRun, LlmSurveyConfig,
+        PaperExperiments, QuarantineCause, QuarantineRecord, RunPlan, RunReport, ShardOutcome,
+        ShardedOutcome, SupervisePolicy, SurveyConfig, SurveyDataset, SurveyPipeline,
+        TransferOutcome,
     };
     pub use nbhd_annotate::{LabeledDataset, SplitRatios};
     pub use nbhd_client::{Ensemble, ExecutorConfig, FaultProfile};

@@ -36,7 +36,7 @@ use nbhd_gsv::{PoisonSchedule, StreetViewService, FEE_PER_IMAGE_USD};
 use nbhd_journal::CheckpointStore;
 use nbhd_obs::{Obs, VirtualClock};
 use nbhd_types::rng::child_seed;
-use nbhd_types::{Error, Heading, ImageLabels, LocationId, Result};
+use nbhd_types::{Error, Heading, ImageLabels, Indicator, LocationId, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::pipeline::capture_unit;
@@ -79,8 +79,15 @@ pub const SHARD_OUTCOME_TIMED_OUT_METRIC: &str = "core.shard.outcome.timed_out";
 /// Gauge: the run's location coverage fraction (completed / planned).
 pub const COVERAGE_FRACTION_GAUGE: &str = "core.coverage.fraction";
 
+/// Counter prefix for per-class prevalence: the full metric name is the
+/// prefix plus an [`Indicator::label_key`] plus `.images`, counting the
+/// annotated images in which that indicator appears at least once. The
+/// counters are additive so a distributed run's shard values sum to the
+/// single-process totals.
+pub const CLASS_IMAGE_PREFIX: &str = "core.class.";
+
 /// How the supervisor retries, backs off, and times out.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SupervisePolicy {
     /// Capture attempts per location before quarantine (first try included).
     pub max_attempts: u32,
@@ -212,6 +219,12 @@ pub struct ShardCoverage {
     pub skipped: Vec<LocationId>,
     /// How the shard ended.
     pub outcome: ShardOutcome,
+    /// Per-region rows for this shard, derived from the shard plan at run
+    /// time (so a region whose locations were all quarantined or skipped
+    /// still gets an honest row). Empty on records journaled before this
+    /// field existed; [`run_supervised`] reconstructs those from the plan.
+    #[serde(default)]
+    pub regions: Vec<RegionCoverage>,
 }
 
 /// One region's coverage facts, aggregated over shards.
@@ -316,6 +329,38 @@ impl CoverageReport {
                 },
             })
             .collect()
+    }
+
+    /// The artifact-side projection of this report: the coverage section
+    /// a [`nbhd_obs::RunArtifact`] carries, built so that merging N
+    /// per-shard projections reproduces the whole-run projection exactly
+    /// (shard rows in index order, region rows summed by name).
+    pub fn run_coverage(&self) -> nbhd_obs::RunCoverage {
+        nbhd_obs::RunCoverage {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| nbhd_obs::ShardCoverageRow {
+                    shard: s.shard,
+                    planned: s.planned_locations as u64,
+                    completed: s.completed_locations as u64,
+                    quarantined: s.quarantined.len() as u64,
+                    skipped: s.skipped.len() as u64,
+                    timed_out: s.outcome == ShardOutcome::TimedOut,
+                })
+                .collect(),
+            regions: self
+                .regions
+                .iter()
+                .map(|r| nbhd_obs::RegionCoverageRow {
+                    region: r.region.clone(),
+                    planned: r.planned as u64,
+                    completed: r.completed as u64,
+                    quarantined: r.quarantined as u64,
+                    skipped: r.skipped as u64,
+                })
+                .collect(),
+        }
     }
 
     /// Per-region rows for [`nbhd_eval::render_coverage_table`].
@@ -483,6 +528,9 @@ pub fn run_supervised(
     }
 
     let annotations = merge_shard_annotations(batches);
+    if let Some(obs) = obs {
+        publish_class_counts(obs.registry(), &annotations);
+    }
     let dataset = LabeledDataset::build(
         annotations,
         config.image_size,
@@ -509,7 +557,7 @@ pub fn run_supervised(
         (billed_fresh, fees)
     };
 
-    let report = build_report(coverages, &sample, &service);
+    let report = build_report(coverages, &sample, plan, &service);
     if let Some(obs) = obs {
         let registry = obs.registry();
         registry.set(SHARD_COUNT_METRIC, plan.shards() as u64);
@@ -545,9 +593,10 @@ pub fn run_supervised(
 
 /// One supervised shard pass. Returns the shard's merged-in annotations,
 /// its service's scene high-water mark, freshly billed scenes, and its
-/// coverage facts.
+/// coverage facts. `pub(crate)` so [`crate::run_shard_distributed`] can
+/// drive exactly this pass in its own process.
 #[allow(clippy::too_many_arguments)]
-fn run_shard_supervised(
+pub(crate) fn run_shard_supervised(
     config: &SurveyConfig,
     sample: &SurveySample,
     plan: ShardPlan,
@@ -781,6 +830,7 @@ fn run_shard_supervised(
     }
     skipped.sort_unstable();
 
+    let regions = region_rows_for_shard(sample, &planned, &quarantined, &skipped);
     let coverage = ShardCoverage {
         shard,
         planned_locations: planned.len(),
@@ -793,6 +843,7 @@ fn run_shard_supervised(
         } else {
             ShardOutcome::Completed
         },
+        regions,
     };
     let peak = service.peak_resident_scenes();
     let billed = service.usage().billed_images - billed_before;
@@ -811,21 +862,27 @@ fn run_shard_supervised(
     Ok((annotations, peak, billed, coverage))
 }
 
-/// Folds per-shard coverage into the run report, attributing each planned
-/// location to its sampled region (county).
-fn build_report(
-    shards: Vec<ShardCoverage>,
+/// One shard's per-region rows, derived from the shard *plan* — every
+/// planned location contributes a `planned` count whether it completed,
+/// quarantined, or was skipped. The supervised pass resolves each planned
+/// location to exactly one of those three fates, so per-region `completed`
+/// is the exact remainder `planned - quarantined - skipped`; deriving
+/// `planned` from completed captures instead (the old `build_report` bug)
+/// erased regions whose locations all failed.
+fn region_rows_for_shard(
     sample: &SurveySample,
-    service: &StreetViewService,
-) -> CoverageReport {
+    planned: &[LocationId],
+    quarantined: &[QuarantineRecord],
+    skipped: &[LocationId],
+) -> Vec<RegionCoverage> {
     let county_of: HashMap<LocationId, &str> = sample
         .points()
         .iter()
         .map(|p| (p.id, p.county.as_str()))
         .collect();
     let mut regions: BTreeMap<&str, RegionCoverage> = BTreeMap::new();
-    for location in service.covered_locations() {
-        let county = county_of.get(&location).copied().unwrap_or("unknown");
+    for location in planned {
+        let county = county_of.get(location).copied().unwrap_or("unknown");
         let entry = regions.entry(county).or_insert_with(|| RegionCoverage {
             region: county.to_owned(),
             planned: 0,
@@ -834,27 +891,89 @@ fn build_report(
             skipped: 0,
         });
         entry.planned += 1;
-        entry.completed += 1;
     }
-    let mut subtract = |location: LocationId, quarantined: bool| {
-        if let Some(entry) = county_of
-            .get(&location)
-            .and_then(|county| regions.get_mut(county))
-        {
-            entry.completed = entry.completed.saturating_sub(1);
-            if quarantined {
-                entry.quarantined += 1;
-            } else {
-                entry.skipped += 1;
-            }
+    for record in quarantined {
+        let county = county_of.get(&record.location).copied().unwrap_or("unknown");
+        if let Some(entry) = regions.get_mut(county) {
+            entry.quarantined += 1;
         }
-    };
+    }
+    for location in skipped {
+        let county = county_of.get(location).copied().unwrap_or("unknown");
+        if let Some(entry) = regions.get_mut(county) {
+            entry.skipped += 1;
+        }
+    }
+    for entry in regions.values_mut() {
+        entry.completed = entry
+            .planned
+            .saturating_sub(entry.quarantined)
+            .saturating_sub(entry.skipped);
+    }
+    regions.into_values().collect()
+}
+
+/// Publishes the per-class prevalence counters over a set of annotations:
+/// for every indicator, the number of images where it appears at least
+/// once. Published with `add` so per-shard processes and the single-process
+/// driver agree by summation.
+pub(crate) fn publish_class_counts(
+    registry: &nbhd_obs::MetricsRegistry,
+    annotations: &[ImageLabels],
+) {
+    for indicator in Indicator::ALL {
+        let count = annotations
+            .iter()
+            .filter(|labels| labels.objects.iter().any(|o| o.indicator == indicator))
+            .count();
+        registry.add(
+            &format!("{CLASS_IMAGE_PREFIX}{}.images", indicator.label_key()),
+            count as u64,
+        );
+    }
+}
+
+/// Folds per-shard coverage into the run report. Region rows are computed
+/// by each shard from its own plan ([`region_rows_for_shard`]); this fold
+/// only sums them by region name — the same algebra
+/// `nbhd_obs::RunCoverage::merge` applies across processes, so region
+/// totals equal shard totals by construction.
+fn build_report(
+    mut shards: Vec<ShardCoverage>,
+    sample: &SurveySample,
+    plan: ShardPlan,
+    service: &StreetViewService,
+) -> CoverageReport {
+    // Shard records journaled before per-shard region rows existed replay
+    // with empty `regions`; reconstruct those from the shard plan so a
+    // resumed legacy run still reports honest region counts.
+    for shard in &mut shards {
+        if shard.regions.is_empty() && shard.planned_locations > 0 {
+            let planned: Vec<LocationId> = service
+                .covered_locations()
+                .into_iter()
+                .filter(|&location| plan.assign(location) == shard.shard)
+                .collect();
+            shard.regions =
+                region_rows_for_shard(sample, &planned, &shard.quarantined, &shard.skipped);
+        }
+    }
+    let mut regions: BTreeMap<String, RegionCoverage> = BTreeMap::new();
     for shard in &shards {
-        for record in &shard.quarantined {
-            subtract(record.location, true);
-        }
-        for &location in &shard.skipped {
-            subtract(location, false);
+        for row in &shard.regions {
+            let entry = regions
+                .entry(row.region.clone())
+                .or_insert_with(|| RegionCoverage {
+                    region: row.region.clone(),
+                    planned: 0,
+                    completed: 0,
+                    quarantined: 0,
+                    skipped: 0,
+                });
+            entry.planned += row.planned;
+            entry.completed += row.completed;
+            entry.quarantined += row.quarantined;
+            entry.skipped += row.skipped;
         }
     }
     CoverageReport {

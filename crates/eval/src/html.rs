@@ -1,0 +1,381 @@
+//! Single-file HTML run reports.
+//!
+//! [`render_html_report`] turns a [`RunArtifact`] into one self-contained
+//! HTML document — inline CSS, no scripts fetched, no external assets —
+//! that a reviewer can open with zero tooling (the shape wasmer-borealis
+//! popularized for its benchmark reports). It renders the run's setup and
+//! identity, its coverage tables (or an explicit "not recorded" notice —
+//! absent coverage is never presented as full), per-class prevalence,
+//! deterministic counters, latency percentile tables, and the stage-span
+//! timeline, and embeds the Chrome-trace JSON in a `<script
+//! type="application/json">` island for copy-paste into Perfetto.
+
+use nbhd_obs::{Histogram, RunArtifact};
+
+/// Escapes the five HTML-special characters for text and attribute
+/// positions.
+fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One histogram as a percentile table row.
+fn hist_row(out: &mut String, name: &str, hist: &Histogram) {
+    out.push_str(&format!(
+        "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+         <td class=\"num\">{:.1}</td><td class=\"num\">{}</td>\
+         <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+         <td class=\"num\">{}</td></tr>\n",
+        escape_html(name),
+        hist.count(),
+        hist.min(),
+        hist.mean(),
+        hist.p50(),
+        hist.p90(),
+        hist.p99(),
+        hist.max(),
+    ));
+}
+
+fn hist_table(out: &mut String, title: &str, hists: &std::collections::BTreeMap<String, Histogram>) {
+    if hists.is_empty() {
+        return;
+    }
+    out.push_str(&format!("<h3>{}</h3>\n", escape_html(title)));
+    out.push_str(
+        "<table><thead><tr><th>Histogram</th><th>Count</th><th>Min</th>\
+         <th>Mean</th><th>P50</th><th>P90</th><th>P99</th><th>Max</th>\
+         </tr></thead><tbody>\n",
+    );
+    for (name, hist) in hists {
+        hist_row(out, name, hist);
+    }
+    out.push_str("</tbody></table>\n");
+}
+
+/// Renders a [`RunArtifact`] as one self-contained HTML document.
+///
+/// The output references no external resources: styles are inline and the
+/// Chrome-trace JSON is embedded in a non-executing
+/// `<script type="application/json">` island (with `<` escaped so
+/// artifact names can never break out of it).
+///
+/// ```
+/// use nbhd_eval::render_html_report;
+/// use nbhd_obs::{Obs, RunArtifact};
+/// let obs = Obs::new();
+/// let stage = obs.tracer().enter("survey");
+/// obs.clock().advance_ms(10);
+/// stage.record();
+/// let html = render_html_report(&RunArtifact::from_obs("smoke", &obs));
+/// assert!(html.starts_with("<!DOCTYPE html>"));
+/// assert!(html.contains("chrome-trace"));
+/// ```
+pub fn render_html_report(artifact: &RunArtifact) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    let name = escape_html(&artifact.name);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>Run report: {name}</title>\n"));
+    out.push_str(
+        "<style>\n\
+         body { font-family: -apple-system, \"Segoe UI\", Roboto, sans-serif;\n\
+                margin: 2rem auto; max-width: 70rem; padding: 0 1rem; color: #1a1a1a; }\n\
+         h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }\n\
+         h2 { margin-top: 2rem; border-bottom: 1px solid #bbb; padding-bottom: .2rem; }\n\
+         table { border-collapse: collapse; margin: .75rem 0; width: 100%; }\n\
+         th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }\n\
+         thead th { background: #2d333b; color: #fff; }\n\
+         tbody tr:nth-child(even) { background: #f4f6f8; }\n\
+         tbody tr:hover { background: #e8eef4; }\n\
+         td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
+         .notice { background: #fff3cd; border: 1px solid #e0c76b;\n\
+                   padding: .6rem .8rem; border-radius: 4px; }\n\
+         code { background: #f0f1f3; padding: .1rem .3rem; border-radius: 3px; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    out.push_str(&format!("<h1>Run report: {name}</h1>\n"));
+
+    // --- Setup / manifest ---
+    out.push_str("<h2>Setup</h2>\n<table><tbody>\n");
+    let mut setup = |key: &str, value: String| {
+        out.push_str(&format!(
+            "<tr><th>{}</th><td>{}</td></tr>\n",
+            escape_html(key),
+            value
+        ));
+    };
+    setup("Run", name.clone());
+    setup("Schema version", artifact.schema_version.to_string());
+    match artifact.shard {
+        Some(identity) => {
+            setup(
+                "Shard",
+                format!("{} of {}", identity.index, identity.count),
+            );
+            setup("Config hash", format!("<code>{:016x}</code>", identity.config_hash));
+        }
+        None => setup("Shard", "whole run (single-process or merged)".to_string()),
+    }
+    setup("Stage spans", artifact.spans.len().to_string());
+    setup(
+        "Counters",
+        format!(
+            "{} deterministic, {} wall",
+            artifact.metrics.counters.len(),
+            artifact.metrics.wall_counters.len()
+        ),
+    );
+    match &artifact.coverage {
+        Some(coverage) => setup(
+            "Coverage",
+            format!(
+                "{:.1}% ({} of {} locations completed)",
+                coverage.fraction() * 100.0,
+                coverage.completed(),
+                coverage.planned()
+            ),
+        ),
+        None => setup("Coverage", "not recorded".to_string()),
+    }
+    out.push_str("</tbody></table>\n");
+
+    // --- Coverage ---
+    out.push_str("<h2>Coverage</h2>\n");
+    match &artifact.coverage {
+        Some(coverage) => {
+            out.push_str(
+                "<table><thead><tr><th>Shard</th><th>Planned</th>\
+                 <th>Completed</th><th>Quarantined</th><th>Skipped</th>\
+                 <th>Outcome</th></tr></thead><tbody>\n",
+            );
+            for row in &coverage.shards {
+                out.push_str(&format!(
+                    "<tr><td>shard {}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td>{}</td></tr>\n",
+                    row.shard,
+                    row.planned,
+                    row.completed,
+                    row.quarantined,
+                    row.skipped,
+                    if row.timed_out { "timed-out" } else { "completed" },
+                ));
+            }
+            out.push_str("</tbody></table>\n");
+            if !coverage.regions.is_empty() {
+                out.push_str(
+                    "<table><thead><tr><th>Region</th><th>Planned</th>\
+                     <th>Completed</th><th>Quarantined</th><th>Skipped</th>\
+                     </tr></thead><tbody>\n",
+                );
+                for row in &coverage.regions {
+                    out.push_str(&format!(
+                        "<tr><td>{}</td><td class=\"num\">{}</td>\
+                         <td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                         <td class=\"num\">{}</td></tr>\n",
+                        escape_html(&row.region),
+                        row.planned,
+                        row.completed,
+                        row.quarantined,
+                        row.skipped,
+                    ));
+                }
+                out.push_str("</tbody></table>\n");
+            }
+        }
+        None => out.push_str(
+            "<p class=\"notice\">This artifact records <strong>no coverage \
+             section</strong>. Absent coverage means \u{201c}not \
+             recorded\u{201d} &mdash; it is never presented as full \
+             coverage.</p>\n",
+        ),
+    }
+
+    // --- Per-class prevalence ---
+    let class_rows: Vec<(&str, u64)> = artifact
+        .metrics
+        .counters
+        .iter()
+        .filter_map(|(metric, value)| {
+            metric
+                .strip_prefix("core.class.")
+                .and_then(|rest| rest.strip_suffix(".images"))
+                .map(|class| (class, *value))
+        })
+        .collect();
+    if !class_rows.is_empty() {
+        out.push_str("<h2>Per-class prevalence</h2>\n");
+        out.push_str(
+            "<table><thead><tr><th>Indicator</th><th>Images containing it</th>\
+             </tr></thead><tbody>\n",
+        );
+        for (class, value) in class_rows {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{}</td></tr>\n",
+                escape_html(class),
+                value
+            ));
+        }
+        out.push_str("</tbody></table>\n");
+    }
+
+    // --- Deterministic counters ---
+    out.push_str("<h2>Counters</h2>\n");
+    if artifact.metrics.counters.is_empty() {
+        out.push_str("<p>No deterministic counters recorded.</p>\n");
+    } else {
+        out.push_str(
+            "<table><thead><tr><th>Counter</th><th>Value</th></tr></thead><tbody>\n",
+        );
+        for (metric, value) in &artifact.metrics.counters {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{}</td></tr>\n",
+                escape_html(metric),
+                value
+            ));
+        }
+        out.push_str("</tbody></table>\n");
+    }
+
+    // --- Latency percentiles ---
+    if !artifact.metrics.histograms.is_empty() || !artifact.metrics.wall_histograms.is_empty() {
+        out.push_str("<h2>Latency percentiles</h2>\n");
+        hist_table(&mut out, "Deterministic (virtual time)", &artifact.metrics.histograms);
+        hist_table(&mut out, "Wall clock", &artifact.metrics.wall_histograms);
+    }
+
+    // --- Stage spans ---
+    out.push_str("<h2>Stage spans</h2>\n");
+    if artifact.spans.is_empty() {
+        out.push_str("<p>No spans recorded.</p>\n");
+    } else {
+        out.push_str(
+            "<table><thead><tr><th>Stage</th><th>Start (vms)</th>\
+             <th>End (vms)</th><th>Duration (vms)</th><th>Wall (&micro;s)</th>\
+             </tr></thead><tbody>\n",
+        );
+        for span in &artifact.spans {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>\n",
+                escape_html(&span.key),
+                span.start_vms,
+                span.end_vms,
+                span.end_vms.saturating_sub(span.start_vms),
+                span.wall_us,
+            ));
+        }
+        out.push_str("</tbody></table>\n");
+    }
+
+    // --- Embedded Chrome trace ---
+    out.push_str("<h2>Trace</h2>\n");
+    out.push_str(
+        "<p>The span tree as Chrome-trace JSON (virtual timeline) is embedded \
+         below; copy the contents of the island into a <code>.json</code> \
+         file and open it in Perfetto or <code>chrome://tracing</code>.</p>\n",
+    );
+    let trace = serde_json::to_string(&artifact.chrome_trace())
+        .unwrap_or_else(|_| "{}".to_string())
+        // JSON strings may contain "</script>"; escaping every "<" keeps
+        // the island inert no matter what the run was named.
+        .replace('<', "\\u003c");
+    out.push_str(&format!(
+        "<script type=\"application/json\" id=\"chrome-trace\">{trace}</script>\n",
+    ));
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbhd_obs::{Obs, RunArtifact, RunCoverage, ShardCoverageRow, ShardIdentity};
+
+    fn sample_artifact() -> RunArtifact {
+        let obs = Obs::new();
+        let run = obs.tracer().enter("shard-0");
+        obs.clock().advance_ms(25);
+        run.record();
+        obs.registry().add("core.class.sidewalk.images", 12);
+        obs.registry().add("survey.captures", 48);
+        obs.registry().record_hist("lat.ms", 30);
+        obs.registry().record_hist("lat.ms", 90);
+        RunArtifact::from_obs("smoke </script> run", &obs)
+    }
+
+    #[test]
+    fn report_is_a_single_self_contained_document() {
+        let html = render_html_report(&sample_artifact());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // self-contained: no external fetches of any kind
+        for needle in ["href=", "src=", "url(", "@import"] {
+            assert!(!html.contains(needle), "external reference via {needle}");
+        }
+        assert!(html.contains("id=\"chrome-trace\""));
+        assert!(html.contains("core.class.sidewalk.images") || html.contains("sidewalk"));
+        assert!(html.contains("lat.ms"));
+    }
+
+    #[test]
+    fn names_cannot_escape_markup_or_the_trace_island() {
+        let html = render_html_report(&sample_artifact());
+        // the raw name never appears unescaped anywhere in the document
+        assert!(!html.contains("</script> run"));
+        assert!(html.contains("&lt;/script&gt; run"));
+        // inside the JSON island every '<' is unicode-escaped
+        let island = html
+            .split("id=\"chrome-trace\">")
+            .nth(1)
+            .and_then(|rest| rest.split("</script>").next())
+            .expect("trace island present");
+        assert!(!island.contains('<'));
+        assert!(island.contains("traceEvents"));
+    }
+
+    #[test]
+    fn absent_coverage_is_reported_as_not_recorded_never_full() {
+        let bare = render_html_report(&sample_artifact());
+        assert!(bare.contains("not recorded"));
+        assert!(!bare.contains("100.0%"));
+        let covered = sample_artifact().with_coverage(RunCoverage {
+            shards: vec![ShardCoverageRow {
+                shard: 0,
+                planned: 10,
+                completed: 8,
+                quarantined: 2,
+                skipped: 0,
+                timed_out: false,
+            }],
+            regions: Vec::new(),
+        });
+        let html = render_html_report(&covered);
+        assert!(html.contains("80.0%"));
+        assert!(!html.contains("not recorded"));
+    }
+
+    #[test]
+    fn shard_identity_renders_in_setup() {
+        let stamped = sample_artifact().with_shard(ShardIdentity {
+            index: 1,
+            count: 4,
+            config_hash: 0xdead_beef,
+        });
+        let html = render_html_report(&stamped);
+        assert!(html.contains("1 of 4"));
+        assert!(html.contains("00000000deadbeef"));
+        let whole = render_html_report(&sample_artifact());
+        assert!(whole.contains("whole run"));
+    }
+}

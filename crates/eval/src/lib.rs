@@ -27,6 +27,7 @@ mod bootstrap;
 mod chart;
 mod confusion;
 mod curve;
+mod html;
 mod metrics;
 mod report;
 mod vote;
@@ -37,6 +38,7 @@ pub use bootstrap::{
 };
 pub use chart::{bar_chart, line_chart};
 pub use confusion::BinaryConfusion;
+pub use html::render_html_report;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
 pub use report::{

@@ -22,6 +22,7 @@
 
 use nbhd_types::rng::{child_seed_n, splitmix64};
 use nbhd_types::LocationId;
+use serde::{Deserialize, Serialize};
 
 /// What kind of fault a poisoned location injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,7 +38,7 @@ pub enum PoisonKind {
 /// Rates are fractions in `[0, 1]`; panic and corrupt draws share one
 /// uniform stream with disjoint ranges (a location is never both), while
 /// stalls come from an independent stream and can coincide with either.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PoisonSchedule {
     seed: u64,
     panic_rate: f64,

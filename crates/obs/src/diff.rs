@@ -214,6 +214,29 @@ fn ratio_exceeded(baseline: u64, current: u64, ratio: f64, floor: u64) -> bool {
 pub fn diff(baseline: &RunArtifact, current: &RunArtifact, thresholds: &DiffThresholds) -> RunDiff {
     let mut regressions = Vec::new();
 
+    // Coverage presence: an absent coverage section is "not recorded",
+    // never full coverage — so one side carrying a section the other
+    // lacks is a structural finding, exactly like a one-sided counter.
+    // (A run silently losing its coverage claim must fail the gate, not
+    // default to 1.0.)
+    if baseline.coverage.is_some() != current.coverage.is_some() {
+        regressions.push(Regression {
+            kind: RegressionKind::Structure,
+            name: "coverage".to_string(),
+            baseline: baseline.coverage.as_ref().map_or(0.0, |c| c.fraction()),
+            current: current.coverage.as_ref().map_or(0.0, |c| c.fraction()),
+            detail: format!(
+                "coverage section present only in {} (absent coverage is \
+                 \"not recorded\", never full)",
+                if baseline.coverage.is_some() {
+                    "baseline"
+                } else {
+                    "current"
+                }
+            ),
+        });
+    }
+
     // Deterministic counters: union of names, flag drift in either
     // direction (a dropping task count means lost work, not a win).
     let mut counters = Vec::new();
@@ -483,6 +506,35 @@ mod tests {
         // 8ms -> 40ms crosses the floor and the ratio
         let d = diff(&build(8), &build(40), &DiffThresholds::default());
         assert!(!d.is_pass());
+    }
+
+    #[test]
+    fn one_sided_coverage_is_a_structure_finding() {
+        use crate::coverage::{RunCoverage, ShardCoverageRow};
+        let a = artifact("a", false);
+        let covered = a.clone().with_coverage(RunCoverage {
+            shards: vec![ShardCoverageRow {
+                shard: 0,
+                planned: 4,
+                completed: 3,
+                quarantined: 1,
+                skipped: 0,
+                timed_out: false,
+            }],
+            regions: Vec::new(),
+        });
+        for (base, cur) in [(&covered, &a), (&a, &covered)] {
+            let d = diff(base, cur, &DiffThresholds::default());
+            assert!(
+                d.regressions
+                    .iter()
+                    .any(|r| r.kind == RegressionKind::Structure && r.name == "coverage"),
+                "{:?}",
+                d.regressions
+            );
+        }
+        assert!(diff(&covered, &covered, &DiffThresholds::default()).is_pass());
+        assert!(diff(&a, &a, &DiffThresholds::default()).is_pass());
     }
 
     #[test]

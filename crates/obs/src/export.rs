@@ -25,6 +25,8 @@ use nbhd_journal::CheckpointStore;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
+use crate::coverage::RunCoverage;
+use crate::hist::Histogram;
 use crate::metrics::MetricsSnapshot;
 use crate::summary::{Obs, RunSummary};
 use crate::trace::SpanRecord;
@@ -36,6 +38,121 @@ pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
 
 /// Journal record kind for exported artifacts.
 pub const ARTIFACT_RECORD_KIND: &str = "run-artifact";
+
+/// Which shard of a distributed run an artifact records.
+///
+/// `config_hash` is the run's identity hash with the worker count *and*
+/// the shard count normalized out: how a run is partitioned across
+/// processes must not change what it computes, so two shards are
+/// mergeable iff they hash the same underlying run — not the same
+/// partitioning of it. The shard count still travels here (`count`) so
+/// the merge can refuse incomplete or mixed sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardIdentity {
+    /// This shard's index in `0..count`.
+    pub index: usize,
+    /// Total shards in the distributed run.
+    pub count: usize,
+    /// Identity hash of the underlying run configuration.
+    pub config_hash: u64,
+}
+
+/// Typed refusals raised by [`RunArtifact::merge_shards`]. A merge either
+/// succeeds completely or fails with one of these — never a silent
+/// partial merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No artifacts were given.
+    Empty,
+    /// An artifact carries no [`ShardIdentity`] stamp.
+    MissingIdentity {
+        /// The unstamped artifact's name.
+        name: String,
+    },
+    /// Artifacts disagree on the total shard count.
+    ShardCountMismatch {
+        /// Count claimed by the first artifact.
+        expected: usize,
+        /// Conflicting count.
+        found: usize,
+    },
+    /// Artifacts disagree on the run's config hash: they record different
+    /// runs and must not be folded together.
+    ConfigHashMismatch {
+        /// Hash claimed by the first artifact.
+        expected: u64,
+        /// Conflicting hash.
+        found: u64,
+        /// The shard index carrying the conflicting hash.
+        shard: usize,
+    },
+    /// Two artifacts claim the same shard index.
+    DuplicateShard {
+        /// The doubly-claimed index.
+        index: usize,
+    },
+    /// A shard index in `0..count` has no artifact.
+    MissingShard {
+        /// The absent index.
+        index: usize,
+        /// The expected shard count.
+        count: usize,
+    },
+    /// A shard index is outside `0..count`.
+    IndexOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// The expected shard count.
+        count: usize,
+    },
+    /// Some shards carry a coverage section and this one does not — e.g.
+    /// it was exported from a pre-coverage journal. Refusing is the
+    /// honest move: silently merging would let the coverage-less shard's
+    /// losses vanish from the folded report (the "absent coverage is not
+    /// `1.0`" rule).
+    CoverageMissing {
+        /// The shard index with no coverage section.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "merge: no shard artifacts given"),
+            MergeError::MissingIdentity { name } => {
+                write!(f, "merge: artifact {name:?} has no shard identity")
+            }
+            MergeError::ShardCountMismatch { expected, found } => {
+                write!(f, "merge: shard counts disagree ({expected} vs {found})")
+            }
+            MergeError::ConfigHashMismatch {
+                expected,
+                found,
+                shard,
+            } => write!(
+                f,
+                "merge: shard {shard} hashes config {found:016x}, expected {expected:016x}"
+            ),
+            MergeError::DuplicateShard { index } => {
+                write!(f, "merge: shard index {index} appears twice")
+            }
+            MergeError::MissingShard { index, count } => {
+                write!(f, "merge: shard {index} of {count} is missing")
+            }
+            MergeError::IndexOutOfRange { index, count } => {
+                write!(f, "merge: shard index {index} outside 0..{count}")
+            }
+            MergeError::CoverageMissing { shard } => write!(
+                f,
+                "merge: shard {shard} has no coverage section while others do \
+                 (absent coverage is \"not recorded\", never full)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// A completed run frozen as a versioned, comparable artifact.
 ///
@@ -61,6 +178,14 @@ pub struct RunArtifact {
     pub spans: Vec<SpanRecord>,
     /// Final metrics snapshot (all namespaces).
     pub metrics: MetricsSnapshot,
+    /// Which shard of a distributed run this artifact records; `None`
+    /// for whole runs (including merged ones).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<ShardIdentity>,
+    /// Coverage facts, when the producing run recorded them. Absent
+    /// means "not recorded" — never full coverage.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub coverage: Option<RunCoverage>,
 }
 
 /// Errors raised while exporting or importing a [`RunArtifact`].
@@ -133,7 +258,187 @@ impl RunArtifact {
             name: name.to_string(),
             spans: summary.spans,
             metrics: summary.metrics,
+            shard: None,
+            coverage: None,
         }
+    }
+
+    /// Stamps the artifact as one shard of a distributed run.
+    #[must_use]
+    pub fn with_shard(mut self, identity: ShardIdentity) -> RunArtifact {
+        self.shard = Some(identity);
+        self
+    }
+
+    /// Attaches the producing run's coverage facts.
+    #[must_use]
+    pub fn with_coverage(mut self, coverage: RunCoverage) -> RunArtifact {
+        self.coverage = Some(coverage);
+        self
+    }
+
+    /// Folds N per-shard artifacts into one run artifact.
+    ///
+    /// The merge reconstructs, on the deterministic surface, exactly what
+    /// a single process running every shard in index order would have
+    /// recorded:
+    ///
+    /// * **spans** are namespaced under `shard-i/...` (spans already
+    ///   rooted at `shard-i` keep their keys), re-based onto one virtual
+    ///   timeline (each shard's clock starts where the previous shard's
+    ///   extent ended, matching the in-process driver's shared clock),
+    ///   and re-numbered sequentially;
+    /// * **counters** (deterministic and wall) are summed — per-shard
+    ///   runs publish per-process values for exactly this reason;
+    /// * **histograms** fold via the proven-commutative
+    ///   [`Histogram::merge`];
+    /// * **gauges are dropped**: peaks and fractions obey no sum algebra,
+    ///   and the honest global coverage fraction lives in the merged
+    ///   coverage section instead;
+    /// * **coverage** folds with the [`RunCoverage::merge`] algebra. All
+    ///   shards must agree on having a section; a mixed set refuses with
+    ///   [`MergeError::CoverageMissing`], and a uniformly absent one
+    ///   yields an artifact that makes no coverage claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`MergeError`] on an empty input, an unstamped
+    /// artifact, disagreeing shard counts or config hashes, duplicate,
+    /// missing, or out-of-range shard indices, or a mixed coverage set.
+    /// There is never a silent partial merge.
+    pub fn merge_shards(name: &str, parts: &[RunArtifact]) -> Result<RunArtifact, MergeError> {
+        let Some(first) = parts.first() else {
+            return Err(MergeError::Empty);
+        };
+        let mut sorted: Vec<(&RunArtifact, ShardIdentity)> = Vec::with_capacity(parts.len());
+        for part in parts {
+            let identity = part.shard.ok_or_else(|| MergeError::MissingIdentity {
+                name: part.name.clone(),
+            })?;
+            sorted.push((part, identity));
+        }
+        let expected = sorted[0].1;
+        for (_, identity) in &sorted {
+            if identity.count != expected.count {
+                return Err(MergeError::ShardCountMismatch {
+                    expected: expected.count,
+                    found: identity.count,
+                });
+            }
+            if identity.config_hash != expected.config_hash {
+                return Err(MergeError::ConfigHashMismatch {
+                    expected: expected.config_hash,
+                    found: identity.config_hash,
+                    shard: identity.index,
+                });
+            }
+            if identity.index >= identity.count {
+                return Err(MergeError::IndexOutOfRange {
+                    index: identity.index,
+                    count: identity.count,
+                });
+            }
+        }
+        sorted.sort_by_key(|(_, identity)| identity.index);
+        for pair in sorted.windows(2) {
+            if pair[0].1.index == pair[1].1.index {
+                return Err(MergeError::DuplicateShard {
+                    index: pair[0].1.index,
+                });
+            }
+        }
+        for (position, (_, identity)) in sorted.iter().enumerate() {
+            if identity.index != position {
+                return Err(MergeError::MissingShard {
+                    index: position,
+                    count: expected.count,
+                });
+            }
+        }
+        if sorted.len() < expected.count {
+            return Err(MergeError::MissingShard {
+                index: sorted.len(),
+                count: expected.count,
+            });
+        }
+        let with_coverage = sorted.iter().filter(|(p, _)| p.coverage.is_some()).count();
+        if with_coverage != 0 && with_coverage != sorted.len() {
+            let (_, identity) = sorted
+                .iter()
+                .find(|(p, _)| p.coverage.is_none())
+                .unwrap_or_else(|| unreachable!("checked: some shard lacks coverage"));
+            return Err(MergeError::CoverageMissing {
+                shard: identity.index,
+            });
+        }
+
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        let mut seq = 0u64;
+        let mut offset = 0u64;
+        let mut counters = std::collections::BTreeMap::new();
+        let mut wall_counters = std::collections::BTreeMap::new();
+        let mut histograms: std::collections::BTreeMap<String, Histogram> =
+            std::collections::BTreeMap::new();
+        let mut wall_histograms: std::collections::BTreeMap<String, Histogram> =
+            std::collections::BTreeMap::new();
+        for (part, identity) in &sorted {
+            let root = format!("shard-{}", identity.index);
+            let child_prefix = format!("{root}/");
+            for span in &part.spans {
+                let (key, depth) = if span.key == root || span.key.starts_with(&child_prefix) {
+                    (span.key.clone(), span.depth)
+                } else {
+                    (format!("{child_prefix}{}", span.key), span.depth + 1)
+                };
+                spans.push(SpanRecord {
+                    key,
+                    name: span.name.clone(),
+                    depth,
+                    seq,
+                    start_vms: span.start_vms + offset,
+                    end_vms: span.end_vms + offset,
+                    wall_us: span.wall_us,
+                });
+                seq += 1;
+            }
+            offset += part.spans.iter().map(|s| s.end_vms).max().unwrap_or(0);
+            for (metric, value) in &part.metrics.counters {
+                *counters.entry(metric.clone()).or_insert(0u64) += value;
+            }
+            for (metric, value) in &part.metrics.wall_counters {
+                *wall_counters.entry(metric.clone()).or_insert(0u64) += value;
+            }
+            for (metric, hist) in &part.metrics.histograms {
+                histograms.entry(metric.clone()).or_default().merge(hist);
+            }
+            for (metric, hist) in &part.metrics.wall_histograms {
+                wall_histograms
+                    .entry(metric.clone())
+                    .or_default()
+                    .merge(hist);
+            }
+        }
+        let coverage = if with_coverage == sorted.len() {
+            Some(RunCoverage::merge(sorted.iter().filter_map(|(p, _)| {
+                p.coverage.clone()
+            })))
+        } else {
+            None
+        };
+        Ok(RunArtifact {
+            schema_version: first.schema_version,
+            name: name.to_string(),
+            spans,
+            metrics: MetricsSnapshot {
+                counters,
+                wall_counters,
+                gauges: std::collections::BTreeMap::new(),
+                histograms,
+                wall_histograms,
+            },
+            shard: None,
+            coverage,
+        })
     }
 
     /// The deterministic surface as text: spans, counters, histograms.
@@ -341,5 +646,166 @@ mod tests {
         assert_eq!(artifact, back);
         let err = RunArtifact::load_from_store(&store, "absent").unwrap_err();
         assert!(matches!(err, ExportError::Missing(_)), "{err}");
+    }
+
+    fn shard_artifact(index: usize, count: usize) -> RunArtifact {
+        let obs = Obs::new();
+        let root = obs.tracer().enter(&format!("shard-{index}"));
+        let survey = obs.tracer().enter("survey");
+        obs.clock().advance_ms(10 * (index as u64 + 1));
+        survey.record();
+        root.record();
+        obs.registry().add("survey.captures", 3);
+        obs.registry().add_wall("exec.steals", 1);
+        obs.registry().set_gauge("core.shard.peak", 4.0);
+        obs.registry().record_hist("lat.ms", 10 * (index as u64 + 1));
+        RunArtifact::from_obs(&format!("part-{index}"), &obs).with_shard(ShardIdentity {
+            index,
+            count,
+            config_hash: 0xfeed,
+        })
+    }
+
+    #[test]
+    fn merge_rebases_spans_sums_counters_and_drops_gauges() {
+        let parts = [shard_artifact(0, 2), shard_artifact(1, 2)];
+        let merged = RunArtifact::merge_shards("whole", &parts).unwrap();
+        assert_eq!(merged.name, "whole");
+        assert_eq!(merged.shard, None, "a merged artifact is a whole run");
+        // shard-0 spans sit at [0..10], shard-1 re-bases onto [10..30].
+        assert_eq!(merged.spans.len(), 4);
+        assert_eq!(merged.spans[0].key, "shard-0");
+        assert_eq!(merged.spans[1].key, "shard-0/survey");
+        assert_eq!(merged.spans[2].key, "shard-1");
+        assert_eq!(merged.spans[3].key, "shard-1/survey");
+        assert_eq!(merged.spans[2].start_vms, 10);
+        assert_eq!(merged.spans[2].end_vms, 30);
+        let seqs: Vec<u64> = merged.spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(merged.metrics.counters["survey.captures"], 6);
+        assert_eq!(merged.metrics.wall_counters["exec.steals"], 2);
+        assert!(
+            merged.metrics.gauges.is_empty(),
+            "gauges have no sum algebra and must be dropped"
+        );
+        assert_eq!(merged.metrics.histograms["lat.ms"].count(), 2);
+        assert_eq!(merged.metrics.histograms["lat.ms"].sum(), 30);
+    }
+
+    #[test]
+    fn merge_namespaces_unrooted_spans_under_their_shard() {
+        let obs = Obs::new();
+        let survey = obs.tracer().enter("survey");
+        obs.clock().advance_ms(7);
+        survey.record();
+        let part = RunArtifact::from_obs("bare", &obs).with_shard(ShardIdentity {
+            index: 0,
+            count: 1,
+            config_hash: 1,
+        });
+        let merged = RunArtifact::merge_shards("whole", &[part]).unwrap();
+        assert_eq!(merged.spans[0].key, "shard-0/survey");
+        assert_eq!(merged.spans[0].depth, 1);
+    }
+
+    #[test]
+    fn merge_refuses_bad_shard_sets_with_typed_errors() {
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[]).unwrap_err(),
+            MergeError::Empty
+        );
+        let unstamped = RunArtifact::from_obs("loose", &sample_obs());
+        assert!(matches!(
+            RunArtifact::merge_shards("w", &[unstamped]).unwrap_err(),
+            MergeError::MissingIdentity { .. }
+        ));
+        let mut other_count = shard_artifact(1, 2);
+        other_count.shard = Some(ShardIdentity {
+            index: 1,
+            count: 3,
+            config_hash: 0xfeed,
+        });
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2), other_count]).unwrap_err(),
+            MergeError::ShardCountMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
+        let mut other_hash = shard_artifact(1, 2);
+        other_hash.shard = Some(ShardIdentity {
+            index: 1,
+            count: 2,
+            config_hash: 0xbeef,
+        });
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2), other_hash]).unwrap_err(),
+            MergeError::ConfigHashMismatch {
+                expected: 0xfeed,
+                found: 0xbeef,
+                shard: 1
+            }
+        );
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2), shard_artifact(0, 2)])
+                .unwrap_err(),
+            MergeError::DuplicateShard { index: 0 }
+        );
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2)]).unwrap_err(),
+            MergeError::MissingShard { index: 1, count: 2 }
+        );
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(1, 2), shard_artifact(0, 2)])
+                .unwrap()
+                .metrics
+                .counters["survey.captures"],
+            6,
+            "input order must not matter"
+        );
+        let mut out_of_range = shard_artifact(0, 2);
+        out_of_range.shard = Some(ShardIdentity {
+            index: 5,
+            count: 2,
+            config_hash: 0xfeed,
+        });
+        assert_eq!(
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2), out_of_range]).unwrap_err(),
+            MergeError::IndexOutOfRange { index: 5, count: 2 }
+        );
+    }
+
+    #[test]
+    fn merge_refuses_mixed_coverage_and_folds_uniform_coverage() {
+        use crate::coverage::{RunCoverage, ShardCoverageRow};
+        let row = |shard: usize| ShardCoverageRow {
+            shard,
+            planned: 5,
+            completed: 4,
+            quarantined: 1,
+            skipped: 0,
+            timed_out: false,
+        };
+        let covered = |i: usize| {
+            shard_artifact(i, 2).with_coverage(RunCoverage {
+                shards: vec![row(i)],
+                regions: Vec::new(),
+            })
+        };
+        let err =
+            RunArtifact::merge_shards("w", &[covered(0), shard_artifact(1, 2)]).unwrap_err();
+        assert_eq!(err, MergeError::CoverageMissing { shard: 1 });
+
+        let merged = RunArtifact::merge_shards("w", &[covered(0), covered(1)]).unwrap();
+        let coverage = merged.coverage.expect("merged coverage");
+        assert_eq!(coverage.planned(), 10);
+        assert_eq!(coverage.completed(), 8);
+
+        let bare = RunArtifact::merge_shards("w", &[shard_artifact(0, 2), shard_artifact(1, 2)])
+            .unwrap();
+        assert_eq!(
+            bare.coverage, None,
+            "no shard recorded coverage: the merge makes no claim"
+        );
     }
 }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod coverage;
 pub mod diff;
 mod export;
 mod hist;
@@ -39,8 +40,12 @@ mod summary;
 mod trace;
 
 pub use clock::VirtualClock;
+pub use coverage::{RegionCoverageRow, RunCoverage, ShardCoverageRow};
 pub use diff::{diff, DiffThresholds, Regression, RegressionKind, RunDiff};
-pub use export::{ExportError, RunArtifact, ARTIFACT_RECORD_KIND, ARTIFACT_SCHEMA_VERSION};
+pub use export::{
+    ExportError, MergeError, RunArtifact, ShardIdentity, ARTIFACT_RECORD_KIND,
+    ARTIFACT_SCHEMA_VERSION,
+};
 pub use hist::Histogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use summary::{Obs, RunSummary};

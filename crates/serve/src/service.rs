@@ -370,6 +370,15 @@ impl SurveyService {
         &self.meter
     }
 
+    /// One tenant's own cost meter — the per-model ledger fed by exactly
+    /// the billing lines on that tenant's bill — or `None` for an unknown
+    /// tenant. Both sides price through
+    /// [`nbhd_client::token_cost_usd`], so the meter's total matches the
+    /// bill's USD (up to float summation order).
+    pub fn tenant_meter(&self, tenant: &str) -> Option<Arc<CostMeter>> {
+        self.tenants.get(tenant).map(|t| Arc::clone(&t.meter))
+    }
+
     /// Raw attempts that reached a model's base transport — zero when
     /// every response was replayed from the journal.
     pub fn api_attempts(&self, model: &str) -> u64 {
@@ -762,10 +771,14 @@ impl SurveyService {
                         if member.voting {
                             votes.push(Some(set));
                         }
-                        let line_usd = response.input_tokens as f64 / 1_000.0
-                            * member.profile.usd_per_1k_input
-                            + response.output_tokens as f64 / 1_000.0
-                                * member.profile.usd_per_1k_output;
+                        // shared pricing rule: per-line tenant bills must be
+                        // computed exactly as the CostMeter computes them
+                        let line_usd = nbhd_client::token_cost_usd(
+                            response.input_tokens,
+                            response.output_tokens,
+                            member.profile.usd_per_1k_input,
+                            member.profile.usd_per_1k_output,
+                        );
                         input_tokens += response.input_tokens;
                         output_tokens += response.output_tokens;
                         usd += line_usd;
@@ -955,6 +968,40 @@ mod tests {
             .responses
             .iter()
             .all(|r| r.provenance.queried.len() == 4));
+    }
+
+    #[test]
+    fn per_line_billing_matches_the_tenant_meter_pricing() {
+        // golden pricing test: every billing line is priced by the shared
+        // nbhd_client::token_cost_usd rule, so the serially-summed bill
+        // equals the tenant meter's per-model total (same line values,
+        // different float summation order), and token counts match exactly.
+        let (workload, _) = StormBuilder::new(11)
+            .steady("acme", 0, 8, 250)
+            .steady("beta", 0, 6, 300)
+            .build();
+        let mut service = SurveyService::new(
+            ServiceConfig::default(),
+            vec![TenantConfig::new("acme"), TenantConfig::new("beta")],
+        );
+        let report = service.run(workload).unwrap();
+        for tenant in ["acme", "beta"] {
+            let bill = &report.bills[tenant];
+            assert!(bill.usd > 0.0, "tenant {tenant} billed nothing");
+            let meter = service.tenant_meter(tenant).expect("known tenant");
+            assert!(
+                (bill.usd - meter.total_usd()).abs() < 1e-9,
+                "tenant {tenant}: bill {} vs meter {}",
+                bill.usd,
+                meter.total_usd()
+            );
+            let snapshot = meter.snapshot();
+            let metered_in: u64 = snapshot.values().map(|u| u.input_tokens).sum();
+            let metered_out: u64 = snapshot.values().map(|u| u.output_tokens).sum();
+            assert_eq!(metered_in, bill.input_tokens, "tenant {tenant}");
+            assert_eq!(metered_out, bill.output_tokens, "tenant {tenant}");
+        }
+        assert!(service.tenant_meter("nobody").is_none());
     }
 
     #[test]

@@ -64,6 +64,27 @@ NBHD_ARTIFACT="$POISON_FRESH" cargo run -q --example poison_drill >/dev/null
 NBHD_ARTIFACT="$POISON_RERUN" cargo run -q --example poison_drill >/dev/null
 cargo run -q -p nbhd-bench --bin run_diff -- "$POISON_FRESH" "$POISON_RERUN"
 
+# The distributed path must be seed-stable end to end: run the two-shard
+# flow twice (shards as real subprocesses each time), merge both, and
+# self-diff the merged artifacts — the merge algebra must add nothing of
+# its own to the deterministic surface.
+DIST_DIR=target/BENCH_distributed
+echo "==> distributed artifact: merged two-shard self-diff"
+cargo build -q -p nbhd-bench --bin shard_run
+SHARD_RUN=target/debug/shard_run
+rm -rf "$DIST_DIR" && mkdir -p "$DIST_DIR"
+for pass in a b; do
+    "$SHARD_RUN" run --shard 0/2 --out "$DIST_DIR/$pass.shard0.json" --seed "$SEED" >/dev/null &
+    P0=$!
+    "$SHARD_RUN" run --shard 1/2 --out "$DIST_DIR/$pass.shard1.json" --seed "$SEED" >/dev/null &
+    P1=$!
+    wait "$P0" "$P1"
+    "$SHARD_RUN" merge --out "$DIST_DIR/$pass.merged.json" \
+        "$DIST_DIR/$pass.shard0.json" "$DIST_DIR/$pass.shard1.json" >/dev/null
+done
+cargo run -q -p nbhd-bench --bin run_diff -- \
+    "$DIST_DIR/a.merged.json" "$DIST_DIR/b.merged.json"
+
 if [ "${REBASELINE:-0}" = "1" ] || [ ! -f "$BASELINE" ] \
     || grep -q '"name": "bootstrap"' "$BASELINE"; then
     cp "$FRESH" "$BASELINE"

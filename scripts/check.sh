@@ -48,6 +48,27 @@ cargo run -q --example poison_drill >/dev/null
 echo "==> overload drill (storm admission, degradation tiers, kill/resume billing)"
 cargo test -q --test overload_drill
 
+echo "==> distributed fast gate (two real shard processes, merge, verify, HTML)"
+cargo build -q -p nbhd-bench --bin shard_run
+SHARD_RUN=target/debug/shard_run
+DIST_DIR=target/distributed_gate
+rm -rf "$DIST_DIR" && mkdir -p "$DIST_DIR"
+# two shards as genuinely separate OS processes, concurrently
+"$SHARD_RUN" run --shard 0/2 --out "$DIST_DIR/shard0.json" --seed 2025 >/dev/null &
+SHARD0_PID=$!
+"$SHARD_RUN" run --shard 1/2 --out "$DIST_DIR/shard1.json" --seed 2025 >/dev/null &
+SHARD1_PID=$!
+wait "$SHARD0_PID" "$SHARD1_PID"
+"$SHARD_RUN" merge --out "$DIST_DIR/merged.json" \
+    "$DIST_DIR/shard0.json" "$DIST_DIR/shard1.json" >/dev/null
+"$SHARD_RUN" single --shards 2 --out "$DIST_DIR/single.json" --seed 2025 >/dev/null
+"$SHARD_RUN" verify "$DIST_DIR/merged.json" "$DIST_DIR/single.json"
+cargo run -q -p nbhd-bench --bin run_diff -- \
+    "$DIST_DIR/single.json" "$DIST_DIR/merged.json"
+"$SHARD_RUN" report --out "$DIST_DIR/report.html" "$DIST_DIR/merged.json" >/dev/null
+grep -q '</html>' "$DIST_DIR/report.html"
+cargo test -q --test distributed
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench -p nbhd-bench --no-run
 
