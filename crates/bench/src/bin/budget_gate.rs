@@ -1,0 +1,172 @@
+//! Absolute perf-budget gate: evaluate a committed budget spec against an
+//! exported [`RunArtifact`].
+//!
+//! ```text
+//! cargo run -p nbhd-bench --bin budget_gate -- eval BUDGETS.json target/quickstart_artifact.json
+//! cargo run -p nbhd-bench --bin budget_gate -- derive --headroom 2.0 --out BUDGETS.json target/quickstart_artifact.json
+//! cargo run -p nbhd-bench --bin budget_gate -- --self-test
+//! ```
+//!
+//! Where `run_diff` gates *relative* drift between two artifacts, this gate
+//! is *absolute*: a declarative [`BudgetSpec`] (stage virtual-ms ceilings,
+//! histogram percentile ceilings, counter floors/ceilings, coverage floor,
+//! spend ceiling) rendered as a verdict table. Exits 0 when every rule
+//! holds, 1 on any violation — including unmatched rules naming metrics
+//! the run no longer records — and 2 on usage or I/O errors.
+//!
+//! `derive` writes a spec whose limits sit at `headroom ×` the observed
+//! values, the bootstrap path for a repo that has never committed budgets.
+//! `--self-test` exercises the gate end to end in memory: a spec derived
+//! from a clean run must pass that run, and must flag a run whose stages
+//! take twice as long.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use nbhd_core::eval::render_budget_table;
+use nbhd_core::obs::{BudgetSpec, BudgetViolationKind, Obs, RunArtifact};
+
+fn load_artifact(path: &str) -> Result<RunArtifact, String> {
+    RunArtifact::read_file(Path::new(path)).map_err(|err| format!("budget_gate: {path}: {err}"))
+}
+
+fn load_spec(path: &str) -> Result<BudgetSpec, String> {
+    BudgetSpec::read_file(Path::new(path)).map_err(|err| format!("budget_gate: {path}: {err}"))
+}
+
+fn eval(spec_path: &str, artifact_path: &str) -> Result<ExitCode, String> {
+    let spec = load_spec(spec_path)?;
+    let artifact = load_artifact(artifact_path)?;
+    let report = spec.evaluate(&artifact);
+    print!("{}", render_budget_table("Budget gate", &report));
+    Ok(if report.is_pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn derive(headroom: f64, out: &str, artifact_path: &str) -> Result<ExitCode, String> {
+    if !headroom.is_finite() || headroom <= 0.0 {
+        return Err(format!(
+            "budget_gate: headroom must be a positive number, got {headroom}"
+        ));
+    }
+    let artifact = load_artifact(artifact_path)?;
+    let name = Path::new(out)
+        .file_stem()
+        .and_then(|stem| stem.to_str())
+        .unwrap_or("budget")
+        .to_string();
+    let spec = BudgetSpec::from_artifact(&name, &artifact, headroom);
+    spec.write_file(Path::new(out))
+        .map_err(|err| format!("budget_gate: {out}: {err}"))?;
+    println!(
+        "budget_gate: derived {} rule(s) from {} at {headroom}x headroom -> {out}",
+        spec.rules.len(),
+        artifact.name
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds a deterministic in-memory run: one survey stage, one ensemble
+/// stage, a latency histogram, and a capture counter, all on the virtual
+/// clock. `slowdown` multiplies every duration.
+fn synthetic_run(slowdown: u64) -> RunArtifact {
+    let obs = Obs::new();
+    let survey = obs.tracer().enter("run/survey");
+    obs.clock().advance_ms(40 * slowdown);
+    survey.record();
+    let ensemble = obs.tracer().enter("run/ensemble");
+    obs.clock().advance_ms(15 * slowdown);
+    ensemble.record();
+    for latency in [10u64, 30, 90] {
+        obs.registry()
+            .record_hist("client.latency_ms", latency * slowdown);
+    }
+    obs.registry().add("survey.captures", 48);
+    RunArtifact::from_obs("budget-gate-self-test", &obs)
+}
+
+fn self_test() -> Result<(), String> {
+    let clean = synthetic_run(1);
+
+    // a spec derived at the observed values passes that same run exactly
+    let exact = BudgetSpec::from_artifact("self-test-exact", &clean, 1.0);
+    let report = exact.evaluate(&clean);
+    if !report.is_pass() {
+        return Err(format!(
+            "spec derived at 1.0x headroom must pass its own run: {:?}",
+            report.violations
+        ));
+    }
+
+    // ...and survives the JSON round trip intact
+    let rehydrated = BudgetSpec::from_json(&exact.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if rehydrated != exact {
+        return Err("spec changed across the JSON round trip".to_string());
+    }
+
+    // a 1.5x-headroom spec from the clean run must flag a 2x slowdown
+    let gate = BudgetSpec::from_artifact("self-test-gate", &clean, 1.5);
+    let slow = synthetic_run(2);
+    let report = gate.evaluate(&slow);
+    if report.is_pass() {
+        return Err("a 2x slowdown slipped past a 1.5x-headroom budget".to_string());
+    }
+    let stage_over = report
+        .violations
+        .iter()
+        .any(|v| v.kind == BudgetViolationKind::StageOver);
+    if !stage_over {
+        return Err(format!(
+            "expected a stage-over violation, got {:?}",
+            report.violations
+        ));
+    }
+
+    println!(
+        "budget_gate: self-test passed (derived spec held, then 2x slowdown tripped {} rule(s))",
+        report.violations.len()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: budget_gate eval <spec.json> <artifact.json>\n       \
+     budget_gate derive --headroom <H> --out <spec.json> <artifact.json>\n       \
+     budget_gate --self-test";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["--self-test"] => match self_test() {
+            Ok(()) => Ok(ExitCode::SUCCESS),
+            Err(err) => {
+                eprintln!("{err}");
+                Ok(ExitCode::from(1))
+            }
+        },
+        ["eval", spec, artifact] => eval(spec, artifact),
+        ["derive", "--headroom", headroom, "--out", out, artifact] => match headroom.parse() {
+            Ok(headroom) => derive(headroom, out, artifact),
+            Err(_) => Err(format!("budget_gate: bad headroom {headroom:?}")),
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(2)
+        }
+    }
+}

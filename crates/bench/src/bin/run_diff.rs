@@ -2,27 +2,42 @@
 //!
 //! ```text
 //! cargo run -p nbhd-bench --bin run_diff -- BENCH_paper_tables.json target/BENCH_paper_tables.json
+//! cargo run -p nbhd-bench --bin run_diff -- --budget BUDGETS.json BENCH_paper_tables.json target/BENCH_paper_tables.json
 //! ```
 //!
 //! Prints the rendered diff and exits 0 when the gate passes, 1 when any
 //! regression fires (counter drift, stage-duration ratio, histogram
 //! percentile shift, or structural mismatch), and 2 on usage errors.
 //! Thresholds are [`DiffThresholds::default`].
+//!
+//! With `--budget <spec.json>` the *current* artifact is additionally
+//! evaluated against that absolute [`BudgetSpec`] — one invocation then
+//! gates both relative drift and the declared ceilings, and exit 1 means
+//! either gate failed.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use nbhd_core::eval::render_run_diff;
-use nbhd_core::obs::{diff, DiffThresholds, RunArtifact};
+use nbhd_core::eval::{render_budget_table, render_run_diff};
+use nbhd_core::obs::{diff, BudgetSpec, DiffThresholds, RunArtifact};
 
 fn load(path: &str) -> Result<RunArtifact, String> {
     RunArtifact::read_file(Path::new(path)).map_err(|err| format!("run_diff: {path}: {err}"))
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget_path = None;
+    if let Some(at) = args.iter().position(|a| a == "--budget") {
+        if at + 1 >= args.len() {
+            eprintln!("run_diff: --budget needs a spec path");
+            return ExitCode::from(2);
+        }
+        args.remove(at);
+        budget_path = Some(args.remove(at));
+    }
     if args.len() != 2 {
-        eprintln!("usage: run_diff <baseline.json> <current.json>");
+        eprintln!("usage: run_diff [--budget <spec.json>] <baseline.json> <current.json>");
         return ExitCode::from(2);
     }
     let (baseline, current) = match (load(&args[0]), load(&args[1])) {
@@ -36,7 +51,20 @@ fn main() -> ExitCode {
     };
     let result = diff(&baseline, &current, &DiffThresholds::default());
     print!("{}", render_run_diff("Run diff", &result));
-    if result.is_pass() {
+    let mut pass = result.is_pass();
+    if let Some(path) = budget_path {
+        let spec = match BudgetSpec::read_file(Path::new(&path)) {
+            Ok(spec) => spec,
+            Err(err) => {
+                eprintln!("run_diff: {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = spec.evaluate(&current);
+        print!("{}", render_budget_table("Budget gate", &report));
+        pass &= report.is_pass();
+    }
+    if pass {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -48,8 +48,10 @@ pub const SHARD_RECORD_KIND: &str = "shard";
 /// Gauge: the run's peak resident scenes — the maximum, over shards, of
 /// each shard service's cache high-water mark. Deterministic for a fresh
 /// run at any worker count (the cache only grows below its eviction cap,
-/// so the high-water mark is the shard's distinct scene count).
-pub const SHARD_PEAK_GAUGE: &str = "core.shard.peak_resident_scenes";
+/// so the high-water mark is the shard's distinct scene count). The
+/// `.peak` suffix opts it into `RunArtifact::merge_shards`' max-folding
+/// gauge convention, so it survives distributed merges.
+pub const SHARD_PEAK_GAUGE: &str = "core.shard.resident_scenes.peak";
 
 /// Wall-clock histogram: one sample per shard, milliseconds spent in that
 /// shard's generate→capture→label pass. Scheduling-dependent by nature, so

@@ -10,7 +10,9 @@
 //! timeline, and embeds the Chrome-trace JSON in a `<script
 //! type="application/json">` island for copy-paste into Perfetto.
 
-use nbhd_obs::{Histogram, RunArtifact};
+use nbhd_obs::{BudgetReport, Histogram, RunArtifact};
+
+use crate::report::budget_value;
 
 /// Escapes the five HTML-special characters for text and attribute
 /// positions.
@@ -47,7 +49,11 @@ fn hist_row(out: &mut String, name: &str, hist: &Histogram) {
     ));
 }
 
-fn hist_table(out: &mut String, title: &str, hists: &std::collections::BTreeMap<String, Histogram>) {
+fn hist_table(
+    out: &mut String,
+    title: &str,
+    hists: &std::collections::BTreeMap<String, Histogram>,
+) {
     if hists.is_empty() {
         return;
     }
@@ -82,6 +88,18 @@ fn hist_table(out: &mut String, title: &str, hists: &std::collections::BTreeMap<
 /// assert!(html.contains("chrome-trace"));
 /// ```
 pub fn render_html_report(artifact: &RunArtifact) -> String {
+    render_html_report_with_budget(artifact, None)
+}
+
+/// [`render_html_report`] plus an optional **Budget** section: when a
+/// [`BudgetReport`] is supplied the document opens with the gate verdict
+/// — a banner, the per-rule observed-vs-limit table, and every typed
+/// violation — so a reviewer sees pass/fail before scrolling into the
+/// raw numbers.
+pub fn render_html_report_with_budget(
+    artifact: &RunArtifact,
+    budget: Option<&BudgetReport>,
+) -> String {
     let mut out = String::with_capacity(16 * 1024);
     let name = escape_html(&artifact.name);
     out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
@@ -100,6 +118,10 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
          td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
          .notice { background: #fff3cd; border: 1px solid #e0c76b;\n\
                    padding: .6rem .8rem; border-radius: 4px; }\n\
+         .budget-pass { background: #d4edda; border: 1px solid #6fbf85;\n\
+                        padding: .6rem .8rem; border-radius: 4px; }\n\
+         .budget-fail { background: #f8d7da; border: 1px solid #d98a93;\n\
+                        padding: .6rem .8rem; border-radius: 4px; }\n\
          code { background: #f0f1f3; padding: .1rem .3rem; border-radius: 3px; }\n\
          </style>\n</head>\n<body>\n",
     );
@@ -118,11 +140,11 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
     setup("Schema version", artifact.schema_version.to_string());
     match artifact.shard {
         Some(identity) => {
+            setup("Shard", format!("{} of {}", identity.index, identity.count));
             setup(
-                "Shard",
-                format!("{} of {}", identity.index, identity.count),
+                "Config hash",
+                format!("<code>{:016x}</code>", identity.config_hash),
             );
-            setup("Config hash", format!("<code>{:016x}</code>", identity.config_hash));
         }
         None => setup("Shard", "whole run (single-process or merged)".to_string()),
     }
@@ -149,6 +171,53 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
     }
     out.push_str("</tbody></table>\n");
 
+    // --- Budget verdict ---
+    if let Some(report) = budget {
+        out.push_str("<h2>Budget</h2>\n");
+        if report.is_pass() {
+            out.push_str(&format!(
+                "<p class=\"budget-pass\"><strong>PASS</strong>: budget \
+                 <code>{}</code> holds against <code>{}</code>.</p>\n",
+                escape_html(&report.spec_name),
+                escape_html(&report.artifact_name),
+            ));
+        } else {
+            out.push_str(&format!(
+                "<p class=\"budget-fail\"><strong>FAIL</strong>: budget \
+                 <code>{}</code> — {} violation(s) against \
+                 <code>{}</code>.</p>\n",
+                escape_html(&report.spec_name),
+                report.violations.len(),
+                escape_html(&report.artifact_name),
+            ));
+        }
+        if !report.verdicts.is_empty() {
+            out.push_str(
+                "<table><thead><tr><th>Rule</th><th>Observed</th>\
+                 <th>Limit</th><th>Verdict</th></tr></thead><tbody>\n",
+            );
+            for verdict in &report.verdicts {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td>{}</td></tr>\n",
+                    escape_html(&verdict.rule),
+                    budget_value(verdict.observed),
+                    budget_value(verdict.limit),
+                    if verdict.pass { "ok" } else { "FAIL" },
+                ));
+            }
+            out.push_str("</tbody></table>\n");
+        }
+        for violation in &report.violations {
+            out.push_str(&format!(
+                "<p class=\"budget-fail\">[{}] <code>{}</code>: {}</p>\n",
+                escape_html(violation.kind.label()),
+                escape_html(&violation.rule),
+                escape_html(&violation.detail),
+            ));
+        }
+    }
+
     // --- Coverage ---
     out.push_str("<h2>Coverage</h2>\n");
     match &artifact.coverage {
@@ -168,7 +237,11 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
                     row.completed,
                     row.quarantined,
                     row.skipped,
-                    if row.timed_out { "timed-out" } else { "completed" },
+                    if row.timed_out {
+                        "timed-out"
+                    } else {
+                        "completed"
+                    },
                 ));
             }
             out.push_str("</tbody></table>\n");
@@ -234,9 +307,7 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
     if artifact.metrics.counters.is_empty() {
         out.push_str("<p>No deterministic counters recorded.</p>\n");
     } else {
-        out.push_str(
-            "<table><thead><tr><th>Counter</th><th>Value</th></tr></thead><tbody>\n",
-        );
+        out.push_str("<table><thead><tr><th>Counter</th><th>Value</th></tr></thead><tbody>\n");
         for (metric, value) in &artifact.metrics.counters {
             out.push_str(&format!(
                 "<tr><td>{}</td><td class=\"num\">{}</td></tr>\n",
@@ -250,7 +321,11 @@ pub fn render_html_report(artifact: &RunArtifact) -> String {
     // --- Latency percentiles ---
     if !artifact.metrics.histograms.is_empty() || !artifact.metrics.wall_histograms.is_empty() {
         out.push_str("<h2>Latency percentiles</h2>\n");
-        hist_table(&mut out, "Deterministic (virtual time)", &artifact.metrics.histograms);
+        hist_table(
+            &mut out,
+            "Deterministic (virtual time)",
+            &artifact.metrics.histograms,
+        );
         hist_table(&mut out, "Wall clock", &artifact.metrics.wall_histograms);
     }
 
@@ -363,6 +438,43 @@ mod tests {
         let html = render_html_report(&covered);
         assert!(html.contains("80.0%"));
         assert!(!html.contains("not recorded"));
+    }
+
+    #[test]
+    fn budget_section_renders_verdict_and_stays_self_contained() {
+        use nbhd_obs::{BudgetSpec, BudgetViolationKind};
+        let artifact = sample_artifact();
+        // a spec derived at the observed values passes exactly
+        let spec = BudgetSpec::from_artifact("smoke-budget", &artifact, 1.0);
+        let report = spec.evaluate(&artifact);
+        let html = render_html_report_with_budget(&artifact, Some(&report));
+        assert!(html.contains("<h2>Budget</h2>"), "budget section present");
+        assert!(html.contains("class=\"budget-pass\""), "{html}");
+        // the CSS always defines .budget-fail; a passing gate never uses it
+        assert!(!html.contains("class=\"budget-fail\""));
+        for needle in ["href=", "src=", "url(", "@import"] {
+            assert!(!html.contains(needle), "external reference via {needle}");
+        }
+
+        // an impossible spec renders the failure banner and the findings
+        let impossible = BudgetSpec::from_artifact("smoke-budget", &artifact, 0.0);
+        let report = impossible.evaluate(&artifact);
+        assert!(!report.is_pass());
+        let html = render_html_report_with_budget(&artifact, Some(&report));
+        assert!(html.contains("class=\"budget-fail\""), "{html}");
+        assert!(
+            html.contains(BudgetViolationKind::StageOver.label())
+                || html.contains(BudgetViolationKind::HistOver.label()),
+            "typed violation labels render: {html}"
+        );
+
+        // without a report the section is absent and the plain renderer
+        // is byte-identical to the with-budget form
+        assert!(!render_html_report(&artifact).contains("<h2>Budget</h2>"));
+        assert_eq!(
+            render_html_report(&artifact),
+            render_html_report_with_budget(&artifact, None)
+        );
     }
 
     #[test]

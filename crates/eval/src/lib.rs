@@ -38,13 +38,14 @@ pub use bootstrap::{
 };
 pub use chart::{bar_chart, line_chart};
 pub use confusion::BinaryConfusion;
-pub use html::render_html_report;
 pub use curve::{average_precision, precision_recall_at, ScoredPrediction};
+pub use html::{render_html_report, render_html_report_with_budget};
 pub use metrics::{ClassMetrics, MetricsTable, PresenceEvaluator};
 pub use report::{
-    render_comparison, render_coverage_table, render_exec_table, render_health_table,
-    render_hist_table, render_metrics_table, render_run_diff, render_run_summary,
-    render_transfer_table, ComparisonRow, CoverageRow, ExecRow, HealthRow, TransferRow,
+    render_budget_table, render_comparison, render_coverage_table, render_exec_table,
+    render_health_table, render_hist_table, render_metrics_table, render_run_diff,
+    render_run_summary, render_transfer_table, ComparisonRow, CoverageRow, ExecRow, HealthRow,
+    TransferRow,
 };
 pub use vote::{
     agreement, majority_vote, quorum_vote, QuorumPolicy, TiePolicy, VoteFallback, VoteProvenance,

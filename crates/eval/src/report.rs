@@ -1,6 +1,6 @@
 //! Text rendering of metric tables and paper-vs-measured comparisons.
 
-use nbhd_obs::{Histogram, RunDiff, RunSummary};
+use nbhd_obs::{BudgetReport, Histogram, RunDiff, RunSummary};
 use nbhd_types::Indicator;
 
 use crate::MetricsTable;
@@ -512,6 +512,67 @@ pub fn render_hist_table(title: &str, rows: &[(String, Histogram)]) -> String {
     out
 }
 
+/// Formats a budget value: integral limits and counts print without a
+/// fractional part, ratios and fractions keep four places.
+pub(crate) fn budget_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Renders a [`BudgetReport`] as an aligned per-rule verdict table —
+/// observed vs limit, `ok`/`FAIL` per rule — followed by the typed
+/// violation findings and a final `PASS`/`FAIL` verdict line. This is
+/// the human-readable face of the `obs::budget` absolute gate, the
+/// companion to [`render_run_diff`]'s relative one.
+pub fn render_budget_table(title: &str, report: &BudgetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\nspec: {}  artifact: {}\n",
+        report.spec_name, report.artifact_name
+    ));
+    if !report.verdicts.is_empty() {
+        let rule_w = report
+            .verdicts
+            .iter()
+            .map(|v| v.rule.len())
+            .max()
+            .unwrap_or(0)
+            .max("Rule".len());
+        out.push_str(&format!(
+            "{:<rule_w$} {:>12} {:>12} {:>7}\n",
+            "Rule", "Observed", "Limit", "Verdict"
+        ));
+        for v in &report.verdicts {
+            out.push_str(&format!(
+                "{:<rule_w$} {:>12} {:>12} {:>7}\n",
+                v.rule,
+                budget_value(v.observed),
+                budget_value(v.limit),
+                if v.pass { "ok" } else { "FAIL" }
+            ));
+        }
+    }
+    for v in &report.violations {
+        out.push_str(&format!(
+            "VIOLATION [{}] {}: {} ({} vs limit {})\n",
+            v.kind.label(),
+            v.rule,
+            v.detail,
+            budget_value(v.observed),
+            budget_value(v.limit)
+        ));
+    }
+    if report.is_pass() {
+        out.push_str("PASS: budget holds\n");
+    } else {
+        out.push_str(&format!("FAIL: {} violation(s)\n", report.violations.len()));
+    }
+    out
+}
+
 /// Renders a [`RunDiff`] as aligned tables — changed counters, stage
 /// duration ratios, histogram percentile shifts — followed by the
 /// regression findings and a final `PASS`/`FAIL` verdict line. This is
@@ -804,6 +865,56 @@ mod tests {
         let survey_row = text.lines().find(|l| l.starts_with("run/survey")).unwrap();
         assert!(survey_row.contains("3.00x"), "{survey_row}");
         assert!(text.contains("client.latency_ms"), "{text}");
+    }
+
+    #[test]
+    fn budget_table_renders_verdicts_violations_and_footer() {
+        use nbhd_obs::{BudgetReport, BudgetViolation, BudgetViolationKind, RuleVerdict};
+        let pass = BudgetReport {
+            spec_name: "budget".into(),
+            artifact_name: "run".into(),
+            verdicts: vec![RuleVerdict {
+                rule: "stage run/survey".into(),
+                observed: 120.0,
+                limit: 180.0,
+                pass: true,
+            }],
+            violations: vec![],
+        };
+        let text = render_budget_table("Budget", &pass);
+        assert!(text.contains("spec: budget  artifact: run"), "{text}");
+        assert!(text.contains("PASS: budget holds"), "{text}");
+        assert!(!text.contains("VIOLATION"), "{text}");
+        // integral values print without a fractional tail
+        let row = text.lines().find(|l| l.starts_with("stage ")).unwrap();
+        assert!(row.contains("120") && !row.contains("120.0"), "{row}");
+
+        let fail = BudgetReport {
+            spec_name: "budget".into(),
+            artifact_name: "run".into(),
+            verdicts: vec![RuleVerdict {
+                rule: "ratio.max rejected".into(),
+                observed: 0.75,
+                limit: 0.5,
+                pass: false,
+            }],
+            violations: vec![BudgetViolation {
+                kind: BudgetViolationKind::RatioOver,
+                rule: "ratio.max rejected".into(),
+                observed: 0.75,
+                limit: 0.5,
+                detail: "rejected fraction over ceiling".into(),
+            }],
+        };
+        let text = render_budget_table("Budget", &fail);
+        assert!(text.contains("FAIL: 1 violation(s)"), "{text}");
+        assert!(
+            text.contains(
+                "VIOLATION [ratio-over] ratio.max rejected: rejected fraction over ceiling"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("0.7500") && text.contains("0.5000"), "{text}");
     }
 
     #[test]

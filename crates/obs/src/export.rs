@@ -292,9 +292,13 @@ impl RunArtifact {
     ///   runs publish per-process values for exactly this reason;
     /// * **histograms** fold via the proven-commutative
     ///   [`Histogram::merge`];
-    /// * **gauges are dropped**: peaks and fractions obey no sum algebra,
-    ///   and the honest global coverage fraction lives in the merged
-    ///   coverage section instead;
+    /// * **gauges fold by max when named `*.peak`, else drop**: a
+    ///   high-water mark (e.g. `core.shard.resident_scenes.peak`) has an
+    ///   honest cross-process algebra — the distributed peak is the max
+    ///   of per-process peaks — so `.peak`-suffixed gauges survive the
+    ///   merge. Every other gauge (fractions, completion-order float
+    ///   sums) obeys no fold algebra and is dropped; the honest global
+    ///   coverage fraction lives in the merged coverage section instead;
     /// * **coverage** folds with the [`RunCoverage::merge`] algebra. All
     ///   shards must agree on having a section; a mixed set refuses with
     ///   [`MergeError::CoverageMissing`], and a uniformly absent one
@@ -377,6 +381,7 @@ impl RunArtifact {
         let mut offset = 0u64;
         let mut counters = std::collections::BTreeMap::new();
         let mut wall_counters = std::collections::BTreeMap::new();
+        let mut gauges: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
         let mut histograms: std::collections::BTreeMap<String, Histogram> =
             std::collections::BTreeMap::new();
         let mut wall_histograms: std::collections::BTreeMap<String, Histogram> =
@@ -408,6 +413,14 @@ impl RunArtifact {
             for (metric, value) in &part.metrics.wall_counters {
                 *wall_counters.entry(metric.clone()).or_insert(0u64) += value;
             }
+            for (metric, &value) in &part.metrics.gauges {
+                if metric.ends_with(".peak") {
+                    gauges
+                        .entry(metric.clone())
+                        .and_modify(|peak| *peak = peak.max(value))
+                        .or_insert(value);
+                }
+            }
             for (metric, hist) in &part.metrics.histograms {
                 histograms.entry(metric.clone()).or_default().merge(hist);
             }
@@ -419,9 +432,9 @@ impl RunArtifact {
             }
         }
         let coverage = if with_coverage == sorted.len() {
-            Some(RunCoverage::merge(sorted.iter().filter_map(|(p, _)| {
-                p.coverage.clone()
-            })))
+            Some(RunCoverage::merge(
+                sorted.iter().filter_map(|(p, _)| p.coverage.clone()),
+            ))
         } else {
             None
         };
@@ -432,7 +445,7 @@ impl RunArtifact {
             metrics: MetricsSnapshot {
                 counters,
                 wall_counters,
-                gauges: std::collections::BTreeMap::new(),
+                gauges,
                 histograms,
                 wall_histograms,
             },
@@ -657,8 +670,11 @@ mod tests {
         root.record();
         obs.registry().add("survey.captures", 3);
         obs.registry().add_wall("exec.steals", 1);
-        obs.registry().set_gauge("core.shard.peak", 4.0);
-        obs.registry().record_hist("lat.ms", 10 * (index as u64 + 1));
+        obs.registry()
+            .set_gauge("core.shard.resident_scenes.peak", 4.0 + index as f64);
+        obs.registry().set_gauge("core.coverage.fraction", 0.5);
+        obs.registry()
+            .record_hist("lat.ms", 10 * (index as u64 + 1));
         RunArtifact::from_obs(&format!("part-{index}"), &obs).with_shard(ShardIdentity {
             index,
             count,
@@ -667,7 +683,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_rebases_spans_sums_counters_and_drops_gauges() {
+    fn merge_rebases_spans_sums_counters_and_max_folds_peak_gauges() {
         let parts = [shard_artifact(0, 2), shard_artifact(1, 2)];
         let merged = RunArtifact::merge_shards("whole", &parts).unwrap();
         assert_eq!(merged.name, "whole");
@@ -684,9 +700,17 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2, 3]);
         assert_eq!(merged.metrics.counters["survey.captures"], 6);
         assert_eq!(merged.metrics.wall_counters["exec.steals"], 2);
-        assert!(
-            merged.metrics.gauges.is_empty(),
-            "gauges have no sum algebra and must be dropped"
+        // `.peak` gauges are high-water marks: the distributed peak is
+        // the max of per-process peaks (shard-1 recorded 5.0).
+        assert_eq!(
+            merged.metrics.gauges["core.shard.resident_scenes.peak"],
+            5.0
+        );
+        assert_eq!(
+            merged.metrics.gauges.len(),
+            1,
+            "non-peak gauges have no fold algebra and must be dropped: {:?}",
+            merged.metrics.gauges
         );
         assert_eq!(merged.metrics.histograms["lat.ms"].count(), 2);
         assert_eq!(merged.metrics.histograms["lat.ms"].sum(), 30);
@@ -792,8 +816,7 @@ mod tests {
                 regions: Vec::new(),
             })
         };
-        let err =
-            RunArtifact::merge_shards("w", &[covered(0), shard_artifact(1, 2)]).unwrap_err();
+        let err = RunArtifact::merge_shards("w", &[covered(0), shard_artifact(1, 2)]).unwrap_err();
         assert_eq!(err, MergeError::CoverageMissing { shard: 1 });
 
         let merged = RunArtifact::merge_shards("w", &[covered(0), covered(1)]).unwrap();
@@ -801,8 +824,8 @@ mod tests {
         assert_eq!(coverage.planned(), 10);
         assert_eq!(coverage.completed(), 8);
 
-        let bare = RunArtifact::merge_shards("w", &[shard_artifact(0, 2), shard_artifact(1, 2)])
-            .unwrap();
+        let bare =
+            RunArtifact::merge_shards("w", &[shard_artifact(0, 2), shard_artifact(1, 2)]).unwrap();
         assert_eq!(
             bare.coverage, None,
             "no shard recorded coverage: the merge makes no claim"

@@ -26,10 +26,17 @@
 //! [`diff`] to compare two artifacts under [`DiffThresholds`] and turn
 //! drift into pass/fail [`Regression`] findings — the regression gate
 //! `scripts/check.sh` runs against the committed bench baseline.
+//!
+//! Where [`diff`] is relative (needs a baseline run), [`BudgetSpec`] is
+//! the *absolute* gate: declarative per-stage/percentile/counter/
+//! coverage/cost ceilings evaluated against a single artifact into a
+//! typed [`BudgetReport`] — the committed `BUDGETS.json` spec and the
+//! `budget_gate` binary build on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod clock;
 mod coverage;
 pub mod diff;
@@ -39,6 +46,9 @@ mod metrics;
 mod summary;
 mod trace;
 
+pub use budget::{
+    BudgetReport, BudgetRule, BudgetSpec, BudgetViolation, BudgetViolationKind, RuleVerdict,
+};
 pub use clock::VirtualClock;
 pub use coverage::{RegionCoverageRow, RunCoverage, ShardCoverageRow};
 pub use diff::{diff, DiffThresholds, Regression, RegressionKind, RunDiff};

@@ -24,7 +24,11 @@
 //!   [`nbhd_journal::CheckpointStore`];
 //! * [`StormBuilder`] — the overload chaos harness: traffic-storm
 //!   workloads (bursts, steady streams) plus fault regimes (429 storms,
-//!   breaker flaps) over the shared virtual clock.
+//!   breaker flaps) over the shared virtual clock;
+//! * [`SloSpec`] — per-tenant service-level objectives (p99 wait,
+//!   rejection fraction, degraded-tier fraction, spend) compiled to
+//!   `nbhd-obs` budget rules and evaluated against
+//!   [`SurveyService::tenant_artifact`]'s per-tenant metric export.
 //!
 //! Everything on the decision surface — who is admitted, which tier
 //! serves each request, what every response says, and what every tenant
@@ -56,6 +60,7 @@
 mod admission;
 mod detector;
 mod service;
+mod slo;
 mod storm;
 mod tenant;
 mod tiers;
@@ -65,6 +70,7 @@ pub use detector::EvidenceDetector;
 pub use service::{
     Rejection, RunReport, ServiceConfig, ServiceResponse, SurveyService, RESPONSE_RECORD_KIND,
 };
+pub use slo::SloSpec;
 pub use storm::{Arrival, StormBuilder, Workload};
 pub use tenant::{TenantBill, TenantConfig};
 pub use tiers::{tier_ceiling, DegradePolicy, ServiceProvenance, ServiceTier};

@@ -32,7 +32,7 @@ use nbhd_client::{
 };
 use nbhd_eval::{quorum_vote, QuorumPolicy, VoteFallback};
 use nbhd_journal::CheckpointStore;
-use nbhd_obs::{MetricsRegistry, Obs};
+use nbhd_obs::{MetricsRegistry, MetricsSnapshot, Obs, RunArtifact, ARTIFACT_SCHEMA_VERSION};
 use nbhd_prompt::{parse_response, Language, Prompt, PromptMode};
 use nbhd_types::rng::child_seed_n;
 use nbhd_types::{Error, IndicatorSet, Result};
@@ -154,6 +154,10 @@ struct TenantState {
     queue: VecDeque<QueuedRequest>,
     bill: TenantBill,
     meter: Arc<CostMeter>,
+    /// High-water mark of this tenant's queue, maintained in the serial
+    /// admission loop and published as the end-of-run gauge
+    /// `serve.tenant.<name>.queue_depth.peak`.
+    peak_queue_depth: usize,
 }
 
 /// One served answer with full provenance.
@@ -340,6 +344,7 @@ impl SurveyService {
                         queue: VecDeque::new(),
                         bill: TenantBill::default(),
                         meter: Arc::new(CostMeter::new()),
+                        peak_queue_depth: 0,
                         config: t,
                     },
                 )
@@ -377,6 +382,47 @@ impl SurveyService {
     /// bill's USD (up to float summation order).
     pub fn tenant_meter(&self, tenant: &str) -> Option<Arc<CostMeter>> {
         self.tenants.get(tenant).map(|t| Arc::clone(&t.meter))
+    }
+
+    /// Exports one tenant's slice of the service observability as a
+    /// standalone [`RunArtifact`] named `serve-tenant-<name>`, or `None`
+    /// for an unknown tenant.
+    ///
+    /// The artifact carries every metric in the tenant's namespace —
+    /// `serve.tenant.<name>.{admitted, rejected.*, replayed, tier.*}`
+    /// counters, the `serve.tenant.<name>.wait_ms` histogram, and (after
+    /// [`SurveyService::run`] returns) the `.queue_depth.peak` and
+    /// `.usd` gauges — under their full names, so a per-tenant
+    /// [`crate::SloSpec`] evaluates against it with the same budget
+    /// engine that gates whole runs. Every value is maintained in the
+    /// serial admission/finalize loop, so the artifact is byte-identical
+    /// at any worker count.
+    pub fn tenant_artifact(&self, tenant: &str) -> Option<RunArtifact> {
+        if !self.tenants.contains_key(tenant) {
+            return None;
+        }
+        fn scoped<V: Clone>(map: &BTreeMap<String, V>, prefix: &str) -> BTreeMap<String, V> {
+            map.iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .map(|(name, value)| (name.clone(), value.clone()))
+                .collect()
+        }
+        let prefix = format!("serve.tenant.{tenant}.");
+        let snapshot = self.obs.registry().snapshot();
+        Some(RunArtifact {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            name: format!("serve-tenant-{tenant}"),
+            spans: Vec::new(),
+            metrics: MetricsSnapshot {
+                counters: scoped(&snapshot.counters, &prefix),
+                wall_counters: scoped(&snapshot.wall_counters, &prefix),
+                gauges: scoped(&snapshot.gauges, &prefix),
+                histograms: scoped(&snapshot.histograms, &prefix),
+                wall_histograms: scoped(&snapshot.wall_histograms, &prefix),
+            },
+            shard: None,
+            coverage: None,
+        })
     }
 
     /// Raw attempts that reached a model's base transport — zero when
@@ -443,6 +489,7 @@ impl SurveyService {
         stage.record();
         self.meter.publish(obs.registry());
         self.publish_breakers(obs.registry());
+        self.publish_tenants(obs.registry());
         Ok(RunReport {
             responses: state.responses,
             rejections: state.rejections,
@@ -497,9 +544,10 @@ impl SurveyService {
                     1,
                 );
                 registry.add("serve.replayed", 1);
-                state
-                    .log
-                    .push(format!("[t={now}ms] {tenant}#{request_id} replayed tier={tier}"));
+                registry.add(&format!("serve.tenant.{tenant}.replayed"), 1);
+                state.log.push(format!(
+                    "[t={now}ms] {tenant}#{request_id} replayed tier={tier}"
+                ));
                 state.responses.push(ServiceResponse {
                     tenant,
                     request_id,
@@ -544,7 +592,9 @@ impl SurveyService {
                     deadline_ms,
                     context,
                 });
+                tenant_state.peak_queue_depth = tenant_state.peak_queue_depth.max(depth);
                 registry.add("serve.admitted", 1);
+                registry.add(&format!("serve.tenant.{tenant}.admitted"), 1);
                 state.log.push(format!(
                     "[t={now}ms] {tenant}#{request_id} admitted (queue {depth}/{capacity}, global {}/{})",
                     total + 1,
@@ -553,16 +603,17 @@ impl SurveyService {
             }
             Err(reason) => {
                 tenant_state.bill.rejected += 1;
-                let metric = match &reason {
-                    Rejected::QueueFull { .. } => "serve.rejected.queue_full",
-                    Rejected::QuotaExhausted { .. } => "serve.rejected.quota",
-                    Rejected::BudgetExhausted => "serve.rejected.budget",
-                    Rejected::Degraded { .. } => "serve.rejected.shed",
+                let cause = match &reason {
+                    Rejected::QueueFull { .. } => "queue_full",
+                    Rejected::QuotaExhausted { .. } => "quota",
+                    Rejected::BudgetExhausted => "budget",
+                    Rejected::Degraded { .. } => "shed",
                 };
-                registry.add(metric, 1);
-                state
-                    .log
-                    .push(format!("[t={now}ms] {tenant}#{request_id} rejected: {reason}"));
+                registry.add(&format!("serve.rejected.{cause}"), 1);
+                registry.add(&format!("serve.tenant.{tenant}.rejected.{cause}"), 1);
+                state.log.push(format!(
+                    "[t={now}ms] {tenant}#{request_id} rejected: {reason}"
+                ));
                 state.rejections.push(Rejection {
                     tenant,
                     request_id,
@@ -858,7 +909,9 @@ impl SurveyService {
             tenant.bill.output_tokens += served.output_tokens;
             tenant.bill.usd += served.usd;
             if served.lines.is_empty() {
-                tenant.meter.record_success("detector", 0, 0, 0.0, 0.0, 0.0, 1);
+                tenant
+                    .meter
+                    .record_success("detector", 0, 0, 0.0, 0.0, 0.0, 1);
             } else {
                 for line in &served.lines {
                     tenant.meter.record_success(
@@ -873,12 +926,14 @@ impl SurveyService {
                 }
             }
             registry.record_hist("serve.admission_wait_ms", wait_ms);
-            let tier_metric = match served.tier {
-                ServiceTier::FullEnsemble => "serve.tier.full",
-                ServiceTier::DegradedQuorum => "serve.tier.quorum",
-                ServiceTier::DetectorOnly => "serve.tier.detector",
+            registry.record_hist(&format!("serve.tenant.{}.wait_ms", request.tenant), wait_ms);
+            let tier = match served.tier {
+                ServiceTier::FullEnsemble => "full",
+                ServiceTier::DegradedQuorum => "quorum",
+                ServiceTier::DetectorOnly => "detector",
             };
-            registry.add(tier_metric, 1);
+            registry.add(&format!("serve.tier.{tier}"), 1);
+            registry.add(&format!("serve.tenant.{}.tier.{tier}", request.tenant), 1);
             state.log.push(format!(
                 "[t={now}ms] {}#{} served tier={} presence={} wait={wait_ms}ms",
                 request.tenant, request.request_id, served.tier, served.presence
@@ -921,13 +976,37 @@ impl SurveyService {
         for member in &self.members {
             let snap = member.breaker.snapshot();
             let name = &member.profile.name;
-            registry.set(&format!("serve.breaker.{name}.transitions"), snap.transitions);
+            registry.set(
+                &format!("serve.breaker.{name}.transitions"),
+                snap.transitions,
+            );
             registry.set(&format!("serve.breaker.{name}.fail_fast"), snap.fail_fast);
             registry.set(&format!("serve.breaker.{name}.opened"), snap.edges.opened);
             registry.set(&format!("serve.breaker.{name}.probed"), snap.edges.probed);
-            registry.set(&format!("serve.breaker.{name}.reclosed"), snap.edges.reclosed);
-            registry.set(&format!("serve.breaker.{name}.reopened"), snap.edges.reopened);
+            registry.set(
+                &format!("serve.breaker.{name}.reclosed"),
+                snap.edges.reclosed,
+            );
+            registry.set(
+                &format!("serve.breaker.{name}.reopened"),
+                snap.edges.reopened,
+            );
             registry.set(&format!("serve.breaker.{name}.flaps"), snap.edges.flaps());
+        }
+    }
+
+    /// Publishes per-tenant end-of-run gauges: the queue high-water mark
+    /// (`.peak`-suffixed, so it survives `RunArtifact::merge_shards`'
+    /// max-folding convention) and the tenant's billed USD (`.usd`-
+    /// suffixed, so `BudgetRule::UsdMax` sees it on tenant artifacts).
+    /// Both values accumulate in the serial loop and are deterministic.
+    fn publish_tenants(&self, registry: &MetricsRegistry) {
+        for (name, tenant) in &self.tenants {
+            registry.set_gauge(
+                &format!("serve.tenant.{name}.queue_depth.peak"),
+                tenant.peak_queue_depth as f64,
+            );
+            registry.set_gauge(&format!("serve.tenant.{name}.usd"), tenant.bill.usd);
         }
     }
 }
@@ -1088,7 +1167,9 @@ mod tests {
         let shed: Vec<_> = report
             .rejections
             .iter()
-            .filter(|r| matches!(&r.reason, Rejected::Degraded { reason } if reason.contains("10/10")))
+            .filter(
+                |r| matches!(&r.reason, Rejected::Degraded { reason } if reason.contains("10/10")),
+            )
             .collect();
         assert_eq!(shed.len(), 6, "beta's overflow is shed globally");
         assert_eq!(report.responses.len(), 10);
@@ -1129,7 +1210,11 @@ mod tests {
             vec![TenantConfig::new("acme").with_budget_usd(1e-9)],
         );
         let report = service.run(workload).unwrap();
-        assert_eq!(report.responses.len(), 1, "first request lands under budget");
+        assert_eq!(
+            report.responses.len(),
+            1,
+            "first request lands under budget"
+        );
         assert_eq!(report.rejections.len(), 3);
         assert!(report
             .rejections
@@ -1150,7 +1235,10 @@ mod tests {
         assert!(report.responses.iter().all(|r| {
             r.provenance.tier == ServiceTier::DetectorOnly && r.provenance.deadline_blown
         }));
-        assert_eq!(report.bills["acme"].usd, 0.0, "detector answers bill nothing");
+        assert_eq!(
+            report.bills["acme"].usd, 0.0,
+            "detector answers bill nothing"
+        );
         assert_eq!(service.api_attempts("gemini-1.5-pro"), 0);
     }
 
@@ -1175,7 +1263,11 @@ mod tests {
         let (workload, _) = storm();
         let after = second.run(workload).unwrap();
         assert!(after.responses.iter().all(|r| r.provenance.replayed));
-        assert_eq!(second.api_attempts("gemini-1.5-pro"), 0, "no model requeried");
+        assert_eq!(
+            second.api_attempts("gemini-1.5-pro"),
+            0,
+            "no model requeried"
+        );
         // answers identical per request; bills identical to float tolerance
         let key = |r: &ServiceResponse| (r.tenant.clone(), r.request_id);
         let answers = |report: &RunReport| -> BTreeMap<_, _> {
@@ -1188,11 +1280,10 @@ mod tests {
         assert_eq!(answers(&before), answers(&after));
         for (name, b) in &before.bills {
             let a = &after.bills[name];
-            assert_eq!((a.served, a.input_tokens, a.output_tokens), (
-                b.served,
-                b.input_tokens,
-                b.output_tokens
-            ));
+            assert_eq!(
+                (a.served, a.input_tokens, a.output_tokens),
+                (b.served, b.input_tokens, b.output_tokens)
+            );
             assert!((a.usd - b.usd).abs() < 1e-9);
             assert_eq!(a.replayed, b.served, "every response replayed");
         }
@@ -1235,6 +1326,9 @@ mod tests {
         assert_eq!(serial.rejections, parallel.rejections);
         assert_eq!(serial.decision_text(), parallel.decision_text());
         assert_eq!(serial_text, parallel_text);
-        assert!(!serial.rejections.is_empty(), "the storm must actually bite");
+        assert!(
+            !serial.rejections.is_empty(),
+            "the storm must actually bite"
+        );
     }
 }

@@ -1,0 +1,215 @@
+//! Per-tenant service-level objectives, compiled to budget rules.
+//!
+//! An [`SloSpec`] states what a tenant was promised — a p99 admission
+//! wait ceiling, a rejection-fraction ceiling, a degraded-tier-fraction
+//! ceiling, and optionally a spend ceiling — and compiles into an
+//! [`nbhd_obs::BudgetSpec`] over that tenant's metric namespace, so the
+//! same budget engine that gates whole runs renders the verdict against
+//! [`crate::SurveyService::tenant_artifact`].
+//!
+//! The unmatched-rule semantics carry over deliberately: a tenant whose
+//! artifact records no admissions, rejections, *or* served requests
+//! fails its SLO as unmatched rather than vacuously passing — an SLO
+//! over a tenant that never reached the service is not "met", it is
+//! unmeasured.
+
+use nbhd_obs::{BudgetReport, BudgetRule, BudgetSpec, RunArtifact};
+use serde::{Deserialize, Serialize};
+
+/// Every typed rejection cause, as suffixed under
+/// `serve.tenant.<name>.rejected.`.
+const REJECTION_CAUSES: [&str; 4] = ["queue_full", "quota", "budget", "shed"];
+
+/// What one tenant was promised, evaluated per run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Ceiling on the p99 of `serve.tenant.<name>.wait_ms` (virtual
+    /// milliseconds between admission and batch service).
+    pub p99_wait_ceiling_ms: u64,
+    /// Ceiling on `rejected / (admitted + rejected)` across every typed
+    /// rejection cause.
+    pub max_rejection_fraction: f64,
+    /// Ceiling on the fraction of served responses answered below the
+    /// full-ensemble tier (quorum or detector).
+    pub max_degraded_fraction: f64,
+    /// Optional ceiling on the tenant's billed USD (checks the
+    /// `serve.tenant.<name>.usd` gauge via the `*.usd` sum rule).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_usd: Option<f64>,
+}
+
+impl Default for SloSpec {
+    /// A permissive default: 10 s p99 wait, at most half the traffic
+    /// rejected, at most half the answers degraded, no spend ceiling.
+    fn default() -> Self {
+        SloSpec {
+            p99_wait_ceiling_ms: 10_000,
+            max_rejection_fraction: 0.5,
+            max_degraded_fraction: 0.5,
+            max_usd: None,
+        }
+    }
+}
+
+impl SloSpec {
+    /// Compiles the SLO into budget rules over `tenant`'s namespace.
+    pub fn budget_spec(&self, tenant: &str) -> BudgetSpec {
+        let scoped = |suffix: &str| format!("serve.tenant.{tenant}.{suffix}");
+        let rejected: Vec<String> = REJECTION_CAUSES
+            .iter()
+            .map(|cause| scoped(&format!("rejected.{cause}")))
+            .collect();
+        let mut arrivals = vec![scoped("admitted")];
+        arrivals.extend(rejected.clone());
+        let tiers: Vec<String> = ["tier.full", "tier.quorum", "tier.detector"]
+            .iter()
+            .map(|tier| scoped(tier))
+            .collect();
+        let mut rules = vec![
+            BudgetRule::HistP99 {
+                name: scoped("wait_ms"),
+                max: self.p99_wait_ceiling_ms,
+            },
+            BudgetRule::RatioMax {
+                name: format!("{tenant}.rejected_fraction"),
+                numerator: rejected,
+                denominator: arrivals,
+                max: self.max_rejection_fraction,
+            },
+            BudgetRule::RatioMax {
+                name: format!("{tenant}.degraded_fraction"),
+                numerator: tiers[1..].to_vec(),
+                denominator: tiers,
+                max: self.max_degraded_fraction,
+            },
+        ];
+        if let Some(max_usd) = self.max_usd {
+            rules.push(BudgetRule::UsdMax { max_usd });
+        }
+        BudgetSpec {
+            name: format!("slo-{tenant}"),
+            rules,
+        }
+    }
+
+    /// Evaluates the SLO against a tenant artifact (normally the output
+    /// of [`crate::SurveyService::tenant_artifact`], but any artifact
+    /// carrying the tenant's namespace works — including one merged from
+    /// distributed shards).
+    pub fn evaluate(&self, tenant: &str, artifact: &RunArtifact) -> BudgetReport {
+        self.budget_spec(tenant).evaluate(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceConfig, StormBuilder, SurveyService, TenantConfig};
+    use nbhd_obs::BudgetViolationKind;
+
+    fn served_tenant_artifact() -> (RunArtifact, RunArtifact) {
+        let (workload, schedule) = StormBuilder::new(7)
+            .steady("acme", 0, 12, 250)
+            .burst("blitz", 1_000, 6)
+            .build();
+        let config = ServiceConfig {
+            schedule,
+            ..ServiceConfig::default()
+        };
+        let tenants = vec![TenantConfig::new("acme"), TenantConfig::new("blitz")];
+        let mut service = SurveyService::new(config, tenants);
+        service.run(workload).expect("run");
+        (
+            service.tenant_artifact("acme").expect("acme artifact"),
+            service.tenant_artifact("blitz").expect("blitz artifact"),
+        )
+    }
+
+    #[test]
+    fn tenant_artifact_is_scoped_and_unknown_tenant_is_none() {
+        let (acme, blitz) = served_tenant_artifact();
+        assert_eq!(acme.name, "serve-tenant-acme");
+        assert!(!acme.metrics.counters.is_empty());
+        for name in acme.metrics.counters.keys() {
+            assert!(name.starts_with("serve.tenant.acme."), "{name}");
+        }
+        assert!(acme
+            .metrics
+            .counters
+            .contains_key("serve.tenant.acme.admitted"));
+        assert!(acme
+            .metrics
+            .histograms
+            .contains_key("serve.tenant.acme.wait_ms"));
+        assert!(acme
+            .metrics
+            .gauges
+            .contains_key("serve.tenant.acme.queue_depth.peak"));
+        assert!(acme.metrics.gauges.contains_key("serve.tenant.acme.usd"));
+        // no cross-tenant bleed in either direction
+        assert!(blitz.metrics.counters.keys().all(|n| !n.contains(".acme.")));
+        assert!(acme.metrics.counters.keys().all(|n| !n.contains(".blitz.")));
+
+        let (workload, _) = StormBuilder::new(7).burst("acme", 0, 1).build();
+        let mut service =
+            SurveyService::new(ServiceConfig::default(), vec![TenantConfig::new("acme")]);
+        service.run(workload).expect("run");
+        assert!(service.tenant_artifact("ghost").is_none());
+    }
+
+    #[test]
+    fn permissive_slo_passes_and_tight_slo_fails_with_named_rules() {
+        let (acme, _) = served_tenant_artifact();
+        let permissive = SloSpec::default();
+        let report = permissive.evaluate("acme", &acme);
+        assert!(report.is_pass(), "{:?}", report.violations);
+
+        let tight = SloSpec {
+            p99_wait_ceiling_ms: 0,
+            max_rejection_fraction: 0.5,
+            max_degraded_fraction: 0.5,
+            max_usd: Some(0.0),
+        };
+        let report = tight.evaluate("acme", &acme);
+        assert!(!report.is_pass());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.rule == "hist.p99 serve.tenant.acme.wait_ms"),
+            "{:?}",
+            report.violations
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == BudgetViolationKind::UsdOver),
+            "a tenant that billed anything must trip a zero spend ceiling: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn slo_over_an_absent_tenant_namespace_is_unmatched_not_vacuous() {
+        let (acme, _) = served_tenant_artifact();
+        let report = SloSpec::default().evaluate("ghost", &acme);
+        assert!(!report.is_pass());
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.kind == BudgetViolationKind::Unmatched));
+    }
+
+    #[test]
+    fn slo_spec_roundtrips_through_json() {
+        let spec = SloSpec {
+            p99_wait_ceiling_ms: 2_000,
+            max_rejection_fraction: 0.1,
+            max_degraded_fraction: 0.25,
+            max_usd: Some(3.5),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<SloSpec>(&json).unwrap(), spec);
+    }
+}

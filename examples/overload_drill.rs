@@ -7,8 +7,11 @@
 //! `scripts/bench_artifact.sh` to gate the serve surface for drift).
 
 use nbhd::client::{BreakerConfig, Parallelism};
+use nbhd::eval::render_budget_table;
 use nbhd::obs::RunArtifact;
-use nbhd::serve::{DegradePolicy, ServiceConfig, StormBuilder, SurveyService, TenantConfig};
+use nbhd::serve::{
+    DegradePolicy, ServiceConfig, SloSpec, StormBuilder, SurveyService, TenantConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The storm: a steady tenant, a bursty tenant, a quota-starved slow
@@ -80,6 +83,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bill.input_tokens,
             bill.output_tokens,
             bill.usd
+        );
+    }
+
+    // Per-tenant SLO verdicts: each tenant's scoped artifact, judged by
+    // the budget engine. The storm makes these interesting — blitz's
+    // burst overflows its queue and crawl starves on quota, so the drill
+    // shows both held and broken objectives.
+    println!("\n-- per-tenant SLOs --");
+    let slo = SloSpec {
+        p99_wait_ceiling_ms: 5_000,
+        max_rejection_fraction: 0.35,
+        max_degraded_fraction: 0.75,
+        max_usd: Some(10.0),
+    };
+    for tenant in ["atlas", "blitz", "crawl"] {
+        let artifact = service
+            .tenant_artifact(tenant)
+            .expect("tenant ran this drill");
+        let verdict = slo.evaluate(tenant, &artifact);
+        print!(
+            "{}",
+            render_budget_table(&format!("SLO: {tenant}"), &verdict)
         );
     }
 

@@ -3,6 +3,9 @@
 # deterministic scale, self-diff the two run artifacts (the deterministic
 # surface must be byte-stable across identical-seed runs), then diff the
 # fresh artifact against the committed baseline BENCH_paper_tables.json.
+# Each run also appends its wall-clock seconds to target/BENCH_walltime.tsv
+# for trend tracking, and the self-diff doubles as an absolute budget gate
+# (run_diff --budget) at 2x the fresh run's observed ceilings.
 #
 # The committed baseline starts life as a bootstrap sentinel (name
 # "bootstrap"): the first run on a machine with a working toolchain
@@ -24,13 +27,32 @@ SEED="${NBHD_SEED:-2025}"
 ARGS="${NBHD_BENCH_ARGS:-t2}"
 
 echo "==> bench artifact: scale=$SCALE seed=$SEED experiments=$ARGS"
+BENCH_STARTED=$(date +%s)
 NBHD_SCALE="$SCALE" NBHD_SEED="$SEED" NBHD_ARTIFACT="$FRESH" \
     cargo bench -q -p nbhd-bench --bench paper_tables -- $ARGS >/dev/null
+BENCH_WALL_S=$(( $(date +%s) - BENCH_STARTED ))
 NBHD_SCALE="$SCALE" NBHD_SEED="$SEED" NBHD_ARTIFACT="$RERUN" \
     cargo bench -q -p nbhd-bench --bench paper_tables -- $ARGS >/dev/null
 
+# Wall time rides alongside the artifact for trend tracking: the artifact's
+# virtual timeline is machine-independent, so real elapsed seconds are the
+# one signal it cannot carry. Appended, not overwritten -- each row is one
+# run on this machine.
+WALLTIME_LOG=target/BENCH_walltime.tsv
+mkdir -p target
+[ -f "$WALLTIME_LOG" ] || printf 'utc\tscale\tseed\texperiments\twall_s\n' >"$WALLTIME_LOG"
+printf '%s\t%s\t%s\t%s\t%s\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$SCALE" "$SEED" "$ARGS" "$BENCH_WALL_S" >>"$WALLTIME_LOG"
+echo "==> wall time: ${BENCH_WALL_S}s (trend log: $WALLTIME_LOG)"
+
 echo "==> self-diff: identical seeds must produce zero regressions"
-cargo run -q -p nbhd-bench --bin run_diff -- "$FRESH" "$RERUN"
+# One invocation applies both gates: the relative diff between the two
+# runs, and an absolute budget derived from the fresh run at 2x headroom
+# (so the rerun must also land inside the fresh run's perf envelope).
+cargo run -q -p nbhd-bench --bin budget_gate -- \
+    derive --headroom 2.0 --out target/BENCH_budget.json "$FRESH" >/dev/null
+cargo run -q -p nbhd-bench --bin run_diff -- \
+    --budget target/BENCH_budget.json "$FRESH" "$RERUN"
 
 # The serving layer exports the same artifact shape (admission-wait and
 # queue-depth histograms, tier counters): run the overload drill twice

@@ -22,6 +22,30 @@ cargo test -q -p nbhd-obs
 echo "==> cargo test -p nbhd-serve (fast serving gate: admission, tiers, storms)"
 cargo test -q -p nbhd-serve
 
+echo "==> budget_gate self-test (derived spec holds, 2x slowdown trips the gate)"
+cargo run -q -p nbhd-bench --bin budget_gate -- --self-test
+
+echo "==> budget gate (committed BUDGETS.json vs fresh quickstart artifact)"
+QS_ARTIFACT=target/quickstart_artifact.json
+cargo run -q --example quickstart >/dev/null
+if grep -q '"name": "bootstrap"' BUDGETS.json; then
+    cargo run -q -p nbhd-bench --bin budget_gate -- \
+        derive --headroom 2.0 --out BUDGETS.json "$QS_ARTIFACT"
+    echo "==> seeded BUDGETS.json at 2.0x observed ceilings -- review and commit it"
+else
+    cargo run -q -p nbhd-bench --bin budget_gate -- eval BUDGETS.json "$QS_ARTIFACT"
+fi
+# the gate must actually bite: a budget tightened to half the observed
+# values, evaluated against the very run it came from, has to fail
+cargo run -q -p nbhd-bench --bin budget_gate -- \
+    derive --headroom 0.5 --out target/budget_violation.json "$QS_ARTIFACT" >/dev/null
+if cargo run -q -p nbhd-bench --bin budget_gate -- \
+    eval target/budget_violation.json "$QS_ARTIFACT" >target/budget_violation.out; then
+    echo "ERROR: a 0.5x-headroom budget passed the run it was derived from" >&2
+    exit 1
+fi
+grep -q 'FAIL:' target/budget_violation.out
+
 echo "==> obs golden snapshots (cost-report alignment + run-summary rendering)"
 cargo test -q -p nbhd-client report_golden_output_for_long_names_and_wide_tokens
 cargo test -q -p nbhd-eval run_summary_indents_nested_stages_and_marks_wall_metrics

@@ -173,6 +173,46 @@ fn run_summary_deterministic_surface_is_worker_count_invariant() {
 }
 
 #[test]
+fn budget_reports_are_worker_count_invariant() {
+    use std::sync::Arc;
+
+    use nbhd_obs::BudgetSpec;
+
+    // the budget gate must never depend on scheduling: a report computed
+    // over a 4-worker run is the same typed object, byte for byte, as one
+    // computed over the serial run
+    let artifact = |parallelism| {
+        let plan = RunPlan {
+            survey: SurveyConfig {
+                parallelism,
+                ..RunPlan::smoke(88).survey
+            },
+            ..RunPlan::smoke(88)
+        };
+        let obs = Obs::default();
+        nbhd_core::run_observed(&plan, Arc::new(MemoryStore::new()), &obs).expect("observed run");
+        RunArtifact::from_obs("budget-determinism", &obs)
+    };
+    let serial = artifact(Parallelism::serial());
+    let parallel = artifact(Parallelism::fixed(4));
+
+    let spec = BudgetSpec::from_artifact("determinism-budget", &serial, 1.0);
+    assert!(
+        spec.rules.len() > 10,
+        "a full observed run must yield a substantial derived spec, got {}",
+        spec.rules.len()
+    );
+    let serial_report = spec.evaluate(&serial);
+    let parallel_report = spec.evaluate(&parallel);
+    assert!(serial_report.is_pass(), "{:?}", serial_report.violations);
+    assert_eq!(
+        serde_json::to_string(&serial_report).unwrap(),
+        serde_json::to_string(&parallel_report).unwrap(),
+        "every verdict and observed value must be worker-count-invariant"
+    );
+}
+
+#[test]
 fn trace_journal_survives_kill_and_resume_without_duplicate_spans() {
     use std::collections::HashSet;
     use std::fs;

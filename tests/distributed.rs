@@ -48,9 +48,16 @@ fn single_run(
     shards: usize,
     poison: Option<PoisonSchedule>,
 ) -> RunArtifact {
-    run_supervised_artifact(name, config, shards, SupervisePolicy::default(), poison, None)
-        .expect("single-process run")
-        .0
+    run_supervised_artifact(
+        name,
+        config,
+        shards,
+        SupervisePolicy::default(),
+        poison,
+        None,
+    )
+    .expect("single-process run")
+    .0
 }
 
 #[test]
@@ -70,13 +77,31 @@ fn merged_shards_byte_match_the_single_process_run() {
                 "coverage must fold to the single-process report at {shards} shards"
             );
             assert!(merged.shard.is_none(), "a merged artifact is a whole run");
+            // the `.peak` gauge convention: the per-process high-water
+            // marks max-fold to exactly the single-process value
+            assert_eq!(
+                merged.metrics.gauges.get(nbhd_core::SHARD_PEAK_GAUGE),
+                single.metrics.gauges.get(nbhd_core::SHARD_PEAK_GAUGE),
+                "peak-resident gauge must survive the merge at {shards} shards"
+            );
+            assert!(
+                merged
+                    .metrics
+                    .gauges
+                    .contains_key(nbhd_core::SHARD_PEAK_GAUGE),
+                "both sides must actually publish the gauge"
+            );
         }
     }
 }
 
 #[test]
 fn merged_shards_byte_match_under_poison() {
-    let poison = Some(PoisonSchedule::new(41).with_panic_rate(0.2).with_corrupt_rate(0.1));
+    let poison = Some(
+        PoisonSchedule::new(41)
+            .with_panic_rate(0.2)
+            .with_corrupt_rate(0.1),
+    );
     let config = dist_config(41, Parallelism::serial());
     let single = single_run("poisoned", &config, 4, poison);
     let merged = merged_run("poisoned", &config, 4, poison);

@@ -102,6 +102,44 @@ fn slow_span(span: &mut nbhd_obs::SpanRecord) {
 }
 
 #[test]
+fn budget_derived_from_clean_run_gates_injected_slowdown() {
+    use nbhd_obs::{BudgetSpec, BudgetViolationKind};
+
+    let artifact = observed_artifact(49, Parallelism::serial());
+
+    // the absolute counterpart to the relative diff gate above: a budget
+    // granted 1.5x headroom over the clean run holds for that run...
+    let spec = BudgetSpec::from_artifact("clean-run-budget", &artifact, 1.5);
+    assert!(spec.evaluate(&artifact).is_pass());
+
+    // ...and must flag the same uniform 2x virtual slowdown
+    let mut slow = artifact.clone();
+    for span in &mut slow.spans {
+        slow_span(span);
+    }
+    let report = spec.evaluate(&slow);
+    assert!(!report.is_pass(), "a 2x slowdown fit inside 1.5x headroom");
+    let stage_over: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.kind == BudgetViolationKind::StageOver)
+        .collect();
+    assert!(
+        !stage_over.is_empty(),
+        "expected stage-over violations, got {:?}",
+        report.violations
+    );
+    // every finding names a stage the clean run actually recorded
+    for violation in &stage_over {
+        let key = violation.rule.strip_prefix("stage ").expect("stage rule");
+        assert!(
+            artifact.spans.iter().any(|s| s.key == key),
+            "violation names unknown stage {key:?}"
+        );
+    }
+}
+
+#[test]
 fn artifact_deterministic_surface_is_worker_count_invariant() {
     let serial = observed_artifact(50, Parallelism::serial());
     let parallel = observed_artifact(50, Parallelism::fixed(4));

@@ -152,6 +152,60 @@ fn decision_surface_is_byte_identical_serial_vs_four_workers() {
     );
 }
 
+#[test]
+fn tenant_artifacts_and_slo_verdicts_are_byte_identical_serial_vs_four_workers() {
+    use nbhd_serve::SloSpec;
+
+    // per-tenant observability rides the same determinism contract as the
+    // decision surface: the exported tenant artifact and the SLO verdict
+    // rendered from it must not depend on worker count
+    let observe = |parallelism| {
+        let (workload, _) = storm();
+        let mut service = SurveyService::new(config(parallelism), tenants());
+        service.run(workload).unwrap();
+        ["atlas", "blitz", "crawl"].map(|name| {
+            let artifact = service.tenant_artifact(name).expect("tenant artifact");
+            let verdict = SloSpec::default().evaluate(name, &artifact);
+            (
+                serde_json::to_string(&artifact).unwrap(),
+                serde_json::to_string(&verdict).unwrap(),
+            )
+        })
+    };
+    let serial = observe(Parallelism::serial());
+    let parallel = observe(Parallelism::fixed(4));
+    for (tenant, (s, p)) in ["atlas", "blitz", "crawl"]
+        .iter()
+        .zip(serial.iter().zip(&parallel))
+    {
+        assert_eq!(s.0, p.0, "tenant {tenant}: artifact must be byte-identical");
+        assert_eq!(
+            s.1, p.1,
+            "tenant {tenant}: SLO verdict must be byte-identical"
+        );
+    }
+
+    // and the SLO actually discriminates: blitz's burst overflows its
+    // six-deep queue, so a tight rejection ceiling must flag it by name
+    let (workload, _) = storm();
+    let mut service = SurveyService::new(config(Parallelism::fixed(4)), tenants());
+    service.run(workload).unwrap();
+    let blitz = service.tenant_artifact("blitz").expect("tenant artifact");
+    let tight = SloSpec {
+        max_rejection_fraction: 0.01,
+        ..SloSpec::default()
+    };
+    let verdict = tight.evaluate("blitz", &blitz);
+    assert!(
+        verdict
+            .violations
+            .iter()
+            .any(|v| v.rule == "ratio.max blitz.rejected_fraction"),
+        "{:?}",
+        verdict.violations
+    );
+}
+
 fn drill_manifest() -> RunManifest {
     RunManifest::for_config(
         "overload-drill",
